@@ -1,0 +1,107 @@
+// Experiment A5 — ablation of the Zig-Component kinds.
+//
+// The Zig-Dissimilarity is a weighted sum of per-kind scores; the weights
+// are the user's lever (paper §2.2). This harness scores the crime
+// characterization with each kind knocked out (weight 0) in turn, and with
+// each kind alone, reporting planted-theme recovery and the top view. It
+// shows which kinds carry the ranking on a mean-shift-dominated workload
+// and that the ensemble is robust to losing any single kind.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+using namespace ziggy;
+using namespace ziggy::bench;
+
+namespace {
+
+ZigWeights AllOff() {
+  ZigWeights w;
+  w.mean_shift = w.dispersion_shift = w.correlation_shift = 0.0;
+  w.frequency_shift = w.association_shift = w.contingency_shift = 0.0;
+  w.rank_shift = w.distribution_shift = 0.0;
+  return w;
+}
+
+void SetKind(ZigWeights* w, ComponentKind kind, double value) {
+  switch (kind) {
+    case ComponentKind::kMeanShift:
+      w->mean_shift = value;
+      break;
+    case ComponentKind::kDispersionShift:
+      w->dispersion_shift = value;
+      break;
+    case ComponentKind::kCorrelationShift:
+      w->correlation_shift = value;
+      break;
+    case ComponentKind::kFrequencyShift:
+      w->frequency_shift = value;
+      break;
+    case ComponentKind::kAssociationShift:
+      w->association_shift = value;
+      break;
+    case ComponentKind::kContingencyShift:
+      w->contingency_shift = value;
+      break;
+    case ComponentKind::kRankShift:
+      w->rank_shift = value;
+      break;
+    case ComponentKind::kDistributionShift:
+      w->distribution_shift = value;
+      break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A5: Zig-Component kind ablation ===\n\n";
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const auto planted = ds.planted_views;
+  const std::string query = ds.selection_predicate;
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.3;
+  opts.search.max_views = 10;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+
+  auto run = [&](const ZigWeights& w) {
+    engine.mutable_options()->search.weights = w;
+    return engine.CharacterizeQuery(query).ValueOrDie();
+  };
+
+  ResultTable out({"configuration", "recovery", "top view"});
+  {
+    Characterization r = run(ZigWeights{});
+    out.AddRow({"all kinds (default)", Fmt(100.0 * RecoveryRate(planted, r.views), 4) + "%",
+                r.views.empty() ? "-"
+                                : r.views[0].view.ColumnNames(engine.table().schema())});
+  }
+  for (size_t k = 0; k < kNumComponentKinds; ++k) {
+    const auto kind = static_cast<ComponentKind>(k);
+    ZigWeights without{};
+    SetKind(&without, kind, 0.0);
+    Characterization r = run(without);
+    out.AddRow({std::string("without ") + ComponentKindToString(kind),
+                Fmt(100.0 * RecoveryRate(planted, r.views), 4) + "%",
+                r.views.empty() ? "-"
+                                : r.views[0].view.ColumnNames(engine.table().schema())});
+  }
+  for (size_t k = 0; k < kNumComponentKinds; ++k) {
+    const auto kind = static_cast<ComponentKind>(k);
+    ZigWeights only = AllOff();
+    SetKind(&only, kind, 1.0);
+    Characterization r = run(only);
+    out.AddRow({std::string("only ") + ComponentKindToString(kind),
+                Fmt(100.0 * RecoveryRate(planted, r.views), 4) + "%",
+                r.views.empty() ? "-"
+                                : r.views[0].view.ColumnNames(engine.table().schema())});
+  }
+  out.Print();
+  std::cout << "\nPaper shape: the ensemble is robust to dropping any single "
+               "kind on this mean-shift workload; single-kind configurations "
+               "expose what each indicator can and cannot see (e.g. "
+               "correlation-shift alone misses pure location shifts).\n";
+  return 0;
+}

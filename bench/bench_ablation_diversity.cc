@@ -1,0 +1,92 @@
+// Experiment A3 — ablation of the disjointness constraint (Eq. 4).
+//
+// "Another shortcoming of [Eq. 1] is that it leads to redundancy.
+// Typically, the results will contain every possible subset of a few
+// dominant variables." Disabling Eq. 4 reproduces exactly that pathology;
+// the harness quantifies it as (a) column redundancy in the top-k and
+// (b) how many *distinct* planted themes the top-k covers.
+
+#include <iostream>
+#include <set>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+using namespace ziggy;
+using namespace ziggy::bench;
+
+namespace {
+
+struct DiversityMetrics {
+  size_t candidates = 0;
+  double redundancy = 0.0;   // repeated column mentions / total mentions
+  size_t themes_covered = 0; // distinct planted themes hit by the top-k
+};
+
+DiversityMetrics Measure(ZiggyEngine* engine, const std::string& query,
+                         const std::vector<std::vector<size_t>>& planted,
+                         bool disjoint, size_t top_k) {
+  engine->mutable_options()->search.enforce_disjoint = disjoint;
+  engine->mutable_options()->search.max_views = top_k;
+  Characterization r = engine->CharacterizeQuery(query).ValueOrDie();
+  DiversityMetrics m;
+  m.candidates = r.num_candidates;
+  size_t mentions = 0;
+  std::set<size_t> seen;
+  size_t repeats = 0;
+  for (const auto& cv : r.views) {
+    for (size_t c : cv.view.columns) {
+      ++mentions;
+      if (!seen.insert(c).second) ++repeats;
+    }
+  }
+  m.redundancy = mentions == 0 ? 0.0
+                               : static_cast<double>(repeats) /
+                                     static_cast<double>(mentions);
+  for (size_t t = 0; t < planted.size(); ++t) {
+    for (const auto& cv : r.views) {
+      bool hit = false;
+      for (size_t c : planted[t]) {
+        if (std::find(cv.view.columns.begin(), cv.view.columns.end(), c) !=
+            cv.view.columns.end()) {
+          hit = true;
+          break;
+        }
+      }
+      if (hit) {
+        ++m.themes_covered;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A3: disjointness (Eq. 4) ablation ===\n\n";
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const auto planted = ds.planted_views;
+  const std::string query = ds.selection_predicate;
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.3;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+
+  ResultTable out({"mode", "candidates", "top-10 column redundancy",
+                   "distinct themes covered (of " + std::to_string(planted.size()) +
+                       ")"});
+  const DiversityMetrics with_eq4 = Measure(&engine, query, planted, true, 10);
+  const DiversityMetrics without_eq4 = Measure(&engine, query, planted, false, 10);
+  out.AddRow({"disjoint (Eq. 4 on)", std::to_string(with_eq4.candidates),
+              Fmt(100.0 * with_eq4.redundancy, 3) + "%",
+              std::to_string(with_eq4.themes_covered)});
+  out.AddRow({"overlapping (Eq. 4 off)", std::to_string(without_eq4.candidates),
+              Fmt(100.0 * without_eq4.redundancy, 3) + "%",
+              std::to_string(without_eq4.themes_covered)});
+  out.Print();
+  std::cout << "\nPaper shape: without Eq. 4 the top-10 fills with subsets of "
+               "the dominant theme (high redundancy, fewer distinct themes); "
+               "with Eq. 4 the output is short and diverse.\n";
+  return 0;
+}

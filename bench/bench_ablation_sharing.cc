@@ -1,0 +1,62 @@
+// Experiment A1 — ablation of the shared-computation preparation (the full
+// paper's "strategy to share computations between queries", §3).
+//
+// kSharedSketch derives outside statistics as (global profile − selection):
+// one scan over the selected rows per query. kTwoScan scans both sides.
+// The harness replays an exploration workload in both modes and reports
+// total preparation time as a function of selectivity.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+#include "query/parser.h"
+#include "zig/component_builder.h"
+
+using namespace ziggy;
+using namespace ziggy::bench;
+
+int main() {
+  std::cout << "=== A1: shared-sketch vs two-scan preparation ===\n\n";
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  Table table = std::move(ds.table);
+  TableProfile profile = TableProfile::Compute(table).ValueOrDie();
+
+  // Selections of controlled selectivity (quantile bands of the driver).
+  const auto& driver = table.column(0).numeric_data();
+  ResultTable out({"selectivity", "shared ms/query", "two-scan ms/query", "speedup"});
+  for (double frac : {0.01, 0.05, 0.1, 0.25, 0.5}) {
+    const double lo = Quantile(driver, 1.0 - frac);
+    Selection sel(table.num_rows());
+    for (size_t i = 0; i < driver.size(); ++i) {
+      if (driver[i] >= lo) sel.Set(i);
+    }
+    const int reps = 20;
+    ComponentBuildOptions shared;
+    shared.mode = PreparationMode::kSharedSketch;
+    ComponentBuildOptions naive;
+    naive.mode = PreparationMode::kTwoScan;
+    const double shared_ms = TimeMs([&] {
+                               for (int i = 0; i < reps; ++i) {
+                                 BuildComponents(table, profile, sel, shared)
+                                     .ValueOrDie();
+                               }
+                             }) /
+                             reps;
+    const double naive_ms = TimeMs([&] {
+                              for (int i = 0; i < reps; ++i) {
+                                BuildComponents(table, profile, sel, naive)
+                                    .ValueOrDie();
+                              }
+                            }) /
+                            reps;
+    out.AddRow({Fmt(100.0 * frac, 3) + "%", Fmt(shared_ms, 4), Fmt(naive_ms, 4),
+                Fmt(naive_ms / shared_ms, 3) + "x"});
+  }
+  out.Print();
+  std::cout << "\nPaper shape: the shared strategy wins everywhere and the "
+               "advantage grows as queries get more selective (the common "
+               "case in exploration), approaching the full-scan / "
+               "selection-scan ratio.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment A2 — ablation of the tightness constraint MIN_tight (Eq. 3).
+//
+// Sweeping MIN_tight from 0 to 0.9 shows the knob's effect: at 0 the cut
+// degenerates toward one giant heterogeneous view (the pathology Eq. 1
+// alone would produce); raising it shatters the columns into small,
+// thematically coherent views; past the strongest intra-theme dependency
+// everything becomes singletons.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+using namespace ziggy;
+using namespace ziggy::bench;
+
+int main() {
+  std::cout << "=== A2: MIN_tight sweep (Eq. 3 ablation) ===\n\n";
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const auto planted = ds.planted_views;
+  const std::string query = ds.selection_predicate;
+  ZiggyOptions opts;
+  opts.search.max_views = 0;  // keep all views
+  opts.validation.drop_insignificant = false;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+
+  ResultTable out({"MIN_tight", "views", "mean size", "max size", "mean tightness",
+                   "top score", "recovery"});
+  for (double mt : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    engine.mutable_options()->search.min_tightness = mt;
+    Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+    double size_sum = 0.0;
+    size_t size_max = 0;
+    double tight_sum = 0.0;
+    for (const auto& cv : r.views) {
+      size_sum += static_cast<double>(cv.view.columns.size());
+      size_max = std::max(size_max, cv.view.columns.size());
+      tight_sum += cv.view.tightness;
+    }
+    const double n = static_cast<double>(r.views.size());
+    out.AddRow({Fmt(mt, 2), std::to_string(r.views.size()), Fmt(size_sum / n, 3),
+                std::to_string(size_max), Fmt(tight_sum / n, 3),
+                Fmt(r.views.empty() ? 0.0 : r.views[0].view.score.total, 3),
+                Fmt(100.0 * RecoveryRate(planted, r.views), 4) + "%"});
+  }
+  out.Print();
+  std::cout << "\nPaper shape: very low MIN_tight merges unrelated columns "
+               "into broad views; very high MIN_tight shatters themes into "
+               "singletons; the useful range sits in between, and the "
+               "dendrogram (engine.DendrogramAscii()) is the visual aid for "
+               "picking it.\n";
+  return 0;
+}

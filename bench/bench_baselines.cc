@@ -1,0 +1,148 @@
+// Experiment B1 — Ziggy vs the black-box and dimensionality-reduction
+// approaches the paper argues against (§1, §2.2).
+//
+// Contenders on the US Crime analogue:
+//   ziggy        clustering view search + Zig-Dissimilarity + explanations
+//   kl-beam      greedy beam search on symmetrized diagonal-Gaussian KL
+//   centroid     greedy beam search on standardized centroid distance
+//   exhaustive   exact KL enumeration (restricted width: it cannot scale)
+//   pca          PCA of the selection (the "transform the data" strawman)
+//
+// Reported: runtime, planted-theme recovery, and explainability (does the
+// method point at original columns / produce verifiable statements?).
+
+#include <iostream>
+
+#include "baselines/gaussian.h"
+#include "baselines/pca.h"
+#include "baselines/subspace_search.h"
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+using namespace ziggy;
+using namespace ziggy::bench;
+
+int main() {
+  std::cout << "=== B1: Ziggy vs black-box subspace search vs PCA ===\n\n";
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const auto planted = ds.planted_views;
+  const std::string query = ds.selection_predicate;
+  Table table = std::move(ds.table);
+
+  ExprPtr pred = ParseQuery(query).ValueOrDie();
+  Selection sel = pred->Evaluate(table).ValueOrDie();
+
+  ResultTable out({"method", "time ms", "recovery", "explains?", "notes"});
+
+  // ---- Ziggy ---------------------------------------------------------------
+  {
+    ZiggyOptions opts;
+    opts.search.min_tightness = 0.3;
+    opts.search.max_views = 10;
+    Table copy = table;
+    std::vector<CharacterizedView> views;
+    const double ms = TimeMs([&] {
+      ZiggyEngine engine = ZiggyEngine::Create(std::move(copy), opts).ValueOrDie();
+      Characterization c = engine.Characterize(sel).ValueOrDie();
+      views = std::move(c.views);
+    });
+    out.AddRow({"ziggy", Fmt(ms, 4), Fmt(100.0 * RecoveryRate(planted, views), 4) + "%",
+                "yes", "verifiable text per view"});
+  }
+
+  // ---- KL beam search --------------------------------------------------------
+  {
+    std::vector<std::vector<size_t>> found;
+    const double ms = TimeMs([&] {
+      GaussianKlScorer scorer(table, sel);
+      BeamSearchOptions opts;
+      opts.max_size = 3;
+      opts.top_k = 10;
+      for (auto& r : BeamSubspaceSearch(scorer, opts)) found.push_back(r.columns);
+    });
+    out.AddRow({"kl-beam", Fmt(ms, 4),
+                Fmt(100.0 * RecoveryRateColumns(planted, found), 4) + "%", "no",
+                "score only, top-k overlaps heavily"});
+  }
+
+  // ---- Full-covariance KL beam search ------------------------------------------
+  {
+    std::vector<std::vector<size_t>> found;
+    const double ms = TimeMs([&] {
+      FullGaussianKlScorer scorer(table, sel);
+      BeamSearchOptions opts;
+      opts.max_size = 3;
+      opts.top_k = 10;
+      for (auto& r : BeamSubspaceSearch(scorer, opts)) found.push_back(r.columns);
+    });
+    out.AddRow({"full-cov-kl-beam", Fmt(ms, 4),
+                Fmt(100.0 * RecoveryRateColumns(planted, found), 4) + "%", "no",
+                "sees correlation breaks, still opaque"});
+  }
+
+  // ---- Centroid beam search ---------------------------------------------------
+  {
+    std::vector<std::vector<size_t>> found;
+    const double ms = TimeMs([&] {
+      CentroidDistanceScorer scorer(table, sel);
+      BeamSearchOptions opts;
+      opts.max_size = 3;
+      opts.top_k = 10;
+      for (auto& r : BeamSubspaceSearch(scorer, opts)) found.push_back(r.columns);
+    });
+    out.AddRow({"centroid", Fmt(ms, 4),
+                Fmt(100.0 * RecoveryRateColumns(planted, found), 4) + "%", "no",
+                "mean shifts only (misses variance/correlation)"});
+  }
+
+  // ---- Exhaustive search (restricted) -----------------------------------------
+  {
+    // Exhaustive enumeration at size <= 3 over 127 numeric columns is
+    // ~350k subsets; demonstrate exactness on the first 24 columns where
+    // the planted themes live, and report the cost honestly.
+    std::vector<std::string> names;
+    for (size_t c = 0; c < 24 && c < table.num_columns(); ++c) {
+      names.push_back(table.schema().field(c).name);
+    }
+    Table narrow = table.Project(names).ValueOrDie();
+    std::vector<std::vector<size_t>> found;
+    const double ms = TimeMs([&] {
+      GaussianKlScorer scorer(narrow, sel);
+      for (auto& r : ExhaustiveSubspaceSearch(scorer, 3, 10)) {
+        found.push_back(r.columns);
+      }
+    });
+    out.AddRow({"exhaustive(24col)", Fmt(ms, 4),
+                Fmt(100.0 * RecoveryRateColumns(planted, found), 4) + "%", "no",
+                "exact but restricted to 24 columns"});
+  }
+
+  // ---- PCA --------------------------------------------------------------------
+  {
+    double mixing = 0.0;
+    std::vector<std::vector<size_t>> found;
+    const double ms = TimeMs([&] {
+      PcaResult pca = PcaCharacterize(table, sel, 5).ValueOrDie();
+      for (const auto& pc : pca.components) {
+        mixing += pc.EffectiveDimensionality();
+        // Give PCA the benefit of the doubt: its "view" is the top-4
+        // loading columns of each component, mapped back to table indices.
+        std::vector<size_t> cols;
+        for (size_t idx : pc.TopLoadings(4)) cols.push_back(pca.columns[idx]);
+        found.push_back(std::move(cols));
+      }
+      mixing /= static_cast<double>(pca.components.size());
+    });
+    out.AddRow({"pca", Fmt(ms, 4),
+                Fmt(100.0 * RecoveryRateColumns(planted, found), 4) + "%", "no",
+                "components mix ~" + Fmt(mixing, 3) + " columns each"});
+  }
+
+  out.Print();
+  std::cout << "\nPaper shape: Ziggy matches the divergence baselines on "
+               "recovery while being the only method that explains its "
+               "choices; PCA mixes columns and ignores the complement; "
+               "exhaustive search is exact but cannot scale past a few dozen "
+               "columns.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Experiment P1 — google-benchmark micro-costs of Ziggy's primitives:
+// component construction, profile build, clustering, scoring, parsing.
+// These are the constants behind every end-to-end number in the other
+// harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "baselines/subspace_search.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "query/parser.h"
+#include "views/clustering.h"
+#include "views/view_search.h"
+#include "zig/component_builder.h"
+
+namespace ziggy {
+namespace {
+
+SyntheticDataset MakeBenchDataset(size_t rows, size_t cols) {
+  SyntheticSpec spec;
+  spec.num_rows = rows;
+  spec.planted_fraction = 0.1;
+  spec.seed = 5;
+  const size_t themes = std::max<size_t>(1, cols / 8);
+  for (size_t t = 0; t < themes; ++t) {
+    spec.themes.push_back(
+        {"t" + std::to_string(t), 4, 0.8, t == 0 ? 1.0 : 0.0, 1.0, 0.0});
+  }
+  const size_t used = 1 + 4 * themes;
+  spec.num_noise_columns = cols > used ? cols - used : 0;
+  return GenerateSynthetic(spec).ValueOrDie();
+}
+
+void BM_ProfileBuild(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(static_cast<size_t>(state.range(0)),
+                                         static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TableProfile::Compute(ds.table).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(1));
+}
+BENCHMARK(BM_ProfileBuild)->Args({2000, 32})->Args({2000, 128})->Args({8000, 32});
+
+void BM_BuildComponentsShared(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(static_cast<size_t>(state.range(0)),
+                                         static_cast<size_t>(state.range(1)));
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildComponents(ds.table, profile, ds.planted).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildComponentsShared)
+    ->Args({2000, 32})
+    ->Args({2000, 128})
+    ->Args({8000, 32});
+
+void BM_BuildComponentsTwoScan(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(static_cast<size_t>(state.range(0)),
+                                         static_cast<size_t>(state.range(1)));
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  ComponentBuildOptions opts;
+  opts.mode = PreparationMode::kTwoScan;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildComponents(ds.table, profile, ds.planted, opts).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildComponentsTwoScan)
+    ->Args({2000, 32})
+    ->Args({2000, 128})
+    ->Args({8000, 32});
+
+void BM_CompleteLinkage(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> dist(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double v = rng.Uniform(0, 1);
+      dist[i * n + j] = v;
+      dist[j * n + i] = v;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CompleteLinkage(dist, n).ValueOrDie());
+  }
+}
+BENCHMARK(BM_CompleteLinkage)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ViewSearch(benchmark::State& state) {
+  SyntheticDataset ds =
+      MakeBenchDataset(2000, static_cast<size_t>(state.range(0)));
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(ds.table, profile, ds.planted).ValueOrDie();
+  ViewSearchOptions opts;
+  opts.min_tightness = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SearchViews(profile, ct, opts).ValueOrDie());
+  }
+}
+BENCHMARK(BM_ViewSearch)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_QueryParse(benchmark::State& state) {
+  const std::string q =
+      "SELECT * FROM t WHERE a > 1.5 AND (b BETWEEN 0 AND 2 OR c IN "
+      "('x', 'y', 'z')) AND d IS NOT NULL";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ParseQuery(q).ValueOrDie());
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+void BM_PredicateEval(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(static_cast<size_t>(state.range(0)), 16);
+  ExprPtr e = ParsePredicate(ds.selection_predicate).ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(e->Evaluate(ds.table).ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PredicateEval)->Arg(2000)->Arg(32000);
+
+void BM_IncrementalPrepare(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(static_cast<size_t>(state.range(0)), 64);
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  Preparer prep(&ds.table, &profile, ComponentBuildOptions{});
+  // Warm the state, then alternate between two selections differing by a
+  // handful of rows so every iteration takes the delta path.
+  Selection a = ds.planted;
+  Selection b = a;
+  for (size_t r = 0; r < 8; ++r) b.Set(r, !b.Contains(r));
+  prep.Prepare(a).ValueOrDie();
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prep.Prepare(flip ? a : b).ValueOrDie());
+    flip = !flip;
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_IncrementalPrepare)->Arg(2000)->Arg(32000);
+
+void BM_ProfileSerialize(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(4000, 64);
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  for (auto _ : state) {
+    std::stringstream buf;
+    profile.Serialize(&buf);
+    benchmark::DoNotOptimize(TableProfile::Deserialize(&buf).ValueOrDie());
+  }
+}
+BENCHMARK(BM_ProfileSerialize);
+
+void BM_KlScorerBuild(benchmark::State& state) {
+  SyntheticDataset ds = MakeBenchDataset(2000, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    GaussianKlScorer scorer(ds.table, ds.planted);
+    benchmark::DoNotOptimize(scorer.Score(scorer.EligibleColumns()));
+  }
+}
+BENCHMARK(BM_KlScorerBuild)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace ziggy
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Experiment U3 — §4.2 OECD Countries and Innovation use case
+// (6823 tuples, 519 columns).
+//
+// "We will show that Ziggy can highlight complex phenomena, in effect
+// generating hypotheses for future exploration." The wide-table stress
+// shape: hundreds of correlated indicators, a handful of them genuinely
+// characteristic of high-patent regions.
+
+#include <iostream>
+#include <optional>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace ziggy;
+  using namespace ziggy::bench;
+
+  std::cout << "=== U3: OECD Countries & Innovation use case (6823 x 519) ===\n\n";
+  SyntheticDataset ds = MakeOecdDataset().ValueOrDie();
+  const auto planted = ds.planted_views;
+  const std::string query = ds.selection_predicate;
+  const size_t table_bytes = ds.table.MemoryUsageBytes();
+
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.3;
+  opts.search.max_views = 8;
+
+  std::optional<ZiggyEngine> engine_holder;
+  const double create_ms = TimeMs([&] {
+    engine_holder.emplace(ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie());
+  });
+  ZiggyEngine& engine = *engine_holder;
+
+  Result<Characterization> r = Status::Internal("unset");
+  const double query_ms = TimeMs([&] { r = engine.CharacterizeQuery(query); });
+  Characterization c = std::move(r).ValueOrDie();
+
+  // A second, different query reuses the profile: the amortization claim.
+  Result<Characterization> r2 = Status::Internal("unset");
+  const double query2_ms =
+      TimeMs([&] { r2 = engine.CharacterizeQuery("rnd_spending_0 > 1.0"); });
+
+  ResultTable table({"metric", "value"});
+  table.AddRow({"table size", std::to_string(table_bytes / (1024 * 1024)) + " MiB"});
+  table.AddRow({"profile memory", std::to_string(engine.profile().MemoryUsageBytes() /
+                                                 (1024 * 1024)) +
+                                      " MiB"});
+  table.AddRow({"tracked numeric pairs",
+                std::to_string(engine.profile().tracked_numeric_pairs().size())});
+  table.AddRow({"engine build (profile) ms", Fmt(create_ms, 4)});
+  table.AddRow({"query 1 characterization ms", Fmt(query_ms, 4)});
+  table.AddRow({"query 2 characterization ms", Fmt(query2_ms, 4)});
+  table.AddRow({"significant views (query 1)", std::to_string(c.views.size())});
+  table.AddRow({"planted-theme recovery",
+                Fmt(100.0 * RecoveryRate(planted, c.views), 4) + "%"});
+  table.Print();
+
+  std::cout << "\nGenerated hypotheses (top views):\n";
+  size_t rank = 1;
+  for (const auto& cv : c.views) {
+    std::cout << "  #" << rank++ << " " << cv.view.ColumnNames(engine.table().schema())
+              << "\n     " << cv.explanation.headline << "\n";
+    if (rank > 5) break;
+  }
+  std::cout << "\nPaper shape: even at 519 columns the per-query cost stays "
+               "interactive once the one-off profile is built, and the "
+               "planted innovation indicators surface as hypotheses.\n";
+  return 0;
+}

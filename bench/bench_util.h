@@ -1,0 +1,111 @@
+// Shared helpers for Ziggy's benchmark harnesses: aligned table printing,
+// wall-clock timing, and planted-view recovery metrics.
+
+#ifndef ZIGGY_BENCH_BENCH_UTIL_H_
+#define ZIGGY_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/ziggy_engine.h"
+
+namespace ziggy {
+namespace bench {
+
+/// Milliseconds spent running `fn` once.
+inline double TimeMs(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Simple aligned-column table writer for paper-style result rows.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> header) {
+    rows_.push_back(std::move(header));
+  }
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> widths;
+    for (const auto& row : rows_) {
+      if (widths.size() < row.size()) widths.resize(row.size(), 0);
+      for (size_t i = 0; i < row.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        os << rows_[r][i] << std::string(widths[i] - rows_[r][i].size() + 2, ' ');
+      }
+      os << "\n";
+      if (r == 0) {
+        size_t total = 0;
+        for (size_t w : widths) total += w + 2;
+        os << std::string(total, '-') << "\n";
+      }
+    }
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fraction of planted views recovered in `found` (a view is recovered when
+/// some output view contains at least half of its columns).
+inline double RecoveryRate(const std::vector<std::vector<size_t>>& planted,
+                           const std::vector<CharacterizedView>& found) {
+  if (planted.empty()) return 1.0;
+  size_t recovered = 0;
+  for (const auto& gt : planted) {
+    for (const auto& cv : found) {
+      size_t overlap = 0;
+      for (size_t c : gt) {
+        if (std::find(cv.view.columns.begin(), cv.view.columns.end(), c) !=
+            cv.view.columns.end()) {
+          ++overlap;
+        }
+      }
+      if (2 * overlap >= gt.size()) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(recovered) / static_cast<double>(planted.size());
+}
+
+/// Fraction of planted views covered by plain column sets (for baselines).
+inline double RecoveryRateColumns(const std::vector<std::vector<size_t>>& planted,
+                                  const std::vector<std::vector<size_t>>& found) {
+  if (planted.empty()) return 1.0;
+  size_t recovered = 0;
+  for (const auto& gt : planted) {
+    for (const auto& cols : found) {
+      size_t overlap = 0;
+      for (size_t c : gt) {
+        if (std::find(cols.begin(), cols.end(), c) != cols.end()) ++overlap;
+      }
+      if (2 * overlap >= gt.size()) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(recovered) / static_cast<double>(planted.size());
+}
+
+inline std::string Fmt(double v, int digits = 3) { return FormatDouble(v, digits); }
+
+}  // namespace bench
+}  // namespace ziggy
+
+#endif  // ZIGGY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Interactive explorer REPL: the CLI stand-in for the demo's Shiny web UI
+// (paper Figure 5). The input box at the top of the demo UI is stdin; the
+// ranked views with explanations are stdout.
+//
+// Usage:
+//   explorer_repl [data.csv]        load a CSV (default: synthetic crime)
+// Commands at the prompt:
+//   <predicate>                     characterize, e.g. population_0 > 1.5
+//   \schema                         list columns and types
+//   \dendrogram                     print the column dendrogram
+//   \tightness <value>              set MIN_tight
+//   \views <k>                      set the number of views returned
+//   \plot <x> <y>                   scatter plot of the last selection
+//   \quit                           exit
+
+#include <iostream>
+#include <string>
+
+#include <optional>
+
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "engine/ziggy_engine.h"
+#include "explain/plot.h"
+#include "query/parser.h"
+#include "storage/csv.h"
+
+using namespace ziggy;
+
+int main(int argc, char** argv) {
+  Table table;
+  if (argc > 1) {
+    Result<Table> loaded = ReadCsvFile(argv[1]);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load " << argv[1] << ": " << loaded.status() << "\n";
+      return 1;
+    }
+    table = std::move(loaded).ValueOrDie();
+    std::cout << "Loaded " << argv[1] << ": " << table.num_rows() << " rows, "
+              << table.num_columns() << " columns\n";
+  } else {
+    SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+    table = std::move(ds.table);
+    std::cout << "No CSV given; using the synthetic US Crime table ("
+              << table.num_rows() << " x " << table.num_columns() << ").\n"
+              << "Try: violent_crime_rate > 1.5\n";
+  }
+
+  ZiggyOptions options;
+  options.search.min_tightness = 0.3;
+  options.search.max_views = 6;
+  Result<ZiggyEngine> engine_result = ZiggyEngine::Create(std::move(table), options);
+  if (!engine_result.ok()) {
+    std::cerr << engine_result.status() << "\n";
+    return 1;
+  }
+  ZiggyEngine engine = std::move(engine_result).ValueOrDie();
+
+  std::optional<Selection> last_selection;
+  std::string line;
+  std::cout << "\nziggy> " << std::flush;
+  while (std::getline(std::cin, line)) {
+    const std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) {
+      std::cout << "ziggy> " << std::flush;
+      continue;
+    }
+    if (trimmed == "\\quit" || trimmed == "\\q") break;
+    if (trimmed == "\\schema") {
+      std::cout << engine.table().schema().ToString() << "\n";
+    } else if (trimmed == "\\dendrogram") {
+      std::cout << engine.DendrogramAscii();
+    } else if (trimmed.substr(0, 10) == "\\tightness") {
+      Result<double> v = ParseDouble(trimmed.substr(10));
+      if (v.ok() && *v >= 0.0 && *v <= 1.0) {
+        engine.mutable_options()->search.min_tightness = *v;
+        std::cout << "MIN_tight = " << *v << "\n";
+      } else {
+        std::cout << "usage: \\tightness <0..1>\n";
+      }
+    } else if (trimmed.substr(0, 6) == "\\views") {
+      Result<int64_t> v = ParseInt(trimmed.substr(6));
+      if (v.ok() && *v >= 0) {
+        engine.mutable_options()->search.max_views = static_cast<size_t>(*v);
+        std::cout << "max views = " << *v << "\n";
+      } else {
+        std::cout << "usage: \\views <k>\n";
+      }
+    } else if (trimmed.substr(0, 5) == "\\plot") {
+      auto args = Split(TrimWhitespace(trimmed.substr(5)), ' ');
+      if (args.size() != 2 || !last_selection.has_value()) {
+        std::cout << "usage: \\plot <x-column> <y-column>  (after a query)\n";
+      } else {
+        Result<std::string> plot =
+            ScatterPlot(engine.table(), *last_selection, args[0], args[1]);
+        std::cout << (plot.ok() ? *plot : plot.status().ToString() + "\n");
+      }
+    } else {
+      Result<ExprPtr> pred = ParseQuery(trimmed);
+      Result<Characterization> r =
+          pred.ok() ? [&]() -> Result<Characterization> {
+            Result<Selection> sel = (*pred)->Evaluate(engine.table());
+            if (!sel.ok()) return sel.status();
+            last_selection = *sel;
+            return engine.Characterize(*sel);
+          }()
+                    : Result<Characterization>(pred.status());
+      if (!r.ok()) {
+        std::cout << "error: " << r.status() << "\n";
+      } else {
+        std::cout << r->ToString(engine.table().schema());
+      }
+    }
+    std::cout << "ziggy> " << std::flush;
+  }
+  std::cout << "\nbye\n";
+  return 0;
+}

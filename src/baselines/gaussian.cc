@@ -1,0 +1,190 @@
+#include "baselines/gaussian.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/descriptive.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+Status CholeskyFactorize(std::vector<double>* matrix, size_t n) {
+  ZIGGY_CHECK(matrix != nullptr && matrix->size() == n * n);
+  std::vector<double>& a = *matrix;
+  for (size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::InvalidArgument("matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / ljj;
+    }
+  }
+  // Zero the upper triangle for cleanliness.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) a[i * n + j] = 0.0;
+  }
+  return Status::OK();
+}
+
+double CholeskyLogDet(const std::vector<double>& l_factor, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::log(l_factor[i * n + i]);
+  return 2.0 * s;
+}
+
+std::vector<double> CholeskySolve(const std::vector<double>& l_factor, size_t n,
+                                  std::vector<double> b) {
+  // Forward: L y = b.
+  for (size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (size_t k = 0; k < i; ++k) v -= l_factor[i * n + k] * b[k];
+    b[i] = v / l_factor[i * n + i];
+  }
+  // Backward: L^T x = y.
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double v = b[i];
+    for (size_t k = i + 1; k < n; ++k) v -= l_factor[k * n + i] * b[k];
+    b[i] = v / l_factor[i * n + i];
+  }
+  return b;
+}
+
+namespace {
+
+// tr(A^-1 B) given the Cholesky factor of A: solve per column of B.
+double TraceInverseProduct(const std::vector<double>& l_factor,
+                           const std::vector<double>& b, size_t n) {
+  double trace = 0.0;
+  std::vector<double> col(n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < n; ++i) col[i] = b[i * n + j];
+    std::vector<double> x = CholeskySolve(l_factor, n, col);
+    trace += x[j];
+  }
+  return trace;
+}
+
+// One-directional KL(N1 || N2).
+Result<double> GaussianKlDirected(const std::vector<double>& mu1,
+                                  const std::vector<double>& sigma1,
+                                  const std::vector<double>& mu2,
+                                  std::vector<double> sigma2_chol, size_t k,
+                                  double logdet1) {
+  const double logdet2 = CholeskyLogDet(sigma2_chol, k);
+  const double trace = TraceInverseProduct(sigma2_chol, sigma1, k);
+  std::vector<double> diff(k);
+  for (size_t i = 0; i < k; ++i) diff[i] = mu2[i] - mu1[i];
+  const std::vector<double> solved = CholeskySolve(sigma2_chol, k, diff);
+  double maha = 0.0;
+  for (size_t i = 0; i < k; ++i) maha += diff[i] * solved[i];
+  return 0.5 * (trace + maha - static_cast<double>(k) + logdet2 - logdet1);
+}
+
+constexpr double kRidge = 1e-9;
+
+}  // namespace
+
+Result<double> SymmetricGaussianKlMultivariate(const std::vector<double>& mu1,
+                                               const std::vector<double>& sigma1,
+                                               const std::vector<double>& mu2,
+                                               const std::vector<double>& sigma2) {
+  const size_t k = mu1.size();
+  if (mu2.size() != k || sigma1.size() != k * k || sigma2.size() != k * k) {
+    return Status::InvalidArgument("dimension mismatch in Gaussian KL");
+  }
+  if (k == 0) return 0.0;
+  std::vector<double> s1 = sigma1;
+  std::vector<double> s2 = sigma2;
+  for (size_t i = 0; i < k; ++i) {
+    s1[i * k + i] += kRidge + kRidge * std::fabs(sigma1[i * k + i]);
+    s2[i * k + i] += kRidge + kRidge * std::fabs(sigma2[i * k + i]);
+  }
+  std::vector<double> chol1 = s1;
+  std::vector<double> chol2 = s2;
+  ZIGGY_RETURN_NOT_OK(CholeskyFactorize(&chol1, k));
+  ZIGGY_RETURN_NOT_OK(CholeskyFactorize(&chol2, k));
+  const double logdet1 = CholeskyLogDet(chol1, k);
+  const double logdet2 = CholeskyLogDet(chol2, k);
+  ZIGGY_ASSIGN_OR_RETURN(double kl12,
+                         GaussianKlDirected(mu1, s1, mu2, chol2, k, logdet1));
+  ZIGGY_ASSIGN_OR_RETURN(double kl21,
+                         GaussianKlDirected(mu2, s2, mu1, chol1, k, logdet2));
+  return std::max(0.0, kl12) + std::max(0.0, kl21);
+}
+
+FullGaussianKlScorer::FullGaussianKlScorer(const Table& table,
+                                           const Selection& selection) {
+  slot_of_column_.assign(table.num_columns(), -1);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).is_numeric()) {
+      slot_of_column_[c] = static_cast<int64_t>(eligible_.size());
+      eligible_.push_back(c);
+    }
+  }
+  const size_t m = eligible_.size();
+  mean_inside_.assign(m, 0.0);
+  mean_outside_.assign(m, 0.0);
+  cov_inside_.assign(m * m, 0.0);
+  cov_outside_.assign(m * m, 0.0);
+
+  // Pairwise complete-case moments for both sides. Rows with NaN in either
+  // column of a pair are skipped for that pair (consistent with the rest of
+  // the library).
+  for (size_t i = 0; i < m; ++i) {
+    const auto& x = table.column(eligible_[i]).numeric_data();
+    NumericStats in_s = ComputeNumericStats(x, selection);
+    NumericStats out_s = ComputeNumericStats(x, selection.Invert());
+    mean_inside_[i] = in_s.mean;
+    mean_outside_[i] = out_s.mean;
+    cov_inside_[i * m + i] = in_s.Variance();
+    cov_outside_[i * m + i] = out_s.Variance();
+    for (size_t j = i + 1; j < m; ++j) {
+      const auto& y = table.column(eligible_[j]).numeric_data();
+      PairStats in_p;
+      PairStats out_p;
+      for (size_t r = 0; r < x.size(); ++r) {
+        if (IsNullNumeric(x[r]) || IsNullNumeric(y[r])) continue;
+        if (selection.Contains(r)) {
+          in_p.Add(x[r], y[r]);
+        } else {
+          out_p.Add(x[r], y[r]);
+        }
+      }
+      cov_inside_[i * m + j] = cov_inside_[j * m + i] = in_p.Covariance();
+      cov_outside_[i * m + j] = cov_outside_[j * m + i] = out_p.Covariance();
+    }
+  }
+}
+
+double FullGaussianKlScorer::Score(const std::vector<size_t>& columns) const {
+  const size_t k = columns.size();
+  const size_t m = eligible_.size();
+  std::vector<double> mu1(k);
+  std::vector<double> mu2(k);
+  std::vector<double> s1(k * k);
+  std::vector<double> s2(k * k);
+  for (size_t a = 0; a < k; ++a) {
+    const int64_t sa = slot_of_column_[columns[a]];
+    ZIGGY_DCHECK(sa >= 0);
+    mu1[a] = mean_inside_[static_cast<size_t>(sa)];
+    mu2[a] = mean_outside_[static_cast<size_t>(sa)];
+    for (size_t b = 0; b < k; ++b) {
+      const int64_t sb = slot_of_column_[columns[b]];
+      s1[a * k + b] =
+          cov_inside_[static_cast<size_t>(sa) * m + static_cast<size_t>(sb)];
+      s2[a * k + b] =
+          cov_outside_[static_cast<size_t>(sa) * m + static_cast<size_t>(sb)];
+    }
+  }
+  Result<double> kl = SymmetricGaussianKlMultivariate(mu1, s1, mu2, s2);
+  return kl.ok() ? *kl : 0.0;
+}
+
+}  // namespace ziggy

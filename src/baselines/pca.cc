@@ -1,0 +1,150 @@
+#include "baselines/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "stats/descriptive.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+double PrincipalComponent::EffectiveDimensionality() const {
+  double sum2 = 0.0;
+  double sum4 = 0.0;
+  for (double l : loadings) {
+    const double s = l * l;
+    sum2 += s;
+    sum4 += s * s;
+  }
+  if (sum4 <= 0.0) return 0.0;
+  return (sum2 * sum2) / sum4;
+}
+
+std::vector<size_t> PrincipalComponent::TopLoadings(size_t k) const {
+  std::vector<size_t> idx(loadings.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [this](size_t a, size_t b) {
+    return std::fabs(loadings[a]) > std::fabs(loadings[b]);
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+Status JacobiEigenDecomposition(const std::vector<double>& matrix, size_t n,
+                                std::vector<double>* eigenvalues,
+                                std::vector<double>* eigenvectors,
+                                size_t max_sweeps) {
+  if (matrix.size() != n * n) {
+    return Status::InvalidArgument("matrix size does not match n");
+  }
+  ZIGGY_CHECK(eigenvalues != nullptr && eigenvectors != nullptr);
+  std::vector<double> a = matrix;  // working copy, symmetric
+  std::vector<double> v(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto off_diagonal_norm = [&]() {
+    double s = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) s += a[i * n + j] * a[i * n + j];
+    }
+    return std::sqrt(s);
+  };
+
+  constexpr double kTol = 1e-12;
+  for (size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() < kTol) break;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = a[p * n + p];
+        const double aqq = a[q * n + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = std::copysign(1.0, theta) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p, q, theta) on both sides of A and
+        // accumulate into V.
+        for (size_t k = 0; k < n; ++k) {
+          const double akp = a[k * n + p];
+          const double akq = a[k * n + q];
+          a[k * n + p] = c * akp - s * akq;
+          a[k * n + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double apk = a[p * n + k];
+          const double aqk = a[q * n + k];
+          a[p * n + k] = c * apk - s * aqk;
+          a[q * n + k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double vkp = v[k * n + p];
+          const double vkq = v[k * n + q];
+          v[k * n + p] = c * vkp - s * vkq;
+          v[k * n + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending eigenvalue.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&a, n](size_t x, size_t y) { return a[x * n + x] > a[y * n + y]; });
+  eigenvalues->resize(n);
+  eigenvectors->assign(n * n, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t src = order[r];
+    (*eigenvalues)[r] = a[src * n + src];
+    for (size_t k = 0; k < n; ++k) (*eigenvectors)[r * n + k] = v[k * n + src];
+  }
+  return Status::OK();
+}
+
+Result<PcaResult> PcaCharacterize(const Table& table, const Selection& selection,
+                                  size_t num_components) {
+  PcaResult out;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).is_numeric()) out.columns.push_back(c);
+  }
+  const size_t m = out.columns.size();
+  if (m < 2) return Status::InvalidArgument("PCA needs at least 2 numeric columns");
+
+  // Correlation matrix of the selected rows.
+  std::vector<double> corr(m * m, 0.0);
+  for (size_t i = 0; i < m; ++i) corr[i * m + i] = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    const auto& x = table.column(out.columns[i]).numeric_data();
+    for (size_t j = i + 1; j < m; ++j) {
+      const auto& y = table.column(out.columns[j]).numeric_data();
+      const double r = ComputePairStats(x, y, selection).Correlation();
+      corr[i * m + j] = r;
+      corr[j * m + i] = r;
+    }
+  }
+
+  std::vector<double> eigenvalues;
+  std::vector<double> eigenvectors;
+  ZIGGY_RETURN_NOT_OK(JacobiEigenDecomposition(corr, m, &eigenvalues, &eigenvectors));
+
+  double total = 0.0;
+  for (double e : eigenvalues) total += std::max(0.0, e);
+  num_components = std::min(num_components, m);
+  out.components.reserve(num_components);
+  for (size_t k = 0; k < num_components; ++k) {
+    PrincipalComponent pc;
+    pc.eigenvalue = eigenvalues[k];
+    pc.explained_variance_ratio = total > 0.0 ? std::max(0.0, eigenvalues[k]) / total : 0.0;
+    pc.loadings.assign(eigenvectors.begin() + static_cast<int64_t>(k * m),
+                       eigenvectors.begin() + static_cast<int64_t>((k + 1) * m));
+    out.components.push_back(std::move(pc));
+  }
+  return out;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,58 @@
+// PCA-based characterization: the dimensionality-reduction strawman of
+// paper §1 ("these methods transform the data ... the tuples that the
+// users visualize are not those that they requested in the first place").
+//
+// We implement PCA from scratch (covariance/correlation matrix + cyclic
+// Jacobi eigendecomposition) and expose the property the paper criticizes:
+// principal components mix many original columns, quantified by the
+// effective dimensionality of their loading vectors.
+
+#ifndef ZIGGY_BASELINES_PCA_H_
+#define ZIGGY_BASELINES_PCA_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "storage/selection.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief One principal component.
+struct PrincipalComponent {
+  double eigenvalue = 0.0;
+  double explained_variance_ratio = 0.0;
+  std::vector<double> loadings;  ///< one weight per input column
+
+  /// Effective number of columns the component mixes: the inverse
+  /// Herfindahl index of squared loadings, 1 = a single column, m = all
+  /// columns equally. The paper's interpretability complaint, as a number.
+  double EffectiveDimensionality() const;
+
+  /// Indices of the `k` largest-|loading| input columns.
+  std::vector<size_t> TopLoadings(size_t k) const;
+};
+
+/// \brief PCA result over a set of numeric columns.
+struct PcaResult {
+  std::vector<size_t> columns;  ///< the input columns, in loading order
+  std::vector<PrincipalComponent> components;  ///< sorted by eigenvalue desc
+};
+
+/// \brief Jacobi eigendecomposition of a dense symmetric matrix (row-major
+/// n*n). Returns eigenvalues (descending) and matching eigenvectors as rows
+/// of `eigenvectors` (n*n, row-major).
+Status JacobiEigenDecomposition(const std::vector<double>& matrix, size_t n,
+                                std::vector<double>* eigenvalues,
+                                std::vector<double>* eigenvectors,
+                                size_t max_sweeps = 64);
+
+/// \brief Runs PCA on the correlation matrix of the *selected* rows of the
+/// numeric columns of `table` (what "reduce the dimensionality of the
+/// user's selection" means), keeping `num_components` components.
+Result<PcaResult> PcaCharacterize(const Table& table, const Selection& selection,
+                                  size_t num_components);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_BASELINES_PCA_H_

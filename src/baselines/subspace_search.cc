@@ -1,0 +1,175 @@
+#include "baselines/subspace_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+namespace {
+
+// Symmetrized KL between two univariate Gaussians.
+double SymmetricGaussianKl(double m1, double v1, double m2, double v2) {
+  constexpr double kVarFloor = 1e-12;
+  v1 = std::max(v1, kVarFloor);
+  v2 = std::max(v2, kVarFloor);
+  const double d2 = (m1 - m2) * (m1 - m2);
+  const double kl12 = 0.5 * (std::log(v2 / v1) + (v1 + d2) / v2 - 1.0);
+  const double kl21 = 0.5 * (std::log(v1 / v2) + (v2 + d2) / v1 - 1.0);
+  return kl12 + kl21;
+}
+
+void ComputeSideMoments(const Table& table, const Selection& selection,
+                        std::vector<NumericStats>* inside,
+                        std::vector<NumericStats>* outside,
+                        std::vector<size_t>* eligible) {
+  const size_t m = table.num_columns();
+  inside->assign(m, NumericStats{});
+  outside->assign(m, NumericStats{});
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = table.column(c);
+    if (!col.is_numeric()) continue;
+    const auto& data = col.numeric_data();
+    for (size_t r = 0; r < data.size(); ++r) {
+      if (IsNullNumeric(data[r])) continue;
+      if (selection.Contains(r)) {
+        (*inside)[c].Add(data[r]);
+      } else {
+        (*outside)[c].Add(data[r]);
+      }
+    }
+    if ((*inside)[c].count >= 2 && (*outside)[c].count >= 2) {
+      eligible->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+GaussianKlScorer::GaussianKlScorer(const Table& table, const Selection& selection) {
+  std::vector<NumericStats> inside;
+  std::vector<NumericStats> outside;
+  ComputeSideMoments(table, selection, &inside, &outside, &eligible_);
+  per_column_.assign(table.num_columns(), 0.0);
+  for (size_t c : eligible_) {
+    per_column_[c] = SymmetricGaussianKl(inside[c].mean, inside[c].Variance(),
+                                         outside[c].mean, outside[c].Variance());
+  }
+}
+
+double GaussianKlScorer::Score(const std::vector<size_t>& columns) const {
+  double sum = 0.0;
+  for (size_t c : columns) sum += per_column_[c];
+  return sum;
+}
+
+double GaussianKlScorer::ColumnScore(size_t column) const {
+  ZIGGY_DCHECK(column < per_column_.size());
+  return per_column_[column];
+}
+
+CentroidDistanceScorer::CentroidDistanceScorer(const Table& table,
+                                               const Selection& selection) {
+  std::vector<NumericStats> inside;
+  std::vector<NumericStats> outside;
+  ComputeSideMoments(table, selection, &inside, &outside, &eligible_);
+  squared_shift_.assign(table.num_columns(), 0.0);
+  for (size_t c : eligible_) {
+    // Standardize by the global standard deviation so columns are comparable.
+    NumericStats global = inside[c];
+    global.Merge(outside[c]);
+    const double sd = global.StdDev();
+    if (sd <= 0.0) continue;
+    const double d = (inside[c].mean - outside[c].mean) / sd;
+    squared_shift_[c] = d * d;
+  }
+}
+
+double CentroidDistanceScorer::Score(const std::vector<size_t>& columns) const {
+  double sum = 0.0;
+  for (size_t c : columns) sum += squared_shift_[c];
+  return std::sqrt(sum);
+}
+
+std::vector<SubspaceResult> BeamSubspaceSearch(const SubspaceScorer& scorer,
+                                               const BeamSearchOptions& options) {
+  const auto& cols = scorer.EligibleColumns();
+  std::vector<SubspaceResult> all;
+  std::vector<SubspaceResult> beam;
+  // Level 1: singletons.
+  for (size_t c : cols) {
+    SubspaceResult r{{c}, scorer.Score({c})};
+    beam.push_back(r);
+    all.push_back(std::move(r));
+  }
+  auto by_score = [](const SubspaceResult& a, const SubspaceResult& b) {
+    return a.score > b.score;
+  };
+  std::sort(beam.begin(), beam.end(), by_score);
+  if (beam.size() > options.beam_width) beam.resize(options.beam_width);
+
+  std::set<std::vector<size_t>> seen;
+  for (const auto& r : beam) seen.insert(r.columns);
+
+  for (size_t level = 2; level <= options.max_size && !beam.empty(); ++level) {
+    std::vector<SubspaceResult> next;
+    for (const auto& base : beam) {
+      for (size_t c : cols) {
+        if (std::find(base.columns.begin(), base.columns.end(), c) !=
+            base.columns.end()) {
+          continue;
+        }
+        std::vector<size_t> expanded = base.columns;
+        expanded.push_back(c);
+        std::sort(expanded.begin(), expanded.end());
+        if (!seen.insert(expanded).second) continue;
+        SubspaceResult r{expanded, scorer.Score(expanded)};
+        next.push_back(r);
+        all.push_back(std::move(r));
+      }
+    }
+    std::sort(next.begin(), next.end(), by_score);
+    if (next.size() > options.beam_width) next.resize(options.beam_width);
+    beam = std::move(next);
+  }
+
+  std::sort(all.begin(), all.end(), by_score);
+  if (all.size() > options.top_k) all.resize(options.top_k);
+  return all;
+}
+
+namespace {
+
+void EnumerateRec(const std::vector<size_t>& cols, size_t start, size_t max_size,
+                  std::vector<size_t>* current, const SubspaceScorer& scorer,
+                  std::vector<SubspaceResult>* out) {
+  if (!current->empty()) {
+    out->push_back({*current, scorer.Score(*current)});
+  }
+  if (current->size() == max_size) return;
+  for (size_t i = start; i < cols.size(); ++i) {
+    current->push_back(cols[i]);
+    EnumerateRec(cols, i + 1, max_size, current, scorer, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<SubspaceResult> ExhaustiveSubspaceSearch(const SubspaceScorer& scorer,
+                                                     size_t max_size, size_t top_k) {
+  std::vector<SubspaceResult> all;
+  std::vector<size_t> current;
+  EnumerateRec(scorer.EligibleColumns(), 0, max_size, &current, scorer, &all);
+  std::sort(all.begin(), all.end(),
+            [](const SubspaceResult& a, const SubspaceResult& b) {
+              return a.score > b.score;
+            });
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,96 @@
+// Black-box subspace-search baselines.
+//
+// Paper §2.2 argues that classic divergence measures "operate in a black
+// box fashion: they indicate how much two distributions differ, but they do
+// not explain why"; §1 argues dimensionality reduction ignores the
+// exploration context. These baselines make both arguments measurable:
+//
+//  * GaussianKlScorer + beam search: greedy subspace maximization of the
+//    (symmetrized, diagonal-Gaussian) KL divergence between selection and
+//    complement — the "classic subspace search algorithm" strawman.
+//  * CentroidDistanceScorer: distance between standardized centroids, the
+//    simplest divergence of §2.1.
+//  * ExhaustiveSubspaceSearch: enumerates every subspace up to a size cap —
+//    tractable only on narrow tables, used as ground truth for recovery and
+//    as the runtime yardstick Ziggy's clustering search is compared to.
+
+#ifndef ZIGGY_BASELINES_SUBSPACE_SEARCH_H_
+#define ZIGGY_BASELINES_SUBSPACE_SEARCH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/descriptive.h"
+#include "storage/selection.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief A scored subspace (column set).
+struct SubspaceResult {
+  std::vector<size_t> columns;
+  double score = 0.0;
+};
+
+/// \brief Interface for subspace divergence scorers.
+class SubspaceScorer {
+ public:
+  virtual ~SubspaceScorer() = default;
+  /// Columns the scorer can evaluate (numeric columns, typically).
+  virtual const std::vector<size_t>& EligibleColumns() const = 0;
+  /// Divergence of the inside vs outside distribution on `columns`.
+  virtual double Score(const std::vector<size_t>& columns) const = 0;
+};
+
+/// \brief Symmetrized KL divergence under a diagonal (independent) Gaussian
+/// model: sum over columns of symKL(N(m_in, s_in^2), N(m_out, s_out^2)).
+class GaussianKlScorer : public SubspaceScorer {
+ public:
+  /// Precomputes per-column inside/outside moments (two scans).
+  GaussianKlScorer(const Table& table, const Selection& selection);
+
+  const std::vector<size_t>& EligibleColumns() const override { return eligible_; }
+  double Score(const std::vector<size_t>& columns) const override;
+
+  /// Per-column divergence (the greedy search's marginal gain).
+  double ColumnScore(size_t column) const;
+
+ private:
+  std::vector<size_t> eligible_;
+  std::vector<double> per_column_;  // indexed by column id; 0 for ineligible
+};
+
+/// \brief Euclidean distance between standardized centroids.
+class CentroidDistanceScorer : public SubspaceScorer {
+ public:
+  CentroidDistanceScorer(const Table& table, const Selection& selection);
+
+  const std::vector<size_t>& EligibleColumns() const override { return eligible_; }
+  double Score(const std::vector<size_t>& columns) const override;
+
+ private:
+  std::vector<size_t> eligible_;
+  std::vector<double> squared_shift_;  // standardized (mean_in - mean_out)^2
+};
+
+/// \brief Options of the beam search.
+struct BeamSearchOptions {
+  size_t max_size = 4;    ///< subspace size cap
+  size_t beam_width = 8;  ///< beams kept per level
+  size_t top_k = 10;      ///< results returned
+};
+
+/// \brief Greedy beam search over subspaces; returns the top_k highest-
+/// scoring subspaces found at any level, sorted by descending score.
+/// No tightness, no disjointness, no explanations — the black box.
+std::vector<SubspaceResult> BeamSubspaceSearch(const SubspaceScorer& scorer,
+                                               const BeamSearchOptions& options = {});
+
+/// \brief Exhaustive enumeration of all subspaces of size 1..max_size.
+/// Cost grows as C(m, max_size); callers must keep m small.
+std::vector<SubspaceResult> ExhaustiveSubspaceSearch(const SubspaceScorer& scorer,
+                                                     size_t max_size, size_t top_k);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_BASELINES_SUBSPACE_SEARCH_H_

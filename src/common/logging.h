@@ -1,0 +1,66 @@
+// Minimal leveled logger plus assertion macros. The library itself logs very
+// little; benches and examples use this for progress reporting.
+
+#ifndef ZIGGY_COMMON_LOGGING_H_
+#define ZIGGY_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ziggy {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Process-wide log configuration.
+class Logger {
+ public:
+  /// Messages below this level are discarded. Default: kInfo.
+  static LogLevel threshold();
+  static void set_threshold(LogLevel level);
+
+  /// Emits one line to stderr if `level` passes the threshold.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Stream-style accumulator that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ZIGGY_LOG(level) \
+  ::ziggy::internal::LogMessage(::ziggy::LogLevel::k##level)
+
+/// Hard invariant check: aborts with a message on violation. Used for
+/// internal invariants that indicate programming errors, never for
+/// user-input validation (which returns Status).
+#define ZIGGY_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::cerr << "ZIGGY_CHECK failed at " << __FILE__ << ":" << __LINE__   \
+                << ": " #cond << std::endl;                                  \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define ZIGGY_DCHECK(cond) ZIGGY_CHECK(cond)
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_LOGGING_H_

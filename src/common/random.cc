@@ -1,0 +1,21 @@
+#include "common/random.h"
+
+#include <numeric>
+
+namespace ziggy {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  if (k > n) k = n;
+  // Partial Fisher-Yates: shuffle only the first k slots.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(
+        UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(n) - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation used by the synthetic data
+// generators, the workload generator, and property tests. A thin wrapper
+// around std::mt19937_64 with convenience samplers.
+
+#ifndef ZIGGY_COMMON_RANDOM_H_
+#define ZIGGY_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ziggy {
+
+/// \brief Seedable random source with samplers for the distributions Ziggy's
+/// generators need. All draws are deterministic given the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Log-normal draw with the given underlying normal parameters.
+  double LogNormal(double mu = 0.0, double sigma = 1.0) {
+    return std::lognormal_distribution<double>(mu, sigma)(gen_);
+  }
+
+  /// Exponential draw with the given rate.
+  double Exponential(double rate = 1.0) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(gen_); }
+
+  /// Index draw from an unnormalized weight vector.
+  size_t Categorical(const std::vector<double>& weights) {
+    return std::discrete_distribution<size_t>(weights.begin(), weights.end())(gen_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// The underlying engine, for use with std:: distributions.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_RANDOM_H_

@@ -1,0 +1,89 @@
+// Result<T>: value-or-Status, the return type of fallible value-producing
+// operations (Arrow's arrow::Result idiom).
+
+#ifndef ZIGGY_COMMON_RESULT_H_
+#define ZIGGY_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ziggy {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Typical use:
+/// \code
+///   Result<Table> r = Table::FromCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is normalized to an Internal error.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Borrow the value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// Move the value out. Requires ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// Borrow the value or a fallback if this holds an error.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error status from the enclosing function.
+#define ZIGGY_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ZIGGY_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define ZIGGY_ASSIGN_OR_RETURN_NAME(x, y) ZIGGY_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define ZIGGY_ASSIGN_OR_RETURN(lhs, rexpr)                                      \
+  ZIGGY_ASSIGN_OR_RETURN_IMPL(                                                  \
+      ZIGGY_ASSIGN_OR_RETURN_NAME(_ziggy_result_, __COUNTER__), lhs, rexpr)
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_RESULT_H_

@@ -1,0 +1,206 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace ziggy {
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
+  if (spec.num_rows < 10) {
+    return Status::InvalidArgument("need at least 10 rows");
+  }
+  if (spec.planted_fraction <= 0.0 || spec.planted_fraction >= 1.0) {
+    return Status::InvalidArgument("planted_fraction must be in (0, 1)");
+  }
+  if (spec.num_shifted_categorical > spec.num_categorical) {
+    return Status::InvalidArgument("num_shifted_categorical > num_categorical");
+  }
+  Rng rng(spec.seed);
+  const size_t n = spec.num_rows;
+
+  // Driver column and planted region (top of the driver).
+  std::vector<double> driver(n);
+  for (double& v : driver) v = rng.Normal();
+  const double threshold = Quantile(driver, 1.0 - spec.planted_fraction);
+  Selection planted(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (driver[i] >= threshold) planted.Set(i);
+  }
+
+  std::vector<Column> columns;
+  columns.push_back(Column::FromNumeric(spec.driver_name, driver));
+  SyntheticDataset out;
+
+  // Themes.
+  for (const ThemeSpec& theme : spec.themes) {
+    ZIGGY_CHECK(theme.intra_correlation >= 0.0 && theme.intra_correlation <= 1.0);
+    const double loading = theme.intra_correlation;
+    const double noise_w = std::sqrt(std::max(0.0, 1.0 - loading * loading));
+    // Per-row latent; planted rows may get an independent latent
+    // (correlation break) and carry the mean/scale shift.
+    std::vector<double> latent(n);
+    for (double& v : latent) v = rng.Normal();
+
+    std::vector<size_t> view_cols;
+    for (size_t j = 0; j < theme.num_columns; ++j) {
+      std::vector<double> col(n);
+      for (size_t i = 0; i < n; ++i) {
+        double f = latent[i];
+        double scale = 1.0;
+        double shift = 0.0;
+        if (planted.Contains(i)) {
+          if (theme.correlation_break > 0.0 && rng.Bernoulli(theme.correlation_break)) {
+            f = rng.Normal();  // decorrelate this cell from the theme latent
+          }
+          scale = theme.scale_shift;
+          shift = theme.mean_shift;
+        }
+        col[i] = shift + scale * (loading * f + noise_w * rng.Normal());
+      }
+      view_cols.push_back(columns.size());
+      columns.push_back(Column::FromNumeric(
+          theme.name_prefix + "_" + std::to_string(j), std::move(col)));
+    }
+    const bool is_shifted = theme.mean_shift != 0.0 || theme.scale_shift != 1.0 ||
+                            theme.correlation_break > 0.0;
+    if (is_shifted) out.planted_views.push_back(std::move(view_cols));
+  }
+
+  // Independent noise columns.
+  for (size_t j = 0; j < spec.num_noise_columns; ++j) {
+    std::vector<double> col(n);
+    for (double& v : col) v = rng.Normal();
+    columns.push_back(Column::FromNumeric("noise_" + std::to_string(j), std::move(col)));
+  }
+
+  // Categorical columns. Shifted ones skew the planted rows toward the
+  // first category.
+  for (size_t j = 0; j < spec.num_categorical; ++j) {
+    const bool shifted = j < spec.num_shifted_categorical;
+    const size_t k = std::max<size_t>(spec.categorical_cardinality, 2);
+    std::vector<double> base_weights(k, 1.0);
+    std::vector<double> planted_weights(k, 1.0);
+    if (shifted) {
+      planted_weights[0] = static_cast<double>(k) * 3.0;  // heavy skew
+    }
+    Column col = Column::Categorical("cat_" + std::to_string(j));
+    for (size_t i = 0; i < n; ++i) {
+      const auto& w = (shifted && planted.Contains(i)) ? planted_weights : base_weights;
+      col.AppendLabel("c" + std::to_string(rng.Categorical(w)));
+    }
+    if (shifted) out.planted_views.push_back({columns.size()});
+    columns.push_back(std::move(col));
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(out.table, Table::FromColumns(std::move(columns)));
+  out.planted = std::move(planted);
+  out.driver_threshold = threshold;
+  out.selection_predicate =
+      spec.driver_name + " >= " + FormatDouble(threshold, 17);
+  return out;
+}
+
+Result<SyntheticDataset> MakeBoxOfficeDataset(uint64_t seed) {
+  // 900 movies x 12 columns: driver (box-office revenue index) + two themes
+  // + noise + one categorical (genre).
+  SyntheticSpec spec;
+  spec.num_rows = 900;
+  spec.planted_fraction = 0.1;
+  spec.seed = seed;
+  spec.driver_name = "revenue_index";
+  spec.themes = {
+      {"budget", 2, 0.85, 1.6, 1.0, 0.0},     // blockbusters: big budgets
+      {"audience", 3, 0.75, 0.9, 0.7, 0.0},   // higher, tighter ratings
+      {"release", 2, 0.7, 0.0, 1.0, 0.0},     // unshifted correlated theme
+  };
+  spec.num_noise_columns = 3;
+  spec.num_categorical = 1;
+  spec.num_shifted_categorical = 1;
+  spec.categorical_cardinality = 8;  // genres
+  return GenerateSynthetic(spec);
+}
+
+Result<SyntheticDataset> MakeCrimeDataset(uint64_t seed) {
+  // 1994 communities x 128 columns. The four shifted themes mirror the
+  // four characteristic views of paper Figure 1.
+  SyntheticSpec spec;
+  spec.num_rows = 1994;
+  spec.planted_fraction = 0.08;
+  spec.seed = seed;
+  spec.driver_name = "violent_crime_rate";
+  spec.themes = {
+      // Figure 1, view 1: high densities and large populations.
+      {"population", 3, 0.85, 1.8, 0.8, 0.0},
+      // View 2: low levels of education / salary.
+      {"education", 3, 0.8, -1.4, 1.0, 0.0},
+      // View 3: lower rents, lower home ownership.
+      {"housing", 3, 0.75, -1.1, 1.0, 0.0},
+      // View 4: younger population, more mono-parental families.
+      {"family", 3, 0.7, 1.0, 1.0, 0.0},
+      // Unshifted correlated structure (distractors).
+      {"weather", 4, 0.8, 0.0, 1.0, 0.0},
+      {"economy", 4, 0.75, 0.0, 1.0, 0.0},
+      {"transport", 3, 0.7, 0.0, 1.0, 0.0},
+  };
+  // 1 driver + 23 theme columns + 100 noise + 4 categorical = 128 columns.
+  spec.num_noise_columns = 100;
+  spec.num_categorical = 4;
+  spec.num_shifted_categorical = 1;
+  spec.categorical_cardinality = 9;  // census regions
+  return GenerateSynthetic(spec);
+}
+
+Result<SyntheticDataset> MakeOecdDataset(uint64_t seed) {
+  // 6823 region-years x ~519 columns: the wide-table stress shape.
+  SyntheticSpec spec;
+  spec.num_rows = 6823;
+  spec.planted_fraction = 0.05;
+  spec.seed = seed;
+  spec.driver_name = "patent_intensity";
+  spec.themes.push_back({"rnd_spending", 4, 0.85, 1.5, 0.9, 0.0});
+  spec.themes.push_back({"tertiary_educ", 4, 0.8, 1.1, 1.0, 0.0});
+  spec.themes.push_back({"urbanization", 3, 0.75, 0.8, 1.0, 0.3});
+  // 34 unshifted correlated themes of 4 columns each (the bulk of the
+  // OECD indicators move together but are not characteristic).
+  for (size_t t = 0; t < 34; ++t) {
+    spec.themes.push_back(
+        {"indicator" + std::to_string(t), 4, 0.7, 0.0, 1.0, 0.0});
+  }
+  // 1 + 11 + 136 themes + 365 noise + 6 categorical = 519 columns.
+  spec.num_noise_columns = 365;
+  spec.num_categorical = 6;
+  spec.num_shifted_categorical = 2;
+  spec.categorical_cardinality = 12;
+  return GenerateSynthetic(spec);
+}
+
+std::vector<std::string> GenerateWorkload(const Table& table, size_t n, Rng* rng) {
+  ZIGGY_CHECK(rng != nullptr);
+  std::vector<size_t> numeric_cols;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).is_numeric()) numeric_cols.push_back(c);
+  }
+  std::vector<std::string> out;
+  if (numeric_cols.empty()) return out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t col =
+        numeric_cols[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(numeric_cols.size()) - 1))];
+    const auto& data = table.column(col).numeric_data();
+    // A random quantile band wide enough to select 5-40% of rows.
+    const double q_lo = rng->Uniform(0.0, 0.6);
+    const double q_hi = q_lo + rng->Uniform(0.05, 0.4);
+    const double lo = Quantile(data, q_lo);
+    const double hi = Quantile(data, std::min(q_hi, 1.0));
+    out.push_back(table.column(col).name() + " BETWEEN " + FormatDouble(lo, 17) +
+                  " AND " + FormatDouble(hi, 17));
+  }
+  return out;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,85 @@
+#include "engine/session.h"
+
+#include <algorithm>
+
+namespace ziggy {
+
+ExplorationSession::ExplorationSession(ZiggyEngine engine, SessionOptions options)
+    : engine_(std::move(engine)), options_(options) {}
+
+uint64_t ExplorationSession::ViewKey(const std::vector<size_t>& columns) const {
+  // FNV-1a over the sorted column ids (views always store them sorted).
+  uint64_t h = 1469598103934665603ull;
+  for (size_t c : columns) {
+    for (size_t byte = 0; byte < sizeof(size_t); ++byte) {
+      h ^= (c >> (8 * byte)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+bool ExplorationSession::WasShownBefore(const std::vector<size_t>& columns) const {
+  return shown_views_.count(ViewKey(columns)) > 0;
+}
+
+Result<Characterization> ExplorationSession::Explore(const std::string& query_text) {
+  Result<Characterization> result = engine_.CharacterizeQuery(query_text);
+
+  SessionEntry entry;
+  entry.query_text = query_text;
+  entry.ok = result.ok();
+  if (!result.ok()) {
+    entry.error = result.status().ToString();
+    ++stats_.queries_failed;
+  }
+  ++stats_.queries_run;
+
+  if (result.ok()) {
+    Characterization& c = result.ValueOrDie();
+    entry.inside_count = c.inside_count;
+    entry.total_ms = c.timings.total_ms();
+    stats_.preparation_ms += c.timings.preparation_ms;
+    stats_.search_ms += c.timings.search_ms;
+    stats_.post_processing_ms += c.timings.post_processing_ms;
+
+    // Novelty pass: stable-partition novel views first (kDemote) or drop
+    // repeats entirely (kSuppress).
+    if (options_.novelty != SessionOptions::NoveltyPolicy::kOff) {
+      auto repeated = [this](const CharacterizedView& cv) {
+        return WasShownBefore(cv.view.columns);
+      };
+      const size_t before = c.views.size();
+      if (options_.novelty == SessionOptions::NoveltyPolicy::kSuppress) {
+        c.views.erase(std::remove_if(c.views.begin(), c.views.end(), repeated),
+                      c.views.end());
+        stats_.views_suppressed += before - c.views.size();
+      } else {
+        auto mid = std::stable_partition(
+            c.views.begin(), c.views.end(),
+            [&repeated](const CharacterizedView& cv) { return !repeated(cv); });
+        stats_.views_demoted +=
+            static_cast<size_t>(std::distance(mid, c.views.end()));
+      }
+    }
+    for (const auto& cv : c.views) shown_views_.insert(ViewKey(cv.view.columns));
+    stats_.views_shown += c.views.size();
+    entry.views_returned = c.views.size();
+  }
+
+  history_.push_back(std::move(entry));
+  if (options_.max_history > 0 && history_.size() > options_.max_history) {
+    history_.erase(history_.begin(),
+                   history_.begin() + static_cast<int64_t>(history_.size() -
+                                                           options_.max_history));
+  }
+  return result;
+}
+
+void ExplorationSession::Reset() {
+  history_.clear();
+  shown_views_.clear();
+  stats_ = SessionStats{};
+}
+
+}  // namespace ziggy

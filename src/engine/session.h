@@ -1,0 +1,91 @@
+// ExplorationSession: the session layer an exploration front-end keeps per
+// user. It wraps a ZiggyEngine with:
+//
+//  * query history (text, row counts, timings),
+//  * novelty filtering — a view shown for an earlier query is demoted or
+//    suppressed when it reappears unchanged, so every iteration of the
+//    explore-inspect-refine loop surfaces something *new* ("the users can
+//    interpret these explanations as hints for further exploration"), and
+//  * session statistics (cache behaviour, per-stage time totals).
+
+#ifndef ZIGGY_ENGINE_SESSION_H_
+#define ZIGGY_ENGINE_SESSION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/ziggy_engine.h"
+
+namespace ziggy {
+
+/// \brief Options of the session layer.
+struct SessionOptions {
+  /// What to do with a view whose column set was already shown:
+  /// demote = move it after the novel views; suppress = drop it.
+  enum class NoveltyPolicy { kOff, kDemote, kSuppress };
+  NoveltyPolicy novelty = NoveltyPolicy::kDemote;
+  /// Number of history entries retained (0 = unbounded).
+  size_t max_history = 0;
+};
+
+/// \brief One history entry.
+struct SessionEntry {
+  std::string query_text;
+  int64_t inside_count = 0;
+  double total_ms = 0.0;
+  size_t views_returned = 0;
+  bool ok = false;
+  std::string error;  ///< set when ok is false
+};
+
+/// \brief Aggregate session statistics.
+struct SessionStats {
+  size_t queries_run = 0;
+  size_t queries_failed = 0;
+  double preparation_ms = 0.0;
+  double search_ms = 0.0;
+  double post_processing_ms = 0.0;
+  size_t views_shown = 0;
+  size_t views_demoted = 0;
+  size_t views_suppressed = 0;
+};
+
+/// \brief A per-user exploration session over one table.
+class ExplorationSession {
+ public:
+  /// The engine is owned by the session.
+  ExplorationSession(ZiggyEngine engine, SessionOptions options = {});
+
+  /// Runs a query; applies the novelty policy; records history. Each view
+  /// in the returned Characterization is annotated as novel or repeated
+  /// via IsNovel() below (keyed by column set).
+  Result<Characterization> Explore(const std::string& query_text);
+
+  /// True if this exact column set has NOT been shown earlier in the
+  /// session (state as of the most recent Explore call).
+  bool WasShownBefore(const std::vector<size_t>& columns) const;
+
+  const std::vector<SessionEntry>& history() const { return history_; }
+  const SessionStats& stats() const { return stats_; }
+
+  ZiggyEngine& engine() { return engine_; }
+  const ZiggyEngine& engine() const { return engine_; }
+
+  /// Forgets shown-view state and history (engine caches are kept).
+  void Reset();
+
+ private:
+  uint64_t ViewKey(const std::vector<size_t>& columns) const;
+
+  ZiggyEngine engine_;
+  SessionOptions options_;
+  std::vector<SessionEntry> history_;
+  SessionStats stats_;
+  std::set<uint64_t> shown_views_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_ENGINE_SESSION_H_

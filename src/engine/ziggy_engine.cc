@@ -1,0 +1,132 @@
+#include "engine/ziggy_engine.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+
+std::string Characterization::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "Characterized " << inside_count << " selected tuples against "
+     << outside_count << " others (" << num_candidates << " candidate views, "
+     << views_dropped << " dropped as not significant)\n";
+  os << "Stage timings: preparation " << FormatDouble(timings.preparation_ms, 4)
+     << " ms, view search " << FormatDouble(timings.search_ms, 4)
+     << " ms, post-processing " << FormatDouble(timings.post_processing_ms, 4)
+     << " ms\n";
+  size_t rank = 1;
+  for (const auto& cv : views) {
+    os << "\n#" << rank++ << " " << cv.view.ColumnNames(schema)
+       << "  score=" << FormatDouble(cv.view.score.total, 3)
+       << " tightness=" << FormatDouble(cv.view.tightness, 3)
+       << " p=" << FormatDouble(cv.view.aggregated_p_value, 2) << "\n";
+    os << "   " << cv.explanation.headline << "\n";
+    for (const auto& d : cv.explanation.details) os << "   - " << d << "\n";
+  }
+  return os.str();
+}
+
+Result<ZiggyEngine> ZiggyEngine::Create(Table table, ZiggyOptions options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot characterize an empty table");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(TableProfile profile,
+                         TableProfile::Compute(table, options.profile));
+  ZIGGY_ASSIGN_OR_RETURN(Dendrogram dendrogram, BuildColumnDendrogram(profile));
+  return ZiggyEngine(std::move(table), std::move(profile), std::move(dendrogram),
+                     std::move(options));
+}
+
+Result<Characterization> ZiggyEngine::CharacterizeQuery(const std::string& query_text) {
+  ZIGGY_ASSIGN_OR_RETURN(ExprPtr predicate, ParseQuery(query_text));
+  // Normalization is semantics-preserving; it keeps mechanically assembled
+  // refinement predicates (nested ANDs, duplicated atoms) cheap to evaluate.
+  predicate = SimplifyPredicate(std::move(predicate));
+  ZIGGY_ASSIGN_OR_RETURN(Selection selection, predicate->Evaluate(table_));
+  return Characterize(selection);
+}
+
+Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
+  if (selection.num_rows() != table_.num_rows()) {
+    return Status::InvalidArgument("selection does not match table row count");
+  }
+  Characterization out;
+
+  // ---- Stage 1: Preparation ------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  const uint64_t fp = selection.Fingerprint();
+  const ComponentTable* components = nullptr;
+  ComponentTable freshly_built;
+  if (options_.cache_queries) {
+    auto it = component_cache_.find(fp);
+    if (it != component_cache_.end()) {
+      components = &it->second;
+      out.cache_hit = true;
+      ++cache_hits_;
+    }
+  }
+  if (components == nullptr) {
+    // The Preparer is created lazily so that its internal pointers bind to
+    // the engine's final (post-move) location, and recreated when the
+    // build options change between queries.
+    if (preparer_ == nullptr) {
+      preparer_ = std::make_unique<Preparer>(&table_, &profile_, options_.build);
+      preparer_options_ = options_.build;
+    } else if (!(preparer_options_ == options_.build)) {
+      preparer_ = std::make_unique<Preparer>(&table_, &profile_, options_.build);
+      preparer_options_ = options_.build;
+    }
+    ZIGGY_ASSIGN_OR_RETURN(freshly_built, preparer_->Prepare(selection));
+    out.strategy = preparer_->last_strategy();
+    out.delta_rows = preparer_->last_delta_rows();
+    ++cache_misses_;
+    if (options_.cache_queries) {
+      auto [it, inserted] = component_cache_.emplace(fp, std::move(freshly_built));
+      (void)inserted;
+      components = &it->second;
+    } else {
+      components = &freshly_built;
+    }
+  }
+  out.timings.preparation_ms = ElapsedMs(t0);
+  out.inside_count = components->inside_count();
+  out.outside_count = components->outside_count();
+
+  // ---- Stage 2: View search --------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  ZIGGY_ASSIGN_OR_RETURN(
+      ViewSearchResult search,
+      SearchViews(profile_, *components, options_.search, &dendrogram_));
+  out.timings.search_ms = ElapsedMs(t0);
+  out.num_candidates = search.num_candidates;
+
+  // ---- Stage 3: Post-processing ----------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  out.views_dropped = ValidateViews(&search.views, *components, options_.validation);
+  out.views.reserve(search.views.size());
+  for (View& v : search.views) {
+    CharacterizedView cv;
+    cv.explanation = ExplainView(v, *components, table_.schema(), options_.explain);
+    cv.view = std::move(v);
+    out.views.push_back(std::move(cv));
+  }
+  out.timings.post_processing_ms = ElapsedMs(t0);
+  return out;
+}
+
+std::string ZiggyEngine::DendrogramAscii() const {
+  return dendrogram_.ToAscii(table_.schema().field_names());
+}
+
+}  // namespace ziggy

@@ -1,0 +1,134 @@
+// ZiggyEngine: the public facade of the library — the "tuple description
+// engine" the paper's conclusion promises to distribute "as a library, to
+// be included into external exploration systems".
+//
+// Lifecycle: construct once per table (the profile — Ziggy's shared
+// statistics — is computed here), then call CharacterizeQuery() for every
+// exploration query. Per-query work follows the three-stage pipeline of
+// paper Figure 4: Preparation → View Search → Post-Processing.
+
+#ifndef ZIGGY_ENGINE_ZIGGY_ENGINE_H_
+#define ZIGGY_ENGINE_ZIGGY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "explain/text.h"
+#include "explain/validation.h"
+#include "query/parser.h"
+#include "query/simplify.h"
+#include "storage/table.h"
+#include "views/view_search.h"
+#include "zig/component_builder.h"
+#include "zig/profile.h"
+
+namespace ziggy {
+
+/// \brief All engine knobs, grouped per pipeline stage.
+struct ZiggyOptions {
+  ProfileOptions profile;
+  ComponentBuildOptions build;
+  ViewSearchOptions search;
+  ValidationOptions validation;
+  ExplainOptions explain;
+  /// Reuse component tables across textually different but row-identical
+  /// queries (keyed by selection fingerprint).
+  bool cache_queries = true;
+};
+
+/// \brief Wall-clock cost of each pipeline stage, in milliseconds.
+struct StageTimings {
+  double preparation_ms = 0.0;
+  double search_ms = 0.0;
+  double post_processing_ms = 0.0;
+
+  double total_ms() const { return preparation_ms + search_ms + post_processing_ms; }
+};
+
+/// \brief One output view with its explanation.
+struct CharacterizedView {
+  View view;
+  Explanation explanation;
+};
+
+/// \brief Full result of characterizing one query.
+struct Characterization {
+  std::vector<CharacterizedView> views;  ///< ranked by descending score
+  StageTimings timings;
+  int64_t inside_count = 0;
+  int64_t outside_count = 0;
+  size_t num_candidates = 0;   ///< candidate views generated
+  size_t views_dropped = 0;    ///< candidates rejected as not significant
+  bool cache_hit = false;      ///< preparation served from the query cache
+  /// Preparation strategy used (meaningless when cache_hit).
+  Preparer::Strategy strategy = Preparer::Strategy::kFullScan;
+  /// Rows touched by an incremental update (0 otherwise).
+  size_t delta_rows = 0;
+
+  /// Multi-line human-readable report (used by examples and the REPL).
+  std::string ToString(const Schema& schema) const;
+};
+
+/// \brief The query characterization engine.
+class ZiggyEngine {
+ public:
+  /// Builds the engine; computes the shared table profile (one-off cost,
+  /// amortized over all subsequent queries).
+  static Result<ZiggyEngine> Create(Table table, ZiggyOptions options = {});
+
+  /// Characterizes the tuples selected by a query string. Accepts a bare
+  /// predicate ("crime_rate > 1200 AND population > 5e5") or a full
+  /// SELECT ... WHERE statement.
+  Result<Characterization> CharacterizeQuery(const std::string& query_text);
+
+  /// Characterizes an explicit selection (for front-ends that already
+  /// evaluated the query themselves).
+  Result<Characterization> Characterize(const Selection& selection);
+
+  const Table& table() const { return table_; }
+  const TableProfile& profile() const { return profile_; }
+  const ZiggyOptions& options() const { return options_; }
+  /// Options may be tuned between queries (e.g. moving the MIN_tight
+  /// slider); the profile is unaffected.
+  ZiggyOptions* mutable_options() { return &options_; }
+
+  /// ASCII dendrogram over all columns — the paper's "visual support to
+  /// help setting the parameter MIN_tight".
+  std::string DendrogramAscii() const;
+
+  /// \name Query-cache statistics.
+  /// @{
+  size_t cache_hits() const { return cache_hits_; }
+  size_t cache_misses() const { return cache_misses_; }
+  void ClearCache() { component_cache_.clear(); }
+  /// @}
+
+ private:
+  ZiggyEngine(Table table, TableProfile profile, Dendrogram dendrogram,
+              ZiggyOptions options)
+      : table_(std::move(table)),
+        profile_(std::move(profile)),
+        dendrogram_(std::move(dendrogram)),
+        options_(std::move(options)) {}
+
+  Table table_;
+  TableProfile profile_;
+  // The column dendrogram depends only on the profile; computed once here
+  // and reused by every query's view search.
+  Dendrogram dendrogram_{0, {}};
+  ZiggyOptions options_;
+  // Stateful preparation: reuses the previous query's sketches when the
+  // new selection overlaps it (exploration queries usually do).
+  std::unique_ptr<Preparer> preparer_;
+  ComponentBuildOptions preparer_options_;
+  std::unordered_map<uint64_t, ComponentTable> component_cache_;
+  size_t cache_hits_ = 0;
+  size_t cache_misses_ = 0;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_ENGINE_ZIGGY_ENGINE_H_

@@ -1,0 +1,157 @@
+#include "explain/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+namespace {
+
+Result<const Column*> NumericColumnOrError(const Table& table,
+                                           const std::string& name) {
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(name));
+  if (!col->is_numeric()) {
+    return Status::TypeMismatch("cannot plot categorical column '" + name + "'");
+  }
+  return col;
+}
+
+}  // namespace
+
+Result<std::string> ScatterPlot(const Table& table, const Selection& selection,
+                                const std::string& x_column,
+                                const std::string& y_column,
+                                const PlotOptions& options) {
+  if (selection.num_rows() != table.num_rows()) {
+    return Status::InvalidArgument("selection does not match table row count");
+  }
+  if (options.width < 2 || options.height < 2) {
+    return Status::InvalidArgument("plot area must be at least 2x2");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(const Column* xc, NumericColumnOrError(table, x_column));
+  ZIGGY_ASSIGN_OR_RETURN(const Column* yc, NumericColumnOrError(table, y_column));
+  const auto& xs = xc->numeric_data();
+  const auto& ys = yc->numeric_data();
+
+  NumericStats xstats = ComputeNumericStats(xs);
+  NumericStats ystats = ComputeNumericStats(ys);
+  if (xstats.count == 0 || ystats.count == 0) {
+    return Status::FailedPrecondition("nothing to plot: all values are NULL");
+  }
+  const double x_lo = xstats.min;
+  const double y_lo = ystats.min;
+  const double x_span = std::max(xstats.max - xstats.min, 1e-300);
+  const double y_span = std::max(ystats.max - ystats.min, 1e-300);
+
+  // Raster with priority: inside > outside > blank.
+  std::vector<std::string> grid(options.height, std::string(options.width, ' '));
+  auto cell_of = [&](double v, double lo, double span, size_t extent) {
+    const double unit = (v - lo) / span;
+    const size_t c = static_cast<size_t>(unit * static_cast<double>(extent - 1) + 0.5);
+    return std::min(c, extent - 1);
+  };
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (IsNullNumeric(xs[r]) || IsNullNumeric(ys[r])) continue;
+    const size_t col = cell_of(xs[r], x_lo, x_span, options.width);
+    const size_t row =
+        options.height - 1 - cell_of(ys[r], y_lo, y_span, options.height);
+    char& pixel = grid[row][col];
+    if (selection.Contains(r)) {
+      pixel = options.inside_glyph;
+    } else if (pixel != options.inside_glyph) {
+      pixel = options.outside_glyph;
+    }
+  }
+
+  std::ostringstream os;
+  os << y_column << "\n";
+  for (const auto& line : grid) {
+    os << (options.draw_axes ? "|" : "") << line << "\n";
+  }
+  if (options.draw_axes) {
+    os << "+" << std::string(options.width, '-') << "> " << x_column << "\n";
+  }
+  os << "  '" << options.inside_glyph << "' selection (n="
+     << selection.Count() << "), '" << options.outside_glyph << "' others;  x in ["
+     << FormatDouble(xstats.min) << ", " << FormatDouble(xstats.max) << "], y in ["
+     << FormatDouble(ystats.min) << ", " << FormatDouble(ystats.max) << "]\n";
+  return os.str();
+}
+
+Result<std::string> HistogramPlot(const Table& table, const Selection& selection,
+                                  const std::string& column, size_t bins,
+                                  size_t bar_width) {
+  if (selection.num_rows() != table.num_rows()) {
+    return Status::InvalidArgument("selection does not match table row count");
+  }
+  if (bins < 2 || bar_width < 4) {
+    return Status::InvalidArgument("need at least 2 bins and bar width 4");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, NumericColumnOrError(table, column));
+  const auto& data = col->numeric_data();
+  NumericStats stats = ComputeNumericStats(data);
+  if (stats.count == 0) {
+    return Status::FailedPrecondition("nothing to plot: all values are NULL");
+  }
+  std::vector<int64_t> inside_counts(bins, 0);
+  std::vector<int64_t> outside_counts(bins, 0);
+  const double span = std::max(stats.max - stats.min, 1e-300);
+  for (size_t r = 0; r < data.size(); ++r) {
+    if (IsNullNumeric(data[r])) continue;
+    size_t b = static_cast<size_t>((data[r] - stats.min) / span *
+                                   static_cast<double>(bins));
+    b = std::min(b, bins - 1);
+    if (selection.Contains(r)) {
+      ++inside_counts[b];
+    } else {
+      ++outside_counts[b];
+    }
+  }
+  int64_t n_in = 0;
+  int64_t n_out = 0;
+  for (size_t b = 0; b < bins; ++b) {
+    n_in += inside_counts[b];
+    n_out += outside_counts[b];
+  }
+  // Bars scaled by within-side share, so the two sides are comparable even
+  // when the selection is small.
+  double max_share = 1e-12;
+  for (size_t b = 0; b < bins; ++b) {
+    if (n_in > 0) {
+      max_share = std::max(
+          max_share, static_cast<double>(inside_counts[b]) / static_cast<double>(n_in));
+    }
+    if (n_out > 0) {
+      max_share = std::max(max_share, static_cast<double>(outside_counts[b]) /
+                                          static_cast<double>(n_out));
+    }
+  }
+  std::ostringstream os;
+  os << column << "  (left bar '+': selection share, right bar '.': others)\n";
+  for (size_t b = 0; b < bins; ++b) {
+    const double lo = stats.min + span * static_cast<double>(b) /
+                                      static_cast<double>(bins);
+    const double share_in =
+        n_in > 0 ? static_cast<double>(inside_counts[b]) / static_cast<double>(n_in)
+                 : 0.0;
+    const double share_out =
+        n_out > 0 ? static_cast<double>(outside_counts[b]) / static_cast<double>(n_out)
+                  : 0.0;
+    const size_t w_in =
+        static_cast<size_t>(share_in / max_share * static_cast<double>(bar_width));
+    const size_t w_out =
+        static_cast<size_t>(share_out / max_share * static_cast<double>(bar_width));
+    std::string label = FormatDouble(lo, 3);
+    if (label.size() < 10) label.resize(10, ' ');
+    os << label << " " << std::string(bar_width - w_in, ' ') << std::string(w_in, '+')
+       << "|" << std::string(w_out, '.') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ziggy

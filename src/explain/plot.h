@@ -1,0 +1,44 @@
+// ASCII plotting of characteristic views — the terminal stand-in for the
+// scatter plots of paper Figure 1. Selected tuples render as '+', the rest
+// as '.', so the "unusual statistical distribution" of the selection is
+// visible exactly the way the paper presents it.
+
+#ifndef ZIGGY_EXPLAIN_PLOT_H_
+#define ZIGGY_EXPLAIN_PLOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/selection.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief Plot dimensions and glyphs.
+struct PlotOptions {
+  size_t width = 60;   ///< character columns of the plot area
+  size_t height = 20;  ///< character rows of the plot area
+  char inside_glyph = '+';
+  char outside_glyph = '.';
+  /// When both kinds of points land in one cell, the selection wins the
+  /// pixel (it is the minority class and the thing being inspected).
+  bool draw_axes = true;
+};
+
+/// \brief Renders a 2-D scatter plot of two numeric columns with the
+/// selection highlighted (one Figure-1 panel). Rows where either value is
+/// NULL are skipped.
+Result<std::string> ScatterPlot(const Table& table, const Selection& selection,
+                                const std::string& x_column,
+                                const std::string& y_column,
+                                const PlotOptions& options = {});
+
+/// \brief Renders side-by-side inside/outside histograms of one numeric
+/// column (the 1-D analogue, for singleton views).
+Result<std::string> HistogramPlot(const Table& table, const Selection& selection,
+                                  const std::string& column, size_t bins = 24,
+                                  size_t bar_width = 40);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_EXPLAIN_PLOT_H_

@@ -1,0 +1,50 @@
+// Explanation generation: turns a view's most significant Zig-Components
+// into the short natural-language description of paper §2.2/§3, e.g.
+//
+//   "On the columns population and density, your selection has
+//    particularly high values and a low variance."
+//
+// Implemented, like the original, with handwritten rules and templates.
+
+#ifndef ZIGGY_EXPLAIN_TEXT_H_
+#define ZIGGY_EXPLAIN_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "views/view.h"
+#include "zig/component_table.h"
+
+namespace ziggy {
+
+/// \brief Options of the explanation generator.
+struct ExplainOptions {
+  /// At most this many components are verbalized in the headline (ordered
+  /// by increasing p-value: "Ziggy chooses the Zig-Components associated
+  /// with the highest levels of confidence").
+  size_t max_headline_components = 3;
+  /// Components above this p-value are never verbalized.
+  double max_p_value = 0.05;
+  /// Append one detail line per verbalized component with the raw numbers
+  /// (means, deviations, correlations) so users can verify the claim.
+  bool include_details = true;
+};
+
+/// \brief A generated explanation.
+struct Explanation {
+  std::string headline;              ///< one paper-style sentence
+  std::vector<std::string> details;  ///< verifiable per-component lines
+  double confidence = 0.0;           ///< 1 − view aggregated p-value
+};
+
+/// \brief Explains one view from its components.
+Explanation ExplainView(const View& view, const ComponentTable& components,
+                        const Schema& schema, const ExplainOptions& options = {});
+
+/// \brief Renders one component as a verifiable detail line.
+std::string DescribeComponent(const ZigComponent& component, const Schema& schema);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_EXPLAIN_TEXT_H_

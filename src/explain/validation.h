@@ -1,0 +1,40 @@
+// View validation: Ziggy's spurious-findings control (paper §3,
+// Post-Processing). Each view's component p-values are aggregated with a
+// multiple-testing correction; views whose corrected p-value exceeds the
+// significance budget are flagged (and optionally dropped).
+
+#ifndef ZIGGY_EXPLAIN_VALIDATION_H_
+#define ZIGGY_EXPLAIN_VALIDATION_H_
+
+#include <vector>
+
+#include "stats/tests.h"
+#include "views/view.h"
+#include "zig/component_table.h"
+
+namespace ziggy {
+
+/// \brief Options of the robustness check.
+struct ValidationOptions {
+  /// Aggregation scheme: "it retains the lowest value, or it uses more
+  /// advanced aggregation schemes such as the Bonferroni correction".
+  CorrectionMethod method = CorrectionMethod::kBonferroni;
+  /// Views with aggregated p-value above this are statistically fragile.
+  double max_p_value = 0.05;
+  /// Drop fragile views from the output (vs. merely annotating them).
+  bool drop_insignificant = true;
+};
+
+/// \brief The p-values of every component covered by a view.
+std::vector<double> CollectViewPValues(const View& view,
+                                       const ComponentTable& components);
+
+/// \brief Sets `aggregated_p_value` on each view; when
+/// `options.drop_insignificant` is set, removes views whose corrected
+/// p-value exceeds `options.max_p_value`. Returns the number dropped.
+size_t ValidateViews(std::vector<View>* views, const ComponentTable& components,
+                     const ValidationOptions& options = {});
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_EXPLAIN_VALIDATION_H_

@@ -1,0 +1,251 @@
+#include "query/ast.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+bool CompareDoubles(double a, CompareOp op, double b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kGt:
+      return a > b;
+    case CompareOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+std::string QuoteLiteral(const Value& v) {
+  if (std::holds_alternative<double>(v)) return FormatDouble(std::get<double>(v), 17);
+  if (std::holds_alternative<std::string>(v)) {
+    return "'" + std::get<std::string>(v) + "'";
+  }
+  return "NULL";
+}
+
+}  // namespace
+
+Result<Selection> ComparisonExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_));
+  Selection out(table.num_rows());
+  if (col->is_numeric()) {
+    if (!std::holds_alternative<double>(literal_)) {
+      return Status::TypeMismatch("column '" + column_ +
+                                  "' is numeric but literal is not a number");
+    }
+    const double lit = std::get<double>(literal_);
+    const auto& data = col->numeric_data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (!IsNullNumeric(data[i]) && CompareDoubles(data[i], op_, lit)) out.Set(i);
+    }
+    return out;
+  }
+  // Categorical: only equality and inequality are meaningful.
+  if (op_ != CompareOp::kEq && op_ != CompareOp::kNe) {
+    return Status::InvalidArgument("ordering comparison on categorical column '" +
+                                   column_ + "'");
+  }
+  if (!std::holds_alternative<std::string>(literal_)) {
+    return Status::TypeMismatch("column '" + column_ +
+                                "' is categorical but literal is not a string");
+  }
+  CategoryCode code = col->LookupLabel(std::get<std::string>(literal_));
+  const auto& codes = col->codes();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == kNullCategory) continue;
+    bool eq = (codes[i] == code);
+    if (op_ == CompareOp::kEq ? eq : !eq) out.Set(i);
+  }
+  return out;
+}
+
+std::string ComparisonExpr::ToString() const {
+  return column_ + " " + CompareOpToString(op_) + " " + QuoteLiteral(literal_);
+}
+
+Result<Selection> BetweenExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_));
+  if (!col->is_numeric()) {
+    return Status::TypeMismatch("BETWEEN requires numeric column, got categorical '" +
+                                column_ + "'");
+  }
+  Selection out(table.num_rows());
+  const auto& data = col->numeric_data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!IsNullNumeric(data[i]) && data[i] >= lo_ && data[i] <= hi_) out.Set(i);
+  }
+  return out;
+}
+
+std::string BetweenExpr::ToString() const {
+  return column_ + " BETWEEN " + FormatDouble(lo_, 17) + " AND " + FormatDouble(hi_, 17);
+}
+
+Result<Selection> InExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_));
+  Selection out(table.num_rows());
+  if (col->is_numeric()) {
+    std::vector<double> lits;
+    for (const auto& v : values_) {
+      if (!std::holds_alternative<double>(v)) {
+        return Status::TypeMismatch("IN list for numeric column '" + column_ +
+                                    "' contains a non-number");
+      }
+      lits.push_back(std::get<double>(v));
+    }
+    const auto& data = col->numeric_data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (IsNullNumeric(data[i])) continue;
+      for (double lit : lits) {
+        if (data[i] == lit) {
+          out.Set(i);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  std::vector<CategoryCode> codes_wanted;
+  for (const auto& v : values_) {
+    if (!std::holds_alternative<std::string>(v)) {
+      return Status::TypeMismatch("IN list for categorical column '" + column_ +
+                                  "' contains a non-string");
+    }
+    CategoryCode c = col->LookupLabel(std::get<std::string>(v));
+    if (c != kNullCategory) codes_wanted.push_back(c);
+  }
+  const auto& codes = col->codes();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == kNullCategory) continue;
+    for (CategoryCode c : codes_wanted) {
+      if (codes[i] == c) {
+        out.Set(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string InExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const auto& v : values_) parts.push_back(QuoteLiteral(v));
+  return column_ + " IN (" + Join(parts, ", ") + ")";
+}
+
+bool LikeExpr::Matches(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer wildcard match with backtracking on the last %.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() && (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Selection> LikeExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_));
+  if (!col->is_categorical()) {
+    return Status::TypeMismatch("LIKE requires a categorical column, got numeric '" +
+                                column_ + "'");
+  }
+  // Evaluate the pattern once per dictionary entry.
+  std::vector<uint8_t> dict_match(col->cardinality(), 0);
+  for (size_t i = 0; i < col->cardinality(); ++i) {
+    dict_match[i] = Matches(col->dictionary()[i], pattern_) ? 1 : 0;
+  }
+  Selection out(table.num_rows());
+  const auto& codes = col->codes();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == kNullCategory) continue;  // NULL never matches either way
+    const bool m = dict_match[static_cast<size_t>(codes[i])] != 0;
+    if (m != negated_) out.Set(i);
+  }
+  return out;
+}
+
+std::string LikeExpr::ToString() const {
+  return column_ + (negated_ ? " NOT LIKE '" : " LIKE '") + pattern_ + "'";
+}
+
+Result<Selection> IsNullExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(const Column* col, table.GetColumn(column_));
+  Selection out(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (col->IsNull(i) != negated_) out.Set(i);
+  }
+  return out;
+}
+
+std::string IsNullExpr::ToString() const {
+  return column_ + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+Result<Selection> NotExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(Selection s, child_->Evaluate(table));
+  return s.Invert();
+}
+
+std::string NotExpr::ToString() const { return "NOT (" + child_->ToString() + ")"; }
+
+Result<Selection> LogicalExpr::Evaluate(const Table& table) const {
+  ZIGGY_ASSIGN_OR_RETURN(Selection acc, children_.front()->Evaluate(table));
+  for (size_t i = 1; i < children_.size(); ++i) {
+    ZIGGY_ASSIGN_OR_RETURN(Selection s, children_[i]->Evaluate(table));
+    acc = (kind_ == Kind::kAnd) ? acc.And(s) : acc.Or(s);
+  }
+  return acc;
+}
+
+std::string LogicalExpr::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(children_.size());
+  for (const auto& c : children_) parts.push_back("(" + c->ToString() + ")");
+  return Join(parts, kind_ == Kind::kAnd ? " AND " : " OR ");
+}
+
+}  // namespace ziggy

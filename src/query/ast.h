@@ -1,0 +1,198 @@
+// Predicate AST for Ziggy's query engine.
+//
+// Exploration front-ends hand Ziggy a selection predicate (the WHERE clause
+// of the user's query); evaluating it over a Table yields the Selection that
+// splits tuples into "inside" and "outside" (paper Figure 2).
+//
+// NULL semantics are two-valued: a NULL cell fails every comparison except
+// IS NULL, and NOT is plain boolean negation. This deliberately simplifies
+// SQL's three-valued logic; the divergence only matters for NOT over NULL
+// comparisons and is documented in README.md.
+
+#ifndef ZIGGY_QUERY_AST_H_
+#define ZIGGY_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief Comparison operators supported in predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+/// \brief Abstract predicate node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates the predicate over every row of `table`.
+  virtual Result<Selection> Evaluate(const Table& table) const = 0;
+
+  /// Round-trippable rendering (parseable by ParsePredicate).
+  virtual std::string ToString() const = 0;
+
+  /// Deep copy of the predicate tree.
+  virtual std::unique_ptr<Expr> Clone() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// \brief `column <op> literal`. The literal is a double for numeric
+/// columns and a string for categorical columns; equality/inequality only
+/// for categorical.
+class ComparisonExpr : public Expr {
+ public:
+  ComparisonExpr(std::string column, CompareOp op, Value literal)
+      : column_(std::move(column)), op_(op), literal_(std::move(literal)) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<ComparisonExpr>(column_, op_, literal_);
+  }
+
+  const std::string& column() const { return column_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+
+ private:
+  std::string column_;
+  CompareOp op_;
+  Value literal_;
+};
+
+/// \brief `column BETWEEN lo AND hi` (numeric, inclusive bounds).
+class BetweenExpr : public Expr {
+ public:
+  BetweenExpr(std::string column, double lo, double hi)
+      : column_(std::move(column)), lo_(lo), hi_(hi) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<BetweenExpr>(column_, lo_, hi_);
+  }
+
+  const std::string& column() const { return column_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  std::string column_;
+  double lo_;
+  double hi_;
+};
+
+/// \brief `column IN (v1, v2, ...)`.
+class InExpr : public Expr {
+ public:
+  InExpr(std::string column, std::vector<Value> values)
+      : column_(std::move(column)), values_(std::move(values)) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<InExpr>(column_, values_);
+  }
+
+  const std::string& column() const { return column_; }
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  std::string column_;
+  std::vector<Value> values_;
+};
+
+/// \brief `column LIKE 'pattern'` on categorical columns. Patterns use SQL
+/// wildcards: `%` matches any run of characters, `_` matches one character.
+/// Matching is evaluated once per dictionary entry, so the scan itself is a
+/// code comparison.
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(std::string column, std::string pattern, bool negated)
+      : column_(std::move(column)), pattern_(std::move(pattern)), negated_(negated) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<LikeExpr>(column_, pattern_, negated_);
+  }
+
+  /// SQL LIKE matcher (exposed for tests): full-string match of `text`
+  /// against `pattern` with % and _ wildcards.
+  static bool Matches(std::string_view text, std::string_view pattern);
+
+ private:
+  std::string column_;
+  std::string pattern_;
+  bool negated_;
+};
+
+/// \brief `column IS [NOT] NULL`.
+class IsNullExpr : public Expr {
+ public:
+  IsNullExpr(std::string column, bool negated)
+      : column_(std::move(column)), negated_(negated) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<IsNullExpr>(column_, negated_);
+  }
+
+ private:
+  std::string column_;
+  bool negated_;
+};
+
+/// \brief Boolean NOT.
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr child) : child_(std::move(child)) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    return std::make_unique<NotExpr>(child_->Clone());
+  }
+
+  const Expr& child() const { return *child_; }
+
+ private:
+  ExprPtr child_;
+};
+
+/// \brief Boolean AND / OR over two or more children.
+class LogicalExpr : public Expr {
+ public:
+  enum class Kind { kAnd, kOr };
+
+  LogicalExpr(Kind kind, std::vector<ExprPtr> children)
+      : kind_(kind), children_(std::move(children)) {}
+
+  Result<Selection> Evaluate(const Table& table) const override;
+  std::string ToString() const override;
+  ExprPtr Clone() const override {
+    std::vector<ExprPtr> copies;
+    copies.reserve(children_.size());
+    for (const auto& c : children_) copies.push_back(c->Clone());
+    return std::make_unique<LogicalExpr>(kind_, std::move(copies));
+  }
+
+  Kind kind() const { return kind_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+ private:
+  Kind kind_;
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_QUERY_AST_H_

@@ -1,0 +1,389 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ziggy {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kOperator,  // = == != <> < <= > >=
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // identifier / operator spelling / string payload
+  double number = 0;  // for kNumber
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) break;
+      char c = input_[pos_];
+      if (c == '(') {
+        out.push_back({TokenKind::kLParen, "(", 0});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokenKind::kRParen, ")", 0});
+        ++pos_;
+      } else if (c == ',') {
+        out.push_back({TokenKind::kComma, ",", 0});
+        ++pos_;
+      } else if (c == '*') {
+        out.push_back({TokenKind::kStar, "*", 0});
+        ++pos_;
+      } else if (c == '\'' || c == '"') {
+        ZIGGY_ASSIGN_OR_RETURN(Token t, LexString(c));
+        out.push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 ((c == '-' || c == '+') && pos_ + 1 < input_.size() &&
+                  (std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])) ||
+                   input_[pos_ + 1] == '.'))) {
+        ZIGGY_ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(std::move(t));
+      } else if (IsOperatorChar(c)) {
+        ZIGGY_ASSIGN_OR_RETURN(Token t, LexOperator());
+        out.push_back(std::move(t));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(pos_));
+      }
+    }
+    out.push_back({TokenKind::kEnd, "", 0});
+    return out;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  static bool IsOperatorChar(char c) {
+    return c == '=' || c == '!' || c == '<' || c == '>';
+  }
+
+  Result<Token> LexString(char quote) {
+    ++pos_;  // consume opening quote
+    std::string payload;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == quote) {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == quote) {
+          payload += quote;  // doubled quote escape
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        // A double-quoted token is an identifier in SQL; we treat both quote
+        // styles as string literals except when a quoted word appears where a
+        // column is expected — the parser handles that case.
+        return Token{TokenKind::kString, payload, 0};
+      }
+      payload += c;
+      ++pos_;
+    }
+    return Status::ParseError("unterminated string literal");
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    if (input_[pos_] == '-' || input_[pos_] == '+') ++pos_;
+    bool seen_digit = false;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        seen_digit = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        ++pos_;
+        if ((c == 'e' || c == 'E') && pos_ < input_.size() &&
+            (input_[pos_] == '-' || input_[pos_] == '+')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    if (!seen_digit) return Status::ParseError("malformed number");
+    std::string_view text = input_.substr(start, pos_ - start);
+    ZIGGY_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+    return Token{TokenKind::kNumber, std::string(text), v};
+  }
+
+  Result<Token> LexOperator() {
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsOperatorChar(input_[pos_])) ++pos_;
+    std::string op(input_.substr(start, pos_ - start));
+    if (op == "=" || op == "==" || op == "!=" || op == "<>" || op == "<" ||
+        op == "<=" || op == ">" || op == ">=") {
+      return Token{TokenKind::kOperator, op, 0};
+    }
+    return Status::ParseError("unknown operator: '" + op + "'");
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_' || input_[pos_] == '.')) {
+      ++pos_;
+    }
+    return Token{TokenKind::kIdent, std::string(input_.substr(start, pos_ - start)), 0};
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> ParseFullQuery() {
+    if (PeekKeyword("SELECT")) {
+      ZIGGY_RETURN_NOT_OK(SkipSelectPrefix());
+    }
+    ZIGGY_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after predicate: '" + Peek().text + "'");
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseBarePredicate() {
+    ZIGGY_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after predicate: '" + Peek().text + "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Consume() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (!PeekKeyword(kw)) return false;
+    Consume();
+    return true;
+  }
+
+  Status SkipSelectPrefix() {
+    ZIGGY_CHECK(ConsumeKeyword("SELECT"));
+    // Skip the projection list and FROM clause; Ziggy characterizes the
+    // selected rows regardless of projection.
+    bool saw_where = false;
+    while (Peek().kind != TokenKind::kEnd) {
+      if (PeekKeyword("WHERE")) {
+        Consume();
+        saw_where = true;
+        break;
+      }
+      Consume();
+    }
+    if (!saw_where) {
+      return Status::InvalidArgument(
+          "query has no WHERE clause; Ziggy characterizes selections, so an "
+          "all-rows query has no complement to compare against");
+    }
+    return Status::OK();
+  }
+
+  Result<ExprPtr> ParseOr() {
+    ZIGGY_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(left));
+    while (ConsumeKeyword("OR")) {
+      ZIGGY_ASSIGN_OR_RETURN(ExprPtr next, ParseAnd());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children.front());
+    return ExprPtr(new LogicalExpr(LogicalExpr::Kind::kOr, std::move(children)));
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ZIGGY_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    std::vector<ExprPtr> children;
+    children.push_back(std::move(left));
+    while (ConsumeKeyword("AND")) {
+      ZIGGY_ASSIGN_OR_RETURN(ExprPtr next, ParseUnary());
+      children.push_back(std::move(next));
+    }
+    if (children.size() == 1) return std::move(children.front());
+    return ExprPtr(new LogicalExpr(LogicalExpr::Kind::kAnd, std::move(children)));
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (ConsumeKeyword("NOT")) {
+      ZIGGY_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      return ExprPtr(new NotExpr(std::move(child)));
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      Consume();
+      ZIGGY_ASSIGN_OR_RETURN(ExprPtr e, ParseOr());
+      if (Peek().kind != TokenKind::kRParen) {
+        return Status::ParseError("expected ')'");
+      }
+      Consume();
+      return e;
+    }
+    return ParseAtom();
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    // Column reference: bare identifier or quoted name.
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdent && t.kind != TokenKind::kString) {
+      return Status::ParseError("expected column name, got '" + t.text + "'");
+    }
+    std::string column = Consume().text;
+
+    if (ConsumeKeyword("BETWEEN")) {
+      if (Peek().kind != TokenKind::kNumber) {
+        return Status::ParseError("BETWEEN expects a numeric lower bound");
+      }
+      double lo = Consume().number;
+      if (!ConsumeKeyword("AND")) {
+        return Status::ParseError("BETWEEN expects AND between bounds");
+      }
+      if (Peek().kind != TokenKind::kNumber) {
+        return Status::ParseError("BETWEEN expects a numeric upper bound");
+      }
+      double hi = Consume().number;
+      return ExprPtr(new BetweenExpr(std::move(column), lo, hi));
+    }
+
+    if (ConsumeKeyword("IN")) {
+      if (Peek().kind != TokenKind::kLParen) {
+        return Status::ParseError("IN expects '('");
+      }
+      Consume();
+      std::vector<Value> values;
+      while (true) {
+        ZIGGY_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        values.push_back(std::move(v));
+        if (Peek().kind == TokenKind::kComma) {
+          Consume();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Status::ParseError("IN list missing ')'");
+      }
+      Consume();
+      return ExprPtr(new InExpr(std::move(column), std::move(values)));
+    }
+
+    bool negated_like = false;
+    if (PeekKeyword("NOT") && PeekKeyword("LIKE", 1)) {
+      Consume();
+      negated_like = true;
+    }
+    if (ConsumeKeyword("LIKE")) {
+      if (Peek().kind != TokenKind::kString) {
+        return Status::ParseError("LIKE expects a quoted pattern");
+      }
+      std::string pattern = Consume().text;
+      return ExprPtr(new LikeExpr(std::move(column), std::move(pattern), negated_like));
+    }
+    if (negated_like) {
+      return Status::ParseError("expected LIKE after NOT");
+    }
+
+    if (ConsumeKeyword("IS")) {
+      bool negated = ConsumeKeyword("NOT");
+      if (!ConsumeKeyword("NULL")) {
+        return Status::ParseError("expected NULL after IS [NOT]");
+      }
+      return ExprPtr(new IsNullExpr(std::move(column), negated));
+    }
+
+    if (Peek().kind != TokenKind::kOperator) {
+      return Status::ParseError("expected comparison operator after '" + column + "'");
+    }
+    std::string op_text = Consume().text;
+    CompareOp op;
+    if (op_text == "=" || op_text == "==") {
+      op = CompareOp::kEq;
+    } else if (op_text == "!=" || op_text == "<>") {
+      op = CompareOp::kNe;
+    } else if (op_text == "<") {
+      op = CompareOp::kLt;
+    } else if (op_text == "<=") {
+      op = CompareOp::kLe;
+    } else if (op_text == ">") {
+      op = CompareOp::kGt;
+    } else {
+      op = CompareOp::kGe;
+    }
+    ZIGGY_ASSIGN_OR_RETURN(Value lit, ParseLiteral());
+    return ExprPtr(new ComparisonExpr(std::move(column), op, std::move(lit)));
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) return Value{Consume().number};
+    if (t.kind == TokenKind::kString) return Value{Consume().text};
+    if (t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, "NULL")) {
+      Consume();
+      return Value{std::monostate{}};
+    }
+    // Bare words as categorical literals (state = CA) are a common user
+    // shorthand; accept them.
+    if (t.kind == TokenKind::kIdent) return Value{Consume().text};
+    return Status::ParseError("expected literal, got '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParsePredicate(std::string_view text) {
+  Lexer lexer(text);
+  ZIGGY_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseBarePredicate();
+}
+
+Result<ExprPtr> ParseQuery(std::string_view text) {
+  Lexer lexer(text);
+  ZIGGY_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseFullQuery();
+}
+
+}  // namespace ziggy

@@ -1,0 +1,44 @@
+// Recursive-descent parser for Ziggy's predicate language.
+//
+// Grammar (case-insensitive keywords):
+//
+//   query      := [SELECT '*'|cols FROM ident WHERE] pred
+//   pred       := or_expr
+//   or_expr    := and_expr (OR and_expr)*
+//   and_expr   := unary (AND unary)*
+//   unary      := NOT unary | '(' pred ')' | atom
+//   atom       := ident cmp literal
+//              |  ident BETWEEN number AND number
+//              |  ident IN '(' literal (',' literal)* ')'
+//              |  ident [NOT] LIKE 'pattern'      (% and _ wildcards)
+//              |  ident IS [NOT] NULL
+//   cmp        := '=' | '==' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//   literal    := number | '\'' chars '\'' | '"' chars '"'
+//   ident      := bare word, or "quoted identifier" with spaces
+//
+// Examples the exploration front-end may submit:
+//   violent_crime_rate >= 1200 AND population > 50000
+//   SELECT * FROM crime WHERE state IN ('CA', 'NY') AND pct_poverty > 0.3
+
+#ifndef ZIGGY_QUERY_PARSER_H_
+#define ZIGGY_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace ziggy {
+
+/// \brief Parses a bare predicate (the WHERE clause body).
+Result<ExprPtr> ParsePredicate(std::string_view text);
+
+/// \brief Parses either a bare predicate or a full `SELECT ... WHERE pred`
+/// statement, returning the predicate. A SELECT without a WHERE clause
+/// selects all rows (constant-true predicate is not representable, so this
+/// is reported as an InvalidArgument — Ziggy characterizes *selections*).
+Result<ExprPtr> ParseQuery(std::string_view text);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_QUERY_PARSER_H_

@@ -1,0 +1,129 @@
+#include "query/simplify.h"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace ziggy {
+
+namespace {
+
+// The simplifier works on rendered forms for identity checks (ToString is
+// round-trippable, so textual equality implies semantic equality for
+// identical subtrees).
+
+bool IsComparison(const Expr& e, const ComparisonExpr** out) {
+  const auto* c = dynamic_cast<const ComparisonExpr*>(&e);
+  if (c != nullptr) *out = c;
+  return c != nullptr;
+}
+
+// Extracts (column, bound) from `col >= lo` / `col <= hi` atoms.
+struct RangeBound {
+  std::string column;
+  double value;
+};
+
+std::optional<RangeBound> AsLowerBound(const Expr& e) {
+  const ComparisonExpr* c = nullptr;
+  if (!IsComparison(e, &c)) return std::nullopt;
+  if (c->op() != CompareOp::kGe) return std::nullopt;
+  if (!std::holds_alternative<double>(c->literal())) return std::nullopt;
+  return RangeBound{c->column(), std::get<double>(c->literal())};
+}
+
+std::optional<RangeBound> AsUpperBound(const Expr& e) {
+  const ComparisonExpr* c = nullptr;
+  if (!IsComparison(e, &c)) return std::nullopt;
+  if (c->op() != CompareOp::kLe) return std::nullopt;
+  if (!std::holds_alternative<double>(c->literal())) return std::nullopt;
+  return RangeBound{c->column(), std::get<double>(c->literal())};
+}
+
+ExprPtr SimplifyRec(ExprPtr expr);
+
+// Flattens same-kind children, simplifying each first.
+std::vector<ExprPtr> FlattenChildren(LogicalExpr::Kind kind,
+                                     const std::vector<ExprPtr>& children) {
+  std::vector<ExprPtr> flat;
+  for (const auto& child : children) {
+    ExprPtr simplified = SimplifyRec(child->Clone());
+    auto* logical = dynamic_cast<LogicalExpr*>(simplified.get());
+    if (logical != nullptr && logical->kind() == kind) {
+      for (const auto& grandchild : logical->children()) {
+        flat.push_back(grandchild->Clone());
+      }
+    } else {
+      flat.push_back(std::move(simplified));
+    }
+  }
+  return flat;
+}
+
+ExprPtr SimplifyRec(ExprPtr expr) {
+  // NOT: recurse, then cancel double negation.
+  if (auto* not_expr = dynamic_cast<NotExpr*>(expr.get())) {
+    ExprPtr child = SimplifyRec(not_expr->child().Clone());
+    if (auto* inner_not = dynamic_cast<NotExpr*>(child.get())) {
+      return SimplifyRec(inner_not->child().Clone());
+    }
+    return std::make_unique<NotExpr>(std::move(child));
+  }
+
+  auto* logical = dynamic_cast<LogicalExpr*>(expr.get());
+  if (logical == nullptr) return expr;  // leaves are already normal
+
+  const LogicalExpr::Kind kind = logical->kind();
+  std::vector<ExprPtr> flat = FlattenChildren(kind, logical->children());
+
+  // Dedupe by rendered form, preserving first occurrence order.
+  std::vector<ExprPtr> unique_children;
+  std::set<std::string> seen;
+  for (auto& child : flat) {
+    if (seen.insert(child->ToString()).second) {
+      unique_children.push_back(std::move(child));
+    }
+  }
+
+  // BETWEEN synthesis inside conjunctions: pair up `x >= lo` and `x <= hi`.
+  if (kind == LogicalExpr::Kind::kAnd) {
+    std::vector<ExprPtr> merged;
+    std::vector<bool> used(unique_children.size(), false);
+    for (size_t i = 0; i < unique_children.size(); ++i) {
+      if (used[i]) continue;
+      const auto lower = AsLowerBound(*unique_children[i]);
+      if (lower.has_value()) {
+        for (size_t j = 0; j < unique_children.size(); ++j) {
+          if (j == i || used[j]) continue;
+          const auto upper = AsUpperBound(*unique_children[j]);
+          if (upper.has_value() && upper->column == lower->column &&
+              lower->value <= upper->value) {
+            merged.push_back(std::make_unique<BetweenExpr>(lower->column,
+                                                           lower->value,
+                                                           upper->value));
+            used[i] = used[j] = true;
+            break;
+          }
+        }
+      }
+      if (!used[i]) {
+        merged.push_back(std::move(unique_children[i]));
+        used[i] = true;
+      }
+    }
+    unique_children = std::move(merged);
+  }
+
+  if (unique_children.size() == 1) return std::move(unique_children.front());
+  return std::make_unique<LogicalExpr>(kind, std::move(unique_children));
+}
+
+}  // namespace
+
+ExprPtr SimplifyPredicate(ExprPtr expr) {
+  if (expr == nullptr) return expr;
+  return SimplifyRec(std::move(expr));
+}
+
+}  // namespace ziggy

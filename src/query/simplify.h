@@ -1,0 +1,31 @@
+// Predicate normalization: semantics-preserving rewrites applied before
+// evaluation. Exploration front-ends assemble predicates mechanically
+// (appending refinements), so the trees accumulate noise — nested
+// conjunctions, double negations, duplicated atoms, range pairs that are
+// really a BETWEEN.
+//
+// All rewrites preserve Ziggy's two-valued NULL semantics exactly. In
+// particular, NOT is never pushed through comparisons (NOT (x > 5) keeps
+// NULL rows, x <= 5 drops them — those differ), only structural rules are
+// applied:
+//
+//   NOT (NOT e)                      -> e
+//   AND(a, AND(b, c))                -> AND(a, b, c)        (flatten)
+//   OR(a, OR(b, c))                  -> OR(a, b, c)         (flatten)
+//   AND(a, a, b) / OR(a, a, b)       -> AND(a, b) / OR(a, b) (dedupe, textual)
+//   AND(..., x >= lo, x <= hi, ...)  -> AND(..., x BETWEEN lo AND hi, ...)
+//   AND(e) / OR(e)                   -> e                    (unwrap)
+
+#ifndef ZIGGY_QUERY_SIMPLIFY_H_
+#define ZIGGY_QUERY_SIMPLIFY_H_
+
+#include "query/ast.h"
+
+namespace ziggy {
+
+/// \brief Returns the normalized equivalent of `expr` (consumes the input).
+ExprPtr SimplifyPredicate(ExprPtr expr);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_QUERY_SIMPLIFY_H_

@@ -1,0 +1,70 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace ziggy {
+
+namespace {
+
+std::vector<double> Resample(const std::vector<double>& data, Rng* rng) {
+  std::vector<double> out(data.size());
+  const int64_t hi = static_cast<int64_t>(data.size()) - 1;
+  for (double& v : out) {
+    v = data[static_cast<size_t>(rng->UniformInt(0, hi))];
+  }
+  return out;
+}
+
+}  // namespace
+
+BootstrapInterval BootstrapTwoSample(const std::vector<double>& inside,
+                                     const std::vector<double>& outside,
+                                     const TwoSampleStatistic& statistic,
+                                     const BootstrapOptions& options) {
+  BootstrapInterval out;
+  if (inside.size() < 2 || outside.size() < 2 || options.resamples < 2) return out;
+  out.point = statistic(inside, outside);
+
+  Rng rng(options.seed);
+  std::vector<double> replicates;
+  replicates.reserve(options.resamples);
+  for (size_t b = 0; b < options.resamples; ++b) {
+    replicates.push_back(statistic(Resample(inside, &rng), Resample(outside, &rng)));
+  }
+  std::sort(replicates.begin(), replicates.end());
+  const double alpha = (1.0 - options.confidence) / 2.0;
+  const auto pick = [&replicates](double q) {
+    const double pos = q * static_cast<double>(replicates.size() - 1);
+    const size_t lo_idx = static_cast<size_t>(pos);
+    const size_t hi_idx = std::min(lo_idx + 1, replicates.size() - 1);
+    const double frac = pos - static_cast<double>(lo_idx);
+    return replicates[lo_idx] * (1.0 - frac) + replicates[hi_idx] * frac;
+  };
+  out.lo = pick(alpha);
+  out.hi = pick(1.0 - alpha);
+  out.defined = true;
+  return out;
+}
+
+double MeanDifferenceStatistic(const std::vector<double>& inside,
+                               const std::vector<double>& outside) {
+  return ComputeNumericStats(inside).mean - ComputeNumericStats(outside).mean;
+}
+
+double MedianDifferenceStatistic(const std::vector<double>& inside,
+                                 const std::vector<double>& outside) {
+  return Median(inside) - Median(outside);
+}
+
+double LogStdRatioStatistic(const std::vector<double>& inside,
+                            const std::vector<double>& outside) {
+  const double s1 = ComputeNumericStats(inside).StdDev();
+  const double s2 = ComputeNumericStats(outside).StdDev();
+  if (s1 <= 0.0 || s2 <= 0.0) return 0.0;
+  return std::log(s1 / s2);
+}
+
+}  // namespace ziggy

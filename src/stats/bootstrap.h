@@ -1,0 +1,62 @@
+// Bootstrap resampling: nonparametric confidence intervals for two-sample
+// statistics. Post-processing can cross-check the asymptotic significance
+// of a Zig-Component against a distribution-free interval — the "more
+// advanced aggregation schemes" escape hatch of paper §3 for data where
+// the normal approximations are doubtful (small selections, heavy tails).
+
+#ifndef ZIGGY_STATS_BOOTSTRAP_H_
+#define ZIGGY_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ziggy {
+
+/// \brief Options of the bootstrap procedure.
+struct BootstrapOptions {
+  size_t resamples = 200;
+  double confidence = 0.95;  ///< two-sided coverage of the interval
+  uint64_t seed = 42;
+};
+
+/// \brief A percentile bootstrap interval around a point estimate.
+struct BootstrapInterval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool defined = false;
+
+  /// True if the interval excludes `value` (e.g. 0 for "no effect").
+  bool Excludes(double value) const { return defined && (value < lo || value > hi); }
+};
+
+/// \brief A statistic of two samples (inside, outside).
+using TwoSampleStatistic = std::function<double(const std::vector<double>&,
+                                                const std::vector<double>&)>;
+
+/// \brief Percentile bootstrap of a two-sample statistic: both sides are
+/// resampled with replacement independently. NaNs must be removed by the
+/// caller. Undefined when either side has fewer than 2 observations.
+BootstrapInterval BootstrapTwoSample(const std::vector<double>& inside,
+                                     const std::vector<double>& outside,
+                                     const TwoSampleStatistic& statistic,
+                                     const BootstrapOptions& options = {});
+
+/// \name Canned statistics.
+/// @{
+/// mean(inside) − mean(outside).
+double MeanDifferenceStatistic(const std::vector<double>& inside,
+                               const std::vector<double>& outside);
+/// median(inside) − median(outside).
+double MedianDifferenceStatistic(const std::vector<double>& inside,
+                                 const std::vector<double>& outside);
+/// ln(sd(inside) / sd(outside)); 0 when either sd vanishes.
+double LogStdRatioStatistic(const std::vector<double>& inside,
+                            const std::vector<double>& outside);
+/// @}
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STATS_BOOTSTRAP_H_

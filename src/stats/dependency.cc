@@ -1,0 +1,216 @@
+#include "stats/dependency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "stats/descriptive.h"
+#include "stats/histogram.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  return ComputePairStats(x, y).Correlation();
+}
+
+std::vector<double> RankTransform(const std::vector<double>& data) {
+  std::vector<size_t> order;
+  order.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!IsNullNumeric(data[i])) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return data[a] < data[b]; });
+  std::vector<double> ranks(data.size(), NullNumeric());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && data[order[j + 1]] == data[order[i]]) ++j;
+    // Average rank for the tie group [i, j], 1-based ranks.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  ZIGGY_CHECK(x.size() == y.size());
+  // Mask out rows where either side is null, then rank.
+  std::vector<double> xs(x.size(), NullNumeric());
+  std::vector<double> ys(y.size(), NullNumeric());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!IsNullNumeric(x[i]) && !IsNullNumeric(y[i])) {
+      xs[i] = x[i];
+      ys[i] = y[i];
+    }
+  }
+  return PearsonCorrelation(RankTransform(xs), RankTransform(ys));
+}
+
+double CramersV(const Column& a, const Column& b) {
+  ZIGGY_CHECK(a.is_categorical() && b.is_categorical());
+  ZIGGY_CHECK(a.size() == b.size());
+  const size_t r = a.cardinality();
+  const size_t c = b.cardinality();
+  if (r < 2 || c < 2) return 0.0;
+  std::vector<int64_t> table(r * c, 0);
+  std::vector<int64_t> row_sum(r, 0);
+  std::vector<int64_t> col_sum(c, 0);
+  int64_t n = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const CategoryCode ca = a.codes()[i];
+    const CategoryCode cb = b.codes()[i];
+    if (ca == kNullCategory || cb == kNullCategory) continue;
+    ++table[static_cast<size_t>(ca) * c + static_cast<size_t>(cb)];
+    ++row_sum[static_cast<size_t>(ca)];
+    ++col_sum[static_cast<size_t>(cb)];
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  double chi2 = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    if (row_sum[i] == 0) continue;
+    for (size_t j = 0; j < c; ++j) {
+      if (col_sum[j] == 0) continue;
+      const double expected = static_cast<double>(row_sum[i]) *
+                              static_cast<double>(col_sum[j]) / static_cast<double>(n);
+      const double diff = static_cast<double>(table[i * c + j]) - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  const double k = static_cast<double>(std::min(r, c)) - 1.0;
+  if (k <= 0.0) return 0.0;
+  return std::sqrt(std::clamp(chi2 / (static_cast<double>(n) * k), 0.0, 1.0));
+}
+
+double CorrelationRatio(const Column& categorical, const std::vector<double>& numeric) {
+  ZIGGY_CHECK(categorical.is_categorical());
+  ZIGGY_CHECK(categorical.size() == numeric.size());
+  const size_t k = categorical.cardinality();
+  if (k == 0) return 0.0;
+  std::vector<int64_t> counts(k, 0);
+  std::vector<double> sums(k, 0.0);
+  double total_sum = 0.0;
+  int64_t n = 0;
+  for (size_t i = 0; i < numeric.size(); ++i) {
+    const CategoryCode c = categorical.codes()[i];
+    if (c == kNullCategory || IsNullNumeric(numeric[i])) continue;
+    ++counts[static_cast<size_t>(c)];
+    sums[static_cast<size_t>(c)] += numeric[i];
+    total_sum += numeric[i];
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double grand_mean = total_sum / static_cast<double>(n);
+  double ss_between = 0.0;
+  for (size_t g = 0; g < k; ++g) {
+    if (counts[g] == 0) continue;
+    const double group_mean = sums[g] / static_cast<double>(counts[g]);
+    const double d = group_mean - grand_mean;
+    ss_between += static_cast<double>(counts[g]) * d * d;
+  }
+  double ss_total = 0.0;
+  for (size_t i = 0; i < numeric.size(); ++i) {
+    const CategoryCode c = categorical.codes()[i];
+    if (c == kNullCategory || IsNullNumeric(numeric[i])) continue;
+    const double d = numeric[i] - grand_mean;
+    ss_total += d * d;
+  }
+  if (ss_total <= 0.0) return 0.0;
+  return std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0));
+}
+
+namespace {
+
+// Bins a numeric vector into `bins` equi-width cells; returns -1 for NaN.
+std::vector<int> BinNumeric(const std::vector<double>& data, size_t bins) {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (double v : data) {
+    if (IsNullNumeric(v)) continue;
+    if (first) {
+      lo = hi = v;
+      first = false;
+    } else {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  double width = (hi - lo) / static_cast<double>(bins);
+  if (width <= 0.0) width = 1.0;
+  std::vector<int> out(data.size(), -1);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (IsNullNumeric(data[i])) continue;
+    int b = static_cast<int>((data[i] - lo) / width);
+    out[i] = std::clamp(b, 0, static_cast<int>(bins) - 1);
+  }
+  return out;
+}
+
+std::vector<int> CellsOf(const Column& col, size_t bins, size_t* arity) {
+  if (col.is_numeric()) {
+    *arity = bins;
+    return BinNumeric(col.numeric_data(), bins);
+  }
+  *arity = std::max<size_t>(col.cardinality(), 1);
+  std::vector<int> out(col.size(), -1);
+  for (size_t i = 0; i < col.size(); ++i) {
+    out[i] = col.codes()[i] == kNullCategory ? -1 : static_cast<int>(col.codes()[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+double MutualInformation(const Column& a, const Column& b, size_t bins) {
+  ZIGGY_CHECK(a.size() == b.size());
+  size_t ka = 0;
+  size_t kb = 0;
+  std::vector<int> ca = CellsOf(a, bins, &ka);
+  std::vector<int> cb = CellsOf(b, bins, &kb);
+  std::vector<int64_t> joint(ka * kb, 0);
+  std::vector<int64_t> ma(ka, 0);
+  std::vector<int64_t> mb(kb, 0);
+  int64_t n = 0;
+  for (size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i] < 0 || cb[i] < 0) continue;
+    ++joint[static_cast<size_t>(ca[i]) * kb + static_cast<size_t>(cb[i])];
+    ++ma[static_cast<size_t>(ca[i])];
+    ++mb[static_cast<size_t>(cb[i])];
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  double mi = 0.0;
+  const double dn = static_cast<double>(n);
+  for (size_t i = 0; i < ka; ++i) {
+    if (ma[i] == 0) continue;
+    for (size_t j = 0; j < kb; ++j) {
+      const int64_t nij = joint[i * kb + j];
+      if (nij == 0 || mb[j] == 0) continue;
+      const double pij = static_cast<double>(nij) / dn;
+      const double pi = static_cast<double>(ma[i]) / dn;
+      const double pj = static_cast<double>(mb[j]) / dn;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double DependencyMeasure(const Column& a, const Column& b) {
+  if (a.is_numeric() && b.is_numeric()) {
+    return std::fabs(PearsonCorrelation(a.numeric_data(), b.numeric_data()));
+  }
+  if (a.is_categorical() && b.is_categorical()) {
+    return CramersV(a, b);
+  }
+  if (a.is_categorical()) {
+    return CorrelationRatio(a, b.numeric_data());
+  }
+  return CorrelationRatio(b, a.numeric_data());
+}
+
+}  // namespace ziggy

@@ -1,0 +1,46 @@
+// Statistical dependency measures between columns — the measure S of
+// paper Eq. 2, used to build the column dependency graph whose clusters
+// become candidate views. Ziggy needs S for every column-type pairing:
+//   numeric-numeric        -> |Pearson| (or |Spearman|)
+//   categorical-categorical -> Cramér's V
+//   numeric-categorical    -> correlation ratio eta
+// All measures are normalized into [0, 1] so that one MIN_tight threshold
+// applies uniformly.
+
+#ifndef ZIGGY_STATS_DEPENDENCY_H_
+#define ZIGGY_STATS_DEPENDENCY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+
+namespace ziggy {
+
+/// \brief Pearson correlation over rows where both values are non-null.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// \brief Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+/// \brief Midrank transform (ties get average rank); NaNs stay NaN.
+std::vector<double> RankTransform(const std::vector<double>& data);
+
+/// \brief Cramér's V between two categorical columns, in [0, 1].
+double CramersV(const Column& a, const Column& b);
+
+/// \brief Correlation ratio eta: how much of the numeric column's variance
+/// is explained by the categorical grouping, sqrt of between/total; [0, 1].
+double CorrelationRatio(const Column& categorical, const std::vector<double>& numeric);
+
+/// \brief Mutual information (nats) between two columns, estimated on a
+/// `bins` x `bins` grid for numeric columns and on categories otherwise.
+double MutualInformation(const Column& a, const Column& b, size_t bins = 16);
+
+/// \brief Dispatches to the right dependency measure for the pair's types;
+/// result normalized to [0, 1].
+double DependencyMeasure(const Column& a, const Column& b);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STATS_DEPENDENCY_H_

@@ -1,0 +1,180 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+void NumericStats::Add(double x) {
+  if (count == 0) {
+    min = max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+void NumericStats::Merge(const NumericStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count);
+  const double n2 = static_cast<double>(other.count);
+  const double delta = other.mean - mean;
+  const double n = n1 + n2;
+  mean += delta * n2 / n;
+  m2 += other.m2 + delta * delta * n1 * n2 / n;
+  count += other.count;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+double NumericStats::Variance() const {
+  return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+}
+
+double NumericStats::StdDev() const { return std::sqrt(Variance()); }
+
+void PairStats::Add(double x, double y) {
+  ++count;
+  const double n = static_cast<double>(count);
+  const double dx = x - mean_x;
+  const double dy = y - mean_y;
+  mean_x += dx / n;
+  mean_y += dy / n;
+  m2_x += dx * (x - mean_x);
+  m2_y += dy * (y - mean_y);
+  comoment += dx * (y - mean_y);
+}
+
+void PairStats::Merge(const PairStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count);
+  const double n2 = static_cast<double>(other.count);
+  const double n = n1 + n2;
+  const double dx = other.mean_x - mean_x;
+  const double dy = other.mean_y - mean_y;
+  comoment += other.comoment + dx * dy * n1 * n2 / n;
+  m2_x += other.m2_x + dx * dx * n1 * n2 / n;
+  m2_y += other.m2_y + dy * dy * n1 * n2 / n;
+  mean_x += dx * n2 / n;
+  mean_y += dy * n2 / n;
+  count += other.count;
+}
+
+double PairStats::Covariance() const {
+  return count > 1 ? comoment / static_cast<double>(count - 1) : 0.0;
+}
+
+double PairStats::Correlation() const {
+  if (count < 2) return 0.0;
+  const double denom = std::sqrt(m2_x * m2_y);
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(comoment / denom, -1.0, 1.0);
+}
+
+double MomentSketch::Variance() const {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  const double centered = sum_sq - sum * sum / n;
+  return std::max(0.0, centered / (n - 1.0));
+}
+
+double MomentSketch::StdDev() const { return std::sqrt(Variance()); }
+
+void PairMomentSketch::Merge(const PairMomentSketch& other) {
+  count += other.count;
+  sum_x += other.sum_x;
+  sum_y += other.sum_y;
+  sum_xx += other.sum_xx;
+  sum_yy += other.sum_yy;
+  sum_xy += other.sum_xy;
+}
+
+void PairMomentSketch::Subtract(const PairMomentSketch& other) {
+  count -= other.count;
+  sum_x -= other.sum_x;
+  sum_y -= other.sum_y;
+  sum_xx -= other.sum_xx;
+  sum_yy -= other.sum_yy;
+  sum_xy -= other.sum_xy;
+}
+
+double PairMomentSketch::Correlation() const {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  const double cov = sum_xy - sum_x * sum_y / n;
+  const double vx = std::max(0.0, sum_xx - sum_x * sum_x / n);
+  const double vy = std::max(0.0, sum_yy - sum_y * sum_y / n);
+  const double denom = std::sqrt(vx * vy);
+  if (denom <= 0.0) return 0.0;
+  return std::clamp(cov / denom, -1.0, 1.0);
+}
+
+NumericStats ComputeNumericStats(const std::vector<double>& data) {
+  NumericStats s;
+  for (double v : data) {
+    if (!IsNullNumeric(v)) s.Add(v);
+  }
+  return s;
+}
+
+NumericStats ComputeNumericStats(const std::vector<double>& data,
+                                 const Selection& selection) {
+  ZIGGY_CHECK(selection.num_rows() == data.size());
+  NumericStats s;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (selection.Contains(i) && !IsNullNumeric(data[i])) s.Add(data[i]);
+  }
+  return s;
+}
+
+PairStats ComputePairStats(const std::vector<double>& x, const std::vector<double>& y) {
+  ZIGGY_CHECK(x.size() == y.size());
+  PairStats s;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!IsNullNumeric(x[i]) && !IsNullNumeric(y[i])) s.Add(x[i], y[i]);
+  }
+  return s;
+}
+
+PairStats ComputePairStats(const std::vector<double>& x, const std::vector<double>& y,
+                           const Selection& selection) {
+  ZIGGY_CHECK(x.size() == y.size() && selection.num_rows() == x.size());
+  PairStats s;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (selection.Contains(i) && !IsNullNumeric(x[i]) && !IsNullNumeric(y[i])) {
+      s.Add(x[i], y[i]);
+    }
+  }
+  return s;
+}
+
+double Quantile(std::vector<double> data, double q) {
+  data.erase(std::remove_if(data.begin(), data.end(),
+                            [](double v) { return IsNullNumeric(v); }),
+             data.end());
+  if (data.empty()) return NullNumeric();
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(data.begin(), data.end());
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+}  // namespace ziggy

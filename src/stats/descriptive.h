@@ -1,0 +1,150 @@
+// Descriptive statistics: single-column and pairwise moment accumulators.
+//
+// Two representations coexist on purpose:
+//  * Welford accumulators (`NumericStats`, `PairStats`) — numerically stable
+//    single-pass summaries used whenever data is scanned directly.
+//  * Mergeable moment sketches (`MomentSketch`, `PairMomentSketch`) — raw
+//    power sums supporting Merge *and* Subtract. These power the engine's
+//    shared-computation preparation (full-paper optimization): the global
+//    sketch is computed once per table, the selection sketch in one scan,
+//    and the outside sketch is obtained as global − selection with no
+//    second scan.
+
+#ifndef ZIGGY_STATS_DESCRIPTIVE_H_
+#define ZIGGY_STATS_DESCRIPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/selection.h"
+
+namespace ziggy {
+
+/// \brief Welford single-pass summary of one numeric sample.
+struct NumericStats {
+  int64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations from the running mean
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another summary (Chan et al. parallel combination).
+  void Merge(const NumericStats& other);
+
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double Variance() const;
+  double StdDev() const;
+};
+
+/// \brief Welford-style summary of a numeric pair (for correlations).
+struct PairStats {
+  int64_t count = 0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+  double m2_x = 0.0;
+  double m2_y = 0.0;
+  double comoment = 0.0;  ///< sum of (x - mean_x)(y - mean_y)
+
+  void Add(double x, double y);
+  void Merge(const PairStats& other);
+
+  /// Sample covariance (n-1); 0 for n < 2.
+  double Covariance() const;
+  /// Pearson correlation; 0 when either variance vanishes.
+  double Correlation() const;
+};
+
+/// \brief Raw power sums of one numeric sample; supports exact Subtract.
+struct MomentSketch {
+  int64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  void Add(double x) {
+    ++count;
+    sum += x;
+    sum_sq += x * x;
+  }
+  /// Exact inverse of Add for a previously added observation.
+  void Remove(double x) {
+    --count;
+    sum -= x;
+    sum_sq -= x * x;
+  }
+  void Merge(const MomentSketch& other) {
+    count += other.count;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+  }
+  /// this := this − other. Requires other to be a sub-sample of this.
+  void Subtract(const MomentSketch& other) {
+    count -= other.count;
+    sum -= other.sum;
+    sum_sq -= other.sum_sq;
+  }
+
+  double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Sample variance (n-1), clamped at 0 against cancellation error.
+  double Variance() const;
+  double StdDev() const;
+};
+
+/// \brief Raw cross-moment of a numeric pair; supports exact Subtract.
+struct PairMomentSketch {
+  int64_t count = 0;
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  double sum_xx = 0.0;
+  double sum_yy = 0.0;
+  double sum_xy = 0.0;
+
+  void Add(double x, double y) {
+    ++count;
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_yy += y * y;
+    sum_xy += x * y;
+  }
+  /// Exact inverse of Add for a previously added observation.
+  void Remove(double x, double y) {
+    --count;
+    sum_x -= x;
+    sum_y -= y;
+    sum_xx -= x * x;
+    sum_yy -= y * y;
+    sum_xy -= x * y;
+  }
+  void Merge(const PairMomentSketch& other);
+  void Subtract(const PairMomentSketch& other);
+
+  double Correlation() const;
+};
+
+/// \brief Welford summary over a full vector (NaNs skipped).
+NumericStats ComputeNumericStats(const std::vector<double>& data);
+
+/// \brief Welford summary over the rows picked by `selection`.
+NumericStats ComputeNumericStats(const std::vector<double>& data,
+                                 const Selection& selection);
+
+/// \brief Pair summary over rows where both entries are non-NaN.
+PairStats ComputePairStats(const std::vector<double>& x, const std::vector<double>& y);
+
+/// \brief Pair summary restricted to a selection.
+PairStats ComputePairStats(const std::vector<double>& x, const std::vector<double>& y,
+                           const Selection& selection);
+
+/// \brief The q-quantile (0<=q<=1) by linear interpolation; NaNs skipped.
+/// Returns NaN on an empty sample.
+double Quantile(std::vector<double> data, double q);
+
+/// \brief Convenience median.
+inline double Median(std::vector<double> data) { return Quantile(std::move(data), 0.5); }
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STATS_DESCRIPTIVE_H_

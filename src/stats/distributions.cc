@@ -1,0 +1,191 @@
+#include "stats/distributions.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr double kEps = 1e-15;
+constexpr int kMaxIterations = 500;
+
+// Lower incomplete gamma by power series: P(a,x) converges fast for x < a+1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper incomplete gamma by Lentz continued fraction: Q(a,x) for x >= a+1.
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+// Continued fraction for the regularized incomplete beta (Lentz).
+double BetaContinuedFraction(double x, double a, double b) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double m_d = static_cast<double>(m);
+    const double m2 = 2.0 * m_d;
+    double aa = m_d * (b - m_d) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m_d) * (qab + m_d) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalPdf(double x) {
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * x * x);
+}
+
+double NormalQuantile(double p) {
+  ZIGGY_CHECK(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+  // Peter Acklam's rational approximation, refined with one Halley step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step for ~1e-15 accuracy.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double RegularizedGammaP(double a, double x) {
+  ZIGGY_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double RegularizedGammaQ(double a, double x) {
+  ZIGGY_CHECK(a > 0.0 && x >= 0.0);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double RegularizedBeta(double x, double a, double b) {
+  ZIGGY_CHECK(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(x, a, b) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(1.0 - x, b, a) / b;
+}
+
+double ChiSquareCdf(double x, double k) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(k / 2.0, x / 2.0);
+}
+
+double StudentTCdf(double t, double nu) {
+  ZIGGY_CHECK(nu > 0.0);
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = nu / (nu + t * t);
+  const double tail = 0.5 * RegularizedBeta(x, nu / 2.0, 0.5);
+  return t >= 0.0 ? 1.0 - tail : tail;
+}
+
+double FCdf(double x, double d1, double d2) {
+  if (x <= 0.0) return 0.0;
+  return RegularizedBeta(d1 * x / (d1 * x + d2), d1 / 2.0, d2 / 2.0);
+}
+
+double TwoSidedNormalPValue(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+double TwoSidedTPValue(double t, double nu) {
+  return 2.0 * (1.0 - StudentTCdf(std::fabs(t), nu));
+}
+
+double ChiSquarePValue(double x, double k) {
+  if (x <= 0.0) return 1.0;
+  return RegularizedGammaQ(k / 2.0, x / 2.0);
+}
+
+}  // namespace ziggy

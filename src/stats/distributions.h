@@ -1,0 +1,55 @@
+// Special functions and distribution CDFs needed by Ziggy's significance
+// machinery (paper §3, Post-Processing: "asymptotic bounds from the
+// literature"). Everything is implemented from scratch: regularized
+// incomplete gamma and beta functions by series/continued-fraction
+// expansion, normal CDF via std::erfc.
+//
+// Accuracy target: ~1e-10 relative error over the ranges exercised by
+// two-sample tests on up to ~10^7 rows, verified in tests against
+// closed-form identities and tabulated values.
+
+#ifndef ZIGGY_STATS_DISTRIBUTIONS_H_
+#define ZIGGY_STATS_DISTRIBUTIONS_H_
+
+namespace ziggy {
+
+/// \brief Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+/// \brief Standard normal density phi(x).
+double NormalPdf(double x);
+
+/// \brief Inverse standard normal CDF (quantile function). Requires
+/// 0 < p < 1; returns +/-infinity at the boundaries.
+double NormalQuantile(double p);
+
+/// \brief Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double RegularizedGammaP(double a, double x);
+
+/// \brief Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double RegularizedGammaQ(double a, double x);
+
+/// \brief Regularized incomplete beta I_x(a, b), a, b > 0, 0 <= x <= 1.
+double RegularizedBeta(double x, double a, double b);
+
+/// \brief Chi-square CDF with k degrees of freedom.
+double ChiSquareCdf(double x, double k);
+
+/// \brief Student-t CDF with nu degrees of freedom.
+double StudentTCdf(double t, double nu);
+
+/// \brief F distribution CDF with (d1, d2) degrees of freedom.
+double FCdf(double x, double d1, double d2);
+
+/// \brief Two-sided p-value for a standard normal statistic.
+double TwoSidedNormalPValue(double z);
+
+/// \brief Two-sided p-value for a t statistic with nu degrees of freedom.
+double TwoSidedTPValue(double t, double nu);
+
+/// \brief Upper-tail p-value for a chi-square statistic with k dof.
+double ChiSquarePValue(double x, double k);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STATS_DISTRIBUTIONS_H_

@@ -1,0 +1,82 @@
+#include "storage/column.h"
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+Column Column::Numeric(std::string name) {
+  return Column(std::move(name), ColumnType::kNumeric);
+}
+
+Column Column::Categorical(std::string name) {
+  return Column(std::move(name), ColumnType::kCategorical);
+}
+
+Column Column::FromNumeric(std::string name, std::vector<double> values) {
+  Column c(std::move(name), ColumnType::kNumeric);
+  c.numeric_ = std::move(values);
+  return c;
+}
+
+Column Column::FromStrings(std::string name, const std::vector<std::string>& labels) {
+  Column c(std::move(name), ColumnType::kCategorical);
+  c.codes_.reserve(labels.size());
+  for (const auto& label : labels) c.AppendLabel(label);
+  return c;
+}
+
+void Column::AppendLabel(const std::string& label) {
+  ZIGGY_DCHECK(is_categorical());
+  if (label.empty()) {
+    codes_.push_back(kNullCategory);
+    return;
+  }
+  codes_.push_back(InternLabel(label));
+}
+
+void Column::AppendCode(CategoryCode code) {
+  ZIGGY_DCHECK(is_categorical());
+  ZIGGY_DCHECK(code == kNullCategory ||
+               static_cast<size_t>(code) < dictionary_.size());
+  codes_.push_back(code);
+}
+
+CategoryCode Column::InternLabel(const std::string& label) {
+  ZIGGY_DCHECK(is_categorical());
+  auto it = dictionary_index_.find(label);
+  if (it != dictionary_index_.end()) return it->second;
+  CategoryCode code = static_cast<CategoryCode>(dictionary_.size());
+  dictionary_.push_back(label);
+  dictionary_index_.emplace(label, code);
+  return code;
+}
+
+CategoryCode Column::LookupLabel(const std::string& label) const {
+  auto it = dictionary_index_.find(label);
+  return it == dictionary_index_.end() ? kNullCategory : it->second;
+}
+
+bool Column::IsNull(size_t i) const {
+  if (is_numeric()) return IsNullNumeric(numeric_[i]);
+  return codes_[i] == kNullCategory;
+}
+
+size_t Column::null_count() const {
+  size_t n = 0;
+  if (is_numeric()) {
+    for (double v : numeric_) n += IsNullNumeric(v) ? 1 : 0;
+  } else {
+    for (CategoryCode c : codes_) n += (c == kNullCategory) ? 1 : 0;
+  }
+  return n;
+}
+
+Value Column::GetValue(size_t i) const {
+  if (IsNull(i)) return std::monostate{};
+  if (is_numeric()) return numeric_[i];
+  return dictionary_[static_cast<size_t>(codes_[i])];
+}
+
+std::string Column::ValueAsString(size_t i) const { return ValueToString(GetValue(i)); }
+
+}  // namespace ziggy

@@ -1,0 +1,90 @@
+// Column: the storage unit of Ziggy's columnar engine.
+//
+// A column is either numeric (contiguous doubles, NaN = NULL) or categorical
+// (dictionary-encoded int32 codes, -1 = NULL). Both layouts support the full
+// sequential scans that Ziggy's statistics collection performs.
+
+#ifndef ZIGGY_STORAGE_COLUMN_H_
+#define ZIGGY_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+/// \brief A single named, typed column of an in-memory table.
+class Column {
+ public:
+  /// Creates an empty numeric column.
+  static Column Numeric(std::string name);
+  /// Creates an empty categorical column.
+  static Column Categorical(std::string name);
+
+  /// Creates a numeric column from existing data (NaN = NULL).
+  static Column FromNumeric(std::string name, std::vector<double> values);
+  /// Creates a categorical column from string labels ("" = NULL).
+  static Column FromStrings(std::string name, const std::vector<std::string>& labels);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const {
+    return type_ == ColumnType::kNumeric ? numeric_.size() : codes_.size();
+  }
+  bool is_numeric() const { return type_ == ColumnType::kNumeric; }
+  bool is_categorical() const { return type_ == ColumnType::kCategorical; }
+
+  /// \name Numeric access (requires is_numeric()).
+  /// @{
+  const std::vector<double>& numeric_data() const { return numeric_; }
+  void AppendNumeric(double v) { numeric_.push_back(v); }
+  /// @}
+
+  /// \name Categorical access (requires is_categorical()).
+  /// @{
+  const std::vector<CategoryCode>& codes() const { return codes_; }
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+  size_t cardinality() const { return dictionary_.size(); }
+  /// Appends a label, interning it in the dictionary. Empty string = NULL.
+  void AppendLabel(const std::string& label);
+  /// Appends an existing code (must be < cardinality() or kNullCategory).
+  void AppendCode(CategoryCode code);
+  /// Interns a label and returns its code without appending a cell.
+  CategoryCode InternLabel(const std::string& label);
+  /// Returns the code of a label, or kNullCategory if absent.
+  CategoryCode LookupLabel(const std::string& label) const;
+  /// @}
+
+  /// True if row `i` is NULL.
+  bool IsNull(size_t i) const;
+
+  /// Number of NULL cells.
+  size_t null_count() const;
+
+  /// Dynamically typed cell access for row-oriented consumers.
+  Value GetValue(size_t i) const;
+
+  /// Renders cell `i` for display.
+  std::string ValueAsString(size_t i) const;
+
+ private:
+  Column(std::string name, ColumnType type)
+      : name_(std::move(name)), type_(type) {}
+
+  std::string name_;
+  ColumnType type_;
+  // Numeric payload.
+  std::vector<double> numeric_;
+  // Categorical payload.
+  std::vector<CategoryCode> codes_;
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, CategoryCode> dictionary_index_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_COLUMN_H_

@@ -1,0 +1,209 @@
+#include "storage/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+namespace {
+
+// Splits one logical CSV record honoring double-quote escaping. Returns
+// false if the record ends inside an open quote.
+bool SplitCsvRecord(std::string_view line, char delim, std::vector<std::string>* out) {
+  out->clear();
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      out->push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  out->push_back(std::move(cur));
+  return !in_quotes;
+}
+
+bool IsNullToken(const std::string& token, const CsvOptions& options) {
+  if (token.empty()) return true;
+  for (const auto& t : options.null_tokens) {
+    if (token == t) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(const std::string& text, const CsvOptions& options) {
+  std::vector<std::vector<std::string>> records;
+  {
+    std::istringstream is(text);
+    std::string line;
+    std::vector<std::string> fields;
+    while (std::getline(is, line)) {
+      if (TrimWhitespace(line).empty()) continue;
+      if (!SplitCsvRecord(line, options.delimiter, &fields)) {
+        return Status::ParseError("unterminated quote in CSV record: '" + line + "'");
+      }
+      records.push_back(fields);
+    }
+  }
+  if (records.empty()) return Status::ParseError("CSV input contains no records");
+
+  std::vector<std::string> names;
+  size_t first_data = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back("col" + std::to_string(i));
+    }
+  }
+  const size_t num_cols = names.size();
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != num_cols) {
+      return Status::ParseError("CSV record " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) + " fields, expected " +
+                                std::to_string(num_cols));
+    }
+  }
+  const size_t num_rows = records.size() - first_data;
+
+  // Type inference over a sample prefix.
+  std::vector<ColumnType> types(num_cols, ColumnType::kNumeric);
+  for (size_t c = 0; c < num_cols; ++c) {
+    size_t seen = 0;
+    bool all_numeric = true;
+    bool any_value = false;
+    for (size_t r = first_data;
+         r < records.size() && seen < options.inference_rows; ++r, ++seen) {
+      const std::string& tok = records[r][c];
+      if (IsNullToken(tok, options)) continue;
+      any_value = true;
+      if (!ParseDouble(tok).ok()) {
+        all_numeric = false;
+        break;
+      }
+    }
+    types[c] = (any_value && all_numeric) ? ColumnType::kNumeric
+                                          : ColumnType::kCategorical;
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (types[c] == ColumnType::kNumeric) {
+      std::vector<double> vals;
+      vals.reserve(num_rows);
+      for (size_t r = first_data; r < records.size(); ++r) {
+        const std::string& tok = records[r][c];
+        if (IsNullToken(tok, options)) {
+          vals.push_back(NullNumeric());
+          continue;
+        }
+        Result<double> v = ParseDouble(tok);
+        if (!v.ok()) {
+          // Inference sampled a numeric prefix but a later row disagrees:
+          // fall back to categorical for this column.
+          Column cc = Column::Categorical(names[c]);
+          for (size_t rr = first_data; rr < records.size(); ++rr) {
+            const std::string& t2 = records[rr][c];
+            cc.AppendLabel(IsNullToken(t2, options) ? std::string() : t2);
+          }
+          columns.push_back(std::move(cc));
+          vals.clear();
+          break;
+        }
+        vals.push_back(*v);
+      }
+      if (!vals.empty() || num_rows == 0) {
+        columns.push_back(Column::FromNumeric(names[c], std::move(vals)));
+      }
+    } else {
+      Column cc = Column::Categorical(names[c]);
+      for (size_t r = first_data; r < records.size(); ++r) {
+        const std::string& tok = records[r][c];
+        cc.AppendLabel(IsNullToken(tok, options) ? std::string() : tok);
+      }
+      columns.push_back(std::move(cc));
+    }
+  }
+  return Table::FromColumns(std::move(columns));
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open file: '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadCsvString(buf.str(), options);
+}
+
+namespace {
+std::string QuoteCsvField(const std::string& field, char delim) {
+  bool needs_quote = field.find(delim) != std::string::npos ||
+                     field.find('"') != std::string::npos ||
+                     field.find('\n') != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string WriteCsvString(const Table& table, char delimiter) {
+  std::ostringstream os;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) os << delimiter;
+    os << QuoteCsvField(table.column(c).name(), delimiter);
+  }
+  os << "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) os << delimiter;
+      const Column& col = table.column(c);
+      if (col.IsNull(r)) continue;  // empty field encodes NULL
+      if (col.is_numeric()) {
+        os << FormatDouble(col.numeric_data()[r], 17);
+      } else {
+        os << QuoteCsvField(col.dictionary()[static_cast<size_t>(col.codes()[r])],
+                            delimiter);
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path, char delimiter) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open file for writing: '" + path + "'");
+  out << WriteCsvString(table, delimiter);
+  if (!out) return Status::IOError("write failed: '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace ziggy

@@ -1,0 +1,42 @@
+// CSV import / export so users can run Ziggy on their own datasets
+// (e.g. the UCI Communities & Crime table the paper demos on).
+
+#ifndef ZIGGY_STORAGE_CSV_H_
+#define ZIGGY_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief Options controlling CSV parsing.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names; otherwise names are col0, col1, ...
+  bool has_header = true;
+  /// Tokens treated as NULL in addition to the empty string.
+  std::vector<std::string> null_tokens = {"NA", "N/A", "?", "null", "NULL"};
+  /// Rows sampled for type inference (all rows are re-validated on load).
+  size_t inference_rows = 100;
+  /// A column whose sampled non-null values all parse as numbers is NUMERIC;
+  /// anything else is CATEGORICAL.
+};
+
+/// \brief Parses CSV text into a Table, inferring column types.
+Result<Table> ReadCsvString(const std::string& text, const CsvOptions& options = {});
+
+/// \brief Loads a CSV file into a Table, inferring column types.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& options = {});
+
+/// \brief Serializes a table as CSV (RFC-4180 quoting).
+std::string WriteCsvString(const Table& table, char delimiter = ',');
+
+/// \brief Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path, char delimiter = ',');
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_CSV_H_

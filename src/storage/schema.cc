@@ -1,0 +1,64 @@
+#include "storage/schema.h"
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+Schema::Schema(std::vector<Field> fields) {
+  for (auto& f : fields) {
+    Status st = AddField(std::move(f));
+    ZIGGY_CHECK(st.ok());
+  }
+}
+
+Status Schema::AddField(Field field) {
+  if (index_.count(field.name) > 0) {
+    return Status::AlreadyExists("duplicate column name: '" + field.name + "'");
+  }
+  index_.emplace(field.name, fields_.size());
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<size_t> Schema::GetFieldIndex(const std::string& name) const {
+  auto idx = FindField(name);
+  if (!idx.has_value()) {
+    return Status::NotFound("no such column: '" + name + "'");
+  }
+  return *idx;
+}
+
+std::vector<std::string> Schema::field_names() const {
+  std::vector<std::string> names;
+  names.reserve(fields_.size());
+  for (const auto& f : fields_) names.push_back(f.name);
+  return names;
+}
+
+std::vector<size_t> Schema::FieldsOfType(ColumnType type) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += ColumnTypeToString(fields_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,63 @@
+// Schema: ordered, named, typed column descriptors for a Table.
+
+#ifndef ZIGGY_STORAGE_SCHEMA_H_
+#define ZIGGY_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+/// \brief One column descriptor.
+struct Field {
+  std::string name;
+  ColumnType type;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// \brief Ordered collection of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Appends a field; fails on duplicate names.
+  Status AddField(Field field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of a field by name, if present.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// Index of a field by name, or an error Status naming the column.
+  Result<size_t> GetFieldIndex(const std::string& name) const;
+
+  /// Names of all fields, in order.
+  std::vector<std::string> field_names() const;
+
+  /// Indices of all fields of the given type.
+  std::vector<size_t> FieldsOfType(ColumnType type) const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+  /// One-line rendering, e.g. "(pop: NUMERIC, state: CATEGORICAL)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_SCHEMA_H_

@@ -1,0 +1,76 @@
+#include "storage/selection.h"
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+Selection Selection::FromIndices(size_t num_rows, const std::vector<size_t>& indices) {
+  Selection s(num_rows);
+  for (size_t i : indices) {
+    ZIGGY_DCHECK(i < num_rows);
+    s.bits_[i] = 1;
+  }
+  return s;
+}
+
+size_t Selection::Count() const {
+  size_t n = 0;
+  for (uint8_t b : bits_) n += b;
+  return n;
+}
+
+Selection Selection::Invert() const {
+  Selection out(bits_.size());
+  for (size_t i = 0; i < bits_.size(); ++i) out.bits_[i] = bits_[i] ? 0 : 1;
+  return out;
+}
+
+Selection Selection::And(const Selection& other) const {
+  ZIGGY_CHECK(bits_.size() == other.bits_.size());
+  Selection out(bits_.size());
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = (bits_[i] & other.bits_[i]);
+  }
+  return out;
+}
+
+Selection Selection::Or(const Selection& other) const {
+  ZIGGY_CHECK(bits_.size() == other.bits_.size());
+  Selection out(bits_.size());
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = (bits_[i] | other.bits_[i]);
+  }
+  return out;
+}
+
+std::vector<size_t> Selection::ToIndices() const {
+  std::vector<size_t> out;
+  out.reserve(Count());
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+double Selection::Jaccard(const Selection& other) const {
+  ZIGGY_CHECK(bits_.size() == other.bits_.size());
+  size_t inter = 0;
+  size_t uni = 0;
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    inter += (bits_[i] & other.bits_[i]);
+    uni += (bits_[i] | other.bits_[i]);
+  }
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+uint64_t Selection::Fingerprint() const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (uint8_t b : bits_) {
+    h ^= b;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace ziggy

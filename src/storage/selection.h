@@ -1,0 +1,67 @@
+// Selection: the result of evaluating a query predicate over a table.
+//
+// A Selection is a row bitmap partitioning the table into the user's
+// selection (the "inside" tuples C^I of paper Figure 2) and its complement
+// (the "outside" tuples C^O).
+
+#ifndef ZIGGY_STORAGE_SELECTION_H_
+#define ZIGGY_STORAGE_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ziggy {
+
+/// \brief Row bitmap over a table; one bit per row.
+class Selection {
+ public:
+  Selection() = default;
+  /// All rows unselected.
+  explicit Selection(size_t num_rows) : bits_(num_rows, 0) {}
+  /// From explicit flags.
+  explicit Selection(std::vector<uint8_t> bits) : bits_(std::move(bits)) {}
+
+  /// All rows selected.
+  static Selection All(size_t num_rows) {
+    return Selection(std::vector<uint8_t>(num_rows, 1));
+  }
+  /// Selection containing exactly the given row indices.
+  static Selection FromIndices(size_t num_rows, const std::vector<size_t>& indices);
+
+  size_t num_rows() const { return bits_.size(); }
+  bool Contains(size_t row) const { return bits_[row] != 0; }
+  void Set(size_t row, bool on = true) { bits_[row] = on ? 1 : 0; }
+
+  /// Number of selected rows.
+  size_t Count() const;
+
+  /// Complement selection.
+  Selection Invert() const;
+
+  /// Row-wise conjunction / disjunction; sizes must match.
+  Selection And(const Selection& other) const;
+  Selection Or(const Selection& other) const;
+
+  /// Selected row indices, in ascending order.
+  std::vector<size_t> ToIndices() const;
+
+  /// Jaccard similarity |A∩B| / |A∪B| between two selections; 1.0 when both
+  /// are empty. Used by the engine's shared-computation cache to detect
+  /// near-duplicate exploration queries.
+  double Jaccard(const Selection& other) const;
+
+  /// Stable content fingerprint (FNV-1a over the bitmap), used as a cache key.
+  uint64_t Fingerprint() const;
+
+  const std::vector<uint8_t>& bits() const { return bits_; }
+
+  bool operator==(const Selection& other) const { return bits_ == other.bits_; }
+
+ private:
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_SELECTION_H_

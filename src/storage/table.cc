@@ -1,0 +1,169 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+Result<Table> Table::FromColumns(std::vector<Column> columns) {
+  Table t;
+  for (const auto& c : columns) {
+    ZIGGY_RETURN_NOT_OK(t.schema_.AddField(Field{c.name(), c.type()}));
+  }
+  if (!columns.empty()) {
+    t.num_rows_ = columns.front().size();
+    for (const auto& c : columns) {
+      if (c.size() != t.num_rows_) {
+        return Status::InvalidArgument(
+            "column '" + c.name() + "' has " + std::to_string(c.size()) +
+            " rows, expected " + std::to_string(t.num_rows_));
+      }
+    }
+  }
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  ZIGGY_ASSIGN_OR_RETURN(size_t idx, schema_.GetFieldIndex(name));
+  return &columns_[idx];
+}
+
+Table Table::Filter(const Selection& selection) const {
+  ZIGGY_CHECK(selection.num_rows() == num_rows_);
+  std::vector<size_t> rows = selection.ToIndices();
+  std::vector<Column> out;
+  out.reserve(columns_.size());
+  for (const auto& c : columns_) {
+    if (c.is_numeric()) {
+      std::vector<double> vals;
+      vals.reserve(rows.size());
+      for (size_t r : rows) vals.push_back(c.numeric_data()[r]);
+      out.push_back(Column::FromNumeric(c.name(), std::move(vals)));
+    } else {
+      Column nc = Column::Categorical(c.name());
+      for (size_t r : rows) {
+        CategoryCode code = c.codes()[r];
+        if (code == kNullCategory) {
+          nc.AppendLabel("");
+        } else {
+          nc.AppendLabel(c.dictionary()[static_cast<size_t>(code)]);
+        }
+      }
+      out.push_back(std::move(nc));
+    }
+  }
+  auto res = FromColumns(std::move(out));
+  ZIGGY_CHECK(res.ok());
+  return std::move(res).ValueOrDie();
+}
+
+Result<Table> Table::Project(const std::vector<std::string>& names) const {
+  std::vector<Column> out;
+  out.reserve(names.size());
+  for (const auto& name : names) {
+    ZIGGY_ASSIGN_OR_RETURN(size_t idx, schema_.GetFieldIndex(name));
+    out.push_back(columns_[idx]);
+  }
+  return FromColumns(std::move(out));
+}
+
+std::string Table::Preview(size_t begin, size_t end) const {
+  end = std::min(end, num_rows_);
+  begin = std::min(begin, end);
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (const auto& c : columns_) header.push_back(c.name());
+  cells.push_back(header);
+  for (size_t r = begin; r < end; ++r) {
+    std::vector<std::string> row;
+    row.reserve(columns_.size());
+    for (const auto& c : columns_) row.push_back(c.ValueAsString(r));
+    cells.push_back(std::move(row));
+  }
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (const auto& row : cells) {
+    for (size_t j = 0; j < row.size(); ++j) widths[j] = std::max(widths[j], row[j].size());
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    for (size_t j = 0; j < cells[i].size(); ++j) {
+      os << cells[i][j] << std::string(widths[j] - cells[i][j].size() + 2, ' ');
+    }
+    os << "\n";
+    if (i == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w + 2;
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+Table Table::SampleRows(size_t n, Rng* rng) const {
+  ZIGGY_CHECK(rng != nullptr);
+  std::vector<size_t> rows = rng->SampleWithoutReplacement(num_rows_, n);
+  // Selection-based filtering keeps rows in ascending order, which is what
+  // downstream statistics expect (order does not matter to them anyway).
+  return Filter(Selection::FromIndices(num_rows_, rows));
+}
+
+size_t Table::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  for (const auto& c : columns_) {
+    if (c.is_numeric()) {
+      bytes += c.numeric_data().capacity() * sizeof(double);
+    } else {
+      bytes += c.codes().capacity() * sizeof(CategoryCode);
+      for (const auto& s : c.dictionary()) bytes += s.capacity() + sizeof(std::string);
+    }
+  }
+  return bytes;
+}
+
+TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) {
+    columns_.push_back(f.type == ColumnType::kNumeric ? Column::Numeric(f.name)
+                                                      : Column::Categorical(f.name));
+  }
+}
+
+Status TableBuilder::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != schema_.num_fields()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(values.size()) + " values, schema has " +
+        std::to_string(schema_.num_fields()));
+  }
+  // Validate the whole row before mutating any column, so a failed append
+  // leaves the builder consistent.
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    if (std::holds_alternative<std::monostate>(v)) continue;
+    bool is_double = std::holds_alternative<double>(v);
+    if (is_double != (schema_.field(i).type == ColumnType::kNumeric)) {
+      return Status::TypeMismatch("value for column '" + schema_.field(i).name +
+                                  "' does not match declared type");
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    const Value& v = values[i];
+    Column& c = columns_[i];
+    if (c.is_numeric()) {
+      c.AppendNumeric(std::holds_alternative<std::monostate>(v) ? NullNumeric()
+                                                                 : std::get<double>(v));
+    } else {
+      c.AppendLabel(std::holds_alternative<std::monostate>(v)
+                        ? std::string()
+                        : std::get<std::string>(v));
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Result<Table> TableBuilder::Finish() { return Table::FromColumns(std::move(columns_)); }
+
+}  // namespace ziggy

@@ -1,0 +1,86 @@
+// Table: Ziggy's in-memory columnar relation.
+//
+// This module is the substrate standing in for the MonetDB layer of the
+// original demo: Ziggy only ever performs full-column sequential scans and
+// bitmap selections, and Table provides exactly that access pattern.
+
+#ifndef ZIGGY_STORAGE_TABLE_H_
+#define ZIGGY_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/selection.h"
+
+namespace ziggy {
+
+/// \brief Immutable-after-construction columnar table.
+class Table {
+ public:
+  Table() = default;
+
+  /// Builds a table from columns; all columns must have equal length and
+  /// distinct names.
+  static Result<Table> FromColumns(std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Column lookup by name.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// New table restricted to the selected rows.
+  Table Filter(const Selection& selection) const;
+
+  /// New table with only the named columns, in the given order.
+  Result<Table> Project(const std::vector<std::string>& names) const;
+
+  /// Renders rows [begin, end) as an aligned ASCII table (for examples).
+  std::string Preview(size_t begin, size_t end) const;
+
+  /// Uniform row sample without replacement (BlinkDB-style approximate
+  /// profiling substrate: profile a sample, explore the full table).
+  /// Sampling `n >= num_rows()` returns a row-shuffled copy.
+  Table SampleRows(size_t n, Rng* rng) const;
+
+  /// Approximate heap footprint in bytes (columns + dictionaries).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// \brief Incremental row-oriented construction of a Table.
+class TableBuilder {
+ public:
+  /// Declares the schema up front.
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row; `values` must match the schema arity and types
+  /// (monostate = NULL, double for numeric, string for categorical).
+  Status AppendRow(const std::vector<Value>& values);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Finalizes; the builder must not be reused afterwards.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_TABLE_H_

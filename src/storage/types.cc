@@ -1,0 +1,23 @@
+#include "storage/types.h"
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kNumeric:
+      return "NUMERIC";
+    case ColumnType::kCategorical:
+      return "CATEGORICAL";
+  }
+  return "?";
+}
+
+std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "NULL";
+  if (std::holds_alternative<double>(v)) return FormatDouble(std::get<double>(v));
+  return std::get<std::string>(v);
+}
+
+}  // namespace ziggy

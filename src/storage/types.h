@@ -1,0 +1,47 @@
+// Column type system for Ziggy's in-memory columnar store.
+//
+// Ziggy distinguishes two statistical kinds of attributes (paper §2.2):
+// numeric columns, on which moment-based Zig-Components are computed, and
+// categorical columns, on which frequency-based components are computed.
+
+#ifndef ZIGGY_STORAGE_TYPES_H_
+#define ZIGGY_STORAGE_TYPES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ziggy {
+
+/// \brief Statistical kind of a column.
+enum class ColumnType : uint8_t {
+  kNumeric = 0,      ///< double-valued; NaN encodes NULL
+  kCategorical = 1,  ///< dictionary-encoded; code -1 encodes NULL
+};
+
+/// \brief Stable display name of a column type.
+const char* ColumnTypeToString(ColumnType type);
+
+/// \brief Dictionary code type for categorical columns.
+using CategoryCode = int32_t;
+
+/// \brief Sentinel code for NULL categorical cells.
+inline constexpr CategoryCode kNullCategory = -1;
+
+/// \brief Returns true if a numeric cell value encodes NULL.
+inline bool IsNullNumeric(double v) { return std::isnan(v); }
+
+/// \brief The NULL sentinel for numeric cells.
+inline double NullNumeric() { return std::nan(""); }
+
+/// \brief A dynamically typed cell value, used at API edges (row access,
+/// query literals). Monostate encodes NULL.
+using Value = std::variant<std::monostate, double, std::string>;
+
+/// \brief Renders a Value for display ("NULL", a number, or a string).
+std::string ValueToString(const Value& v);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_TYPES_H_

@@ -1,0 +1,166 @@
+#include "views/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+std::vector<size_t> Dendrogram::LeavesUnder(size_t node) const {
+  std::vector<size_t> out;
+  std::vector<size_t> stack{node};
+  while (!stack.empty()) {
+    const size_t cur = stack.back();
+    stack.pop_back();
+    if (cur < num_leaves_) {
+      out.push_back(cur);
+    } else {
+      const DendrogramMerge& m = merges_[cur - num_leaves_];
+      stack.push_back(m.left);
+      stack.push_back(m.right);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<size_t>> Dendrogram::CutAtHeight(double height) const {
+  // Roots of the cut forest: nodes whose own merge height is <= height but
+  // whose parent's is > height (or that have no parent).
+  std::vector<size_t> parent(num_leaves_ + merges_.size(),
+                             std::numeric_limits<size_t>::max());
+  for (size_t i = 0; i < merges_.size(); ++i) {
+    parent[merges_[i].left] = num_leaves_ + i;
+    parent[merges_[i].right] = num_leaves_ + i;
+  }
+  auto node_ok = [&](size_t node) {
+    return node < num_leaves_ || merges_[node - num_leaves_].height <= height;
+  };
+  std::vector<std::vector<size_t>> clusters;
+  const size_t total = num_leaves_ + merges_.size();
+  for (size_t node = 0; node < total; ++node) {
+    if (!node_ok(node)) continue;
+    const size_t par = parent[node];
+    const bool is_root =
+        par == std::numeric_limits<size_t>::max() || !node_ok(par);
+    if (is_root) clusters.push_back(LeavesUnder(node));
+  }
+  return clusters;
+}
+
+std::vector<std::vector<size_t>> Dendrogram::CutAtHeightWithMaxSize(
+    double height, size_t max_size) const {
+  ZIGGY_CHECK(max_size >= 1);
+  std::vector<std::vector<size_t>> base = CutAtHeight(height);
+  // Map each base cluster back to its root node, then descend oversized
+  // roots. Simpler: re-derive by walking nodes. We find, for each cluster,
+  // the node whose leaf set matches; descending from the top is easier:
+  // collect roots as in CutAtHeight but keep node ids.
+  std::vector<size_t> parent(num_leaves_ + merges_.size(),
+                             std::numeric_limits<size_t>::max());
+  for (size_t i = 0; i < merges_.size(); ++i) {
+    parent[merges_[i].left] = num_leaves_ + i;
+    parent[merges_[i].right] = num_leaves_ + i;
+  }
+  auto node_ok = [&](size_t node) {
+    return node < num_leaves_ || merges_[node - num_leaves_].height <= height;
+  };
+  std::vector<size_t> roots;
+  const size_t total = num_leaves_ + merges_.size();
+  for (size_t node = 0; node < total; ++node) {
+    if (!node_ok(node)) continue;
+    const size_t par = parent[node];
+    if (par == std::numeric_limits<size_t>::max() || !node_ok(par)) {
+      roots.push_back(node);
+    }
+  }
+  std::vector<std::vector<size_t>> clusters;
+  std::vector<size_t> stack = std::move(roots);
+  while (!stack.empty()) {
+    const size_t node = stack.back();
+    stack.pop_back();
+    std::vector<size_t> leaves = LeavesUnder(node);
+    if (leaves.size() <= max_size || node < num_leaves_) {
+      clusters.push_back(std::move(leaves));
+    } else {
+      const DendrogramMerge& m = merges_[node - num_leaves_];
+      stack.push_back(m.left);
+      stack.push_back(m.right);
+    }
+  }
+  (void)base;
+  return clusters;
+}
+
+std::string Dendrogram::ToAscii(const std::vector<std::string>& leaf_labels) const {
+  ZIGGY_CHECK(leaf_labels.size() == num_leaves_);
+  std::ostringstream os;
+  // Render as an indented merge list, deepest merges first.
+  for (size_t i = 0; i < merges_.size(); ++i) {
+    const DendrogramMerge& m = merges_[i];
+    auto render_node = [&](size_t node) -> std::string {
+      if (node < num_leaves_) return leaf_labels[node];
+      return "#" + std::to_string(node - num_leaves_);
+    };
+    os << "#" << i << " (h=" << m.height << "): " << render_node(m.left) << " + "
+       << render_node(m.right) << "\n";
+  }
+  return os.str();
+}
+
+Result<Dendrogram> CompleteLinkage(const std::vector<double>& distances, size_t n) {
+  if (n == 0) return Status::InvalidArgument("cannot cluster zero items");
+  if (distances.size() != n * n) {
+    return Status::InvalidArgument("distance matrix size does not match n");
+  }
+  // Lance-Williams update for complete linkage on a working copy of the
+  // matrix: d(k, i∪j) = max(d(k, i), d(k, j)). Active set shrinks by one
+  // per merge; O(n^3) overall, fine for columns counts in the hundreds.
+  std::vector<double> d = distances;
+  std::vector<size_t> active;  // current cluster node ids
+  std::vector<size_t> slot_of_node(n);  // node id -> row in d
+  active.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    active.push_back(i);
+    slot_of_node[i] = i;
+  }
+  std::vector<DendrogramMerge> merges;
+  merges.reserve(n - 1);
+  std::vector<bool> slot_active(n, true);
+
+  for (size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair of slots.
+    double best = std::numeric_limits<double>::infinity();
+    size_t bi = 0;
+    size_t bj = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!slot_active[i]) continue;
+      for (size_t j = i + 1; j < n; ++j) {
+        if (!slot_active[j]) continue;
+        const double dist = d[i * n + j];
+        if (dist < best) {
+          best = dist;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    // Merge slot bj into slot bi; bi now represents the new cluster node.
+    const size_t new_node = n + merges.size();
+    merges.push_back({active[bi], active[bj], best});
+    for (size_t k = 0; k < n; ++k) {
+      if (!slot_active[k] || k == bi || k == bj) continue;
+      const double dk = std::max(d[k * n + bi], d[k * n + bj]);
+      d[k * n + bi] = dk;
+      d[bi * n + k] = dk;
+    }
+    slot_active[bj] = false;
+    active[bi] = new_node;
+  }
+  return Dendrogram(n, std::move(merges));
+}
+
+}  // namespace ziggy

@@ -1,0 +1,14 @@
+#include "views/view.h"
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+std::string View::ColumnNames(const Schema& schema) const {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (size_t c : columns) names.push_back(schema.field(c).name);
+  return "{" + Join(names, ", ") + "}";
+}
+
+}  // namespace ziggy

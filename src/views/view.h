@@ -1,0 +1,36 @@
+// View: a characteristic view — the unit of Ziggy's output (paper §1-2).
+
+#ifndef ZIGGY_VIEWS_VIEW_H_
+#define ZIGGY_VIEWS_VIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "zig/dissimilarity.h"
+
+namespace ziggy {
+
+/// \brief A scored candidate or final view.
+struct View {
+  /// Column indices, ascending.
+  std::vector<size_t> columns;
+
+  /// Zig-Dissimilarity score and its per-kind breakdown (Eq. 1).
+  ScoreBreakdown score;
+
+  /// min pairwise dependency among the view's columns (Eq. 2); 1.0 for
+  /// singleton views.
+  double tightness = 1.0;
+
+  /// Aggregated p-value after multiple-testing correction (paper §3);
+  /// filled by the post-processing stage, 1.0 until then.
+  double aggregated_p_value = 1.0;
+
+  /// Renders column names, e.g. "{population, density}".
+  std::string ColumnNames(const Schema& schema) const;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_VIEWS_VIEW_H_

@@ -1,0 +1,129 @@
+#include "views/view_search.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "zig/dissimilarity.h"
+
+namespace ziggy {
+
+double ViewTightness(const TableProfile& profile, const std::vector<size_t>& columns) {
+  if (columns.size() <= 1) return 1.0;
+  double min_dep = 1.0;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    for (size_t j = i + 1; j < columns.size(); ++j) {
+      min_dep = std::min(min_dep, profile.Dependency(columns[i], columns[j]));
+    }
+  }
+  return min_dep;
+}
+
+namespace {
+
+// Enumerates all non-empty subsets of `cluster` up to `max_size` columns,
+// capped at `cap` subsets. Used by the non-disjoint ablation mode, which
+// reproduces the redundancy pathology the paper's Eq. 4 guards against.
+void EnumerateSubsets(const std::vector<size_t>& cluster, size_t max_size, size_t cap,
+                      std::vector<std::vector<size_t>>* out) {
+  const size_t n = cluster.size();
+  if (n == 0) return;
+  if (n <= 20) {
+    const uint64_t limit = uint64_t{1} << n;
+    for (uint64_t mask = 1; mask < limit && out->size() < cap; ++mask) {
+      if (static_cast<size_t>(__builtin_popcountll(mask)) > max_size) continue;
+      std::vector<size_t> subset;
+      for (size_t b = 0; b < n; ++b) {
+        if (mask & (uint64_t{1} << b)) subset.push_back(cluster[b]);
+      }
+      out->push_back(std::move(subset));
+    }
+  } else {
+    // Wide cluster: fall back to singletons and adjacent pairs.
+    for (size_t i = 0; i < n && out->size() < cap; ++i) {
+      out->push_back({cluster[i]});
+      if (i + 1 < n) out->push_back({cluster[i], cluster[i + 1]});
+    }
+  }
+}
+
+}  // namespace
+
+Result<Dendrogram> BuildColumnDendrogram(const TableProfile& profile) {
+  const size_t m = profile.num_columns();
+  std::vector<double> dist(m * m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      dist[i * m + j] = (i == j) ? 0.0 : 1.0 - profile.Dependency(i, j);
+    }
+  }
+  return CompleteLinkage(dist, m);
+}
+
+Result<ViewSearchResult> SearchViews(const TableProfile& profile,
+                                     const ComponentTable& components,
+                                     const ViewSearchOptions& options,
+                                     const Dendrogram* precomputed_dendrogram) {
+  if (options.min_tightness < 0.0 || options.min_tightness > 1.0) {
+    return Status::InvalidArgument("min_tightness must be in [0, 1]");
+  }
+  if (options.max_view_size == 0) {
+    return Status::InvalidArgument("max_view_size must be >= 1");
+  }
+
+  // ---- Materialize the dependency graph and cluster it --------------------
+  Dendrogram dendro{0, {}};
+  if (precomputed_dendrogram != nullptr) {
+    if (precomputed_dendrogram->num_leaves() != profile.num_columns()) {
+      return Status::InvalidArgument("precomputed dendrogram does not match profile");
+    }
+    dendro = *precomputed_dendrogram;
+  } else {
+    ZIGGY_ASSIGN_OR_RETURN(dendro, BuildColumnDendrogram(profile));
+  }
+
+  // ---- Candidate generation (Eq. 3 via the complete-linkage cut) ----------
+  const double cut_height = 1.0 - options.min_tightness;
+  std::vector<std::vector<size_t>> clusters =
+      dendro.CutAtHeightWithMaxSize(cut_height, options.max_view_size);
+
+  std::vector<std::vector<size_t>> candidates;
+  if (options.enforce_disjoint) {
+    candidates = std::move(clusters);
+  } else {
+    // Ablation mode: every tight subset competes (subsets of a cluster with
+    // min pairwise dependency >= MIN_tight inherit the bound).
+    constexpr size_t kSubsetCap = 20000;
+    for (const auto& c : clusters) {
+      EnumerateSubsets(c, options.max_view_size, kSubsetCap, &candidates);
+      if (candidates.size() >= kSubsetCap) break;
+    }
+  }
+
+  // ---- Scoring and ranking (Eq. 1) -----------------------------------------
+  ViewSearchResult result{{}, std::move(dendro), candidates.size()};
+  for (auto& cols : candidates) {
+    if (cols.empty()) continue;
+    if (cols.size() == 1 && !options.allow_singletons) continue;
+    View v;
+    std::sort(cols.begin(), cols.end());
+    v.columns = std::move(cols);
+    v.tightness = ViewTightness(profile, v.columns);
+    if (v.columns.size() > 1 && v.tightness < options.min_tightness) {
+      // Defensive: the cut guarantees this, but singleton splits of
+      // oversized clusters re-checked anyway.
+      continue;
+    }
+    v.score = ScoreView(components, v.columns, options.weights);
+    result.views.push_back(std::move(v));
+  }
+  std::stable_sort(result.views.begin(), result.views.end(),
+                   [](const View& a, const View& b) {
+                     return a.score.total > b.score.total;
+                   });
+  if (options.max_views > 0 && result.views.size() > options.max_views) {
+    result.views.resize(options.max_views);
+  }
+  return result;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,65 @@
+// View search: candidate generation, constraint enforcement, scoring and
+// ranking — the middle stage of Ziggy's pipeline (paper §3, Figure 4),
+// solving the optimization system of Eq. 5.
+
+#ifndef ZIGGY_VIEWS_VIEW_SEARCH_H_
+#define ZIGGY_VIEWS_VIEW_SEARCH_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "views/clustering.h"
+#include "views/view.h"
+#include "zig/component_table.h"
+#include "zig/profile.h"
+
+namespace ziggy {
+
+/// \brief Knobs of the view search (the user parameters of Eq. 5).
+struct ViewSearchOptions {
+  /// MIN_tight of Eq. 3: minimum pairwise dependency within a view.
+  double min_tightness = 0.4;
+  /// Maximum number of columns per view (the D of §2.1: views have
+  /// "purposely low dimensionality" so users can plot them).
+  size_t max_view_size = 4;
+  /// Maximum number of views returned (0 = all).
+  size_t max_views = 10;
+  /// Keep singleton views (a single divergent column is still informative).
+  bool allow_singletons = true;
+  /// Enforce Eq. 4 disjointness. Disabling floods the output with
+  /// overlapping variants; exists for the A3 ablation bench.
+  bool enforce_disjoint = true;
+  /// Weights of the Zig-Dissimilarity aggregation.
+  ZigWeights weights;
+};
+
+/// \brief Result of the search: ranked views plus the dendrogram for
+/// parameter tuning ("visual support to help setting the parameter").
+struct ViewSearchResult {
+  std::vector<View> views;      ///< sorted by descending score
+  Dendrogram dendrogram{0, {}}; ///< over all columns
+  size_t num_candidates = 0;    ///< candidates generated before ranking
+};
+
+/// \brief Runs the complete view search over a prepared component table.
+///
+/// `precomputed_dendrogram` may supply the column dendrogram (it depends
+/// only on the table profile, not on the query, so engines compute it once
+/// per table and reuse it across queries). Pass nullptr to have it built
+/// here.
+Result<ViewSearchResult> SearchViews(const TableProfile& profile,
+                                     const ComponentTable& components,
+                                     const ViewSearchOptions& options = {},
+                                     const Dendrogram* precomputed_dendrogram = nullptr);
+
+/// \brief Builds the column dendrogram from the profile's dependency
+/// matrix (distance = 1 − S, complete linkage).
+Result<Dendrogram> BuildColumnDendrogram(const TableProfile& profile);
+
+/// \brief Computes the tightness (Eq. 2) of a column set: min pairwise
+/// dependency; 1.0 for singletons.
+double ViewTightness(const TableProfile& profile, const std::vector<size_t>& columns);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_VIEWS_VIEW_SEARCH_H_

@@ -1,0 +1,434 @@
+#include "zig/component_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "stats/distributions.h"
+#include "stats/effect_size.h"
+#include "stats/histogram.h"
+#include "stats/tests.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+namespace {
+
+NumericStats StatsFromSketch(const MomentSketch& s, double min_v = 0.0,
+                             double max_v = 0.0) {
+  NumericStats ns;
+  ns.count = s.count;
+  ns.mean = s.Mean();
+  ns.m2 = s.Variance() * std::max<double>(0.0, static_cast<double>(s.count) - 1.0);
+  ns.min = min_v;
+  ns.max = max_v;
+  return ns;
+}
+
+// Correlation ratio eta from per-group sketches.
+double EtaFromGroups(const std::vector<MomentSketch>& groups) {
+  MomentSketch total;
+  for (const auto& g : groups) total.Merge(g);
+  if (total.count < 2) return 0.0;
+  const double grand_mean = total.Mean();
+  double ss_between = 0.0;
+  for (const auto& g : groups) {
+    if (g.count <= 0) continue;
+    const double d = g.Mean() - grand_mean;
+    ss_between += static_cast<double>(g.count) * d * d;
+  }
+  const double n = static_cast<double>(total.count);
+  const double ss_total = std::max(0.0, total.sum_sq - total.sum * total.sum / n);
+  if (ss_total <= 0.0) return 0.0;
+  return std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0));
+}
+
+double CramersVFromTable(const std::vector<int64_t>& table, size_t rows, size_t cols,
+                         int64_t* total_out) {
+  std::vector<int64_t> row_sum(rows, 0);
+  std::vector<int64_t> col_sum(cols, 0);
+  int64_t n = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      const int64_t v = table[i * cols + j];
+      row_sum[i] += v;
+      col_sum[j] += v;
+      n += v;
+    }
+  }
+  *total_out = n;
+  if (n == 0 || rows < 2 || cols < 2) return 0.0;
+  double chi2 = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_sum[i] == 0) continue;
+    for (size_t j = 0; j < cols; ++j) {
+      if (col_sum[j] == 0) continue;
+      const double expected = static_cast<double>(row_sum[i]) *
+                              static_cast<double>(col_sum[j]) / static_cast<double>(n);
+      const double diff = static_cast<double>(table[i * cols + j]) - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  const double k = static_cast<double>(std::min(rows, cols)) - 1.0;
+  if (k <= 0.0) return 0.0;
+  return std::sqrt(std::clamp(chi2 / (static_cast<double>(n) * k), 0.0, 1.0));
+}
+
+// Mann-Whitney U (pairs where inside > outside, ties = 1/2) computed in one
+// walk over the profile-cached ascending sort order.
+void MannWhitneyU(const std::vector<double>& data, const std::vector<uint32_t>& order,
+                  const Selection& selection, double* u, int64_t* n_in,
+                  int64_t* n_out) {
+  *u = 0.0;
+  *n_in = 0;
+  *n_out = 0;
+  int64_t outside_before = 0;
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && data[order[j + 1]] == data[order[i]]) ++j;
+    int64_t g_in = 0;
+    int64_t g_out = 0;
+    for (size_t k = i; k <= j; ++k) {
+      if (selection.Contains(order[k])) {
+        ++g_in;
+      } else {
+        ++g_out;
+      }
+    }
+    *u += static_cast<double>(g_in) * static_cast<double>(outside_before) +
+          0.5 * static_cast<double>(g_in) * static_cast<double>(g_out);
+    outside_before += g_out;
+    *n_in += g_in;
+    *n_out += g_out;
+    i = j + 1;
+  }
+}
+
+}  // namespace
+
+Result<ComponentTable> BuildComponentsFromSketches(
+    const Table& table, const TableProfile& profile, const Selection& selection,
+    const SelectionSketches& inside, const SelectionSketches& outside,
+    const ComponentBuildOptions& options) {
+  ComponentTable out;
+  const size_t inside_n = selection.Count();
+  out.set_counts(static_cast<int64_t>(inside_n),
+                 static_cast<int64_t>(table.num_rows() - inside_n));
+  const int64_t kMin = options.min_side_rows;
+
+  // ---- Unary components ---------------------------------------------------
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.is_numeric()) {
+      const auto [lo, hi] = profile.ColumnRange(c);
+      NumericStats in_s = StatsFromSketch(inside.column_sketch(c), lo, hi);
+      NumericStats out_s = StatsFromSketch(outside.column_sketch(c), lo, hi);
+      if (in_s.count < kMin || out_s.count < kMin) continue;
+
+      ZigComponent mean_c;
+      mean_c.kind = ComponentKind::kMeanShift;
+      mean_c.col_a = c;
+      mean_c.effect = StandardizedMeanDifference(in_s, out_s);
+      mean_c.inside_value = in_s.mean;
+      mean_c.outside_value = out_s.mean;
+      mean_c.inside_n = in_s.count;
+      mean_c.outside_n = out_s.count;
+      mean_c.p_value = WelchTTest(in_s, out_s).p_value;
+      out.Add(std::move(mean_c));
+
+      ZigComponent disp_c;
+      disp_c.kind = ComponentKind::kDispersionShift;
+      disp_c.col_a = c;
+      disp_c.effect = LogStdDevRatio(in_s, out_s);
+      disp_c.inside_value = in_s.StdDev();
+      disp_c.outside_value = out_s.StdDev();
+      disp_c.inside_n = in_s.count;
+      disp_c.outside_n = out_s.count;
+      disp_c.p_value = VarianceFTest(in_s, out_s).p_value;
+      out.Add(std::move(disp_c));
+
+      if (options.enable_rank_shift && !profile.SortOrder(c).empty()) {
+        double u = 0.0;
+        int64_t rn_in = 0;
+        int64_t rn_out = 0;
+        MannWhitneyU(col.numeric_data(), profile.SortOrder(c), selection, &u, &rn_in,
+                     &rn_out);
+        if (rn_in >= kMin && rn_out >= kMin) {
+          ZigComponent rank_c;
+          rank_c.kind = ComponentKind::kRankShift;
+          rank_c.col_a = c;
+          rank_c.effect = CliffsDelta(u, rn_in, rn_out);
+          // Probability of superiority P(inside > outside) and complement.
+          rank_c.inside_value =
+              u / (static_cast<double>(rn_in) * static_cast<double>(rn_out));
+          rank_c.outside_value = 1.0 - rank_c.inside_value;
+          rank_c.inside_n = rn_in;
+          rank_c.outside_n = rn_out;
+          rank_c.p_value = rank_c.effect.PValue();
+          out.Add(std::move(rank_c));
+        }
+      }
+
+      if (options.enable_distribution_shift && !inside.histogram(c).empty()) {
+        const auto& in_h = inside.histogram(c);
+        const auto& out_h = outside.histogram(c);
+        int64_t hn_in = 0;
+        int64_t hn_out = 0;
+        for (int64_t v : in_h) hn_in += v;
+        for (int64_t v : out_h) hn_out += v;
+        if (hn_in >= kMin && hn_out >= kMin) {
+          ZigComponent dist_c;
+          dist_c.kind = ComponentKind::kDistributionShift;
+          dist_c.col_a = c;
+          const auto p = NormalizeCounts(in_h, 0.0);
+          const auto q = NormalizeCounts(out_h, 0.0);
+          const double tv = TotalVariationDistance(p, q);
+          dist_c.effect = DistributionShift(tv, in_h.size(), hn_in, hn_out);
+          dist_c.inside_value = tv;
+          dist_c.outside_value = 0.0;
+          dist_c.inside_n = hn_in;
+          dist_c.outside_n = hn_out;
+          dist_c.p_value = ChiSquareHomogeneityTest(in_h, out_h).p_value;
+          // Most over-represented bin, as a value range, for explanations.
+          size_t best = 0;
+          double best_gain = -1.0;
+          for (size_t b = 0; b < p.size(); ++b) {
+            if (p[b] - q[b] > best_gain) {
+              best_gain = p[b] - q[b];
+              best = b;
+            }
+          }
+          const double width = (hi - lo) / static_cast<double>(in_h.size());
+          dist_c.detail = "[" + FormatDouble(lo + width * static_cast<double>(best)) +
+                          ", " +
+                          FormatDouble(lo + width * static_cast<double>(best + 1)) +
+                          ")";
+          out.Add(std::move(dist_c));
+        }
+      }
+    } else {
+      const auto& in_counts = inside.category_counts(c);
+      const auto& out_counts = outside.category_counts(c);
+      int64_t n_in = 0;
+      int64_t n_out = 0;
+      for (int64_t v : in_counts) n_in += v;
+      for (int64_t v : out_counts) n_out += v;
+      if (n_in < kMin || n_out < kMin) continue;
+
+      ZigComponent freq_c;
+      freq_c.kind = ComponentKind::kFrequencyShift;
+      freq_c.col_a = c;
+      freq_c.effect = FrequencyShift(in_counts, out_counts);
+      const auto p = NormalizeCounts(in_counts, 0.0);
+      const auto q = NormalizeCounts(out_counts, 0.0);
+      freq_c.inside_value = TotalVariationDistance(p, q);
+      freq_c.outside_value = 0.0;
+      freq_c.inside_n = n_in;
+      freq_c.outside_n = n_out;
+      double best_gain = -1.0;
+      size_t best_idx = 0;
+      for (size_t k = 0; k < p.size(); ++k) {
+        const double gain = p[k] - q[k];
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_idx = k;
+        }
+      }
+      if (!col.dictionary().empty()) freq_c.detail = col.dictionary()[best_idx];
+      freq_c.p_value = ChiSquareHomogeneityTest(in_counts, out_counts).p_value;
+      out.Add(std::move(freq_c));
+    }
+  }
+
+  // ---- Numeric pair components -------------------------------------------
+  const auto& npairs = profile.tracked_numeric_pairs();
+  for (size_t i = 0; i < npairs.size(); ++i) {
+    const PairMomentSketch& in_s = inside.numeric_pair_sketch(i);
+    const PairMomentSketch& out_s = outside.numeric_pair_sketch(i);
+    if (in_s.count < std::max<int64_t>(kMin, 4) ||
+        out_s.count < std::max<int64_t>(kMin, 4)) {
+      continue;
+    }
+    ZigComponent c;
+    c.kind = ComponentKind::kCorrelationShift;
+    c.col_a = npairs[i].first;
+    c.col_b = npairs[i].second;
+    c.inside_value = in_s.Correlation();
+    c.outside_value = out_s.Correlation();
+    c.inside_n = in_s.count;
+    c.outside_n = out_s.count;
+    c.effect =
+        CorrelationDifference(c.inside_value, in_s.count, c.outside_value, out_s.count);
+    c.p_value = c.effect.PValue();
+    out.Add(std::move(c));
+  }
+
+  // ---- Mixed pair components ----------------------------------------------
+  const auto& mpairs = profile.tracked_mixed_pairs();
+  for (size_t i = 0; i < mpairs.size(); ++i) {
+    MomentSketch in_total;
+    MomentSketch out_total;
+    for (const auto& g : inside.mixed_pair_groups(i)) in_total.Merge(g);
+    for (const auto& g : outside.mixed_pair_groups(i)) out_total.Merge(g);
+    if (in_total.count < std::max<int64_t>(kMin, 4) ||
+        out_total.count < std::max<int64_t>(kMin, 4)) {
+      continue;
+    }
+    ZigComponent c;
+    c.kind = ComponentKind::kAssociationShift;
+    c.col_a = mpairs[i].first;
+    c.col_b = mpairs[i].second;
+    c.inside_value = EtaFromGroups(inside.mixed_pair_groups(i));
+    c.outside_value = EtaFromGroups(outside.mixed_pair_groups(i));
+    c.inside_n = in_total.count;
+    c.outside_n = out_total.count;
+    // Eta is treated through the Fisher transform like a correlation; this
+    // is the standard asymptotic approximation for correlation-ratio
+    // differences (documented divergence from an exact test).
+    c.effect = CorrelationDifference(c.inside_value, in_total.count, c.outside_value,
+                                     out_total.count);
+    c.p_value = c.effect.PValue();
+    out.Add(std::move(c));
+  }
+
+  // ---- Categorical pair components ----------------------------------------
+  const auto& cpairs = profile.tracked_categorical_pairs();
+  for (size_t i = 0; i < cpairs.size(); ++i) {
+    const size_t ka = table.column(cpairs[i].first).cardinality();
+    const size_t kb = table.column(cpairs[i].second).cardinality();
+    int64_t n_in = 0;
+    int64_t n_out = 0;
+    const double v_in =
+        CramersVFromTable(inside.categorical_pair_table(i), ka, kb, &n_in);
+    const double v_out =
+        CramersVFromTable(outside.categorical_pair_table(i), ka, kb, &n_out);
+    if (n_in < std::max<int64_t>(kMin, 4) || n_out < std::max<int64_t>(kMin, 4)) {
+      continue;
+    }
+    ZigComponent c;
+    c.kind = ComponentKind::kContingencyShift;
+    c.col_a = cpairs[i].first;
+    c.col_b = cpairs[i].second;
+    c.inside_value = v_in;
+    c.outside_value = v_out;
+    c.inside_n = n_in;
+    c.outside_n = n_out;
+    c.effect = CorrelationDifference(v_in, n_in, v_out, n_out);
+    c.p_value = c.effect.PValue();
+    out.Add(std::move(c));
+  }
+
+  out.FinalizeScales();
+  return out;
+}
+
+namespace {
+
+Status ValidateSelection(const Table& table, const TableProfile& profile,
+                         const Selection& selection) {
+  if (selection.num_rows() != table.num_rows()) {
+    return Status::InvalidArgument("selection size does not match table row count");
+  }
+  if (profile.num_columns() != table.num_columns()) {
+    return Status::InvalidArgument("profile does not match table (column count)");
+  }
+  const size_t inside_n = selection.Count();
+  if (inside_n == 0) {
+    return Status::FailedPrecondition(
+        "the query selects no tuples; nothing to characterize");
+  }
+  if (inside_n == table.num_rows()) {
+    return Status::FailedPrecondition(
+        "the query selects every tuple; there is no complement to compare against");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ComponentTable> BuildComponents(const Table& table, const TableProfile& profile,
+                                       const Selection& selection,
+                                       const ComponentBuildOptions& options) {
+  ZIGGY_RETURN_NOT_OK(ValidateSelection(table, profile, selection));
+
+  SelectionSketches inside;
+  inside.InitShapes(table, profile);
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (selection.Contains(r)) inside.AddRow(table, profile, r);
+  }
+
+  SelectionSketches outside;
+  outside.InitShapes(table, profile);
+  if (options.mode == PreparationMode::kTwoScan) {
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (!selection.Contains(r)) outside.AddRow(table, profile, r);
+    }
+  } else {
+    outside.DeriveAsComplement(profile, inside);
+  }
+  return BuildComponentsFromSketches(table, profile, selection, inside, outside,
+                                     options);
+}
+
+Preparer::Preparer(const Table* table, const TableProfile* profile,
+                   ComponentBuildOptions options)
+    : table_(table), profile_(profile), options_(std::move(options)) {
+  ZIGGY_CHECK(table_ != nullptr && profile_ != nullptr);
+}
+
+void Preparer::Reset() {
+  last_selection_.reset();
+  last_inside_ = SelectionSketches();
+}
+
+Result<ComponentTable> Preparer::Prepare(const Selection& selection) {
+  ZIGGY_RETURN_NOT_OK(ValidateSelection(*table_, *profile_, selection));
+  last_delta_rows_ = 0;
+
+  if (options_.mode == PreparationMode::kTwoScan) {
+    last_strategy_ = Strategy::kTwoScan;
+    return BuildComponents(*table_, *profile_, selection, options_);
+  }
+
+  bool use_delta = false;
+  size_t delta_rows = 0;
+  if (last_selection_.has_value() &&
+      last_selection_->num_rows() == selection.num_rows()) {
+    for (size_t r = 0; r < selection.num_rows(); ++r) {
+      if (selection.Contains(r) != last_selection_->Contains(r)) ++delta_rows;
+    }
+    use_delta = delta_rows < selection.Count();
+  }
+
+  if (use_delta) {
+    for (size_t r = 0; r < selection.num_rows(); ++r) {
+      const bool now = selection.Contains(r);
+      const bool before = last_selection_->Contains(r);
+      if (now == before) continue;
+      if (now) {
+        last_inside_.AddRow(*table_, *profile_, r);
+      } else {
+        last_inside_.RemoveRow(*table_, *profile_, r);
+      }
+    }
+    last_strategy_ = Strategy::kIncremental;
+    last_delta_rows_ = delta_rows;
+  } else {
+    last_inside_.InitShapes(*table_, *profile_);
+    for (size_t r = 0; r < selection.num_rows(); ++r) {
+      if (selection.Contains(r)) last_inside_.AddRow(*table_, *profile_, r);
+    }
+    last_strategy_ = Strategy::kFullScan;
+  }
+  last_selection_ = selection;
+
+  SelectionSketches outside;
+  outside.InitShapes(*table_, *profile_);
+  outside.DeriveAsComplement(*profile_, last_inside_);
+  return BuildComponentsFromSketches(*table_, *profile_, selection, last_inside_,
+                                     outside, options_);
+}
+
+}  // namespace ziggy

@@ -1,0 +1,55 @@
+#include "zig/component_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ziggy {
+
+uint64_t ComponentTable::KeyOf(ComponentKind kind, size_t a, size_t b) const {
+  // Canonicalize pair order so lookups are order-insensitive.
+  if (b != kNoColumn && b < a) std::swap(a, b);
+  const uint64_t kb = (b == kNoColumn) ? 0xFFFFFFull : static_cast<uint64_t>(b);
+  return (static_cast<uint64_t>(kind) << 48) | (static_cast<uint64_t>(a) << 24) | kb;
+}
+
+void ComponentTable::Add(ZigComponent component) {
+  index_[KeyOf(component.kind, component.col_a, component.col_b)] = components_.size();
+  components_.push_back(std::move(component));
+}
+
+void ComponentTable::FinalizeScales() {
+  scales_.fill(0.0);
+  for (const auto& c : components_) {
+    const double mag = c.Magnitude();
+    if (!std::isfinite(mag) || mag >= kDegenerateMagnitude) continue;
+    double& s = scales_[static_cast<size_t>(c.kind)];
+    s = std::max(s, mag);
+  }
+}
+
+std::vector<const ZigComponent*> ComponentTable::ForColumn(size_t col) const {
+  std::vector<const ZigComponent*> out;
+  for (const auto& c : components_) {
+    if (c.col_a == col || c.col_b == col) out.push_back(&c);
+  }
+  return out;
+}
+
+const ZigComponent* ComponentTable::Find(ComponentKind kind, size_t col_a,
+                                         size_t col_b) const {
+  auto it = index_.find(KeyOf(kind, col_a, col_b));
+  if (it == index_.end()) return nullptr;
+  return &components_[it->second];
+}
+
+double ComponentTable::NormalizationScale(ComponentKind kind) const {
+  return std::max(scales_[static_cast<size_t>(kind)], kMinScale);
+}
+
+double ComponentTable::NormalizedMagnitude(const ZigComponent& c) const {
+  const double mag = c.Magnitude();
+  if (mag <= 0.0) return 0.0;
+  return std::clamp(mag / NormalizationScale(c.kind), 0.0, 1.0);
+}
+
+}  // namespace ziggy

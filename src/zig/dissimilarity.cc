@@ -1,0 +1,48 @@
+#include "zig/dissimilarity.h"
+
+#include <algorithm>
+
+namespace ziggy {
+
+ScoreBreakdown ScoreView(const ComponentTable& components,
+                         const std::vector<size_t>& view_columns,
+                         const ZigWeights& weights) {
+  ScoreBreakdown out;
+  if (view_columns.empty()) return out;
+
+  double sums[kNumComponentKinds] = {0, 0, 0, 0, 0, 0};
+  // Membership test kept linear: views are small (a handful of columns).
+  auto in_view = [&view_columns](size_t col) {
+    return std::find(view_columns.begin(), view_columns.end(), col) !=
+           view_columns.end();
+  };
+
+  for (const auto& c : components.components()) {
+    const bool covered = IsPairKind(c.kind)
+                             ? (in_view(c.col_a) && in_view(c.col_b))
+                             : in_view(c.col_a);
+    if (!covered) continue;
+    const size_t k = static_cast<size_t>(c.kind);
+    sums[k] += components.NormalizedMagnitude(c);
+    ++out.count_per_kind[k];
+  }
+
+  double weight_total = 0.0;
+  for (size_t k = 0; k < kNumComponentKinds; ++k) {
+    if (out.count_per_kind[k] == 0) continue;
+    out.per_kind[k] = sums[k] / static_cast<double>(out.count_per_kind[k]);
+    const double w = weights.ForKind(static_cast<ComponentKind>(k));
+    out.total += w * out.per_kind[k];
+    weight_total += w;
+  }
+  if (weight_total > 0.0) out.total /= weight_total;
+  return out;
+}
+
+double ZigDissimilarity(const ComponentTable& components,
+                        const std::vector<size_t>& view_columns,
+                        const ZigWeights& weights) {
+  return ScoreView(components, view_columns, weights).total;
+}
+
+}  // namespace ziggy

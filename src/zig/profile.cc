@@ -1,0 +1,253 @@
+#include "zig/profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/dependency.h"
+#include "stats/histogram.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+namespace {
+
+// Cramér's V from a row-major contingency table with given marginal arities.
+double CramersVFromTable(const std::vector<int64_t>& table, size_t rows, size_t cols) {
+  if (rows < 2 || cols < 2) return 0.0;
+  std::vector<int64_t> row_sum(rows, 0);
+  std::vector<int64_t> col_sum(cols, 0);
+  int64_t n = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      const int64_t v = table[i * cols + j];
+      row_sum[i] += v;
+      col_sum[j] += v;
+      n += v;
+    }
+  }
+  if (n == 0) return 0.0;
+  double chi2 = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (row_sum[i] == 0) continue;
+    for (size_t j = 0; j < cols; ++j) {
+      if (col_sum[j] == 0) continue;
+      const double expected = static_cast<double>(row_sum[i]) *
+                              static_cast<double>(col_sum[j]) / static_cast<double>(n);
+      const double diff = static_cast<double>(table[i * cols + j]) - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  const double k = static_cast<double>(std::min(rows, cols)) - 1.0;
+  if (k <= 0.0) return 0.0;
+  return std::sqrt(std::clamp(chi2 / (static_cast<double>(n) * k), 0.0, 1.0));
+}
+
+}  // namespace
+
+size_t HistogramBinOf(double v, double lo, double hi, size_t bins) {
+  ZIGGY_DCHECK(bins > 0);
+  double width = (hi - lo) / static_cast<double>(bins);
+  if (width <= 0.0) return 0;
+  const double offset = (v - lo) / width;
+  if (offset < 0.0) return 0;
+  const size_t bin = static_cast<size_t>(offset);
+  return bin >= bins ? bins - 1 : bin;
+}
+
+Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions options) {
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("cannot profile a table with no columns");
+  }
+  TableProfile p;
+  p.num_columns_ = table.num_columns();
+  p.options_ = options;
+  const size_t m = p.num_columns_;
+  p.column_sketches_.resize(m);
+  p.category_counts_.resize(m);
+  p.ranges_.assign(m, {0.0, 0.0});
+  p.sort_orders_.resize(m);
+  p.histograms_.resize(m);
+  p.dependency_.assign(m * m, 0.0);
+  p.numeric_pair_index_.assign(m * m, -1);
+
+  // ---- Column-level scans ----------------------------------------------
+  std::vector<size_t> numeric_cols;
+  std::vector<size_t> categorical_cols;
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = table.column(c);
+    if (col.is_numeric()) {
+      numeric_cols.push_back(c);
+      NumericStats ns = ComputeNumericStats(col.numeric_data());
+      p.ranges_[c] = {ns.count > 0 ? ns.min : 0.0, ns.count > 0 ? ns.max : 0.0};
+      for (double v : col.numeric_data()) {
+        if (!IsNullNumeric(v)) p.column_sketches_[c].Add(v);
+      }
+      const auto& data = col.numeric_data();
+      if (options.cache_sort_orders) {
+        auto& order = p.sort_orders_[c];
+        order.reserve(data.size());
+        for (size_t r = 0; r < data.size(); ++r) {
+          if (!IsNullNumeric(data[r])) order.push_back(static_cast<uint32_t>(r));
+        }
+        std::sort(order.begin(), order.end(),
+                  [&data](uint32_t a, uint32_t b) { return data[a] < data[b]; });
+      }
+      if (options.histogram_bins > 0) {
+        auto& hist = p.histograms_[c];
+        hist.assign(options.histogram_bins, 0);
+        const auto [lo, hi] = p.ranges_[c];
+        for (double v : data) {
+          if (IsNullNumeric(v)) continue;
+          ++hist[HistogramBinOf(v, lo, hi, options.histogram_bins)];
+        }
+      }
+    } else {
+      categorical_cols.push_back(c);
+      p.category_counts_[c] = CategoryCounts(col);
+    }
+  }
+
+  // ---- Numeric-numeric pairs -------------------------------------------
+  // All pair sketches are needed to fill the dependency matrix; only pairs
+  // above the dependency floor are retained for per-query reuse.
+  struct Candidate {
+    size_t a;
+    size_t b;
+    double dep;
+    PairMomentSketch sketch;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < numeric_cols.size(); ++i) {
+    const auto& x = table.column(numeric_cols[i]).numeric_data();
+    for (size_t j = i + 1; j < numeric_cols.size(); ++j) {
+      const auto& y = table.column(numeric_cols[j]).numeric_data();
+      PairMomentSketch s;
+      for (size_t r = 0; r < x.size(); ++r) {
+        if (!IsNullNumeric(x[r]) && !IsNullNumeric(y[r])) s.Add(x[r], y[r]);
+      }
+      const double dep = std::fabs(s.Correlation());
+      const size_t a = numeric_cols[i];
+      const size_t b = numeric_cols[j];
+      p.dependency_[a * m + b] = dep;
+      p.dependency_[b * m + a] = dep;
+      if (dep >= options.pair_dependency_floor) {
+        candidates.push_back({a, b, dep, s});
+      }
+    }
+  }
+  if (candidates.size() > options.max_tracked_pairs) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<int64_t>(options.max_tracked_pairs),
+                     candidates.end(),
+                     [](const Candidate& a, const Candidate& b) { return a.dep > b.dep; });
+    candidates.resize(options.max_tracked_pairs);
+  }
+  for (const Candidate& c : candidates) {
+    const int64_t idx = static_cast<int64_t>(p.tracked_numeric_pairs_.size());
+    p.numeric_pair_index_[c.a * m + c.b] = idx;
+    p.numeric_pair_index_[c.b * m + c.a] = idx;
+    p.tracked_numeric_pairs_.emplace_back(c.a, c.b);
+    p.numeric_pair_sketches_.push_back(c.sketch);
+  }
+
+  // ---- Mixed (categorical, numeric) pairs --------------------------------
+  for (size_t cc : categorical_cols) {
+    const Column& cat = table.column(cc);
+    const size_t k = cat.cardinality();
+    if (k < 2) continue;
+    for (size_t nc : numeric_cols) {
+      const auto& x = table.column(nc).numeric_data();
+      GroupedMoments gm;
+      gm.groups.assign(k, MomentSketch{});
+      for (size_t r = 0; r < x.size(); ++r) {
+        const CategoryCode code = cat.codes()[r];
+        if (code == kNullCategory || IsNullNumeric(x[r])) continue;
+        gm.groups[static_cast<size_t>(code)].Add(x[r]);
+      }
+      // Correlation ratio eta from group moments.
+      MomentSketch total;
+      double ss_between = 0.0;
+      for (const auto& g : gm.groups) total.Merge(g);
+      if (total.count < 2) continue;
+      const double grand_mean = total.Mean();
+      for (const auto& g : gm.groups) {
+        if (g.count == 0) continue;
+        const double d = g.Mean() - grand_mean;
+        ss_between += static_cast<double>(g.count) * d * d;
+      }
+      const double n = static_cast<double>(total.count);
+      const double ss_total =
+          std::max(0.0, total.sum_sq - total.sum * total.sum / n);
+      const double eta =
+          ss_total > 0.0 ? std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0)) : 0.0;
+      p.dependency_[cc * m + nc] = eta;
+      p.dependency_[nc * m + cc] = eta;
+      if (eta >= options.pair_dependency_floor &&
+          p.tracked_mixed_pairs_.size() < options.max_tracked_pairs) {
+        p.tracked_mixed_pairs_.emplace_back(cc, nc);
+        p.mixed_pair_groups_.push_back(std::move(gm));
+      }
+    }
+  }
+
+  // ---- Categorical-categorical pairs -------------------------------------
+  for (size_t i = 0; i < categorical_cols.size(); ++i) {
+    const Column& a = table.column(categorical_cols[i]);
+    const size_t ka = a.cardinality();
+    if (ka < 2) continue;
+    for (size_t j = i + 1; j < categorical_cols.size(); ++j) {
+      const Column& b = table.column(categorical_cols[j]);
+      const size_t kb = b.cardinality();
+      if (kb < 2) continue;
+      std::vector<int64_t> ct(ka * kb, 0);
+      for (size_t r = 0; r < a.size(); ++r) {
+        const CategoryCode cai = a.codes()[r];
+        const CategoryCode cbi = b.codes()[r];
+        if (cai == kNullCategory || cbi == kNullCategory) continue;
+        ++ct[static_cast<size_t>(cai) * kb + static_cast<size_t>(cbi)];
+      }
+      const double v = CramersVFromTable(ct, ka, kb);
+      const size_t ca = categorical_cols[i];
+      const size_t cb = categorical_cols[j];
+      p.dependency_[ca * m + cb] = v;
+      p.dependency_[cb * m + ca] = v;
+      if (v >= options.pair_dependency_floor &&
+          p.tracked_categorical_pairs_.size() < options.max_tracked_pairs) {
+        p.tracked_categorical_pairs_.emplace_back(ca, cb);
+        p.categorical_pair_tables_.push_back(std::move(ct));
+      }
+    }
+  }
+
+  return p;
+}
+
+double TableProfile::Dependency(size_t a, size_t b) const {
+  ZIGGY_DCHECK(a < num_columns_ && b < num_columns_);
+  if (a == b) return 1.0;
+  return dependency_[a * num_columns_ + b];
+}
+
+int64_t TableProfile::NumericPairIndex(size_t a, size_t b) const {
+  ZIGGY_DCHECK(a < num_columns_ && b < num_columns_);
+  return numeric_pair_index_[a * num_columns_ + b];
+}
+
+size_t TableProfile::MemoryUsageBytes() const {
+  size_t bytes = 0;
+  bytes += column_sketches_.capacity() * sizeof(MomentSketch);
+  for (const auto& v : category_counts_) bytes += v.capacity() * sizeof(int64_t);
+  for (const auto& v : sort_orders_) bytes += v.capacity() * sizeof(uint32_t);
+  for (const auto& v : histograms_) bytes += v.capacity() * sizeof(int64_t);
+  bytes += dependency_.capacity() * sizeof(double);
+  bytes += numeric_pair_index_.capacity() * sizeof(int64_t);
+  bytes += numeric_pair_sketches_.capacity() * sizeof(PairMomentSketch);
+  for (const auto& g : mixed_pair_groups_) {
+    bytes += g.groups.capacity() * sizeof(MomentSketch);
+  }
+  for (const auto& t : categorical_pair_tables_) bytes += t.capacity() * sizeof(int64_t);
+  return bytes;
+}
+
+}  // namespace ziggy

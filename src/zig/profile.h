@@ -1,0 +1,157 @@
+// TableProfile: the per-table statistics Ziggy computes once and shares
+// across all exploration queries (the "strategy to share computations
+// between queries" of paper §3, Preparation).
+//
+// The profile holds:
+//  * global moment sketches per numeric column,
+//  * global category counts per categorical column,
+//  * global cross-moment sketches for tracked column pairs,
+//  * the column dependency matrix (the measure S of Eq. 2).
+//
+// Because every sketch supports exact Subtract, a query's outside statistics
+// are derived as (global − inside) after a single scan of the selection —
+// the complement of the selection is never scanned.
+
+#ifndef ZIGGY_ZIG_PROFILE_H_
+#define ZIGGY_ZIG_PROFILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/descriptive.h"
+#include "storage/table.h"
+#include "zig/component.h"
+
+namespace ziggy {
+
+/// \brief Options controlling profile construction.
+struct ProfileOptions {
+  /// Pairs with global dependency below this floor are not tracked: their
+  /// pair-level Zig-Components would never appear inside a tight view.
+  double pair_dependency_floor = 0.05;
+  /// Hard cap on tracked pairs (safety valve for very wide tables). Pairs
+  /// with the highest dependency are kept.
+  size_t max_tracked_pairs = 250000;
+  /// Cache the per-column sort order (row ids ascending by value). Needed
+  /// by the rank-shift component; costs ~4 bytes/cell.
+  bool cache_sort_orders = true;
+  /// Bins of the per-column global histograms backing the
+  /// distribution-shift component (0 disables).
+  size_t histogram_bins = 16;
+};
+
+/// \brief Bin index of `v` in an equi-width histogram over [lo, hi] with
+/// out-of-range values clamped into the boundary bins.
+size_t HistogramBinOf(double v, double lo, double hi, size_t bins);
+
+/// \brief Global per-group numeric summaries for one (categorical, numeric)
+/// column pair; index = category code.
+struct GroupedMoments {
+  std::vector<MomentSketch> groups;
+};
+
+/// \brief Shared per-table statistics. Compute once, reuse per query.
+class TableProfile {
+ public:
+  /// Builds the profile with full scans of the table.
+  static Result<TableProfile> Compute(const Table& table, ProfileOptions options = {});
+
+  size_t num_columns() const { return num_columns_; }
+  const ProfileOptions& options() const { return options_; }
+
+  /// Global moment sketch of numeric column `col` (zeroed for categorical).
+  const MomentSketch& ColumnSketch(size_t col) const { return column_sketches_[col]; }
+
+  /// Global category counts of categorical column `col` (empty otherwise).
+  const std::vector<int64_t>& CategoryCountsOf(size_t col) const {
+    return category_counts_[col];
+  }
+
+  /// Global [min, max] of numeric column `col`.
+  std::pair<double, double> ColumnRange(size_t col) const { return ranges_[col]; }
+
+  /// Row ids of numeric column `col` sorted ascending by value, NULL rows
+  /// excluded. Empty when cache_sort_orders is off or `col` is categorical.
+  const std::vector<uint32_t>& SortOrder(size_t col) const { return sort_orders_[col]; }
+
+  /// Global equi-width histogram counts of numeric column `col` over
+  /// ColumnRange(col); empty when histogram_bins == 0 or categorical.
+  const std::vector<int64_t>& HistogramCountsOf(size_t col) const {
+    return histograms_[col];
+  }
+
+  /// Dependency S(col_a, col_b) in [0, 1] (Eq. 2 measure).
+  double Dependency(size_t a, size_t b) const;
+
+  /// \name Tracked pair access.
+  /// @{
+  const std::vector<std::pair<size_t, size_t>>& tracked_numeric_pairs() const {
+    return tracked_numeric_pairs_;
+  }
+  const std::vector<std::pair<size_t, size_t>>& tracked_mixed_pairs() const {
+    return tracked_mixed_pairs_;
+  }
+  const std::vector<std::pair<size_t, size_t>>& tracked_categorical_pairs() const {
+    return tracked_categorical_pairs_;
+  }
+  /// Index into pair sketch storage, or -1 when the pair is not tracked.
+  /// For numeric pairs, both orders are accepted.
+  int64_t NumericPairIndex(size_t a, size_t b) const;
+  const PairMomentSketch& NumericPairSketch(size_t idx) const {
+    return numeric_pair_sketches_[static_cast<size_t>(idx)];
+  }
+  /// Grouped moments of tracked mixed pair `idx` (categorical first).
+  const GroupedMoments& MixedPairGroups(size_t idx) const {
+    return mixed_pair_groups_[idx];
+  }
+  /// Global contingency table of tracked categorical pair `idx`, row-major
+  /// with b's cardinality as row stride.
+  const std::vector<int64_t>& CategoricalPairTable(size_t idx) const {
+    return categorical_pair_tables_[idx];
+  }
+  /// @}
+
+  /// Approximate heap footprint of the profile.
+  size_t MemoryUsageBytes() const;
+
+  /// \name Serialization.
+  /// Profiles are expensive to compute on wide tables (the one-off cost of
+  /// an exploration session); persisting them lets a session resume
+  /// instantly. The format is a version-tagged little-endian binary dump.
+  /// @{
+  Status Serialize(std::ostream* out) const;
+  static Result<TableProfile> Deserialize(std::istream* in);
+  Status SaveToFile(const std::string& path) const;
+  static Result<TableProfile> LoadFromFile(const std::string& path);
+  /// Structural and numerical equality (used to validate round trips).
+  bool Equals(const TableProfile& other) const;
+  /// @}
+
+ private:
+  size_t num_columns_ = 0;
+  ProfileOptions options_;
+  std::vector<MomentSketch> column_sketches_;
+  std::vector<std::vector<int64_t>> category_counts_;
+  std::vector<std::pair<double, double>> ranges_;
+  std::vector<std::vector<uint32_t>> sort_orders_;
+  std::vector<std::vector<int64_t>> histograms_;
+  std::vector<double> dependency_;  // dense num_columns^2, symmetric
+
+  std::vector<std::pair<size_t, size_t>> tracked_numeric_pairs_;
+  std::vector<PairMomentSketch> numeric_pair_sketches_;
+  std::vector<int64_t> numeric_pair_index_;  // dense num_columns^2, -1 = untracked
+
+  std::vector<std::pair<size_t, size_t>> tracked_mixed_pairs_;  // (cat, num)
+  std::vector<GroupedMoments> mixed_pair_groups_;
+
+  std::vector<std::pair<size_t, size_t>> tracked_categorical_pairs_;
+  std::vector<std::vector<int64_t>> categorical_pair_tables_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_ZIG_PROFILE_H_

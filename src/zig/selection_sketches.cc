@@ -1,0 +1,153 @@
+#include "zig/selection_sketches.h"
+
+#include "common/logging.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+void SelectionSketches::InitShapes(const Table& table, const TableProfile& profile) {
+  const size_t m = table.num_columns();
+  column_sketches_.assign(m, MomentSketch{});
+  category_counts_.assign(m, {});
+  histograms_.assign(m, {});
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = table.column(c);
+    if (col.is_categorical()) {
+      category_counts_[c].assign(col.cardinality(), 0);
+    } else if (!profile.HistogramCountsOf(c).empty()) {
+      histograms_[c].assign(profile.HistogramCountsOf(c).size(), 0);
+    }
+  }
+  numeric_pair_sketches_.assign(profile.tracked_numeric_pairs().size(),
+                                PairMomentSketch{});
+  mixed_pair_groups_.resize(profile.tracked_mixed_pairs().size());
+  for (size_t i = 0; i < profile.tracked_mixed_pairs().size(); ++i) {
+    mixed_pair_groups_[i].assign(profile.MixedPairGroups(i).groups.size(),
+                                 MomentSketch{});
+  }
+  categorical_pair_tables_.resize(profile.tracked_categorical_pairs().size());
+  for (size_t i = 0; i < profile.tracked_categorical_pairs().size(); ++i) {
+    categorical_pair_tables_[i].assign(profile.CategoricalPairTable(i).size(), 0);
+  }
+}
+
+template <int Sign>
+void SelectionSketches::ApplyRow(const Table& table, const TableProfile& profile,
+                                 size_t r) {
+  static_assert(Sign == 1 || Sign == -1);
+  const size_t m = table.num_columns();
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = table.column(c);
+    if (col.is_numeric()) {
+      const double v = col.numeric_data()[r];
+      if (IsNullNumeric(v)) continue;
+      if constexpr (Sign == 1) {
+        column_sketches_[c].Add(v);
+      } else {
+        column_sketches_[c].Remove(v);
+      }
+      if (!histograms_[c].empty()) {
+        const auto [lo, hi] = profile.ColumnRange(c);
+        histograms_[c][HistogramBinOf(v, lo, hi, histograms_[c].size())] += Sign;
+      }
+    } else {
+      const CategoryCode code = col.codes()[r];
+      if (code != kNullCategory) {
+        category_counts_[c][static_cast<size_t>(code)] += Sign;
+      }
+    }
+  }
+  const auto& npairs = profile.tracked_numeric_pairs();
+  for (size_t i = 0; i < npairs.size(); ++i) {
+    const double x = table.column(npairs[i].first).numeric_data()[r];
+    const double y = table.column(npairs[i].second).numeric_data()[r];
+    if (IsNullNumeric(x) || IsNullNumeric(y)) continue;
+    if constexpr (Sign == 1) {
+      numeric_pair_sketches_[i].Add(x, y);
+    } else {
+      numeric_pair_sketches_[i].Remove(x, y);
+    }
+  }
+  const auto& mpairs = profile.tracked_mixed_pairs();
+  for (size_t i = 0; i < mpairs.size(); ++i) {
+    const CategoryCode code = table.column(mpairs[i].first).codes()[r];
+    const double x = table.column(mpairs[i].second).numeric_data()[r];
+    if (code == kNullCategory || IsNullNumeric(x)) continue;
+    if constexpr (Sign == 1) {
+      mixed_pair_groups_[i][static_cast<size_t>(code)].Add(x);
+    } else {
+      mixed_pair_groups_[i][static_cast<size_t>(code)].Remove(x);
+    }
+  }
+  const auto& cpairs = profile.tracked_categorical_pairs();
+  for (size_t i = 0; i < cpairs.size(); ++i) {
+    const CategoryCode ca = table.column(cpairs[i].first).codes()[r];
+    const CategoryCode cb = table.column(cpairs[i].second).codes()[r];
+    if (ca == kNullCategory || cb == kNullCategory) continue;
+    const size_t kb = table.column(cpairs[i].second).cardinality();
+    categorical_pair_tables_[i][static_cast<size_t>(ca) * kb +
+                                static_cast<size_t>(cb)] += Sign;
+  }
+}
+
+void SelectionSketches::AddRow(const Table& table, const TableProfile& profile,
+                               size_t r) {
+  ApplyRow<1>(table, profile, r);
+}
+
+void SelectionSketches::RemoveRow(const Table& table, const TableProfile& profile,
+                                  size_t r) {
+  ApplyRow<-1>(table, profile, r);
+}
+
+void SelectionSketches::DeriveAsComplement(const TableProfile& profile,
+                                           const SelectionSketches& other) {
+  const size_t m = profile.num_columns();
+  for (size_t c = 0; c < m; ++c) {
+    column_sketches_[c] = profile.ColumnSketch(c);
+    column_sketches_[c].Subtract(other.column_sketches_[c]);
+    if (!profile.CategoryCountsOf(c).empty()) {
+      const auto& global = profile.CategoryCountsOf(c);
+      for (size_t k = 0; k < global.size(); ++k) {
+        category_counts_[c][k] = global[k] - other.category_counts_[c][k];
+      }
+    }
+    if (!profile.HistogramCountsOf(c).empty()) {
+      const auto& global = profile.HistogramCountsOf(c);
+      for (size_t k = 0; k < global.size(); ++k) {
+        histograms_[c][k] = global[k] - other.histograms_[c][k];
+      }
+    }
+  }
+  for (size_t i = 0; i < numeric_pair_sketches_.size(); ++i) {
+    numeric_pair_sketches_[i] = profile.NumericPairSketch(static_cast<int64_t>(i));
+    numeric_pair_sketches_[i].Subtract(other.numeric_pair_sketches_[i]);
+  }
+  for (size_t i = 0; i < mixed_pair_groups_.size(); ++i) {
+    const auto& global = profile.MixedPairGroups(i).groups;
+    for (size_t g = 0; g < global.size(); ++g) {
+      mixed_pair_groups_[i][g] = global[g];
+      mixed_pair_groups_[i][g].Subtract(other.mixed_pair_groups_[i][g]);
+    }
+  }
+  for (size_t i = 0; i < categorical_pair_tables_.size(); ++i) {
+    const auto& global = profile.CategoricalPairTable(i);
+    for (size_t k = 0; k < global.size(); ++k) {
+      categorical_pair_tables_[i][k] = global[k] - other.categorical_pair_tables_[i][k];
+    }
+  }
+}
+
+size_t SelectionSketches::MemoryUsageBytes() const {
+  size_t bytes = column_sketches_.capacity() * sizeof(MomentSketch);
+  for (const auto& v : category_counts_) bytes += v.capacity() * sizeof(int64_t);
+  bytes += numeric_pair_sketches_.capacity() * sizeof(PairMomentSketch);
+  for (const auto& v : mixed_pair_groups_) bytes += v.capacity() * sizeof(MomentSketch);
+  for (const auto& v : categorical_pair_tables_) {
+    bytes += v.capacity() * sizeof(int64_t);
+  }
+  for (const auto& v : histograms_) bytes += v.capacity() * sizeof(int64_t);
+  return bytes;
+}
+
+}  // namespace ziggy

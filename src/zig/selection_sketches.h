@@ -1,0 +1,77 @@
+// SelectionSketches: all mergeable statistics of one side of a selection
+// (the "inside" of paper Figure 2), accumulated row by row.
+//
+// Every field supports exact subtraction, which enables two optimizations:
+//  * the outside side is derived as (global profile − inside) without a
+//    second scan (DeriveAsComplement), and
+//  * a cached inside state can be *updated* to a similar new selection by
+//    adding/removing only the rows in the symmetric difference
+//    (AddRow/RemoveRow) — the engine's incremental preparation for
+//    exploration sessions where consecutive queries overlap heavily.
+
+#ifndef ZIGGY_ZIG_SELECTION_SKETCHES_H_
+#define ZIGGY_ZIG_SELECTION_SKETCHES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "storage/table.h"
+#include "zig/profile.h"
+
+namespace ziggy {
+
+/// \brief Per-side accumulation state for component construction.
+class SelectionSketches {
+ public:
+  SelectionSketches() = default;
+
+  /// Allocates zeroed sketches shaped after (table, profile).
+  void InitShapes(const Table& table, const TableProfile& profile);
+
+  /// Accumulates row `r` of the table.
+  void AddRow(const Table& table, const TableProfile& profile, size_t r);
+
+  /// Removes a previously accumulated row (exact inverse of AddRow).
+  void RemoveRow(const Table& table, const TableProfile& profile, size_t r);
+
+  /// Rebuilds this state as (profile global − other).
+  void DeriveAsComplement(const TableProfile& profile, const SelectionSketches& other);
+
+  /// \name Accumulated statistics (indexing mirrors TableProfile).
+  /// @{
+  const MomentSketch& column_sketch(size_t col) const { return column_sketches_[col]; }
+  const std::vector<int64_t>& category_counts(size_t col) const {
+    return category_counts_[col];
+  }
+  const PairMomentSketch& numeric_pair_sketch(size_t idx) const {
+    return numeric_pair_sketches_[idx];
+  }
+  const std::vector<MomentSketch>& mixed_pair_groups(size_t idx) const {
+    return mixed_pair_groups_[idx];
+  }
+  const std::vector<int64_t>& categorical_pair_table(size_t idx) const {
+    return categorical_pair_tables_[idx];
+  }
+  /// Histogram counts of numeric column `col` (profile-aligned bins).
+  const std::vector<int64_t>& histogram(size_t col) const { return histograms_[col]; }
+  /// @}
+
+  /// Approximate heap footprint (used to budget the engine's query cache).
+  size_t MemoryUsageBytes() const;
+
+ private:
+  template <int Sign>
+  void ApplyRow(const Table& table, const TableProfile& profile, size_t r);
+
+  std::vector<MomentSketch> column_sketches_;
+  std::vector<std::vector<int64_t>> category_counts_;
+  std::vector<PairMomentSketch> numeric_pair_sketches_;
+  std::vector<std::vector<MomentSketch>> mixed_pair_groups_;
+  std::vector<std::vector<int64_t>> categorical_pair_tables_;
+  std::vector<std::vector<int64_t>> histograms_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_ZIG_SELECTION_SKETCHES_H_

@@ -1,0 +1,277 @@
+// Unit tests for src/baselines: KL/centroid scorers, beam and exhaustive
+// subspace search, Jacobi eigendecomposition, PCA characterization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/pca.h"
+#include "baselines/subspace_search.h"
+#include "common/random.h"
+
+namespace ziggy {
+namespace {
+
+// Two shifted columns (0, 1), two flat columns (2, 3), one categorical.
+struct BaselineFixture {
+  Table table;
+  Selection selection;
+};
+
+BaselineFixture MakeBaselineFixture(uint64_t seed = 51) {
+  Rng rng(seed);
+  const size_t n = 600;
+  std::vector<double> s0(n);
+  std::vector<double> s1(n);
+  std::vector<double> f0(n);
+  std::vector<double> f1(n);
+  std::vector<std::string> cat(n);
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = i % 5 == 0;
+    if (inside) sel.Set(i);
+    s0[i] = (inside ? 3.0 : 0.0) + rng.Normal();
+    s1[i] = (inside ? -2.0 : 0.0) + rng.Normal();
+    f0[i] = rng.Normal();
+    f1[i] = rng.Normal();
+    cat[i] = "c";
+  }
+  return {Table::FromColumns({Column::FromNumeric("s0", s0),
+                              Column::FromNumeric("s1", s1),
+                              Column::FromNumeric("f0", f0),
+                              Column::FromNumeric("f1", f1),
+                              Column::FromStrings("cat", cat)})
+              .ValueOrDie(),
+          sel};
+}
+
+// ------------------------------------------------------------- KL scorer ----
+
+TEST(GaussianKlScorerTest, EligibleColumnsAreNumericOnly) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  EXPECT_EQ(scorer.EligibleColumns(), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(GaussianKlScorerTest, ShiftedColumnsScoreHigher) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  EXPECT_GT(scorer.ColumnScore(0), 10.0 * scorer.ColumnScore(2));
+  EXPECT_GT(scorer.ColumnScore(1), 10.0 * scorer.ColumnScore(3));
+}
+
+TEST(GaussianKlScorerTest, ScoreIsAdditive) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  EXPECT_NEAR(scorer.Score({0, 1}), scorer.ColumnScore(0) + scorer.ColumnScore(1),
+              1e-12);
+}
+
+TEST(GaussianKlScorerTest, IdenticalDistributionsScoreNearZero) {
+  Rng rng(3);
+  const size_t n = 2000;
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.Normal();
+  Selection sel(n);
+  for (size_t i = 0; i < n; i += 2) sel.Set(i);
+  Table t = Table::FromColumns({Column::FromNumeric("x", x)}).ValueOrDie();
+  GaussianKlScorer scorer(t, sel);
+  EXPECT_LT(scorer.ColumnScore(0), 0.05);
+}
+
+// -------------------------------------------------------- centroid scorer ----
+
+TEST(CentroidDistanceScorerTest, ShiftDominates) {
+  BaselineFixture fx = MakeBaselineFixture();
+  CentroidDistanceScorer scorer(fx.table, fx.selection);
+  EXPECT_GT(scorer.Score({0}), scorer.Score({2}) * 5.0);
+  // Monotone under superset (adds non-negative squared shift).
+  EXPECT_GE(scorer.Score({0, 1}), scorer.Score({0}) - 1e-12);
+}
+
+// ------------------------------------------------------------ beam search ----
+
+TEST(BeamSearchTest, FindsShiftedPairAsTop) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  BeamSearchOptions opts;
+  opts.max_size = 2;
+  auto results = BeamSubspaceSearch(scorer, opts);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].columns, (std::vector<size_t>{0, 1}));
+}
+
+TEST(BeamSearchTest, ResultsSortedAndDeduplicated) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  BeamSearchOptions opts;
+  opts.max_size = 3;
+  opts.top_k = 50;
+  auto results = BeamSubspaceSearch(scorer, opts);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_GE(results[i - 1].score, results[i].score);
+  }
+  std::set<std::vector<size_t>> uniq;
+  for (const auto& r : results) EXPECT_TRUE(uniq.insert(r.columns).second);
+}
+
+TEST(BeamSearchTest, RespectsMaxSize) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  BeamSearchOptions opts;
+  opts.max_size = 2;
+  opts.top_k = 100;
+  for (const auto& r : BeamSubspaceSearch(scorer, opts)) {
+    EXPECT_LE(r.columns.size(), 2u);
+  }
+}
+
+// ------------------------------------------------------ exhaustive search ----
+
+TEST(ExhaustiveSearchTest, MatchesBeamOnAdditiveScorer) {
+  // With an additive scorer, greedy beam search is optimal: both must find
+  // the same top subspace.
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  auto exhaustive = ExhaustiveSubspaceSearch(scorer, 2, 5);
+  BeamSearchOptions opts;
+  opts.max_size = 2;
+  auto beam = BeamSubspaceSearch(scorer, opts);
+  ASSERT_FALSE(exhaustive.empty());
+  ASSERT_FALSE(beam.empty());
+  EXPECT_EQ(exhaustive[0].columns, beam[0].columns);
+  EXPECT_NEAR(exhaustive[0].score, beam[0].score, 1e-12);
+}
+
+TEST(ExhaustiveSearchTest, EnumerationCount) {
+  BaselineFixture fx = MakeBaselineFixture();
+  GaussianKlScorer scorer(fx.table, fx.selection);
+  // 4 numeric columns, size<=2: C(4,1) + C(4,2) = 10 subspaces.
+  auto all = ExhaustiveSubspaceSearch(scorer, 2, 1000);
+  EXPECT_EQ(all.size(), 10u);
+}
+
+// ----------------------------------------------------------------- Jacobi ----
+
+TEST(JacobiTest, DiagonalMatrixIsItsOwnDecomposition) {
+  std::vector<double> m{3, 0, 0, 0, 1, 0, 0, 0, 2};
+  std::vector<double> values;
+  std::vector<double> vectors;
+  ASSERT_TRUE(JacobiEigenDecomposition(m, 3, &values, &vectors).ok());
+  EXPECT_NEAR(values[0], 3.0, 1e-12);
+  EXPECT_NEAR(values[1], 2.0, 1e-12);
+  EXPECT_NEAR(values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  std::vector<double> m{2, 1, 1, 2};
+  std::vector<double> values;
+  std::vector<double> vectors;
+  ASSERT_TRUE(JacobiEigenDecomposition(m, 2, &values, &vectors).ok());
+  EXPECT_NEAR(values[0], 3.0, 1e-10);
+  EXPECT_NEAR(values[1], 1.0, 1e-10);
+  // Eigenvector for 3 is (1, 1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::fabs(vectors[0]), std::sqrt(0.5), 1e-8);
+  EXPECT_NEAR(std::fabs(vectors[1]), std::sqrt(0.5), 1e-8);
+}
+
+TEST(JacobiTest, ReconstructionAndOrthonormality) {
+  Rng rng(7);
+  const size_t n = 6;
+  std::vector<double> m(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = rng.Uniform(-1, 1);
+      m[i * n + j] = v;
+      m[j * n + i] = v;
+    }
+  }
+  std::vector<double> values;
+  std::vector<double> vectors;
+  ASSERT_TRUE(JacobiEigenDecomposition(m, n, &values, &vectors).ok());
+  // A v = lambda v for each eigenpair.
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      double av = 0.0;
+      for (size_t j = 0; j < n; ++j) av += m[i * n + j] * vectors[k * n + j];
+      EXPECT_NEAR(av, values[k] * vectors[k * n + i], 1e-8);
+    }
+  }
+  // Eigenvectors orthonormal.
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = 0; b < n; ++b) {
+      double dot = 0.0;
+      for (size_t j = 0; j < n; ++j) dot += vectors[a * n + j] * vectors[b * n + j];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiTest, RejectsSizeMismatch) {
+  std::vector<double> values;
+  std::vector<double> vectors;
+  EXPECT_FALSE(JacobiEigenDecomposition({1, 2, 3}, 2, &values, &vectors).ok());
+}
+
+// -------------------------------------------------------------------- PCA ----
+
+TEST(PcaTest, ExplainedVarianceSumsToAtMostOne) {
+  BaselineFixture fx = MakeBaselineFixture();
+  PcaResult r = PcaCharacterize(fx.table, fx.selection, 4).ValueOrDie();
+  double total = 0.0;
+  for (const auto& pc : r.components) {
+    EXPECT_GE(pc.explained_variance_ratio, 0.0);
+    total += pc.explained_variance_ratio;
+  }
+  EXPECT_LE(total, 1.0 + 1e-9);
+}
+
+TEST(PcaTest, CorrelatedColumnsLoadTogether) {
+  Rng rng(9);
+  const size_t n = 800;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<double> z(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double f = rng.Normal();
+    x[i] = f + 0.1 * rng.Normal();
+    y[i] = f + 0.1 * rng.Normal();
+    z[i] = rng.Normal();
+  }
+  Table t = Table::FromColumns({Column::FromNumeric("x", x), Column::FromNumeric("y", y),
+                                Column::FromNumeric("z", z)})
+                .ValueOrDie();
+  PcaResult r = PcaCharacterize(t, Selection::All(n), 1).ValueOrDie();
+  ASSERT_EQ(r.components.size(), 1u);
+  auto top2 = r.components[0].TopLoadings(2);
+  std::sort(top2.begin(), top2.end());
+  EXPECT_EQ(top2, (std::vector<size_t>{0, 1}));
+  // The first PC mixes two columns: effective dimensionality near 2, which
+  // is the paper's interpretability complaint made measurable.
+  EXPECT_GT(r.components[0].EffectiveDimensionality(), 1.7);
+}
+
+TEST(PcaTest, NeedsTwoNumericColumns) {
+  Table t = Table::FromColumns({Column::FromNumeric("x", {1, 2, 3})}).ValueOrDie();
+  EXPECT_FALSE(PcaCharacterize(t, Selection::All(3), 1).ok());
+}
+
+TEST(PcaTest, NumComponentsClamped) {
+  BaselineFixture fx = MakeBaselineFixture();
+  PcaResult r = PcaCharacterize(fx.table, fx.selection, 100).ValueOrDie();
+  EXPECT_EQ(r.components.size(), 4u);  // only 4 numeric columns
+}
+
+TEST(PrincipalComponentTest, EffectiveDimensionalityBounds) {
+  PrincipalComponent single;
+  single.loadings = {1.0, 0.0, 0.0};
+  EXPECT_NEAR(single.EffectiveDimensionality(), 1.0, 1e-12);
+  PrincipalComponent uniform;
+  const double w = 1.0 / std::sqrt(3.0);
+  uniform.loadings = {w, w, w};
+  EXPECT_NEAR(uniform.EffectiveDimensionality(), 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,137 @@
+// Tests for stats/bootstrap.h.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/bootstrap.h"
+
+namespace ziggy {
+namespace {
+
+std::vector<double> Sample(Rng* rng, size_t n, double mean, double sd) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Normal(mean, sd);
+  return v;
+}
+
+TEST(BootstrapTest, IntervalContainsPointEstimate) {
+  Rng rng(1);
+  auto inside = Sample(&rng, 150, 2.0, 1.0);
+  auto outside = Sample(&rng, 400, 0.0, 1.0);
+  BootstrapInterval ci =
+      BootstrapTwoSample(inside, outside, MeanDifferenceStatistic);
+  ASSERT_TRUE(ci.defined);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(BootstrapTest, DetectsRealMeanDifference) {
+  Rng rng(2);
+  auto inside = Sample(&rng, 200, 2.0, 1.0);
+  auto outside = Sample(&rng, 500, 0.0, 1.0);
+  BootstrapInterval ci =
+      BootstrapTwoSample(inside, outside, MeanDifferenceStatistic);
+  ASSERT_TRUE(ci.defined);
+  EXPECT_TRUE(ci.Excludes(0.0));
+  EXPECT_NEAR(ci.point, 2.0, 0.3);
+}
+
+TEST(BootstrapTest, NullDifferenceIntervalCoversZero) {
+  Rng rng(3);
+  auto inside = Sample(&rng, 200, 1.0, 1.0);
+  auto outside = Sample(&rng, 500, 1.0, 1.0);
+  BootstrapInterval ci =
+      BootstrapTwoSample(inside, outside, MeanDifferenceStatistic);
+  ASSERT_TRUE(ci.defined);
+  EXPECT_FALSE(ci.Excludes(0.0));
+}
+
+TEST(BootstrapTest, MedianStatisticRobustToOutliers) {
+  Rng rng(4);
+  auto inside = Sample(&rng, 200, 1.0, 0.5);
+  auto outside = Sample(&rng, 400, 0.0, 0.5);
+  // Poison the inside mean with extreme outliers; the median CI must still
+  // sit near +1.
+  inside.push_back(-1e6);
+  inside.push_back(-1e6);
+  BootstrapInterval ci =
+      BootstrapTwoSample(inside, outside, MedianDifferenceStatistic);
+  ASSERT_TRUE(ci.defined);
+  EXPECT_NEAR(ci.point, 1.0, 0.3);
+  EXPECT_TRUE(ci.Excludes(0.0));
+}
+
+TEST(BootstrapTest, LogStdRatioDetectsDispersion) {
+  Rng rng(5);
+  auto inside = Sample(&rng, 300, 0.0, 3.0);
+  auto outside = Sample(&rng, 300, 0.0, 1.0);
+  BootstrapInterval ci = BootstrapTwoSample(inside, outside, LogStdRatioStatistic);
+  ASSERT_TRUE(ci.defined);
+  EXPECT_NEAR(ci.point, std::log(3.0), 0.2);
+  EXPECT_TRUE(ci.Excludes(0.0));
+}
+
+TEST(BootstrapTest, WiderConfidenceMakesWiderInterval) {
+  Rng rng(6);
+  auto inside = Sample(&rng, 100, 0.5, 1.0);
+  auto outside = Sample(&rng, 100, 0.0, 1.0);
+  BootstrapOptions narrow;
+  narrow.confidence = 0.8;
+  BootstrapOptions wide;
+  wide.confidence = 0.99;
+  BootstrapInterval ci_n =
+      BootstrapTwoSample(inside, outside, MeanDifferenceStatistic, narrow);
+  BootstrapInterval ci_w =
+      BootstrapTwoSample(inside, outside, MeanDifferenceStatistic, wide);
+  ASSERT_TRUE(ci_n.defined && ci_w.defined);
+  EXPECT_GT(ci_w.hi - ci_w.lo, ci_n.hi - ci_n.lo);
+}
+
+TEST(BootstrapTest, DeterministicForSeed) {
+  Rng rng(7);
+  auto inside = Sample(&rng, 50, 0.5, 1.0);
+  auto outside = Sample(&rng, 80, 0.0, 1.0);
+  BootstrapInterval a = BootstrapTwoSample(inside, outside, MeanDifferenceStatistic);
+  BootstrapInterval b = BootstrapTwoSample(inside, outside, MeanDifferenceStatistic);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(BootstrapTest, UndefinedOnTinySamples) {
+  EXPECT_FALSE(
+      BootstrapTwoSample({1.0}, {1.0, 2.0}, MeanDifferenceStatistic).defined);
+  EXPECT_FALSE(
+      BootstrapTwoSample({1.0, 2.0}, {1.0}, MeanDifferenceStatistic).defined);
+  BootstrapOptions few;
+  few.resamples = 1;
+  EXPECT_FALSE(
+      BootstrapTwoSample({1.0, 2.0}, {1.0, 2.0}, MeanDifferenceStatistic, few)
+          .defined);
+}
+
+// Coverage property: over repeated null experiments, a 90% interval should
+// cover zero roughly 90% of the time (loose tolerance, small trials).
+TEST(BootstrapTest, CoverageRoughlyCalibrated) {
+  Rng rng(8);
+  BootstrapOptions opts;
+  opts.confidence = 0.90;
+  opts.resamples = 120;
+  int covered = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    opts.seed = static_cast<uint64_t>(t) + 100;
+    auto inside = Sample(&rng, 60, 0.0, 1.0);
+    auto outside = Sample(&rng, 60, 0.0, 1.0);
+    BootstrapInterval ci =
+        BootstrapTwoSample(inside, outside, MeanDifferenceStatistic, opts);
+    if (!ci.Excludes(0.0)) ++covered;
+  }
+  const double rate = static_cast<double>(covered) / trials;
+  EXPECT_GT(rate, 0.75);
+  EXPECT_LE(rate, 1.0);
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,312 @@
+// Unit tests for src/common: Status, Result, string utilities, Rng.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace ziggy {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::TypeMismatch("x").IsTypeMismatch());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("no such column: 'foo'");
+  EXPECT_EQ(s.ToString(), "NotFound: no such column: 'foo'");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::IOError("disk gone");
+  Status t = s;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(t.IsIOError());
+  EXPECT_EQ(t.message(), "disk gone");
+  EXPECT_TRUE(s.IsIOError());  // source unchanged
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::ParseError("bad token");
+  Status t = std::move(s);
+  EXPECT_TRUE(t.IsParseError());
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status s = Status::Internal("a");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+  s = Status::NotFound("b");
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::IOError("boom"); };
+  auto wrapper = [&]() -> Status {
+    ZIGGY_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    ZIGGY_RETURN_NOT_OK(succeeds());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsAlreadyExists());
+}
+
+// ---------------------------------------------------------------- Result --
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> r = Status::IOError("x");
+  EXPECT_EQ(r.ValueOr(-1), -1);
+  Result<int> v = 7;
+  EXPECT_EQ(v.ValueOr(-1), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).ValueOrDie();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto provider = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("too big");
+    return 10;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    ZIGGY_ASSIGN_OR_RETURN(int v, provider(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(consumer(false).ValueOrDie(), 20);
+  EXPECT_TRUE(consumer(true).status().IsOutOfRange());
+}
+
+// ----------------------------------------------------------- string_util --
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  a b  "), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+  EXPECT_EQ(TrimWhitespace("\t\nfoo\r\n"), "foo");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringUtilTest, ToLowerAndEqualsIgnoreCase) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_TRUE(EqualsIgnoreCase("WHERE", "where"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("select *", "select"));
+  EXPECT_FALSE(StartsWith("sel", "select"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StringUtilTest, ParseDoubleAccepts) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").ValueOrDie(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").ValueOrDie(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 7 ").ValueOrDie(), 7.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(".5").ValueOrDie(), 0.5);
+}
+
+TEST(StringUtilTest, ParseDoubleRejects) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("3.5x").ok());
+  EXPECT_FALSE(ParseDouble("--3").ok());
+}
+
+TEST(StringUtilTest, ParseIntAcceptsAndRejects) {
+  EXPECT_EQ(ParseInt("123").ValueOrDie(), 123);
+  EXPECT_EQ(ParseInt("-5").ValueOrDie(), -5);
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("12a").ok());
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.5), "1.5");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(std::nan("")), "nan");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+// -------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform() != b.Uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalHasRoughlyCorrectMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(11);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(13);
+  auto s = rng.SampleWithoutReplacement(100, 30);
+  ASSERT_EQ(s.size(), 30u);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end());
+  for (size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(13);
+  auto s = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+// ---------------------------------------------------------------- Logging --
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogLevel old_level = Logger::threshold();
+  Logger::set_threshold(LogLevel::kError);
+  EXPECT_EQ(Logger::threshold(), LogLevel::kError);
+  Logger::set_threshold(old_level);
+}
+
+}  // namespace
+}  // namespace ziggy

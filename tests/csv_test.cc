@@ -1,0 +1,128 @@
+// Unit tests for CSV import/export (storage/csv.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "storage/csv.h"
+
+namespace ziggy {
+namespace {
+
+TEST(CsvTest, BasicParseWithHeader) {
+  auto t = ReadCsvString("a,b,s\n1,2.5,x\n3,4.5,y\n").ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(t.schema().field(0).type, ColumnType::kNumeric);
+  EXPECT_EQ(t.schema().field(2).type, ColumnType::kCategorical);
+  EXPECT_DOUBLE_EQ(t.column(1).numeric_data()[1], 4.5);
+  EXPECT_EQ(t.column(2).ValueAsString(0), "x");
+}
+
+TEST(CsvTest, NoHeaderGeneratesNames) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto t = ReadCsvString("1,foo\n2,bar\n", opts).ValueOrDie();
+  EXPECT_EQ(t.schema().field(0).name, "col0");
+  EXPECT_EQ(t.schema().field(1).name, "col1");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(CsvTest, NullTokens) {
+  auto t = ReadCsvString("a,s\nNA,x\n2,?\n,NULL\n").ValueOrDie();
+  EXPECT_EQ(t.column(0).null_count(), 2u);
+  EXPECT_EQ(t.column(1).null_count(), 2u);
+}
+
+TEST(CsvTest, QuotedFieldsWithDelimitersAndEscapes) {
+  auto t = ReadCsvString("s\n\"a,b\"\n\"he said \"\"hi\"\"\"\n").ValueOrDie();
+  EXPECT_EQ(t.column(0).ValueAsString(0), "a,b");
+  EXPECT_EQ(t.column(0).ValueAsString(1), "he said \"hi\"");
+}
+
+TEST(CsvTest, UnterminatedQuoteIsParseError) {
+  auto r = ReadCsvString("s\n\"unclosed\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, RaggedRecordIsParseError) {
+  auto r = ReadCsvString("a,b\n1,2\n3\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsParseError());
+}
+
+TEST(CsvTest, EmptyInputIsParseError) {
+  EXPECT_TRUE(ReadCsvString("").status().IsParseError());
+  EXPECT_TRUE(ReadCsvString("\n\n").status().IsParseError());
+}
+
+TEST(CsvTest, TypeInferenceFallsBackWhenLaterRowsDisagree) {
+  // Inference sample says numeric, a later row is textual: column must
+  // gracefully become categorical.
+  CsvOptions opts;
+  opts.inference_rows = 2;
+  std::string text = "a\n1\n2\n";
+  for (int i = 0; i < 50; ++i) text += std::to_string(i) + "\n";
+  text += "oops\n";
+  auto t = ReadCsvString(text, opts).ValueOrDie();
+  EXPECT_EQ(t.schema().field(0).type, ColumnType::kCategorical);
+  EXPECT_EQ(t.column(0).ValueAsString(0), "1");
+}
+
+TEST(CsvTest, AllNullColumnIsCategorical) {
+  auto t = ReadCsvString("a,b\nNA,1\nNA,2\n").ValueOrDie();
+  EXPECT_EQ(t.schema().field(0).type, ColumnType::kCategorical);
+  EXPECT_EQ(t.column(0).null_count(), 2u);
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions opts;
+  opts.delimiter = ';';
+  auto t = ReadCsvString("a;b\n1;2\n", opts).ValueOrDie();
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(1).numeric_data()[0], 2.0);
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  auto t = ReadCsvString("a,b\r\n1,2\r\n3,4\r\n").ValueOrDie();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(t.column(0).numeric_data()[1], 3.0);
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  auto t = ReadCsvString("num,txt\n1.5,alpha\n-2,\"with,comma\"\n,beta\n").ValueOrDie();
+  const std::string serialized = WriteCsvString(t);
+  auto t2 = ReadCsvString(serialized).ValueOrDie();
+  ASSERT_EQ(t2.num_rows(), t.num_rows());
+  ASSERT_EQ(t2.num_columns(), t.num_columns());
+  EXPECT_DOUBLE_EQ(t2.column(0).numeric_data()[0], 1.5);
+  EXPECT_TRUE(t2.column(0).IsNull(2));
+  EXPECT_EQ(t2.column(1).ValueAsString(1), "with,comma");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto t = ReadCsvString("x\n1\n2\n").ValueOrDie();
+  const std::string path = testing::TempDir() + "/ziggy_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto t2 = ReadCsvFile(path).ValueOrDie();
+  EXPECT_EQ(t2.num_rows(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadCsvFile("/nonexistent/path/data.csv").status().IsIOError());
+}
+
+TEST(CsvTest, NumericPrecisionSurvivesRoundTrip) {
+  auto t = Table::FromColumns({Column::FromNumeric("v", {0.1, 1e-17, 12345678.9012345})})
+               .ValueOrDie();
+  auto t2 = ReadCsvString(WriteCsvString(t)).ValueOrDie();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(t2.column(0).numeric_data()[i], t.column(0).numeric_data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ziggy

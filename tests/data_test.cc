@@ -1,0 +1,175 @@
+// Unit tests for src/data: synthetic generators and workload generation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "query/parser.h"
+#include "stats/dependency.h"
+#include "stats/descriptive.h"
+
+namespace ziggy {
+namespace {
+
+TEST(SyntheticTest, SpecValidation) {
+  SyntheticSpec spec;
+  spec.num_rows = 5;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec.num_rows = 100;
+  spec.planted_fraction = 0.0;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec.planted_fraction = 1.5;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+  spec.planted_fraction = 0.1;
+  spec.num_categorical = 1;
+  spec.num_shifted_categorical = 2;
+  EXPECT_FALSE(GenerateSynthetic(spec).ok());
+}
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  SyntheticSpec spec;
+  spec.num_rows = 500;
+  spec.planted_fraction = 0.2;
+  spec.themes = {{"t", 3, 0.8, 1.0, 1.0, 0.0}};
+  spec.num_noise_columns = 2;
+  spec.num_categorical = 2;
+  spec.num_shifted_categorical = 1;
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  // driver + 3 theme + 2 noise + 2 categorical = 8.
+  EXPECT_EQ(ds.table.num_columns(), 8u);
+  EXPECT_EQ(ds.table.num_rows(), 500u);
+  EXPECT_EQ(ds.table.schema().field(0).name, "driver");
+  // Planted fraction approximately honored.
+  const double frac =
+      static_cast<double>(ds.planted.Count()) / static_cast<double>(ds.table.num_rows());
+  EXPECT_NEAR(frac, 0.2, 0.05);
+}
+
+TEST(SyntheticTest, PredicateSelectsPlantedRows) {
+  SyntheticSpec spec;
+  spec.num_rows = 400;
+  spec.themes = {{"t", 2, 0.8, 1.5, 1.0, 0.0}};
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  ExprPtr e = ParsePredicate(ds.selection_predicate).ValueOrDie();
+  Selection sel = e->Evaluate(ds.table).ValueOrDie();
+  EXPECT_GT(sel.Jaccard(ds.planted), 0.99);
+}
+
+TEST(SyntheticTest, ThemeColumnsAreCorrelated) {
+  SyntheticSpec spec;
+  spec.num_rows = 3000;
+  spec.themes = {{"t", 2, 0.9, 0.0, 1.0, 0.0}};
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  const auto& x = ds.table.GetColumn("t_0").ValueOrDie()->numeric_data();
+  const auto& y = ds.table.GetColumn("t_1").ValueOrDie()->numeric_data();
+  // Pairwise correlation ~ loading^2 = 0.81.
+  EXPECT_NEAR(PearsonCorrelation(x, y), 0.81, 0.06);
+}
+
+TEST(SyntheticTest, MeanShiftIsPlanted) {
+  SyntheticSpec spec;
+  spec.num_rows = 3000;
+  spec.planted_fraction = 0.1;
+  spec.themes = {{"t", 1, 0.8, 2.0, 1.0, 0.0}};
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  const auto& col = ds.table.GetColumn("t_0").ValueOrDie()->numeric_data();
+  NumericStats inside = ComputeNumericStats(col, ds.planted);
+  NumericStats outside = ComputeNumericStats(col, ds.planted.Invert());
+  EXPECT_NEAR(inside.mean - outside.mean, 2.0, 0.25);
+}
+
+TEST(SyntheticTest, ScaleShiftIsPlanted) {
+  SyntheticSpec spec;
+  spec.num_rows = 4000;
+  spec.planted_fraction = 0.2;
+  spec.themes = {{"t", 1, 0.5, 0.0, 3.0, 0.0}};
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  const auto& col = ds.table.GetColumn("t_0").ValueOrDie()->numeric_data();
+  NumericStats inside = ComputeNumericStats(col, ds.planted);
+  NumericStats outside = ComputeNumericStats(col, ds.planted.Invert());
+  EXPECT_NEAR(inside.StdDev() / outside.StdDev(), 3.0, 0.35);
+}
+
+TEST(SyntheticTest, CorrelationBreakIsPlanted) {
+  SyntheticSpec spec;
+  spec.num_rows = 5000;
+  spec.planted_fraction = 0.3;
+  spec.themes = {{"t", 2, 0.9, 0.0, 1.0, 1.0}};  // full break inside
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  const auto& x = ds.table.GetColumn("t_0").ValueOrDie()->numeric_data();
+  const auto& y = ds.table.GetColumn("t_1").ValueOrDie()->numeric_data();
+  const double r_in = ComputePairStats(x, y, ds.planted).Correlation();
+  const double r_out = ComputePairStats(x, y, ds.planted.Invert()).Correlation();
+  EXPECT_GT(r_out, 0.7);
+  EXPECT_LT(r_in, 0.25);
+}
+
+TEST(SyntheticTest, PlantedViewsListShiftedThemesOnly) {
+  SyntheticSpec spec;
+  spec.num_rows = 300;
+  spec.themes = {{"shifted", 2, 0.8, 1.0, 1.0, 0.0}, {"flat", 2, 0.8, 0.0, 1.0, 0.0}};
+  spec.num_categorical = 2;
+  spec.num_shifted_categorical = 1;
+  SyntheticDataset ds = GenerateSynthetic(spec).ValueOrDie();
+  // One numeric theme + one categorical singleton.
+  ASSERT_EQ(ds.planted_views.size(), 2u);
+  EXPECT_EQ(ds.planted_views[0].size(), 2u);  // the shifted theme columns
+  EXPECT_EQ(ds.table.schema().field(ds.planted_views[0][0]).name, "shifted_0");
+  EXPECT_EQ(ds.planted_views[1].size(), 1u);  // shifted categorical
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticDataset a = MakeBoxOfficeDataset(5).ValueOrDie();
+  SyntheticDataset b = MakeBoxOfficeDataset(5).ValueOrDie();
+  ASSERT_EQ(a.table.num_rows(), b.table.num_rows());
+  for (size_t c = 0; c < a.table.num_columns(); ++c) {
+    if (!a.table.column(c).is_numeric()) continue;
+    for (size_t r = 0; r < a.table.num_rows(); r += 97) {
+      EXPECT_DOUBLE_EQ(a.table.column(c).numeric_data()[r],
+                       b.table.column(c).numeric_data()[r]);
+    }
+  }
+}
+
+TEST(UseCaseShapesTest, BoxOffice) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  EXPECT_EQ(ds.table.num_rows(), 900u);
+  EXPECT_EQ(ds.table.num_columns(), 12u);
+}
+
+TEST(UseCaseShapesTest, Crime) {
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  EXPECT_EQ(ds.table.num_rows(), 1994u);
+  EXPECT_EQ(ds.table.num_columns(), 128u);
+  // The four Figure-1 themes plus one categorical are planted.
+  EXPECT_EQ(ds.planted_views.size(), 5u);
+}
+
+TEST(UseCaseShapesTest, Oecd) {
+  SyntheticDataset ds = MakeOecdDataset().ValueOrDie();
+  EXPECT_EQ(ds.table.num_rows(), 6823u);
+  EXPECT_EQ(ds.table.num_columns(), 519u);
+}
+
+TEST(WorkloadTest, GeneratesParseableSelectiveQueries) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  Rng rng(3);
+  auto queries = GenerateWorkload(ds.table, 20, &rng);
+  ASSERT_EQ(queries.size(), 20u);
+  for (const auto& q : queries) {
+    ExprPtr e = ParsePredicate(q).ValueOrDie();
+    Selection sel = e->Evaluate(ds.table).ValueOrDie();
+    EXPECT_GT(sel.Count(), 0u) << q;
+    EXPECT_LT(sel.Count(), ds.table.num_rows()) << q;
+  }
+}
+
+TEST(WorkloadTest, EmptyForTableWithoutNumericColumns) {
+  Table t = Table::FromColumns({Column::FromStrings("s", {"a", "b"})}).ValueOrDie();
+  Rng rng(1);
+  EXPECT_TRUE(GenerateWorkload(t, 5, &rng).empty());
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,186 @@
+// Unit tests for stats/dependency.h: the S measures of paper Eq. 2.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/dependency.h"
+#include "storage/types.h"
+
+namespace ziggy {
+namespace {
+
+TEST(PearsonTest, KnownCases) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {2, 4, 6, 8}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {5, 5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(PearsonTest, NearIndependentIsSmall) {
+  Rng rng(2);
+  std::vector<double> x(5000);
+  std::vector<double> y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation(x, y)), 0.05);
+}
+
+TEST(RankTransformTest, SimpleRanks) {
+  auto r = RankTransform({30, 10, 20});
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(RankTransformTest, TiesGetAverageRank) {
+  auto r = RankTransform({5, 5, 1});
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+}
+
+TEST(RankTransformTest, NaNsStayNaN) {
+  auto r = RankTransform({2.0, NullNumeric(), 1.0});
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_TRUE(std::isnan(r[1]));
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsPerfect) {
+  // y = exp(x) is monotone: Spearman 1, Pearson < 1.
+  std::vector<double> x{1, 2, 3, 4, 5, 6};
+  std::vector<double> y;
+  for (double v : x) y.push_back(std::exp(v));
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_LT(PearsonCorrelation(x, y), 1.0);
+}
+
+TEST(SpearmanTest, HandlesNullsPairwise) {
+  std::vector<double> x{1, 2, NullNumeric(), 4};
+  std::vector<double> y{1, 2, 3, 4};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(CramersVTest, PerfectAssociation) {
+  Column a = Column::FromStrings("a", {"x", "x", "y", "y", "x", "y"});
+  Column b = Column::FromStrings("b", {"p", "p", "q", "q", "p", "q"});
+  EXPECT_NEAR(CramersV(a, b), 1.0, 1e-12);
+}
+
+TEST(CramersVTest, IndependenceIsNearZero) {
+  Rng rng(9);
+  std::vector<std::string> la;
+  std::vector<std::string> lb;
+  for (int i = 0; i < 4000; ++i) {
+    la.push_back("a" + std::to_string(rng.UniformInt(0, 3)));
+    lb.push_back("b" + std::to_string(rng.UniformInt(0, 3)));
+  }
+  Column a = Column::FromStrings("a", la);
+  Column b = Column::FromStrings("b", lb);
+  EXPECT_LT(CramersV(a, b), 0.08);
+}
+
+TEST(CramersVTest, DegenerateSingleCategory) {
+  Column a = Column::FromStrings("a", {"x", "x", "x"});
+  Column b = Column::FromStrings("b", {"p", "q", "p"});
+  EXPECT_DOUBLE_EQ(CramersV(a, b), 0.0);
+}
+
+TEST(CorrelationRatioTest, PerfectSeparation) {
+  Column cat = Column::FromStrings("g", {"a", "a", "b", "b"});
+  std::vector<double> num{1.0, 1.0, 5.0, 5.0};
+  EXPECT_NEAR(CorrelationRatio(cat, num), 1.0, 1e-12);
+}
+
+TEST(CorrelationRatioTest, NoGroupEffect) {
+  Column cat = Column::FromStrings("g", {"a", "b", "a", "b"});
+  std::vector<double> num{1.0, 1.0, 5.0, 5.0};
+  EXPECT_NEAR(CorrelationRatio(cat, num), 0.0, 1e-12);
+}
+
+TEST(CorrelationRatioTest, IgnoresNullRows) {
+  Column cat = Column::FromStrings("g", {"a", "", "b", "b"});
+  std::vector<double> num{1.0, 100.0, 5.0, NullNumeric()};
+  // Effective rows: (a,1) and (b,5): perfect separation.
+  EXPECT_NEAR(CorrelationRatio(cat, num), 1.0, 1e-12);
+}
+
+TEST(MutualInformationTest, IdenticalCategoricalHasHighMi) {
+  Column a = Column::FromStrings("a", {"x", "y", "z", "x", "y", "z", "x", "y"});
+  const double mi_self = MutualInformation(a, a);
+  Rng rng(10);
+  std::vector<std::string> lb;
+  for (int i = 0; i < 8; ++i) lb.push_back("b" + std::to_string(rng.UniformInt(0, 2)));
+  Column b = Column::FromStrings("b", lb);
+  EXPECT_GT(mi_self, MutualInformation(a, b));
+  EXPECT_GE(MutualInformation(a, b), 0.0);
+}
+
+TEST(MutualInformationTest, LinearNumericDependence) {
+  Rng rng(11);
+  std::vector<double> x(3000);
+  std::vector<double> y(3000);
+  std::vector<double> z(3000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = x[i];        // perfectly dependent
+    z[i] = rng.Normal();  // independent
+  }
+  Column cx = Column::FromNumeric("x", x);
+  Column cy = Column::FromNumeric("y", y);
+  Column cz = Column::FromNumeric("z", z);
+  EXPECT_GT(MutualInformation(cx, cy), 5.0 * MutualInformation(cx, cz));
+}
+
+TEST(DependencyMeasureTest, DispatchesPerTypePair) {
+  Rng rng(12);
+  const size_t n = 1000;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<std::string> g(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Normal();
+    y[i] = 0.9 * x[i] + 0.1 * rng.Normal();
+    g[i] = x[i] > 0 ? "pos" : "neg";
+  }
+  Column cx = Column::FromNumeric("x", x);
+  Column cy = Column::FromNumeric("y", y);
+  Column cg = Column::FromStrings("g", g);
+
+  const double num_num = DependencyMeasure(cx, cy);
+  EXPECT_GT(num_num, 0.9);
+  const double mixed = DependencyMeasure(cg, cx);
+  EXPECT_GT(mixed, 0.5);
+  EXPECT_NEAR(mixed, DependencyMeasure(cx, cg), 1e-12);  // symmetric dispatch
+  const double cat_cat = DependencyMeasure(cg, cg);
+  EXPECT_NEAR(cat_cat, 1.0, 1e-9);
+}
+
+TEST(DependencyMeasureTest, AlwaysInUnitInterval) {
+  Rng rng(13);
+  const size_t n = 300;
+  std::vector<double> x(n);
+  std::vector<std::string> g(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-1, 1);
+    g[i] = "g" + std::to_string(rng.UniformInt(0, 5));
+  }
+  Column cx = Column::FromNumeric("x", x);
+  Column cg = Column::FromStrings("g", g);
+  for (const auto* a : {&cx}) {
+    for (const auto* b : {&cx}) {
+      const double d = DependencyMeasure(*a, *b);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+  const double d = DependencyMeasure(cx, cg);
+  EXPECT_GE(d, 0.0);
+  EXPECT_LE(d, 1.0);
+}
+
+}  // namespace
+}  // namespace ziggy

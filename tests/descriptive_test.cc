@@ -1,0 +1,287 @@
+// Unit and property tests for stats/descriptive.h: Welford accumulators,
+// mergeable/subtractable moment sketches, quantiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/descriptive.h"
+#include "storage/types.h"
+
+namespace ziggy {
+namespace {
+
+// ----------------------------------------------------------- NumericStats --
+
+TEST(NumericStatsTest, BasicMoments) {
+  NumericStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count, 8);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(NumericStatsTest, SingleAndEmpty) {
+  NumericStats s;
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(NumericStatsTest, MergeMatchesSequential) {
+  Rng rng(3);
+  NumericStats whole;
+  NumericStats part1;
+  NumericStats part2;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Normal(5, 2);
+    whole.Add(v);
+    (i < 200 ? part1 : part2).Add(v);
+  }
+  part1.Merge(part2);
+  EXPECT_EQ(part1.count, whole.count);
+  EXPECT_NEAR(part1.mean, whole.mean, 1e-10);
+  EXPECT_NEAR(part1.m2, whole.m2, 1e-7);
+  EXPECT_DOUBLE_EQ(part1.min, whole.min);
+  EXPECT_DOUBLE_EQ(part1.max, whole.max);
+}
+
+TEST(NumericStatsTest, MergeWithEmptySides) {
+  NumericStats a;
+  NumericStats b;
+  b.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);  // empty.Merge(filled)
+  EXPECT_EQ(a.count, 2);
+  EXPECT_DOUBLE_EQ(a.mean, 2.0);
+  NumericStats c;
+  a.Merge(c);  // filled.Merge(empty)
+  EXPECT_EQ(a.count, 2);
+}
+
+TEST(NumericStatsTest, WelfordIsStableAgainstLargeOffsets) {
+  // Naive sum-of-squares catastrophically cancels here; Welford must not.
+  NumericStats s;
+  const double offset = 1e9;
+  for (double v : {offset + 1, offset + 2, offset + 3}) s.Add(v);
+  EXPECT_NEAR(s.Variance(), 1.0, 1e-6);
+}
+
+// -------------------------------------------------------------- PairStats --
+
+TEST(PairStatsTest, PerfectCorrelation) {
+  PairStats s;
+  for (int i = 0; i < 10; ++i) s.Add(i, 2.0 * i + 1.0);
+  EXPECT_NEAR(s.Correlation(), 1.0, 1e-12);
+  PairStats neg;
+  for (int i = 0; i < 10; ++i) neg.Add(i, -3.0 * i);
+  EXPECT_NEAR(neg.Correlation(), -1.0, 1e-12);
+}
+
+TEST(PairStatsTest, CovarianceKnownValue) {
+  PairStats s;
+  s.Add(1, 2);
+  s.Add(2, 4);
+  s.Add(3, 6);
+  EXPECT_NEAR(s.Covariance(), 2.0, 1e-12);  // cov(x, 2x) with var(x)=1
+}
+
+TEST(PairStatsTest, ZeroVarianceYieldsZeroCorrelation) {
+  PairStats s;
+  for (int i = 0; i < 5; ++i) s.Add(7.0, i);
+  EXPECT_DOUBLE_EQ(s.Correlation(), 0.0);
+}
+
+TEST(PairStatsTest, MergeMatchesSequential) {
+  Rng rng(4);
+  PairStats whole;
+  PairStats a;
+  PairStats b;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.Normal();
+    const double y = 0.5 * x + rng.Normal();
+    whole.Add(x, y);
+    (i % 3 == 0 ? a : b).Add(x, y);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, whole.count);
+  EXPECT_NEAR(a.Correlation(), whole.Correlation(), 1e-10);
+  EXPECT_NEAR(a.Covariance(), whole.Covariance(), 1e-10);
+}
+
+// ----------------------------------------------------------- MomentSketch --
+
+TEST(MomentSketchTest, MeanVarianceMatchWelford) {
+  Rng rng(5);
+  MomentSketch sk;
+  NumericStats ws;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Normal(3, 4);
+    sk.Add(v);
+    ws.Add(v);
+  }
+  EXPECT_NEAR(sk.Mean(), ws.mean, 1e-10);
+  EXPECT_NEAR(sk.Variance(), ws.Variance(), 1e-8);
+}
+
+TEST(MomentSketchTest, SubtractRecoversComplement) {
+  Rng rng(6);
+  MomentSketch global;
+  MomentSketch part;
+  MomentSketch complement_direct;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-10, 10);
+    global.Add(v);
+    if (i % 4 == 0) {
+      part.Add(v);
+    } else {
+      complement_direct.Add(v);
+    }
+  }
+  MomentSketch derived = global;
+  derived.Subtract(part);
+  EXPECT_EQ(derived.count, complement_direct.count);
+  EXPECT_NEAR(derived.Mean(), complement_direct.Mean(), 1e-10);
+  EXPECT_NEAR(derived.Variance(), complement_direct.Variance(), 1e-8);
+}
+
+TEST(MomentSketchTest, VarianceClampedAgainstCancellation) {
+  MomentSketch s;
+  s.Add(1e8);
+  s.Add(1e8);
+  EXPECT_GE(s.Variance(), 0.0);
+}
+
+// ------------------------------------------------------- PairMomentSketch --
+
+TEST(PairMomentSketchTest, CorrelationMatchesPairStats) {
+  Rng rng(7);
+  PairMomentSketch sk;
+  PairStats ps;
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.Normal();
+    const double y = -0.7 * x + 0.3 * rng.Normal();
+    sk.Add(x, y);
+    ps.Add(x, y);
+  }
+  EXPECT_NEAR(sk.Correlation(), ps.Correlation(), 1e-10);
+}
+
+TEST(PairMomentSketchTest, MergeThenSubtractIsIdentity) {
+  Rng rng(8);
+  PairMomentSketch a;
+  PairMomentSketch b;
+  for (int i = 0; i < 300; ++i) {
+    a.Add(rng.Normal(), rng.Normal());
+    b.Add(rng.Normal(2, 3), rng.Normal(-1, 2));
+  }
+  PairMomentSketch merged = a;
+  merged.Merge(b);
+  merged.Subtract(b);
+  EXPECT_EQ(merged.count, a.count);
+  EXPECT_NEAR(merged.Correlation(), a.Correlation(), 1e-9);
+}
+
+// --------------------------------------------------------- vector helpers --
+
+TEST(ComputeStatsTest, SkipsNaNs) {
+  std::vector<double> data{1.0, NullNumeric(), 3.0, NullNumeric(), 5.0};
+  NumericStats s = ComputeNumericStats(data);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(ComputeStatsTest, SelectionRestricted) {
+  std::vector<double> data{1, 2, 3, 4, 5, 6};
+  Selection sel = Selection::FromIndices(6, {0, 2, 4});
+  NumericStats s = ComputeNumericStats(data, sel);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(ComputePairStatsTest, SkipsRowsWithEitherNaN) {
+  std::vector<double> x{1, 2, NullNumeric(), 4};
+  std::vector<double> y{1, NullNumeric(), 3, 4};
+  PairStats s = ComputePairStats(x, y);
+  EXPECT_EQ(s.count, 2);  // rows 0 and 3
+}
+
+TEST(ComputePairStatsTest, SelectionRestricted) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{1, 2, 3, 4};
+  Selection sel = Selection::FromIndices(4, {0, 1});
+  EXPECT_EQ(ComputePairStats(x, y, sel).count, 2);
+}
+
+// -------------------------------------------------------------- Quantiles --
+
+TEST(QuantileTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 2, 3}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v{5, 1, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+}
+
+TEST(QuantileTest, Interpolation) {
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile({0, 10, 20, 30}, 0.5), 15.0);
+}
+
+TEST(QuantileTest, SkipsNaNsAndHandlesEmpty) {
+  EXPECT_DOUBLE_EQ(Quantile({NullNumeric(), 2.0, NullNumeric()}, 0.5), 2.0);
+  EXPECT_TRUE(std::isnan(Quantile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(Quantile({NullNumeric()}, 0.5)));
+}
+
+TEST(QuantileTest, ClampsQ) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(Quantile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.5), 3.0);
+}
+
+// -------------------------------------------- property: sketch vs Welford --
+
+// The shared-computation engine depends on subtract-derived statistics
+// agreeing with directly computed ones across many random selections.
+class SketchSubtractProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SketchSubtractProperty, ComplementMomentsAgree) {
+  Rng rng(GetParam());
+  const size_t n = 512;
+  std::vector<double> data(n);
+  for (double& v : data) v = rng.Normal(rng.Uniform(-5, 5), rng.Uniform(0.5, 3));
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) sel.Set(i);
+  }
+  if (sel.Count() == 0 || sel.Count() == n) GTEST_SKIP();
+
+  MomentSketch global;
+  MomentSketch inside;
+  for (size_t i = 0; i < n; ++i) {
+    global.Add(data[i]);
+    if (sel.Contains(i)) inside.Add(data[i]);
+  }
+  MomentSketch derived = global;
+  derived.Subtract(inside);
+
+  NumericStats direct = ComputeNumericStats(data, sel.Invert());
+  EXPECT_EQ(derived.count, direct.count);
+  EXPECT_NEAR(derived.Mean(), direct.mean, 1e-9);
+  EXPECT_NEAR(derived.StdDev(), direct.StdDev(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SketchSubtractProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ziggy

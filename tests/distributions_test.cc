@@ -1,0 +1,227 @@
+// Unit tests for stats/distributions.h: special functions and CDFs are
+// checked against closed-form identities and tabulated reference values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace ziggy {
+namespace {
+
+// ------------------------------------------------------------- Normal ----
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145705, 1e-10);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(3.0), 0.9986501019683699, 1e-10);
+}
+
+TEST(NormalTest, CdfSymmetry) {
+  for (double x : {0.1, 0.7, 1.3, 2.9, 5.0}) {
+    EXPECT_NEAR(NormalCdf(x) + NormalCdf(-x), 1.0, 1e-12) << x;
+  }
+}
+
+TEST(NormalTest, PdfKnownValues) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(NormalPdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(NormalPdf(-1.0), NormalPdf(1.0), 1e-15);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << p;
+  }
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-8);
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(NormalQuantile(0.05), -1.6448536269514722, 1e-8);
+}
+
+TEST(NormalTest, QuantileBoundaries) {
+  EXPECT_TRUE(std::isinf(NormalQuantile(0.0)));
+  EXPECT_LT(NormalQuantile(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalQuantile(1.0)));
+  EXPECT_GT(NormalQuantile(1.0), 0.0);
+}
+
+// ------------------------------------------------------ incomplete gamma --
+
+TEST(GammaTest, PPlusQIsOne) {
+  for (double a : {0.5, 1.0, 3.0, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 30.0, 100.0}) {
+      EXPECT_NEAR(RegularizedGammaP(a, x) + RegularizedGammaQ(a, x), 1.0, 1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(GammaTest, ExponentialSpecialCase) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 0.5, 1.0, 2.0, 10.0}) {
+    EXPECT_NEAR(RegularizedGammaP(1.0, x), 1.0 - std::exp(-x), 1e-12) << x;
+  }
+}
+
+TEST(GammaTest, Monotone) {
+  double prev = 0.0;
+  for (double x = 0.0; x <= 20.0; x += 0.5) {
+    const double v = RegularizedGammaP(3.0, x);
+    EXPECT_GE(v, prev - 1e-15);
+    prev = v;
+  }
+}
+
+// -------------------------------------------------------- incomplete beta --
+
+TEST(BetaTest, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedBeta(0.0, 2.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedBeta(1.0, 2.0, 3.0), 1.0);
+}
+
+TEST(BetaTest, UniformSpecialCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    EXPECT_NEAR(RegularizedBeta(x, 1.0, 1.0), x, 1e-12) << x;
+  }
+}
+
+TEST(BetaTest, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.2, 0.5, 0.8}) {
+    for (double a : {0.5, 2.0, 7.0}) {
+      for (double b : {1.5, 4.0}) {
+        EXPECT_NEAR(RegularizedBeta(x, a, b), 1.0 - RegularizedBeta(1.0 - x, b, a),
+                    1e-11);
+      }
+    }
+  }
+}
+
+TEST(BetaTest, PowerSpecialCase) {
+  // I_x(a, 1) = x^a.
+  for (double x : {0.25, 0.5, 0.75}) {
+    for (double a : {1.0, 2.0, 3.5}) {
+      EXPECT_NEAR(RegularizedBeta(x, a, 1.0), std::pow(x, a), 1e-11);
+    }
+  }
+}
+
+// ------------------------------------------------------------ chi-square --
+
+TEST(ChiSquareTest, KnownValues) {
+  // chi2 CDF(k=1, x) = 2*Phi(sqrt(x)) - 1.
+  for (double x : {0.5, 1.0, 3.84, 6.63}) {
+    EXPECT_NEAR(ChiSquareCdf(x, 1.0), 2.0 * NormalCdf(std::sqrt(x)) - 1.0, 1e-10);
+  }
+  // 95th percentile of chi2(2) is ~5.991.
+  EXPECT_NEAR(ChiSquareCdf(5.991464547107979, 2.0), 0.95, 1e-9);
+}
+
+TEST(ChiSquareTest, CdfAtZeroAndNegative) {
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 3.0), 0.0);
+}
+
+TEST(ChiSquareTest, PValueComplementsCdf) {
+  for (double x : {0.5, 2.0, 8.0}) {
+    EXPECT_NEAR(ChiSquarePValue(x, 4.0), 1.0 - ChiSquareCdf(x, 4.0), 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(ChiSquarePValue(0.0, 4.0), 1.0);
+}
+
+// -------------------------------------------------------------- Student t --
+
+TEST(StudentTTest, SymmetryAndCenter) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5.0), 0.5, 1e-12);
+  for (double t : {0.5, 1.0, 2.5}) {
+    EXPECT_NEAR(StudentTCdf(t, 7.0) + StudentTCdf(-t, 7.0), 1.0, 1e-12);
+  }
+}
+
+TEST(StudentTTest, KnownQuantiles) {
+  // t_{0.975, 10} = 2.228138852.
+  EXPECT_NEAR(StudentTCdf(2.2281388519649385, 10.0), 0.975, 1e-9);
+  // t_{0.95, 5} = 2.015048373.
+  EXPECT_NEAR(StudentTCdf(2.015048372669157, 5.0), 0.95, 1e-9);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDof) {
+  for (double t : {0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(StudentTCdf(t, 1e6), NormalCdf(t), 1e-5);
+  }
+}
+
+TEST(StudentTTest, InfiniteStatistic) {
+  EXPECT_DOUBLE_EQ(StudentTCdf(std::numeric_limits<double>::infinity(), 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(StudentTCdf(-std::numeric_limits<double>::infinity(), 3.0), 0.0);
+}
+
+// --------------------------------------------------------------------- F --
+
+TEST(FDistTest, KnownValues) {
+  // F_{0.95}(1, 10) = 4.9646.
+  EXPECT_NEAR(FCdf(4.964602744402118, 1.0, 10.0), 0.95, 1e-8);
+  // F(d1=d2) has median 1.
+  EXPECT_NEAR(FCdf(1.0, 7.0, 7.0), 0.5, 1e-10);
+}
+
+TEST(FDistTest, RelationToTSquared) {
+  // If T ~ t(nu) then T^2 ~ F(1, nu).
+  for (double t : {0.7, 1.5, 2.2}) {
+    const double nu = 9.0;
+    const double via_t = 2.0 * StudentTCdf(t, nu) - 1.0;  // P(|T| <= t)
+    EXPECT_NEAR(FCdf(t * t, 1.0, nu), via_t, 1e-10);
+  }
+}
+
+TEST(FDistTest, NonPositiveX) {
+  EXPECT_DOUBLE_EQ(FCdf(0.0, 3.0, 4.0), 0.0);
+  EXPECT_DOUBLE_EQ(FCdf(-2.0, 3.0, 4.0), 0.0);
+}
+
+// --------------------------------------------------------------- p-values --
+
+TEST(PValueTest, TwoSidedNormal) {
+  EXPECT_NEAR(TwoSidedNormalPValue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(TwoSidedNormalPValue(1.959963984540054), 0.05, 1e-9);
+  EXPECT_NEAR(TwoSidedNormalPValue(-1.959963984540054), 0.05, 1e-9);
+}
+
+TEST(PValueTest, TwoSidedT) {
+  EXPECT_NEAR(TwoSidedTPValue(0.0, 10.0), 1.0, 1e-12);
+  EXPECT_NEAR(TwoSidedTPValue(2.2281388519649385, 10.0), 0.05, 1e-8);
+  EXPECT_NEAR(TwoSidedTPValue(-2.2281388519649385, 10.0), 0.05, 1e-8);
+}
+
+// Parameterized property sweep: every CDF is monotone and within [0, 1].
+class CdfMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CdfMonotoneTest, NormalMonotoneBounded) {
+  const double x = GetParam();
+  const double y = NormalCdf(x);
+  EXPECT_GE(y, 0.0);
+  EXPECT_LE(y, 1.0);
+  EXPECT_LE(NormalCdf(x - 0.25), y + 1e-15);
+}
+
+TEST_P(CdfMonotoneTest, TMonotoneBounded) {
+  const double x = GetParam();
+  const double y = StudentTCdf(x, 4.0);
+  EXPECT_GE(y, 0.0);
+  EXPECT_LE(y, 1.0);
+  EXPECT_LE(StudentTCdf(x - 0.25, 4.0), y + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepX, CdfMonotoneTest,
+                         ::testing::Values(-6.0, -3.0, -1.5, -0.5, 0.0, 0.5, 1.5, 3.0,
+                                           6.0));
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,192 @@
+// Unit and integration tests for the ZiggyEngine facade.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "engine/ziggy_engine.h"
+
+namespace ziggy {
+namespace {
+
+ZiggyEngine MakeEngine(ZiggyOptions opts = {}) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  return ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+}
+
+TEST(EngineTest, CreateRejectsEmptyTable) {
+  EXPECT_FALSE(ZiggyEngine::Create(Table()).ok());
+}
+
+TEST(EngineTest, CharacterizeQueryEndToEnd) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  const std::string predicate = ds.selection_predicate;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(predicate).ValueOrDie();
+  EXPECT_GT(r.inside_count, 0);
+  EXPECT_GT(r.outside_count, 0);
+  EXPECT_FALSE(r.views.empty());
+  EXPECT_GT(r.num_candidates, 0u);
+  for (const auto& cv : r.views) {
+    EXPECT_FALSE(cv.explanation.headline.empty());
+    EXPECT_LE(cv.view.aggregated_p_value, engine.options().validation.max_p_value);
+  }
+}
+
+TEST(EngineTest, AcceptsFullSelectStatement) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  auto r = engine.CharacterizeQuery("SELECT * FROM movies WHERE revenue_index > 1.0");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->inside_count, 0);
+}
+
+TEST(EngineTest, ParseErrorsSurface) {
+  ZiggyEngine engine = MakeEngine();
+  EXPECT_TRUE(engine.CharacterizeQuery("revenue_index >").status().IsParseError());
+  EXPECT_TRUE(engine.CharacterizeQuery("no_such_col > 1").status().IsNotFound());
+}
+
+TEST(EngineTest, EmptySelectionIsFailedPrecondition) {
+  ZiggyEngine engine = MakeEngine();
+  EXPECT_TRUE(
+      engine.CharacterizeQuery("revenue_index > 1e12").status().IsFailedPrecondition());
+}
+
+TEST(EngineTest, AllRowsSelectionIsFailedPrecondition) {
+  ZiggyEngine engine = MakeEngine();
+  EXPECT_TRUE(
+      engine.CharacterizeQuery("revenue_index > -1e12").status().IsFailedPrecondition());
+}
+
+TEST(EngineTest, SelectionSizeMismatchRejected) {
+  ZiggyEngine engine = MakeEngine();
+  EXPECT_TRUE(engine.Characterize(Selection(5)).status().IsInvalidArgument());
+}
+
+TEST(EngineTest, RankedByDescendingScore) {
+  ZiggyEngine engine = MakeEngine();
+  Characterization r =
+      engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  for (size_t i = 1; i < r.views.size(); ++i) {
+    EXPECT_GE(r.views[i - 1].view.score.total, r.views[i].view.score.total);
+  }
+}
+
+TEST(EngineTest, TimingsArePopulated) {
+  ZiggyEngine engine = MakeEngine();
+  Characterization r = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_GT(r.timings.preparation_ms, 0.0);
+  EXPECT_GE(r.timings.search_ms, 0.0);
+  EXPECT_GE(r.timings.post_processing_ms, 0.0);
+  EXPECT_NEAR(r.timings.total_ms(),
+              r.timings.preparation_ms + r.timings.search_ms +
+                  r.timings.post_processing_ms,
+              1e-9);
+}
+
+TEST(EngineTest, QueryCacheHitsOnRepeatedSelection) {
+  ZiggyEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.CharacterizeQuery("revenue_index > 1.2").ok());
+  EXPECT_EQ(engine.cache_hits(), 0u);
+  EXPECT_EQ(engine.cache_misses(), 1u);
+  Characterization r2 = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_TRUE(r2.cache_hit);
+  EXPECT_EQ(engine.cache_hits(), 1u);
+  // Textually different query with identical row set also hits.
+  Characterization r3 =
+      engine.CharacterizeQuery("NOT revenue_index <= 1.2").ValueOrDie();
+  EXPECT_TRUE(r3.cache_hit);
+}
+
+TEST(EngineTest, CacheCanBeDisabledAndCleared) {
+  ZiggyOptions opts;
+  opts.cache_queries = false;
+  ZiggyEngine engine = MakeEngine(opts);
+  ASSERT_TRUE(engine.CharacterizeQuery("revenue_index > 1.2").ok());
+  Characterization r2 = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(engine.cache_hits(), 0u);
+
+  ZiggyEngine cached = MakeEngine();
+  ASSERT_TRUE(cached.CharacterizeQuery("revenue_index > 1.2").ok());
+  cached.ClearCache();
+  Characterization r3 = cached.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_FALSE(r3.cache_hit);
+}
+
+TEST(EngineTest, CachedResultsMatchUncached) {
+  ZiggyEngine engine = MakeEngine();
+  Characterization a = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  Characterization b = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  ASSERT_EQ(a.views.size(), b.views.size());
+  for (size_t i = 0; i < a.views.size(); ++i) {
+    EXPECT_EQ(a.views[i].view.columns, b.views[i].view.columns);
+    EXPECT_DOUBLE_EQ(a.views[i].view.score.total, b.views[i].view.score.total);
+    EXPECT_EQ(a.views[i].explanation.headline, b.views[i].explanation.headline);
+  }
+}
+
+TEST(EngineTest, OptionsTunableBetweenQueries) {
+  ZiggyEngine engine = MakeEngine();
+  engine.mutable_options()->search.max_views = 1;
+  Characterization r = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_LE(r.views.size(), 1u);
+  engine.mutable_options()->search.max_views = 10;
+  Characterization r2 = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_GE(r2.views.size(), r.views.size());
+}
+
+TEST(EngineTest, SharedAndTwoScanModesAgreeOnViews) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  Table table_copy = ds.table;
+  ZiggyOptions shared_opts;
+  shared_opts.build.mode = PreparationMode::kSharedSketch;
+  ZiggyOptions naive_opts;
+  naive_opts.build.mode = PreparationMode::kTwoScan;
+  ZiggyEngine shared_engine =
+      ZiggyEngine::Create(std::move(ds.table), shared_opts).ValueOrDie();
+  ZiggyEngine naive_engine =
+      ZiggyEngine::Create(std::move(table_copy), naive_opts).ValueOrDie();
+  Characterization a =
+      shared_engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  Characterization b =
+      naive_engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  ASSERT_EQ(a.views.size(), b.views.size());
+  for (size_t i = 0; i < a.views.size(); ++i) {
+    EXPECT_EQ(a.views[i].view.columns, b.views[i].view.columns);
+    EXPECT_NEAR(a.views[i].view.score.total, b.views[i].view.score.total, 1e-9);
+  }
+}
+
+TEST(EngineTest, ToStringContainsViewsAndTimings) {
+  ZiggyEngine engine = MakeEngine();
+  Characterization r = engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  const std::string s = r.ToString(engine.table().schema());
+  EXPECT_NE(s.find("Stage timings"), std::string::npos);
+  EXPECT_NE(s.find("#1"), std::string::npos);
+  EXPECT_NE(s.find("score="), std::string::npos);
+}
+
+TEST(EngineTest, DendrogramAsciiMentionsColumns) {
+  ZiggyEngine engine = MakeEngine();
+  const std::string d = engine.DendrogramAscii();
+  EXPECT_NE(d.find("budget_0"), std::string::npos);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  SyntheticDataset ds1 = MakeBoxOfficeDataset(123).ValueOrDie();
+  SyntheticDataset ds2 = MakeBoxOfficeDataset(123).ValueOrDie();
+  ZiggyEngine e1 = ZiggyEngine::Create(std::move(ds1.table)).ValueOrDie();
+  ZiggyEngine e2 = ZiggyEngine::Create(std::move(ds2.table)).ValueOrDie();
+  Characterization r1 = e1.CharacterizeQuery(ds1.selection_predicate).ValueOrDie();
+  Characterization r2 = e2.CharacterizeQuery(ds2.selection_predicate).ValueOrDie();
+  ASSERT_EQ(r1.views.size(), r2.views.size());
+  for (size_t i = 0; i < r1.views.size(); ++i) {
+    EXPECT_EQ(r1.views[i].view.columns, r2.views[i].view.columns);
+    EXPECT_DOUBLE_EQ(r1.views[i].view.score.total, r2.views[i].view.score.total);
+  }
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,196 @@
+// Unit tests for src/explain: view validation (significance aggregation)
+// and rule-based text generation.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "explain/text.h"
+#include "explain/validation.h"
+#include "views/view_search.h"
+#include "zig/component_builder.h"
+
+namespace ziggy {
+namespace {
+
+struct ExplainFixture {
+  Table table;
+  Selection selection;
+  TableProfile profile;
+  ComponentTable components;
+};
+
+// Columns: up (planted high), down (planted low), flat (no shift),
+// cat (skewed inside).
+ExplainFixture MakeExplainFixture(uint64_t seed = 31) {
+  Rng rng(seed);
+  const size_t n = 500;
+  std::vector<double> up(n);
+  std::vector<double> down(n);
+  std::vector<double> flat(n);
+  std::vector<std::string> cat(n);
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = i < n / 5;
+    if (inside) sel.Set(i);
+    up[i] = (inside ? 2.0 : 0.0) + rng.Normal();
+    down[i] = (inside ? -2.0 : 0.0) + rng.Normal();
+    flat[i] = rng.Normal();
+    cat[i] = (inside && rng.Bernoulli(0.7)) ? "special"
+                                            : "c" + std::to_string(rng.UniformInt(0, 2));
+  }
+  Table t = Table::FromColumns(
+                {Column::FromNumeric("up", up), Column::FromNumeric("down", down),
+                 Column::FromNumeric("flat", flat), Column::FromStrings("cat", cat)})
+                .ValueOrDie();
+  TableProfile p = TableProfile::Compute(t).ValueOrDie();
+  ComponentTable ct = BuildComponents(t, p, sel).ValueOrDie();
+  return {std::move(t), std::move(sel), std::move(p), std::move(ct)};
+}
+
+View MakeView(std::vector<size_t> cols, double p_value = 1.0) {
+  View v;
+  v.columns = std::move(cols);
+  v.aggregated_p_value = p_value;
+  return v;
+}
+
+// -------------------------------------------------------------- validation --
+
+TEST(ValidationTest, CollectsPValuesOfCoveredComponents) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({0});
+  auto ps = CollectViewPValues(v, fx.components);
+  // Column 0 is numeric: mean-shift + dispersion-shift at least.
+  EXPECT_GE(ps.size(), 2u);
+}
+
+TEST(ValidationTest, SignificantViewSurvives) {
+  ExplainFixture fx = MakeExplainFixture();
+  std::vector<View> views{MakeView({0})};
+  ValidationOptions opts;
+  const size_t dropped = ValidateViews(&views, fx.components, opts);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_LT(views[0].aggregated_p_value, 0.01);
+}
+
+TEST(ValidationTest, InsignificantViewDropped) {
+  ExplainFixture fx = MakeExplainFixture();
+  std::vector<View> views{MakeView({2})};  // flat column: no real shift
+  ValidationOptions opts;
+  opts.max_p_value = 1e-6;  // strict budget
+  const size_t dropped = ValidateViews(&views, fx.components, opts);
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_TRUE(views.empty());
+}
+
+TEST(ValidationTest, AnnotateOnlyModeKeepsViews) {
+  ExplainFixture fx = MakeExplainFixture();
+  std::vector<View> views{MakeView({2})};
+  ValidationOptions opts;
+  opts.max_p_value = 1e-9;
+  opts.drop_insignificant = false;
+  EXPECT_EQ(ValidateViews(&views, fx.components, opts), 0u);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_GT(views[0].aggregated_p_value, 1e-9);
+}
+
+TEST(ValidationTest, BonferroniIsMoreConservativeThanMinimum) {
+  ExplainFixture fx = MakeExplainFixture();
+  std::vector<View> v1{MakeView({0, 1})};
+  std::vector<View> v2{MakeView({0, 1})};
+  ValidationOptions min_opts;
+  min_opts.method = CorrectionMethod::kMinimum;
+  min_opts.drop_insignificant = false;
+  ValidationOptions bonf_opts;
+  bonf_opts.method = CorrectionMethod::kBonferroni;
+  bonf_opts.drop_insignificant = false;
+  ValidateViews(&v1, fx.components, min_opts);
+  ValidateViews(&v2, fx.components, bonf_opts);
+  EXPECT_LE(v1[0].aggregated_p_value, v2[0].aggregated_p_value + 1e-15);
+}
+
+// -------------------------------------------------------------------- text --
+
+TEST(ExplainTest, HighValuesPhraseForPositiveShift) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({0}, 0.001);
+  Explanation e = ExplainView(v, fx.components, fx.table.schema());
+  EXPECT_NE(e.headline.find("particularly high values of up"), std::string::npos)
+      << e.headline;
+  EXPECT_NEAR(e.confidence, 0.999, 1e-9);
+}
+
+TEST(ExplainTest, LowValuesPhraseForNegativeShift) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({1}, 0.001);
+  Explanation e = ExplainView(v, fx.components, fx.table.schema());
+  EXPECT_NE(e.headline.find("particularly low values of down"), std::string::npos)
+      << e.headline;
+}
+
+TEST(ExplainTest, CategoricalPhraseNamesCategory) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({3}, 0.001);
+  Explanation e = ExplainView(v, fx.components, fx.table.schema());
+  EXPECT_NE(e.headline.find("'special'"), std::string::npos) << e.headline;
+}
+
+TEST(ExplainTest, InsignificantComponentsNotVerbalized) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({2}, 0.9);  // flat column
+  ExplainOptions opts;
+  opts.max_p_value = 1e-6;
+  Explanation e = ExplainView(v, fx.components, fx.table.schema(), opts);
+  EXPECT_NE(e.headline.find("no single indicator"), std::string::npos) << e.headline;
+  EXPECT_TRUE(e.details.empty());
+}
+
+TEST(ExplainTest, HeadlineComponentBudgetRespected) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({0, 1, 3}, 0.001);
+  ExplainOptions opts;
+  opts.max_headline_components = 1;
+  Explanation e = ExplainView(v, fx.components, fx.table.schema(), opts);
+  EXPECT_EQ(e.details.size(), 1u);
+}
+
+TEST(ExplainTest, DetailsAreVerifiable) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({0}, 0.001);
+  Explanation e = ExplainView(v, fx.components, fx.table.schema());
+  ASSERT_FALSE(e.details.empty());
+  // Detail lines carry the raw inside/outside numbers and sample sizes.
+  EXPECT_NE(e.details[0].find("inside"), std::string::npos);
+  EXPECT_NE(e.details[0].find("n_in="), std::string::npos);
+  EXPECT_NE(e.details[0].find("p="), std::string::npos);
+}
+
+TEST(ExplainTest, DetailsCanBeDisabled) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({0}, 0.001);
+  ExplainOptions opts;
+  opts.include_details = false;
+  Explanation e = ExplainView(v, fx.components, fx.table.schema(), opts);
+  EXPECT_TRUE(e.details.empty());
+  EXPECT_FALSE(e.headline.empty());
+}
+
+TEST(ExplainTest, MultiColumnHeadlineListsAllColumns) {
+  ExplainFixture fx = MakeExplainFixture();
+  View v = MakeView({0, 1}, 0.001);
+  Explanation e = ExplainView(v, fx.components, fx.table.schema());
+  EXPECT_NE(e.headline.find("columns up and down"), std::string::npos) << e.headline;
+}
+
+TEST(DescribeComponentTest, EachKindRenders) {
+  ExplainFixture fx = MakeExplainFixture();
+  for (const auto& c : fx.components.components()) {
+    const std::string d = DescribeComponent(c, fx.table.schema());
+    EXPECT_NE(d.find(ComponentKindToString(c.kind)), std::string::npos);
+    EXPECT_FALSE(d.empty());
+  }
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,204 @@
+// Unit tests for baselines/gaussian.h: Cholesky machinery, multivariate
+// symmetric KL, and the full-covariance subspace scorer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gaussian.h"
+#include "common/random.h"
+
+namespace ziggy {
+namespace {
+
+// ---------------------------------------------------------------- Cholesky --
+
+TEST(CholeskyTest, KnownThreeByThree) {
+  // A = [[4,12,-16],[12,37,-43],[-16,-43,98]] has L = [[2],[6,1],[-8,5,3]].
+  std::vector<double> a{4, 12, -16, 12, 37, -43, -16, -43, 98};
+  ASSERT_TRUE(CholeskyFactorize(&a, 3).ok());
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[3], 6.0, 1e-12);
+  EXPECT_NEAR(a[4], 1.0, 1e-12);
+  EXPECT_NEAR(a[6], -8.0, 1e-12);
+  EXPECT_NEAR(a[7], 5.0, 1e-12);
+  EXPECT_NEAR(a[8], 3.0, 1e-12);
+  // Upper triangle zeroed.
+  EXPECT_DOUBLE_EQ(a[1], 0.0);
+  EXPECT_DOUBLE_EQ(a[2], 0.0);
+  EXPECT_DOUBLE_EQ(a[5], 0.0);
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  std::vector<double> a{1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_TRUE(CholeskyFactorize(&a, 2).IsInvalidArgument());
+  std::vector<double> zero{0.0};
+  EXPECT_FALSE(CholeskyFactorize(&zero, 1).ok());
+}
+
+TEST(CholeskyTest, LogDetMatchesDirect) {
+  std::vector<double> a{4, 12, -16, 12, 37, -43, -16, -43, 98};
+  std::vector<double> l = a;
+  ASSERT_TRUE(CholeskyFactorize(&l, 3).ok());
+  // det(A) = (2*1*3)^2 = 36.
+  EXPECT_NEAR(CholeskyLogDet(l, 3), std::log(36.0), 1e-10);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution) {
+  std::vector<double> a{4, 12, -16, 12, 37, -43, -16, -43, 98};
+  std::vector<double> l = a;
+  ASSERT_TRUE(CholeskyFactorize(&l, 3).ok());
+  const std::vector<double> x_true{1.0, -2.0, 0.5};
+  std::vector<double> b(3, 0.0);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) b[i] += a[i * 3 + j] * x_true[j];
+  }
+  std::vector<double> x = CholeskySolve(l, 3, b);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+// ----------------------------------------------------------- multivariate KL --
+
+TEST(MultivariateKlTest, IdenticalDistributionsAreZero) {
+  std::vector<double> mu{1.0, -2.0};
+  std::vector<double> sigma{2.0, 0.5, 0.5, 1.0};
+  double kl = SymmetricGaussianKlMultivariate(mu, sigma, mu, sigma).ValueOrDie();
+  EXPECT_NEAR(kl, 0.0, 1e-6);
+}
+
+TEST(MultivariateKlTest, MatchesUnivariateFormula) {
+  // 1-D: symKL = 0.5[(v1+d^2)/v2 + (v2+d^2)/v1 - 2].
+  const double m1 = 1.0, v1 = 2.0, m2 = 3.0, v2 = 0.5;
+  const double d2 = (m1 - m2) * (m1 - m2);
+  const double expected = 0.5 * ((v1 + d2) / v2 + (v2 + d2) / v1 - 2.0);
+  double kl = SymmetricGaussianKlMultivariate({m1}, {v1}, {m2}, {v2}).ValueOrDie();
+  EXPECT_NEAR(kl, expected, 1e-6);
+}
+
+TEST(MultivariateKlTest, SymmetricInArguments) {
+  std::vector<double> mu1{0.0, 0.0};
+  std::vector<double> s1{1.0, 0.3, 0.3, 1.0};
+  std::vector<double> mu2{1.0, -1.0};
+  std::vector<double> s2{2.0, -0.5, -0.5, 1.5};
+  double a = SymmetricGaussianKlMultivariate(mu1, s1, mu2, s2).ValueOrDie();
+  double b = SymmetricGaussianKlMultivariate(mu2, s2, mu1, s1).ValueOrDie();
+  EXPECT_NEAR(a, b, 1e-9);
+  EXPECT_GT(a, 0.0);
+}
+
+TEST(MultivariateKlTest, DetectsPureCorrelationChange) {
+  // Same means, same marginal variances, different correlation: diagonal KL
+  // would be ~0, full-covariance KL must not.
+  std::vector<double> mu{0.0, 0.0};
+  std::vector<double> s_corr{1.0, 0.9, 0.9, 1.0};
+  std::vector<double> s_ind{1.0, 0.0, 0.0, 1.0};
+  double kl = SymmetricGaussianKlMultivariate(mu, s_corr, mu, s_ind).ValueOrDie();
+  EXPECT_GT(kl, 1.0);
+}
+
+TEST(MultivariateKlTest, DimensionMismatchRejected) {
+  EXPECT_FALSE(
+      SymmetricGaussianKlMultivariate({0.0}, {1.0}, {0.0, 0.0}, {1, 0, 0, 1}).ok());
+  EXPECT_FALSE(SymmetricGaussianKlMultivariate({0.0}, {1.0, 0.0}, {0.0}, {1.0}).ok());
+}
+
+TEST(MultivariateKlTest, EmptySubspaceIsZero) {
+  EXPECT_DOUBLE_EQ(SymmetricGaussianKlMultivariate({}, {}, {}, {}).ValueOrDie(), 0.0);
+}
+
+// --------------------------------------------------- full-covariance scorer --
+
+struct CorrFixture {
+  Table table;
+  Selection selection;
+};
+
+// Inside breaks the (x, y) correlation without moving marginals; z is noise.
+CorrFixture MakeCorrFixture(uint64_t seed = 33) {
+  Rng rng(seed);
+  const size_t n = 3000;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<double> z(n);
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = i % 3 == 0;
+    if (inside) sel.Set(i);
+    const double f = rng.Normal();
+    if (inside) {
+      x[i] = rng.Normal();
+      y[i] = rng.Normal();
+    } else {
+      x[i] = 0.9 * f + 0.44 * rng.Normal();
+      y[i] = 0.9 * f + 0.44 * rng.Normal();
+    }
+    z[i] = rng.Normal();
+  }
+  return {Table::FromColumns({Column::FromNumeric("x", x), Column::FromNumeric("y", y),
+                              Column::FromNumeric("z", z)})
+              .ValueOrDie(),
+          sel};
+}
+
+TEST(FullGaussianKlScorerTest, CorrelationBreakScoresAboveMarginals) {
+  CorrFixture fx = MakeCorrFixture();
+  FullGaussianKlScorer full(fx.table, fx.selection);
+  GaussianKlScorer diag(fx.table, fx.selection);
+  // The pair (x, y) carries the signal; its full-covariance score must
+  // dwarf the sum of marginal scores (diagonal model sees almost nothing).
+  EXPECT_GT(full.Score({0, 1}), 5.0 * (diag.Score({0, 1}) + 0.01));
+  // The noise pair stays near zero for both.
+  EXPECT_LT(full.Score({0, 2}), 0.2);
+}
+
+TEST(FullGaussianKlScorerTest, BeamFindsCorrelationPair) {
+  CorrFixture fx = MakeCorrFixture();
+  FullGaussianKlScorer scorer(fx.table, fx.selection);
+  BeamSearchOptions opts;
+  opts.max_size = 2;
+  auto results = BeamSubspaceSearch(scorer, opts);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].columns, (std::vector<size_t>{0, 1}));
+}
+
+TEST(FullGaussianKlScorerTest, AgreesWithExhaustiveHere) {
+  CorrFixture fx = MakeCorrFixture();
+  FullGaussianKlScorer scorer(fx.table, fx.selection);
+  auto exhaustive = ExhaustiveSubspaceSearch(scorer, 2, 1);
+  BeamSearchOptions opts;
+  opts.max_size = 2;
+  auto beam = BeamSubspaceSearch(scorer, opts);
+  ASSERT_FALSE(exhaustive.empty());
+  ASSERT_FALSE(beam.empty());
+  EXPECT_EQ(exhaustive[0].columns, beam[0].columns);
+}
+
+TEST(FullGaussianKlScorerTest, GreedyCanBeSuboptimal) {
+  // Construct a case where the best pair is invisible marginally: a narrow
+  // beam seeded by marginal singleton scores can miss it, while exhaustive
+  // cannot. We only assert exhaustive >= beam (never worse), and strictly
+  // greater for beam width 1 in this fixture... beam width 1 keeps only the
+  // best singleton, whose best pair extension may not be (x, y).
+  CorrFixture fx = MakeCorrFixture();
+  FullGaussianKlScorer scorer(fx.table, fx.selection);
+  BeamSearchOptions narrow;
+  narrow.max_size = 2;
+  narrow.beam_width = 1;
+  auto beam = BeamSubspaceSearch(scorer, narrow);
+  auto exhaustive = ExhaustiveSubspaceSearch(scorer, 2, 1);
+  ASSERT_FALSE(beam.empty());
+  ASSERT_FALSE(exhaustive.empty());
+  EXPECT_GE(exhaustive[0].score, beam[0].score - 1e-12);
+}
+
+TEST(FullGaussianKlScorerTest, EligibleColumnsExcludeCategorical) {
+  Table t = Table::FromColumns({Column::FromNumeric("x", {1, 2, 3, 4}),
+                                Column::FromStrings("s", {"a", "b", "a", "b"})})
+                .ValueOrDie();
+  Selection sel = Selection::FromIndices(4, {0, 1});
+  FullGaussianKlScorer scorer(t, sel);
+  EXPECT_EQ(scorer.EligibleColumns(), (std::vector<size_t>{0}));
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,128 @@
+// Unit tests for stats/histogram.h.
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+#include "storage/types.h"
+
+namespace ziggy {
+namespace {
+
+TEST(HistogramTest, BinningBasics) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(2.5);   // bin 1
+  h.Add(9.99);  // bin 4
+  EXPECT_EQ(h.num_bins(), 5u);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(4), 1);
+}
+
+TEST(HistogramTest, UpperBoundGoesToLastBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(10.0);
+  EXPECT_EQ(h.bin_count(4), 1);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(-100.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(1), 1);
+}
+
+TEST(HistogramTest, NaNSkipped) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(NullNumeric());
+  EXPECT_EQ(h.total(), 0);
+}
+
+TEST(HistogramTest, DegenerateRangeSingleBin) {
+  Histogram h(5.0, 5.0, 4);
+  h.Add(5.0);
+  h.Add(5.0);
+  EXPECT_EQ(h.bin_count(0), 2);
+}
+
+TEST(HistogramTest, MassSumsToOne) {
+  Histogram h = BuildHistogram({1, 2, 3, 4, 5, 6, 7, 8}, 4);
+  double total = 0.0;
+  for (size_t i = 0; i < h.num_bins(); ++i) total += h.Mass(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, EmptyMassIsZero) {
+  Histogram h(0, 1, 3);
+  EXPECT_DOUBLE_EQ(h.Mass(0), 0.0);
+}
+
+TEST(HistogramTest, SmoothedMassesStrictlyPositive) {
+  Histogram h(0, 1, 4);
+  h.Add(0.1);
+  auto p = h.SmoothedMasses(0.5);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GT(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, AlignedHistogramsShareRange) {
+  std::vector<double> data{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Selection sel = Selection::FromIndices(10, {0, 1, 2});
+  Histogram in = BuildAlignedHistogram(data, sel, 0.0, 9.0, 3);
+  Histogram out = BuildAlignedHistogram(data, sel.Invert(), 0.0, 9.0, 3);
+  EXPECT_EQ(in.total() + out.total(), 10);
+  EXPECT_DOUBLE_EQ(in.lo(), out.lo());
+  EXPECT_DOUBLE_EQ(in.hi(), out.hi());
+}
+
+TEST(CategoryCountsTest, FullAndSelected) {
+  Column c = Column::FromStrings("s", {"a", "b", "a", "c", "", "a"});
+  auto counts = CategoryCounts(c);
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[static_cast<size_t>(c.LookupLabel("a"))], 3);
+  EXPECT_EQ(counts[static_cast<size_t>(c.LookupLabel("b"))], 1);
+
+  Selection sel = Selection::FromIndices(6, {0, 1, 4});
+  auto sub = CategoryCounts(c, sel);
+  EXPECT_EQ(sub[static_cast<size_t>(c.LookupLabel("a"))], 1);
+  EXPECT_EQ(sub[static_cast<size_t>(c.LookupLabel("b"))], 1);
+  EXPECT_EQ(sub[static_cast<size_t>(c.LookupLabel("c"))], 0);
+}
+
+TEST(NormalizeCountsTest, WithAndWithoutSmoothing) {
+  std::vector<int64_t> counts{3, 1, 0};
+  auto exact = NormalizeCounts(counts, 0.0);
+  EXPECT_DOUBLE_EQ(exact[0], 0.75);
+  EXPECT_DOUBLE_EQ(exact[2], 0.0);
+  auto smooth = NormalizeCounts(counts, 1.0);
+  EXPECT_GT(smooth[2], 0.0);
+  double total = 0.0;
+  for (double v : smooth) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(TotalVariationTest, KnownValuesAndBounds) {
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance({0.7, 0.3}, {0.3, 0.7}), 0.4);
+}
+
+TEST(KlDivergenceTest, PropertiesAndKnownValue) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(KlDivergence(p, p), 0.0);
+  const double expected = 0.5 * std::log(0.5 / 0.9) + 0.5 * std::log(0.5 / 0.1);
+  EXPECT_NEAR(KlDivergence(p, q), expected, 1e-12);
+  EXPECT_GT(KlDivergence(p, q), 0.0);
+  // Zero mass in p contributes nothing.
+  EXPECT_NEAR(KlDivergence({1.0, 0.0}, {0.5, 0.5}), std::log(2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,379 @@
+// Tests for the extended preparation machinery: rank-shift and
+// distribution-shift components, SelectionSketches row add/remove, and the
+// Preparer's incremental (delta) strategy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "engine/ziggy_engine.h"
+#include "zig/component_builder.h"
+
+namespace ziggy {
+namespace {
+
+struct Fixture {
+  Table table;
+  Selection selection;
+  TableProfile profile;
+};
+
+// Columns: "shifted" (planted +2 inside), "heavy" (inside has the same mean
+// and variance-ish but is drawn from a shifted-median asymmetric
+// distribution), "flat".
+Fixture MakeFixture(uint64_t seed = 77) {
+  Rng rng(seed);
+  const size_t n = 1200;
+  std::vector<double> shifted(n);
+  std::vector<double> heavy(n);
+  std::vector<double> flat(n);
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = i % 4 == 0;
+    if (inside) sel.Set(i);
+    shifted[i] = (inside ? 2.0 : 0.0) + rng.Normal();
+    if (inside) {
+      // Median well above 0 but mean pulled back by a far-left tail:
+      // rank/distribution components see this, the mean barely moves.
+      heavy[i] = rng.Bernoulli(0.8) ? rng.Uniform(0.5, 1.5) : rng.Uniform(-6.0, -2.0);
+    } else {
+      heavy[i] = rng.Normal(0.0, 1.0);
+    }
+    flat[i] = rng.Normal();
+  }
+  Table t = Table::FromColumns({Column::FromNumeric("shifted", shifted),
+                                Column::FromNumeric("heavy", heavy),
+                                Column::FromNumeric("flat", flat)})
+                .ValueOrDie();
+  TableProfile p = TableProfile::Compute(t).ValueOrDie();
+  return {std::move(t), std::move(sel), std::move(p)};
+}
+
+// ----------------------------------------------------------- new profile --
+
+TEST(ProfileExtensionsTest, SortOrderIsAscending) {
+  Fixture fx = MakeFixture();
+  const auto& order = fx.profile.SortOrder(0);
+  const auto& data = fx.table.column(0).numeric_data();
+  ASSERT_EQ(order.size(), fx.table.num_rows());
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(data[order[i - 1]], data[order[i]]);
+  }
+}
+
+TEST(ProfileExtensionsTest, SortOrderExcludesNulls) {
+  Table t = Table::FromColumns(
+                {Column::FromNumeric("x", {3.0, NullNumeric(), 1.0, NullNumeric()})})
+                .ValueOrDie();
+  TableProfile p = TableProfile::Compute(t).ValueOrDie();
+  EXPECT_EQ(p.SortOrder(0).size(), 2u);
+}
+
+TEST(ProfileExtensionsTest, SortOrderOptional) {
+  Fixture fx = MakeFixture();
+  ProfileOptions opts;
+  opts.cache_sort_orders = false;
+  TableProfile p = TableProfile::Compute(fx.table, opts).ValueOrDie();
+  EXPECT_TRUE(p.SortOrder(0).empty());
+}
+
+TEST(ProfileExtensionsTest, GlobalHistogramCoversAllRows) {
+  Fixture fx = MakeFixture();
+  const auto& h = fx.profile.HistogramCountsOf(0);
+  ASSERT_FALSE(h.empty());
+  int64_t total = 0;
+  for (int64_t v : h) total += v;
+  EXPECT_EQ(total, static_cast<int64_t>(fx.table.num_rows()));
+}
+
+TEST(ProfileExtensionsTest, HistogramBinOfClamps) {
+  EXPECT_EQ(HistogramBinOf(-100.0, 0.0, 10.0, 5), 0u);
+  EXPECT_EQ(HistogramBinOf(100.0, 0.0, 10.0, 5), 4u);
+  EXPECT_EQ(HistogramBinOf(10.0, 0.0, 10.0, 5), 4u);  // upper edge inclusive
+  EXPECT_EQ(HistogramBinOf(0.0, 0.0, 10.0, 5), 0u);
+  EXPECT_EQ(HistogramBinOf(5.0, 5.0, 5.0, 4), 0u);  // degenerate range
+}
+
+// ------------------------------------------------------- new components ----
+
+TEST(RankShiftTest, DetectsPlantedShift) {
+  Fixture fx = MakeFixture();
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection).ValueOrDie();
+  const ZigComponent* rank = ct.Find(ComponentKind::kRankShift, 0);
+  ASSERT_NE(rank, nullptr);
+  EXPECT_GT(rank->effect.value, 0.7);  // strong dominance
+  EXPECT_LT(rank->p_value, 1e-10);
+  EXPECT_GT(rank->inside_value, 0.85);  // P(inside > outside)
+}
+
+TEST(RankShiftTest, FlatColumnNearZero) {
+  Fixture fx = MakeFixture();
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection).ValueOrDie();
+  const ZigComponent* rank = ct.Find(ComponentKind::kRankShift, 2);
+  ASSERT_NE(rank, nullptr);
+  EXPECT_LT(std::fabs(rank->effect.value), 0.15);
+}
+
+TEST(RankShiftTest, CatchesWhatMeanShiftUnderstates) {
+  // The "heavy" column: median clearly shifted, mean pulled back by the
+  // planted left tail. The rank component must be decisively significant.
+  Fixture fx = MakeFixture();
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection).ValueOrDie();
+  const ZigComponent* rank = ct.Find(ComponentKind::kRankShift, 1);
+  ASSERT_NE(rank, nullptr);
+  EXPECT_GT(rank->effect.value, 0.25);
+  EXPECT_LT(rank->p_value, 1e-4);
+}
+
+TEST(RankShiftTest, DisabledByOption) {
+  Fixture fx = MakeFixture();
+  ComponentBuildOptions opts;
+  opts.enable_rank_shift = false;
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection, opts).ValueOrDie();
+  EXPECT_EQ(ct.Find(ComponentKind::kRankShift, 0), nullptr);
+}
+
+TEST(RankShiftTest, TieHandlingIsSymmetric) {
+  // All values identical: U must be exactly n1*n2/2, delta 0.
+  const size_t n = 40;
+  std::vector<double> same(n, 5.0);
+  Table t = Table::FromColumns({Column::FromNumeric("x", same)}).ValueOrDie();
+  TableProfile p = TableProfile::Compute(t).ValueOrDie();
+  Selection sel(n);
+  for (size_t i = 0; i < n / 2; ++i) sel.Set(i);
+  ComponentTable ct = BuildComponents(t, p, sel).ValueOrDie();
+  const ZigComponent* rank = ct.Find(ComponentKind::kRankShift, 0);
+  ASSERT_NE(rank, nullptr);
+  EXPECT_NEAR(rank->effect.value, 0.0, 1e-12);
+  EXPECT_NEAR(rank->inside_value, 0.5, 1e-12);
+}
+
+TEST(DistributionShiftTest, DetectsPlantedShape) {
+  Fixture fx = MakeFixture();
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection).ValueOrDie();
+  const ZigComponent* dist = ct.Find(ComponentKind::kDistributionShift, 1);
+  ASSERT_NE(dist, nullptr);
+  EXPECT_GT(dist->inside_value, 0.3);  // TV distance
+  EXPECT_LT(dist->p_value, 1e-10);
+  EXPECT_FALSE(dist->detail.empty());  // names the concentrated range
+}
+
+TEST(DistributionShiftTest, FlatColumnInsignificant) {
+  Fixture fx = MakeFixture();
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection).ValueOrDie();
+  const ZigComponent* dist = ct.Find(ComponentKind::kDistributionShift, 2);
+  ASSERT_NE(dist, nullptr);
+  EXPECT_GT(dist->p_value, 0.001);
+}
+
+TEST(DistributionShiftTest, DisabledByOption) {
+  Fixture fx = MakeFixture();
+  ComponentBuildOptions opts;
+  opts.enable_distribution_shift = false;
+  ComponentTable ct =
+      BuildComponents(fx.table, fx.profile, fx.selection, opts).ValueOrDie();
+  EXPECT_EQ(ct.Find(ComponentKind::kDistributionShift, 0), nullptr);
+}
+
+TEST(NewComponentsTest, SharedEqualsTwoScanStillHolds) {
+  Fixture fx = MakeFixture();
+  ComponentBuildOptions shared;
+  ComponentBuildOptions naive;
+  naive.mode = PreparationMode::kTwoScan;
+  ComponentTable a =
+      BuildComponents(fx.table, fx.profile, fx.selection, shared).ValueOrDie();
+  ComponentTable b =
+      BuildComponents(fx.table, fx.profile, fx.selection, naive).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.components()[i].effect.value, b.components()[i].effect.value, 1e-9);
+  }
+}
+
+// -------------------------------------------------- SelectionSketches ops --
+
+TEST(SelectionSketchesTest, AddThenRemoveIsIdentity) {
+  Fixture fx = MakeFixture();
+  SelectionSketches a;
+  a.InitShapes(fx.table, fx.profile);
+  for (size_t r : fx.selection.ToIndices()) a.AddRow(fx.table, fx.profile, r);
+
+  SelectionSketches b = a;
+  b.AddRow(fx.table, fx.profile, 1);
+  b.AddRow(fx.table, fx.profile, 2);
+  b.RemoveRow(fx.table, fx.profile, 2);
+  b.RemoveRow(fx.table, fx.profile, 1);
+  for (size_t c = 0; c < fx.table.num_columns(); ++c) {
+    EXPECT_EQ(b.column_sketch(c).count, a.column_sketch(c).count);
+    EXPECT_NEAR(b.column_sketch(c).sum, a.column_sketch(c).sum, 1e-9);
+    EXPECT_NEAR(b.column_sketch(c).sum_sq, a.column_sketch(c).sum_sq, 1e-9);
+    EXPECT_EQ(b.histogram(c), a.histogram(c));
+  }
+}
+
+TEST(SelectionSketchesTest, MemoryUsageReported) {
+  Fixture fx = MakeFixture();
+  SelectionSketches s;
+  s.InitShapes(fx.table, fx.profile);
+  EXPECT_GT(s.MemoryUsageBytes(), 0u);
+}
+
+// ----------------------------------------------------------- Preparer ------
+
+TEST(PreparerTest, FirstQueryIsFullScan) {
+  Fixture fx = MakeFixture();
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+  EXPECT_EQ(prep.last_strategy(), Preparer::Strategy::kFullScan);
+}
+
+TEST(PreparerTest, OverlappingQueryGoesIncremental) {
+  Fixture fx = MakeFixture();
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+  Selection refined = fx.selection;
+  refined.Set(1);  // one extra row
+  refined.Set(fx.selection.ToIndices()[0], false);  // one removed
+  ASSERT_TRUE(prep.Prepare(refined).ok());
+  EXPECT_EQ(prep.last_strategy(), Preparer::Strategy::kIncremental);
+  EXPECT_EQ(prep.last_delta_rows(), 2u);
+}
+
+TEST(PreparerTest, DisjointQueryFallsBackToFullScan) {
+  Fixture fx = MakeFixture();
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+  // Complement: delta = whole table > |selection|.
+  ASSERT_TRUE(prep.Prepare(fx.selection.Invert()).ok());
+  EXPECT_EQ(prep.last_strategy(), Preparer::Strategy::kFullScan);
+}
+
+TEST(PreparerTest, IncrementalMatchesFromScratch) {
+  Fixture fx = MakeFixture();
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+
+  Rng rng(5);
+  Selection current = fx.selection;
+  for (int step = 0; step < 6; ++step) {
+    // Random small perturbation of the selection.
+    Selection next = current;
+    for (int k = 0; k < 20; ++k) {
+      const size_t r =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(
+                                                    fx.table.num_rows()) -
+                                                    1));
+      next.Set(r, rng.Bernoulli(0.5));
+    }
+    if (next.Count() == 0 || next.Count() == fx.table.num_rows()) continue;
+    ComponentTable incremental = prep.Prepare(next).ValueOrDie();
+    ComponentTable scratch =
+        BuildComponents(fx.table, fx.profile, next).ValueOrDie();
+    ASSERT_EQ(incremental.size(), scratch.size()) << "step " << step;
+    for (size_t i = 0; i < incremental.size(); ++i) {
+      EXPECT_NEAR(incremental.components()[i].effect.value,
+                  scratch.components()[i].effect.value, 1e-7)
+          << "step " << step << " component " << i;
+      EXPECT_EQ(incremental.components()[i].inside_n,
+                scratch.components()[i].inside_n);
+    }
+    current = next;
+  }
+}
+
+TEST(PreparerTest, ResetForcesFullScan) {
+  Fixture fx = MakeFixture();
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+  prep.Reset();
+  Selection refined = fx.selection;
+  refined.Set(1);
+  ASSERT_TRUE(prep.Prepare(refined).ok());
+  EXPECT_EQ(prep.last_strategy(), Preparer::Strategy::kFullScan);
+}
+
+TEST(PreparerTest, TwoScanModeNeverIncremental) {
+  Fixture fx = MakeFixture();
+  ComponentBuildOptions opts;
+  opts.mode = PreparationMode::kTwoScan;
+  Preparer prep(&fx.table, &fx.profile, opts);
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+  EXPECT_EQ(prep.last_strategy(), Preparer::Strategy::kTwoScan);
+  Selection refined = fx.selection;
+  refined.Set(1);
+  ASSERT_TRUE(prep.Prepare(refined).ok());
+  EXPECT_EQ(prep.last_strategy(), Preparer::Strategy::kTwoScan);
+}
+
+TEST(PreparerTest, RejectsDegenerateSelections) {
+  Fixture fx = MakeFixture();
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  EXPECT_TRUE(prep.Prepare(Selection(fx.table.num_rows())).status()
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(prep.Prepare(Selection::All(fx.table.num_rows())).status()
+                  .IsFailedPrecondition());
+}
+
+// -------------------------------------------------------------- engine ----
+
+TEST(EngineIncrementalTest, RefinementUsesDelta) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  Characterization r1 =
+      engine.CharacterizeQuery("revenue_index > 1.2").ValueOrDie();
+  EXPECT_EQ(r1.strategy, Preparer::Strategy::kFullScan);
+  Characterization r2 =
+      engine.CharacterizeQuery("revenue_index > 1.25").ValueOrDie();
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_EQ(r2.strategy, Preparer::Strategy::kIncremental);
+  EXPECT_GT(r2.delta_rows, 0u);
+  // And the result matches a fresh engine's answer.
+  SyntheticDataset ds2 = MakeBoxOfficeDataset().ValueOrDie();
+  ZiggyEngine fresh = ZiggyEngine::Create(std::move(ds2.table)).ValueOrDie();
+  Characterization expect =
+      fresh.CharacterizeQuery("revenue_index > 1.25").ValueOrDie();
+  ASSERT_EQ(r2.views.size(), expect.views.size());
+  for (size_t i = 0; i < r2.views.size(); ++i) {
+    EXPECT_EQ(r2.views[i].view.columns, expect.views[i].view.columns);
+    EXPECT_NEAR(r2.views[i].view.score.total, expect.views[i].view.score.total, 1e-9);
+  }
+}
+
+// Property sweep: incremental equivalence across perturbation sizes.
+class IncrementalEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalEquivalence, MatchesScratchAfterKFlips) {
+  const int flips = GetParam();
+  Fixture fx = MakeFixture(1000 + static_cast<uint64_t>(flips));
+  Preparer prep(&fx.table, &fx.profile, ComponentBuildOptions{});
+  ASSERT_TRUE(prep.Prepare(fx.selection).ok());
+  Rng rng(static_cast<uint64_t>(flips));
+  Selection next = fx.selection;
+  for (int k = 0; k < flips; ++k) {
+    const size_t r = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fx.table.num_rows()) - 1));
+    next.Set(r, !next.Contains(r));
+  }
+  if (next.Count() == 0 || next.Count() == fx.table.num_rows()) GTEST_SKIP();
+  ComponentTable incremental = prep.Prepare(next).ValueOrDie();
+  ComponentTable scratch = BuildComponents(fx.table, fx.profile, next).ValueOrDie();
+  ASSERT_EQ(incremental.size(), scratch.size());
+  for (size_t i = 0; i < incremental.size(); ++i) {
+    EXPECT_NEAR(incremental.components()[i].effect.value,
+                scratch.components()[i].effect.value, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Flips, IncrementalEquivalence,
+                         ::testing::Values(1, 5, 20, 100, 299));
+
+}  // namespace
+}  // namespace ziggy

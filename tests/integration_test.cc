@@ -1,0 +1,179 @@
+// Integration tests: the full pipeline on the paper's use-case datasets.
+// The key acceptance criterion is Figure-1-style recovery: on the crime
+// analogue, the top views must cover the planted themes, grouped correctly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/subspace_search.h"
+#include "data/synthetic.h"
+#include "engine/ziggy_engine.h"
+#include "storage/csv.h"
+
+namespace ziggy {
+namespace {
+
+// Returns the fraction of planted views that are "recovered": some output
+// view contains at least half of the planted view's columns and nothing
+// contradicts the grouping.
+double RecoveryRate(const std::vector<std::vector<size_t>>& planted,
+                    const std::vector<CharacterizedView>& found) {
+  size_t recovered = 0;
+  for (const auto& gt : planted) {
+    for (const auto& cv : found) {
+      size_t overlap = 0;
+      for (size_t c : gt) {
+        if (std::find(cv.view.columns.begin(), cv.view.columns.end(), c) !=
+            cv.view.columns.end()) {
+          ++overlap;
+        }
+      }
+      if (2 * overlap >= gt.size()) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  return planted.empty() ? 1.0
+                         : static_cast<double>(recovered) /
+                               static_cast<double>(planted.size());
+}
+
+TEST(IntegrationTest, CrimeRecoversAllPlantedThemes) {
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const auto planted_views = ds.planted_views;
+  const std::string query = ds.selection_predicate;
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.3;
+  opts.search.max_views = 12;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  ASSERT_GE(r.views.size(), 4u);
+  EXPECT_GE(RecoveryRate(planted_views, r.views), 0.8);
+}
+
+TEST(IntegrationTest, CrimeTopViewsAreThePlantedThemesNotNoise) {
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const std::string query = ds.selection_predicate;
+  std::set<size_t> planted_cols;
+  for (const auto& v : ds.planted_views) planted_cols.insert(v.begin(), v.end());
+  // Driver column is trivially characteristic too.
+  planted_cols.insert(0);
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.3;
+  opts.search.max_views = 5;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  // Every column of the top-5 views must be planted (no noise columns).
+  for (const auto& cv : r.views) {
+    for (size_t c : cv.view.columns) {
+      EXPECT_TRUE(planted_cols.count(c) > 0)
+          << "noise column " << engine.table().schema().field(c).name
+          << " in a top view";
+    }
+  }
+}
+
+TEST(IntegrationTest, CrimeExplanationsMatchPlantedDirections) {
+  SyntheticDataset ds = MakeCrimeDataset().ValueOrDie();
+  const std::string query = ds.selection_predicate;
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.3;
+  opts.search.max_views = 12;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  // population_* planted +1.8 sd; education_* planted -1.4 sd.
+  bool pop_checked = false;
+  bool edu_checked = false;
+  for (const auto& cv : r.views) {
+    const std::string names = cv.view.ColumnNames(engine.table().schema());
+    if (names.find("population") != std::string::npos) {
+      EXPECT_NE(cv.explanation.headline.find("particularly high values"),
+                std::string::npos)
+          << cv.explanation.headline;
+      pop_checked = true;
+    }
+    if (names.find("education") != std::string::npos) {
+      EXPECT_NE(cv.explanation.headline.find("particularly low values"),
+                std::string::npos)
+          << cv.explanation.headline;
+      edu_checked = true;
+    }
+  }
+  EXPECT_TRUE(pop_checked);
+  EXPECT_TRUE(edu_checked);
+}
+
+TEST(IntegrationTest, BoxOfficeEndToEndWithWorkload) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  Rng rng(8);
+  auto workload = GenerateWorkload(ds.table, 10, &rng);
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  for (const auto& q : workload) {
+    Result<Characterization> r = engine.CharacterizeQuery(q);
+    // Random bands can occasionally select everything; those are the only
+    // admissible failures.
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsFailedPrecondition()) << q << ": " << r.status();
+      continue;
+    }
+    for (const auto& cv : r->views) {
+      EXPECT_FALSE(cv.explanation.headline.empty());
+      EXPECT_GE(cv.view.score.total, 0.0);
+      EXPECT_LE(cv.view.score.total, 1.0);
+    }
+  }
+}
+
+TEST(IntegrationTest, ZiggyAgreesWithExhaustiveOnStrongestSignal) {
+  // On a small table, the column Ziggy ranks on top must also be the
+  // exhaustive KL search's top singleton (both should find the dominant
+  // divergence).
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  Table table_copy = ds.table;
+  const std::string query = ds.selection_predicate;
+  ZiggyOptions opts;
+  opts.search.max_views = 3;
+  // Exclude the driver column trivially selected by the query itself from
+  // the comparison by scoring with weights on mean only.
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  ASSERT_FALSE(r.views.empty());
+
+  ExprPtr e = ParseQuery(query).ValueOrDie();
+  Selection sel = e->Evaluate(table_copy).ValueOrDie();
+  GaussianKlScorer scorer(table_copy, sel);
+  auto exhaustive = ExhaustiveSubspaceSearch(scorer, 1, 3);
+  ASSERT_FALSE(exhaustive.empty());
+  // The KL-top column must appear in Ziggy's top-3 views.
+  const size_t kl_top = exhaustive[0].columns[0];
+  bool covered = false;
+  for (const auto& cv : r.views) {
+    covered |= std::find(cv.view.columns.begin(), cv.view.columns.end(), kl_top) !=
+               cv.view.columns.end();
+  }
+  EXPECT_TRUE(covered);
+}
+
+TEST(IntegrationTest, CsvRoundTripThroughEngine) {
+  // Export a synthetic table to CSV, re-import, characterize: results must
+  // match the in-memory path (CSV is lossless for doubles).
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  const std::string query = ds.selection_predicate;
+  const std::string csv = WriteCsvString(ds.table);
+  Table reloaded = ReadCsvString(csv).ValueOrDie();
+  ZiggyEngine e1 = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  ZiggyEngine e2 = ZiggyEngine::Create(std::move(reloaded)).ValueOrDie();
+  Characterization r1 = e1.CharacterizeQuery(query).ValueOrDie();
+  Characterization r2 = e2.CharacterizeQuery(query).ValueOrDie();
+  ASSERT_EQ(r1.views.size(), r2.views.size());
+  for (size_t i = 0; i < r1.views.size(); ++i) {
+    EXPECT_EQ(r1.views[i].view.columns, r2.views[i].view.columns);
+    EXPECT_NEAR(r1.views[i].view.score.total, r2.views[i].view.score.total, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ziggy

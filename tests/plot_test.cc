@@ -1,0 +1,122 @@
+// Tests for the ASCII plot renderer (explain/plot.h).
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "explain/plot.h"
+
+namespace ziggy {
+namespace {
+
+struct PlotFixture {
+  Table table;
+  Selection selection;
+};
+
+PlotFixture MakePlotFixture() {
+  Rng rng(9);
+  const size_t n = 400;
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = i < n / 8;
+    if (inside) sel.Set(i);
+    x[i] = (inside ? 4.0 : 0.0) + rng.Normal();
+    y[i] = (inside ? 4.0 : 0.0) + rng.Normal();
+  }
+  return {Table::FromColumns(
+              {Column::FromNumeric("x", x), Column::FromNumeric("y", y)})
+              .ValueOrDie(),
+          sel};
+}
+
+TEST(ScatterPlotTest, RendersBothGlyphsAndAxes) {
+  PlotFixture fx = MakePlotFixture();
+  std::string plot = ScatterPlot(fx.table, fx.selection, "x", "y").ValueOrDie();
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find('.'), std::string::npos);
+  EXPECT_NE(plot.find("> x"), std::string::npos);  // x axis label
+  EXPECT_NE(plot.find("y\n"), std::string::npos);  // y axis label
+  EXPECT_NE(plot.find("n=50"), std::string::npos);
+}
+
+TEST(ScatterPlotTest, SelectionClusterSitsTopRight) {
+  // The planted selection is at (+4, +4): '+' glyphs must dominate the
+  // upper-right quadrant of the raster and be absent from the lower-left.
+  PlotFixture fx = MakePlotFixture();
+  PlotOptions opts;
+  opts.width = 40;
+  opts.height = 16;
+  std::string plot = ScatterPlot(fx.table, fx.selection, "x", "y", opts).ValueOrDie();
+  std::vector<std::string> lines;
+  std::istringstream is(plot);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  // Plot rows are lines [1, 1+height); columns offset by the '|' prefix.
+  size_t plus_top_right = 0;
+  size_t plus_bottom_left = 0;
+  for (size_t r = 0; r < opts.height; ++r) {
+    const std::string& row = lines.at(1 + r);
+    for (size_t c = 1; c < row.size(); ++c) {
+      if (row[c] != '+') continue;
+      if (r < opts.height / 2 && c > opts.width / 2) ++plus_top_right;
+      if (r >= opts.height / 2 && c <= opts.width / 2) ++plus_bottom_left;
+    }
+  }
+  EXPECT_GT(plus_top_right, 0u);
+  EXPECT_EQ(plus_bottom_left, 0u);
+}
+
+TEST(ScatterPlotTest, ErrorsSurface) {
+  PlotFixture fx = MakePlotFixture();
+  EXPECT_TRUE(ScatterPlot(fx.table, fx.selection, "nope", "y").status().IsNotFound());
+  EXPECT_TRUE(ScatterPlot(fx.table, Selection(3), "x", "y").status()
+                  .IsInvalidArgument());
+  PlotOptions tiny;
+  tiny.width = 1;
+  EXPECT_TRUE(ScatterPlot(fx.table, fx.selection, "x", "y", tiny).status()
+                  .IsInvalidArgument());
+  Table cat = Table::FromColumns({Column::FromStrings("s", {"a", "b"}),
+                                  Column::FromNumeric("v", {1, 2})})
+                  .ValueOrDie();
+  EXPECT_TRUE(ScatterPlot(cat, Selection::FromIndices(2, {0}), "s", "v").status()
+                  .IsTypeMismatch());
+}
+
+TEST(ScatterPlotTest, AllNullColumnFailsPrecondition) {
+  Table t = Table::FromColumns(
+                {Column::FromNumeric("x", {NullNumeric(), NullNumeric()}),
+                 Column::FromNumeric("y", {1.0, 2.0})})
+                .ValueOrDie();
+  EXPECT_TRUE(ScatterPlot(t, Selection::FromIndices(2, {0}), "x", "y").status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ScatterPlotTest, ConstantColumnStillRenders) {
+  Table t = Table::FromColumns({Column::FromNumeric("x", {5, 5, 5, 5}),
+                                Column::FromNumeric("y", {1, 2, 3, 4})})
+                .ValueOrDie();
+  std::string plot =
+      ScatterPlot(t, Selection::FromIndices(4, {0, 1}), "x", "y").ValueOrDie();
+  EXPECT_NE(plot.find('+'), std::string::npos);
+}
+
+TEST(HistogramPlotTest, ShowsShiftedMass) {
+  PlotFixture fx = MakePlotFixture();
+  std::string plot = HistogramPlot(fx.table, fx.selection, "x").ValueOrDie();
+  EXPECT_NE(plot.find('+'), std::string::npos);
+  EXPECT_NE(plot.find('.'), std::string::npos);
+  // One line per bin plus the header.
+  EXPECT_EQ(static_cast<size_t>(std::count(plot.begin(), plot.end(), '\n')), 25u);
+}
+
+TEST(HistogramPlotTest, ErrorsSurface) {
+  PlotFixture fx = MakePlotFixture();
+  EXPECT_TRUE(HistogramPlot(fx.table, fx.selection, "zz").status().IsNotFound());
+  EXPECT_TRUE(
+      HistogramPlot(fx.table, fx.selection, "x", 1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ziggy

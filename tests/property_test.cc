@@ -1,0 +1,289 @@
+// Cross-cutting property and fuzz tests:
+//  * random tables survive CSV round trips bit-exactly,
+//  * the vectorized predicate evaluator matches a naive row-at-a-time
+//    reference interpreter on randomly generated predicates,
+//  * the Mann-Whitney walk matches the O(n^2) definition,
+//  * end-to-end invariants of the engine hold on random workloads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "engine/ziggy_engine.h"
+#include "query/parser.h"
+#include "storage/csv.h"
+
+namespace ziggy {
+namespace {
+
+// ------------------------------------------------------------ CSV fuzzing --
+
+Table RandomTable(Rng* rng, size_t rows, size_t cols) {
+  std::vector<Column> columns;
+  for (size_t c = 0; c < cols; ++c) {
+    if (rng->Bernoulli(0.6)) {
+      std::vector<double> v(rows);
+      for (double& x : v) {
+        if (rng->Bernoulli(0.05)) {
+          x = NullNumeric();
+        } else if (rng->Bernoulli(0.1)) {
+          x = rng->Uniform(-1e12, 1e12);  // extreme magnitudes
+        } else {
+          x = rng->Normal(0, 10);
+        }
+      }
+      columns.push_back(Column::FromNumeric("n" + std::to_string(c), std::move(v)));
+    } else {
+      // Labels deliberately include CSV-hostile characters.
+      static const std::vector<std::string> pool = {
+          "plain", "with,comma", "with\"quote", "multi word", "x",
+          "trailing ",  // trailing blank preserved by quoting
+      };
+      Column col = Column::Categorical("s" + std::to_string(c));
+      for (size_t r = 0; r < rows; ++r) {
+        if (rng->Bernoulli(0.05)) {
+          col.AppendLabel("");
+        } else {
+          col.AppendLabel(pool[static_cast<size_t>(
+              rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1))]);
+        }
+      }
+      columns.push_back(std::move(col));
+    }
+  }
+  return Table::FromColumns(std::move(columns)).ValueOrDie();
+}
+
+class CsvFuzzProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzProperty, RoundTripPreservesEveryCell) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 40 + static_cast<size_t>(rng.UniformInt(0, 60)),
+                        1 + static_cast<size_t>(rng.UniformInt(0, 6)));
+  Result<Table> back = ReadCsvString(WriteCsvString(t));
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      if (t.column(c).IsNull(r)) {
+        EXPECT_TRUE(back->column(c).IsNull(r)) << "col " << c << " row " << r;
+      } else if (t.column(c).is_numeric()) {
+        EXPECT_DOUBLE_EQ(back->column(c).numeric_data()[r],
+                         t.column(c).numeric_data()[r]);
+      } else {
+        // Labels with trailing spaces may legitimately round-trip through
+        // quoting; compare exactly.
+        EXPECT_EQ(back->column(c).ValueAsString(r), t.column(c).ValueAsString(r));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// -------------------------------------------- reference predicate semantics --
+
+// Reference interpreter: evaluates a random predicate description row by
+// row, independent of the AST implementation.
+struct RandomAtom {
+  size_t col;
+  int op;         // 0 <, 1 >, 2 =, 3 BETWEEN, 4 IS NULL
+  double a, b;    // thresholds for numeric ops
+  std::string label;  // for categorical equality
+};
+
+struct RandomPredicate {
+  std::vector<RandomAtom> atoms;
+  bool conjunctive;  // AND of atoms vs OR of atoms
+  std::string text;
+};
+
+RandomPredicate MakeRandomPredicate(const Table& t, Rng* rng) {
+  RandomPredicate p;
+  p.conjunctive = rng->Bernoulli(0.5);
+  const size_t n_atoms = 1 + static_cast<size_t>(rng->UniformInt(0, 2));
+  std::vector<std::string> parts;
+  for (size_t i = 0; i < n_atoms; ++i) {
+    RandomAtom atom;
+    atom.col =
+        static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(t.num_columns()) - 1));
+    const Column& col = t.column(atom.col);
+    if (col.is_numeric()) {
+      atom.op = static_cast<int>(rng->UniformInt(0, 3));
+      atom.a = rng->Normal(0, 10);
+      atom.b = atom.a + std::fabs(rng->Normal(0, 10));
+      switch (atom.op) {
+        case 0:
+          parts.push_back(col.name() + " < " + FormatDouble(atom.a, 17));
+          break;
+        case 1:
+          parts.push_back(col.name() + " > " + FormatDouble(atom.a, 17));
+          break;
+        case 2:
+          parts.push_back(col.name() + " = " + FormatDouble(atom.a, 17));
+          break;
+        default:
+          parts.push_back(col.name() + " BETWEEN " + FormatDouble(atom.a, 17) +
+                          " AND " + FormatDouble(atom.b, 17));
+      }
+    } else if (rng->Bernoulli(0.3)) {
+      atom.op = 4;
+      parts.push_back(col.name() + " IS NULL");
+    } else {
+      atom.op = 2;
+      atom.label = col.cardinality() > 0
+                       ? col.dictionary()[static_cast<size_t>(rng->UniformInt(
+                             0, static_cast<int64_t>(col.cardinality()) - 1))]
+                       : "nope";
+      parts.push_back(col.name() + " = '" + atom.label + "'");
+    }
+    p.atoms.push_back(std::move(atom));
+  }
+  p.text = Join(parts, p.conjunctive ? " AND " : " OR ");
+  return p;
+}
+
+bool ReferenceAtomEval(const Table& t, const RandomAtom& atom, size_t row) {
+  const Column& col = t.column(atom.col);
+  if (atom.op == 4) return col.IsNull(row);
+  if (col.IsNull(row)) return false;
+  if (col.is_numeric()) {
+    const double v = col.numeric_data()[row];
+    switch (atom.op) {
+      case 0:
+        return v < atom.a;
+      case 1:
+        return v > atom.a;
+      case 2:
+        return v == atom.a;
+      default:
+        return v >= atom.a && v <= atom.b;
+    }
+  }
+  return col.dictionary()[static_cast<size_t>(col.codes()[row])] == atom.label;
+}
+
+class PredicateSemanticsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PredicateSemanticsProperty, VectorizedMatchesReference) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 200, 5);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomPredicate p = MakeRandomPredicate(t, &rng);
+    Result<ExprPtr> parsed = ParsePredicate(p.text);
+    ASSERT_TRUE(parsed.ok()) << p.text << ": " << parsed.status();
+    Result<Selection> got = (*parsed)->Evaluate(t);
+    ASSERT_TRUE(got.ok()) << p.text;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      bool expected = p.conjunctive;
+      for (const auto& atom : p.atoms) {
+        const bool v = ReferenceAtomEval(t, atom, r);
+        expected = p.conjunctive ? (expected && v) : (expected || v);
+      }
+      ASSERT_EQ(got->Contains(r), expected)
+          << "row " << r << " predicate: " << p.text;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateSemanticsProperty,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ------------------------------------------------ Mann-Whitney brute force --
+
+class RankShiftProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RankShiftProperty, CliffsDeltaMatchesBruteForce) {
+  Rng rng(GetParam());
+  const size_t n = 120;
+  std::vector<double> data(n);
+  for (double& v : data) {
+    // Coarse grid to force plenty of ties.
+    v = std::round(rng.Normal(0, 2));
+  }
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.35)) sel.Set(i);
+  }
+  if (sel.Count() < 3 || sel.Count() > n - 3) GTEST_SKIP();
+
+  Table t = Table::FromColumns({Column::FromNumeric("x", data)}).ValueOrDie();
+  TableProfile p = TableProfile::Compute(t).ValueOrDie();
+  ComponentTable ct = BuildComponents(t, p, sel).ValueOrDie();
+  const ZigComponent* rank = ct.Find(ComponentKind::kRankShift, 0);
+  ASSERT_NE(rank, nullptr);
+
+  // O(n^2) reference: count pairs with inside > outside (+ half-ties).
+  double u = 0.0;
+  int64_t n_in = 0;
+  int64_t n_out = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!sel.Contains(i)) continue;
+    ++n_in;
+    for (size_t j = 0; j < n; ++j) {
+      if (sel.Contains(j)) continue;
+      if (data[i] > data[j]) u += 1.0;
+      if (data[i] == data[j]) u += 0.5;
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    if (!sel.Contains(j)) ++n_out;
+  }
+  const double delta_ref =
+      2.0 * u / (static_cast<double>(n_in) * static_cast<double>(n_out)) - 1.0;
+  EXPECT_NEAR(rank->effect.value, delta_ref, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankShiftProperty,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+// ----------------------------------------------------- engine invariants ----
+
+class EngineInvariantProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineInvariantProperty, RandomWorkloadRespectsContracts) {
+  SyntheticDataset ds = MakeBoxOfficeDataset(GetParam()).ValueOrDie();
+  Rng rng(GetParam() * 31);
+  auto workload = GenerateWorkload(ds.table, 8, &rng);
+  ZiggyOptions opts;
+  opts.search.min_tightness = 0.25;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+  for (const auto& q : workload) {
+    Result<Characterization> r = engine.CharacterizeQuery(q);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsFailedPrecondition()) << q;
+      continue;
+    }
+    EXPECT_EQ(r->inside_count + r->outside_count,
+              static_cast<int64_t>(engine.table().num_rows()));
+    std::set<size_t> seen;
+    double prev_score = std::numeric_limits<double>::infinity();
+    for (const auto& cv : r->views) {
+      // Sorted by score, disjoint, tight, significant, in-bounds.
+      EXPECT_LE(cv.view.score.total, prev_score + 1e-12);
+      prev_score = cv.view.score.total;
+      EXPECT_GE(cv.view.score.total, 0.0);
+      EXPECT_LE(cv.view.score.total, 1.0);
+      EXPECT_LE(cv.view.aggregated_p_value, opts.validation.max_p_value);
+      if (cv.view.columns.size() > 1) {
+        EXPECT_GE(cv.view.tightness, opts.search.min_tightness - 1e-9);
+      }
+      for (size_t c : cv.view.columns) {
+        EXPECT_LT(c, engine.table().num_columns());
+        EXPECT_TRUE(seen.insert(c).second);
+      }
+      EXPECT_FALSE(cv.explanation.headline.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineInvariantProperty,
+                         ::testing::Values(3, 6, 9, 12));
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,213 @@
+// Unit tests for the query engine: lexer/parser (query/parser.h) and
+// predicate evaluation (query/ast.h).
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "storage/table.h"
+
+namespace ziggy {
+namespace {
+
+Table MakeTable() {
+  auto r = Table::FromColumns(
+      {Column::FromNumeric("age", {10, 20, 30, 40, NullNumeric()}),
+       Column::FromNumeric("score", {1.5, 2.5, 3.5, 4.5, 5.5}),
+       Column::FromStrings("state", {"CA", "NY", "CA", "TX", ""})});
+  return std::move(r).ValueOrDie();
+}
+
+std::vector<size_t> Eval(const std::string& predicate) {
+  Table t = MakeTable();
+  ExprPtr e = ParsePredicate(predicate).ValueOrDie();
+  return e->Evaluate(t).ValueOrDie().ToIndices();
+}
+
+// ------------------------------------------------------------ comparisons --
+
+TEST(QueryEvalTest, NumericComparisons) {
+  EXPECT_EQ(Eval("age > 20"), (std::vector<size_t>{2, 3}));
+  EXPECT_EQ(Eval("age >= 20"), (std::vector<size_t>{1, 2, 3}));
+  EXPECT_EQ(Eval("age < 20"), (std::vector<size_t>{0}));
+  EXPECT_EQ(Eval("age <= 20"), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(Eval("age = 30"), (std::vector<size_t>{2}));
+  EXPECT_EQ(Eval("age != 30"), (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(QueryEvalTest, EqualityOperatorSpellings) {
+  EXPECT_EQ(Eval("age == 30"), (std::vector<size_t>{2}));
+  EXPECT_EQ(Eval("age <> 30"), (std::vector<size_t>{0, 1, 3}));
+}
+
+TEST(QueryEvalTest, NullNeverMatchesComparison) {
+  // Row 4 has NULL age: it must not appear on either side.
+  EXPECT_EQ(Eval("age > 0"), (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Eval("age != 999"), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(QueryEvalTest, CategoricalEquality) {
+  EXPECT_EQ(Eval("state = 'CA'"), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(Eval("state != 'CA'"), (std::vector<size_t>{1, 3}));  // NULL excluded
+}
+
+TEST(QueryEvalTest, CategoricalUnknownLabelMatchesNothing) {
+  EXPECT_EQ(Eval("state = 'ZZ'"), (std::vector<size_t>{}));
+  // ... but != unknown label matches all non-null rows.
+  EXPECT_EQ(Eval("state != 'ZZ'"), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(QueryEvalTest, BareWordCategoricalLiteral) {
+  EXPECT_EQ(Eval("state = CA"), (std::vector<size_t>{0, 2}));
+}
+
+TEST(QueryEvalTest, OrderingOnCategoricalIsError) {
+  Table t = MakeTable();
+  ExprPtr e = ParsePredicate("state > 'CA'").ValueOrDie();
+  EXPECT_TRUE(e->Evaluate(t).status().IsInvalidArgument());
+}
+
+TEST(QueryEvalTest, TypeMismatchLiteralIsError) {
+  Table t = MakeTable();
+  EXPECT_TRUE(ParsePredicate("age = 'ten'")
+                  .ValueOrDie()
+                  ->Evaluate(t)
+                  .status()
+                  .IsTypeMismatch());
+  EXPECT_TRUE(ParsePredicate("state = 5")
+                  .ValueOrDie()
+                  ->Evaluate(t)
+                  .status()
+                  .IsTypeMismatch());
+}
+
+TEST(QueryEvalTest, UnknownColumnIsNotFound) {
+  Table t = MakeTable();
+  EXPECT_TRUE(
+      ParsePredicate("bogus = 1").ValueOrDie()->Evaluate(t).status().IsNotFound());
+}
+
+// -------------------------------------------------------- BETWEEN / IN / IS --
+
+TEST(QueryEvalTest, BetweenInclusive) {
+  EXPECT_EQ(Eval("age BETWEEN 20 AND 30"), (std::vector<size_t>{1, 2}));
+}
+
+TEST(QueryEvalTest, BetweenOnCategoricalIsTypeError) {
+  Table t = MakeTable();
+  EXPECT_TRUE(ParsePredicate("state BETWEEN 1 AND 2")
+                  .ValueOrDie()
+                  ->Evaluate(t)
+                  .status()
+                  .IsTypeMismatch());
+}
+
+TEST(QueryEvalTest, InListCategorical) {
+  EXPECT_EQ(Eval("state IN ('CA', 'TX')"), (std::vector<size_t>{0, 2, 3}));
+}
+
+TEST(QueryEvalTest, InListNumeric) {
+  EXPECT_EQ(Eval("age IN (10, 40)"), (std::vector<size_t>{0, 3}));
+}
+
+TEST(QueryEvalTest, IsNullAndIsNotNull) {
+  EXPECT_EQ(Eval("age IS NULL"), (std::vector<size_t>{4}));
+  EXPECT_EQ(Eval("age IS NOT NULL"), (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Eval("state IS NULL"), (std::vector<size_t>{4}));
+}
+
+// ------------------------------------------------------------ boolean ops --
+
+TEST(QueryEvalTest, AndOrNot) {
+  EXPECT_EQ(Eval("age > 10 AND age < 40"), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(Eval("age = 10 OR age = 40"), (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(Eval("NOT age > 20"), (std::vector<size_t>{0, 1, 4}));  // two-valued NOT
+}
+
+TEST(QueryEvalTest, PrecedenceAndParentheses) {
+  // AND binds tighter than OR.
+  EXPECT_EQ(Eval("age = 10 OR age = 20 AND score > 2"), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(Eval("(age = 10 OR age = 20) AND score > 2"), (std::vector<size_t>{1}));
+}
+
+TEST(QueryEvalTest, CaseInsensitiveKeywords) {
+  EXPECT_EQ(Eval("age between 20 and 30"), (std::vector<size_t>{1, 2}));
+  EXPECT_EQ(Eval("state in ('CA')"), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(Eval("not age > 20 and age is not null"), (std::vector<size_t>{0, 1}));
+}
+
+TEST(QueryEvalTest, MultiColumnConjunction) {
+  EXPECT_EQ(Eval("state = 'CA' AND score < 2"), (std::vector<size_t>{0}));
+}
+
+// ------------------------------------------------------------- full query --
+
+TEST(QueryParseTest, SelectWherePrefixIsAccepted) {
+  Table t = MakeTable();
+  ExprPtr e =
+      ParseQuery("SELECT * FROM people WHERE age >= 30 AND state = 'CA'").ValueOrDie();
+  EXPECT_EQ(e->Evaluate(t).ValueOrDie().ToIndices(), (std::vector<size_t>{2}));
+}
+
+TEST(QueryParseTest, SelectColumnListPrefixIsSkipped) {
+  Table t = MakeTable();
+  ExprPtr e = ParseQuery("SELECT age, score FROM t WHERE age = 10").ValueOrDie();
+  EXPECT_EQ(e->Evaluate(t).ValueOrDie().Count(), 1u);
+}
+
+TEST(QueryParseTest, SelectWithoutWhereIsInvalid) {
+  auto r = ParseQuery("SELECT * FROM people");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(QueryParseTest, BarePredicateThroughParseQuery) {
+  Table t = MakeTable();
+  ExprPtr e = ParseQuery("age = 20").ValueOrDie();
+  EXPECT_EQ(e->Evaluate(t).ValueOrDie().Count(), 1u);
+}
+
+// ------------------------------------------------------------ parse errors --
+
+TEST(QueryParseTest, SyntaxErrors) {
+  EXPECT_TRUE(ParsePredicate("age >").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age 5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("(age = 5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age = 5 extra junk").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age BETWEEN 'a' AND 5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age IN 5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age IN (5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age IS 5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("state = 'unterminated").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("age === 5").status().IsParseError());
+  EXPECT_TRUE(ParsePredicate("").status().IsParseError());
+}
+
+TEST(QueryParseTest, NumberFormats) {
+  EXPECT_EQ(Eval("score >= 4.5"), (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(Eval("score >= 4.5e0"), (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(Eval("age > -1e2"), (std::vector<size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Eval("score >= .5 AND score <= 2.0"), (std::vector<size_t>{0}));
+}
+
+// --------------------------------------------------------------- ToString --
+
+TEST(QueryAstTest, ToStringRoundTripsThroughParser) {
+  Table t = MakeTable();
+  const std::vector<std::string> predicates = {
+      "age > 20 AND state = 'CA'",
+      "NOT (age BETWEEN 10 AND 20)",
+      "state IN ('CA', 'NY') OR score <= 2",
+      "age IS NOT NULL AND score IS NULL",
+  };
+  for (const auto& p : predicates) {
+    ExprPtr e1 = ParsePredicate(p).ValueOrDie();
+    const std::string rendered = e1->ToString();
+    ExprPtr e2 = ParsePredicate(rendered).ValueOrDie();
+    EXPECT_EQ(e1->Evaluate(t).ValueOrDie().ToIndices(),
+              e2->Evaluate(t).ValueOrDie().ToIndices())
+        << "predicate: " << p << " rendered: " << rendered;
+  }
+}
+
+}  // namespace
+}  // namespace ziggy

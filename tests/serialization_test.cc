@@ -1,0 +1,164 @@
+// Tests for TableProfile serialization (zig/profile_io.cc) and the JSON
+// rendering of characterizations (engine/json.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/synthetic.h"
+#include "engine/json.h"
+#include "engine/ziggy_engine.h"
+#include "zig/component_builder.h"
+#include "zig/profile.h"
+
+namespace ziggy {
+namespace {
+
+// ------------------------------------------------------- profile round trip --
+
+TEST(ProfileSerializationTest, StreamRoundTripIsExact) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  TableProfile original = TableProfile::Compute(ds.table).ValueOrDie();
+  std::stringstream buf;
+  ASSERT_TRUE(original.Serialize(&buf).ok());
+  TableProfile restored = TableProfile::Deserialize(&buf).ValueOrDie();
+  EXPECT_TRUE(original.Equals(restored));
+  EXPECT_EQ(restored.num_columns(), original.num_columns());
+  EXPECT_EQ(restored.tracked_numeric_pairs(), original.tracked_numeric_pairs());
+}
+
+TEST(ProfileSerializationTest, RestoredProfileProducesIdenticalComponents) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  TableProfile original = TableProfile::Compute(ds.table).ValueOrDie();
+  std::stringstream buf;
+  ASSERT_TRUE(original.Serialize(&buf).ok());
+  TableProfile restored = TableProfile::Deserialize(&buf).ValueOrDie();
+
+  ComponentTable a = BuildComponents(ds.table, original, ds.planted).ValueOrDie();
+  ComponentTable b = BuildComponents(ds.table, restored, ds.planted).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.components()[i].effect.value, b.components()[i].effect.value);
+    EXPECT_DOUBLE_EQ(a.components()[i].p_value, b.components()[i].p_value);
+  }
+}
+
+TEST(ProfileSerializationTest, FileRoundTrip) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  TableProfile original = TableProfile::Compute(ds.table).ValueOrDie();
+  const std::string path = testing::TempDir() + "/ziggy_profile_test.bin";
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  TableProfile restored = TableProfile::LoadFromFile(path).ValueOrDie();
+  EXPECT_TRUE(original.Equals(restored));
+  std::remove(path.c_str());
+}
+
+TEST(ProfileSerializationTest, BadMagicRejected) {
+  std::stringstream buf;
+  buf << "NOTAPROF-and-some-garbage-bytes-here";
+  EXPECT_TRUE(TableProfile::Deserialize(&buf).status().IsParseError());
+}
+
+TEST(ProfileSerializationTest, TruncatedStreamRejected) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  TableProfile original = TableProfile::Compute(ds.table).ValueOrDie();
+  std::stringstream buf;
+  ASSERT_TRUE(original.Serialize(&buf).ok());
+  const std::string full = buf.str();
+  for (size_t cut : {size_t{4}, full.size() / 4, full.size() / 2, full.size() - 3}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(TableProfile::Deserialize(&truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(ProfileSerializationTest, MissingFileIsIOError) {
+  EXPECT_TRUE(TableProfile::LoadFromFile("/nonexistent/dir/p.bin").status().IsIOError());
+}
+
+TEST(ProfileSerializationTest, OptionsSurviveRoundTrip) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  ProfileOptions opts;
+  opts.pair_dependency_floor = 0.123;
+  opts.histogram_bins = 7;
+  opts.cache_sort_orders = false;
+  TableProfile original = TableProfile::Compute(ds.table, opts).ValueOrDie();
+  std::stringstream buf;
+  ASSERT_TRUE(original.Serialize(&buf).ok());
+  TableProfile restored = TableProfile::Deserialize(&buf).ValueOrDie();
+  EXPECT_DOUBLE_EQ(restored.options().pair_dependency_floor, 0.123);
+  EXPECT_EQ(restored.options().histogram_bins, 7u);
+  EXPECT_FALSE(restored.options().cache_sort_orders);
+}
+
+// ----------------------------------------------------------------- JSON ------
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonRenderTest, ContainsAllSections) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  const std::string query = ds.selection_predicate;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  const std::string json = CharacterizationToJson(r, engine.table().schema());
+  EXPECT_NE(json.find("\"inside_count\":"), std::string::npos);
+  EXPECT_NE(json.find("\"timings_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"views\":["), std::string::npos);
+  EXPECT_NE(json.find("\"headline\":"), std::string::npos);
+  EXPECT_NE(json.find("\"score_breakdown\":"), std::string::npos);
+  // Balanced braces and brackets (cheap structural check).
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(JsonRenderTest, ViewCountMatches) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  const std::string query = ds.selection_predicate;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  const std::string json = CharacterizationToJson(r, engine.table().schema());
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = json.find("\"rank\":", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, r.views.size());
+}
+
+TEST(JsonRenderTest, NoNaNLiterals) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  const std::string query = ds.selection_predicate;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table)).ValueOrDie();
+  Characterization r = engine.CharacterizeQuery(query).ValueOrDie();
+  const std::string json = CharacterizationToJson(r, engine.table().schema());
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,152 @@
+// Tests for the predicate simplifier (query/simplify.h). Every rewrite is
+// checked for semantic preservation by evaluating original and simplified
+// forms over a table with NULLs (the NULL rows are where naive rewrites
+// would go wrong).
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+#include "query/simplify.h"
+
+namespace ziggy {
+namespace {
+
+Table MakeTable() {
+  return Table::FromColumns(
+             {Column::FromNumeric("x", {1, 2, 3, 4, 5, NullNumeric()}),
+              Column::FromNumeric("y", {10, 20, 30, 40, 50, 60}),
+              Column::FromStrings("s", {"a", "b", "a", "b", "", "c"})})
+      .ValueOrDie();
+}
+
+// Simplifies and asserts semantics are unchanged; returns the rendering.
+std::string SimplifyChecked(const std::string& predicate) {
+  Table t = MakeTable();
+  ExprPtr original = ParsePredicate(predicate).ValueOrDie();
+  Selection before = original->Evaluate(t).ValueOrDie();
+  ExprPtr simplified = SimplifyPredicate(std::move(original));
+  Selection after = simplified->Evaluate(t).ValueOrDie();
+  EXPECT_EQ(before.ToIndices(), after.ToIndices()) << predicate;
+  // The simplified form must itself be parseable (round-trippable).
+  ExprPtr reparsed = ParsePredicate(simplified->ToString()).ValueOrDie();
+  EXPECT_EQ(reparsed->Evaluate(t).ValueOrDie().ToIndices(), after.ToIndices());
+  return simplified->ToString();
+}
+
+TEST(SimplifyTest, DoubleNegationCancels) {
+  const std::string out = SimplifyChecked("NOT (NOT x > 2)");
+  EXPECT_EQ(out.find("NOT"), std::string::npos) << out;
+}
+
+TEST(SimplifyTest, QuadrupleNegationCancels) {
+  const std::string out = SimplifyChecked("NOT (NOT (NOT (NOT s = 'a')))");
+  EXPECT_EQ(out.find("NOT"), std::string::npos) << out;
+}
+
+TEST(SimplifyTest, SingleNegationKept) {
+  // NOT over a comparison must NOT be rewritten to a flipped operator —
+  // NULL rows differ. SimplifyChecked verifies semantics on the NULL row.
+  const std::string out = SimplifyChecked("NOT x > 2");
+  EXPECT_NE(out.find("NOT"), std::string::npos);
+}
+
+TEST(SimplifyTest, NestedConjunctionsFlatten) {
+  const std::string out = SimplifyChecked("x > 1 AND (y > 15 AND s = 'a')");
+  // Flat conjunction: no nested parenthesized AND of ANDs; rendering shows
+  // three atoms joined by two ANDs at one level.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '('), 3);  // one per atom wrap
+}
+
+TEST(SimplifyTest, DuplicateAtomsDeduped) {
+  Table t = MakeTable();
+  ExprPtr e = ParsePredicate("x > 2 AND x > 2 AND x > 2").ValueOrDie();
+  ExprPtr s = SimplifyPredicate(std::move(e));
+  // A single atom remains: rendering contains exactly one "x > 2".
+  const std::string out = s->ToString();
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = out.find("x > 2", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SimplifyTest, RangePairBecomesBetween) {
+  const std::string out = SimplifyChecked("x >= 2 AND x <= 4");
+  EXPECT_NE(out.find("BETWEEN"), std::string::npos) << out;
+}
+
+TEST(SimplifyTest, RangePairWithOtherAtomsStillMerges) {
+  const std::string out = SimplifyChecked("s = 'a' AND x >= 1 AND y > 5 AND x <= 3");
+  EXPECT_NE(out.find("BETWEEN"), std::string::npos) << out;
+  EXPECT_NE(out.find("s = 'a'"), std::string::npos);
+}
+
+TEST(SimplifyTest, InvertedRangeNotMerged) {
+  // lo > hi would change semantics (empty range vs conjunction that is
+  // already empty — same result, but keep the conservative rule testable).
+  const std::string out = SimplifyChecked("x >= 4 AND x <= 2");
+  EXPECT_EQ(out.find("BETWEEN"), std::string::npos) << out;
+}
+
+TEST(SimplifyTest, DisjunctionFlattensAndDedupes) {
+  const std::string out = SimplifyChecked("x > 4 OR (x > 4 OR s = 'c')");
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = out.find("x > 4", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SimplifyTest, MixedAndOrKeepsStructure) {
+  // AND inside OR must not be flattened across kinds.
+  const std::string out = SimplifyChecked("(x > 1 AND y > 15) OR s = 'c'");
+  EXPECT_NE(out.find("AND"), std::string::npos);
+  EXPECT_NE(out.find("OR"), std::string::npos);
+}
+
+TEST(SimplifyTest, LeafPredicatesUntouched) {
+  for (const std::string p :
+       {"x > 3", "s LIKE 'a%'", "x IS NULL", "x IN (1, 2)", "x BETWEEN 1 AND 3"}) {
+    Table t = MakeTable();
+    ExprPtr before = ParsePredicate(p).ValueOrDie();
+    const std::string rendered = before->ToString();
+    ExprPtr after = SimplifyPredicate(std::move(before));
+    EXPECT_EQ(after->ToString(), rendered);
+  }
+}
+
+TEST(SimplifyTest, NullInputPassesThrough) {
+  EXPECT_EQ(SimplifyPredicate(nullptr), nullptr);
+}
+
+TEST(SimplifyTest, PreservesSemanticsOnRandomishCompositions) {
+  for (const std::string p : {
+           "NOT (NOT (x > 1 AND (x > 1 AND y <= 40)))",
+           "(x >= 2 AND (x <= 4 AND s != 'b')) AND y > 0",
+           "s = 'a' OR (s = 'a' OR (s = 'b' OR s = 'b'))",
+           "NOT (x >= 2 AND x <= 4)",
+           "x IS NOT NULL AND (x >= 0 AND x <= 100)",
+       }) {
+    SimplifyChecked(p);
+  }
+}
+
+TEST(CloneTest, DeepCopyIsIndependentAndEquivalent) {
+  Table t = MakeTable();
+  ExprPtr original =
+      ParsePredicate("NOT (x > 1 AND s IN ('a', 'b')) OR y BETWEEN 15 AND 45")
+          .ValueOrDie();
+  ExprPtr copy = original->Clone();
+  EXPECT_EQ(copy->ToString(), original->ToString());
+  EXPECT_EQ(copy->Evaluate(t).ValueOrDie().ToIndices(),
+            original->Evaluate(t).ValueOrDie().ToIndices());
+  original.reset();  // copy must survive the original
+  EXPECT_GT(copy->Evaluate(t).ValueOrDie().Count(), 0u);
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,376 @@
+// Unit tests for the zig core: TableProfile, component builder,
+// ComponentTable, Zig-Dissimilarity. Includes the key shared-computation
+// property: kSharedSketch and kTwoScan preparation agree.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "zig/component_builder.h"
+#include "zig/dissimilarity.h"
+#include "zig/profile.h"
+
+namespace ziggy {
+namespace {
+
+// Test fixture table: two correlated numeric columns whose behaviour flips
+// inside the selection, one independent numeric column, one categorical
+// column skewed inside the selection.
+struct Fixture {
+  Table table;
+  Selection selection;
+};
+
+Fixture MakeFixture(size_t n = 600, uint64_t seed = 42) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<double> noise(n);
+  std::vector<std::string> cat(n);
+  Selection sel(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool inside = i < n / 4;  // first quarter is the selection
+    if (inside) sel.Set(i);
+    const double f = rng.Normal();
+    if (inside) {
+      // Shifted mean, inflated dispersion, broken correlation.
+      x[i] = 3.0 + 2.0 * rng.Normal();
+      y[i] = 3.0 + 2.0 * rng.Normal();
+      cat[i] = rng.Bernoulli(0.8) ? "hot" : ("c" + std::to_string(rng.UniformInt(0, 3)));
+    } else {
+      x[i] = 0.9 * f + 0.44 * rng.Normal();
+      y[i] = 0.9 * f + 0.44 * rng.Normal();
+      cat[i] = "c" + std::to_string(rng.UniformInt(0, 3));
+    }
+    noise[i] = rng.Normal();
+  }
+  Fixture fx{Table::FromColumns({Column::FromNumeric("x", x),
+                                 Column::FromNumeric("y", y),
+                                 Column::FromNumeric("noise", noise),
+                                 Column::FromStrings("cat", cat)})
+                 .ValueOrDie(),
+             sel};
+  return fx;
+}
+
+// ---------------------------------------------------------------- profile --
+
+TEST(TableProfileTest, ColumnSketchesMatchDirectStats) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  const auto& data = fx.table.column(0).numeric_data();
+  NumericStats direct = ComputeNumericStats(data);
+  EXPECT_EQ(p.ColumnSketch(0).count, direct.count);
+  EXPECT_NEAR(p.ColumnSketch(0).Mean(), direct.mean, 1e-10);
+  EXPECT_NEAR(p.ColumnSketch(0).StdDev(), direct.StdDev(), 1e-8);
+}
+
+TEST(TableProfileTest, DependencyMatrixSymmetricAndBounded) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  for (size_t i = 0; i < p.num_columns(); ++i) {
+    EXPECT_DOUBLE_EQ(p.Dependency(i, i), 1.0);
+    for (size_t j = 0; j < p.num_columns(); ++j) {
+      EXPECT_DOUBLE_EQ(p.Dependency(i, j), p.Dependency(j, i));
+      EXPECT_GE(p.Dependency(i, j), 0.0);
+      EXPECT_LE(p.Dependency(i, j), 1.0);
+    }
+  }
+}
+
+TEST(TableProfileTest, CorrelatedPairIsTracked) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  // x (col 0) and y (col 1) are strongly correlated outside and the global
+  // correlation is still high.
+  EXPECT_GT(p.Dependency(0, 1), 0.4);
+  EXPECT_GE(p.NumericPairIndex(0, 1), 0);
+  EXPECT_EQ(p.NumericPairIndex(0, 1), p.NumericPairIndex(1, 0));
+}
+
+TEST(TableProfileTest, UncorrelatedPairBelowFloorNotTracked) {
+  Fixture fx = MakeFixture();
+  ProfileOptions opts;
+  opts.pair_dependency_floor = 0.2;
+  TableProfile p = TableProfile::Compute(fx.table, opts).ValueOrDie();
+  EXPECT_LT(p.Dependency(0, 2), 0.2);
+  EXPECT_EQ(p.NumericPairIndex(0, 2), -1);
+}
+
+TEST(TableProfileTest, MaxTrackedPairsCapHolds) {
+  Fixture fx = MakeFixture();
+  ProfileOptions opts;
+  opts.pair_dependency_floor = 0.0;
+  opts.max_tracked_pairs = 1;
+  TableProfile p = TableProfile::Compute(fx.table, opts).ValueOrDie();
+  EXPECT_LE(p.tracked_numeric_pairs().size(), 1u);
+}
+
+TEST(TableProfileTest, CategoryCountsStored) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  const auto& counts = p.CategoryCountsOf(3);
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  EXPECT_EQ(total, static_cast<int64_t>(fx.table.num_rows()));
+  EXPECT_TRUE(p.CategoryCountsOf(0).empty());  // numeric column has none
+}
+
+TEST(TableProfileTest, EmptyTableRejected) {
+  EXPECT_FALSE(TableProfile::Compute(Table()).ok());
+}
+
+TEST(TableProfileTest, MemoryUsageReported) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  EXPECT_GT(p.MemoryUsageBytes(), 0u);
+}
+
+// ------------------------------------------------------- component builder --
+
+TEST(ComponentBuilderTest, DetectsPlantedMeanShift) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+
+  const ZigComponent* mean_x = ct.Find(ComponentKind::kMeanShift, 0);
+  ASSERT_NE(mean_x, nullptr);
+  EXPECT_GT(mean_x->effect.value, 1.0);  // planted +3 sd shift
+  EXPECT_LT(mean_x->p_value, 1e-6);
+  EXPECT_GT(mean_x->inside_value, mean_x->outside_value);
+
+  const ZigComponent* mean_noise = ct.Find(ComponentKind::kMeanShift, 2);
+  ASSERT_NE(mean_noise, nullptr);
+  EXPECT_LT(std::fabs(mean_noise->effect.value), 0.4);
+}
+
+TEST(ComponentBuilderTest, DetectsPlantedDispersionShift) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  const ZigComponent* disp = ct.Find(ComponentKind::kDispersionShift, 0);
+  ASSERT_NE(disp, nullptr);
+  EXPECT_GT(disp->effect.value, 0.3);  // inside sd 2 vs outside sd ~1
+}
+
+TEST(ComponentBuilderTest, DetectsPlantedCorrelationBreak) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  const ZigComponent* corr = ct.Find(ComponentKind::kCorrelationShift, 0, 1);
+  ASSERT_NE(corr, nullptr);
+  EXPECT_GT(corr->outside_value, 0.7);   // strong correlation outside
+  EXPECT_LT(corr->inside_value, 0.4);    // broken inside
+  EXPECT_LT(corr->effect.value, -0.5);   // Fisher z difference negative
+  EXPECT_LT(corr->p_value, 1e-4);
+}
+
+TEST(ComponentBuilderTest, DetectsPlantedFrequencyShift) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  const ZigComponent* freq = ct.Find(ComponentKind::kFrequencyShift, 3);
+  ASSERT_NE(freq, nullptr);
+  EXPECT_LT(freq->p_value, 1e-6);
+  EXPECT_EQ(freq->detail, "hot");  // most over-represented category
+}
+
+TEST(ComponentBuilderTest, SharedSketchEqualsTwoScan) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentBuildOptions shared;
+  shared.mode = PreparationMode::kSharedSketch;
+  ComponentBuildOptions naive;
+  naive.mode = PreparationMode::kTwoScan;
+  ComponentTable a = BuildComponents(fx.table, p, fx.selection, shared).ValueOrDie();
+  ComponentTable b = BuildComponents(fx.table, p, fx.selection, naive).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const ZigComponent& ca = a.components()[i];
+    const ZigComponent& cb = b.components()[i];
+    EXPECT_EQ(ca.kind, cb.kind);
+    EXPECT_EQ(ca.col_a, cb.col_a);
+    EXPECT_EQ(ca.col_b, cb.col_b);
+    EXPECT_EQ(ca.inside_n, cb.inside_n);
+    EXPECT_EQ(ca.outside_n, cb.outside_n);
+    EXPECT_NEAR(ca.effect.value, cb.effect.value, 1e-7)
+        << ComponentKindToString(ca.kind) << " col " << ca.col_a;
+    EXPECT_NEAR(ca.p_value, cb.p_value, 1e-7);
+  }
+}
+
+TEST(ComponentBuilderTest, EmptySelectionRejected) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  Selection empty(fx.table.num_rows());
+  EXPECT_TRUE(BuildComponents(fx.table, p, empty).status().IsFailedPrecondition());
+}
+
+TEST(ComponentBuilderTest, FullSelectionRejected) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  EXPECT_TRUE(BuildComponents(fx.table, p, Selection::All(fx.table.num_rows()))
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(ComponentBuilderTest, SizeMismatchRejected) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  EXPECT_TRUE(BuildComponents(fx.table, p, Selection(3)).status().IsInvalidArgument());
+}
+
+TEST(ComponentBuilderTest, MinSideRowsSkipsTinyComponents) {
+  Fixture fx = MakeFixture(600);
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  Selection tiny = Selection::FromIndices(fx.table.num_rows(), {0, 1});
+  ComponentBuildOptions opts;
+  opts.min_side_rows = 5;
+  ComponentTable ct = BuildComponents(fx.table, p, tiny, opts).ValueOrDie();
+  EXPECT_EQ(ct.size(), 0u);  // every component skipped: inside too small
+}
+
+TEST(ComponentBuilderTest, CountsExposed) {
+  Fixture fx = MakeFixture(600);
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  EXPECT_EQ(ct.inside_count(), 150);
+  EXPECT_EQ(ct.outside_count(), 450);
+}
+
+// --------------------------------------------------------- component table --
+
+TEST(ComponentTableTest, FindIsOrderInsensitiveForPairs) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  EXPECT_EQ(ct.Find(ComponentKind::kCorrelationShift, 0, 1),
+            ct.Find(ComponentKind::kCorrelationShift, 1, 0));
+}
+
+TEST(ComponentTableTest, ForColumnFindsAllKinds) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  auto comps = ct.ForColumn(0);
+  bool has_mean = false;
+  bool has_disp = false;
+  for (const auto* c : comps) {
+    has_mean |= c->kind == ComponentKind::kMeanShift;
+    has_disp |= c->kind == ComponentKind::kDispersionShift;
+  }
+  EXPECT_TRUE(has_mean);
+  EXPECT_TRUE(has_disp);
+}
+
+TEST(ComponentTableTest, NormalizedMagnitudeInUnitInterval) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  for (const auto& c : ct.components()) {
+    const double m = ct.NormalizedMagnitude(c);
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 1.0);
+  }
+}
+
+TEST(ComponentTableTest, ScalesPositive) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  for (size_t k = 0; k < kNumComponentKinds; ++k) {
+    EXPECT_GT(ct.NormalizationScale(static_cast<ComponentKind>(k)), 0.0);
+  }
+}
+
+// ----------------------------------------------------------- dissimilarity --
+
+TEST(DissimilarityTest, ShiftedViewOutscoresNoise) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  ZigWeights w;
+  const double shifted = ZigDissimilarity(ct, {0, 1}, w);
+  const double noise = ZigDissimilarity(ct, {2}, w);
+  EXPECT_GT(shifted, noise);
+}
+
+TEST(DissimilarityTest, EmptyViewScoresZero) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  EXPECT_DOUBLE_EQ(ZigDissimilarity(ct, {}, ZigWeights{}), 0.0);
+}
+
+TEST(DissimilarityTest, WeightsSteerTheScore) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  // The categorical column only carries a frequency shift: zeroing the
+  // frequency weight must zero its score.
+  ZigWeights only_freq;
+  only_freq.mean_shift = only_freq.dispersion_shift = only_freq.correlation_shift = 0;
+  only_freq.association_shift = only_freq.contingency_shift = 0;
+  only_freq.frequency_shift = 1.0;
+  EXPECT_GT(ZigDissimilarity(ct, {3}, only_freq), 0.0);
+  ZigWeights no_freq;
+  no_freq.frequency_shift = 0.0;
+  no_freq.association_shift = 0.0;
+  no_freq.contingency_shift = 0.0;
+  EXPECT_DOUBLE_EQ(ZigDissimilarity(ct, {3}, no_freq), 0.0);
+}
+
+TEST(DissimilarityTest, BreakdownCountsComponents) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  ScoreBreakdown sb = ScoreView(ct, {0, 1}, ZigWeights{});
+  EXPECT_EQ(sb.count_per_kind[static_cast<size_t>(ComponentKind::kMeanShift)], 2u);
+  EXPECT_EQ(sb.count_per_kind[static_cast<size_t>(ComponentKind::kCorrelationShift)],
+            1u);
+  EXPECT_GT(sb.total, 0.0);
+}
+
+TEST(DissimilarityTest, ScoreIsInUnitInterval) {
+  Fixture fx = MakeFixture();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentTable ct = BuildComponents(fx.table, p, fx.selection).ValueOrDie();
+  for (const std::vector<size_t>& cols :
+       {std::vector<size_t>{0}, {1}, {2}, {3}, {0, 1}, {0, 1, 2, 3}}) {
+    const double s = ZigDissimilarity(ct, cols, ZigWeights{});
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+// Property sweep: shared-vs-two-scan equivalence across selection shapes.
+class PreparationEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(PreparationEquivalence, AgreesForSelectionFraction) {
+  const double frac = GetParam();
+  Fixture fx = MakeFixture(400, 99);
+  Rng rng(1234);
+  Selection sel(fx.table.num_rows());
+  for (size_t i = 0; i < fx.table.num_rows(); ++i) {
+    if (rng.Bernoulli(frac)) sel.Set(i);
+  }
+  if (sel.Count() == 0 || sel.Count() == fx.table.num_rows()) GTEST_SKIP();
+  TableProfile p = TableProfile::Compute(fx.table).ValueOrDie();
+  ComponentBuildOptions shared;
+  shared.mode = PreparationMode::kSharedSketch;
+  ComponentBuildOptions naive;
+  naive.mode = PreparationMode::kTwoScan;
+  ComponentTable a = BuildComponents(fx.table, p, sel, shared).ValueOrDie();
+  ComponentTable b = BuildComponents(fx.table, p, sel, naive).ValueOrDie();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.components()[i].effect.value, b.components()[i].effect.value, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, PreparationEquivalence,
+                         ::testing::Values(0.02, 0.1, 0.25, 0.5, 0.75, 0.95));
+
+}  // namespace
+}  // namespace ziggy

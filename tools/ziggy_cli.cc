@@ -1,0 +1,151 @@
+// ziggy_cli: command-line front door to the library.
+//
+// Usage:
+//   ziggy_cli profile <data.csv> <profile.bin>
+//       Build the shared table profile and persist it.
+//
+//   ziggy_cli views <data.csv> "<query>" [options]
+//       Characterize a query and print (or emit as JSON) the views.
+//       Options:
+//         --json                machine-readable output
+//         --tightness <t>       MIN_tight in [0,1]         (default 0.4)
+//         --max-views <k>       number of views             (default 10)
+//         --max-view-size <d>   columns per view            (default 4)
+//         --two-scan            disable shared-sketch preparation
+//
+//   ziggy_cli dendrogram <data.csv>
+//       Print the column dendrogram (MIN_tight tuning aid).
+//
+//   ziggy_cli demo <boxoffice|crime|oecd>
+//       Run the built-in synthetic use case end to end.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "engine/json.h"
+#include "engine/ziggy_engine.h"
+#include "storage/csv.h"
+
+using namespace ziggy;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int Usage() {
+  std::cerr << "usage:\n"
+            << "  ziggy_cli profile <data.csv> <profile.bin>\n"
+            << "  ziggy_cli views <data.csv> \"<query>\" [--json] [--tightness t]\n"
+            << "            [--max-views k] [--max-view-size d] [--two-scan]\n"
+            << "  ziggy_cli dendrogram <data.csv>\n"
+            << "  ziggy_cli demo <boxoffice|crime|oecd>\n";
+  return 2;
+}
+
+int RunProfile(const std::string& csv_path, const std::string& out_path) {
+  Result<Table> table = ReadCsvFile(csv_path);
+  if (!table.ok()) return Fail(table.status());
+  Result<TableProfile> profile = TableProfile::Compute(*table);
+  if (!profile.ok()) return Fail(profile.status());
+  Status st = profile->SaveToFile(out_path);
+  if (!st.ok()) return Fail(st);
+  std::cout << "profiled " << table->num_rows() << " rows x " << table->num_columns()
+            << " columns -> " << out_path << " ("
+            << profile->MemoryUsageBytes() / 1024 << " KiB in memory)\n";
+  return 0;
+}
+
+int RunViews(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string csv_path = argv[2];
+  const std::string query = argv[3];
+  bool json = false;
+  ZiggyOptions options;
+  options.search.min_tightness = 0.4;
+  options.search.max_views = 10;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_double = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      Result<double> v = ParseDouble(argv[++i]);
+      if (!v.ok()) return false;
+      *out = *v;
+      return true;
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--tightness") {
+      if (!next_double(&options.search.min_tightness)) return Usage();
+    } else if (arg == "--max-views") {
+      double v = 0;
+      if (!next_double(&v) || v < 0) return Usage();
+      options.search.max_views = static_cast<size_t>(v);
+    } else if (arg == "--max-view-size") {
+      double v = 0;
+      if (!next_double(&v) || v < 1) return Usage();
+      options.search.max_view_size = static_cast<size_t>(v);
+    } else if (arg == "--two-scan") {
+      options.build.mode = PreparationMode::kTwoScan;
+    } else {
+      return Usage();
+    }
+  }
+  Result<Table> table = ReadCsvFile(csv_path);
+  if (!table.ok()) return Fail(table.status());
+  Result<ZiggyEngine> engine = ZiggyEngine::Create(std::move(*table), options);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<Characterization> result = engine->CharacterizeQuery(query);
+  if (!result.ok()) return Fail(result.status());
+  if (json) {
+    std::cout << CharacterizationToJson(*result, engine->table().schema()) << "\n";
+  } else {
+    std::cout << result->ToString(engine->table().schema());
+  }
+  return 0;
+}
+
+int RunDendrogram(const std::string& csv_path) {
+  Result<Table> table = ReadCsvFile(csv_path);
+  if (!table.ok()) return Fail(table.status());
+  Result<ZiggyEngine> engine = ZiggyEngine::Create(std::move(*table));
+  if (!engine.ok()) return Fail(engine.status());
+  std::cout << engine->DendrogramAscii();
+  return 0;
+}
+
+int RunDemo(const std::string& which) {
+  Result<SyntheticDataset> ds = Status::InvalidArgument("unknown demo: " + which);
+  if (which == "boxoffice") ds = MakeBoxOfficeDataset();
+  if (which == "crime") ds = MakeCrimeDataset();
+  if (which == "oecd") ds = MakeOecdDataset();
+  if (!ds.ok()) return Fail(ds.status());
+  const std::string query = ds->selection_predicate;
+  std::cout << "table: " << ds->table.num_rows() << " x " << ds->table.num_columns()
+            << "\nquery: " << query << "\n\n";
+  ZiggyOptions options;
+  options.search.min_tightness = 0.3;
+  Result<ZiggyEngine> engine = ZiggyEngine::Create(std::move(ds->table), options);
+  if (!engine.ok()) return Fail(engine.status());
+  Result<Characterization> result = engine->CharacterizeQuery(query);
+  if (!result.ok()) return Fail(result.status());
+  std::cout << result->ToString(engine->table().schema());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "profile" && argc == 4) return RunProfile(argv[2], argv[3]);
+  if (cmd == "views") return RunViews(argc, argv);
+  if (cmd == "dendrogram" && argc == 3) return RunDendrogram(argv[2]);
+  if (cmd == "demo" && argc == 3) return RunDemo(argv[2]);
+  return Usage();
+}
