@@ -1,17 +1,26 @@
 // Shared helpers for Ziggy's benchmark harnesses: aligned table printing,
-// wall-clock timing, and planted-view recovery metrics.
+// wall-clock timing, planted-view recovery metrics, and machine-readable
+// JSON reports (the perf trajectory consumed by CI across PRs).
 
 #ifndef ZIGGY_BENCH_BENCH_UTIL_H_
 #define ZIGGY_BENCH_BENCH_UTIL_H_
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <fstream>
 #include <functional>
+#include <iomanip>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
+#include "engine/json.h"
 #include "engine/ziggy_engine.h"
 
 namespace ziggy {
@@ -104,6 +113,290 @@ inline double RecoveryRateColumns(const std::vector<std::vector<size_t>>& plante
 }
 
 inline std::string Fmt(double v, int digits = 3) { return FormatDouble(v, digits); }
+
+// ------------------------------------------------------------ JSON report --
+
+/// Minimal ordered JSON value for bench reports: objects, arrays, numbers,
+/// strings, booleans. Insertion order is preserved so reports diff cleanly
+/// across runs.
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kObject) {}
+
+  static JsonValue Number(double v) { return JsonValue(Kind::kNumber, v, {}); }
+  static JsonValue String(std::string v) {
+    return JsonValue(Kind::kString, 0.0, std::move(v));
+  }
+  static JsonValue Bool(bool v) { return JsonValue(Kind::kBool, v ? 1.0 : 0.0, {}); }
+  static JsonValue Array() { return JsonValue(Kind::kArray, 0.0, {}); }
+  static JsonValue Object() { return JsonValue(Kind::kObject, 0.0, {}); }
+
+  /// Object field setters (chainable).
+  JsonValue& Set(const std::string& key, JsonValue v) {
+    fields_.emplace_back(key, std::make_shared<JsonValue>(std::move(v)));
+    return *this;
+  }
+  JsonValue& Set(const std::string& key, double v) { return Set(key, Number(v)); }
+  JsonValue& Set(const std::string& key, const std::string& v) {
+    return Set(key, String(v));
+  }
+  JsonValue& Set(const std::string& key, const char* v) {
+    return Set(key, String(v));
+  }
+
+  /// Array appender.
+  JsonValue& Push(JsonValue v) {
+    items_.push_back(std::make_shared<JsonValue>(std::move(v)));
+    return *this;
+  }
+
+  void Write(std::ostream& os, int indent = 0) const {
+    const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+    const std::string inner(static_cast<size_t>(indent + 1) * 2, ' ');
+    switch (kind_) {
+      case Kind::kNumber: {
+        // Full round-trip precision: these reports track perf regressions
+        // across PRs, and 6-significant-digit defaults would round them
+        // away. Non-finite values are not representable in JSON.
+        std::ostringstream num;
+        if (!std::isfinite(number_)) {
+          os << "null";
+          break;
+        }
+        num << std::setprecision(std::numeric_limits<double>::max_digits10)
+            << number_;
+        os << num.str();
+        break;
+      }
+      case Kind::kBool:
+        os << (number_ != 0.0 ? "true" : "false");
+        break;
+      case Kind::kString:
+        os << '"' << Escaped(string_) << '"';
+        break;
+      case Kind::kArray:
+        if (items_.empty()) {
+          os << "[]";
+          break;
+        }
+        os << "[\n";
+        for (size_t i = 0; i < items_.size(); ++i) {
+          os << inner;
+          items_[i]->Write(os, indent + 1);
+          os << (i + 1 < items_.size() ? ",\n" : "\n");
+        }
+        os << pad << "]";
+        break;
+      case Kind::kObject:
+        if (fields_.empty()) {
+          os << "{}";
+          break;
+        }
+        os << "{\n";
+        for (size_t i = 0; i < fields_.size(); ++i) {
+          os << inner << '"' << Escaped(fields_[i].first) << "\": ";
+          fields_[i].second->Write(os, indent + 1);
+          os << (i + 1 < fields_.size() ? ",\n" : "\n");
+        }
+        os << pad << "}";
+        break;
+    }
+  }
+
+  /// Writes the report; returns false (with a stderr note) on IO failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write bench report to " << path << "\n";
+      return false;
+    }
+    Write(out);
+    out << "\n";
+    return out.good();
+  }
+
+ private:
+  enum class Kind { kNumber, kString, kBool, kArray, kObject };
+
+  JsonValue(Kind kind, double number, std::string str)
+      : kind_(kind), number_(number), string_(std::move(str)) {}
+
+  static std::string Escaped(const std::string& s) { return JsonEscape(s); }
+
+  Kind kind_;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, std::shared_ptr<JsonValue>>> fields_;
+  std::vector<std::shared_ptr<JsonValue>> items_;
+};
+
+/// Parses the conventional bench CLI: `--json <path>` enables the JSON
+/// report; returns the default path when the flag is given without a value.
+inline std::string JsonPathFromArgs(int argc, char** argv,
+                                    const std::string& default_path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') return argv[i + 1];
+      return default_path;
+    }
+  }
+  return "";
+}
+
+// ------------------------------------------- accumulation kernel A/B --
+
+/// Faithful replica of the *seed* row-at-a-time accumulation (the
+/// pre-columnar engine): per-cell column dispatch through table.column(),
+/// per-cell range lookup with HistogramBinOf's divisions, per-row loops
+/// over the tracked pair lists. Kept here, not in the library, so the
+/// benchmarks always compare against the historical baseline even as the
+/// library's own row path improves.
+class SeedRowAtATimeSketches {
+ public:
+  void InitShapes(const Table& table, const TableProfile& profile) {
+    const size_t m = table.num_columns();
+    column_sketches_.assign(m, MomentSketch{});
+    category_counts_.assign(m, {});
+    histograms_.assign(m, {});
+    for (size_t c = 0; c < m; ++c) {
+      const Column& col = table.column(c);
+      if (col.is_categorical()) {
+        category_counts_[c].assign(col.cardinality(), 0);
+      } else if (!profile.HistogramCountsOf(c).empty()) {
+        histograms_[c].assign(profile.HistogramCountsOf(c).size(), 0);
+      }
+    }
+    numeric_pair_sketches_.assign(profile.tracked_numeric_pairs().size(),
+                                  PairMomentSketch{});
+    mixed_pair_groups_.resize(profile.tracked_mixed_pairs().size());
+    for (size_t i = 0; i < profile.tracked_mixed_pairs().size(); ++i) {
+      mixed_pair_groups_[i].assign(profile.MixedPairGroups(i).groups.size(),
+                                   MomentSketch{});
+    }
+    categorical_pair_tables_.resize(profile.tracked_categorical_pairs().size());
+    for (size_t i = 0; i < profile.tracked_categorical_pairs().size(); ++i) {
+      categorical_pair_tables_[i].assign(profile.CategoricalPairTable(i).size(), 0);
+    }
+  }
+
+  void AddRow(const Table& table, const TableProfile& profile, size_t r) {
+    const size_t m = table.num_columns();
+    for (size_t c = 0; c < m; ++c) {
+      const Column& col = table.column(c);
+      if (col.is_numeric()) {
+        const double v = col.numeric_data()[r];
+        if (IsNullNumeric(v)) continue;
+        column_sketches_[c].Add(v);
+        if (!histograms_[c].empty()) {
+          const auto [lo, hi] = profile.ColumnRange(c);
+          ++histograms_[c][HistogramBinOf(v, lo, hi, histograms_[c].size())];
+        }
+      } else {
+        const CategoryCode code = col.codes()[r];
+        if (code != kNullCategory) {
+          ++category_counts_[c][static_cast<size_t>(code)];
+        }
+      }
+    }
+    const auto& npairs = profile.tracked_numeric_pairs();
+    for (size_t i = 0; i < npairs.size(); ++i) {
+      const double x = table.column(npairs[i].first).numeric_data()[r];
+      const double y = table.column(npairs[i].second).numeric_data()[r];
+      if (IsNullNumeric(x) || IsNullNumeric(y)) continue;
+      numeric_pair_sketches_[i].Add(x, y);
+    }
+    const auto& mpairs = profile.tracked_mixed_pairs();
+    for (size_t i = 0; i < mpairs.size(); ++i) {
+      const CategoryCode code = table.column(mpairs[i].first).codes()[r];
+      const double x = table.column(mpairs[i].second).numeric_data()[r];
+      if (code == kNullCategory || IsNullNumeric(x)) continue;
+      mixed_pair_groups_[i][static_cast<size_t>(code)].Add(x);
+    }
+    const auto& cpairs = profile.tracked_categorical_pairs();
+    for (size_t i = 0; i < cpairs.size(); ++i) {
+      const CategoryCode ca = table.column(cpairs[i].first).codes()[r];
+      const CategoryCode cb = table.column(cpairs[i].second).codes()[r];
+      if (ca == kNullCategory || cb == kNullCategory) continue;
+      const size_t kb = table.column(cpairs[i].second).cardinality();
+      ++categorical_pair_tables_[i][static_cast<size_t>(ca) * kb +
+                                    static_cast<size_t>(cb)];
+    }
+  }
+
+  /// Checksum over a few fields so the optimizer cannot elide the work.
+  double Checksum() const {
+    double acc = 0.0;
+    for (const auto& s : column_sketches_) acc += s.sum;
+    for (const auto& s : numeric_pair_sketches_) acc += s.sum_xy;
+    return acc;
+  }
+
+ private:
+  std::vector<MomentSketch> column_sketches_;
+  std::vector<std::vector<int64_t>> category_counts_;
+  std::vector<PairMomentSketch> numeric_pair_sketches_;
+  std::vector<std::vector<MomentSketch>> mixed_pair_groups_;
+  std::vector<std::vector<int64_t>> categorical_pair_tables_;
+  std::vector<std::vector<int64_t>> histograms_;
+};
+
+/// Timings of the sketch-accumulation kernel over one selection: the seed
+/// row-at-a-time path vs. the columnar blocked scan, sequential and
+/// threaded. rows/sec figures count *table* rows (the scan visits the
+/// bitmap for every row regardless of density).
+struct AccumulationAB {
+  double row_at_a_time_ms = 0.0;
+  double columnar_ms = 0.0;
+  double threaded2_ms = 0.0;
+  double threaded4_ms = 0.0;
+
+  double Speedup() const {
+    return columnar_ms > 0.0 ? row_at_a_time_ms / columnar_ms : 0.0;
+  }
+};
+
+/// Best-of-`reps` timing of both accumulation paths on one selection.
+inline AccumulationAB MeasureAccumulation(const Table& table,
+                                          const TableProfile& profile,
+                                          const Selection& selection,
+                                          int reps = 3) {
+  AccumulationAB ab;
+  auto best = [&](const std::function<void()>& fn) {
+    double best_ms = 1e18;
+    for (int i = 0; i < reps; ++i) best_ms = std::min(best_ms, TimeMs(fn));
+    return best_ms;
+  };
+  volatile double sink = 0.0;
+  ab.row_at_a_time_ms = best([&] {
+    SeedRowAtATimeSketches s;
+    s.InitShapes(table, profile);
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      if (selection.Contains(r)) s.AddRow(table, profile, r);
+    }
+    sink = sink + s.Checksum();
+  });
+  ab.columnar_ms = best([&] {
+    sink = sink + SelectionSketches::Build(table, profile, selection, 1)
+                      .column_sketch(0)
+                      .sum;
+  });
+  ab.threaded2_ms = best([&] {
+    sink = sink + SelectionSketches::Build(table, profile, selection, 2)
+                      .column_sketch(0)
+                      .sum;
+  });
+  ab.threaded4_ms = best([&] {
+    sink = sink + SelectionSketches::Build(table, profile, selection, 4)
+                      .column_sketch(0)
+                      .sum;
+  });
+  return ab;
+}
+
+/// Table rows scanned per second for a phase costing `ms`.
+inline double RowsPerSec(size_t rows, double ms) {
+  return ms > 0.0 ? static_cast<double>(rows) / (ms / 1000.0) : 0.0;
+}
 
 }  // namespace bench
 }  // namespace ziggy

@@ -1,0 +1,54 @@
+#include "common/parallel.h"
+
+#include <thread>
+
+namespace ziggy {
+
+size_t EffectiveThreads(size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::vector<TaskRange> PartitionTasks(size_t num_tasks, size_t num_threads) {
+  std::vector<TaskRange> ranges;
+  if (num_tasks == 0) return ranges;
+  if (num_threads == 0) num_threads = 1;
+  const size_t workers = num_threads < num_tasks ? num_threads : num_tasks;
+  ranges.reserve(workers);
+  const size_t base = num_tasks / workers;
+  const size_t extra = num_tasks % workers;
+  size_t begin = 0;
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t len = base + (w < extra ? 1 : 0);
+    ranges.push_back({begin, begin + len});
+    begin += len;
+  }
+  return ranges;
+}
+
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(TaskRange, size_t)>& body) {
+  const std::vector<TaskRange> ranges = PartitionTasks(num_tasks, num_threads);
+  if (ranges.empty()) return;
+  if (ranges.size() == 1) {
+    body(ranges[0], 0);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(ranges.size() - 1);
+  for (size_t w = 1; w < ranges.size(); ++w) {
+    workers.emplace_back([&body, &ranges, w] { body(ranges[w], w); });
+  }
+  body(ranges[0], 0);  // the calling thread takes the first range
+  for (std::thread& t : workers) t.join();
+}
+
+void ParallelForEach(size_t num_threads, size_t num_tasks,
+                     const std::function<void(size_t)>& fn) {
+  ParallelFor(num_threads, num_tasks, [&fn](TaskRange range, size_t) {
+    for (size_t i = range.begin; i < range.end; ++i) fn(i);
+  });
+}
+
+}  // namespace ziggy

@@ -1,0 +1,59 @@
+// Minimal deterministic parallel-for used by the columnar scan pipeline.
+//
+// Design constraints (why this is not a generic task scheduler):
+//  * Partitioning must be deterministic: worker w always receives the same
+//    contiguous task range for a given (num_tasks, num_threads), so that
+//    per-thread partial sketches can be merged in a fixed order and the
+//    parallel result is reproducible run to run.
+//  * Workers are plain std::threads spawned per call. The accumulation
+//    passes this serves run for milliseconds to seconds; thread start-up is
+//    noise, and keeping no resident pool means no lifecycle coupling with
+//    the engine.
+//  * Exceptions do not cross thread boundaries here: worker bodies are
+//    expected to be noexcept in practice (pure arithmetic over
+//    preallocated state). ZIGGY_CHECK failures abort the process as they
+//    do on the sequential path.
+
+#ifndef ZIGGY_COMMON_PARALLEL_H_
+#define ZIGGY_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace ziggy {
+
+/// \brief Resolves a user-facing thread-count knob: 0 = one thread per
+/// hardware core, otherwise the value itself; never less than 1.
+size_t EffectiveThreads(size_t requested);
+
+/// \brief Contiguous half-open task range [begin, end) owned by one worker.
+struct TaskRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
+
+/// \brief Deterministic static partition of `num_tasks` into at most
+/// `num_threads` contiguous ranges (first `num_tasks % num_threads` ranges
+/// get one extra task). Empty ranges are not emitted.
+std::vector<TaskRange> PartitionTasks(size_t num_tasks, size_t num_threads);
+
+/// \brief Runs `body(range, worker_index)` over a deterministic static
+/// partition of [0, num_tasks). With num_threads <= 1 (or a single
+/// partition) the body runs inline on the calling thread — the sequential
+/// path stays allocation- and thread-free. Blocks until all workers finish.
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(TaskRange, size_t)>& body);
+
+/// \brief Element-wise convenience: `fn(task_index)` for each task in
+/// [0, num_tasks), statically partitioned across `num_threads`.
+void ParallelForEach(size_t num_threads, size_t num_tasks,
+                     const std::function<void(size_t)>& fn);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_PARALLEL_H_

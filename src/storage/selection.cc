@@ -1,44 +1,78 @@
 #include "storage/selection.h"
 
+#include <bit>
+
 #include "common/logging.h"
 
 namespace ziggy {
+
+void Selection::ClearTailBits() {
+  const size_t tail = num_rows_ % kWordBits;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+Selection Selection::All(size_t num_rows) {
+  Selection s(num_rows);
+  for (uint64_t& w : s.words_) w = ~uint64_t{0};
+  s.ClearTailBits();
+  return s;
+}
 
 Selection Selection::FromIndices(size_t num_rows, const std::vector<size_t>& indices) {
   Selection s(num_rows);
   for (size_t i : indices) {
     ZIGGY_DCHECK(i < num_rows);
-    s.bits_[i] = 1;
+    s.Set(i);
+  }
+  return s;
+}
+
+Selection Selection::FromBytes(const std::vector<uint8_t>& flags) {
+  Selection s(flags.size());
+  for (size_t i = 0; i < flags.size(); ++i) {
+    if (flags[i] != 0) s.Set(i);
   }
   return s;
 }
 
 size_t Selection::Count() const {
   size_t n = 0;
-  for (uint8_t b : bits_) n += b;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+size_t Selection::CountWordRange(size_t word_begin, size_t word_end) const {
+  ZIGGY_DCHECK(word_begin <= word_end && word_end <= words_.size());
+  size_t n = 0;
+  for (size_t w = word_begin; w < word_end; ++w) {
+    n += static_cast<size_t>(std::popcount(words_[w]));
+  }
   return n;
 }
 
 Selection Selection::Invert() const {
-  Selection out(bits_.size());
-  for (size_t i = 0; i < bits_.size(); ++i) out.bits_[i] = bits_[i] ? 0 : 1;
+  Selection out(num_rows_);
+  for (size_t i = 0; i < words_.size(); ++i) out.words_[i] = ~words_[i];
+  out.ClearTailBits();
   return out;
 }
 
 Selection Selection::And(const Selection& other) const {
-  ZIGGY_CHECK(bits_.size() == other.bits_.size());
-  Selection out(bits_.size());
-  for (size_t i = 0; i < bits_.size(); ++i) {
-    out.bits_[i] = (bits_[i] & other.bits_[i]);
+  ZIGGY_CHECK(num_rows_ == other.num_rows_);
+  Selection out(num_rows_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
   }
   return out;
 }
 
 Selection Selection::Or(const Selection& other) const {
-  ZIGGY_CHECK(bits_.size() == other.bits_.size());
-  Selection out(bits_.size());
-  for (size_t i = 0; i < bits_.size(); ++i) {
-    out.bits_[i] = (bits_[i] | other.bits_[i]);
+  ZIGGY_CHECK(num_rows_ == other.num_rows_);
+  Selection out(num_rows_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    out.words_[i] = words_[i] | other.words_[i];
   }
   return out;
 }
@@ -46,19 +80,17 @@ Selection Selection::Or(const Selection& other) const {
 std::vector<size_t> Selection::ToIndices() const {
   std::vector<size_t> out;
   out.reserve(Count());
-  for (size_t i = 0; i < bits_.size(); ++i) {
-    if (bits_[i]) out.push_back(i);
-  }
+  ForEachSetBit([&out](size_t row) { out.push_back(row); });
   return out;
 }
 
 double Selection::Jaccard(const Selection& other) const {
-  ZIGGY_CHECK(bits_.size() == other.bits_.size());
+  ZIGGY_CHECK(num_rows_ == other.num_rows_);
   size_t inter = 0;
   size_t uni = 0;
-  for (size_t i = 0; i < bits_.size(); ++i) {
-    inter += (bits_[i] & other.bits_[i]);
-    uni += (bits_[i] | other.bits_[i]);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    inter += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    uni += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
   }
   if (uni == 0) return 1.0;
   return static_cast<double>(inter) / static_cast<double>(uni);
@@ -66,9 +98,13 @@ double Selection::Jaccard(const Selection& other) const {
 
 uint64_t Selection::Fingerprint() const {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  for (uint8_t b : bits_) {
-    h ^= b;
-    h *= 1099511628211ull;  // FNV prime
+  // Mix the row count so bitmaps of different lengths with equal words
+  // (e.g. 63 vs 64 rows, none selected) do not collide trivially.
+  h ^= static_cast<uint64_t>(num_rows_);
+  h *= 1099511628211ull;  // FNV prime
+  for (uint64_t w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
   }
   return h;
 }

@@ -3,38 +3,61 @@
 // A Selection is a row bitmap partitioning the table into the user's
 // selection (the "inside" tuples C^I of paper Figure 2) and its complement
 // (the "outside" tuples C^O).
+//
+// Layout: one bit per row, packed into 64-bit words (row r lives in word
+// r / 64, bit r % 64). All set-level operations (Count, And, Or, Invert,
+// Jaccard, Fingerprint) run word-at-a-time; consumers that need the set
+// rows iterate words and peel set bits with count-trailing-zeros, which is
+// what makes the columnar sketch accumulation branch-light.
 
 #ifndef ZIGGY_STORAGE_SELECTION_H_
 #define ZIGGY_STORAGE_SELECTION_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace ziggy {
 
-/// \brief Row bitmap over a table; one bit per row.
+/// \brief Row bitmap over a table; one bit per row, packed 64 rows/word.
 class Selection {
  public:
+  /// Rows per storage word.
+  static constexpr size_t kWordBits = 64;
+
   Selection() = default;
   /// All rows unselected.
-  explicit Selection(size_t num_rows) : bits_(num_rows, 0) {}
-  /// From explicit flags.
-  explicit Selection(std::vector<uint8_t> bits) : bits_(std::move(bits)) {}
+  explicit Selection(size_t num_rows)
+      : num_rows_(num_rows), words_(NumWordsFor(num_rows), 0) {}
 
   /// All rows selected.
-  static Selection All(size_t num_rows) {
-    return Selection(std::vector<uint8_t>(num_rows, 1));
-  }
+  static Selection All(size_t num_rows);
   /// Selection containing exactly the given row indices.
   static Selection FromIndices(size_t num_rows, const std::vector<size_t>& indices);
+  /// From per-row flags (any nonzero byte selects the row).
+  static Selection FromBytes(const std::vector<uint8_t>& flags);
 
-  size_t num_rows() const { return bits_.size(); }
-  bool Contains(size_t row) const { return bits_[row] != 0; }
-  void Set(size_t row, bool on = true) { bits_[row] = on ? 1 : 0; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_words() const { return words_.size(); }
 
-  /// Number of selected rows.
+  bool Contains(size_t row) const {
+    return (words_[row / kWordBits] >> (row % kWordBits)) & 1u;
+  }
+  void Set(size_t row, bool on = true) {
+    const uint64_t mask = uint64_t{1} << (row % kWordBits);
+    if (on) {
+      words_[row / kWordBits] |= mask;
+    } else {
+      words_[row / kWordBits] &= ~mask;
+    }
+  }
+
+  /// Number of selected rows (popcount over words).
   size_t Count() const;
+
+  /// Number of selected rows among rows [word_begin*64, word_end*64).
+  size_t CountWordRange(size_t word_begin, size_t word_end) const;
 
   /// Complement selection.
   Selection Invert() const;
@@ -51,15 +74,50 @@ class Selection {
   /// near-duplicate exploration queries.
   double Jaccard(const Selection& other) const;
 
-  /// Stable content fingerprint (FNV-1a over the bitmap), used as a cache key.
+  /// Stable content fingerprint (FNV-1a over the packed words), used as a
+  /// cache key.
   uint64_t Fingerprint() const;
 
-  const std::vector<uint8_t>& bits() const { return bits_; }
+  /// Raw packed words; the tail word's unused high bits are always zero.
+  const std::vector<uint64_t>& words() const { return words_; }
 
-  bool operator==(const Selection& other) const { return bits_ == other.bits_; }
+  /// Calls `fn(row)` for every selected row in [word_begin*64, word_end*64)
+  /// in ascending order. The hot-loop primitive: one ctz per set bit, no
+  /// per-row branch on unselected rows.
+  template <typename Fn>
+  void ForEachSetBitInWords(size_t word_begin, size_t word_end, Fn&& fn) const {
+    for (size_t w = word_begin; w < word_end; ++w) {
+      uint64_t word = words_[w];
+      const size_t base = w * kWordBits;
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(base + static_cast<size_t>(bit));
+        word &= word - 1;  // clear lowest set bit
+      }
+    }
+  }
+
+  /// ForEachSetBitInWords over the whole bitmap.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    ForEachSetBitInWords(0, words_.size(), std::forward<Fn>(fn));
+  }
+
+  bool operator==(const Selection& other) const {
+    return num_rows_ == other.num_rows_ && words_ == other.words_;
+  }
+
+  static constexpr size_t NumWordsFor(size_t num_rows) {
+    return (num_rows + kWordBits - 1) / kWordBits;
+  }
 
  private:
-  std::vector<uint8_t> bits_;
+  /// Zeroes the unused high bits of the tail word (invariant after every
+  /// whole-bitmap operation).
+  void ClearTailBits();
+
+  size_t num_rows_ = 0;
+  std::vector<uint64_t> words_;
 };
 
 }  // namespace ziggy

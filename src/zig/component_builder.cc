@@ -1,6 +1,7 @@
 #include "zig/component_builder.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
@@ -236,7 +237,12 @@ Result<ComponentTable> BuildComponentsFromSketches(
           best_idx = k;
         }
       }
-      if (!col.dictionary().empty()) freq_c.detail = col.dictionary()[best_idx];
+      // Guard the dictionary lookup: with an empty distribution best_idx
+      // never advanced, and a count vector longer than the dictionary
+      // (never expected, but cheap to rule out) must not read past it.
+      if (!p.empty() && best_idx < col.dictionary().size()) {
+        freq_c.detail = col.dictionary()[best_idx];
+      }
       freq_c.p_value = ChiSquareHomogeneityTest(in_counts, out_counts).p_value;
       out.Add(std::move(freq_c));
     }
@@ -353,19 +359,15 @@ Result<ComponentTable> BuildComponents(const Table& table, const TableProfile& p
                                        const ComponentBuildOptions& options) {
   ZIGGY_RETURN_NOT_OK(ValidateSelection(table, profile, selection));
 
-  SelectionSketches inside;
-  inside.InitShapes(table, profile);
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (selection.Contains(r)) inside.AddRow(table, profile, r);
-  }
+  SelectionSketches inside = SelectionSketches::Build(
+      table, profile, selection, options.num_threads, options.block_size);
 
   SelectionSketches outside;
-  outside.InitShapes(table, profile);
   if (options.mode == PreparationMode::kTwoScan) {
-    for (size_t r = 0; r < table.num_rows(); ++r) {
-      if (!selection.Contains(r)) outside.AddRow(table, profile, r);
-    }
+    outside = SelectionSketches::Build(table, profile, selection.Invert(),
+                                       options.num_threads, options.block_size);
   } else {
+    outside.InitShapes(table, profile);
     outside.DeriveAsComplement(profile, inside);
   }
   return BuildComponentsFromSketches(table, profile, selection, inside, outside,
@@ -392,34 +394,44 @@ Result<ComponentTable> Preparer::Prepare(const Selection& selection) {
     return BuildComponents(*table_, *profile_, selection, options_);
   }
 
+  // The symmetric difference is found word-at-a-time: XOR the packed
+  // bitmaps, popcount for the size, then peel set bits only in words that
+  // actually differ.
   bool use_delta = false;
   size_t delta_rows = 0;
   if (last_selection_.has_value() &&
       last_selection_->num_rows() == selection.num_rows()) {
-    for (size_t r = 0; r < selection.num_rows(); ++r) {
-      if (selection.Contains(r) != last_selection_->Contains(r)) ++delta_rows;
+    const auto& now_words = selection.words();
+    const auto& before_words = last_selection_->words();
+    for (size_t w = 0; w < now_words.size(); ++w) {
+      delta_rows +=
+          static_cast<size_t>(std::popcount(now_words[w] ^ before_words[w]));
     }
     use_delta = delta_rows < selection.Count();
   }
 
   if (use_delta) {
-    for (size_t r = 0; r < selection.num_rows(); ++r) {
-      const bool now = selection.Contains(r);
-      const bool before = last_selection_->Contains(r);
-      if (now == before) continue;
-      if (now) {
-        last_inside_.AddRow(*table_, *profile_, r);
-      } else {
-        last_inside_.RemoveRow(*table_, *profile_, r);
+    const auto& now_words = selection.words();
+    const auto& before_words = last_selection_->words();
+    for (size_t w = 0; w < now_words.size(); ++w) {
+      uint64_t diff = now_words[w] ^ before_words[w];
+      const size_t base = w * Selection::kWordBits;
+      while (diff != 0) {
+        const size_t r = base + static_cast<size_t>(std::countr_zero(diff));
+        diff &= diff - 1;
+        if (selection.Contains(r)) {
+          last_inside_.AddRow(*table_, *profile_, r);
+        } else {
+          last_inside_.RemoveRow(*table_, *profile_, r);
+        }
       }
     }
     last_strategy_ = Strategy::kIncremental;
     last_delta_rows_ = delta_rows;
   } else {
-    last_inside_.InitShapes(*table_, *profile_);
-    for (size_t r = 0; r < selection.num_rows(); ++r) {
-      if (selection.Contains(r)) last_inside_.AddRow(*table_, *profile_, r);
-    }
+    last_inside_ = SelectionSketches::Build(*table_, *profile_, selection,
+                                            options_.num_threads,
+                                            options_.block_size);
     last_strategy_ = Strategy::kFullScan;
   }
   last_selection_ = selection;

@@ -49,6 +49,13 @@ struct ComponentBuildOptions {
   /// Compute the distribution-shift (histogram TV) component. Requires
   /// profile histograms.
   bool enable_distribution_shift = true;
+  /// Threads for the full-scan columnar accumulation (1 = sequential,
+  /// 0 = one per hardware core). The incremental delta path is always
+  /// sequential: deltas are tiny by construction.
+  size_t num_threads = 1;
+  /// Rows per accumulation block of the columnar scan (0 = default). Tune
+  /// only for cache experiments; results are identical for any value.
+  size_t block_size = 0;
 
   bool operator==(const ComponentBuildOptions&) const = default;
 };

@@ -1,6 +1,8 @@
 #include "zig/dissimilarity.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 namespace ziggy {
 
@@ -11,10 +13,15 @@ ScoreBreakdown ScoreView(const ComponentTable& components,
   if (view_columns.empty()) return out;
 
   double sums[kNumComponentKinds] = {0, 0, 0, 0, 0, 0};
-  // Membership test kept linear: views are small (a handful of columns).
-  auto in_view = [&view_columns](size_t col) {
-    return std::find(view_columns.begin(), view_columns.end(), col) !=
-           view_columns.end();
+  // Membership bitset built once; view search scores many candidate views
+  // against component tables with O(columns^2) pair components, so a
+  // per-endpoint std::find would be quadratic in wide tables.
+  size_t max_col = 0;
+  for (size_t col : view_columns) max_col = std::max(max_col, col);
+  std::vector<uint8_t> member(max_col + 1, 0);
+  for (size_t col : view_columns) member[col] = 1;
+  auto in_view = [&member](size_t col) {
+    return col < member.size() && member[col] != 0;
   };
 
   for (const auto& c : components.components()) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "stats/dependency.h"
 #include "stats/histogram.h"
 #include "storage/types.h"
@@ -47,12 +48,7 @@ double CramersVFromTable(const std::vector<int64_t>& table, size_t rows, size_t 
 
 size_t HistogramBinOf(double v, double lo, double hi, size_t bins) {
   ZIGGY_DCHECK(bins > 0);
-  double width = (hi - lo) / static_cast<double>(bins);
-  if (width <= 0.0) return 0;
-  const double offset = (v - lo) / width;
-  if (offset < 0.0) return 0;
-  const size_t bin = static_cast<size_t>(offset);
-  return bin >= bins ? bins - 1 : bin;
+  return HistogramBinner::Make(lo, hi, bins).BinOf(v);
 }
 
 Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions options) {
@@ -72,12 +68,22 @@ Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions op
   p.numeric_pair_index_.assign(m * m, -1);
 
   // ---- Column-level scans ----------------------------------------------
+  // One task per column; every task writes only its own profile slots, so
+  // the parallel fill is race-free and the result is independent of the
+  // thread count (each column is scanned start-to-finish by one worker).
+  const size_t threads = EffectiveThreads(options.num_threads);
   std::vector<size_t> numeric_cols;
   std::vector<size_t> categorical_cols;
   for (size_t c = 0; c < m; ++c) {
+    if (table.column(c).is_numeric()) {
+      numeric_cols.push_back(c);
+    } else {
+      categorical_cols.push_back(c);
+    }
+  }
+  ParallelForEach(threads, m, [&](size_t c) {
     const Column& col = table.column(c);
     if (col.is_numeric()) {
-      numeric_cols.push_back(c);
       NumericStats ns = ComputeNumericStats(col.numeric_data());
       p.ranges_[c] = {ns.count > 0 ? ns.min : 0.0, ns.count > 0 ? ns.max : 0.0};
       for (double v : col.numeric_data()) {
@@ -97,43 +103,56 @@ Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions op
         auto& hist = p.histograms_[c];
         hist.assign(options.histogram_bins, 0);
         const auto [lo, hi] = p.ranges_[c];
+        const HistogramBinner binner =
+            HistogramBinner::Make(lo, hi, options.histogram_bins);
         for (double v : data) {
           if (IsNullNumeric(v)) continue;
-          ++hist[HistogramBinOf(v, lo, hi, options.histogram_bins)];
+          ++hist[binner.BinOf(v)];
         }
       }
     } else {
-      categorical_cols.push_back(c);
       p.category_counts_[c] = CategoryCounts(col);
     }
-  }
+  });
 
   // ---- Numeric-numeric pairs -------------------------------------------
   // All pair sketches are needed to fill the dependency matrix; only pairs
-  // above the dependency floor are retained for per-query reuse.
+  // above the dependency floor are retained for per-query reuse. The pair
+  // list is flattened up front so the quadratic sketch fill parallelizes
+  // over pairs; candidate selection stays sequential to preserve the
+  // deterministic tracked-pair order.
   struct Candidate {
     size_t a;
     size_t b;
     double dep;
     PairMomentSketch sketch;
   };
-  std::vector<Candidate> candidates;
+  std::vector<std::pair<size_t, size_t>> npair_list;
+  npair_list.reserve(numeric_cols.size() * (numeric_cols.size() + 1) / 2);
   for (size_t i = 0; i < numeric_cols.size(); ++i) {
-    const auto& x = table.column(numeric_cols[i]).numeric_data();
     for (size_t j = i + 1; j < numeric_cols.size(); ++j) {
-      const auto& y = table.column(numeric_cols[j]).numeric_data();
-      PairMomentSketch s;
-      for (size_t r = 0; r < x.size(); ++r) {
-        if (!IsNullNumeric(x[r]) && !IsNullNumeric(y[r])) s.Add(x[r], y[r]);
-      }
-      const double dep = std::fabs(s.Correlation());
-      const size_t a = numeric_cols[i];
-      const size_t b = numeric_cols[j];
-      p.dependency_[a * m + b] = dep;
-      p.dependency_[b * m + a] = dep;
-      if (dep >= options.pair_dependency_floor) {
-        candidates.push_back({a, b, dep, s});
-      }
+      npair_list.emplace_back(numeric_cols[i], numeric_cols[j]);
+    }
+  }
+  std::vector<PairMomentSketch> npair_sketches(npair_list.size());
+  ParallelForEach(threads, npair_list.size(), [&](size_t idx) {
+    const auto& x = table.column(npair_list[idx].first).numeric_data();
+    const auto& y = table.column(npair_list[idx].second).numeric_data();
+    PairMomentSketch s;
+    for (size_t r = 0; r < x.size(); ++r) {
+      if (!IsNullNumeric(x[r]) && !IsNullNumeric(y[r])) s.Add(x[r], y[r]);
+    }
+    npair_sketches[idx] = s;
+  });
+  std::vector<Candidate> candidates;
+  for (size_t idx = 0; idx < npair_list.size(); ++idx) {
+    const PairMomentSketch& s = npair_sketches[idx];
+    const double dep = std::fabs(s.Correlation());
+    const auto [a, b] = npair_list[idx];
+    p.dependency_[a * m + b] = dep;
+    p.dependency_[b * m + a] = dep;
+    if (dep >= options.pair_dependency_floor) {
+      candidates.push_back({a, b, dep, s});
     }
   }
   if (candidates.size() > options.max_tracked_pairs) {
@@ -152,71 +171,93 @@ Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions op
   }
 
   // ---- Mixed (categorical, numeric) pairs --------------------------------
+  // Same shape as the numeric pairs: flatten, fill in parallel, select
+  // sequentially.
+  std::vector<std::pair<size_t, size_t>> mpair_list;
   for (size_t cc : categorical_cols) {
+    if (table.column(cc).cardinality() < 2) continue;
+    for (size_t nc : numeric_cols) mpair_list.emplace_back(cc, nc);
+  }
+  std::vector<GroupedMoments> mpair_groups(mpair_list.size());
+  std::vector<double> mpair_eta(mpair_list.size(), 0.0);
+  ParallelForEach(threads, mpair_list.size(), [&](size_t idx) {
+    const auto [cc, nc] = mpair_list[idx];
     const Column& cat = table.column(cc);
-    const size_t k = cat.cardinality();
-    if (k < 2) continue;
-    for (size_t nc : numeric_cols) {
-      const auto& x = table.column(nc).numeric_data();
-      GroupedMoments gm;
-      gm.groups.assign(k, MomentSketch{});
-      for (size_t r = 0; r < x.size(); ++r) {
-        const CategoryCode code = cat.codes()[r];
-        if (code == kNullCategory || IsNullNumeric(x[r])) continue;
-        gm.groups[static_cast<size_t>(code)].Add(x[r]);
-      }
-      // Correlation ratio eta from group moments.
-      MomentSketch total;
-      double ss_between = 0.0;
-      for (const auto& g : gm.groups) total.Merge(g);
-      if (total.count < 2) continue;
-      const double grand_mean = total.Mean();
-      for (const auto& g : gm.groups) {
-        if (g.count == 0) continue;
-        const double d = g.Mean() - grand_mean;
-        ss_between += static_cast<double>(g.count) * d * d;
-      }
-      const double n = static_cast<double>(total.count);
-      const double ss_total =
-          std::max(0.0, total.sum_sq - total.sum * total.sum / n);
-      const double eta =
-          ss_total > 0.0 ? std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0)) : 0.0;
-      p.dependency_[cc * m + nc] = eta;
-      p.dependency_[nc * m + cc] = eta;
-      if (eta >= options.pair_dependency_floor &&
-          p.tracked_mixed_pairs_.size() < options.max_tracked_pairs) {
-        p.tracked_mixed_pairs_.emplace_back(cc, nc);
-        p.mixed_pair_groups_.push_back(std::move(gm));
-      }
+    const auto& x = table.column(nc).numeric_data();
+    GroupedMoments& gm = mpair_groups[idx];
+    gm.groups.assign(cat.cardinality(), MomentSketch{});
+    for (size_t r = 0; r < x.size(); ++r) {
+      const CategoryCode code = cat.codes()[r];
+      if (code == kNullCategory || IsNullNumeric(x[r])) continue;
+      gm.groups[static_cast<size_t>(code)].Add(x[r]);
+    }
+    // Correlation ratio eta from group moments.
+    MomentSketch total;
+    double ss_between = 0.0;
+    for (const auto& g : gm.groups) total.Merge(g);
+    if (total.count < 2) {
+      mpair_eta[idx] = -1.0;  // sentinel: too few observations, never tracked
+      return;
+    }
+    const double grand_mean = total.Mean();
+    for (const auto& g : gm.groups) {
+      if (g.count == 0) continue;
+      const double d = g.Mean() - grand_mean;
+      ss_between += static_cast<double>(g.count) * d * d;
+    }
+    const double n = static_cast<double>(total.count);
+    const double ss_total = std::max(0.0, total.sum_sq - total.sum * total.sum / n);
+    mpair_eta[idx] =
+        ss_total > 0.0 ? std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0)) : 0.0;
+  });
+  for (size_t idx = 0; idx < mpair_list.size(); ++idx) {
+    const double eta = mpair_eta[idx];
+    if (eta < 0.0) continue;
+    const auto [cc, nc] = mpair_list[idx];
+    p.dependency_[cc * m + nc] = eta;
+    p.dependency_[nc * m + cc] = eta;
+    if (eta >= options.pair_dependency_floor &&
+        p.tracked_mixed_pairs_.size() < options.max_tracked_pairs) {
+      p.tracked_mixed_pairs_.emplace_back(cc, nc);
+      p.mixed_pair_groups_.push_back(std::move(mpair_groups[idx]));
     }
   }
 
   // ---- Categorical-categorical pairs -------------------------------------
+  std::vector<std::pair<size_t, size_t>> cpair_list;
   for (size_t i = 0; i < categorical_cols.size(); ++i) {
-    const Column& a = table.column(categorical_cols[i]);
-    const size_t ka = a.cardinality();
-    if (ka < 2) continue;
+    if (table.column(categorical_cols[i]).cardinality() < 2) continue;
     for (size_t j = i + 1; j < categorical_cols.size(); ++j) {
-      const Column& b = table.column(categorical_cols[j]);
-      const size_t kb = b.cardinality();
-      if (kb < 2) continue;
-      std::vector<int64_t> ct(ka * kb, 0);
-      for (size_t r = 0; r < a.size(); ++r) {
-        const CategoryCode cai = a.codes()[r];
-        const CategoryCode cbi = b.codes()[r];
-        if (cai == kNullCategory || cbi == kNullCategory) continue;
-        ++ct[static_cast<size_t>(cai) * kb + static_cast<size_t>(cbi)];
-      }
-      const double v = CramersVFromTable(ct, ka, kb);
-      const size_t ca = categorical_cols[i];
-      const size_t cb = categorical_cols[j];
-      p.dependency_[ca * m + cb] = v;
-      p.dependency_[cb * m + ca] = v;
-      if (v >= options.pair_dependency_floor &&
-          p.tracked_categorical_pairs_.size() < options.max_tracked_pairs) {
-        p.tracked_categorical_pairs_.emplace_back(ca, cb);
-        p.categorical_pair_tables_.push_back(std::move(ct));
-      }
+      if (table.column(categorical_cols[j]).cardinality() < 2) continue;
+      cpair_list.emplace_back(categorical_cols[i], categorical_cols[j]);
+    }
+  }
+  std::vector<std::vector<int64_t>> cpair_tables(cpair_list.size());
+  std::vector<double> cpair_v(cpair_list.size(), 0.0);
+  ParallelForEach(threads, cpair_list.size(), [&](size_t idx) {
+    const Column& a = table.column(cpair_list[idx].first);
+    const Column& b = table.column(cpair_list[idx].second);
+    const size_t ka = a.cardinality();
+    const size_t kb = b.cardinality();
+    std::vector<int64_t>& ct = cpair_tables[idx];
+    ct.assign(ka * kb, 0);
+    for (size_t r = 0; r < a.size(); ++r) {
+      const CategoryCode cai = a.codes()[r];
+      const CategoryCode cbi = b.codes()[r];
+      if (cai == kNullCategory || cbi == kNullCategory) continue;
+      ++ct[static_cast<size_t>(cai) * kb + static_cast<size_t>(cbi)];
+    }
+    cpair_v[idx] = CramersVFromTable(ct, ka, kb);
+  });
+  for (size_t idx = 0; idx < cpair_list.size(); ++idx) {
+    const double v = cpair_v[idx];
+    const auto [ca, cb] = cpair_list[idx];
+    p.dependency_[ca * m + cb] = v;
+    p.dependency_[cb * m + ca] = v;
+    if (v >= options.pair_dependency_floor &&
+        p.tracked_categorical_pairs_.size() < options.max_tracked_pairs) {
+      p.tracked_categorical_pairs_.emplace_back(ca, cb);
+      p.categorical_pair_tables_.push_back(std::move(cpair_tables[idx]));
     }
   }
 

@@ -42,10 +42,47 @@ struct ProfileOptions {
   /// Bins of the per-column global histograms backing the
   /// distribution-shift component (0 disables).
   size_t histogram_bins = 16;
+  /// Threads for profile construction (1 = sequential, 0 = one per core).
+  /// Execution knob only: the resulting profile is independent of it, and
+  /// it is not serialized.
+  size_t num_threads = 1;
+};
+
+/// \brief Precomputed equi-width binning over [lo, hi]: the reciprocal bin
+/// width is paid once, so the per-cell cost is one multiply instead of two
+/// divisions. Every histogram in the system (global profile, selection
+/// sketches, incremental deltas) must bin through this one formula —
+/// complement derivation subtracts counts bin-by-bin and would corrupt on
+/// any rounding disagreement.
+struct HistogramBinner {
+  double lo = 0.0;
+  double inv_width = 0.0;  ///< 0 when the range or bin count is degenerate
+  size_t bins = 0;
+
+  static HistogramBinner Make(double lo, double hi, size_t bins) {
+    HistogramBinner b;
+    b.lo = lo;
+    b.bins = bins;
+    if (bins > 0) {
+      const double width = (hi - lo) / static_cast<double>(bins);
+      if (width > 0.0) b.inv_width = 1.0 / width;
+    }
+    return b;
+  }
+
+  /// Bin of `v`, with out-of-range values clamped into the boundary bins.
+  size_t BinOf(double v) const {
+    if (inv_width <= 0.0) return 0;
+    const double offset = (v - lo) * inv_width;
+    if (offset < 0.0) return 0;
+    const size_t bin = static_cast<size_t>(offset);
+    return bin >= bins ? bins - 1 : bin;
+  }
 };
 
 /// \brief Bin index of `v` in an equi-width histogram over [lo, hi] with
-/// out-of-range values clamped into the boundary bins.
+/// out-of-range values clamped into the boundary bins. One-off convenience
+/// wrapper over HistogramBinner; hot loops should hoist the binner.
 size_t HistogramBinOf(double v, double lo, double hi, size_t bins);
 
 /// \brief Global per-group numeric summaries for one (categorical, numeric)

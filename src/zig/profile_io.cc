@@ -13,7 +13,11 @@ namespace ziggy {
 
 namespace {
 
-constexpr char kMagic[8] = {'Z', 'I', 'G', 'P', 'R', 'O', 'F', '1'};
+// Format 2: histogram binning switched to the precomputed-reciprocal
+// formula (HistogramBinner), which can place boundary values in a
+// different bin than format 1; profiles persisted before the switch must
+// be recomputed, not silently subtracted against.
+constexpr char kMagic[8] = {'Z', 'I', 'G', 'P', 'R', 'O', 'F', '2'};
 
 // ---- primitive writers -----------------------------------------------------
 

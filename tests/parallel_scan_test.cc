@@ -1,0 +1,333 @@
+// Tests for the columnar blocked scan pipeline: the packed word bitmap
+// Selection, the ParallelFor utility, and the equivalence of blocked /
+// parallel sketch accumulation with the row-at-a-time reference path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "zig/component_builder.h"
+#include "zig/profile.h"
+#include "zig/selection_sketches.h"
+
+namespace ziggy {
+namespace {
+
+// ----------------------------------------------------- packed Selection --
+
+// Word-boundary sizes: one under, exactly one word, one over.
+class SelectionWordBoundaryTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SelectionWordBoundaryTest, AllCountInvertRoundTrip) {
+  const size_t n = GetParam();
+  Selection all = Selection::All(n);
+  EXPECT_EQ(all.num_rows(), n);
+  EXPECT_EQ(all.Count(), n);
+  for (size_t r = 0; r < n; ++r) EXPECT_TRUE(all.Contains(r)) << r;
+
+  Selection none = all.Invert();
+  EXPECT_EQ(none.Count(), 0u);
+  EXPECT_EQ(none.Invert(), all);
+  // The tail word's unused bits must stay zero or Count overshoots.
+  EXPECT_EQ(none.Invert().Count(), n);
+}
+
+TEST_P(SelectionWordBoundaryTest, SetAndOrJaccardAtBoundaries) {
+  const size_t n = GetParam();
+  Selection a(n);
+  Selection b(n);
+  a.Set(0);
+  a.Set(n - 1);
+  b.Set(n - 1);
+  EXPECT_EQ(a.Count(), n > 1 ? 2u : 1u);
+  EXPECT_EQ(a.And(b).ToIndices(), (std::vector<size_t>{n - 1}));
+  EXPECT_EQ(a.Or(b), a);
+  if (n > 1) {
+    EXPECT_DOUBLE_EQ(a.Jaccard(b), 0.5);
+    EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  }
+  a.Set(n - 1, false);
+  EXPECT_FALSE(a.Contains(n - 1));
+}
+
+TEST_P(SelectionWordBoundaryTest, ForEachSetBitVisitsAscending) {
+  const size_t n = GetParam();
+  std::vector<size_t> expect;
+  Selection s(n);
+  for (size_t r = 0; r < n; r += 7) {
+    s.Set(r);
+    expect.push_back(r);
+  }
+  std::vector<size_t> got;
+  s.ForEachSetBit([&got](size_t r) { got.push_back(r); });
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(s.ToIndices(), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, SelectionWordBoundaryTest,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 129));
+
+TEST(SelectionTest, CountWordRangePartitionsTotal) {
+  Rng rng(5);
+  Selection s(1000);
+  for (size_t r = 0; r < 1000; ++r) {
+    if (rng.Bernoulli(0.3)) s.Set(r);
+  }
+  size_t total = 0;
+  for (size_t w = 0; w < s.num_words(); ++w) total += s.CountWordRange(w, w + 1);
+  EXPECT_EQ(total, s.Count());
+  EXPECT_EQ(s.CountWordRange(0, s.num_words()), s.Count());
+}
+
+TEST(SelectionTest, FromBytesMatchesSets) {
+  std::vector<uint8_t> flags = {1, 0, 0, 1, 1, 0};
+  Selection s = Selection::FromBytes(flags);
+  EXPECT_EQ(s.ToIndices(), (std::vector<size_t>{0, 3, 4}));
+}
+
+TEST(SelectionTest, FingerprintSensitiveToLength) {
+  // Same (empty) selected set, different row counts: distinct cache keys.
+  EXPECT_NE(Selection(63).Fingerprint(), Selection(64).Fingerprint());
+}
+
+// ---------------------------------------------------------- ParallelFor --
+
+TEST(ParallelForTest, PartitionIsDeterministicAndComplete) {
+  const auto ranges = PartitionTasks(10, 3);
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].begin, 0u);
+  EXPECT_EQ(ranges[0].end, 4u);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(ranges[1].end, 7u);
+  EXPECT_EQ(ranges[2].end, 10u);
+  EXPECT_TRUE(PartitionTasks(0, 4).empty());
+  // Never more ranges than tasks.
+  EXPECT_EQ(PartitionTasks(2, 8).size(), 2u);
+}
+
+TEST(ParallelForTest, EveryTaskRunsExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelForEach(threads, hits.size(), [&hits](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+  }
+}
+
+TEST(ParallelForTest, EffectiveThreadsResolvesZero) {
+  EXPECT_GE(EffectiveThreads(0), 1u);
+  EXPECT_EQ(EffectiveThreads(3), 3u);
+}
+
+// ------------------------------------- blocked / parallel accumulation --
+
+struct Fixture {
+  Table table;
+  TableProfile profile;
+};
+
+// A table exercising every sketch family: correlated numerics (tracked
+// numeric pair), a categorical driving grouped moments and a contingency
+// table with a second categorical, NULLs in both kinds.
+Fixture MakeFixture(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  std::vector<double> y(n);
+  std::vector<std::string> cat_a(n);
+  std::vector<std::string> cat_b(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double f = rng.Normal();
+    x[i] = rng.Bernoulli(0.02) ? NullNumeric() : f + 0.3 * rng.Normal();
+    y[i] = rng.Bernoulli(0.02) ? NullNumeric() : f + 0.3 * rng.Normal();
+    const int g = rng.UniformInt(0, 3);
+    cat_a[i] = rng.Bernoulli(0.02) ? "" : "a" + std::to_string(g);
+    cat_b[i] = rng.Bernoulli(0.02) ? "" : "b" + std::to_string((g + rng.UniformInt(0, 1)) % 4);
+  }
+  Table t = Table::FromColumns({Column::FromNumeric("x", x),
+                                Column::FromNumeric("y", y),
+                                Column::FromStrings("ca", cat_a),
+                                Column::FromStrings("cb", cat_b)})
+                .ValueOrDie();
+  TableProfile p = TableProfile::Compute(t).ValueOrDie();
+  return {std::move(t), std::move(p)};
+}
+
+Selection MakeSelection(size_t n, double density, uint64_t seed) {
+  Rng rng(seed);
+  Selection s(n);
+  for (size_t r = 0; r < n; ++r) {
+    if (rng.Bernoulli(density)) s.Set(r);
+  }
+  return s;
+}
+
+// Row-at-a-time reference: the exact accumulation the seed engine did.
+SelectionSketches ReferenceSketches(const Fixture& fx, const Selection& sel) {
+  SelectionSketches ref;
+  ref.InitShapes(fx.table, fx.profile);
+  for (size_t r = 0; r < fx.table.num_rows(); ++r) {
+    if (sel.Contains(r)) ref.AddRow(fx.table, fx.profile, r);
+  }
+  return ref;
+}
+
+void ExpectSketchesEqual(const Fixture& fx, const SelectionSketches& a,
+                         const SelectionSketches& b, bool bit_identical) {
+  const double tol = bit_identical ? 0.0 : 1e-9;
+  auto near = [tol](double u, double v) {
+    if (tol == 0.0) return u == v;
+    return std::fabs(u - v) <= tol * std::max({1.0, std::fabs(u), std::fabs(v)});
+  };
+  for (size_t c = 0; c < fx.table.num_columns(); ++c) {
+    EXPECT_EQ(a.column_sketch(c).count, b.column_sketch(c).count) << "col " << c;
+    EXPECT_TRUE(near(a.column_sketch(c).sum, b.column_sketch(c).sum)) << "col " << c;
+    EXPECT_TRUE(near(a.column_sketch(c).sum_sq, b.column_sketch(c).sum_sq))
+        << "col " << c;
+    // Integer statistics must be exact regardless of threading.
+    EXPECT_EQ(a.category_counts(c), b.category_counts(c)) << "col " << c;
+    EXPECT_EQ(a.histogram(c), b.histogram(c)) << "col " << c;
+  }
+  for (size_t i = 0; i < fx.profile.tracked_numeric_pairs().size(); ++i) {
+    const auto& pa = a.numeric_pair_sketch(i);
+    const auto& pb = b.numeric_pair_sketch(i);
+    EXPECT_EQ(pa.count, pb.count);
+    EXPECT_TRUE(near(pa.sum_x, pb.sum_x));
+    EXPECT_TRUE(near(pa.sum_y, pb.sum_y));
+    EXPECT_TRUE(near(pa.sum_xx, pb.sum_xx));
+    EXPECT_TRUE(near(pa.sum_yy, pb.sum_yy));
+    EXPECT_TRUE(near(pa.sum_xy, pb.sum_xy));
+  }
+  for (size_t i = 0; i < fx.profile.tracked_mixed_pairs().size(); ++i) {
+    const auto& ga = a.mixed_pair_groups(i);
+    const auto& gb = b.mixed_pair_groups(i);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (size_t g = 0; g < ga.size(); ++g) {
+      EXPECT_EQ(ga[g].count, gb[g].count);
+      EXPECT_TRUE(near(ga[g].sum, gb[g].sum));
+      EXPECT_TRUE(near(ga[g].sum_sq, gb[g].sum_sq));
+    }
+  }
+  for (size_t i = 0; i < fx.profile.tracked_categorical_pairs().size(); ++i) {
+    EXPECT_EQ(a.categorical_pair_table(i), b.categorical_pair_table(i));
+  }
+}
+
+TEST(ColumnarAccumulationTest, SingleThreadBitIdenticalAcrossDensities) {
+  const Fixture fx = MakeFixture(2500, 11);
+  // Densities from the spec: empty, sparse, balanced, near-full.
+  for (double density : {0.0, 0.01, 0.5, 0.99}) {
+    const Selection sel = MakeSelection(fx.table.num_rows(), density, 23);
+    const SelectionSketches ref = ReferenceSketches(fx, sel);
+    SelectionSketches columnar;
+    columnar.InitShapes(fx.table, fx.profile);
+    columnar.AccumulateColumns(fx.table, fx.profile, sel);
+    ExpectSketchesEqual(fx, ref, columnar, /*bit_identical=*/true);
+  }
+}
+
+TEST(ColumnarAccumulationTest, BlockSizeDoesNotChangeResults) {
+  const Fixture fx = MakeFixture(1500, 13);
+  const Selection sel = MakeSelection(fx.table.num_rows(), 0.4, 29);
+  const SelectionSketches ref = ReferenceSketches(fx, sel);
+  for (size_t block_rows : {64u, 128u, 1000u, 1u << 20}) {
+    SelectionSketches columnar;
+    columnar.InitShapes(fx.table, fx.profile);
+    columnar.AccumulateColumns(fx.table, fx.profile, sel, block_rows);
+    ExpectSketchesEqual(fx, ref, columnar, /*bit_identical=*/true);
+  }
+}
+
+TEST(ColumnarAccumulationTest, ParallelMatchesReferenceAcrossThreadCounts) {
+  const Fixture fx = MakeFixture(3000, 17);
+  for (double density : {0.0, 0.01, 0.5, 0.99}) {
+    const Selection sel = MakeSelection(fx.table.num_rows(), density, 31);
+    const SelectionSketches ref = ReferenceSketches(fx, sel);
+    for (size_t threads : {1u, 2u, 4u}) {
+      const SelectionSketches built =
+          SelectionSketches::Build(fx.table, fx.profile, sel, threads);
+      // threads == 1 reproduces the sequential path exactly; merged
+      // partials may differ in the last ULPs of floating-point sums.
+      ExpectSketchesEqual(fx, ref, built, /*bit_identical=*/threads == 1);
+    }
+  }
+}
+
+TEST(ColumnarAccumulationTest, MergeOfDisjointRangesEqualsWholeScan) {
+  const Fixture fx = MakeFixture(1000, 19);
+  const Selection sel = MakeSelection(fx.table.num_rows(), 0.5, 37);
+  SelectionSketches whole;
+  whole.InitShapes(fx.table, fx.profile);
+  whole.AccumulateColumns(fx.table, fx.profile, sel);
+
+  const size_t half = sel.num_words() / 2;
+  SelectionSketches lo;
+  lo.InitShapes(fx.table, fx.profile);
+  lo.AccumulateWordRange(fx.table, fx.profile, sel, 0, half);
+  SelectionSketches hi;
+  hi.InitShapes(fx.table, fx.profile);
+  hi.AccumulateWordRange(fx.table, fx.profile, sel, half, sel.num_words());
+  lo.Merge(hi);
+  // Counts are disjoint sums; verify a few representative fields exactly.
+  EXPECT_EQ(lo.column_sketch(0).count, whole.column_sketch(0).count);
+  EXPECT_EQ(lo.category_counts(2), whole.category_counts(2));
+  EXPECT_NEAR(lo.column_sketch(0).sum, whole.column_sketch(0).sum, 1e-9);
+}
+
+TEST(ColumnarAccumulationTest, ComponentTablesEquivalentAcrossThreadCounts) {
+  const Fixture fx = MakeFixture(2000, 21);
+  const Selection sel = MakeSelection(fx.table.num_rows(), 0.25, 41);
+  ComponentBuildOptions opts;
+  const ComponentTable base =
+      BuildComponents(fx.table, fx.profile, sel, opts).ValueOrDie();
+  for (size_t threads : {2u, 4u}) {
+    ComponentBuildOptions topts = opts;
+    topts.num_threads = threads;
+    const ComponentTable parallel =
+        BuildComponents(fx.table, fx.profile, sel, topts).ValueOrDie();
+    ASSERT_EQ(base.components().size(), parallel.components().size());
+    for (size_t i = 0; i < base.components().size(); ++i) {
+      const ZigComponent& cb = base.components()[i];
+      const ZigComponent& cp = parallel.components()[i];
+      EXPECT_EQ(cb.kind, cp.kind);
+      EXPECT_EQ(cb.col_a, cp.col_a);
+      EXPECT_EQ(cb.col_b, cp.col_b);
+      EXPECT_NEAR(cb.inside_value, cp.inside_value, 1e-9);
+      EXPECT_NEAR(cb.outside_value, cp.outside_value, 1e-9);
+      EXPECT_EQ(cb.inside_n, cp.inside_n);
+      EXPECT_EQ(cb.outside_n, cp.outside_n);
+    }
+  }
+}
+
+TEST(ColumnarAccumulationTest, TwoScanModeUsesColumnarPathAndAgrees) {
+  const Fixture fx = MakeFixture(1200, 43);
+  const Selection sel = MakeSelection(fx.table.num_rows(), 0.3, 47);
+  ComponentBuildOptions shared;
+  ComponentBuildOptions two_scan;
+  two_scan.mode = PreparationMode::kTwoScan;
+  two_scan.num_threads = 2;
+  const ComponentTable a =
+      BuildComponents(fx.table, fx.profile, sel, shared).ValueOrDie();
+  const ComponentTable b =
+      BuildComponents(fx.table, fx.profile, sel, two_scan).ValueOrDie();
+  ASSERT_EQ(a.components().size(), b.components().size());
+  for (size_t i = 0; i < a.components().size(); ++i) {
+    EXPECT_NEAR(a.components()[i].inside_value, b.components()[i].inside_value, 1e-7);
+    EXPECT_NEAR(a.components()[i].outside_value, b.components()[i].outside_value,
+                1e-7);
+  }
+}
+
+TEST(ColumnarAccumulationTest, ProfileIndependentOfThreadCount) {
+  const Fixture fx = MakeFixture(800, 51);
+  ProfileOptions po;
+  po.num_threads = 4;
+  const TableProfile threaded = TableProfile::Compute(fx.table, po).ValueOrDie();
+  EXPECT_TRUE(fx.profile.Equals(threaded));
+}
+
+}  // namespace
+}  // namespace ziggy

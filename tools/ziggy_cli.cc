@@ -12,6 +12,7 @@
 //         --max-views <k>       number of views             (default 10)
 //         --max-view-size <d>   columns per view            (default 4)
 //         --two-scan            disable shared-sketch preparation
+//         --threads <n>         scan/profile threads (0 = all cores, default 1)
 //
 //   ziggy_cli dendrogram <data.csv>
 //       Print the column dendrogram (MIN_tight tuning aid).
@@ -43,6 +44,7 @@ int Usage() {
             << "  ziggy_cli profile <data.csv> <profile.bin>\n"
             << "  ziggy_cli views <data.csv> \"<query>\" [--json] [--tightness t]\n"
             << "            [--max-views k] [--max-view-size d] [--two-scan]\n"
+            << "            [--threads n]\n"
             << "  ziggy_cli dendrogram <data.csv>\n"
             << "  ziggy_cli demo <boxoffice|crime|oecd>\n";
   return 2;
@@ -92,6 +94,11 @@ int RunViews(int argc, char** argv) {
       options.search.max_view_size = static_cast<size_t>(v);
     } else if (arg == "--two-scan") {
       options.build.mode = PreparationMode::kTwoScan;
+    } else if (arg == "--threads") {
+      double v = 0;
+      if (!next_double(&v) || v < 0) return Usage();
+      options.build.num_threads = static_cast<size_t>(v);
+      options.profile.num_threads = static_cast<size_t>(v);
     } else {
       return Usage();
     }
