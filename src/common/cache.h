@@ -1,0 +1,221 @@
+// Concurrency and caching primitives of the serving layer.
+//
+//  * StripedMutex — a fixed pool of mutexes indexed by hash. Independent
+//    keys contend only when they collide on a stripe, so N concurrent
+//    sessions touching different cache shards proceed in parallel.
+//  * ShardedLruCache<V> — a byte-budgeted LRU cache over uint64 keys,
+//    partitioned into power-of-two shards, each guarded by one stripe of a
+//    StripedMutex. Values are held as shared_ptr<const V>: a reader that
+//    obtained an entry keeps it alive even if the entry is evicted (or the
+//    whole cache cleared) a microsecond later — eviction never invalidates
+//    in-flight readers.
+//
+// The cache is deliberately *not* transparent: callers decide what a key
+// means (the serving layer uses selection fingerprints) and what to do on a
+// miss. CollectRecent exposes the per-shard MRU prefix so the serving layer
+// can run similarity scans (XOR-delta near-miss reuse) without a global
+// lock; Drain supports wholesale migration when the keyspace shifts (table
+// appends re-fingerprint every cached selection).
+
+#ifndef ZIGGY_COMMON_CACHE_H_
+#define ZIGGY_COMMON_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+/// \brief Fixed pool of mutexes indexed by hash (lock striping).
+class StripedMutex {
+ public:
+  /// `stripes` is rounded up to a power of two (minimum 1).
+  explicit StripedMutex(size_t stripes = 16) {
+    size_t n = 1;
+    while (n < stripes) n <<= 1;
+    mutexes_ = std::vector<std::mutex>(n);
+  }
+
+  size_t num_stripes() const { return mutexes_.size(); }
+  size_t StripeOf(uint64_t hash) const {
+    // Fold the high bits in: FNV-style fingerprints are well mixed, but
+    // sequential keys (session ids) are not.
+    const uint64_t mixed = hash ^ (hash >> 32);
+    return static_cast<size_t>(mixed) & (mutexes_.size() - 1);
+  }
+  std::mutex& MutexFor(uint64_t hash) { return mutexes_[StripeOf(hash)]; }
+  std::mutex& MutexAt(size_t stripe) { return mutexes_[stripe]; }
+
+ private:
+  std::vector<std::mutex> mutexes_;
+};
+
+/// \brief Aggregate cache counters (monotonic; read with stats()).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes_in_use = 0;
+  uint64_t entries = 0;
+};
+
+/// \brief Sharded, byte-budgeted LRU map from uint64 keys to immutable
+/// values. Thread-safe; per-shard locking only.
+template <typename V>
+class ShardedLruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const V>;
+
+  /// `budget_bytes` is split evenly across shards; a Put larger than one
+  /// shard's budget is still admitted (it evicts everything else in the
+  /// shard) so that a single oversized working set degrades to "cache of
+  /// one" instead of thrashing to zero.
+  ShardedLruCache(size_t shards, size_t budget_bytes)
+      : locks_(shards), shards_(locks_.num_stripes()) {
+    per_shard_budget_ = budget_bytes / shards_.size();
+  }
+
+  /// Looks up `key`; promotes the entry to MRU on hit.
+  ValuePtr Get(uint64_t key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->value;
+  }
+
+  /// Inserts (or replaces) `key`; evicts LRU entries past the shard budget.
+  void Put(uint64_t key, ValuePtr value, size_t bytes) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.bytes -= it->second->bytes;
+      bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(Entry{key, std::move(value), bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += bytes;
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+      const Entry& victim = shard.lru.back();
+      shard.bytes -= victim.bytes;
+      bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+      shard.index.erase(victim.key);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Removes `key` if present.
+  void Erase(uint64_t key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return;
+    shard.bytes -= it->second->bytes;
+    bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Up to `max_per_shard` most-recently-used values from every shard (the
+  /// near-miss candidate pool). Entries are returned as shared_ptrs; the
+  /// scan itself holds each shard lock only while copying pointers.
+  std::vector<ValuePtr> CollectRecent(size_t max_per_shard) {
+    std::vector<ValuePtr> out;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(locks_.MutexAt(s));
+      size_t taken = 0;
+      for (const Entry& e : shards_[s].lru) {
+        if (taken++ >= max_per_shard) break;
+        out.push_back(e.value);
+      }
+    }
+    return out;
+  }
+
+  /// Removes and returns every entry (key + value), LRU-first per shard —
+  /// re-inserting in order via Put (which prepends) reproduces each
+  /// shard's recency order. Used for append migration: the caller re-keys
+  /// and re-inserts.
+  std::vector<std::pair<uint64_t, ValuePtr>> Drain() {
+    std::vector<std::pair<uint64_t, ValuePtr>> out;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      std::lock_guard<std::mutex> lock(locks_.MutexAt(s));
+      for (auto it = shards_[s].lru.rbegin(); it != shards_[s].lru.rend(); ++it) {
+        out.emplace_back(it->key, std::move(it->value));
+      }
+      entries_.fetch_sub(shards_[s].lru.size(), std::memory_order_relaxed);
+      bytes_.fetch_sub(shards_[s].bytes, std::memory_order_relaxed);
+      shards_[s].lru.clear();
+      shards_[s].index.clear();
+      shards_[s].bytes = 0;
+    }
+    return out;
+  }
+
+  /// Drops every entry.
+  void Clear() { (void)Drain(); }
+
+  CacheStats stats() const {
+    CacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.insertions = insertions_.load(std::memory_order_relaxed);
+    st.evictions = evictions_.load(std::memory_order_relaxed);
+    st.bytes_in_use = bytes_.load(std::memory_order_relaxed);
+    st.entries = entries_.load(std::memory_order_relaxed);
+    return st;
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key;
+    ValuePtr value;
+    size_t bytes;
+  };
+  struct Shard {
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<uint64_t, typename std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(uint64_t key) { return shards_[locks_.StripeOf(key)]; }
+
+  StripedMutex locks_;
+  std::vector<Shard> shards_;
+  size_t per_shard_budget_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> entries_{0};
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_CACHE_H_

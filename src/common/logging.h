@@ -59,7 +59,17 @@ class LogMessage {
     }                                                                        \
   } while (false)
 
+/// Debug-only invariant check: compiled out under NDEBUG. Used on hot paths
+/// (per-row bitmap access, per-cell accumulation) where an always-on branch
+/// would tax the scan kernels; the CI Debug job keeps these armed.
+#ifdef NDEBUG
+#define ZIGGY_DCHECK(cond) \
+  do {                     \
+    (void)sizeof((cond));  \
+  } while (false)
+#else
 #define ZIGGY_DCHECK(cond) ZIGGY_CHECK(cond)
+#endif
 
 }  // namespace ziggy
 

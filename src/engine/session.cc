@@ -4,10 +4,7 @@
 
 namespace ziggy {
 
-ExplorationSession::ExplorationSession(ZiggyEngine engine, SessionOptions options)
-    : engine_(std::move(engine)), options_(options) {}
-
-uint64_t ExplorationSession::ViewKey(const std::vector<size_t>& columns) const {
+uint64_t NoveltyTracker::ViewKey(const std::vector<size_t>& columns) {
   // FNV-1a over the sorted column ids (views always store them sorted).
   uint64_t h = 1469598103934665603ull;
   for (size_t c : columns) {
@@ -19,8 +16,53 @@ uint64_t ExplorationSession::ViewKey(const std::vector<size_t>& columns) const {
   return h;
 }
 
+bool NoveltyTracker::WasShownBefore(const std::vector<size_t>& columns) const {
+  return shown_.count(ViewKey(columns)) > 0;
+}
+
+NoveltyTracker::Outcome NoveltyTracker::ApplyAndObserve(
+    SessionOptions::NoveltyPolicy policy, std::vector<CharacterizedView>* views) {
+  Outcome outcome;
+  if (policy != SessionOptions::NoveltyPolicy::kOff) {
+    auto repeated = [this](const CharacterizedView& cv) {
+      return WasShownBefore(cv.view.columns);
+    };
+    const size_t before = views->size();
+    if (policy == SessionOptions::NoveltyPolicy::kSuppress) {
+      views->erase(std::remove_if(views->begin(), views->end(), repeated),
+                   views->end());
+      outcome.suppressed = before - views->size();
+    } else {
+      // Stable-partition novel views first; repeats keep their relative
+      // order after them.
+      auto mid = std::stable_partition(
+          views->begin(), views->end(),
+          [&repeated](const CharacterizedView& cv) { return !repeated(cv); });
+      outcome.demoted = static_cast<size_t>(std::distance(mid, views->end()));
+    }
+  }
+  for (const auto& cv : *views) shown_.insert(ViewKey(cv.view.columns));
+  return outcome;
+}
+
+void ObserveCharacterization(Characterization* result,
+                             SessionOptions::NoveltyPolicy policy,
+                             NoveltyTracker* novelty, SessionStats* stats) {
+  stats->preparation_ms += result->timings.preparation_ms;
+  stats->search_ms += result->timings.search_ms;
+  stats->post_processing_ms += result->timings.post_processing_ms;
+  const NoveltyTracker::Outcome outcome =
+      novelty->ApplyAndObserve(policy, &result->views);
+  stats->views_demoted += outcome.demoted;
+  stats->views_suppressed += outcome.suppressed;
+  stats->views_shown += result->views.size();
+}
+
+ExplorationSession::ExplorationSession(ZiggyEngine engine, SessionOptions options)
+    : engine_(std::move(engine)), options_(options) {}
+
 bool ExplorationSession::WasShownBefore(const std::vector<size_t>& columns) const {
-  return shown_views_.count(ViewKey(columns)) > 0;
+  return novelty_.WasShownBefore(columns);
 }
 
 Result<Characterization> ExplorationSession::Explore(const std::string& query_text) {
@@ -39,31 +81,7 @@ Result<Characterization> ExplorationSession::Explore(const std::string& query_te
     Characterization& c = result.ValueOrDie();
     entry.inside_count = c.inside_count;
     entry.total_ms = c.timings.total_ms();
-    stats_.preparation_ms += c.timings.preparation_ms;
-    stats_.search_ms += c.timings.search_ms;
-    stats_.post_processing_ms += c.timings.post_processing_ms;
-
-    // Novelty pass: stable-partition novel views first (kDemote) or drop
-    // repeats entirely (kSuppress).
-    if (options_.novelty != SessionOptions::NoveltyPolicy::kOff) {
-      auto repeated = [this](const CharacterizedView& cv) {
-        return WasShownBefore(cv.view.columns);
-      };
-      const size_t before = c.views.size();
-      if (options_.novelty == SessionOptions::NoveltyPolicy::kSuppress) {
-        c.views.erase(std::remove_if(c.views.begin(), c.views.end(), repeated),
-                      c.views.end());
-        stats_.views_suppressed += before - c.views.size();
-      } else {
-        auto mid = std::stable_partition(
-            c.views.begin(), c.views.end(),
-            [&repeated](const CharacterizedView& cv) { return !repeated(cv); });
-        stats_.views_demoted +=
-            static_cast<size_t>(std::distance(mid, c.views.end()));
-      }
-    }
-    for (const auto& cv : c.views) shown_views_.insert(ViewKey(cv.view.columns));
-    stats_.views_shown += c.views.size();
+    ObserveCharacterization(&c, options_.novelty, &novelty_, &stats_);
     entry.views_returned = c.views.size();
   }
 
@@ -78,7 +96,7 @@ Result<Characterization> ExplorationSession::Explore(const std::string& query_te
 
 void ExplorationSession::Reset() {
   history_.clear();
-  shown_views_.clear();
+  novelty_.Clear();
   stats_ = SessionStats{};
 }
 

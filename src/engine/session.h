@@ -7,6 +7,13 @@
 //    explore-inspect-refine loop surfaces something *new* ("the users can
 //    interpret these explanations as hints for further exploration"), and
 //  * session statistics (cache behaviour, per-stage time totals).
+//
+// The novelty logic lives in NoveltyTracker, a small free-standing class,
+// because two session types need it: the library's ExplorationSession
+// (which owns its engine) and the serving layer's server-side sessions
+// (which share one engine state across many users and are rebuilt on table
+// appends — the tracker survives the rebuild so users never see repeats
+// across generations).
 
 #ifndef ZIGGY_ENGINE_SESSION_H_
 #define ZIGGY_ENGINE_SESSION_H_
@@ -52,6 +59,43 @@ struct SessionStats {
   size_t views_suppressed = 0;
 };
 
+/// \brief Remembers which view column sets a user has already seen and
+/// applies the novelty policy to fresh results. Not thread-safe; callers
+/// synchronize per session.
+class NoveltyTracker {
+ public:
+  struct Outcome {
+    size_t demoted = 0;
+    size_t suppressed = 0;
+  };
+
+  /// Reorders/prunes `views` per the policy (repeats after novel views for
+  /// kDemote, removed for kSuppress), then records every surviving view as
+  /// shown.
+  Outcome ApplyAndObserve(SessionOptions::NoveltyPolicy policy,
+                          std::vector<CharacterizedView>* views);
+
+  /// True if this exact column set was recorded by an earlier
+  /// ApplyAndObserve.
+  bool WasShownBefore(const std::vector<size_t>& columns) const;
+
+  void Clear() { shown_.clear(); }
+  size_t num_shown() const { return shown_.size(); }
+
+ private:
+  static uint64_t ViewKey(const std::vector<size_t>& columns);
+
+  std::set<uint64_t> shown_;
+};
+
+/// \brief Shared per-result bookkeeping of every session flavor
+/// (ExplorationSession and the serving layer's server-side sessions):
+/// accumulates stage timings into `stats`, applies the novelty policy via
+/// `novelty`, and updates the shown/demoted/suppressed counters.
+void ObserveCharacterization(Characterization* result,
+                             SessionOptions::NoveltyPolicy policy,
+                             NoveltyTracker* novelty, SessionStats* stats);
+
 /// \brief A per-user exploration session over one table.
 class ExplorationSession {
  public:
@@ -77,13 +121,11 @@ class ExplorationSession {
   void Reset();
 
  private:
-  uint64_t ViewKey(const std::vector<size_t>& columns) const;
-
   ZiggyEngine engine_;
   SessionOptions options_;
   std::vector<SessionEntry> history_;
   SessionStats stats_;
-  std::set<uint64_t> shown_views_;
+  NoveltyTracker novelty_;
 };
 
 }  // namespace ziggy

@@ -16,6 +16,22 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+const char* SketchSourceToString(SketchSource source) {
+  switch (source) {
+    case SketchSource::kNone:
+      return "none";
+    case SketchSource::kEngineScan:
+      return "engine-scan";
+    case SketchSource::kCacheExact:
+      return "cache-exact";
+    case SketchSource::kCachePatched:
+      return "cache-patched";
+    case SketchSource::kCoalescedScan:
+      return "coalesced-scan";
+  }
+  return "unknown";
+}
+
 std::string Characterization::ToString(const Schema& schema) const {
   std::ostringstream os;
   os << "Characterized " << inside_count << " selected tuples against "
@@ -44,6 +60,24 @@ Result<ZiggyEngine> ZiggyEngine::Create(Table table, ZiggyOptions options) {
   ZIGGY_ASSIGN_OR_RETURN(TableProfile profile,
                          TableProfile::Compute(table, options.profile));
   ZIGGY_ASSIGN_OR_RETURN(Dendrogram dendrogram, BuildColumnDendrogram(profile));
+  return ZiggyEngine(std::make_shared<const Table>(std::move(table)),
+                     std::make_shared<const TableProfile>(std::move(profile)),
+                     std::make_shared<const Dendrogram>(std::move(dendrogram)),
+                     std::move(options));
+}
+
+Result<ZiggyEngine> ZiggyEngine::CreateShared(
+    std::shared_ptr<const Table> table, std::shared_ptr<const TableProfile> profile,
+    std::shared_ptr<const Dendrogram> dendrogram, ZiggyOptions options) {
+  if (table == nullptr || profile == nullptr || dendrogram == nullptr) {
+    return Status::InvalidArgument("shared engine state must be non-null");
+  }
+  if (table->num_rows() == 0) {
+    return Status::InvalidArgument("cannot characterize an empty table");
+  }
+  if (profile->num_columns() != table->num_columns()) {
+    return Status::InvalidArgument("shared profile does not match table shape");
+  }
   return ZiggyEngine(std::move(table), std::move(profile), std::move(dendrogram),
                      std::move(options));
 }
@@ -53,12 +87,12 @@ Result<Characterization> ZiggyEngine::CharacterizeQuery(const std::string& query
   // Normalization is semantics-preserving; it keeps mechanically assembled
   // refinement predicates (nested ANDs, duplicated atoms) cheap to evaluate.
   predicate = SimplifyPredicate(std::move(predicate));
-  ZIGGY_ASSIGN_OR_RETURN(Selection selection, predicate->Evaluate(table_));
+  ZIGGY_ASSIGN_OR_RETURN(Selection selection, predicate->Evaluate(*table_));
   return Characterize(selection);
 }
 
 Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
-  if (selection.num_rows() != table_.num_rows()) {
+  if (selection.num_rows() != table_->num_rows()) {
     return Status::InvalidArgument("selection does not match table row count");
   }
   Characterization out;
@@ -77,19 +111,41 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
     }
   }
   if (components == nullptr) {
-    // The Preparer is created lazily so that its internal pointers bind to
-    // the engine's final (post-move) location, and recreated when the
-    // build options change between queries.
-    if (preparer_ == nullptr) {
-      preparer_ = std::make_unique<Preparer>(&table_, &profile_, options_.build);
-      preparer_options_ = options_.build;
-    } else if (!(preparer_options_ == options_.build)) {
-      preparer_ = std::make_unique<Preparer>(&table_, &profile_, options_.build);
-      preparer_options_ = options_.build;
+    bool provided = false;
+    if (sketch_provider_) {
+      // Serving-layer path: sketches come from the shared cache or a
+      // coalesced scan. Validation must run first — providers only handle
+      // well-formed selections.
+      ZIGGY_RETURN_NOT_OK(
+          ValidateCharacterizationInput(*table_, *profile_, selection));
+      std::optional<ProvidedSketches> supplied = sketch_provider_(selection, fp);
+      if (supplied.has_value() && supplied->inside != nullptr) {
+        SelectionSketches outside;
+        outside.InitShapes(*table_, *profile_);
+        outside.DeriveAsComplement(*profile_, *supplied->inside);
+        ZIGGY_ASSIGN_OR_RETURN(
+            freshly_built,
+            BuildComponentsFromSketches(*table_, *profile_, selection,
+                                        *supplied->inside, outside, options_.build));
+        out.sketch_source = supplied->source;
+        out.delta_rows = supplied->delta_rows;
+        out.coalesced = supplied->coalesced;
+        provided = true;
+      }
     }
-    ZIGGY_ASSIGN_OR_RETURN(freshly_built, preparer_->Prepare(selection));
-    out.strategy = preparer_->last_strategy();
-    out.delta_rows = preparer_->last_delta_rows();
+    if (!provided) {
+      // The Preparer is created lazily and recreated when the build options
+      // change between queries; it binds to the shared immutable state.
+      if (preparer_ == nullptr || !(preparer_options_ == options_.build)) {
+        preparer_ = std::make_unique<Preparer>(table_.get(), profile_.get(),
+                                               options_.build);
+        preparer_options_ = options_.build;
+      }
+      ZIGGY_ASSIGN_OR_RETURN(freshly_built, preparer_->Prepare(selection));
+      out.strategy = preparer_->last_strategy();
+      out.delta_rows = preparer_->last_delta_rows();
+      out.sketch_source = SketchSource::kEngineScan;
+    }
     ++cache_misses_;
     if (options_.cache_queries) {
       auto [it, inserted] = component_cache_.emplace(fp, std::move(freshly_built));
@@ -107,7 +163,7 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
   t0 = std::chrono::steady_clock::now();
   ZIGGY_ASSIGN_OR_RETURN(
       ViewSearchResult search,
-      SearchViews(profile_, *components, options_.search, &dendrogram_));
+      SearchViews(*profile_, *components, options_.search, dendrogram_.get()));
   out.timings.search_ms = ElapsedMs(t0);
   out.num_candidates = search.num_candidates;
 
@@ -117,7 +173,7 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
   out.views.reserve(search.views.size());
   for (View& v : search.views) {
     CharacterizedView cv;
-    cv.explanation = ExplainView(v, *components, table_.schema(), options_.explain);
+    cv.explanation = ExplainView(v, *components, table_->schema(), options_.explain);
     cv.view = std::move(v);
     out.views.push_back(std::move(cv));
   }
@@ -126,7 +182,7 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
 }
 
 std::string ZiggyEngine::DendrogramAscii() const {
-  return dendrogram_.ToAscii(table_.schema().field_names());
+  return dendrogram_->ToAscii(table_->schema().field_names());
 }
 
 }  // namespace ziggy

@@ -6,11 +6,21 @@
 // statistics — is computed here), then call CharacterizeQuery() for every
 // exploration query. Per-query work follows the three-stage pipeline of
 // paper Figure 4: Preparation → View Search → Post-Processing.
+//
+// Ownership: the engine holds its table, profile and dendrogram as shared
+// *immutable* state. A stand-alone engine simply owns the only reference;
+// the serving layer (src/serve) creates one engine per session over the
+// same shared snapshot, so a hundred sessions cost a hundred pointer
+// triples, not a hundred profiles. Immutability is what makes concurrent
+// sessions safe: nothing behind these pointers is ever written after
+// construction.
 
 #ifndef ZIGGY_ENGINE_ZIGGY_ENGINE_H_
 #define ZIGGY_ENGINE_ZIGGY_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +34,7 @@
 #include "views/view_search.h"
 #include "zig/component_builder.h"
 #include "zig/profile.h"
+#include "zig/selection_sketches.h"
 
 namespace ziggy {
 
@@ -54,6 +65,17 @@ struct CharacterizedView {
   Explanation explanation;
 };
 
+/// \brief Where a request's inside sketches came from.
+enum class SketchSource {
+  kNone,          ///< component cache hit: no sketches were needed at all
+  kEngineScan,    ///< the engine's own Preparer (full scan or local delta)
+  kCacheExact,    ///< serving-layer cache, exact fingerprint hit
+  kCachePatched,  ///< serving-layer cache, XOR-delta patched near miss
+  kCoalescedScan  ///< serving-layer batched scan (possibly shared)
+};
+
+const char* SketchSourceToString(SketchSource source);
+
 /// \brief Full result of characterizing one query.
 struct Characterization {
   std::vector<CharacterizedView> views;  ///< ranked by descending score
@@ -63,21 +85,53 @@ struct Characterization {
   size_t num_candidates = 0;   ///< candidate views generated
   size_t views_dropped = 0;    ///< candidates rejected as not significant
   bool cache_hit = false;      ///< preparation served from the query cache
-  /// Preparation strategy used (meaningless when cache_hit).
+  /// Preparation strategy used. Only meaningful when the engine's own
+  /// Preparer ran, i.e. sketch_source == kEngineScan and !cache_hit.
   Preparer::Strategy strategy = Preparer::Strategy::kFullScan;
   /// Rows touched by an incremental update (0 otherwise).
   size_t delta_rows = 0;
+  /// Provenance of the inside sketches (serving-layer observability).
+  SketchSource sketch_source = SketchSource::kNone;
+  /// True when the sketches were computed by a scan shared with other
+  /// concurrent requests (only set by the serving layer).
+  bool coalesced = false;
 
   /// Multi-line human-readable report (used by examples and the REPL).
   std::string ToString(const Schema& schema) const;
 };
 
+/// \brief Sketches handed to the engine by an external provider (the
+/// serving layer's shared cache/batcher), plus their provenance.
+struct ProvidedSketches {
+  std::shared_ptr<const SelectionSketches> inside;
+  SketchSource source = SketchSource::kCoalescedScan;
+  size_t delta_rows = 0;  ///< rows patched for kCachePatched
+  bool coalesced = false;
+};
+
 /// \brief The query characterization engine.
 class ZiggyEngine {
  public:
+  /// Hook through which a serving layer supplies inside sketches for a
+  /// selection (by fingerprint) instead of the engine scanning locally.
+  /// Returning nullopt (or a null sketch pointer) falls back to the
+  /// engine's own Preparer.
+  using SketchProvider = std::function<std::optional<ProvidedSketches>(
+      const Selection& selection, uint64_t fingerprint)>;
+
   /// Builds the engine; computes the shared table profile (one-off cost,
   /// amortized over all subsequent queries).
   static Result<ZiggyEngine> Create(Table table, ZiggyOptions options = {});
+
+  /// Builds an engine over externally owned shared state (the serving
+  /// layer's per-session constructor: profile and dendrogram are computed
+  /// once per table generation and shared by every session). All three
+  /// pointers must be non-null; the state must be internally consistent
+  /// (profile computed from `table`, dendrogram from `profile`).
+  static Result<ZiggyEngine> CreateShared(
+      std::shared_ptr<const Table> table,
+      std::shared_ptr<const TableProfile> profile,
+      std::shared_ptr<const Dendrogram> dendrogram, ZiggyOptions options = {});
 
   /// Characterizes the tuples selected by a query string. Accepts a bare
   /// predicate ("crime_rate > 1200 AND population > 5e5") or a full
@@ -88,12 +142,24 @@ class ZiggyEngine {
   /// evaluated the query themselves).
   Result<Characterization> Characterize(const Selection& selection);
 
-  const Table& table() const { return table_; }
-  const TableProfile& profile() const { return profile_; }
+  const Table& table() const { return *table_; }
+  const TableProfile& profile() const { return *profile_; }
+  const std::shared_ptr<const Table>& shared_table() const { return table_; }
+  const std::shared_ptr<const TableProfile>& shared_profile() const {
+    return profile_;
+  }
+  const std::shared_ptr<const Dendrogram>& shared_dendrogram() const {
+    return dendrogram_;
+  }
   const ZiggyOptions& options() const { return options_; }
   /// Options may be tuned between queries (e.g. moving the MIN_tight
   /// slider); the profile is unaffected.
   ZiggyOptions* mutable_options() { return &options_; }
+
+  /// Installs (or clears, with nullptr) the external sketch provider.
+  void set_sketch_provider(SketchProvider provider) {
+    sketch_provider_ = std::move(provider);
+  }
 
   /// ASCII dendrogram over all columns — the paper's "visual support to
   /// help setting the parameter MIN_tight".
@@ -107,23 +173,25 @@ class ZiggyEngine {
   /// @}
 
  private:
-  ZiggyEngine(Table table, TableProfile profile, Dendrogram dendrogram,
-              ZiggyOptions options)
+  ZiggyEngine(std::shared_ptr<const Table> table,
+              std::shared_ptr<const TableProfile> profile,
+              std::shared_ptr<const Dendrogram> dendrogram, ZiggyOptions options)
       : table_(std::move(table)),
         profile_(std::move(profile)),
         dendrogram_(std::move(dendrogram)),
         options_(std::move(options)) {}
 
-  Table table_;
-  TableProfile profile_;
-  // The column dendrogram depends only on the profile; computed once here
-  // and reused by every query's view search.
-  Dendrogram dendrogram_{0, {}};
+  std::shared_ptr<const Table> table_;
+  std::shared_ptr<const TableProfile> profile_;
+  // The column dendrogram depends only on the profile; computed once and
+  // shared by every query's view search.
+  std::shared_ptr<const Dendrogram> dendrogram_;
   ZiggyOptions options_;
   // Stateful preparation: reuses the previous query's sketches when the
   // new selection overlaps it (exploration queries usually do).
   std::unique_ptr<Preparer> preparer_;
   ComponentBuildOptions preparer_options_;
+  SketchProvider sketch_provider_;
   std::unordered_map<uint64_t, ComponentTable> component_cache_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;

@@ -1,0 +1,99 @@
+#include "serve/scan_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ziggy {
+
+std::shared_ptr<const SelectionSketches> ScanBatcher::Build(
+    const Table& table, const TableProfile& profile, uint64_t generation,
+    const Selection& selection, bool* coalesced) {
+  Pending request{&table, &profile, generation, &selection, nullptr};
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&request);
+  for (;;) {
+    if (request.done) break;
+    if (leader_active_) {
+      // A scan is in flight; wait for it to finish (it may have claimed
+      // this request, or a later leader round will).
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the leader for one scan round.
+    leader_active_ = true;
+    if (options_.window_us > 0 && queue_.size() < options_.max_batch) {
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(options_.window_us));
+      lock.lock();
+    }
+    // Claim queued requests of this leader's generation, FIFO, capped.
+    std::vector<Pending*> batch;
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < options_.max_batch;) {
+      if ((*it)->generation == request.generation) {
+        batch.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    lock.unlock();
+
+    // Identical selections (several sessions issuing the same popular
+    // query at once) are accumulated once and share the result.
+    std::vector<const Selection*> selections;
+    std::vector<size_t> unique_of(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      size_t u = selections.size();
+      for (size_t j = 0; j < selections.size(); ++j) {
+        if (*selections[j] == *batch[i]->selection) {
+          u = j;
+          break;
+        }
+      }
+      if (u == selections.size()) selections.push_back(batch[i]->selection);
+      unique_of[i] = u;
+    }
+    std::vector<SelectionSketches> built = SelectionSketches::BuildMany(
+        *request.table, *request.profile, selections, options_.num_threads,
+        options_.block_rows);
+    std::vector<std::shared_ptr<const SelectionSketches>> shared;
+    shared.reserve(built.size());
+    for (SelectionSketches& s : built) {
+      shared.push_back(std::make_shared<const SelectionSketches>(std::move(s)));
+    }
+
+    lock.lock();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i]->result = shared[unique_of[i]];
+      batch[i]->batch_size = batch.size();
+      batch[i]->done = true;
+    }
+    ++scans_;
+    requests_ += batch.size();
+    if (batch.size() > 1) coalesced_requests_ += batch.size();
+    max_batch_size_ = std::max<uint64_t>(max_batch_size_, batch.size());
+    leader_active_ = false;
+    cv_.notify_all();
+    // The leader's own request is of its generation and was in the queue,
+    // so it is in the batch whenever fewer than max_batch earlier
+    // same-generation requests preceded it; otherwise loop again.
+  }
+  if (coalesced != nullptr) *coalesced = request.batch_size > 1;
+  return request.result;
+}
+
+ScanBatcher::Stats ScanBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats st;
+  st.scans = scans_;
+  st.requests = requests_;
+  st.coalesced_requests = coalesced_requests_;
+  st.max_batch_size = max_batch_size_;
+  return st;
+}
+
+}  // namespace ziggy

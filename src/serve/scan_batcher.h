@@ -1,0 +1,94 @@
+// ScanBatcher: coalesces concurrent sketch-accumulation requests into one
+// blocked scan over the shared columns.
+//
+// Leader/follower protocol: the first thread to find no scan in flight
+// becomes the leader, claims every queued request against its table
+// generation (up to max_batch), and runs SelectionSketches::BuildMany —
+// one pass over the column data feeding all claimed requests. Followers
+// block until their request is fulfilled; requests that arrive while a
+// scan is in flight queue up and are claimed by the next leader, so under
+// contention batching emerges naturally, with no timer. An optional
+// coalescing window (window_us) lets the leader wait for stragglers —
+// useful for throughput benchmarks, off by default because it taxes
+// latency.
+//
+// Determinism: BuildMany guarantees each request's result is bit-identical
+// to a solo Build with the same thread count, so whether (and with whom) a
+// request got batched is observable only in the stats.
+
+#ifndef ZIGGY_SERVE_SCAN_BATCHER_H_
+#define ZIGGY_SERVE_SCAN_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "storage/selection.h"
+#include "storage/table.h"
+#include "zig/profile.h"
+#include "zig/selection_sketches.h"
+
+namespace ziggy {
+
+/// \brief Coalescing scan executor (thread-safe).
+class ScanBatcher {
+ public:
+  struct Options {
+    size_t max_batch = 16;
+    /// Extra microseconds a leader waits for stragglers before scanning
+    /// (0 = scan immediately; batching still happens under contention).
+    size_t window_us = 0;
+    /// Threads per scan (the Build/BuildMany knob; results depend on this,
+    /// never on batch composition).
+    size_t num_threads = 1;
+    size_t block_rows = 0;
+  };
+
+  struct Stats {
+    uint64_t scans = 0;             ///< BuildMany invocations
+    uint64_t requests = 0;          ///< requests served
+    uint64_t coalesced_requests = 0;///< requests that shared a scan
+    uint64_t max_batch_size = 0;    ///< largest batch observed
+  };
+
+  explicit ScanBatcher(const Options& options) : options_(options) {}
+
+  /// Builds inside sketches for `selection` over `table`/`profile`
+  /// (identified by `generation`; only same-generation requests are
+  /// batched together). Blocks until the result is ready; `coalesced` is
+  /// set iff the serving scan covered more than one request.
+  std::shared_ptr<const SelectionSketches> Build(const Table& table,
+                                                 const TableProfile& profile,
+                                                 uint64_t generation,
+                                                 const Selection& selection,
+                                                 bool* coalesced);
+
+  Stats stats() const;
+
+ private:
+  struct Pending {
+    const Table* table;
+    const TableProfile* profile;
+    uint64_t generation;
+    const Selection* selection;
+    std::shared_ptr<const SelectionSketches> result;
+    bool done = false;
+    size_t batch_size = 0;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending*> queue_;
+  bool leader_active_ = false;
+  uint64_t scans_ = 0;
+  uint64_t requests_ = 0;
+  uint64_t coalesced_requests_ = 0;
+  uint64_t max_batch_size_ = 0;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_SCAN_BATCHER_H_

@@ -1,0 +1,276 @@
+#include "serve/ziggy_server.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ziggy {
+
+ZiggyServer::ZiggyServer(ServeOptions options,
+                         std::shared_ptr<const ServingState> state)
+    : options_(std::move(options)),
+      state_(std::move(state)),
+      cache_(SketchCache::Options{options_.cache_shards, options_.cache_budget_bytes,
+                                  options_.near_miss_candidates}),
+      batcher_(ScanBatcher::Options{options_.max_batch, options_.batch_window_us,
+                                    options_.scan_threads,
+                                    options_.engine.build.block_size}) {}
+
+Result<std::unique_ptr<ZiggyServer>> ZiggyServer::Create(Table table,
+                                                         ServeOptions options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot serve an empty table");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(TableProfile profile,
+                         TableProfile::Compute(table, options.engine.profile));
+  ZIGGY_ASSIGN_OR_RETURN(Dendrogram dendrogram, BuildColumnDendrogram(profile));
+  auto state = std::make_shared<ServingState>();
+  state->snapshot = TableSnapshot(std::move(table), /*generation=*/0);
+  state->profile = std::make_shared<const TableProfile>(std::move(profile));
+  state->dendrogram = std::make_shared<const Dendrogram>(std::move(dendrogram));
+  return std::unique_ptr<ZiggyServer>(
+      new ZiggyServer(std::move(options), std::move(state)));
+}
+
+uint64_t ZiggyServer::OpenSession() { return OpenSession(options_.session); }
+
+uint64_t ZiggyServer::OpenSession(const SessionOptions& options) {
+  auto session = std::make_shared<Session>();
+  session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  session->options = options;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    sessions_.emplace(session->id, session);
+  }
+  sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  return session->id;
+}
+
+Status ZiggyServer::CloseSession(uint64_t session_id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) {
+      return Status::NotFound("no such session: " + std::to_string(session_id));
+    }
+    session = it->second;
+    sessions_.erase(it);
+  }
+  // Best-effort drain: waits for a request already holding the session
+  // mutex. A racing caller that resolved the session before this erase but
+  // has not locked yet may still complete afterwards — its shared_ptr
+  // keeps the session alive, so this is benign (the orphaned session just
+  // absorbs one last result).
+  std::lock_guard<std::mutex> drain(session->mu);
+  return Status::OK();
+}
+
+size_t ZiggyServer::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+std::shared_ptr<ZiggyServer::Session> ZiggyServer::FindSession(
+    uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ServingState> ZiggyServer::state() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+Status ZiggyServer::BindSession(Session* session,
+                                std::shared_ptr<const ServingState> state) {
+  ZIGGY_ASSIGN_OR_RETURN(
+      ZiggyEngine engine,
+      ZiggyEngine::CreateShared(state->snapshot.shared_table(), state->profile,
+                                state->dendrogram, options_.engine));
+  session->engine = std::make_unique<ZiggyEngine>(std::move(engine));
+  session->engine_generation = state->generation();
+  // The provider captures the state handle: even if the server moves to a
+  // newer generation mid-request, this request keeps scanning the
+  // generation its selection was evaluated on.
+  ZiggyServer* server = this;
+  std::shared_ptr<const ServingState> held = std::move(state);
+  session->engine->set_sketch_provider(
+      [server, held](const Selection& selection,
+                     uint64_t fingerprint) -> std::optional<ProvidedSketches> {
+        return server->ProvideSketches(*held, selection, fingerprint);
+      });
+  return Status::OK();
+}
+
+std::optional<ProvidedSketches> ZiggyServer::ProvideSketches(
+    const ServingState& state, const Selection& selection, uint64_t fingerprint) {
+  ProvidedSketches out;
+  if (options_.cache_enabled) {
+    if (auto hit = cache_.FindExact(fingerprint, state.generation());
+        hit != nullptr && hit->selection.num_rows() == selection.num_rows()) {
+      sketch_exact_hits_.fetch_add(1, std::memory_order_relaxed);
+      out.inside = hit->inside;
+      out.source = SketchSource::kCacheExact;
+      return out;
+    }
+    if (options_.patch_near_misses) {
+      const size_t budget = static_cast<size_t>(
+          options_.max_patch_fraction * static_cast<double>(selection.Count()));
+      size_t delta = 0;
+      auto base = cache_.FindNearest(selection, state.generation(), budget, &delta);
+      if (base != nullptr && delta > 0) {
+        // Patch a copy of the cached sketches row-by-row over the XOR
+        // delta — the same machinery the Preparer uses between a user's
+        // own consecutive queries, here applied across sessions.
+        auto patched = std::make_shared<SelectionSketches>(*base->inside);
+        const auto& want_words = selection.words();
+        const auto& have_words = base->selection.words();
+        for (size_t w = 0; w < want_words.size(); ++w) {
+          uint64_t diff = want_words[w] ^ have_words[w];
+          const size_t word_base = w * Selection::kWordBits;
+          while (diff != 0) {
+            const size_t r =
+                word_base + static_cast<size_t>(std::countr_zero(diff));
+            diff &= diff - 1;
+            if (selection.Contains(r)) {
+              patched->AddRow(state.table(), *state.profile, r);
+            } else {
+              patched->RemoveRow(state.table(), *state.profile, r);
+            }
+          }
+        }
+        cache_.Insert(selection, fingerprint, patched, state.generation());
+        sketch_patched_hits_.fetch_add(1, std::memory_order_relaxed);
+        patched_delta_rows_.fetch_add(delta, std::memory_order_relaxed);
+        out.inside = std::move(patched);
+        out.source = SketchSource::kCachePatched;
+        out.delta_rows = delta;
+        return out;
+      }
+    }
+  }
+  bool coalesced = false;
+  std::shared_ptr<const SelectionSketches> built = batcher_.Build(
+      state.table(), *state.profile, state.generation(), selection, &coalesced);
+  if (options_.cache_enabled) {
+    cache_.Insert(selection, fingerprint, built, state.generation());
+  }
+  sketch_misses_.fetch_add(1, std::memory_order_relaxed);
+  out.inside = std::move(built);
+  out.source = SketchSource::kCoalescedScan;
+  out.coalesced = coalesced;
+  return out;
+}
+
+Result<Characterization> ZiggyServer::Characterize(uint64_t session_id,
+                                                   const std::string& query_text) {
+  std::shared_ptr<Session> session = FindSession(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<const ServingState> current = state();
+  if (session->engine == nullptr ||
+      session->engine_generation != current->generation()) {
+    ZIGGY_RETURN_NOT_OK(BindSession(session.get(), current));
+  }
+
+  Result<Characterization> result = session->engine->CharacterizeQuery(query_text);
+  ++session->stats.queries_run;
+  if (!result.ok()) {
+    ++session->stats.queries_failed;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  ObserveCharacterization(&result.ValueOrDie(), session->options.novelty,
+                          &session->novelty, &session->stats);
+  return result;
+}
+
+Status ZiggyServer::Append(const Table& rows) {
+  // One append at a time; concurrent characterize traffic continues on the
+  // current generation throughout.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  std::shared_ptr<const ServingState> current = state();
+
+  ZIGGY_ASSIGN_OR_RETURN(TableSnapshot next_snapshot,
+                         current->snapshot.WithAppendedRows(rows));
+  auto next_profile = std::make_shared<TableProfile>(*current->profile);
+  ZIGGY_ASSIGN_OR_RETURN(
+      ProfileAppendEffects effects,
+      next_profile->ApplyAppend(next_snapshot.table(),
+                                current->snapshot.table().num_rows()));
+  ZIGGY_ASSIGN_OR_RETURN(Dendrogram dendrogram,
+                         BuildColumnDendrogram(*next_profile));
+
+  auto next = std::make_shared<ServingState>();
+  next->snapshot = std::move(next_snapshot);
+  next->profile = std::move(next_profile);
+  next->dendrogram = std::make_shared<const Dendrogram>(std::move(dendrogram));
+
+  if (options_.cache_enabled) {
+    if (effects.invalidates_sketches()) {
+      // Bin edges or category sets moved: cached sketches are no longer
+      // complement-subtractable against the new profile.
+      cache_.Clear();
+      cache_flushes_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Appended rows are outside every cached selection: resize + re-key,
+      // keep the accumulated sketches. Entries of other generations (stale
+      // inserts from requests that outlived an earlier flush) are dropped.
+      const size_t migrated = cache_.MigrateToAppendedRows(
+          next->snapshot.table().num_rows(), current->generation(),
+          next->generation());
+      cache_migrated_.fetch_add(migrated, std::memory_order_relaxed);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    state_ = std::move(next);
+  }
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  appended_rows_.fetch_add(effects.rows_appended, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<SessionStats> ZiggyServer::GetSessionStats(uint64_t session_id) const {
+  std::shared_ptr<Session> session = FindSession(session_id);
+  if (session == nullptr) {
+    return Status::NotFound("no such session: " + std::to_string(session_id));
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  return session->stats;
+}
+
+void ZiggyServer::FlushSketchCache() { cache_.Clear(); }
+
+ServeStats ZiggyServer::stats() const {
+  ServeStats st;
+  st.requests = requests_.load(std::memory_order_relaxed);
+  st.failures = failures_.load(std::memory_order_relaxed);
+  st.sketch_exact_hits = sketch_exact_hits_.load(std::memory_order_relaxed);
+  st.sketch_patched_hits = sketch_patched_hits_.load(std::memory_order_relaxed);
+  st.sketch_misses = sketch_misses_.load(std::memory_order_relaxed);
+  st.patched_delta_rows = patched_delta_rows_.load(std::memory_order_relaxed);
+  const ScanBatcher::Stats scan = batcher_.stats();
+  st.scans = scan.scans;
+  st.coalesced_requests = scan.coalesced_requests;
+  st.max_batch_size = scan.max_batch_size;
+  st.appends = appends_.load(std::memory_order_relaxed);
+  st.appended_rows = appended_rows_.load(std::memory_order_relaxed);
+  st.cache_flushes = cache_flushes_.load(std::memory_order_relaxed);
+  st.cache_migrated_entries = cache_migrated_.load(std::memory_order_relaxed);
+  st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  st.generation = state()->generation();
+  st.cache = cache_.stats();
+  return st;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,195 @@
+// ZiggyServer: the concurrent multi-session serving layer.
+//
+// One server owns one logical table and everything derived from it — the
+// TableProfile, the column dendrogram, and a shared cache of accumulated
+// SelectionSketches — and multiplexes any number of exploration sessions
+// over that state concurrently. The design is three nested layers of
+// sharing:
+//
+//   per request   the engine's component cache (exact repeated query)
+//   per server    the SketchCache (same/overlapping selections across
+//                 sessions: exact fingerprint reuse + XOR-delta patching)
+//                 and the ScanBatcher (concurrent cold misses coalesce
+//                 into one blocked scan)
+//   per table     the profile/dendrogram snapshot, swapped atomically on
+//                 append; readers keep the generation they started on
+//
+// Concurrency model: immutable snapshots + per-session locks + sharded
+// cache locks. A characterize request takes exactly one session mutex (its
+// own) and brief per-shard cache mutexes; appends build the next
+// generation off to the side and swap a pointer. Per-session results are
+// deterministic: they depend on the session's own request order, the
+// append schedule, and scan_threads — never on cross-session interleaving
+// (see tests/serve_stress_test.cc, which byte-matches a concurrent run
+// against a single-threaded replay).
+
+#ifndef ZIGGY_SERVE_ZIGGY_SERVER_H_
+#define ZIGGY_SERVE_ZIGGY_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/session.h"
+#include "engine/ziggy_engine.h"
+#include "serve/scan_batcher.h"
+#include "serve/sketch_cache.h"
+#include "storage/snapshot.h"
+
+namespace ziggy {
+
+/// \brief Serving-layer knobs on top of the per-session engine options.
+struct ServeOptions {
+  ZiggyOptions engine;      ///< per-session pipeline knobs
+  SessionOptions session;   ///< default novelty policy for new sessions
+
+  bool cache_enabled = true;
+  size_t cache_shards = 8;
+  size_t cache_budget_bytes = 64ull << 20;
+
+  /// Reuse an overlapping cached selection by patching the XOR delta
+  /// through AddRow/RemoveRow. Patching changes floating-point summation
+  /// order (exact integer statistics are unaffected); disable for
+  /// bit-reproducible replays.
+  bool patch_near_misses = true;
+  /// Patch only when the delta is below this fraction of the selection's
+  /// cardinality (otherwise a fresh scan is cheaper).
+  double max_patch_fraction = 0.5;
+  /// MRU entries per cache shard examined as patch bases.
+  size_t near_miss_candidates = 8;
+
+  size_t scan_threads = 1;   ///< threads per (possibly shared) scan
+  size_t max_batch = 16;     ///< requests coalesced per scan
+  size_t batch_window_us = 0;///< leader's straggler wait (0 = none)
+};
+
+/// \brief Monotonic serving counters (one consistent snapshot).
+struct ServeStats {
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  uint64_t sketch_exact_hits = 0;
+  uint64_t sketch_patched_hits = 0;
+  uint64_t sketch_misses = 0;
+  uint64_t patched_delta_rows = 0;
+  uint64_t scans = 0;
+  uint64_t coalesced_requests = 0;
+  uint64_t max_batch_size = 0;
+  uint64_t appends = 0;
+  uint64_t appended_rows = 0;
+  uint64_t cache_flushes = 0;
+  uint64_t cache_migrated_entries = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t generation = 0;
+  CacheStats cache;
+};
+
+/// \brief One table generation plus everything derived from it. Immutable;
+/// shared by every request that started on it.
+struct ServingState {
+  TableSnapshot snapshot;
+  std::shared_ptr<const TableProfile> profile;
+  std::shared_ptr<const Dendrogram> dendrogram;
+
+  uint64_t generation() const { return snapshot.generation(); }
+  const Table& table() const { return snapshot.table(); }
+};
+
+/// \brief The concurrent serving layer. All public methods are
+/// thread-safe.
+class ZiggyServer {
+ public:
+  /// Profiles `table` (the one-off cost) and starts serving generation 0.
+  static Result<std::unique_ptr<ZiggyServer>> Create(Table table,
+                                                     ServeOptions options = {});
+
+  /// Opens a session with the server's default novelty policy (or an
+  /// explicit one) and returns its id.
+  uint64_t OpenSession();
+  uint64_t OpenSession(const SessionOptions& options);
+  Status CloseSession(uint64_t session_id);
+  size_t num_sessions() const;
+
+  /// Characterizes a query inside a session: parse → evaluate on the
+  /// current snapshot → shared sketch cache / coalesced scan → view search
+  /// → novelty policy.
+  Result<Characterization> Characterize(uint64_t session_id,
+                                        const std::string& query_text);
+
+  /// Appends rows (same schema) as a new table generation: profile and
+  /// cached sketches are updated through the incremental delta machinery —
+  /// no full rescan unless a column's value range or category set grew, in
+  /// which case the sketch cache is flushed (the profile itself still
+  /// updates incrementally, re-binning only the affected columns).
+  /// In-flight requests keep reading the generation they started on.
+  Status Append(const Table& rows);
+
+  /// Aggregate session statistics (novelty counters, per-stage times).
+  Result<SessionStats> GetSessionStats(uint64_t session_id) const;
+
+  void FlushSketchCache();
+  ServeStats stats() const;
+
+  /// Current state handle (generation, table, profile). Callers may hold
+  /// it across appends; it never mutates.
+  std::shared_ptr<const ServingState> state() const;
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    mutable std::mutex mu;
+    uint64_t id = 0;
+    SessionOptions options;
+    /// Generation the engine below was built against; rebuilt lazily when
+    /// the server has moved on (the tracker survives rebuilds).
+    uint64_t engine_generation = ~uint64_t{0};
+    std::unique_ptr<ZiggyEngine> engine;
+    NoveltyTracker novelty;
+    SessionStats stats;
+  };
+
+  ZiggyServer(ServeOptions options, std::shared_ptr<const ServingState> state);
+
+  std::shared_ptr<Session> FindSession(uint64_t session_id) const;
+  /// Rebuilds `session`'s engine against `state` and installs the sketch
+  /// provider. Caller holds the session mutex.
+  Status BindSession(Session* session, std::shared_ptr<const ServingState> state);
+  /// The SketchProvider body: exact hit → near-miss patch → coalesced scan.
+  std::optional<ProvidedSketches> ProvideSketches(const ServingState& state,
+                                                  const Selection& selection,
+                                                  uint64_t fingerprint);
+
+  ServeOptions options_;
+
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ServingState> state_;
+  std::mutex append_mu_;  ///< serializes generation building
+
+  mutable std::mutex sessions_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<uint64_t> next_session_id_{1};
+
+  SketchCache cache_;
+  ScanBatcher batcher_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> failures_{0};
+  std::atomic<uint64_t> sketch_exact_hits_{0};
+  std::atomic<uint64_t> sketch_patched_hits_{0};
+  std::atomic<uint64_t> sketch_misses_{0};
+  std::atomic<uint64_t> patched_delta_rows_{0};
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> appended_rows_{0};
+  std::atomic<uint64_t> cache_flushes_{0};
+  std::atomic<uint64_t> cache_migrated_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_ZIGGY_SERVER_H_

@@ -37,9 +37,19 @@ Selection Selection::FromBytes(const std::vector<uint8_t>& flags) {
   return s;
 }
 
+void Selection::Resize(size_t new_num_rows) {
+  words_.resize(NumWordsFor(new_num_rows), 0);
+  num_rows_ = new_num_rows;
+  ClearTailBits();
+  InvalidateMemo();
+}
+
 size_t Selection::Count() const {
+  const size_t memo = count_memo_.load(std::memory_order_relaxed);
+  if (memo != kNoCount) return memo;
   size_t n = 0;
   for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  count_memo_.store(n, std::memory_order_relaxed);
   return n;
 }
 
@@ -82,6 +92,15 @@ std::vector<size_t> Selection::ToIndices() const {
   out.reserve(Count());
   ForEachSetBit([&out](size_t row) { out.push_back(row); });
   return out;
+}
+
+size_t Selection::HammingDistance(const Selection& other) const {
+  ZIGGY_CHECK(num_rows_ == other.num_rows_);
+  size_t n = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    n += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  }
+  return n;
 }
 
 double Selection::Jaccard(const Selection& other) const {

@@ -13,14 +13,23 @@
 #ifndef ZIGGY_STORAGE_SELECTION_H_
 #define ZIGGY_STORAGE_SELECTION_H_
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace ziggy {
 
 /// \brief Row bitmap over a table; one bit per row, packed 64 rows/word.
+///
+/// Count() is memoized (selections are counted repeatedly on the serving
+/// path: cache-admission checks, near-miss patch budgeting, validation).
+/// The memo is invalidated by every in-place mutation (Set, Resize) and
+/// uses a relaxed atomic so concurrent readers of a shared immutable
+/// Selection may race only on writing the *same* value.
 class Selection {
  public:
   /// Rows per storage word.
@@ -30,6 +39,38 @@ class Selection {
   /// All rows unselected.
   explicit Selection(size_t num_rows)
       : num_rows_(num_rows), words_(NumWordsFor(num_rows), 0) {}
+
+  Selection(const Selection& other)
+      : num_rows_(other.num_rows_),
+        words_(other.words_),
+        count_memo_(other.count_memo_.load(std::memory_order_relaxed)) {}
+  Selection(Selection&& other) noexcept
+      : num_rows_(other.num_rows_),
+        words_(std::move(other.words_)),
+        count_memo_(other.count_memo_.load(std::memory_order_relaxed)) {
+    other.num_rows_ = 0;
+    other.count_memo_.store(kNoCount, std::memory_order_relaxed);
+  }
+  Selection& operator=(const Selection& other) {
+    if (this != &other) {
+      num_rows_ = other.num_rows_;
+      words_ = other.words_;
+      count_memo_.store(other.count_memo_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Selection& operator=(Selection&& other) noexcept {
+    if (this != &other) {
+      num_rows_ = other.num_rows_;
+      words_ = std::move(other.words_);
+      count_memo_.store(other.count_memo_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      other.num_rows_ = 0;
+      other.count_memo_.store(kNoCount, std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
   /// All rows selected.
   static Selection All(size_t num_rows);
@@ -42,18 +83,28 @@ class Selection {
   size_t num_words() const { return words_.size(); }
 
   bool Contains(size_t row) const {
+    ZIGGY_DCHECK(row < num_rows_);
     return (words_[row / kWordBits] >> (row % kWordBits)) & 1u;
   }
   void Set(size_t row, bool on = true) {
+    ZIGGY_DCHECK(row < num_rows_);
     const uint64_t mask = uint64_t{1} << (row % kWordBits);
     if (on) {
       words_[row / kWordBits] |= mask;
     } else {
       words_[row / kWordBits] &= ~mask;
     }
+    InvalidateMemo();
   }
 
-  /// Number of selected rows (popcount over words).
+  /// Resizes the bitmap in place to `new_num_rows`. Growing leaves all
+  /// existing rows' bits intact and adds unselected rows (the serving
+  /// layer's append migration: a cached selection over N rows is still the
+  /// same row set over N+k rows). Shrinking truncates and re-establishes
+  /// the tail-word invariant (unused high bits zero).
+  void Resize(size_t new_num_rows);
+
+  /// Number of selected rows (popcount over words, memoized).
   size_t Count() const;
 
   /// Number of selected rows among rows [word_begin*64, word_end*64).
@@ -73,6 +124,11 @@ class Selection {
   /// are empty. Used by the engine's shared-computation cache to detect
   /// near-duplicate exploration queries.
   double Jaccard(const Selection& other) const;
+
+  /// |A XOR B|: number of rows on which the two selections disagree — the
+  /// exact cost of patching a cached sketch of `other` into one of `this`
+  /// via AddRow/RemoveRow. Sizes must match.
+  size_t HammingDistance(const Selection& other) const;
 
   /// Stable content fingerprint (FNV-1a over the packed words), used as a
   /// cache key.
@@ -112,12 +168,19 @@ class Selection {
   }
 
  private:
+  /// Sentinel for "count not memoized" (a real count never exceeds
+  /// num_rows_, so SIZE_MAX is unreachable).
+  static constexpr size_t kNoCount = static_cast<size_t>(-1);
+
   /// Zeroes the unused high bits of the tail word (invariant after every
   /// whole-bitmap operation).
   void ClearTailBits();
 
+  void InvalidateMemo() { count_memo_.store(kNoCount, std::memory_order_relaxed); }
+
   size_t num_rows_ = 0;
   std::vector<uint64_t> words_;
+  mutable std::atomic<size_t> count_memo_{kNoCount};
 };
 
 }  // namespace ziggy

@@ -1,0 +1,49 @@
+// TableSnapshot: an immutable, reference-counted table generation.
+//
+// The serving layer never mutates a table in place. An append produces a
+// *new* snapshot (generation + 1) and swaps the server's current pointer;
+// requests that are mid-flight keep reading the snapshot they started on
+// through their shared_ptr, so concurrent reads need no locking and no
+// copy. This is the engine-resident analogue of MVCC's "readers never
+// block writers": the only synchronized operation is the pointer swap.
+
+#ifndef ZIGGY_STORAGE_SNAPSHOT_H_
+#define ZIGGY_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief Shared-ownership handle to one immutable table generation.
+class TableSnapshot {
+ public:
+  TableSnapshot() = default;
+  explicit TableSnapshot(Table table, uint64_t generation = 0)
+      : table_(std::make_shared<const Table>(std::move(table))),
+        generation_(generation) {}
+
+  const Table& table() const { return *table_; }
+  const std::shared_ptr<const Table>& shared_table() const { return table_; }
+  uint64_t generation() const { return generation_; }
+  bool empty() const { return table_ == nullptr; }
+
+  /// Next generation with `tail`'s rows appended (this snapshot is
+  /// untouched; holders keep reading it).
+  Result<TableSnapshot> WithAppendedRows(const Table& tail) const {
+    ZIGGY_ASSIGN_OR_RETURN(Table next, table_->WithAppendedRows(tail));
+    return TableSnapshot(std::move(next), generation_ + 1);
+  }
+
+ private:
+  std::shared_ptr<const Table> table_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_SNAPSHOT_H_

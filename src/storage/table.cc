@@ -60,6 +60,39 @@ Table Table::Filter(const Selection& selection) const {
   return std::move(res).ValueOrDie();
 }
 
+Result<Table> Table::WithAppendedRows(const Table& tail) const {
+  if (tail.num_columns() != num_columns()) {
+    return Status::InvalidArgument(
+        "appended rows have " + std::to_string(tail.num_columns()) +
+        " columns, expected " + std::to_string(num_columns()));
+  }
+  std::vector<Column> out;
+  out.reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& base = columns_[i];
+    const Column& add = tail.columns_[i];
+    if (add.name() != base.name() || add.type() != base.type()) {
+      return Status::InvalidArgument(
+          "appended column " + std::to_string(i) + " is '" + add.name() +
+          "', expected '" + base.name() + "' of the same type");
+    }
+    Column merged = base;  // copies data and, for categoricals, the dictionary
+    if (base.is_numeric()) {
+      for (double v : add.numeric_data()) merged.AppendNumeric(v);
+    } else {
+      for (CategoryCode code : add.codes()) {
+        if (code == kNullCategory) {
+          merged.AppendLabel("");
+        } else {
+          merged.AppendLabel(add.dictionary()[static_cast<size_t>(code)]);
+        }
+      }
+    }
+    out.push_back(std::move(merged));
+  }
+  return FromColumns(std::move(out));
+}
+
 Result<Table> Table::Project(const std::vector<std::string>& names) const {
   std::vector<Column> out;
   out.reserve(names.size());

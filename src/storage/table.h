@@ -43,6 +43,14 @@ class Table {
   /// New table with only the named columns, in the given order.
   Result<Table> Project(const std::vector<std::string>& names) const;
 
+  /// New table with `tail`'s rows appended. `tail` must have the same
+  /// column names and types in the same order; categorical labels are
+  /// re-interned, so the two tables' dictionaries need not match (the base
+  /// dictionary is extended in place for unseen labels). This is the
+  /// substrate of the serving layer's incremental-append path: the base
+  /// table is never mutated, a new immutable generation is produced.
+  Result<Table> WithAppendedRows(const Table& tail) const;
+
   /// Renders rows [begin, end) as an aligned ASCII table (for examples).
   std::string Preview(size_t begin, size_t end) const;
 

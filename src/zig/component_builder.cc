@@ -330,10 +330,8 @@ Result<ComponentTable> BuildComponentsFromSketches(
   return out;
 }
 
-namespace {
-
-Status ValidateSelection(const Table& table, const TableProfile& profile,
-                         const Selection& selection) {
+Status ValidateCharacterizationInput(const Table& table, const TableProfile& profile,
+                                     const Selection& selection) {
   if (selection.num_rows() != table.num_rows()) {
     return Status::InvalidArgument("selection size does not match table row count");
   }
@@ -352,12 +350,10 @@ Status ValidateSelection(const Table& table, const TableProfile& profile,
   return Status::OK();
 }
 
-}  // namespace
-
 Result<ComponentTable> BuildComponents(const Table& table, const TableProfile& profile,
                                        const Selection& selection,
                                        const ComponentBuildOptions& options) {
-  ZIGGY_RETURN_NOT_OK(ValidateSelection(table, profile, selection));
+  ZIGGY_RETURN_NOT_OK(ValidateCharacterizationInput(table, profile, selection));
 
   SelectionSketches inside = SelectionSketches::Build(
       table, profile, selection, options.num_threads, options.block_size);
@@ -386,7 +382,7 @@ void Preparer::Reset() {
 }
 
 Result<ComponentTable> Preparer::Prepare(const Selection& selection) {
-  ZIGGY_RETURN_NOT_OK(ValidateSelection(*table_, *profile_, selection));
+  ZIGGY_RETURN_NOT_OK(ValidateCharacterizationInput(*table_, *profile_, selection));
   last_delta_rows_ = 0;
 
   if (options_.mode == PreparationMode::kTwoScan) {

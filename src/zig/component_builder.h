@@ -60,6 +60,14 @@ struct ComponentBuildOptions {
   bool operator==(const ComponentBuildOptions&) const = default;
 };
 
+/// \brief Validates a (table, profile, selection) triple for
+/// characterization: matching shapes, and a selection that is neither
+/// empty nor the whole table (Ziggy characterizes a selection *against its
+/// complement*, paper Figure 2). Shared by BuildComponents, the Preparer,
+/// and the serving layer's cached-sketch path.
+Status ValidateCharacterizationInput(const Table& table, const TableProfile& profile,
+                                     const Selection& selection);
+
 /// \brief Builds the ComponentTable for one query.
 ///
 /// Fails when the selection is empty or covers the whole table: Ziggy

@@ -44,6 +44,25 @@ double CramersVFromTable(const std::vector<int64_t>& table, size_t rows, size_t 
   return std::sqrt(std::clamp(chi2 / (static_cast<double>(n) * k), 0.0, 1.0));
 }
 
+// Correlation ratio eta from per-category group moments; -1.0 when there
+// are too few observations (sentinel: such pairs are never tracked and
+// their dependency entry is left untouched).
+double EtaFromGroupMoments(const std::vector<MomentSketch>& groups) {
+  MomentSketch total;
+  double ss_between = 0.0;
+  for (const auto& g : groups) total.Merge(g);
+  if (total.count < 2) return -1.0;
+  const double grand_mean = total.Mean();
+  for (const auto& g : groups) {
+    if (g.count == 0) continue;
+    const double d = g.Mean() - grand_mean;
+    ss_between += static_cast<double>(g.count) * d * d;
+  }
+  const double n = static_cast<double>(total.count);
+  const double ss_total = std::max(0.0, total.sum_sq - total.sum * total.sum / n);
+  return ss_total > 0.0 ? std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0)) : 0.0;
+}
+
 }  // namespace
 
 size_t HistogramBinOf(double v, double lo, double hi, size_t bins) {
@@ -96,8 +115,11 @@ Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions op
         for (size_t r = 0; r < data.size(); ++r) {
           if (!IsNullNumeric(data[r])) order.push_back(static_cast<uint32_t>(r));
         }
-        std::sort(order.begin(), order.end(),
-                  [&data](uint32_t a, uint32_t b) { return data[a] < data[b]; });
+        // Row-id tiebreak: ties sort deterministically, so the append
+        // path's sorted-run merge reproduces Compute's order exactly.
+        std::sort(order.begin(), order.end(), [&data](uint32_t a, uint32_t b) {
+          return data[a] < data[b] || (data[a] == data[b] && a < b);
+        });
       }
       if (options.histogram_bins > 0) {
         auto& hist = p.histograms_[c];
@@ -191,24 +213,7 @@ Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions op
       if (code == kNullCategory || IsNullNumeric(x[r])) continue;
       gm.groups[static_cast<size_t>(code)].Add(x[r]);
     }
-    // Correlation ratio eta from group moments.
-    MomentSketch total;
-    double ss_between = 0.0;
-    for (const auto& g : gm.groups) total.Merge(g);
-    if (total.count < 2) {
-      mpair_eta[idx] = -1.0;  // sentinel: too few observations, never tracked
-      return;
-    }
-    const double grand_mean = total.Mean();
-    for (const auto& g : gm.groups) {
-      if (g.count == 0) continue;
-      const double d = g.Mean() - grand_mean;
-      ss_between += static_cast<double>(g.count) * d * d;
-    }
-    const double n = static_cast<double>(total.count);
-    const double ss_total = std::max(0.0, total.sum_sq - total.sum * total.sum / n);
-    mpair_eta[idx] =
-        ss_total > 0.0 ? std::sqrt(std::clamp(ss_between / ss_total, 0.0, 1.0)) : 0.0;
+    mpair_eta[idx] = EtaFromGroupMoments(gm.groups);
   });
   for (size_t idx = 0; idx < mpair_list.size(); ++idx) {
     const double eta = mpair_eta[idx];
@@ -262,6 +267,174 @@ Result<TableProfile> TableProfile::Compute(const Table& table, ProfileOptions op
   }
 
   return p;
+}
+
+Result<ProfileAppendEffects> TableProfile::ApplyAppend(const Table& new_table,
+                                                       size_t old_num_rows) {
+  if (new_table.num_columns() != num_columns_) {
+    return Status::InvalidArgument("appended table does not match profile column count");
+  }
+  const size_t new_rows = new_table.num_rows();
+  if (new_rows < old_num_rows) {
+    return Status::InvalidArgument("appended table has fewer rows than the profile");
+  }
+  ProfileAppendEffects fx;
+  fx.rows_appended = new_rows - old_num_rows;
+  const size_t m = num_columns_;
+
+  // Pre-append categorical cardinalities: the shapes of count vectors and
+  // contingency tables before the dictionary possibly grew.
+  std::vector<size_t> old_cardinality(m, 0);
+  for (size_t c = 0; c < m; ++c) {
+    if (new_table.column(c).is_categorical()) {
+      old_cardinality[c] = category_counts_[c].size();
+    }
+  }
+
+  // ---- Column-level updates ----------------------------------------------
+  for (size_t c = 0; c < m; ++c) {
+    const Column& col = new_table.column(c);
+    if (col.is_numeric()) {
+      const auto& data = col.numeric_data();
+      auto [lo, hi] = ranges_[c];
+      bool had_values = column_sketches_[c].count > 0;
+      bool extended = false;
+      for (size_t r = old_num_rows; r < new_rows; ++r) {
+        const double v = data[r];
+        if (IsNullNumeric(v)) continue;
+        column_sketches_[c].Add(v);
+        if (!had_values) {
+          lo = hi = v;
+          had_values = true;
+          extended = true;
+        } else {
+          if (v < lo) {
+            lo = v;
+            extended = true;
+          }
+          if (v > hi) {
+            hi = v;
+            extended = true;
+          }
+        }
+      }
+      if (extended) {
+        ranges_[c] = {lo, hi};
+        fx.ranges_extended = true;
+      }
+      if (options_.cache_sort_orders) {
+        auto& order = sort_orders_[c];
+        const size_t old_size = order.size();
+        for (size_t r = old_num_rows; r < new_rows; ++r) {
+          if (!IsNullNumeric(data[r])) order.push_back(static_cast<uint32_t>(r));
+        }
+        const auto by_value = [&data](uint32_t a, uint32_t b) {
+          return data[a] < data[b] || (data[a] == data[b] && a < b);
+        };
+        std::sort(order.begin() + static_cast<int64_t>(old_size), order.end(),
+                  by_value);
+        std::inplace_merge(order.begin(),
+                           order.begin() + static_cast<int64_t>(old_size),
+                           order.end(), by_value);
+      }
+      if (!histograms_[c].empty()) {
+        auto& hist = histograms_[c];
+        const auto [rlo, rhi] = ranges_[c];
+        const HistogramBinner binner = HistogramBinner::Make(rlo, rhi, hist.size());
+        if (extended) {
+          // The bin edges moved: re-bin the whole column (this column
+          // only; the rest of the profile stays incremental).
+          hist.assign(hist.size(), 0);
+          for (double v : data) {
+            if (!IsNullNumeric(v)) ++hist[binner.BinOf(v)];
+          }
+          fx.rebinned_columns.push_back(c);
+        } else {
+          for (size_t r = old_num_rows; r < new_rows; ++r) {
+            const double v = data[r];
+            if (!IsNullNumeric(v)) ++hist[binner.BinOf(v)];
+          }
+        }
+      }
+    } else {
+      if (col.cardinality() > category_counts_[c].size()) {
+        category_counts_[c].resize(col.cardinality(), 0);
+        fx.categories_added = true;
+      }
+      const auto& codes = col.codes();
+      for (size_t r = old_num_rows; r < new_rows; ++r) {
+        const CategoryCode code = codes[r];
+        if (code != kNullCategory) ++category_counts_[c][static_cast<size_t>(code)];
+      }
+    }
+  }
+
+  // ---- Tracked pair updates ----------------------------------------------
+  // Membership is frozen; statistics and the dependency entries of tracked
+  // pairs are refreshed exactly from the updated sketches.
+  for (size_t i = 0; i < tracked_numeric_pairs_.size(); ++i) {
+    const auto [a, b] = tracked_numeric_pairs_[i];
+    const auto& x = new_table.column(a).numeric_data();
+    const auto& y = new_table.column(b).numeric_data();
+    PairMomentSketch& s = numeric_pair_sketches_[i];
+    for (size_t r = old_num_rows; r < new_rows; ++r) {
+      if (!IsNullNumeric(x[r]) && !IsNullNumeric(y[r])) s.Add(x[r], y[r]);
+    }
+    const double dep = std::fabs(s.Correlation());
+    dependency_[a * m + b] = dep;
+    dependency_[b * m + a] = dep;
+  }
+  for (size_t i = 0; i < tracked_mixed_pairs_.size(); ++i) {
+    const auto [cc, nc] = tracked_mixed_pairs_[i];
+    const Column& cat = new_table.column(cc);
+    const auto& x = new_table.column(nc).numeric_data();
+    auto& groups = mixed_pair_groups_[i].groups;
+    if (cat.cardinality() > groups.size()) {
+      groups.resize(cat.cardinality());
+      fx.categories_added = true;
+    }
+    for (size_t r = old_num_rows; r < new_rows; ++r) {
+      const CategoryCode code = cat.codes()[r];
+      if (code == kNullCategory || IsNullNumeric(x[r])) continue;
+      groups[static_cast<size_t>(code)].Add(x[r]);
+    }
+    const double eta = EtaFromGroupMoments(groups);
+    if (eta >= 0.0) {
+      dependency_[cc * m + nc] = eta;
+      dependency_[nc * m + cc] = eta;
+    }
+  }
+  for (size_t i = 0; i < tracked_categorical_pairs_.size(); ++i) {
+    const auto [ca, cb] = tracked_categorical_pairs_[i];
+    const Column& a = new_table.column(ca);
+    const Column& b = new_table.column(cb);
+    const size_t new_ka = a.cardinality();
+    const size_t new_kb = b.cardinality();
+    const size_t old_ka = old_cardinality[ca];
+    const size_t old_kb = old_cardinality[cb];
+    auto& ct = categorical_pair_tables_[i];
+    if (new_ka != old_ka || new_kb != old_kb) {
+      // Re-stride the row-major table into the grown shape.
+      std::vector<int64_t> grown(new_ka * new_kb, 0);
+      for (size_t i0 = 0; i0 < old_ka; ++i0) {
+        for (size_t j0 = 0; j0 < old_kb; ++j0) {
+          grown[i0 * new_kb + j0] = ct[i0 * old_kb + j0];
+        }
+      }
+      ct = std::move(grown);
+    }
+    for (size_t r = old_num_rows; r < new_rows; ++r) {
+      const CategoryCode cai = a.codes()[r];
+      const CategoryCode cbi = b.codes()[r];
+      if (cai == kNullCategory || cbi == kNullCategory) continue;
+      ++ct[static_cast<size_t>(cai) * new_kb + static_cast<size_t>(cbi)];
+    }
+    const double v = CramersVFromTable(ct, new_ka, new_kb);
+    dependency_[ca * m + cb] = v;
+    dependency_[cb * m + ca] = v;
+  }
+
+  return fx;
 }
 
 double TableProfile::Dependency(size_t a, size_t b) const {

@@ -91,11 +91,46 @@ struct GroupedMoments {
   std::vector<MomentSketch> groups;
 };
 
+/// \brief What an incremental append did to the profile — consumed by the
+/// serving layer to decide whether cached selection sketches survived.
+struct ProfileAppendEffects {
+  size_t rows_appended = 0;
+  /// Some numeric column's [min, max] grew: its histogram was re-binned
+  /// (full column rescan for that column only), and any sketch binned with
+  /// the old binner is no longer complement-subtractable.
+  bool ranges_extended = false;
+  /// Some categorical column gained dictionary entries: per-column count
+  /// vectors and contingency tables changed shape.
+  bool categories_added = false;
+  /// Columns whose histograms were rebuilt from a full column scan.
+  std::vector<size_t> rebinned_columns;
+
+  /// Cached sketches shaped by the pre-append profile remain subtractable
+  /// only when neither ranges nor category sets moved.
+  bool invalidates_sketches() const { return ranges_extended || categories_added; }
+};
+
 /// \brief Shared per-table statistics. Compute once, reuse per query.
 class TableProfile {
  public:
   /// Builds the profile with full scans of the table.
   static Result<TableProfile> Compute(const Table& table, ProfileOptions options = {});
+
+  /// Updates this profile in place for rows [old_num_rows,
+  /// new_table.num_rows()) of `new_table` (the post-append generation whose
+  /// prefix is the table this profile was computed from). Everything the
+  /// delta machinery can reach is updated *exactly* and bit-identically to
+  /// a fresh Compute over the grown table: column/pair moment sketches
+  /// (appended values extend the same ascending-row summation chains),
+  /// category counts, histograms (rebuilt per column when its range grew),
+  /// cached sort orders (sorted appended run merged in), and the
+  /// dependency entries + statistics of every *tracked* pair. Two things
+  /// are frozen at build time, by design: the tracked-pair membership and
+  /// the dependency entries of untracked pairs (refreshing those would
+  /// need the full rescan this path exists to avoid; re-Compute to
+  /// refresh them).
+  Result<ProfileAppendEffects> ApplyAppend(const Table& new_table,
+                                           size_t old_num_rows);
 
   size_t num_columns() const { return num_columns_; }
   const ProfileOptions& options() const { return options_; }

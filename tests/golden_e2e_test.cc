@@ -1,0 +1,129 @@
+// Golden end-to-end test: a fixed synthetic table, a full characterize
+// run, and a checked-in rendering of the ranked views + dissimilarity
+// scores. Refactors of any pipeline stage (storage, sketches, components,
+// search, validation, explanation — or the serving layer above them) that
+// silently change results fail here loudly.
+//
+// To regenerate after an *intentional* behavior change:
+//   ZIGGY_UPDATE_GOLDEN=1 ./golden_e2e_test
+// and commit the updated tests/golden/boxoffice_views.golden with an
+// explanation of why the output moved.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "engine/ziggy_engine.h"
+#include "serve/ziggy_server.h"
+
+#ifndef ZIGGY_SOURCE_DIR
+#define ZIGGY_SOURCE_DIR "."
+#endif
+
+namespace ziggy {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/boxoffice_views.golden";
+}
+
+ZiggyOptions GoldenOptions() {
+  ZiggyOptions options;
+  options.search.min_tightness = 0.3;
+  options.search.max_views = 10;
+  return options;
+}
+
+// Deterministic full rendering: everything except wall-clock timings and
+// sketch provenance.
+std::string RenderGolden(const Characterization& c, const Schema& schema) {
+  std::ostringstream os;
+  os << "inside=" << c.inside_count << " outside=" << c.outside_count << "\n";
+  os << "candidates=" << c.num_candidates << " dropped=" << c.views_dropped
+     << "\n";
+  size_t rank = 1;
+  for (const auto& cv : c.views) {
+    os << "#" << rank++ << " " << cv.view.ColumnNames(schema) << "\n";
+    os << "  score=" << FormatDouble(cv.view.score.total, 10)
+       << " tightness=" << FormatDouble(cv.view.tightness, 10)
+       << " p=" << FormatDouble(cv.view.aggregated_p_value, 10) << "\n";
+    os << "  kinds=";
+    for (size_t k = 0; k < kNumComponentKinds; ++k) {
+      if (k > 0) os << ",";
+      os << FormatDouble(cv.view.score.per_kind[k], 8);
+    }
+    os << "\n";
+    os << "  " << cv.explanation.headline << "\n";
+    for (const auto& d : cv.explanation.details) os << "  - " << d << "\n";
+  }
+  return os.str();
+}
+
+std::string RunGoldenPipeline() {
+  auto ds = MakeBoxOfficeDataset(7);
+  EXPECT_TRUE(ds.ok());
+  auto engine = ZiggyEngine::Create(std::move(ds->table), GoldenOptions());
+  EXPECT_TRUE(engine.ok());
+  auto result = engine->CharacterizeQuery(ds->selection_predicate);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return RenderGolden(*result, engine->table().schema());
+}
+
+TEST(GoldenE2eTest, BoxOfficeCharacterizationMatchesGoldenFile) {
+  const std::string actual = RunGoldenPipeline();
+  ASSERT_FALSE(actual.empty());
+
+  const std::string path = GoldenPath();
+  if (std::getenv("ZIGGY_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — run with ZIGGY_UPDATE_GOLDEN=1 to create it";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  EXPECT_EQ(actual, expected)
+      << "pipeline output diverged from tests/golden/boxoffice_views.golden; "
+         "if the change is intentional, regenerate with ZIGGY_UPDATE_GOLDEN=1";
+}
+
+// The serving layer must produce byte-identical output for the same
+// request — on a cold scan AND on the cache-hit replay.
+TEST(GoldenE2eTest, ServingLayerMatchesEngineGolden) {
+  const std::string engine_output = RunGoldenPipeline();
+
+  auto ds = MakeBoxOfficeDataset(7);
+  ASSERT_TRUE(ds.ok());
+  ServeOptions options;
+  options.engine = GoldenOptions();
+  options.session.novelty = SessionOptions::NoveltyPolicy::kOff;
+  auto server = ZiggyServer::Create(std::move(ds->table), options);
+  ASSERT_TRUE(server.ok());
+
+  const uint64_t cold = (*server)->OpenSession();
+  const uint64_t warm = (*server)->OpenSession();
+  auto first = (*server)->Characterize(cold, ds->selection_predicate);
+  ASSERT_TRUE(first.ok());
+  auto second = (*server)->Characterize(warm, ds->selection_predicate);
+  ASSERT_TRUE(second.ok());
+
+  const Schema& schema = (*server)->state()->table().schema();
+  EXPECT_EQ(RenderGolden(*first, schema), engine_output);
+  EXPECT_EQ(RenderGolden(*second, schema), engine_output);
+  // And the warm request really came from the shared cache.
+  EXPECT_EQ(second->sketch_source, SketchSource::kCacheExact);
+  EXPECT_EQ((*server)->stats().sketch_exact_hits, 1u);
+}
+
+}  // namespace
+}  // namespace ziggy

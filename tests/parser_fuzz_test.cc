@@ -1,0 +1,305 @@
+// Property and fuzz tests for query/parser + query/simplify.
+//
+//  * Round trip: random AST → ToString → reparse → ToString must be a
+//    fixed point (ToString is documented as "parseable by ParsePredicate").
+//  * Semantics: SimplifyPredicate must preserve the selected row set on a
+//    random table, and must be idempotent.
+//  * Robustness: no input — random byte soup or mutated valid queries —
+//    may crash the lexer/parser/simplifier/evaluator. Errors must come
+//    back as Status.
+//
+// All randomness is seeded; failures print the offending seed/input.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "query/parser.h"
+#include "query/simplify.h"
+#include "storage/table.h"
+
+namespace ziggy {
+namespace {
+
+// ---------------------------------------------------------------- fixture --
+
+// 257 rows: two full bitmap words, one word with a single tail bit — the
+// selections produced here cross every word-boundary case.
+constexpr size_t kRows = 257;
+
+Table MakeFuzzTable() {
+  Rng rng(4242);
+  std::vector<double> num_a(kRows);
+  std::vector<double> num_b(kRows);
+  std::vector<double> num_c(kRows);
+  std::vector<std::string> cat_a(kRows);
+  std::vector<std::string> cat_b(kRows);
+  const char* labels_a[] = {"alpha", "beta", "gamma", "delta"};
+  const char* labels_b[] = {"north", "south", "east", "west", "center"};
+  for (size_t i = 0; i < kRows; ++i) {
+    num_a[i] = rng.Normal(0.0, 2.0);
+    num_b[i] = rng.Uniform(-10.0, 10.0);
+    num_c[i] = rng.Bernoulli(0.1) ? std::nan("") : rng.Exponential(0.5);
+    cat_a[i] = rng.Bernoulli(0.05) ? "" : labels_a[rng.UniformInt(0, 3)];
+    cat_b[i] = labels_b[rng.UniformInt(0, 4)];
+  }
+  std::vector<Column> cols;
+  cols.push_back(Column::FromNumeric("num_a", std::move(num_a)));
+  cols.push_back(Column::FromNumeric("num_b", std::move(num_b)));
+  cols.push_back(Column::FromNumeric("num_c", std::move(num_c)));
+  cols.push_back(Column::FromStrings("cat_a", cat_a));
+  cols.push_back(Column::FromStrings("cat_b", cat_b));
+  auto table = Table::FromColumns(std::move(cols));
+  EXPECT_TRUE(table.ok());
+  return std::move(table).ValueOrDie();
+}
+
+// ---------------------------------------------------------- AST generator --
+
+// Identifier/label pools avoid parser keywords and quote characters; the
+// printer does not escape quotes inside string literals, so quotes are the
+// one character class the round-trip contract excludes.
+const std::vector<std::string>& NumericColumns() {
+  static const std::vector<std::string> cols = {"num_a", "num_b", "num_c",
+                                                "missing_num"};
+  return cols;
+}
+const std::vector<std::string>& CategoricalColumns() {
+  static const std::vector<std::string> cols = {"cat_a", "cat_b", "missing_cat"};
+  return cols;
+}
+const std::vector<std::string>& Labels() {
+  static const std::vector<std::string> labels = {
+      "alpha", "beta", "gamma", "delta", "north", "south", "no such label",
+      "x_1",   ""};
+  return labels;
+}
+
+std::string Pick(Rng* rng, const std::vector<std::string>& pool) {
+  return pool[static_cast<size_t>(rng->UniformInt(
+      0, static_cast<int64_t>(pool.size()) - 1))];
+}
+
+double RandomFiniteDouble(Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return static_cast<double>(rng->UniformInt(-100, 100));
+    case 1:
+      return rng->Uniform(-10.0, 10.0);
+    case 2:
+      return rng->Uniform(-1e30, 1e30);
+    case 3:
+      return rng->Uniform(-1e-6, 1e-6);
+    default:
+      return 0.0;
+  }
+}
+
+CompareOp RandomOp(Rng* rng) {
+  static const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                                  CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+  return ops[rng->UniformInt(0, 5)];
+}
+
+ExprPtr RandomAtom(Rng* rng) {
+  switch (rng->UniformInt(0, 5)) {
+    case 0:  // numeric comparison
+      return std::make_unique<ComparisonExpr>(Pick(rng, NumericColumns()),
+                                              RandomOp(rng),
+                                              Value{RandomFiniteDouble(rng)});
+    case 1:  // categorical equality / inequality
+      return std::make_unique<ComparisonExpr>(
+          Pick(rng, CategoricalColumns()),
+          rng->Bernoulli(0.5) ? CompareOp::kEq : CompareOp::kNe,
+          Value{Pick(rng, Labels())});
+    case 2: {  // BETWEEN (bounds in either order: semantics, not syntax)
+      const double lo = RandomFiniteDouble(rng);
+      const double hi = lo + std::fabs(RandomFiniteDouble(rng));
+      return std::make_unique<BetweenExpr>(Pick(rng, NumericColumns()), lo, hi);
+    }
+    case 3: {  // IN list
+      std::vector<Value> values;
+      const bool numeric = rng->Bernoulli(0.5);
+      const int64_t n = rng->UniformInt(1, 4);
+      for (int64_t i = 0; i < n; ++i) {
+        if (numeric) {
+          values.emplace_back(RandomFiniteDouble(rng));
+        } else {
+          values.emplace_back(Pick(rng, Labels()));
+        }
+      }
+      return std::make_unique<InExpr>(
+          Pick(rng, numeric ? NumericColumns() : CategoricalColumns()),
+          std::move(values));
+    }
+    case 4: {  // LIKE (quote-free patterns)
+      static const std::vector<std::string> patterns = {"%",     "a%",   "%a",
+                                                        "_lpha", "g%a",  "%or%",
+                                                        "center", "__st", ""};
+      return std::make_unique<LikeExpr>(Pick(rng, CategoricalColumns()),
+                                        Pick(rng, patterns), rng->Bernoulli(0.3));
+    }
+    default:  // IS [NOT] NULL
+      return std::make_unique<IsNullExpr>(
+          rng->Bernoulli(0.5) ? Pick(rng, NumericColumns())
+                              : Pick(rng, CategoricalColumns()),
+          rng->Bernoulli(0.5));
+  }
+}
+
+ExprPtr RandomExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.4)) return RandomAtom(rng);
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      return std::make_unique<NotExpr>(RandomExpr(rng, depth - 1));
+    default: {
+      const LogicalExpr::Kind kind =
+          rng->Bernoulli(0.5) ? LogicalExpr::Kind::kAnd : LogicalExpr::Kind::kOr;
+      std::vector<ExprPtr> children;
+      const int64_t n = rng->UniformInt(2, 4);
+      for (int64_t i = 0; i < n; ++i) {
+        children.push_back(RandomExpr(rng, depth - 1));
+      }
+      return std::make_unique<LogicalExpr>(kind, std::move(children));
+    }
+  }
+}
+
+// ------------------------------------------------------------------ tests --
+
+TEST(ParserFuzzTest, RandomAstPrintsReparseToFixedPoint) {
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng rng(seed);
+    const ExprPtr original = RandomExpr(&rng, 4);
+    const std::string printed = original->ToString();
+    Result<ExprPtr> reparsed = ParsePredicate(printed);
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed << ": ToString produced "
+                               << "unparseable text: " << printed << "\n"
+                               << reparsed.status().ToString();
+    EXPECT_EQ((*reparsed)->ToString(), printed) << "seed " << seed;
+  }
+}
+
+TEST(ParserFuzzTest, RoundTripPreservesEvaluation) {
+  const Table table = MakeFuzzTable();
+  size_t evaluated = 0;
+  for (uint64_t seed = 1000; seed < 1200; ++seed) {
+    Rng rng(seed);
+    const ExprPtr original = RandomExpr(&rng, 3);
+    Result<ExprPtr> reparsed = ParsePredicate(original->ToString());
+    ASSERT_TRUE(reparsed.ok()) << "seed " << seed;
+    Result<Selection> a = original->Evaluate(table);
+    Result<Selection> b = (*reparsed)->Evaluate(table);
+    ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed;
+    if (a.ok()) {
+      EXPECT_TRUE(*a == *b) << "seed " << seed;
+      ++evaluated;
+    }
+  }
+  // The pools include missing columns, so some trees error by design —
+  // but the property must actually get exercised.
+  EXPECT_GT(evaluated, 50u);
+}
+
+TEST(ParserFuzzTest, SimplifyPreservesSemanticsAndIsIdempotent) {
+  const Table table = MakeFuzzTable();
+  size_t compared = 0;
+  for (uint64_t seed = 2000; seed < 2300; ++seed) {
+    Rng rng(seed);
+    const ExprPtr original = RandomExpr(&rng, 4);
+    const std::string original_text = original->ToString();
+    const ExprPtr simplified = SimplifyPredicate(original->Clone());
+
+    // Idempotence: a normal form does not simplify further.
+    const std::string once = simplified->ToString();
+    const std::string twice = SimplifyPredicate(simplified->Clone())->ToString();
+    EXPECT_EQ(once, twice) << "seed " << seed << " input: " << original_text;
+
+    // Semantics: identical row sets (or both rejected).
+    Result<Selection> a = original->Evaluate(table);
+    Result<Selection> b = simplified->Evaluate(table);
+    ASSERT_EQ(a.ok(), b.ok())
+        << "seed " << seed << "\n  input: " << original_text
+        << "\n  simplified: " << once;
+    if (a.ok()) {
+      EXPECT_TRUE(*a == *b)
+          << "seed " << seed << "\n  input: " << original_text
+          << "\n  simplified: " << once;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 80u);
+}
+
+// One deterministic malformed-input loop: every input must produce either
+// a parse tree or a Status — never a crash. Inputs mix raw byte soup with
+// mutations of valid queries (truncations, splices, character smashes).
+TEST(ParserFuzzTest, MalformedInputNeverCrashes) {
+  const Table table = MakeFuzzTable();
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      " \t\n()<>=!'\",.%_-+*/\\;:[]{}#@$^&|~`?";
+  Rng rng(31337);
+
+  auto exercise = [&](const std::string& input) {
+    Result<ExprPtr> parsed = ParseQuery(input);
+    if (!parsed.ok()) return;
+    // Survivors flow through the whole front half of the pipeline.
+    const ExprPtr simplified = SimplifyPredicate((*parsed)->Clone());
+    (void)simplified->ToString();
+    (void)simplified->Evaluate(table);
+  };
+
+  // Raw soup.
+  for (size_t iter = 0; iter < 3000; ++iter) {
+    std::string input;
+    const int64_t len = rng.UniformInt(0, 48);
+    for (int64_t i = 0; i < len; ++i) {
+      if (rng.Bernoulli(0.02)) {
+        input.push_back(static_cast<char>(rng.UniformInt(1, 255)));  // any byte
+      } else {
+        input.push_back(
+            charset[rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1)]);
+      }
+    }
+    exercise(input);
+  }
+
+  // Mutated valid queries.
+  const std::vector<std::string> seeds = {
+      "num_a > 1.5 AND num_b <= 3",
+      "SELECT * FROM t WHERE cat_a IN ('alpha', 'beta') AND num_c IS NOT NULL",
+      "NOT (num_a BETWEEN -2 AND 2) OR cat_b LIKE 'n%'",
+      "\"quoted col\" != 'payload' AND num_b IN (1, 2, 3)",
+  };
+  for (size_t iter = 0; iter < 2000; ++iter) {
+    std::string input = seeds[iter % seeds.size()];
+    const int64_t edits = rng.UniformInt(1, 4);
+    for (int64_t e = 0; e < edits && !input.empty(); ++e) {
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(input.size()) - 1));
+      switch (rng.UniformInt(0, 3)) {
+        case 0:  // smash a character
+          input[pos] =
+              charset[rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1)];
+          break;
+        case 1:  // truncate
+          input.resize(pos);
+          break;
+        case 2:  // duplicate a span
+          input += input.substr(pos);
+          break;
+        default:  // delete a character
+          input.erase(pos, 1);
+          break;
+      }
+    }
+    exercise(input);
+  }
+}
+
+}  // namespace
+}  // namespace ziggy

@@ -1,0 +1,354 @@
+// Concurrency stress tests for the serving layer.
+//
+// The central property: per-session results are a function of the
+// session's own request order, the append schedule, and the configured
+// scan thread count — never of cross-session interleaving, cache state,
+// or batching. The ByteMatch test drives N threads through phase-barriered
+// mixed traffic (characterize + appends + cache churn) and demands the
+// rendered results equal a single-threaded replay character for character.
+// (Near-miss patching is off there: patching changes floating-point
+// summation order by design; its own test checks exact invariants.)
+//
+// Run under -fsanitize=address,undefined and -fsanitize=thread in CI.
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "serve/ziggy_server.h"
+
+namespace ziggy {
+namespace {
+
+constexpr size_t kThreads = 4;
+constexpr size_t kPhases = 3;
+constexpr size_t kQueriesPerPhase = 5;
+
+SyntheticDataset MakeDataset() {
+  SyntheticSpec spec;
+  spec.num_rows = 1100;  // not word-aligned: 1100 = 17 words + 12-bit tail
+  spec.planted_fraction = 0.2;
+  spec.themes = {
+      {"alpha", 3, 0.8, 1.0, 1.2, 0.0},
+      {"beta", 2, 0.7, -0.8, 1.0, 0.0},
+  };
+  spec.num_noise_columns = 2;
+  spec.num_categorical = 1;
+  spec.num_shifted_categorical = 1;
+  spec.seed = 77;
+  auto ds = GenerateSynthetic(spec);
+  EXPECT_TRUE(ds.ok());
+  return std::move(ds).ValueOrDie();
+}
+
+// Deterministic rendering: everything the user sees, nothing that depends
+// on wall clock or sketch provenance.
+std::string Render(const Characterization& c) {
+  std::ostringstream os;
+  os << "in=" << c.inside_count << " out=" << c.outside_count
+     << " cand=" << c.num_candidates << " dropped=" << c.views_dropped << "\n";
+  for (const auto& cv : c.views) {
+    os << " view";
+    for (size_t col : cv.view.columns) os << " " << col;
+    os << " score=" << FormatDouble(cv.view.score.total, 12)
+       << " tight=" << FormatDouble(cv.view.tightness, 12)
+       << " p=" << FormatDouble(cv.view.aggregated_p_value, 12) << " | "
+       << cv.explanation.headline << "\n";
+  }
+  return os.str();
+}
+
+// Per-(session, phase) query scripts. Strings are fixed; the selections
+// they evaluate to change with the table generation, which is exactly what
+// the replay must reproduce. Sessions deliberately overlap (shared-cache
+// traffic) but also have private refinements.
+std::vector<std::vector<std::vector<std::string>>> MakeScripts(
+    const SyntheticDataset& ds) {
+  std::vector<std::vector<std::vector<std::string>>> scripts(
+      kThreads, std::vector<std::vector<std::string>>(kPhases));
+  const std::string& driver = ds.selection_predicate;
+  for (size_t s = 0; s < kThreads; ++s) {
+    for (size_t p = 0; p < kPhases; ++p) {
+      auto& q = scripts[s][p];
+      q.push_back(driver);  // every session, every phase: maximal sharing
+      q.push_back("alpha_0 > " + FormatDouble(0.1 * static_cast<double>(p), 6));
+      q.push_back("beta_0 < " + FormatDouble(-0.2 + 0.1 * static_cast<double>(s), 6));
+      q.push_back("driver > " +
+                  FormatDouble(0.5 + 0.05 * static_cast<double>(s + p), 6));
+      q.push_back("alpha_1 BETWEEN -1 AND " +
+                  FormatDouble(0.5 + 0.25 * static_cast<double>(s), 6));
+      EXPECT_EQ(q.size(), kQueriesPerPhase);
+    }
+  }
+  return scripts;
+}
+
+// Append batches reuse existing rows (SampleRows), so value ranges and
+// category sets never grow: the deterministic migration path stays active.
+std::vector<Table> MakeAppendBatches(const SyntheticDataset& ds) {
+  std::vector<Table> batches;
+  for (size_t p = 0; p + 1 < kPhases; ++p) {
+    Rng rng(900 + p);
+    batches.push_back(ds.table.SampleRows(40 + 10 * p, &rng));
+  }
+  return batches;
+}
+
+ServeOptions StressOptions() {
+  ServeOptions options;
+  options.engine.search.min_tightness = 0.25;
+  options.engine.search.max_views = 6;
+  options.patch_near_misses = false;  // bit-reproducibility
+  options.scan_threads = 1;
+  options.max_batch = 8;
+  return options;
+}
+
+using ResultGrid = std::vector<std::vector<std::string>>;  // [session][phase*q]
+
+// Runs the full scripted workload; `concurrent` decides whether sessions
+// run on threads (with phase barriers) or sequentially.
+ResultGrid RunWorkload(const SyntheticDataset& ds, const ServeOptions& options,
+                       bool concurrent, bool churn_cache) {
+  auto server_or = ZiggyServer::Create(ds.table, options);
+  EXPECT_TRUE(server_or.ok());
+  ZiggyServer* server = server_or->get();
+
+  const auto scripts = MakeScripts(ds);
+  const std::vector<Table> appends = MakeAppendBatches(ds);
+  std::vector<uint64_t> sessions;
+  for (size_t s = 0; s < kThreads; ++s) sessions.push_back(server->OpenSession());
+
+  ResultGrid results(kThreads);
+  auto run_query = [&](size_t s, const std::string& query) {
+    Result<Characterization> r = server->Characterize(sessions[s], query);
+    ASSERT_TRUE(r.ok()) << "session " << s << " query '" << query
+                        << "': " << r.status().ToString();
+    results[s].push_back(Render(*r));
+  };
+
+  if (!concurrent) {
+    for (size_t p = 0; p < kPhases; ++p) {
+      for (size_t s = 0; s < kThreads; ++s) {
+        for (const std::string& q : scripts[s][p]) run_query(s, q);
+      }
+      if (churn_cache) server->FlushSketchCache();
+      if (p + 1 < kPhases) EXPECT_TRUE(server->Append(appends[p]).ok());
+    }
+    return results;
+  }
+
+  // Concurrent: all sessions hammer inside a phase; appends happen at the
+  // barriers (the completion step runs on exactly one thread).
+  size_t phase = 0;
+  std::barrier barrier(static_cast<std::ptrdiff_t>(kThreads), [&]() noexcept {
+    if (churn_cache) server->FlushSketchCache();
+    if (phase + 1 < kPhases) {
+      const Status st = server->Append(appends[phase]);
+      if (!st.ok()) std::abort();  // noexcept completion: fail loudly
+    }
+    ++phase;
+  });
+  std::vector<std::thread> workers;
+  for (size_t s = 0; s < kThreads; ++s) {
+    workers.emplace_back([&, s] {
+      for (size_t p = 0; p < kPhases; ++p) {
+        for (const std::string& q : scripts[s][p]) run_query(s, q);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return results;
+}
+
+TEST(ServeStressTest, ConcurrentMixedTrafficByteMatchesSequentialReplay) {
+  const SyntheticDataset ds = MakeDataset();
+  const ServeOptions options = StressOptions();
+
+  const ResultGrid concurrent = RunWorkload(ds, options, /*concurrent=*/true,
+                                            /*churn_cache=*/false);
+  const ResultGrid replay = RunWorkload(ds, options, /*concurrent=*/false,
+                                        /*churn_cache=*/false);
+
+  ASSERT_EQ(concurrent.size(), replay.size());
+  for (size_t s = 0; s < kThreads; ++s) {
+    ASSERT_EQ(concurrent[s].size(), replay[s].size()) << "session " << s;
+    for (size_t i = 0; i < concurrent[s].size(); ++i) {
+      EXPECT_EQ(concurrent[s][i], replay[s][i])
+          << "session " << s << " request " << i << " diverged";
+    }
+  }
+}
+
+// Cache state must be semantically invisible: churned (flushed mid-run,
+// tiny budget forcing evictions) vs. untouched caches, identical results.
+TEST(ServeStressTest, CacheChurnDoesNotChangeResults) {
+  const SyntheticDataset ds = MakeDataset();
+
+  ServeOptions tiny = StressOptions();
+  tiny.cache_budget_bytes = 1 << 14;  // a few entries per shard at best
+  const ResultGrid churned = RunWorkload(ds, tiny, /*concurrent=*/true,
+                                         /*churn_cache=*/true);
+
+  ServeOptions roomy = StressOptions();
+  const ResultGrid clean = RunWorkload(ds, roomy, /*concurrent=*/false,
+                                       /*churn_cache=*/false);
+
+  for (size_t s = 0; s < kThreads; ++s) {
+    ASSERT_EQ(churned[s].size(), clean[s].size());
+    for (size_t i = 0; i < churned[s].size(); ++i) {
+      EXPECT_EQ(churned[s][i], clean[s][i])
+          << "session " << s << " request " << i;
+    }
+  }
+}
+
+// Near-miss patching changes float summation order (documented); exact
+// integer statistics must survive it, and nothing may crash or race under
+// concurrent patch/evict/append traffic.
+TEST(ServeStressTest, PatchingTrafficKeepsExactInvariants) {
+  const SyntheticDataset ds = MakeDataset();
+  ServeOptions options = StressOptions();
+  options.patch_near_misses = true;
+  options.cache_budget_bytes = 1 << 16;
+
+  auto server_or = ZiggyServer::Create(ds.table, options);
+  ASSERT_TRUE(server_or.ok());
+  ZiggyServer* server = server_or->get();
+
+  std::vector<std::thread> workers;
+  std::atomic<size_t> failures{0};
+  for (size_t s = 0; s < kThreads; ++s) {
+    workers.emplace_back([&, s] {
+      const uint64_t sid = server->OpenSession();
+      for (size_t i = 0; i < 24; ++i) {
+        // Drifting thresholds: consecutive selections differ by a sliver —
+        // prime near-miss territory.
+        const std::string q =
+            "driver > " +
+            FormatDouble(0.4 + 0.01 * static_cast<double>((s * 24 + i) % 40), 6);
+        const std::shared_ptr<const ServingState> state = server->state();
+        Result<Characterization> r = server->Characterize(sid, q);
+        if (!r.ok()) {
+          ++failures;
+          continue;
+        }
+        // Exact invariant: the two sides always partition some generation's
+        // row count (the request's generation is >= the snapshot observed
+        // just before it).
+        const int64_t total = r->inside_count + r->outside_count;
+        if (total < static_cast<int64_t>(state->table().num_rows())) ++failures;
+      }
+    });
+  }
+  // Concurrent append + flush churn.
+  std::thread churner([&] {
+    for (size_t i = 0; i < 6; ++i) {
+      Rng rng(4000 + i);
+      if (!server->Append(ds.table.SampleRows(25, &rng)).ok()) ++failures;
+      if (i % 2 == 0) server->FlushSketchCache();
+    }
+  });
+  for (auto& w : workers) w.join();
+  churner.join();
+  EXPECT_EQ(failures.load(), 0u);
+
+  const ServeStats stats = server->stats();
+  EXPECT_EQ(stats.requests, kThreads * 24);
+  EXPECT_EQ(stats.appends, 6u);
+  EXPECT_EQ(stats.generation, 6u);
+}
+
+// The batcher must be a pure performance device: results equal solo
+// Build, and coalescing must actually occur under a straggler window.
+TEST(ServeStressTest, CoalescedScansMatchSoloBuilds) {
+  const SyntheticDataset ds = MakeDataset();
+  auto profile_or = TableProfile::Compute(ds.table);
+  ASSERT_TRUE(profile_or.ok());
+  const TableProfile& profile = *profile_or;
+
+  ScanBatcher::Options opts;
+  opts.max_batch = kThreads;
+  opts.window_us = 100000;  // generous: all threads join one scan
+  opts.num_threads = 1;
+  ScanBatcher batcher(opts);
+
+  std::vector<Selection> selections;
+  for (size_t s = 0; s < kThreads; ++s) {
+    Selection sel(ds.table.num_rows());
+    for (size_t r = s; r < ds.table.num_rows(); r += s + 2) sel.Set(r);
+    selections.push_back(std::move(sel));
+  }
+
+  std::vector<std::shared_ptr<const SelectionSketches>> batched(kThreads);
+  std::barrier start(static_cast<std::ptrdiff_t>(kThreads));
+  std::vector<std::thread> workers;
+  for (size_t s = 0; s < kThreads; ++s) {
+    workers.emplace_back([&, s] {
+      start.arrive_and_wait();  // near-simultaneous arrival at the batcher
+      batched[s] = batcher.Build(ds.table, profile, /*generation=*/0,
+                                 selections[s], nullptr);
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  for (size_t s = 0; s < kThreads; ++s) {
+    const SelectionSketches solo =
+        SelectionSketches::Build(ds.table, profile, selections[s], 1);
+    for (size_t c = 0; c < ds.table.num_columns(); ++c) {
+      EXPECT_EQ(batched[s]->column_sketch(c).count, solo.column_sketch(c).count);
+      EXPECT_EQ(batched[s]->column_sketch(c).sum, solo.column_sketch(c).sum);
+      EXPECT_EQ(batched[s]->column_sketch(c).sum_sq, solo.column_sketch(c).sum_sq);
+    }
+  }
+  const ScanBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, kThreads);
+  EXPECT_GE(stats.max_batch_size, 2u);
+}
+
+// Session isolation: one session's novelty state must not leak into
+// another's results even though they share every cache.
+TEST(ServeStressTest, SessionsAreIsolated) {
+  const SyntheticDataset ds = MakeDataset();
+  auto server_or = ZiggyServer::Create(ds.table, StressOptions());
+  ASSERT_TRUE(server_or.ok());
+  ZiggyServer* server = server_or->get();
+
+  SessionOptions suppress;
+  suppress.novelty = SessionOptions::NoveltyPolicy::kSuppress;
+  const uint64_t a = server->OpenSession(suppress);
+  const uint64_t b = server->OpenSession(suppress);
+  const std::string q = ds.selection_predicate;
+
+  // Session a sees the views once; the repeat suppresses them all.
+  Result<Characterization> a1 = server->Characterize(a, q);
+  Result<Characterization> a2 = server->Characterize(a, q);
+  ASSERT_TRUE(a1.ok() && a2.ok());
+  ASSERT_FALSE(a1->views.empty());
+  EXPECT_TRUE(a2->views.empty());
+  // Session b's first request must look like a's first, not a's second.
+  Result<Characterization> b1 = server->Characterize(b, q);
+  ASSERT_TRUE(b1.ok());
+  EXPECT_EQ(Render(*b1), Render(*a1));
+
+  auto stats_a = server->GetSessionStats(a);
+  auto stats_b = server->GetSessionStats(b);
+  ASSERT_TRUE(stats_a.ok() && stats_b.ok());
+  EXPECT_EQ(stats_a->queries_run, 2u);
+  EXPECT_EQ(stats_b->queries_run, 1u);
+
+  EXPECT_TRUE(server->CloseSession(b).ok());
+  EXPECT_FALSE(server->CloseSession(b).ok());
+  EXPECT_EQ(server->num_sessions(), 1u);
+}
+
+}  // namespace
+}  // namespace ziggy

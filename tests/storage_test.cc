@@ -273,5 +273,155 @@ TEST(TableBuilderTest, NullsInBothColumnKinds) {
   EXPECT_TRUE(t.column(1).IsNull(0));
 }
 
+// -------------------------------------------- Selection resize & memoing --
+// Word-boundary edge cases for the serving layer's append migration: 63,
+// 64 and 65 rows straddle the packed-word boundary in all three ways.
+
+TEST(SelectionResizeTest, GrowAcrossWordBoundariesKeepsBits) {
+  for (const size_t start : {63u, 64u, 65u}) {
+    for (const size_t grow_to : {63u, 64u, 65u, 128u, 129u}) {
+      if (grow_to < start) continue;
+      Selection s(start);
+      s.Set(0);
+      s.Set(start - 1);
+      const size_t before = s.Count();
+      s.Resize(grow_to);
+      EXPECT_EQ(s.num_rows(), grow_to);
+      EXPECT_EQ(s.num_words(), Selection::NumWordsFor(grow_to));
+      EXPECT_EQ(s.Count(), before) << start << " -> " << grow_to;
+      EXPECT_TRUE(s.Contains(0));
+      EXPECT_TRUE(s.Contains(start - 1));
+      // Every appended row is unselected.
+      for (size_t r = start; r < grow_to; ++r) EXPECT_FALSE(s.Contains(r));
+    }
+  }
+}
+
+TEST(SelectionResizeTest, ShrinkClearsTailBits) {
+  for (const size_t start : {65u, 64u, 128u}) {
+    for (const size_t shrink_to : {63u, 64u, 65u, 1u}) {
+      if (shrink_to > start) continue;
+      Selection s = Selection::All(start);
+      s.Resize(shrink_to);
+      EXPECT_EQ(s.num_rows(), shrink_to);
+      // Truncated bits are gone and the tail-word invariant holds: growing
+      // back must not resurrect them.
+      EXPECT_EQ(s.Count(), shrink_to) << start << " -> " << shrink_to;
+      s.Resize(start);
+      EXPECT_EQ(s.Count(), shrink_to) << start << " -> " << shrink_to;
+    }
+  }
+}
+
+TEST(SelectionResizeTest, ResizePreservesFingerprintSemantics) {
+  // Same bit content over different row counts must fingerprint
+  // differently (the cache re-keys migrated entries on this).
+  Selection a(64);
+  a.Set(5);
+  Selection b = a;
+  b.Resize(65);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  // And an independently built selection with identical content matches.
+  Selection c(65);
+  c.Set(5);
+  EXPECT_EQ(b.Fingerprint(), c.Fingerprint());
+}
+
+TEST(SelectionMemoTest, InPlaceMutationInvalidatesCachedCount) {
+  Selection s(130);
+  s.Set(0);
+  s.Set(64);
+  s.Set(129);
+  EXPECT_EQ(s.Count(), 3u);  // memoized here
+  s.Set(1);
+  EXPECT_EQ(s.Count(), 4u);  // Set must invalidate
+  s.Set(1, false);
+  EXPECT_EQ(s.Count(), 3u);  // clearing too
+  s.Resize(64);
+  EXPECT_EQ(s.Count(), 1u);  // Resize truncation too
+  s.Resize(256);
+  EXPECT_EQ(s.Count(), 1u);
+  // Copies carry the memo but stay independent.
+  Selection copy = s;
+  EXPECT_EQ(copy.Count(), 1u);
+  copy.Set(2);
+  EXPECT_EQ(copy.Count(), 2u);
+  EXPECT_EQ(s.Count(), 1u);
+}
+
+TEST(SelectionMemoTest, HammingDistanceCountsXorRows) {
+  Selection a(130);
+  Selection b(130);
+  a.Set(0);
+  a.Set(64);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_EQ(a.HammingDistance(b), 2u);
+  EXPECT_EQ(a.HammingDistance(a), 0u);
+}
+
+#ifdef GTEST_HAS_DEATH_TEST
+#ifndef NDEBUG
+// Out-of-range bitmap access is a programming error; the debug build must
+// trap it (the release build compiles the check out of the hot loops).
+TEST(SelectionDeathTest, OutOfRangeAccessDiesInDebug) {
+  Selection s(64);
+  EXPECT_DEATH(s.Set(64), "ZIGGY_CHECK failed");
+  EXPECT_DEATH((void)s.Contains(64), "ZIGGY_CHECK failed");
+  Selection empty;
+  EXPECT_DEATH(empty.Set(0), "ZIGGY_CHECK failed");
+}
+#endif  // !NDEBUG
+
+// Mixing bitmap sizes aborts in every build type (ZIGGY_CHECK, not DCHECK:
+// these run once per set operation, not per row).
+TEST(SelectionDeathTest, MismatchedSizesDie) {
+  Selection a(64);
+  Selection b(65);
+  EXPECT_DEATH((void)a.And(b), "ZIGGY_CHECK failed");
+  EXPECT_DEATH((void)a.HammingDistance(b), "ZIGGY_CHECK failed");
+}
+#endif  // GTEST_HAS_DEATH_TEST
+
+// ------------------------------------------------------ Table row append --
+
+TEST(TableAppendTest, AppendsRowsAndRemapsDictionaries) {
+  auto base = Table::FromColumns(
+      {Column::FromNumeric("x", {1.0, 2.0}),
+       Column::FromStrings("c", {"red", "blue"})});
+  ASSERT_TRUE(base.ok());
+  // The tail's dictionary has a different code order plus a new label.
+  auto tail = Table::FromColumns(
+      {Column::FromNumeric("x", {3.0, 4.0, 5.0}),
+       Column::FromStrings("c", {"blue", "green", ""})});
+  ASSERT_TRUE(tail.ok());
+
+  auto merged = base->WithAppendedRows(*tail);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_rows(), 5u);
+  EXPECT_DOUBLE_EQ(merged->column(0).numeric_data()[4], 5.0);
+  const Column& c = merged->column(1);
+  EXPECT_EQ(c.cardinality(), 3u);  // red, blue, green
+  EXPECT_EQ(c.ValueAsString(1), "blue");
+  EXPECT_EQ(c.ValueAsString(2), "blue");  // remapped through labels
+  EXPECT_EQ(c.ValueAsString(3), "green");
+  EXPECT_TRUE(c.IsNull(4));
+  // Base is untouched (immutability contract of the snapshot layer).
+  EXPECT_EQ(base->num_rows(), 2u);
+  EXPECT_EQ(base->column(1).cardinality(), 2u);
+}
+
+TEST(TableAppendTest, RejectsSchemaMismatch) {
+  auto base = Table::FromColumns({Column::FromNumeric("x", {1.0})});
+  auto wrong_name = Table::FromColumns({Column::FromNumeric("y", {1.0})});
+  auto wrong_type = Table::FromColumns({Column::FromStrings("x", {"a"})});
+  auto wrong_arity = Table::FromColumns(
+      {Column::FromNumeric("x", {1.0}), Column::FromNumeric("y", {1.0})});
+  ASSERT_TRUE(base.ok() && wrong_name.ok() && wrong_type.ok() && wrong_arity.ok());
+  EXPECT_FALSE(base->WithAppendedRows(*wrong_name).ok());
+  EXPECT_FALSE(base->WithAppendedRows(*wrong_type).ok());
+  EXPECT_FALSE(base->WithAppendedRows(*wrong_arity).ok());
+}
+
 }  // namespace
 }  // namespace ziggy

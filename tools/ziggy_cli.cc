@@ -19,15 +19,34 @@
 //
 //   ziggy_cli demo <boxoffice|crime|oecd>
 //       Run the built-in synthetic use case end to end.
+//
+//   ziggy_cli serve <data.csv> [options]
+//       Multi-session REPL over the concurrent serving layer. Reads one
+//       command per line from stdin:
+//         open                       open a session, print its id
+//         close <sid>                close a session
+//         query <sid> <predicate>    characterize inside a session
+//         append <rows.csv>          append rows as a new table generation
+//         stats                      serving-layer counters
+//         flush                      drop the shared sketch cache
+//         quit
+//       Options:
+//         --threads <n>     scan/profile threads (0 = all cores, default 1)
+//         --cache-mb <m>    sketch cache budget (default 64)
+//         --no-cache        disable the shared sketch cache
+//         --no-patch       disable XOR-delta near-miss patching
+//         --json            render query results as JSON
 
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/string_util.h"
 #include "data/synthetic.h"
 #include "engine/json.h"
 #include "engine/ziggy_engine.h"
+#include "serve/ziggy_server.h"
 #include "storage/csv.h"
 
 using namespace ziggy;
@@ -46,7 +65,9 @@ int Usage() {
             << "            [--max-views k] [--max-view-size d] [--two-scan]\n"
             << "            [--threads n]\n"
             << "  ziggy_cli dendrogram <data.csv>\n"
-            << "  ziggy_cli demo <boxoffice|crime|oecd>\n";
+            << "  ziggy_cli demo <boxoffice|crime|oecd>\n"
+            << "  ziggy_cli serve <data.csv> [--threads n] [--cache-mb m]\n"
+            << "            [--no-cache] [--no-patch] [--json]\n";
   return 2;
 }
 
@@ -145,6 +166,140 @@ int RunDemo(const std::string& which) {
   return 0;
 }
 
+void PrintServeStats(const ServeStats& st) {
+  std::cout << "generation " << st.generation << ", sessions opened "
+            << st.sessions_opened << "\n"
+            << "requests " << st.requests << " (" << st.failures << " failed)\n"
+            << "sketch cache: " << st.sketch_exact_hits << " exact hits, "
+            << st.sketch_patched_hits << " patched hits ("
+            << st.patched_delta_rows << " delta rows), " << st.sketch_misses
+            << " misses, " << st.cache.entries << " entries / "
+            << st.cache.bytes_in_use / 1024 << " KiB, " << st.cache.evictions
+            << " evictions, " << st.cache_flushes << " flushes, "
+            << st.cache_migrated_entries << " migrated on append\n"
+            << "scans " << st.scans << ", coalesced requests "
+            << st.coalesced_requests << " (max batch " << st.max_batch_size
+            << ")\n"
+            << "appends " << st.appends << " (" << st.appended_rows << " rows)\n";
+}
+
+int RunServe(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string csv_path = argv[2];
+  bool json = false;
+  ServeOptions options;
+  options.engine.search.min_tightness = 0.4;
+  options.engine.search.max_views = 10;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_double = [&](double* out) {
+      if (i + 1 >= argc) return false;
+      Result<double> v = ParseDouble(argv[++i]);
+      if (!v.ok()) return false;
+      *out = *v;
+      return true;
+    };
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--threads") {
+      double v = 0;
+      if (!next_double(&v) || v < 0) return Usage();
+      options.scan_threads = static_cast<size_t>(v);
+      options.engine.build.num_threads = static_cast<size_t>(v);
+      options.engine.profile.num_threads = static_cast<size_t>(v);
+    } else if (arg == "--cache-mb") {
+      double v = 0;
+      if (!next_double(&v) || v < 0) return Usage();
+      options.cache_budget_bytes = static_cast<size_t>(v) << 20;
+    } else if (arg == "--no-cache") {
+      options.cache_enabled = false;
+    } else if (arg == "--no-patch") {
+      options.patch_near_misses = false;
+    } else {
+      return Usage();
+    }
+  }
+  Result<Table> table = ReadCsvFile(csv_path);
+  if (!table.ok()) return Fail(table.status());
+  Result<std::unique_ptr<ZiggyServer>> server =
+      ZiggyServer::Create(std::move(*table), options);
+  if (!server.ok()) return Fail(server.status());
+  std::cout << "serving " << (*server)->state()->table().num_rows() << " x "
+            << (*server)->state()->table().num_columns()
+            << "; commands: open, close <sid>, query <sid> <predicate>, "
+               "append <csv>, stats, flush, quit\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "open") {
+      std::cout << "session " << (*server)->OpenSession() << "\n";
+    } else if (cmd == "close") {
+      uint64_t sid = 0;
+      if (!(in >> sid)) {
+        std::cout << "usage: close <sid>\n";
+        continue;
+      }
+      Status st = (*server)->CloseSession(sid);
+      std::cout << (st.ok() ? "closed\n" : "error: " + st.ToString() + "\n");
+    } else if (cmd == "query") {
+      uint64_t sid = 0;
+      if (!(in >> sid)) {
+        std::cout << "usage: query <sid> <predicate>\n";
+        continue;
+      }
+      std::string predicate;
+      std::getline(in, predicate);
+      Result<Characterization> result = (*server)->Characterize(sid, predicate);
+      if (!result.ok()) {
+        std::cout << "error: " << result.status() << "\n";
+        continue;
+      }
+      std::cout << "[sketches: " << SketchSourceToString(result->sketch_source)
+                << (result->coalesced ? ", coalesced" : "")
+                << (result->cache_hit ? ", component-cache hit" : "") << "]\n";
+      if (json) {
+        std::cout << CharacterizationToJson(*result,
+                                            (*server)->state()->table().schema())
+                  << "\n";
+      } else {
+        std::cout << result->ToString((*server)->state()->table().schema());
+      }
+    } else if (cmd == "append") {
+      std::string path;
+      if (!(in >> path)) {
+        std::cout << "usage: append <rows.csv>\n";
+        continue;
+      }
+      Result<Table> rows = ReadCsvFile(path);
+      if (!rows.ok()) {
+        std::cout << "error: " << rows.status() << "\n";
+        continue;
+      }
+      const size_t n = rows->num_rows();
+      Status st = (*server)->Append(*rows);
+      if (st.ok()) {
+        std::cout << "appended " << n << " rows; generation "
+                  << (*server)->state()->generation() << "\n";
+      } else {
+        std::cout << "error: " << st << "\n";
+      }
+    } else if (cmd == "stats") {
+      PrintServeStats((*server)->stats());
+    } else if (cmd == "flush") {
+      (*server)->FlushSketchCache();
+      std::cout << "sketch cache flushed\n";
+    } else {
+      std::cout << "unknown command: " << cmd << "\n";
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,5 +309,6 @@ int main(int argc, char** argv) {
   if (cmd == "views") return RunViews(argc, argv);
   if (cmd == "dendrogram" && argc == 3) return RunDendrogram(argv[2]);
   if (cmd == "demo" && argc == 3) return RunDemo(argv[2]);
+  if (cmd == "serve") return RunServe(argc, argv);
   return Usage();
 }
