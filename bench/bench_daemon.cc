@@ -1,0 +1,197 @@
+// bench_daemon: throughput/latency of the TCP line-protocol daemon.
+//
+// Boots an in-process ZiggyDaemon on an ephemeral loopback port, preloads
+// the boxoffice table, then drives it with N concurrent clients each
+// issuing M CHARACTERIZE requests from a deterministic exploration
+// workload. Reports requests/sec and p50/p99 request latency (measured
+// client-side, so wire framing and socket hops are included), plus the
+// serving-layer cache counters behind them.
+//
+// Usage: bench_daemon [--clients n] [--requests m] [--threads t] [--json [path]]
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "data/synthetic.h"
+#include "serve/client.h"
+#include "serve/daemon/daemon.h"
+#include "serve/daemon/handler.h"
+
+using namespace ziggy;
+
+namespace {
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_clients = 4;
+  size_t requests_per_client = 25;
+  size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_size = [&](size_t* out) {
+      if (i + 1 >= argc) return false;
+      Result<int64_t> v = ParseInt(argv[++i]);
+      if (!v.ok() || *v < 1) return false;
+      *out = static_cast<size_t>(*v);
+      return true;
+    };
+    if (arg == "--clients") {
+      if (!next_size(&num_clients)) return 2;
+    } else if (arg == "--requests") {
+      if (!next_size(&requests_per_client)) return 2;
+    } else if (arg == "--threads") {
+      if (!next_size(&threads)) return 2;
+    } else if (arg == "--json") {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;  // consumed below
+    } else {
+      std::cerr << "usage: bench_daemon [--clients n] [--requests m] "
+                   "[--threads t] [--json [path]]\n";
+      return 2;
+    }
+  }
+  const std::string json_path =
+      bench::JsonPathFromArgs(argc, argv, "BENCH_daemon.json");
+
+  DaemonOptions options;
+  options.catalog.serve.engine.search.min_tightness = 0.3;
+  options.catalog.serve.scan_threads = threads;
+  options.catalog.serve.engine.build.num_threads = threads;
+  options.catalog.serve.engine.profile.num_threads = threads;
+  Result<std::unique_ptr<ZiggyDaemon>> daemon = ZiggyDaemon::Start(options);
+  if (!daemon.ok()) {
+    std::cerr << "error: " << daemon.status() << "\n";
+    return 1;
+  }
+
+  Result<Table> table = LoadTableFromSource("demo://boxoffice?seed=7");
+  if (!table.ok()) return 1;
+  // Workload predicates are generated against a local copy of the same
+  // table (the daemon's copy is behind the wire).
+  Rng workload_rng(4242);
+  const std::vector<std::string> workload =
+      GenerateWorkload(*table, num_clients * requests_per_client, &workload_rng);
+  if (!(*daemon)->catalog().Open("box", std::move(*table)).ok()) return 1;
+
+  std::vector<std::vector<double>> latencies(num_clients);
+  std::vector<size_t> failures(num_clients, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      ZiggyClient client;
+      if (!client.Connect((*daemon)->host(), (*daemon)->port()).ok()) {
+        failures[c] = requests_per_client;
+        return;
+      }
+      latencies[c].reserve(requests_per_client);
+      for (size_t r = 0; r < requests_per_client; ++r) {
+        const std::string& query = workload[c * requests_per_client + r];
+        const auto q0 = std::chrono::steady_clock::now();
+        Result<std::string> reply = client.Characterize("box", query);
+        const auto q1 = std::chrono::steady_clock::now();
+        // Degenerate workload selections (empty/full) are legitimate ERR
+        // replies, not bench failures; a lost transport ends this client —
+        // instantly-failing local calls must not pollute the latency
+        // distribution or the request count.
+        if (!reply.ok() && !client.connected()) {
+          failures[c] += requests_per_client - r;
+          return;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(q1 - q0).count());
+      }
+      (void)client.Quit();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  std::sort(all.begin(), all.end());
+  size_t total_failures = 0;
+  for (size_t f : failures) total_failures += f;
+  const size_t total_requests = all.size();
+  const double rps =
+      wall_ms > 0.0 ? static_cast<double>(total_requests) / (wall_ms / 1000.0)
+                    : 0.0;
+  const double p50 = Percentile(all, 0.50);
+  const double p99 = Percentile(all, 0.99);
+  const ServeStats serve =
+      (*daemon)->catalog().Find("box").ValueOrDie()->stats();
+  const DaemonStats dstats = (*daemon)->stats();
+
+  bench::ResultTable out({"clients", "requests", "wall ms", "req/s", "p50 ms",
+                          "p99 ms", "transport failures"});
+  out.AddRow({std::to_string(num_clients), std::to_string(total_requests),
+              bench::Fmt(wall_ms), bench::Fmt(rps), bench::Fmt(p50),
+              bench::Fmt(p99), std::to_string(total_failures)});
+  out.Print();
+  std::cout << "sketch cache: " << serve.sketch_exact_hits << " exact, "
+            << serve.sketch_patched_hits << " patched, " << serve.sketch_misses
+            << " misses; scans " << serve.scans << " ("
+            << serve.coalesced_requests << " coalesced)\n";
+
+  if (!json_path.empty()) {
+    bench::JsonValue report;
+    report.Set("benchmark", "daemon");
+    report.Set("clients", static_cast<double>(num_clients));
+    report.Set("requests_per_client", static_cast<double>(requests_per_client));
+    report.Set("scan_threads", static_cast<double>(threads));
+    report.Set("total_requests", static_cast<double>(total_requests));
+    report.Set("transport_failures", static_cast<double>(total_failures));
+    report.Set("wall_ms", wall_ms);
+    report.Set("requests_per_sec", rps);
+    report.Set("latency_ms",
+               bench::JsonValue::Object()
+                   .Set("p50", p50)
+                   .Set("p99", p99)
+                   .Set("min", all.empty() ? 0.0 : all.front())
+                   .Set("max", all.empty() ? 0.0 : all.back()));
+    report.Set("serve",
+               bench::JsonValue::Object()
+                   .Set("requests", static_cast<double>(serve.requests))
+                   .Set("sketch_exact_hits",
+                        static_cast<double>(serve.sketch_exact_hits))
+                   .Set("sketch_patched_hits",
+                        static_cast<double>(serve.sketch_patched_hits))
+                   .Set("sketch_misses",
+                        static_cast<double>(serve.sketch_misses))
+                   .Set("scans", static_cast<double>(serve.scans))
+                   .Set("coalesced_requests",
+                        static_cast<double>(serve.coalesced_requests)));
+    report.Set("daemon",
+               bench::JsonValue::Object()
+                   .Set("connections_accepted",
+                        static_cast<double>(dstats.connections_accepted))
+                   .Set("requests_handled",
+                        static_cast<double>(dstats.requests_handled))
+                   .Set("protocol_errors",
+                        static_cast<double>(dstats.protocol_errors)));
+    if (report.WriteFile(json_path)) {
+      std::cout << "wrote " << json_path << "\n";
+    }
+  }
+  (*daemon)->Stop();
+  return 0;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# End-to-end gate for the networked serving daemon: boots a fresh
+# ziggy_daemon on a kernel-assigned port, drives the boxoffice example
+# through the line-protocol client (`ziggy_cli connect`), and diffs the
+# full session transcript against the checked-in golden. The golden itself
+# is pinned to the in-process pipeline by tests/daemon_test.cc
+# (DaemonE2eFixtureTest), so this script failing means the daemon no
+# longer serves what the library computes.
+#
+# Usage: ci/daemon_e2e.sh [build-dir]   (run from the repository root)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$BUILD_DIR/ziggy_daemon" --port 0 --port-file "$WORK/port" \
+  > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "ziggy_daemon exited before binding:"
+    cat "$WORK/daemon.log"
+    exit 1
+  }
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "ziggy_daemon did not report a port"; exit 1; }
+PORT="$(cat "$WORK/port")"
+echo "ziggy_daemon serving on 127.0.0.1:$PORT"
+
+"$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" \
+  < tests/golden/daemon_e2e_commands.txt > "$WORK/out.txt"
+
+diff -u tests/golden/daemon_e2e.golden "$WORK/out.txt"
+echo "daemon e2e transcript matches tests/golden/daemon_e2e.golden"

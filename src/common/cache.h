@@ -57,6 +57,27 @@ class StripedMutex {
   std::vector<std::mutex> mutexes_;
 };
 
+/// \brief Shared byte-budget ledger for a *group* of caches (the serving
+/// catalog charges every table's sketch cache against one global budget).
+/// Purely accounting: caches charge/release bytes here and consult
+/// OverBudget() to decide when to shed their own LRU entries, so
+/// enforcement stays cooperative and no cross-cache locking exists.
+class CacheBudget {
+ public:
+  explicit CacheBudget(size_t total_bytes) : total_(total_bytes) {}
+
+  size_t total_bytes() const { return total_; }
+  size_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
+  bool OverBudget() const { return used_bytes() > total_; }
+
+  void Charge(size_t bytes) { used_.fetch_add(bytes, std::memory_order_relaxed); }
+  void Release(size_t bytes) { used_.fetch_sub(bytes, std::memory_order_relaxed); }
+
+ private:
+  const size_t total_;
+  std::atomic<size_t> used_{0};
+};
+
 /// \brief Aggregate cache counters (monotonic; read with stats()).
 struct CacheStats {
   uint64_t hits = 0;
@@ -78,10 +99,21 @@ class ShardedLruCache {
   /// shard's budget is still admitted (it evicts everything else in the
   /// shard) so that a single oversized working set degrades to "cache of
   /// one" instead of thrashing to zero.
-  ShardedLruCache(size_t shards, size_t budget_bytes)
-      : locks_(shards), shards_(locks_.num_stripes()) {
+  ///
+  /// `shared_budget`, when set, is a second, *global* ceiling spanning
+  /// several caches: every byte held here is also charged there, and a Put
+  /// that leaves the group over budget sheds this cache's own LRU entries
+  /// (never another cache's — each member sheds on its own next Put) until
+  /// the group fits or only the new entry remains.
+  ShardedLruCache(size_t shards, size_t budget_bytes,
+                  std::shared_ptr<CacheBudget> shared_budget = nullptr)
+      : locks_(shards),
+        shards_(locks_.num_stripes()),
+        shared_budget_(std::move(shared_budget)) {
     per_shard_budget_ = budget_bytes / shards_.size();
   }
+
+  ~ShardedLruCache() { Clear(); }  // returns charged bytes to shared_budget_
 
   /// Looks up `key`; promotes the entry to MRU on hit.
   ValuePtr Get(uint64_t key) {
@@ -97,33 +129,31 @@ class ShardedLruCache {
     return it->second->value;
   }
 
-  /// Inserts (or replaces) `key`; evicts LRU entries past the shard budget.
+  /// Inserts (or replaces) `key`; evicts LRU entries past the shard budget
+  /// and, when a shared budget is attached, past the group budget too.
   void Put(uint64_t key, ValuePtr value, size_t bytes) {
-    Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
-    auto it = shard.index.find(key);
-    if (it != shard.index.end()) {
-      shard.bytes -= it->second->bytes;
-      bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
-      shard.lru.erase(it->second);
-      shard.index.erase(it);
-      entries_.fetch_sub(1, std::memory_order_relaxed);
+    {
+      Shard& shard = ShardFor(key);
+      std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+      auto it = shard.index.find(key);
+      if (it != shard.index.end()) {
+        shard.bytes -= it->second->bytes;
+        TrackSub(it->second->bytes);
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      shard.lru.push_front(Entry{key, std::move(value), bytes});
+      shard.index[key] = shard.lru.begin();
+      shard.bytes += bytes;
+      TrackAdd(bytes);
+      insertions_.fetch_add(1, std::memory_order_relaxed);
+      entries_.fetch_add(1, std::memory_order_relaxed);
+      while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
+        EvictBack(&shard);
+      }
     }
-    shard.lru.push_front(Entry{key, std::move(value), bytes});
-    shard.index[key] = shard.lru.begin();
-    shard.bytes += bytes;
-    bytes_.fetch_add(bytes, std::memory_order_relaxed);
-    insertions_.fetch_add(1, std::memory_order_relaxed);
-    entries_.fetch_add(1, std::memory_order_relaxed);
-    while (shard.bytes > per_shard_budget_ && shard.lru.size() > 1) {
-      const Entry& victim = shard.lru.back();
-      shard.bytes -= victim.bytes;
-      bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
-      shard.index.erase(victim.key);
-      shard.lru.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-      entries_.fetch_sub(1, std::memory_order_relaxed);
-    }
+    EnforceSharedBudget(key);
   }
 
   /// Removes `key` if present.
@@ -133,7 +163,7 @@ class ShardedLruCache {
     auto it = shard.index.find(key);
     if (it == shard.index.end()) return;
     shard.bytes -= it->second->bytes;
-    bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+    TrackSub(it->second->bytes);
     shard.lru.erase(it->second);
     shard.index.erase(it);
     entries_.fetch_sub(1, std::memory_order_relaxed);
@@ -167,7 +197,7 @@ class ShardedLruCache {
         out.emplace_back(it->key, std::move(it->value));
       }
       entries_.fetch_sub(shards_[s].lru.size(), std::memory_order_relaxed);
-      bytes_.fetch_sub(shards_[s].bytes, std::memory_order_relaxed);
+      TrackSub(shards_[s].bytes);
       shards_[s].lru.clear();
       shards_[s].index.clear();
       shards_[s].bytes = 0;
@@ -190,6 +220,9 @@ class ShardedLruCache {
   }
 
   size_t num_shards() const { return shards_.size(); }
+  const std::shared_ptr<CacheBudget>& shared_budget() const {
+    return shared_budget_;
+  }
 
  private:
   struct Entry {
@@ -205,8 +238,50 @@ class ShardedLruCache {
 
   Shard& ShardFor(uint64_t key) { return shards_[locks_.StripeOf(key)]; }
 
+  void TrackAdd(size_t bytes) {
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (shared_budget_) shared_budget_->Charge(bytes);
+  }
+  void TrackSub(size_t bytes) {
+    bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+    if (shared_budget_) shared_budget_->Release(bytes);
+  }
+
+  /// Caller holds the shard lock.
+  void EvictBack(Shard* shard) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    TrackSub(victim.bytes);
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Sheds this cache's LRU entries (one shard lock at a time, never two)
+  /// until the shared group budget fits or only `keep_key` — the entry the
+  /// caller just inserted — remains evictable here.
+  void EnforceSharedBudget(uint64_t keep_key) {
+    if (shared_budget_ == nullptr || !shared_budget_->OverBudget()) return;
+    bool evicted = true;
+    while (shared_budget_->OverBudget() && evicted) {
+      evicted = false;
+      for (size_t s = 0; s < shards_.size() && shared_budget_->OverBudget();
+           ++s) {
+        std::lock_guard<std::mutex> lock(locks_.MutexAt(s));
+        Shard& shard = shards_[s];
+        while (shared_budget_->OverBudget() && !shard.lru.empty() &&
+               shard.lru.back().key != keep_key) {
+          EvictBack(&shard);
+          evicted = true;
+        }
+      }
+    }
+  }
+
   StripedMutex locks_;
   std::vector<Shard> shards_;
+  std::shared_ptr<CacheBudget> shared_budget_;
   size_t per_shard_budget_ = 0;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

@@ -27,21 +27,95 @@ std::vector<TaskRange> PartitionTasks(size_t num_tasks, size_t num_threads) {
   return ranges;
 }
 
-void ParallelFor(size_t num_threads, size_t num_tasks,
-                 const std::function<void(TaskRange, size_t)>& body) {
-  const std::vector<TaskRange> ranges = PartitionTasks(num_tasks, num_threads);
+WorkerPool::WorkerPool(size_t num_threads) {
+  const size_t n = EffectiveThreads(num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::Help(Batch* batch) {
+  const size_t total = batch->ranges.size();
+  for (;;) {
+    const size_t w = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (w >= total) return;
+    (*batch->body)(batch->ranges[w], w);
+    if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->cv.notify_all();
+    }
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      batch = queue_.front();
+      // A batch stays queued until its cursor passes the end, so several
+      // workers can drain one large batch; fully claimed batches are
+      // dropped here before waiting again.
+      if (batch->next.load(std::memory_order_relaxed) >= batch->ranges.size()) {
+        queue_.pop_front();
+        continue;
+      }
+    }
+    Help(batch.get());
+  }
+}
+
+void WorkerPool::Run(size_t parallelism, size_t num_tasks,
+                     const std::function<void(TaskRange, size_t)>& body) {
+  std::vector<TaskRange> ranges = PartitionTasks(num_tasks, parallelism);
   if (ranges.empty()) return;
   if (ranges.size() == 1) {
     body(ranges[0], 0);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(ranges.size() - 1);
-  for (size_t w = 1; w < ranges.size(); ++w) {
-    workers.emplace_back([&body, &ranges, w] { body(ranges[w], w); });
+  auto batch = std::make_shared<Batch>();
+  batch->ranges = std::move(ranges);
+  batch->body = &body;
+  const size_t total = batch->ranges.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(batch);
   }
-  body(ranges[0], 0);  // the calling thread takes the first range
-  for (std::thread& t : workers) t.join();
+  cv_.notify_all();
+  Help(batch.get());  // the caller always participates — see header
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] {
+    return batch->done.load(std::memory_order_acquire) == total;
+  });
+}
+
+WorkerPool& SharedWorkerPool() {
+  // Leaked intentionally: worker threads must be joinable for the whole
+  // process lifetime regardless of static destruction order.
+  static WorkerPool* pool = new WorkerPool(0);
+  return *pool;
+}
+
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(TaskRange, size_t)>& body) {
+  if (num_tasks == 0) return;
+  if (num_threads <= 1 || num_tasks == 1) {
+    body(TaskRange{0, num_tasks}, 0);  // sequential: no pool, no allocation
+    return;
+  }
+  SharedWorkerPool().Run(num_threads, num_tasks, body);
 }
 
 void ParallelForEach(size_t num_threads, size_t num_tasks,

@@ -17,8 +17,14 @@
 #ifndef ZIGGY_COMMON_PARALLEL_H_
 #define ZIGGY_COMMON_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -42,10 +48,72 @@ struct TaskRange {
 /// get one extra task). Empty ranges are not emitted.
 std::vector<TaskRange> PartitionTasks(size_t num_tasks, size_t num_threads);
 
+/// \brief Resident pool of helper threads shared by every ParallelFor in
+/// the process (the serving catalog's "one worker pool for all tables").
+///
+/// Execution model: each Run() publishes its deterministic partition as a
+/// batch of claimable ranges; pool workers AND the calling thread claim
+/// ranges via an atomic cursor, and the caller blocks until every range of
+/// its own batch has finished. Because the caller always participates, a
+/// Run() completes even when every pool thread is busy with other tables'
+/// scans (it degrades to the old inline execution) — nested Run() calls
+/// from inside a body cannot deadlock for the same reason.
+///
+/// Determinism: the body receives the partition index (0..P-1), exactly as
+/// the thread-per-call implementation did, so per-worker partial results
+/// merge in the same fixed order no matter which OS thread ran each range.
+class WorkerPool {
+ public:
+  /// `num_threads` helper threads (0 = one per hardware core).
+  explicit WorkerPool(size_t num_threads = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs `body(range, partition_index)` over PartitionTasks(num_tasks,
+  /// parallelism). Blocks until every range has run. Thread-safe; may be
+  /// called concurrently from any number of threads, including from inside
+  /// a body already running on this pool.
+  void Run(size_t parallelism, size_t num_tasks,
+           const std::function<void(TaskRange, size_t)>& body);
+
+ private:
+  struct Batch {
+    std::vector<TaskRange> ranges;
+    const std::function<void(TaskRange, size_t)>* body = nullptr;
+    std::atomic<size_t> next{0};   ///< next unclaimed partition index
+    std::atomic<size_t> done{0};   ///< partitions finished
+    std::mutex mu;
+    std::condition_variable cv;    ///< signalled when done reaches ranges
+  };
+
+  /// Claims and runs ranges of `batch` until none are left unclaimed.
+  static void Help(Batch* batch);
+
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// \brief The process-wide pool ParallelFor executes on. Created lazily on
+/// first use, sized to the hardware; never destroyed (it must outlive any
+/// static-destruction-order races with user code).
+WorkerPool& SharedWorkerPool();
+
 /// \brief Runs `body(range, worker_index)` over a deterministic static
 /// partition of [0, num_tasks). With num_threads <= 1 (or a single
 /// partition) the body runs inline on the calling thread — the sequential
-/// path stays allocation- and thread-free. Blocks until all workers finish.
+/// path stays allocation- and thread-free. Parallel partitions execute on
+/// the shared worker pool; results are identical either way because the
+/// partitioning, not the executing thread, determines the merge order.
+/// Blocks until all workers finish.
 void ParallelFor(size_t num_threads, size_t num_tasks,
                  const std::function<void(TaskRange, size_t)>& body);
 

@@ -39,6 +39,59 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+Result<std::string> JsonUnescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= s.size()) return Status::ParseError("truncated escape");
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= s.size()) return Status::ParseError("truncated \\u escape");
+        unsigned code = 0;
+        for (size_t k = 0; k < 4; ++k) {
+          const char h = s[++i];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return Status::ParseError("bad hex digit in \\u escape");
+        }
+        if (code >= 0xD800 && code <= 0xDFFF) {
+          return Status::ParseError("surrogate \\u escapes are not supported");
+        }
+        // UTF-8 encode the basic-plane code point.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return Status::ParseError(std::string("unknown escape: \\") + s[i]);
+    }
+  }
+  return out;
+}
+
 namespace {
 
 // JSON has no NaN/Infinity; map them to null.

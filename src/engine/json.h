@@ -7,6 +7,7 @@
 #define ZIGGY_ENGINE_JSON_H_
 
 #include <string>
+#include <string_view>
 
 #include "engine/ziggy_engine.h"
 
@@ -14,6 +15,12 @@ namespace ziggy {
 
 /// \brief Escapes a string for embedding in a JSON document.
 std::string JsonEscape(const std::string& s);
+
+/// \brief Inverse of JsonEscape: decodes backslash escapes (\" \\ \/ \n
+/// \r \t \b \f and \uXXXX, basic-plane only — surrogate pairs and bare
+/// surrogates are rejected). The input is the string *body*, without the
+/// surrounding quotes. Errors on truncated or unknown escapes.
+Result<std::string> JsonUnescape(std::string_view s);
 
 /// \brief Serializes a Characterization as a self-contained JSON object:
 /// counts, stage timings, and one entry per view with columns, score,

@@ -1,0 +1,35 @@
+#include "engine/report.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "zig/component.h"
+
+namespace ziggy {
+
+std::string RenderCharacterizationReport(const Characterization& result,
+                                         const Schema& schema) {
+  std::ostringstream os;
+  os << "inside=" << result.inside_count << " outside=" << result.outside_count
+     << "\n";
+  os << "candidates=" << result.num_candidates
+     << " dropped=" << result.views_dropped << "\n";
+  size_t rank = 1;
+  for (const auto& cv : result.views) {
+    os << "#" << rank++ << " " << cv.view.ColumnNames(schema) << "\n";
+    os << "  score=" << FormatDouble(cv.view.score.total, 10)
+       << " tightness=" << FormatDouble(cv.view.tightness, 10)
+       << " p=" << FormatDouble(cv.view.aggregated_p_value, 10) << "\n";
+    os << "  kinds=";
+    for (size_t k = 0; k < kNumComponentKinds; ++k) {
+      if (k > 0) os << ",";
+      os << FormatDouble(cv.view.score.per_kind[k], 8);
+    }
+    os << "\n";
+    os << "  " << cv.explanation.headline << "\n";
+    for (const auto& d : cv.explanation.details) os << "  - " << d << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ziggy

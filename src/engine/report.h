@@ -1,0 +1,25 @@
+// Deterministic rendering of a Characterization: everything the pipeline
+// computed except wall-clock timings and sketch provenance. One format,
+// three consumers — the golden end-to-end test, the daemon's VIEWS verb,
+// and the CI e2e driver — so "the daemon serves exactly what the library
+// computes" is checkable byte-for-byte against one golden file.
+
+#ifndef ZIGGY_ENGINE_REPORT_H_
+#define ZIGGY_ENGINE_REPORT_H_
+
+#include <string>
+
+#include "engine/ziggy_engine.h"
+
+namespace ziggy {
+
+/// \brief Renders counts, candidate totals, and every ranked view (score,
+/// tightness, p-value, per-kind breakdown, explanation) in a fixed format
+/// with fixed float precision. Timings and cache provenance are excluded:
+/// the output is a pure function of the characterization.
+std::string RenderCharacterizationReport(const Characterization& result,
+                                         const Schema& schema);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_ENGINE_REPORT_H_

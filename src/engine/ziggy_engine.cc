@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace ziggy {
@@ -105,7 +106,7 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
   if (options_.cache_queries) {
     auto it = component_cache_.find(fp);
     if (it != component_cache_.end()) {
-      components = &it->second;
+      components = TouchCacheEntry(it);
       out.cache_hit = true;
       ++cache_hits_;
     }
@@ -148,9 +149,7 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
     }
     ++cache_misses_;
     if (options_.cache_queries) {
-      auto [it, inserted] = component_cache_.emplace(fp, std::move(freshly_built));
-      (void)inserted;
-      components = &it->second;
+      components = InsertCacheEntry(fp, std::move(freshly_built));
     } else {
       components = &freshly_built;
     }
@@ -179,6 +178,29 @@ Result<Characterization> ZiggyEngine::Characterize(const Selection& selection) {
   }
   out.timings.post_processing_ms = ElapsedMs(t0);
   return out;
+}
+
+const ComponentTable* ZiggyEngine::TouchCacheEntry(
+    std::unordered_map<uint64_t, CachedComponents>::iterator it) {
+  cache_order_.splice(cache_order_.begin(), cache_order_, it->second.order);
+  return &it->second.components;
+}
+
+const ComponentTable* ZiggyEngine::InsertCacheEntry(uint64_t fingerprint,
+                                                    ComponentTable components) {
+  // Only reached on a confirmed miss (Characterize looked the fingerprint
+  // up under the same lock), so this is always a fresh insertion.
+  cache_order_.push_front(fingerprint);
+  auto [it, inserted] = component_cache_.emplace(
+      fingerprint, CachedComponents{std::move(components), cache_order_.begin()});
+  ZIGGY_DCHECK(inserted);
+  const size_t cap = options_.max_cached_queries;
+  while (cap > 0 && component_cache_.size() > cap) {
+    component_cache_.erase(cache_order_.back());
+    cache_order_.pop_back();
+    ++cache_evictions_;
+  }
+  return &it->second.components;
 }
 
 std::string ZiggyEngine::DendrogramAscii() const {

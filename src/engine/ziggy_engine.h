@@ -19,6 +19,7 @@
 #define ZIGGY_ENGINE_ZIGGY_ENGINE_H_
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <optional>
 #include <string>
@@ -48,6 +49,10 @@ struct ZiggyOptions {
   /// Reuse component tables across textually different but row-identical
   /// queries (keyed by selection fingerprint).
   bool cache_queries = true;
+  /// Entry cap of the per-engine component cache (LRU eviction past it;
+  /// 0 = unbounded). Long-lived serving sessions previously grew this
+  /// cache without bound — one component table per distinct selection.
+  size_t max_cached_queries = 64;
 };
 
 /// \brief Wall-clock cost of each pipeline stage, in milliseconds.
@@ -169,7 +174,12 @@ class ZiggyEngine {
   /// @{
   size_t cache_hits() const { return cache_hits_; }
   size_t cache_misses() const { return cache_misses_; }
-  void ClearCache() { component_cache_.clear(); }
+  size_t cache_evictions() const { return cache_evictions_; }
+  size_t cache_entries() const { return component_cache_.size(); }
+  void ClearCache() {
+    component_cache_.clear();
+    cache_order_.clear();
+  }
   /// @}
 
  private:
@@ -192,9 +202,23 @@ class ZiggyEngine {
   std::unique_ptr<Preparer> preparer_;
   ComponentBuildOptions preparer_options_;
   SketchProvider sketch_provider_;
-  std::unordered_map<uint64_t, ComponentTable> component_cache_;
+  // Component cache: fingerprint -> (table, position in the recency list).
+  // Bounded by options_.max_cached_queries; cache_order_ front = MRU.
+  struct CachedComponents {
+    ComponentTable components;
+    std::list<uint64_t>::iterator order;
+  };
+  /// Promotes `it` to MRU and returns its component table; inserts evict
+  /// the LRU entry past the cap.
+  const ComponentTable* TouchCacheEntry(
+      std::unordered_map<uint64_t, CachedComponents>::iterator it);
+  const ComponentTable* InsertCacheEntry(uint64_t fingerprint,
+                                         ComponentTable components);
+  std::unordered_map<uint64_t, CachedComponents> component_cache_;
+  std::list<uint64_t> cache_order_;
   size_t cache_hits_ = 0;
   size_t cache_misses_ = 0;
+  size_t cache_evictions_ = 0;
 };
 
 }  // namespace ziggy

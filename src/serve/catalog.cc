@@ -1,0 +1,132 @@
+#include "serve/catalog.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace ziggy {
+
+ServerCatalog::ServerCatalog(CatalogOptions options)
+    : options_(std::move(options)),
+      shared_budget_(
+          std::make_shared<CacheBudget>(options_.total_cache_budget_bytes)) {}
+
+bool ServerCatalog::IsValidTableName(const std::string& name) {
+  if (name.empty() || name.size() > 256) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
+    const std::string& name, Table table) {
+  if (!IsValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name: \"" + name + "\"");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tables_.size() >= options_.max_tables) {
+      return Status::FailedPrecondition(
+          "catalog is full (" + std::to_string(options_.max_tables) +
+          " tables)");
+    }
+    for (const auto& [existing, server] : tables_) {
+      if (existing == name) {
+        return Status::AlreadyExists("table already served: " + name);
+      }
+    }
+  }
+
+  // Profiling runs outside the catalog lock: it is the expensive step, and
+  // OPENs of different tables should overlap. The duplicate-name check is
+  // re-run before publishing.
+  ServeOptions serve = options_.serve;
+  serve.shared_cache_budget = shared_budget_;
+  ZIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ZiggyServer> server,
+                         ZiggyServer::Create(std::move(table), serve));
+  std::shared_ptr<ZiggyServer> shared = std::move(server);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.size() >= options_.max_tables) {
+    return Status::FailedPrecondition(
+        "catalog is full (" + std::to_string(options_.max_tables) + " tables)");
+  }
+  for (const auto& [existing, existing_server] : tables_) {
+    if (existing == name) {
+      return Status::AlreadyExists("table already served: " + name);
+    }
+  }
+  tables_.emplace_back(name, shared);
+  std::sort(tables_.begin(), tables_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ++tables_opened_;
+  return shared;
+}
+
+Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, server] : tables_) {
+    if (existing == name) return server;
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+Status ServerCatalog::Close(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = tables_.begin(); it != tables_.end(); ++it) {
+    if (it->first == name) {
+      // Release the table's sketch bytes from the shared ledger NOW: a
+      // connection holding a stale server handle would otherwise keep a
+      // dead table's cache charged against live tables until it next
+      // touches the name or disconnects. The server itself stays usable
+      // for such in-flight handles — just with a cold cache.
+      it->second->FlushSketchCache();
+      tables_.erase(it);
+      ++tables_closed_;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no such table: " + name);
+}
+
+std::vector<CatalogTableInfo> ServerCatalog::List() const {
+  std::vector<CatalogTableInfo> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(tables_.size());
+  for (const auto& [name, server] : tables_) {
+    CatalogTableInfo info;
+    info.name = name;
+    const auto state = server->state();
+    info.num_rows = state->table().num_rows();
+    info.num_columns = state->table().num_columns();
+    info.generation = state->generation();
+    info.num_sessions = server->num_sessions();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+CatalogStats ServerCatalog::stats() const {
+  CatalogStats st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st.tables = tables_.size();
+    st.tables_opened = tables_opened_;
+    st.tables_closed = tables_closed_;
+  }
+  st.shared_budget_total_bytes = shared_budget_->total_bytes();
+  st.shared_budget_used_bytes = shared_budget_->used_bytes();
+  st.worker_pool_threads = SharedWorkerPool().num_threads();
+  return st;
+}
+
+size_t ServerCatalog::num_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.size();
+}
+
+}  // namespace ziggy

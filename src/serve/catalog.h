@@ -1,0 +1,102 @@
+// ServerCatalog: multi-table serving. One catalog owns N named tables,
+// each fronted by its own ZiggyServer (per-table snapshots, sessions,
+// sketch cache), while two resources are global:
+//
+//   * the worker pool — every table's scans execute on the process-wide
+//     SharedWorkerPool (common/parallel.h), so N tables contend for one
+//     bounded set of threads instead of oversubscribing the host, and
+//   * the sketch-cache byte budget — a single CacheBudget ledger spans
+//     every table's ShardedLruCache, so one hot table can use the whole
+//     allowance while idle tables' entries age out cooperatively.
+//
+// Determinism is inherited from ZiggyServer: a table's outputs depend only
+// on its own request/append history and scan_threads, never on which other
+// tables are being served concurrently (pinned by tests/daemon_test.cc,
+// which byte-matches two concurrently served tables against solo runs).
+
+#ifndef ZIGGY_SERVE_CATALOG_H_
+#define ZIGGY_SERVE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cache.h"
+#include "common/result.h"
+#include "serve/ziggy_server.h"
+
+namespace ziggy {
+
+/// \brief Catalog-level knobs; per-table ServeOptions are derived from
+/// `serve` with the shared budget installed.
+struct CatalogOptions {
+  ServeOptions serve;  ///< defaults applied to every opened table
+  /// Global sketch-cache ceiling across all tables (bytes).
+  size_t total_cache_budget_bytes = 256ull << 20;
+  size_t max_tables = 64;
+};
+
+/// \brief One row of LIST output.
+struct CatalogTableInfo {
+  std::string name;
+  size_t num_rows = 0;
+  size_t num_columns = 0;
+  uint64_t generation = 0;
+  size_t num_sessions = 0;
+};
+
+/// \brief Catalog-wide counters.
+struct CatalogStats {
+  size_t tables = 0;
+  uint64_t tables_opened = 0;
+  uint64_t tables_closed = 0;
+  size_t shared_budget_total_bytes = 0;
+  size_t shared_budget_used_bytes = 0;
+  size_t worker_pool_threads = 0;
+};
+
+/// \brief Thread-safe name -> ZiggyServer map with shared resources.
+class ServerCatalog {
+ public:
+  explicit ServerCatalog(CatalogOptions options = {});
+
+  /// Profiles `table` and serves it as `name`. Names are non-empty tokens
+  /// without whitespace; re-opening a served name fails (CLOSE it first).
+  Result<std::shared_ptr<ZiggyServer>> Open(const std::string& name,
+                                            Table table);
+
+  /// The server for `name`, or NotFound.
+  Result<std::shared_ptr<ZiggyServer>> Find(const std::string& name) const;
+
+  /// Stops serving `name`. Existing shared_ptr handles (and requests in
+  /// flight on them) stay valid until released.
+  Status Close(const std::string& name);
+
+  /// Every served table, sorted by name (deterministic LIST output).
+  std::vector<CatalogTableInfo> List() const;
+
+  CatalogStats stats() const;
+  size_t num_tables() const;
+
+  const std::shared_ptr<CacheBudget>& shared_budget() const {
+    return shared_budget_;
+  }
+
+  /// True iff `name` is a well-formed table name ([A-Za-z0-9_.-]+).
+  static bool IsValidTableName(const std::string& name);
+
+ private:
+  CatalogOptions options_;
+  std::shared_ptr<CacheBudget> shared_budget_;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<ZiggyServer>>> tables_;
+  uint64_t tables_opened_ = 0;
+  uint64_t tables_closed_ = 0;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_CATALOG_H_

@@ -1,0 +1,146 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "engine/json.h"
+#include "serve/wire_io.h"
+
+namespace ziggy {
+
+ZiggyClient::ZiggyClient(ZiggyClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+
+ZiggyClient& ZiggyClient::operator=(ZiggyClient&& other) noexcept {
+  if (this != &other) {
+    Disconnect();
+    fd_ = std::exchange(other.fd_, -1);
+    reader_ = std::move(other.reader_);
+  }
+  return *this;
+}
+
+Status ZiggyClient::Connect(const std::string& host, uint16_t port) {
+  Disconnect();
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("connect " + address + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  fd_ = fd;
+  reader_ = LineReader(kMaxResponseBytes);
+  return Status::OK();
+}
+
+void ZiggyClient::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WireResponse> ZiggyClient::CallRaw(const WireRequest& request) {
+  // An unrepresentable request (newline in an argument, space in a
+  // non-tail argument) would split or shift on the wire and desync the
+  // strict request/response stream — reject it before sending anything.
+  ZIGGY_RETURN_NOT_OK(LineProtocol::ValidateRequest(request));
+  return CallLine(LineProtocol::SerializeRequest(request));
+}
+
+Result<WireResponse> ZiggyClient::CallLine(std::string line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  if (line.empty() || line.back() != '\n') line += '\n';
+  if (!SendAll(fd_, line)) {
+    Disconnect();
+    return Status::IOError("send: connection lost");
+  }
+  for (;;) {
+    Result<std::optional<std::string>> line = reader_.Next();
+    if (!line.ok()) {
+      Disconnect();
+      return line.status();
+    }
+    if (line->has_value()) return LineProtocol::ParseResponse(**line);
+    char buffer[4096];
+    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      Disconnect();
+      return Status::IOError("connection closed mid-response");
+    }
+    reader_.Feed(buffer, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> ZiggyClient::Call(const WireRequest& request) {
+  ZIGGY_ASSIGN_OR_RETURN(WireResponse response, CallRaw(request));
+  if (!response.ok) return Status(response.code, response.body);
+  return std::move(response.body);
+}
+
+Result<std::string> ZiggyClient::Open(const std::string& table,
+                                      const std::string& source) {
+  return Call(WireRequest{Verb::kOpen, {table, source}});
+}
+
+Result<std::string> ZiggyClient::List() {
+  return Call(WireRequest{Verb::kList, {}});
+}
+
+Result<std::string> ZiggyClient::Characterize(const std::string& table,
+                                              const std::string& query) {
+  return Call(WireRequest{Verb::kCharacterize, {table, query}});
+}
+
+Result<std::string> ZiggyClient::Views(const std::string& table,
+                                       const std::string& query) {
+  ZIGGY_ASSIGN_OR_RETURN(std::string body,
+                         Call(WireRequest{Verb::kViews, {table, query}}));
+  // The payload is a bare JSON string: "...escaped report...".
+  if (body.size() < 2 || body.front() != '"' || body.back() != '"') {
+    return Status::ParseError("VIEWS payload is not a JSON string");
+  }
+  return JsonUnescape(std::string_view(body).substr(1, body.size() - 2));
+}
+
+Result<std::string> ZiggyClient::Append(const std::string& table,
+                                        const std::string& source) {
+  return Call(WireRequest{Verb::kAppend, {table, source}});
+}
+
+Result<std::string> ZiggyClient::Stats(const std::string& table) {
+  WireRequest request{Verb::kStats, {}};
+  if (!table.empty()) request.args.push_back(table);
+  return Call(request);
+}
+
+Result<std::string> ZiggyClient::CloseTable(const std::string& table) {
+  return Call(WireRequest{Verb::kClose, {table}});
+}
+
+Status ZiggyClient::Quit() {
+  Result<std::string> reply = Call(WireRequest{Verb::kQuit, {}});
+  Disconnect();
+  return reply.status();
+}
+
+}  // namespace ziggy

@@ -1,0 +1,80 @@
+// ZiggyClient: the one line-protocol client implementation. The CLI's
+// `connect` REPL, the daemon tests, and bench_daemon all speak to the
+// daemon through this class, so client-side framing and error mapping
+// exist exactly once.
+//
+// Blocking, not thread-safe: the protocol is strictly request/response per
+// connection, so a client instance is owned by one thread (open several
+// clients for concurrent traffic — that is what sessions are for).
+
+#ifndef ZIGGY_SERVE_CLIENT_H_
+#define ZIGGY_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace ziggy {
+
+/// \brief Blocking TCP client of the Ziggy line protocol.
+class ZiggyClient {
+ public:
+  ZiggyClient() = default;
+  ~ZiggyClient() { Disconnect(); }
+
+  ZiggyClient(const ZiggyClient&) = delete;
+  ZiggyClient& operator=(const ZiggyClient&) = delete;
+  ZiggyClient(ZiggyClient&& other) noexcept;
+  ZiggyClient& operator=(ZiggyClient&& other) noexcept;
+
+  /// Connects to `host:port` (IPv4 dotted quad or "localhost").
+  Status Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request and blocks for its response line. A transport
+  /// failure (send/recv error, EOF mid-response) disconnects the client
+  /// and returns IOError. An ERR response is returned as an *error
+  /// Status* carrying the server's code and message — so callers handle
+  /// wire errors and local errors identically; use CallRaw when the
+  /// distinction matters.
+  Result<std::string> Call(const WireRequest& request);
+
+  /// Like Call, but hands back the WireResponse (ok or ERR) untranslated.
+  Result<WireResponse> CallRaw(const WireRequest& request);
+
+  /// Sends one raw protocol line verbatim (a newline is appended when
+  /// missing) and reads the response. Lets tests and the REPL's `raw`
+  /// command exercise the server's handling of malformed requests.
+  Result<WireResponse> CallLine(std::string line);
+
+  /// \name Verb helpers (thin wrappers over Call).
+  /// @{
+  Result<std::string> Open(const std::string& table, const std::string& source);
+  Result<std::string> List();
+  Result<std::string> Characterize(const std::string& table,
+                                   const std::string& query);
+  /// The deterministic report text (the JSON string payload, decoded).
+  Result<std::string> Views(const std::string& table, const std::string& query);
+  Result<std::string> Append(const std::string& table,
+                             const std::string& source);
+  Result<std::string> Stats(const std::string& table = "");
+  Result<std::string> CloseTable(const std::string& table);
+  Status Quit();
+  /// @}
+
+  /// Response-line ceiling. Larger than the request-side default: a
+  /// CHARACTERIZE over a very wide table can legitimately produce a
+  /// multi-megabyte JSON reply, and the client trusts its server.
+  static constexpr size_t kMaxResponseBytes = 64ull << 20;
+
+ private:
+  int fd_ = -1;
+  LineReader reader_ = LineReader(kMaxResponseBytes);
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_CLIENT_H_

@@ -1,0 +1,193 @@
+#include "serve/daemon/daemon.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "serve/wire_io.h"
+
+namespace ziggy {
+
+Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
+  auto daemon = std::unique_ptr<ZiggyDaemon>(new ZiggyDaemon(std::move(options)));
+
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon->options_.port);
+  if (inet_pton(AF_INET, daemon->options_.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad listen address: " +
+                                   daemon->options_.host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("bind " + daemon->options_.host + ":" +
+                           std::to_string(daemon->options_.port) + ": " + err);
+  }
+  if (listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("getsockname: " + err);
+  }
+
+  daemon->listen_fd_ = fd;
+  daemon->port_ = ntohs(bound.sin_port);
+  daemon->accept_thread_ = std::thread([d = daemon.get()] { d->AcceptLoop(); });
+  return daemon;
+}
+
+ZiggyDaemon::~ZiggyDaemon() { Stop(); }
+
+void ZiggyDaemon::Stop() {
+  // First caller tears everything down; later callers are no-ops (the
+  // destructor is the usual second caller).
+  if (stopping_.exchange(true)) return;
+  // shutdown() wakes the blocked accept() (EINVAL); the fd is closed only
+  // AFTER the accept thread is joined so its number cannot be reused by
+  // another socket while accept() could still be entered on it, and so
+  // listen_fd_ is never written while the accept thread reads it.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    if (connection->fd >= 0) shutdown(connection->fd, SHUT_RDWR);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+    if (connection->fd >= 0) close(connection->fd);
+  }
+}
+
+void ZiggyDaemon::ReapConnections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      if ((*it)->fd >= 0) close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ZiggyDaemon::AcceptLoop() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop(), or fatal — either way we're done
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      close(fd);
+      return;
+    }
+    ReapConnections();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      if (connections_.size() >= options_.max_connections) {
+        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+        SendAll(fd, LineProtocol::SerializeResponse(WireResponse::Error(
+                        Status::FailedPrecondition("too many connections"))));
+        close(fd);
+        continue;
+      }
+      auto connection = std::make_unique<Connection>();
+      connection->fd = fd;
+      Connection* raw = connection.get();
+      connections_.push_back(std::move(connection));
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    }
+  }
+}
+
+void ZiggyDaemon::ServeConnection(Connection* connection) {
+  DaemonHandler handler(&catalog_);
+  LineReader reader(options_.max_line_bytes);
+  char buffer[4096];
+  bool alive = true;
+  while (alive && !stopping_.load(std::memory_order_relaxed)) {
+    const ssize_t n = recv(connection->fd, buffer, sizeof(buffer), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error: the peer is gone
+    reader.Feed(buffer, static_cast<size_t>(n));
+    for (;;) {
+      Result<std::optional<std::string>> line = reader.Next();
+      if (!line.ok()) {
+        // Oversized line: reply in order and keep the stream alive.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        alive = SendAll(connection->fd, LineProtocol::SerializeResponse(
+                                            WireResponse::Error(line.status())));
+        if (!alive) break;
+        continue;
+      }
+      if (!line->has_value()) break;
+      if ((*line)->empty()) continue;  // blank keep-alive lines are ignored
+      WireResponse response;
+      Result<WireRequest> request = LineProtocol::ParseRequest(**line);
+      if (!request.ok()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        response = WireResponse::Error(request.status());
+      } else {
+        response = handler.Handle(*request);
+        requests_handled_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!SendAll(connection->fd, LineProtocol::SerializeResponse(response))) {
+        alive = false;
+        break;
+      }
+      if (handler.quit_requested()) {
+        alive = false;
+        break;
+      }
+    }
+  }
+  handler.CloseAllSessions();
+  shutdown(connection->fd, SHUT_RDWR);
+  connection->done.store(true, std::memory_order_release);
+}
+
+DaemonStats ZiggyDaemon::stats() const {
+  DaemonStats st;
+  st.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  st.connections_rejected =
+      connections_rejected_.load(std::memory_order_relaxed);
+  st.requests_handled = requests_handled_.load(std::memory_order_relaxed);
+  st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    st.live_connections = connections_.size();
+  }
+  return st;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,106 @@
+// ZiggyDaemon: the network front door. A plain POSIX TCP server speaking
+// the newline-delimited line protocol (serve/protocol.h) over a
+// ServerCatalog — one accept loop, one thread + DaemonHandler per
+// connection, no external dependencies.
+//
+// Lifecycle: Start() binds and begins accepting (port 0 = kernel-assigned,
+// reported by port()); Stop() shuts the listener and every live
+// connection down and joins all threads; the destructor calls Stop().
+// Malformed input never kills a connection: parse failures produce ERR
+// replies in request order, and oversized lines are skipped through their
+// newline so the stream re-synchronizes (see LineReader).
+
+#ifndef ZIGGY_SERVE_DAEMON_DAEMON_H_
+#define ZIGGY_SERVE_DAEMON_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/catalog.h"
+#include "serve/daemon/handler.h"
+
+namespace ziggy {
+
+/// \brief Daemon knobs on top of the catalog's serving options.
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for a free one (tests, CI random port).
+  uint16_t port = 0;
+  size_t max_line_bytes = LineProtocol::kMaxLineBytes;
+  size_t max_connections = 64;
+  CatalogOptions catalog;
+};
+
+/// \brief Daemon counters.
+struct DaemonStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;
+  uint64_t requests_handled = 0;
+  uint64_t protocol_errors = 0;
+  size_t live_connections = 0;
+};
+
+/// \brief The serving process: listener + connection threads + catalog.
+class ZiggyDaemon {
+ public:
+  /// Binds, listens, and starts the accept loop. The returned daemon is
+  /// already serving.
+  static Result<std::unique_ptr<ZiggyDaemon>> Start(DaemonOptions options);
+
+  ~ZiggyDaemon();
+
+  ZiggyDaemon(const ZiggyDaemon&) = delete;
+  ZiggyDaemon& operator=(const ZiggyDaemon&) = delete;
+
+  /// The bound port (resolved when options.port was 0).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  ServerCatalog& catalog() { return catalog_; }
+  DaemonStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  explicit ZiggyDaemon(DaemonOptions options)
+      : options_(std::move(options)), catalog_(options_.catalog) {}
+
+  void AcceptLoop();
+  void ServeConnection(Connection* connection);
+  /// Joins finished connection threads (called from the accept loop).
+  void ReapConnections();
+
+  DaemonOptions options_;
+  ServerCatalog catalog_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_handled_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_DAEMON_DAEMON_H_

@@ -1,0 +1,227 @@
+#include "serve/daemon/handler.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+#include "data/synthetic.h"
+#include "engine/json.h"
+#include "engine/report.h"
+#include "storage/csv.h"
+
+namespace ziggy {
+
+namespace {
+
+std::string TableInfoJson(const std::string& name, size_t rows, size_t columns,
+                          uint64_t generation) {
+  std::ostringstream os;
+  os << "{\"table\":\"" << JsonEscape(name) << "\",\"rows\":" << rows
+     << ",\"columns\":" << columns << ",\"generation\":" << generation << "}";
+  return os.str();
+}
+
+std::string ServeStatsJson(const ServeStats& st) {
+  std::ostringstream os;
+  os << "{\"generation\":" << st.generation
+     << ",\"sessions_opened\":" << st.sessions_opened
+     << ",\"requests\":" << st.requests << ",\"failures\":" << st.failures
+     << ",\"sketch_exact_hits\":" << st.sketch_exact_hits
+     << ",\"sketch_patched_hits\":" << st.sketch_patched_hits
+     << ",\"sketch_misses\":" << st.sketch_misses
+     << ",\"patched_delta_rows\":" << st.patched_delta_rows
+     << ",\"scans\":" << st.scans
+     << ",\"coalesced_requests\":" << st.coalesced_requests
+     << ",\"max_batch_size\":" << st.max_batch_size
+     << ",\"appends\":" << st.appends
+     << ",\"appended_rows\":" << st.appended_rows
+     << ",\"cache_flushes\":" << st.cache_flushes
+     << ",\"cache_migrated_entries\":" << st.cache_migrated_entries
+     << ",\"component_cache\":{\"hits\":" << st.component_cache_hits
+     << ",\"misses\":" << st.component_cache_misses
+     << ",\"evictions\":" << st.component_cache_evictions << "}"
+     << ",\"sketch_cache\":{\"hits\":" << st.cache.hits
+     << ",\"misses\":" << st.cache.misses
+     << ",\"insertions\":" << st.cache.insertions
+     << ",\"evictions\":" << st.cache.evictions
+     << ",\"bytes_in_use\":" << st.cache.bytes_in_use
+     << ",\"entries\":" << st.cache.entries << "}}";
+  return os.str();
+}
+
+std::string CatalogStatsJson(const CatalogStats& st) {
+  std::ostringstream os;
+  os << "{\"tables\":" << st.tables << ",\"tables_opened\":" << st.tables_opened
+     << ",\"tables_closed\":" << st.tables_closed
+     << ",\"shared_budget_total_bytes\":" << st.shared_budget_total_bytes
+     << ",\"shared_budget_used_bytes\":" << st.shared_budget_used_bytes
+     << ",\"worker_pool_threads\":" << st.worker_pool_threads << "}";
+  return os.str();
+}
+
+}  // namespace
+
+Result<Table> LoadTableFromSource(const std::string& source) {
+  if (!StartsWith(source, "demo://")) return ReadCsvFile(source);
+  std::string rest = source.substr(7);
+  uint64_t seed = 0;
+  bool have_seed = false;
+  const size_t q = rest.find('?');
+  if (q != std::string::npos) {
+    const std::string query = rest.substr(q + 1);
+    rest = rest.substr(0, q);
+    if (!StartsWith(query, "seed=")) {
+      return Status::InvalidArgument("unknown demo parameter: " + query);
+    }
+    ZIGGY_ASSIGN_OR_RETURN(int64_t parsed, ParseInt(query.substr(5)));
+    if (parsed < 0) return Status::InvalidArgument("seed must be >= 0");
+    seed = static_cast<uint64_t>(parsed);
+    have_seed = true;
+  }
+  Result<SyntheticDataset> ds =
+      Status::InvalidArgument("unknown demo dataset: " + rest);
+  if (rest == "boxoffice") ds = MakeBoxOfficeDataset(have_seed ? seed : 7);
+  if (rest == "crime") ds = MakeCrimeDataset(have_seed ? seed : 11);
+  if (rest == "oecd") ds = MakeOecdDataset(have_seed ? seed : 13);
+  ZIGGY_RETURN_NOT_OK(ds.status());
+  return std::move(ds->table);
+}
+
+Result<DaemonHandler::BoundSession> DaemonHandler::SessionFor(
+    const std::string& table) {
+  // Always resolve through the catalog: another connection may have
+  // CLOSEd (or closed and re-OPENed) the name since we bound to it, and a
+  // cached binding would silently keep serving the dead table.
+  ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ZiggyServer> server,
+                         catalog_->Find(table));
+  auto it = sessions_.find(table);
+  if (it != sessions_.end()) {
+    if (it->second.server == server) return it->second;
+    (void)it->second.server->CloseSession(it->second.session_id);
+    sessions_.erase(it);
+  }
+  BoundSession bound;
+  bound.server = std::move(server);
+  bound.session_id = bound.server->OpenSession();
+  sessions_.emplace(table, bound);
+  return bound;
+}
+
+void DaemonHandler::CloseAllSessions() {
+  for (auto& [table, bound] : sessions_) {
+    (void)bound.server->CloseSession(bound.session_id);
+  }
+  sessions_.clear();
+}
+
+WireResponse DaemonHandler::Handle(const WireRequest& request) {
+  switch (request.verb) {
+    case Verb::kOpen:
+      return HandleOpen(request);
+    case Verb::kList:
+      return HandleList();
+    case Verb::kCharacterize:
+      return HandleCharacterize(request, /*views_only=*/false);
+    case Verb::kViews:
+      return HandleCharacterize(request, /*views_only=*/true);
+    case Verb::kAppend:
+      return HandleAppend(request);
+    case Verb::kStats:
+      return HandleStats(request);
+    case Verb::kClose:
+      return HandleClose(request);
+    case Verb::kQuit:
+      quit_requested_ = true;
+      return WireResponse::Ok("{\"bye\":true}");
+  }
+  return WireResponse::Error(Status::Internal("unhandled verb"));
+}
+
+WireResponse DaemonHandler::HandleOpen(const WireRequest& request) {
+  const std::string& name = request.args[0];
+  Result<Table> table = LoadTableFromSource(request.args[1]);
+  if (!table.ok()) return WireResponse::Error(table.status());
+  Result<std::shared_ptr<ZiggyServer>> server =
+      catalog_->Open(name, std::move(*table));
+  if (!server.ok()) return WireResponse::Error(server.status());
+  const auto state = (*server)->state();
+  return WireResponse::Ok(TableInfoJson(name, state->table().num_rows(),
+                                        state->table().num_columns(),
+                                        state->generation()));
+}
+
+WireResponse DaemonHandler::HandleList() {
+  std::ostringstream os;
+  os << "{\"tables\":[";
+  bool first = true;
+  for (const CatalogTableInfo& info : catalog_->List()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(info.name)
+       << "\",\"rows\":" << info.num_rows << ",\"columns\":" << info.num_columns
+       << ",\"generation\":" << info.generation
+       << ",\"sessions\":" << info.num_sessions << "}";
+  }
+  os << "]}";
+  return WireResponse::Ok(os.str());
+}
+
+WireResponse DaemonHandler::HandleCharacterize(const WireRequest& request,
+                                               bool views_only) {
+  const std::string& table = request.args[0];
+  const std::string& query = request.args[1];
+  Result<BoundSession> bound = SessionFor(table);
+  if (!bound.ok()) return WireResponse::Error(bound.status());
+  Result<Characterization> result =
+      bound->server->Characterize(bound->session_id, query);
+  if (!result.ok()) return WireResponse::Error(result.status());
+  const Schema& schema = bound->server->state()->table().schema();
+  if (views_only) {
+    return WireResponse::Ok(
+        "\"" + JsonEscape(RenderCharacterizationReport(*result, schema)) + "\"");
+  }
+  std::ostringstream os;
+  os << "{\"table\":\"" << JsonEscape(table) << "\",\"sketches\":\""
+     << SketchSourceToString(result->sketch_source) << "\",\"coalesced\":"
+     << (result->coalesced ? "true" : "false")
+     << ",\"result\":" << CharacterizationToJson(*result, schema) << "}";
+  return WireResponse::Ok(os.str());
+}
+
+WireResponse DaemonHandler::HandleAppend(const WireRequest& request) {
+  const std::string& name = request.args[0];
+  Result<std::shared_ptr<ZiggyServer>> server = catalog_->Find(name);
+  if (!server.ok()) return WireResponse::Error(server.status());
+  Result<Table> rows = LoadTableFromSource(request.args[1]);
+  if (!rows.ok()) return WireResponse::Error(rows.status());
+  const size_t appended = rows->num_rows();
+  Status st = (*server)->Append(*rows);
+  if (!st.ok()) return WireResponse::Error(st);
+  std::ostringstream os;
+  os << "{\"table\":\"" << JsonEscape(name) << "\",\"appended_rows\":" << appended
+     << ",\"generation\":" << (*server)->state()->generation() << "}";
+  return WireResponse::Ok(os.str());
+}
+
+WireResponse DaemonHandler::HandleStats(const WireRequest& request) {
+  if (request.args.empty()) {
+    return WireResponse::Ok(CatalogStatsJson(catalog_->stats()));
+  }
+  Result<std::shared_ptr<ZiggyServer>> server = catalog_->Find(request.args[0]);
+  if (!server.ok()) return WireResponse::Error(server.status());
+  return WireResponse::Ok(ServeStatsJson((*server)->stats()));
+}
+
+WireResponse DaemonHandler::HandleClose(const WireRequest& request) {
+  const std::string& name = request.args[0];
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) {
+    (void)it->second.server->CloseSession(it->second.session_id);
+    sessions_.erase(it);
+  }
+  Status st = catalog_->Close(name);
+  if (!st.ok()) return WireResponse::Error(st);
+  return WireResponse::Ok("{\"table\":\"" + JsonEscape(name) +
+                          "\",\"closed\":true}");
+}
+
+}  // namespace ziggy

@@ -1,0 +1,76 @@
+// DaemonHandler: the verb semantics of the wire protocol, one instance per
+// connection. Deliberately socket-free — the daemon feeds it parsed
+// WireRequests and writes back its WireResponses, and the tests drive it
+// the same way without a network in between.
+//
+// Connection state: one implicit exploration session per (connection,
+// table), opened lazily by the first CHARACTERIZE/VIEWS on that table and
+// closed when the connection ends (or the table is CLOSEd). Two clients
+// exploring the same table therefore get separate novelty tracking but
+// share the table's profile, sketch cache, and scan batcher — exactly the
+// ZiggyServer session model, lifted onto the wire.
+
+#ifndef ZIGGY_SERVE_DAEMON_HANDLER_H_
+#define ZIGGY_SERVE_DAEMON_HANDLER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/catalog.h"
+#include "serve/protocol.h"
+
+namespace ziggy {
+
+/// \brief Loads a table from an OPEN/APPEND source argument: a CSV file
+/// path, or "demo://<boxoffice|crime|oecd>[?seed=N]" for the built-in
+/// synthetic datasets (exact in-process tables, no CSV round-trip — what
+/// the golden e2e drives).
+Result<Table> LoadTableFromSource(const std::string& source);
+
+/// \brief Per-connection protocol state machine. Not thread-safe; the
+/// daemon runs one handler per connection thread.
+class DaemonHandler {
+ public:
+  explicit DaemonHandler(ServerCatalog* catalog) : catalog_(catalog) {}
+  ~DaemonHandler() { CloseAllSessions(); }
+
+  DaemonHandler(const DaemonHandler&) = delete;
+  DaemonHandler& operator=(const DaemonHandler&) = delete;
+
+  WireResponse Handle(const WireRequest& request);
+
+  /// True once a QUIT verb was handled; the connection should stop reading.
+  bool quit_requested() const { return quit_requested_; }
+
+  /// Closes every session this connection opened (idempotent; also run by
+  /// the destructor).
+  void CloseAllSessions();
+
+  size_t num_open_sessions() const { return sessions_.size(); }
+
+ private:
+  struct BoundSession {
+    std::shared_ptr<ZiggyServer> server;
+    uint64_t session_id = 0;
+  };
+
+  /// The connection's session on `table`, opening it on first use.
+  Result<BoundSession> SessionFor(const std::string& table);
+
+  WireResponse HandleOpen(const WireRequest& request);
+  WireResponse HandleList();
+  WireResponse HandleCharacterize(const WireRequest& request, bool views_only);
+  WireResponse HandleAppend(const WireRequest& request);
+  WireResponse HandleStats(const WireRequest& request);
+  WireResponse HandleClose(const WireRequest& request);
+
+  ServerCatalog* catalog_;
+  std::map<std::string, BoundSession> sessions_;
+  bool quit_requested_ = false;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_DAEMON_HANDLER_H_

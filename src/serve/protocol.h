@@ -1,0 +1,145 @@
+// The Ziggy wire protocol: newline-delimited request/response lines with
+// JSON payloads, framed over any byte stream (the daemon runs it over
+// TCP; tests run it over in-memory buffers).
+//
+// Request line:   VERB [arg ...]\n
+//   Arguments are space-separated; the *last* argument of a verb may
+//   contain spaces (predicates, file paths) — arity is fixed per verb, so
+//   the tail is unambiguous. Verbs are case-insensitive on the wire.
+//
+//     OPEN <table> <source>        load a CSV (or demo://<name>[?seed=N])
+//     LIST                         enumerate served tables
+//     CHARACTERIZE <table> <query> run a query; reply is the full JSON
+//     VIEWS <table> <query>        run a query; reply is the deterministic
+//                                  report (a JSON string), byte-identical
+//                                  to the in-process golden rendering
+//     APPEND <table> <source>      append rows as a new table generation
+//     STATS [<table>]              serving counters (catalog-wide or per
+//                                  table)
+//     CLOSE <table>                stop serving a table
+//     QUIT                         end the connection
+//
+// Response line:  OK <json>\n  |  ERR <Code> <json-escaped message>\n
+//   <json> is a single-line JSON value. <Code> is the StatusCode name
+//   (InvalidArgument, NotFound, ParseError, ...), so clients can map wire
+//   errors back onto the library's own Status taxonomy.
+//
+// Framing limits: lines longer than max_line_bytes are rejected without
+// buffering the excess (the reader discards through the next newline and
+// reports the oversize), so a misbehaving peer cannot balloon memory.
+
+#ifndef ZIGGY_SERVE_PROTOCOL_H_
+#define ZIGGY_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ziggy {
+
+/// \brief Protocol verbs, in wire order.
+enum class Verb {
+  kOpen,
+  kList,
+  kCharacterize,
+  kViews,
+  kAppend,
+  kStats,
+  kClose,
+  kQuit,
+};
+
+const char* VerbToString(Verb verb);
+Result<Verb> VerbFromString(std::string_view token);
+
+/// \brief One parsed request line.
+struct WireRequest {
+  Verb verb = Verb::kList;
+  std::vector<std::string> args;
+};
+
+/// \brief One parsed response line. `body` is the JSON payload for OK
+/// responses and the decoded (unescaped) error message otherwise.
+struct WireResponse {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::string body;
+
+  static WireResponse Ok(std::string json) {
+    return WireResponse{true, StatusCode::kOk, std::move(json)};
+  }
+  static WireResponse Error(const Status& status) {
+    return WireResponse{false, status.code(), status.message()};
+  }
+};
+
+/// \brief Stateless parser/serializer of protocol lines. Shared by the
+/// daemon, the client, and the tests, so both directions of the wire run
+/// through one implementation. Length limits are the *framing* layer's
+/// job (LineReader) — the parsers accept any complete line they are
+/// handed, so a daemon configured with a larger max_line_bytes works.
+class LineProtocol {
+ public:
+  /// Default ceiling on one framed line (bytes, excluding the newline):
+  /// the daemon's request limit. Clients allow larger response lines —
+  /// see ZiggyClient.
+  static constexpr size_t kMaxLineBytes = 1 << 20;
+
+  /// Parses a request line (no trailing newline; a trailing '\r' is
+  /// tolerated). Checks verb arity; the final argument absorbs any
+  /// remaining tokens for verbs whose last argument may contain spaces.
+  static Result<WireRequest> ParseRequest(std::string_view line);
+
+  /// True iff `request` survives the wire: correct arity, no CR/LF in
+  /// any argument, and no space in any argument except a joined tail.
+  /// SerializeRequest on an invalid request would desync the stream (an
+  /// embedded newline becomes two wire lines), so senders validate first
+  /// (ZiggyClient does this on every call).
+  static Status ValidateRequest(const WireRequest& request);
+  static std::string SerializeRequest(const WireRequest& request);
+
+  static Result<WireResponse> ParseResponse(std::string_view line);
+  static std::string SerializeResponse(const WireResponse& response);
+};
+
+/// \brief Incremental newline framing over a byte stream. Feed() raw
+/// bytes; Next() yields complete lines. An over-limit line is reported as
+/// an error exactly once and skipped through its terminating newline, so
+/// the stream re-synchronizes instead of dying.
+class LineReader {
+ public:
+  explicit LineReader(size_t max_line_bytes = LineProtocol::kMaxLineBytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  void Feed(const char* data, size_t size);
+
+  /// Next complete line without its newline ('\r\n' is treated as '\n').
+  /// nullopt = no complete line buffered yet. An oversized line yields an
+  /// OutOfRange error instead of a line.
+  Result<std::optional<std::string>> Next();
+
+  /// Bytes of the current (incomplete) line (bounded by max_line_bytes_).
+  size_t buffered_bytes() const { return partial_.size(); }
+
+ private:
+  /// One framed event, in wire order: a complete line or an oversize mark.
+  struct Item {
+    bool oversize = false;
+    std::string line;
+  };
+
+  size_t max_line_bytes_;
+  std::vector<Item> ready_;  ///< drained FIFO by Next()
+  size_t ready_head_ = 0;
+  std::string partial_;
+  /// True while discarding an oversized line's tail up to its newline.
+  bool discarding_ = false;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_PROTOCOL_H_

@@ -48,10 +48,14 @@ class SketchCache {
     /// design: exploration traffic is temporally local, so the profitable
     /// patch base is almost always a recent insertion.
     size_t near_miss_candidates = 8;
+    /// Optional group budget shared with other caches (the serving
+    /// catalog's global sketch-memory ceiling). See ShardedLruCache.
+    std::shared_ptr<CacheBudget> shared_budget;
   };
 
   explicit SketchCache(const Options& options)
-      : options_(options), cache_(options.shards, options.budget_bytes) {}
+      : options_(options),
+        cache_(options.shards, options.budget_bytes, options.shared_budget) {}
 
   /// Exact fingerprint lookup, gated on the requester's generation: an
   /// entry inserted by a request that was still running against an older

@@ -1,0 +1,23 @@
+#include "serve/wire_io.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace ziggy {
+
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,20 @@
+// Shared POSIX socket write helper of the wire layer. One implementation
+// of the EINTR-safe partial-send loop, used by both ends of the protocol
+// (ZiggyDaemon's connection threads and ZiggyClient).
+
+#ifndef ZIGGY_SERVE_WIRE_IO_H_
+#define ZIGGY_SERVE_WIRE_IO_H_
+
+#include <string_view>
+
+namespace ziggy {
+
+/// \brief Writes all of `data` to `fd` with send(2), retrying on EINTR
+/// and short writes. MSG_NOSIGNAL: a vanished peer must surface as a
+/// false return, never a process-wide SIGPIPE. Returns false when the
+/// peer is gone (any non-EINTR error).
+bool SendAll(int fd, std::string_view data);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_SERVE_WIRE_IO_H_

@@ -12,7 +12,8 @@ ZiggyServer::ZiggyServer(ServeOptions options,
     : options_(std::move(options)),
       state_(std::move(state)),
       cache_(SketchCache::Options{options_.cache_shards, options_.cache_budget_bytes,
-                                  options_.near_miss_candidates}),
+                                  options_.near_miss_candidates,
+                                  options_.shared_cache_budget}),
       batcher_(ScanBatcher::Options{options_.max_batch, options_.batch_window_us,
                                     options_.scan_threads,
                                     options_.engine.build.block_size}) {}
@@ -92,6 +93,9 @@ Status ZiggyServer::BindSession(Session* session,
                                 state->dendrogram, options_.engine));
   session->engine = std::make_unique<ZiggyEngine>(std::move(engine));
   session->engine_generation = state->generation();
+  session->seen_cache_hits = 0;
+  session->seen_cache_misses = 0;
+  session->seen_cache_evictions = 0;
   // The provider captures the state handle: even if the server moves to a
   // newer generation mid-request, this request keeps scanning the
   // generation its selection was evaluated on.
@@ -103,6 +107,23 @@ Status ZiggyServer::BindSession(Session* session,
         return server->ProvideSketches(*held, selection, fingerprint);
       });
   return Status::OK();
+}
+
+void ZiggyServer::FoldEngineCacheCounters(Session* session) {
+  // Counters are cumulative per engine instance; fold only the delta since
+  // the last request so rebinds (which reset the engine) stay correct.
+  const size_t hits = session->engine->cache_hits();
+  const size_t misses = session->engine->cache_misses();
+  const size_t evictions = session->engine->cache_evictions();
+  component_cache_hits_.fetch_add(hits - session->seen_cache_hits,
+                                  std::memory_order_relaxed);
+  component_cache_misses_.fetch_add(misses - session->seen_cache_misses,
+                                    std::memory_order_relaxed);
+  component_cache_evictions_.fetch_add(evictions - session->seen_cache_evictions,
+                                       std::memory_order_relaxed);
+  session->seen_cache_hits = hits;
+  session->seen_cache_misses = misses;
+  session->seen_cache_evictions = evictions;
 }
 
 std::optional<ProvidedSketches> ZiggyServer::ProvideSketches(
@@ -181,6 +202,7 @@ Result<Characterization> ZiggyServer::Characterize(uint64_t session_id,
   }
 
   Result<Characterization> result = session->engine->CharacterizeQuery(query_text);
+  FoldEngineCacheCounters(session.get());
   ++session->stats.queries_run;
   if (!result.ok()) {
     ++session->stats.queries_failed;
@@ -268,6 +290,12 @@ ServeStats ZiggyServer::stats() const {
   st.cache_flushes = cache_flushes_.load(std::memory_order_relaxed);
   st.cache_migrated_entries = cache_migrated_.load(std::memory_order_relaxed);
   st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  st.component_cache_hits =
+      component_cache_hits_.load(std::memory_order_relaxed);
+  st.component_cache_misses =
+      component_cache_misses_.load(std::memory_order_relaxed);
+  st.component_cache_evictions =
+      component_cache_evictions_.load(std::memory_order_relaxed);
   st.generation = state()->generation();
   st.cache = cache_.stats();
   return st;

@@ -51,6 +51,10 @@ struct ServeOptions {
   bool cache_enabled = true;
   size_t cache_shards = 8;
   size_t cache_budget_bytes = 64ull << 20;
+  /// Group byte budget shared with other servers' sketch caches (set by
+  /// ServerCatalog so N tables compete for one global ceiling instead of
+  /// N private ones). Null for a stand-alone server.
+  std::shared_ptr<CacheBudget> shared_cache_budget;
 
   /// Reuse an overlapping cached selection by patching the XOR delta
   /// through AddRow/RemoveRow. Patching changes floating-point summation
@@ -85,6 +89,12 @@ struct ServeStats {
   uint64_t cache_migrated_entries = 0;
   uint64_t sessions_opened = 0;
   uint64_t generation = 0;
+  /// Per-session engine component caches, aggregated across every session
+  /// that served a request (the caches themselves are per-session; the
+  /// entry cap in ZiggyOptions::max_cached_queries bounds each one).
+  uint64_t component_cache_hits = 0;
+  uint64_t component_cache_misses = 0;
+  uint64_t component_cache_evictions = 0;
   CacheStats cache;
 };
 
@@ -151,6 +161,11 @@ class ZiggyServer {
     std::unique_ptr<ZiggyEngine> engine;
     NoveltyTracker novelty;
     SessionStats stats;
+    /// Engine cache counters already folded into the server aggregates;
+    /// reset when BindSession replaces the engine (fresh counters).
+    size_t seen_cache_hits = 0;
+    size_t seen_cache_misses = 0;
+    size_t seen_cache_evictions = 0;
   };
 
   ZiggyServer(ServeOptions options, std::shared_ptr<const ServingState> state);
@@ -159,6 +174,9 @@ class ZiggyServer {
   /// Rebuilds `session`'s engine against `state` and installs the sketch
   /// provider. Caller holds the session mutex.
   Status BindSession(Session* session, std::shared_ptr<const ServingState> state);
+  /// Folds the session engine's cumulative cache counter deltas into the
+  /// server-wide aggregates. Caller holds the session mutex.
+  void FoldEngineCacheCounters(Session* session);
   /// The SketchProvider body: exact hit → near-miss patch → coalesced scan.
   std::optional<ProvidedSketches> ProvideSketches(const ServingState& state,
                                                   const Selection& selection,
@@ -188,6 +206,9 @@ class ZiggyServer {
   std::atomic<uint64_t> cache_flushes_{0};
   std::atomic<uint64_t> cache_migrated_{0};
   std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> component_cache_hits_{0};
+  std::atomic<uint64_t> component_cache_misses_{0};
+  std::atomic<uint64_t> component_cache_evictions_{0};
 };
 
 }  // namespace ziggy

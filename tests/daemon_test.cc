@@ -1,0 +1,509 @@
+// The networked serving stack, bottom to top:
+//
+//  * ServerCatalog — naming, lifecycle, and the invariant the whole PR
+//    rests on: two tables served concurrently through one catalog (shared
+//    worker pool, shared cache budget) produce byte-identical output to
+//    each table served alone.
+//  * DaemonHandler — verb semantics, driven directly (no sockets).
+//  * ZiggyDaemon + ZiggyClient — the real thing over loopback TCP: golden
+//    byte-match with the in-process pipeline, malformed/oversized input
+//    answered with clean errors on a surviving connection, appends, stats.
+//  * The checked-in CI fixtures (tests/golden/daemon_e2e.*) — regenerated
+//    and verified here so the CI shell script can never drift from what
+//    the library actually produces.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/report.h"
+#include "serve/catalog.h"
+#include "serve/client.h"
+#include "serve/daemon/daemon.h"
+#include "serve/daemon/handler.h"
+#include "storage/csv.h"
+
+#ifndef ZIGGY_SOURCE_DIR
+#define ZIGGY_SOURCE_DIR "."
+#endif
+
+namespace ziggy {
+namespace {
+
+// The predicate baked into tests/golden/daemon_e2e_commands.txt; pinned
+// against MakeBoxOfficeDataset(7) below so the CI script cannot rot.
+constexpr char kBoxofficePredicate[] = "revenue_index >= 1.1826265604539112";
+
+ServeOptions GoldenServeOptions() {
+  ServeOptions options;
+  options.engine.search.min_tightness = 0.4;
+  options.engine.search.max_views = 10;
+  return options;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// ---------------------------------------------------------------- sources --
+
+TEST(LoadTableFromSourceTest, DemoSourcesAndErrors) {
+  Result<Table> box = LoadTableFromSource("demo://boxoffice?seed=7");
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->num_rows(), 900u);
+  EXPECT_EQ(box->num_columns(), 12u);
+
+  EXPECT_TRUE(LoadTableFromSource("demo://boxoffice").ok());
+  EXPECT_FALSE(LoadTableFromSource("demo://nope").ok());
+  EXPECT_FALSE(LoadTableFromSource("demo://boxoffice?speed=7").ok());
+  EXPECT_FALSE(LoadTableFromSource("demo://boxoffice?seed=abc").ok());
+  EXPECT_FALSE(LoadTableFromSource("/no/such/file.csv").ok());
+}
+
+// ---------------------------------------------------------------- catalog --
+
+TEST(ServerCatalogTest, OpenFindCloseList) {
+  ServerCatalog catalog;
+  auto ds = MakeBoxOfficeDataset(7);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(catalog.Open("box", std::move(ds->table)).ok());
+  EXPECT_EQ(catalog.num_tables(), 1u);
+
+  EXPECT_TRUE(catalog.Find("box").ok());
+  EXPECT_TRUE(catalog.Find("nope").status().IsNotFound());
+
+  auto dup = MakeBoxOfficeDataset(7);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_TRUE(
+      catalog.Open("box", std::move(dup->table)).status().IsAlreadyExists());
+
+  auto infos = catalog.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "box");
+  EXPECT_EQ(infos[0].num_rows, 900u);
+  EXPECT_EQ(infos[0].generation, 0u);
+
+  EXPECT_TRUE(catalog.Close("box").ok());
+  EXPECT_TRUE(catalog.Close("box").IsNotFound());
+  EXPECT_EQ(catalog.num_tables(), 0u);
+}
+
+TEST(ServerCatalogTest, RejectsBadNamesAndEnforcesCapacity) {
+  EXPECT_FALSE(ServerCatalog::IsValidTableName(""));
+  EXPECT_FALSE(ServerCatalog::IsValidTableName("has space"));
+  EXPECT_FALSE(ServerCatalog::IsValidTableName("semi;colon"));
+  EXPECT_TRUE(ServerCatalog::IsValidTableName("ok_Name-1.2"));
+
+  CatalogOptions options;
+  options.max_tables = 1;
+  ServerCatalog catalog(options);
+  auto a = MakeBoxOfficeDataset(7);
+  auto b = MakeBoxOfficeDataset(19);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(catalog.Open("a", std::move(a->table)).ok());
+  EXPECT_TRUE(
+      catalog.Open("b", std::move(b->table)).status().IsFailedPrecondition());
+}
+
+TEST(ServerCatalogTest, SharedBudgetIsChargedAndStatsExposeIt) {
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  auto ds = MakeBoxOfficeDataset(7);
+  ASSERT_TRUE(ds.ok());
+  const std::string predicate = ds->selection_predicate;
+  auto server = catalog.Open("box", std::move(ds->table));
+  ASSERT_TRUE(server.ok());
+  const uint64_t sid = (*server)->OpenSession();
+  ASSERT_TRUE((*server)->Characterize(sid, predicate).ok());
+  CatalogStats st = catalog.stats();
+  EXPECT_EQ(st.tables, 1u);
+  EXPECT_GT(st.shared_budget_used_bytes, 0u);  // the cached sketch
+  EXPECT_GT(st.worker_pool_threads, 0u);
+  // Closing the table destroys its server and cache; the shared ledger
+  // must return to zero (no leaked accounting).
+  ASSERT_TRUE(catalog.Close("box").ok());
+  server = Status::NotFound("released");  // drop the last server handle
+  EXPECT_EQ(catalog.stats().shared_budget_used_bytes, 0u);
+}
+
+TEST(ServerCatalogTest, TinySharedBudgetEnforcedAcrossTables) {
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  // A budget far below one sketch set: every insertion must shed down to
+  // the single just-inserted entry, and the ledger must track it.
+  options.total_cache_budget_bytes = 1024;
+  ServerCatalog catalog(options);
+  auto a = MakeBoxOfficeDataset(7);
+  auto b = MakeBoxOfficeDataset(19);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto sa = catalog.Open("a", std::move(a->table));
+  auto sb = catalog.Open("b", std::move(b->table));
+  ASSERT_TRUE(sa.ok() && sb.ok());
+  const uint64_t sida = (*sa)->OpenSession();
+  const uint64_t sidb = (*sb)->OpenSession();
+  for (int i = 0; i < 3; ++i) {
+    // Distinct selections each round: every request inserts fresh
+    // sketches, so the group budget is exercised, not the exact-hit path.
+    const std::string suffix = "1." + std::to_string(i);
+    ASSERT_TRUE((*sa)->Characterize(sida, "revenue_index > " + suffix).ok());
+    ASSERT_TRUE((*sb)->Characterize(sidb, "revenue_index > " + suffix).ok());
+  }
+  const CacheStats ca = (*sa)->stats().cache;
+  const CacheStats cb = (*sb)->stats().cache;
+  // Each cache kept at most its most recent insertion ("cache of one").
+  EXPECT_LE(ca.entries, 1u);
+  EXPECT_LE(cb.entries, 1u);
+  EXPECT_GT(ca.evictions + cb.evictions, 0u);
+}
+
+// Two tables served concurrently through one catalog byte-match their
+// solo-served outputs: cross-table interference (shared pool, shared
+// budget, interleaved scheduling) must be invisible in results.
+TEST(ServerCatalogTest, TwoTablesConcurrentlyByteMatchSoloServing) {
+  auto make_workload = [](uint64_t seed) {
+    auto ds = MakeBoxOfficeDataset(seed).ValueOrDie();
+    std::vector<std::string> queries = {ds.selection_predicate,
+                                        "revenue_index > 1.0",
+                                        "budget_0 > 0.5 AND budget_1 > 0.5",
+                                        ds.selection_predicate,  // cache hit
+                                        "audience_0 > 0.25"};
+    return std::make_pair(std::move(ds), std::move(queries));
+  };
+
+  auto serve_solo = [](Table table, const std::vector<std::string>& queries) {
+    auto server = ZiggyServer::Create(std::move(table), GoldenServeOptions());
+    EXPECT_TRUE(server.ok());
+    const uint64_t sid = (*server)->OpenSession();
+    std::vector<std::string> reports;
+    const Schema& schema = (*server)->state()->table().schema();
+    for (const std::string& q : queries) {
+      auto result = (*server)->Characterize(sid, q);
+      EXPECT_TRUE(result.ok()) << q;
+      reports.push_back(RenderCharacterizationReport(*result, schema));
+    }
+    return reports;
+  };
+
+  auto [ds_a, queries_a] = make_workload(7);
+  auto [ds_b, queries_b] = make_workload(19);
+  auto solo_a = serve_solo(std::move(ds_a.table), queries_a);
+  auto solo_b = serve_solo(std::move(ds_b.table), queries_b);
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  auto fresh_a = MakeBoxOfficeDataset(7);
+  auto fresh_b = MakeBoxOfficeDataset(19);
+  ASSERT_TRUE(fresh_a.ok() && fresh_b.ok());
+  ASSERT_TRUE(catalog.Open("a", std::move(fresh_a->table)).ok());
+  ASSERT_TRUE(catalog.Open("b", std::move(fresh_b->table)).ok());
+
+  std::vector<std::string> concurrent_a, concurrent_b;
+  auto drive = [&catalog](const std::string& name,
+                          const std::vector<std::string>& queries,
+                          std::vector<std::string>* out) {
+    auto server = catalog.Find(name);
+    ASSERT_TRUE(server.ok());
+    const uint64_t sid = (*server)->OpenSession();
+    const Schema& schema = (*server)->state()->table().schema();
+    for (const std::string& q : queries) {
+      auto result = (*server)->Characterize(sid, q);
+      ASSERT_TRUE(result.ok()) << name << ": " << q;
+      out->push_back(RenderCharacterizationReport(*result, schema));
+    }
+  };
+  std::thread ta(drive, "a", queries_a, &concurrent_a);
+  std::thread tb(drive, "b", queries_b, &concurrent_b);
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(concurrent_a, solo_a);
+  EXPECT_EQ(concurrent_b, solo_b);
+}
+
+// ---------------------------------------------------------------- handler --
+
+TEST(DaemonHandlerTest, VerbSemantics) {
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  DaemonHandler handler(&catalog);
+
+  auto call = [&handler](const std::string& line) {
+    auto request = LineProtocol::ParseRequest(line);
+    EXPECT_TRUE(request.ok()) << line;
+    return handler.Handle(*request);
+  };
+
+  WireResponse open = call("OPEN box demo://boxoffice?seed=7");
+  ASSERT_TRUE(open.ok) << open.body;
+  EXPECT_EQ(open.body,
+            "{\"table\":\"box\",\"rows\":900,\"columns\":12,\"generation\":0}");
+
+  WireResponse dup = call("OPEN box demo://boxoffice?seed=7");
+  EXPECT_FALSE(dup.ok);
+  EXPECT_EQ(dup.code, StatusCode::kAlreadyExists);
+
+  WireResponse list = call("LIST");
+  ASSERT_TRUE(list.ok);
+  EXPECT_EQ(list.body,
+            "{\"tables\":[{\"name\":\"box\",\"rows\":900,\"columns\":12,"
+            "\"generation\":0,\"sessions\":0}]}");
+
+  EXPECT_EQ(call("VIEWS nope x > 1").code, StatusCode::kNotFound);
+  EXPECT_EQ(call("VIEWS box revenue_index >").code, StatusCode::kParseError);
+  EXPECT_EQ(handler.num_open_sessions(), 1u);  // lazily opened by VIEWS
+
+  WireResponse views = call(std::string("VIEWS box ") + kBoxofficePredicate);
+  ASSERT_TRUE(views.ok) << views.body;
+  EXPECT_EQ(views.body.front(), '"');
+  EXPECT_EQ(views.body.back(), '"');
+
+  WireResponse characterize =
+      call(std::string("CHARACTERIZE box ") + kBoxofficePredicate);
+  ASSERT_TRUE(characterize.ok);
+  EXPECT_NE(characterize.body.find("\"result\":{"), std::string::npos);
+  EXPECT_NE(characterize.body.find("\"sketches\":\""), std::string::npos);
+
+  WireResponse stats = call("STATS box");
+  ASSERT_TRUE(stats.ok);
+  EXPECT_NE(stats.body.find("\"component_cache\""), std::string::npos);
+  WireResponse catalog_stats = call("STATS");
+  ASSERT_TRUE(catalog_stats.ok);
+  EXPECT_NE(catalog_stats.body.find("\"worker_pool_threads\""),
+            std::string::npos);
+
+  WireResponse close = call("CLOSE box");
+  ASSERT_TRUE(close.ok);
+  EXPECT_EQ(handler.num_open_sessions(), 0u);
+  EXPECT_EQ(call("CLOSE box").code, StatusCode::kNotFound);
+
+  EXPECT_FALSE(handler.quit_requested());
+  WireResponse quit = call("QUIT");
+  ASSERT_TRUE(quit.ok);
+  EXPECT_TRUE(handler.quit_requested());
+}
+
+// A connection's cached per-table session must not outlive the table: if
+// another connection CLOSEs and re-OPENs the name, the next request here
+// must bind to the *current* table, not silently serve the dead one.
+TEST(DaemonHandlerTest, RebindsSessionAfterTableIsReplacedByAnotherConnection) {
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  DaemonHandler conn_a(&catalog);
+  DaemonHandler conn_b(&catalog);
+
+  auto call = [](DaemonHandler* handler, const std::string& line) {
+    auto request = LineProtocol::ParseRequest(line);
+    EXPECT_TRUE(request.ok()) << line;
+    return handler->Handle(*request);
+  };
+
+  ASSERT_TRUE(call(&conn_a, "OPEN t demo://boxoffice?seed=7").ok);
+  ASSERT_TRUE(call(&conn_a, "VIEWS t revenue_index > 1.2").ok);  // binds session
+
+  // Connection B replaces `t` with a different dataset (different schema).
+  ASSERT_TRUE(call(&conn_b, "CLOSE t").ok);
+  ASSERT_TRUE(call(&conn_b, "OPEN t demo://crime?seed=11").ok);
+
+  // A's cached binding is stale; the handler must resolve the new table —
+  // a boxoffice column no longer exists, a crime column does.
+  EXPECT_EQ(call(&conn_a, "VIEWS t revenue_index > 1.2").code,
+            StatusCode::kNotFound);
+  EXPECT_TRUE(call(&conn_a, "VIEWS t violent_crime_rate > 1.4").ok);
+  EXPECT_EQ(conn_a.num_open_sessions(), 1u);
+}
+
+// ------------------------------------------------------------- TCP daemon --
+
+class DaemonTcpTest : public ::testing::Test {
+ protected:
+  void StartDaemon(DaemonOptions options = {}) {
+    options.catalog.serve = GoldenServeOptions();
+    auto daemon = ZiggyDaemon::Start(std::move(options));
+    ASSERT_TRUE(daemon.ok()) << daemon.status();
+    daemon_ = std::move(*daemon);
+  }
+
+  Status Connect(ZiggyClient* client) {
+    return client->Connect(daemon_->host(), daemon_->port());
+  }
+
+  std::unique_ptr<ZiggyDaemon> daemon_;
+};
+
+TEST_F(DaemonTcpTest, ServesGoldenOutputOverTheWire) {
+  StartDaemon();
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+
+  auto open = client.Open("box", "demo://boxoffice?seed=7");
+  ASSERT_TRUE(open.ok()) << open.status();
+
+  // Pin the predicate the CI commands file uses to the dataset's ground
+  // truth, then check the wire report against the in-process golden file.
+  auto ds = MakeBoxOfficeDataset(7);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_EQ(ds->selection_predicate, kBoxofficePredicate);
+
+  auto report = client.Views("box", kBoxofficePredicate);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string golden = ReadFileOrDie(
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/boxoffice_views.golden");
+  EXPECT_EQ(*report, golden);
+
+  EXPECT_TRUE(client.Quit().ok());
+}
+
+TEST_F(DaemonTcpTest, TwoConcurrentClientsBothGetGoldenOutput) {
+  StartDaemon();
+  const std::string golden = ReadFileOrDie(
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/boxoffice_views.golden");
+  {
+    ZiggyClient setup;
+    ASSERT_TRUE(Connect(&setup).ok());
+    ASSERT_TRUE(setup.Open("box", "demo://boxoffice?seed=7").ok());
+  }
+  auto drive = [this, &golden]() {
+    ZiggyClient client;
+    ASSERT_TRUE(Connect(&client).ok());
+    for (int i = 0; i < 3; ++i) {
+      auto report = client.Views("box", kBoxofficePredicate);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_EQ(*report, golden);
+    }
+  };
+  std::thread a(drive), b(drive);
+  a.join();
+  b.join();
+  EXPECT_GE(daemon_->stats().connections_accepted, 3u);
+}
+
+TEST_F(DaemonTcpTest, MalformedAndOversizedInputGetCleanErrorsAndTheConnectionSurvives) {
+  DaemonOptions options;
+  options.max_line_bytes = 256;
+  StartDaemon(std::move(options));
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+
+  auto bogus = client.CallLine("FROBNICATE the data");
+  ASSERT_TRUE(bogus.ok());  // transport fine; protocol-level ERR
+  EXPECT_FALSE(bogus->ok);
+  EXPECT_EQ(bogus->code, StatusCode::kInvalidArgument);
+
+  auto empty_verb = client.CallLine("   ");
+  ASSERT_TRUE(empty_verb.ok());
+  EXPECT_FALSE(empty_verb->ok);
+
+  auto oversized = client.CallLine("VIEWS box " + std::string(4096, 'x'));
+  ASSERT_TRUE(oversized.ok());
+  EXPECT_FALSE(oversized->ok);
+  EXPECT_EQ(oversized->code, StatusCode::kOutOfRange);
+
+  // The stream re-synchronized: normal traffic continues on the same
+  // connection.
+  auto list = client.List();
+  ASSERT_TRUE(list.ok()) << list.status();
+  EXPECT_EQ(*list, "{\"tables\":[]}");
+  EXPECT_GE(daemon_->stats().protocol_errors, 3u);
+}
+
+TEST_F(DaemonTcpTest, AppendCreatesNewGenerationOverTheWire) {
+  StartDaemon();
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_TRUE(client.Open("box", "demo://boxoffice?seed=7").ok());
+
+  auto ds = MakeBoxOfficeDataset(7);
+  ASSERT_TRUE(ds.ok());
+  const std::string csv_path =
+      ::testing::TempDir() + "/ziggy_daemon_test_append.csv";
+  ASSERT_TRUE(WriteCsvFile(ds->table, csv_path).ok());
+
+  auto append = client.Append("box", csv_path);
+  ASSERT_TRUE(append.ok()) << append.status();
+  EXPECT_EQ(*append,
+            "{\"table\":\"box\",\"appended_rows\":900,\"generation\":1}");
+
+  auto list = client.List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_NE(list->find("\"rows\":1800"), std::string::npos);
+  // Queries on the doubled table still work end to end.
+  auto report = client.Views("box", kBoxofficePredicate);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_NE(report->find("inside="), std::string::npos);
+  std::remove(csv_path.c_str());
+}
+
+TEST_F(DaemonTcpTest, StopUnblocksLiveConnections) {
+  StartDaemon();
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_TRUE(client.List().ok());
+  daemon_->Stop();
+  // The daemon closed the socket: the next call fails cleanly instead of
+  // hanging.
+  EXPECT_FALSE(client.List().ok());
+}
+
+// ------------------------------------------------------- CI e2e fixtures --
+
+// The CI daemon-e2e job pipes tests/golden/daemon_e2e_commands.txt through
+// `ziggy_cli connect` against a fresh ziggy_daemon and diffs stdout against
+// tests/golden/daemon_e2e.golden. This test regenerates both expectations
+// from the library itself, so the checked-in fixtures cannot drift from
+// what the code produces. Regenerate with ZIGGY_UPDATE_GOLDEN=1.
+TEST(DaemonE2eFixtureTest, CommandsAndGoldenMatchTheLibrary) {
+  const std::string commands_path =
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/daemon_e2e_commands.txt";
+  const std::string golden_path =
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/daemon_e2e.golden";
+
+  const std::string expected_commands =
+      std::string("open box demo://boxoffice?seed=7\n") +  //
+      "list\n" +                                           //
+      "views box " + kBoxofficePredicate + "\n" +          //
+      "raw BOGUS stuff\n" +                                //
+      "close box\n" +                                      //
+      "quit\n";
+
+  const std::string report = ReadFileOrDie(
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/boxoffice_views.golden");
+  const std::string expected_output =
+      std::string(
+          "{\"table\":\"box\",\"rows\":900,\"columns\":12,\"generation\":0}\n") +
+      "{\"tables\":[{\"name\":\"box\",\"rows\":900,\"columns\":12,"
+      "\"generation\":0,\"sessions\":0}]}\n" +
+      report +  // ends with its own newline
+      "error: InvalidArgument: unknown verb: BOGUS\n" +
+      "{\"table\":\"box\",\"closed\":true}\n";
+
+  if (std::getenv("ZIGGY_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream commands(commands_path);
+    commands << expected_commands;
+    ASSERT_TRUE(commands.good());
+    std::ofstream golden(golden_path);
+    golden << expected_output;
+    ASSERT_TRUE(golden.good());
+    GTEST_SKIP() << "daemon e2e fixtures regenerated";
+  }
+
+  EXPECT_EQ(ReadFileOrDie(commands_path), expected_commands);
+  EXPECT_EQ(ReadFileOrDie(golden_path), expected_output);
+}
+
+}  // namespace
+}  // namespace ziggy

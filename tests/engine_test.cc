@@ -99,6 +99,49 @@ TEST(EngineTest, QueryCacheHitsOnRepeatedSelection) {
   EXPECT_TRUE(r3.cache_hit);
 }
 
+TEST(EngineTest, ComponentCacheEntryCapEvictsLru) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  ZiggyOptions opts;
+  opts.max_cached_queries = 2;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+
+  const std::string q1 = "revenue_index > 1.0";
+  const std::string q2 = "revenue_index > 1.2";
+  const std::string q3 = "revenue_index > 1.4";
+  ASSERT_TRUE(engine.CharacterizeQuery(q1).ok());
+  ASSERT_TRUE(engine.CharacterizeQuery(q2).ok());
+  EXPECT_EQ(engine.cache_entries(), 2u);
+  EXPECT_EQ(engine.cache_evictions(), 0u);
+
+  // Touch q1 so q2 becomes the LRU victim of the next insertion.
+  ASSERT_TRUE(engine.CharacterizeQuery(q1).ok());
+  EXPECT_EQ(engine.cache_hits(), 1u);
+  ASSERT_TRUE(engine.CharacterizeQuery(q3).ok());
+  EXPECT_EQ(engine.cache_entries(), 2u);
+  EXPECT_EQ(engine.cache_evictions(), 1u);
+
+  // q1 survived (recency), q2 was evicted, and the evicted query still
+  // answers correctly (a fresh miss, not an error).
+  ASSERT_TRUE(engine.CharacterizeQuery(q1).ok());
+  EXPECT_EQ(engine.cache_hits(), 2u);
+  Characterization again = engine.CharacterizeQuery(q2).ValueOrDie();
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(engine.cache_evictions(), 2u);  // q3 displaced in turn
+}
+
+TEST(EngineTest, ComponentCacheUnboundedWhenCapIsZero) {
+  SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
+  ZiggyOptions opts;
+  opts.max_cached_queries = 0;
+  ZiggyEngine engine = ZiggyEngine::Create(std::move(ds.table), opts).ValueOrDie();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        engine.CharacterizeQuery("revenue_index > 1." + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(engine.cache_entries(), 5u);
+  EXPECT_EQ(engine.cache_evictions(), 0u);
+}
+
 TEST(EngineTest, CacheCanBeDisabledAndCleared) {
   ZiggyOptions opts;
   opts.cache_queries = false;

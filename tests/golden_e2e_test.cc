@@ -18,6 +18,7 @@
 
 #include "common/string_util.h"
 #include "data/synthetic.h"
+#include "engine/report.h"
 #include "engine/ziggy_engine.h"
 #include "serve/ziggy_server.h"
 
@@ -40,28 +41,11 @@ ZiggyOptions GoldenOptions() {
 }
 
 // Deterministic full rendering: everything except wall-clock timings and
-// sketch provenance.
+// sketch provenance. Lives in the library (engine/report.h) because the
+// daemon's VIEWS verb serves the same rendering — tests/daemon_test.cc
+// byte-matches the wire output against this file's golden.
 std::string RenderGolden(const Characterization& c, const Schema& schema) {
-  std::ostringstream os;
-  os << "inside=" << c.inside_count << " outside=" << c.outside_count << "\n";
-  os << "candidates=" << c.num_candidates << " dropped=" << c.views_dropped
-     << "\n";
-  size_t rank = 1;
-  for (const auto& cv : c.views) {
-    os << "#" << rank++ << " " << cv.view.ColumnNames(schema) << "\n";
-    os << "  score=" << FormatDouble(cv.view.score.total, 10)
-       << " tightness=" << FormatDouble(cv.view.tightness, 10)
-       << " p=" << FormatDouble(cv.view.aggregated_p_value, 10) << "\n";
-    os << "  kinds=";
-    for (size_t k = 0; k < kNumComponentKinds; ++k) {
-      if (k > 0) os << ",";
-      os << FormatDouble(cv.view.score.per_kind[k], 8);
-    }
-    os << "\n";
-    os << "  " << cv.explanation.headline << "\n";
-    for (const auto& d : cv.explanation.details) os << "  - " << d << "\n";
-  }
-  return os.str();
+  return RenderCharacterizationReport(c, schema);
 }
 
 std::string RunGoldenPipeline() {

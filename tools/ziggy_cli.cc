@@ -20,6 +20,21 @@
 //   ziggy_cli demo <boxoffice|crime|oecd>
 //       Run the built-in synthetic use case end to end.
 //
+//   ziggy_cli connect <host:port>
+//       Line-protocol REPL against a running ziggy_daemon. Reads one
+//       command per line from stdin:
+//         open <name> <source>       serve a CSV (or demo://<name>?seed=N)
+//         list                       enumerate served tables
+//         query <name> <predicate>   CHARACTERIZE; prints the JSON reply
+//         views <name> <predicate>   VIEWS; prints the deterministic report
+//         append <name> <source>     append rows as a new generation
+//         stats [name]               catalog-wide or per-table counters
+//         close <name>               stop serving a table
+//         raw <line>                 send a protocol line verbatim
+//         quit
+//       Replies print as raw JSON (reports decoded); errors print as
+//       "error: <Code>: <message>".
+//
 //   ziggy_cli serve <data.csv> [options]
 //       Multi-session REPL over the concurrent serving layer. Reads one
 //       command per line from stdin:
@@ -46,6 +61,7 @@
 #include "data/synthetic.h"
 #include "engine/json.h"
 #include "engine/ziggy_engine.h"
+#include "serve/client.h"
 #include "serve/ziggy_server.h"
 #include "storage/csv.h"
 
@@ -66,6 +82,7 @@ int Usage() {
             << "            [--threads n]\n"
             << "  ziggy_cli dendrogram <data.csv>\n"
             << "  ziggy_cli demo <boxoffice|crime|oecd>\n"
+            << "  ziggy_cli connect <host:port>\n"
             << "  ziggy_cli serve <data.csv> [--threads n] [--cache-mb m]\n"
             << "            [--no-cache] [--no-patch] [--json]\n";
   return 2;
@@ -177,6 +194,9 @@ void PrintServeStats(const ServeStats& st) {
             << st.cache.bytes_in_use / 1024 << " KiB, " << st.cache.evictions
             << " evictions, " << st.cache_flushes << " flushes, "
             << st.cache_migrated_entries << " migrated on append\n"
+            << "component cache: " << st.component_cache_hits << " hits, "
+            << st.component_cache_misses << " misses, "
+            << st.component_cache_evictions << " evictions\n"
             << "scans " << st.scans << ", coalesced requests "
             << st.coalesced_requests << " (max batch " << st.max_batch_size
             << ")\n"
@@ -300,6 +320,99 @@ int RunServe(int argc, char** argv) {
   return 0;
 }
 
+int RunConnect(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  const std::string target = argv[2];
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon + 1 == target.size()) return Usage();
+  Result<int64_t> port = ParseInt(target.substr(colon + 1));
+  if (!port.ok() || *port < 1 || *port > 65535) return Usage();
+
+  ZiggyClient client;
+  Status st = client.Connect(target.substr(0, colon),
+                             static_cast<uint16_t>(*port));
+  if (!st.ok()) return Fail(st);
+
+  auto print = [](const Result<std::string>& reply) {
+    if (reply.ok()) {
+      std::cout << *reply;
+      // Reports end with their own newline; JSON bodies do not.
+      if (reply->empty() || reply->back() != '\n') std::cout << "\n";
+    } else {
+      std::cout << "error: " << reply.status() << "\n";
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "quit" || cmd == "exit") {
+      (void)client.Quit();
+      break;
+    }
+    auto rest_of_line = [&in]() {
+      std::string rest;
+      std::getline(in, rest);
+      return std::string(TrimWhitespace(rest));
+    };
+    if (cmd == "open" || cmd == "append" || cmd == "query" || cmd == "views") {
+      std::string name;
+      if (!(in >> name)) {
+        std::cout << "usage: " << cmd << " <name> <arg>\n";
+        continue;
+      }
+      const std::string arg = rest_of_line();
+      if (arg.empty()) {
+        std::cout << "usage: " << cmd << " <name> <arg>\n";
+        continue;
+      }
+      if (cmd == "open") print(client.Open(name, arg));
+      if (cmd == "append") print(client.Append(name, arg));
+      if (cmd == "query") print(client.Characterize(name, arg));
+      if (cmd == "views") print(client.Views(name, arg));
+    } else if (cmd == "list") {
+      print(client.List());
+    } else if (cmd == "stats") {
+      std::string name;
+      in >> name;
+      print(client.Stats(name));
+    } else if (cmd == "close") {
+      std::string name;
+      if (!(in >> name)) {
+        std::cout << "usage: close <name>\n";
+        continue;
+      }
+      print(client.CloseTable(name));
+    } else if (cmd == "raw") {
+      const std::string raw = rest_of_line();
+      if (raw.empty()) {
+        // The daemon ignores blank lines (no reply), so sending one here
+        // would deadlock the REPL waiting for a response.
+        std::cout << "usage: raw <protocol line>\n";
+        continue;
+      }
+      Result<WireResponse> reply = client.CallLine(raw);
+      if (!reply.ok()) {
+        std::cout << "error: " << reply.status() << "\n";
+      } else if (reply->ok) {
+        std::cout << reply->body << "\n";
+      } else {
+        std::cout << "error: " << Status(reply->code, reply->body) << "\n";
+      }
+    } else {
+      std::cout << "unknown command: " << cmd << "\n";
+    }
+    if (!client.connected()) {
+      std::cerr << "connection lost\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -309,6 +422,7 @@ int main(int argc, char** argv) {
   if (cmd == "views") return RunViews(argc, argv);
   if (cmd == "dendrogram" && argc == 3) return RunDendrogram(argv[2]);
   if (cmd == "demo" && argc == 3) return RunDemo(argv[2]);
+  if (cmd == "connect") return RunConnect(argc, argv);
   if (cmd == "serve") return RunServe(argc, argv);
   return Usage();
 }
