@@ -13,27 +13,10 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 WORK="$(mktemp -d)"
 DAEMON_PID=""
-cleanup() {
-  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
-  rm -rf "$WORK"
-}
-trap cleanup EXIT
+source ci/lib.sh
+trap daemon_cleanup EXIT
 
-"$BUILD_DIR/ziggy_daemon" --port 0 --port-file "$WORK/port" \
-  > "$WORK/daemon.log" 2>&1 &
-DAEMON_PID=$!
-
-for _ in $(seq 1 100); do
-  [ -s "$WORK/port" ] && break
-  kill -0 "$DAEMON_PID" 2>/dev/null || {
-    echo "ziggy_daemon exited before binding:"
-    cat "$WORK/daemon.log"
-    exit 1
-  }
-  sleep 0.1
-done
-[ -s "$WORK/port" ] || { echo "ziggy_daemon did not report a port"; exit 1; }
-PORT="$(cat "$WORK/port")"
+boot_daemon "$WORK/daemon.log"
 echo "ziggy_daemon serving on 127.0.0.1:$PORT"
 
 "$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" \

@@ -1,0 +1,38 @@
+# Shared helpers for the CI shell gates (sourced by daemon_e2e.sh and
+# store_roundtrip.sh). Expects BUILD_DIR and WORK to be set by the caller;
+# manages DAEMON_PID and exports PORT.
+
+# Boots ziggy_daemon on a kernel-assigned port with any extra flags,
+# logging to $1, and waits (up to 10s) for the port file.
+boot_daemon() {
+  local log="$1"
+  shift
+  rm -f "$WORK/port"
+  "$BUILD_DIR/ziggy_daemon" --port 0 --port-file "$WORK/port" "$@" \
+    > "$log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$WORK/port" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "ziggy_daemon exited before binding:"
+      cat "$log"
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -s "$WORK/port" ] || { echo "ziggy_daemon did not report a port"; exit 1; }
+  PORT="$(cat "$WORK/port")"
+}
+
+stop_daemon() {
+  [ -n "${DAEMON_PID:-}" ] || return 0
+  kill "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+}
+
+# Caller installs this via: trap daemon_cleanup EXIT
+daemon_cleanup() {
+  stop_daemon
+  rm -rf "$WORK"
+}

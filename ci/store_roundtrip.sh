@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Warm-restart gate for the durable store: boots ziggy_daemon with a fresh
+# --store directory, primes it (open + SAVE) over the wire, kills the
+# daemon, restarts it on the same store, replays the *unmodified* e2e
+# command script, and diffs the transcript against the same golden the
+# cold-boot daemon-e2e job uses. The OPEN in the replay is served from the
+# checkpoint (proven by grepping the catalog's store counters), so this
+# failing means a warm-restarted daemon no longer serves byte-identical
+# output to a cold boot.
+#
+# Usage: ci/store_roundtrip.sh [build-dir]   (run from the repository root)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+source ci/lib.sh
+trap daemon_cleanup EXIT
+
+# ---- phase 1: cold boot, prime the store, checkpoint, kill ----
+boot_daemon "$WORK/daemon1.log" --store "$WORK/store"
+echo "cold daemon on 127.0.0.1:$PORT (store: $WORK/store)"
+printf 'open box demo://boxoffice?seed=7\nviews box revenue_index >= 1.1826265604539112\nsave box\nquit\n' \
+  | "$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" > "$WORK/prime.txt"
+grep -q '"saved":\[{"table":"box","generation":0}\]' "$WORK/prime.txt" || {
+  echo "SAVE did not checkpoint the table:"
+  cat "$WORK/prime.txt"
+  exit 1
+}
+stop_daemon
+grep -q '^table box 0 ' "$WORK/store/ziggy.manifest" || {
+  echo "store manifest missing the checkpoint:"
+  cat "$WORK/store/ziggy.manifest"
+  exit 1
+}
+
+# ---- phase 2: warm restart, replay the untouched e2e script, diff ----
+boot_daemon "$WORK/daemon2.log" --store "$WORK/store"
+echo "warm daemon on 127.0.0.1:$PORT"
+"$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" \
+  < tests/golden/daemon_e2e_commands.txt > "$WORK/out.txt"
+
+diff -u tests/golden/daemon_e2e.golden "$WORK/out.txt"
+echo "warm-restart transcript matches tests/golden/daemon_e2e.golden"
+
+# ---- phase 3: prove the replay actually took the warm path ----
+printf 'raw STATS\nquit\n' \
+  | "$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" > "$WORK/stats.txt"
+grep -q '"store":{"attached":true,"tables":1,"opens":1' "$WORK/stats.txt" || {
+  echo "catalog stats do not show a warm open:"
+  cat "$WORK/stats.txt"
+  exit 1
+}
+echo "warm open confirmed by catalog store counters"

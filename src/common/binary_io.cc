@@ -1,0 +1,110 @@
+#include "common/binary_io.h"
+
+#include <bit>
+#include <istream>
+#include <ostream>
+
+#include "common/checksum.h"
+
+// The on-disk formats are documented as little-endian and the codecs
+// read/write native byte order; refuse to build where those differ
+// rather than silently producing byte-swapped, unportable stores.
+static_assert(std::endian::native == std::endian::little,
+              "Ziggy store codecs require a little-endian host");
+
+namespace ziggy {
+
+namespace {
+
+template <typename T>
+void PutPod(std::string* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) { PutPod(out, v); }
+void PutU32(std::string* out, uint32_t v) { PutPod(out, v); }
+void PutU64(std::string* out, uint64_t v) { PutPod(out, v); }
+void PutI64(std::string* out, int64_t v) { PutPod(out, v); }
+void PutF64(std::string* out, double v) { PutPod(out, v); }
+
+void PutLengthPrefixed(std::string* out, std::string_view bytes) {
+  PutU64(out, bytes.size());
+  out->append(bytes.data(), bytes.size());
+}
+
+Result<std::string_view> ByteReader::ReadBytes(size_t n) {
+  if (n > remaining()) return Status::ParseError("truncated section payload");
+  std::string_view bytes = data_.substr(pos_, n);
+  pos_ += n;
+  return bytes;
+}
+
+namespace {
+
+template <typename T>
+Result<T> ReadPod(ByteReader* reader) {
+  ZIGGY_ASSIGN_OR_RETURN(std::string_view bytes, reader->ReadBytes(sizeof(T)));
+  T v;
+  std::memcpy(&v, bytes.data(), sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+Result<uint8_t> ByteReader::ReadU8() { return ReadPod<uint8_t>(this); }
+Result<uint32_t> ByteReader::ReadU32() { return ReadPod<uint32_t>(this); }
+Result<uint64_t> ByteReader::ReadU64() { return ReadPod<uint64_t>(this); }
+Result<int64_t> ByteReader::ReadI64() { return ReadPod<int64_t>(this); }
+Result<double> ByteReader::ReadF64() { return ReadPod<double>(this); }
+
+Result<std::string_view> ByteReader::ReadLengthPrefixed(size_t max_bytes) {
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (n > max_bytes) return Status::ParseError("implausible string length");
+  return ReadBytes(static_cast<size_t>(n));
+}
+
+Status WriteSection(std::ostream* out, std::string_view payload) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  if (payload.size() > kMaxSectionBytes) {
+    // Refuse to write what no reader will accept: a checkpoint that can
+    // never be loaded is worse than a failed save.
+    return Status::OutOfRange("section payload of " +
+                              std::to_string(payload.size()) +
+                              " bytes exceeds the format's limit");
+  }
+  const uint64_t size = payload.size();
+  const uint32_t crc = Crc32(payload);
+  out->write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out->write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  if (!*out) return Status::IOError("section write failed");
+  return Status::OK();
+}
+
+Result<std::string> ReadSection(std::istream* in, size_t max_payload_bytes) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  uint64_t size = 0;
+  in->read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!*in) return Status::IOError("truncated section header");
+  if (size > max_payload_bytes) {
+    return Status::ParseError("section length " + std::to_string(size) +
+                              " exceeds limit");
+  }
+  std::string payload(static_cast<size_t>(size), '\0');
+  if (size > 0) {
+    in->read(payload.data(), static_cast<std::streamsize>(size));
+    if (!*in) return Status::IOError("truncated section payload");
+  }
+  uint32_t crc = 0;
+  in->read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  if (!*in) return Status::IOError("truncated section checksum");
+  if (crc != Crc32(payload)) {
+    return Status::ParseError("section checksum mismatch (corrupt data)");
+  }
+  return payload;
+}
+
+}  // namespace ziggy

@@ -1,0 +1,95 @@
+// Little-endian binary framing primitives shared by the on-disk codecs
+// (storage/table_io, persist/*): append-to-buffer writers, a bounds- and
+// Status-checked cursor reader, and CRC-protected length-prefixed
+// sections.
+//
+// Layout of one section:
+//   u64 payload_bytes | payload | u32 crc32(payload)
+// A reader that sees a bad length, a short payload, or a CRC mismatch
+// reports a clean error — the store's corruption handling rests on every
+// byte of every file being inside some checksummed section.
+
+#ifndef ZIGGY_COMMON_BINARY_IO_H_
+#define ZIGGY_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ziggy {
+
+/// \name Append-to-buffer writers (native little-endian).
+/// @{
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutF64(std::string* out, double v);
+/// u64 length prefix + raw bytes.
+void PutLengthPrefixed(std::string* out, std::string_view bytes);
+/// u64 element count + raw POD payload.
+template <typename T>
+void PutPodVector(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  PutU64(out, v.size());
+  out->append(reinterpret_cast<const char*>(v.data()), sizeof(T) * v.size());
+}
+/// @}
+
+/// \brief Status-checked cursor over a decoded section payload. Every read
+/// fails cleanly (never reads past the end) so a corrupted or truncated
+/// payload surfaces as a ParseError, not UB.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<double> ReadF64();
+  /// Raw byte span of exactly `n` bytes (a view into the payload).
+  Result<std::string_view> ReadBytes(size_t n);
+  /// u64 length prefix + bytes, with the length bounded by `max_bytes`.
+  Result<std::string_view> ReadLengthPrefixed(size_t max_bytes);
+  /// u64 element count + raw POD payload; count bounded by `max_elements`.
+  template <typename T>
+  Result<std::vector<T>> ReadPodVector(size_t max_elements) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    ZIGGY_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+    if (n > max_elements) return Status::ParseError("implausible array length");
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view bytes,
+                           ReadBytes(sizeof(T) * static_cast<size_t>(n)));
+    std::vector<T> v(static_cast<size_t>(n));
+    if (n > 0) std::memcpy(v.data(), bytes.data(), bytes.size());
+    return v;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+/// \brief Writes one checksummed section (see layout above).
+Status WriteSection(std::ostream* out, std::string_view payload);
+
+/// \brief Reads one section, verifying length bound and CRC.
+Result<std::string> ReadSection(std::istream* in, size_t max_payload_bytes);
+
+/// \brief Default per-section ceiling (1 GiB): far above any real section,
+/// low enough that a corrupted length prefix cannot trigger a huge
+/// allocation before the CRC check would catch it.
+inline constexpr size_t kMaxSectionBytes = size_t{1} << 30;
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_BINARY_IO_H_

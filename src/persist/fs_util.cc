@@ -1,0 +1,88 @@
+#include "persist/fs_util.h"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+namespace ziggy {
+
+namespace fs = std::filesystem;
+
+Status EnsureDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+std::string JoinPath(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  std::string out(a);
+  if (out.back() != '/') out += '/';
+  out += b;
+  return out;
+}
+
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IOError("cannot rename '" + from + "' to '" + to +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + tmp + "' for writing");
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) {
+      (void)RemoveFileIfExists(tmp);
+      return Status::IOError("write to '" + tmp + "' failed");
+    }
+  }
+  Status st = RenameFile(tmp, path);
+  if (!st.ok()) (void)RemoveFileIfExists(tmp);
+  return st;
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove '" + path + "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveDirectory(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove directory '" + path +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace ziggy

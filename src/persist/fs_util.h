@@ -1,0 +1,43 @@
+// Small filesystem helpers of the persistence layer: error-code-based
+// std::filesystem wrappers (no exceptions cross Ziggy API boundaries) and
+// the atomic tmp+rename write every store file goes through — a reader
+// can never observe a half-written table, profile, manifest, or sketch
+// file, only the previous complete version or the new one.
+
+#ifndef ZIGGY_PERSIST_FS_UTIL_H_
+#define ZIGGY_PERSIST_FS_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ziggy {
+
+/// \brief mkdir -p. OK when the directory already exists.
+Status EnsureDirectory(const std::string& path);
+
+/// \brief True if `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// \brief Joins with exactly one '/' separator.
+std::string JoinPath(std::string_view a, std::string_view b);
+
+/// \brief A process-unique sibling temp path for `path` (atomic staging).
+std::string TempPathFor(const std::string& path);
+
+/// \brief Atomic rename; overwrites `to` if it exists.
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// \brief Writes `contents` to a temp sibling, then renames over `path`.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// \brief Removes `path` if present (OK when absent).
+Status RemoveFileIfExists(const std::string& path);
+
+/// \brief Recursively removes a directory tree (OK when absent).
+Status RemoveDirectory(const std::string& path);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_PERSIST_FS_UTIL_H_

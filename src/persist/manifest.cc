@@ -1,0 +1,114 @@
+#include "persist/manifest.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr char kMagicLine[] = "ziggy-store";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+bool IsValidStoreTableName(const std::string& name) {
+  if (name.empty() || name.size() > 256) return false;
+  if (name == "." || name == "..") return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::optional<ManifestEntry> Manifest::Find(const std::string& name) const {
+  for (const ManifestEntry& entry : entries_) {
+    if (entry.name == name) return entry;
+  }
+  return std::nullopt;
+}
+
+void Manifest::Upsert(ManifestEntry entry) {
+  for (ManifestEntry& existing : entries_) {
+    if (existing.name == entry.name) {
+      existing = std::move(entry);
+      return;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  std::sort(entries_.begin(), entries_.end(),
+            [](const ManifestEntry& a, const ManifestEntry& b) {
+              return a.name < b.name;
+            });
+}
+
+bool Manifest::Remove(const std::string& name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->name == name) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Manifest::Serialize() const {
+  std::string out =
+      std::string(kMagicLine) + " " + std::to_string(kVersion) + "\n";
+  for (const ManifestEntry& entry : entries_) {
+    out += "table " + entry.name + " " + std::to_string(entry.generation) +
+           " " + (entry.has_sketches ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+Result<Manifest> Manifest::Parse(const std::string& text) {
+  std::vector<std::string> lines = Split(text, '\n');
+  if (lines.empty()) return Status::ParseError("empty store manifest");
+
+  const std::vector<std::string> head = Split(lines[0], ' ');
+  if (head.size() != 2 || head[0] != kMagicLine) {
+    return Status::ParseError("not a Ziggy store manifest");
+  }
+  Result<int64_t> version = ParseInt(head[1]);
+  if (!version.ok()) return Status::ParseError("bad manifest version token");
+  if (*version != kVersion) {
+    return Status::FailedPrecondition(
+        "unsupported store manifest version " + head[1] + " (expected " +
+        std::to_string(kVersion) + ")");
+  }
+
+  Manifest manifest;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;  // trailing newline
+    const std::vector<std::string> tokens = Split(lines[i], ' ');
+    if (tokens.size() != 4 || tokens[0] != "table") {
+      return Status::ParseError("malformed manifest line: " + lines[i]);
+    }
+    ManifestEntry entry;
+    entry.name = tokens[1];
+    if (!IsValidStoreTableName(entry.name)) {
+      return Status::ParseError("invalid table name in manifest: " +
+                                entry.name);
+    }
+    ZIGGY_ASSIGN_OR_RETURN(int64_t generation, ParseInt(tokens[2]));
+    if (generation < 0) {
+      return Status::ParseError("negative generation in manifest");
+    }
+    entry.generation = static_cast<uint64_t>(generation);
+    if (tokens[3] != "0" && tokens[3] != "1") {
+      return Status::ParseError("malformed sketch flag in manifest");
+    }
+    entry.has_sketches = tokens[3] == "1";
+    if (manifest.Find(entry.name).has_value()) {
+      return Status::ParseError("duplicate table in manifest: " + entry.name);
+    }
+    manifest.Upsert(std::move(entry));
+  }
+  return manifest;
+}
+
+}  // namespace ziggy

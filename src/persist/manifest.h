@@ -1,0 +1,67 @@
+// The store manifest: the small, human-readable index at the root of a
+// Ziggy store directory. One line per persisted table recording its name,
+// the table *generation* the files were checkpointed at (the same counter
+// the serving layer's append path maintains), and whether a warm-cache
+// sketch file accompanies it.
+//
+// The manifest is the store's commit record: per-table data files are
+// staged tmp+rename first and the manifest is rewritten (atomically) last,
+// so a crash mid-save leaves either the previous complete checkpoint or
+// the new one — never a half-registered table.
+//
+// Format (text, versioned):
+//   ziggy-store 1
+//   table <name> <generation> <has_sketches:0|1>
+
+#ifndef ZIGGY_PERSIST_MANIFEST_H_
+#define ZIGGY_PERSIST_MANIFEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ziggy {
+
+/// \brief One persisted table's manifest record.
+struct ManifestEntry {
+  std::string name;
+  uint64_t generation = 0;
+  bool has_sketches = false;
+};
+
+/// \brief True iff `name` is safe as a store table name: the serving
+/// catalog's charset ([A-Za-z0-9_.-], 1..256 chars) *minus* the path
+/// specials "." and ".." — table names become directory components.
+bool IsValidStoreTableName(const std::string& name);
+
+/// \brief Parsed manifest contents. Entries are kept sorted by name so
+/// serialization is deterministic (stable diffs, stable LIST output).
+class Manifest {
+ public:
+  const std::vector<ManifestEntry>& entries() const { return entries_; }
+
+  /// The entry for `name`, if present.
+  std::optional<ManifestEntry> Find(const std::string& name) const;
+
+  /// Inserts or replaces the entry for `entry.name`.
+  void Upsert(ManifestEntry entry);
+
+  /// Removes `name`; returns false when absent.
+  bool Remove(const std::string& name);
+
+  /// Renders the manifest text (ends with a newline).
+  std::string Serialize() const;
+
+  /// Parses manifest text; rejects unknown versions and malformed lines.
+  static Result<Manifest> Parse(const std::string& text);
+
+ private:
+  std::vector<ManifestEntry> entries_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_PERSIST_MANIFEST_H_

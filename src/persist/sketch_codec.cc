@@ -1,0 +1,133 @@
+#include "persist/sketch_codec.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "persist/fs_util.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr size_t kMaxEntries = 1u << 20;
+
+}  // namespace
+
+Status WriteSketches(std::ostream* out, uint64_t generation, size_t num_rows,
+                     const std::vector<PersistedSketch>& entries) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  std::vector<const PersistedSketch*> keep;
+  keep.reserve(entries.size());
+  for (const PersistedSketch& entry : entries) {
+    if (entry.inside != nullptr && entry.selection.num_rows() == num_rows) {
+      keep.push_back(&entry);
+    }
+  }
+
+  out->write(kSketchMagic, sizeof(kSketchMagic));
+  std::string header;
+  PutU64(&header, generation);
+  PutU64(&header, num_rows);
+  PutU64(&header, keep.size());
+  ZIGGY_RETURN_NOT_OK(WriteSection(out, header));
+
+  for (const PersistedSketch* entry : keep) {
+    std::string payload;
+    PutU64(&payload, entry->fingerprint);
+    PutPodVector(&payload, entry->selection.words());
+    entry->inside->SerializeTo(&payload);
+    ZIGGY_RETURN_NOT_OK(WriteSection(out, payload));
+  }
+  if (!*out) return Status::IOError("sketch write failed");
+  return Status::OK();
+}
+
+Result<LoadedSketches> ReadSketches(std::istream* in, const Table& table,
+                                    const TableProfile& profile) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  char magic[sizeof(kSketchMagic)];
+  in->read(magic, sizeof(magic));
+  if (!*in || std::memcmp(magic, kSketchMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a Ziggy sketch file (bad magic)");
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(std::string header, ReadSection(in, kMaxSectionBytes));
+  ByteReader header_reader(header);
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t generation, header_reader.ReadU64());
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t num_rows, header_reader.ReadU64());
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t entry_count, header_reader.ReadU64());
+  if (!header_reader.exhausted()) {
+    return Status::ParseError("trailing bytes in sketch header");
+  }
+  if (num_rows != table.num_rows()) {
+    return Status::ParseError(
+        "sketch file row count disagrees with the table");
+  }
+  if (entry_count > kMaxEntries) {
+    return Status::ParseError("implausible sketch entry count");
+  }
+
+  LoadedSketches loaded;
+  loaded.generation = generation;
+  loaded.entries.reserve(static_cast<size_t>(entry_count));
+  const size_t expected_words = Selection::NumWordsFor(table.num_rows());
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string payload,
+                           ReadSection(in, kMaxSectionBytes));
+    ByteReader reader(payload);
+    PersistedSketch entry;
+    ZIGGY_ASSIGN_OR_RETURN(entry.fingerprint, reader.ReadU64());
+    ZIGGY_ASSIGN_OR_RETURN(std::vector<uint64_t> words,
+                           reader.ReadPodVector<uint64_t>(expected_words));
+    ZIGGY_ASSIGN_OR_RETURN(
+        entry.selection,
+        Selection::FromWords(table.num_rows(), std::move(words)));
+    if (entry.selection.Fingerprint() != entry.fingerprint) {
+      return Status::ParseError("sketch entry fingerprint mismatch");
+    }
+    auto inside = std::make_shared<SelectionSketches>();
+    inside->InitShapes(table, profile);
+    ZIGGY_RETURN_NOT_OK(inside->DeserializeFrom(&reader));
+    if (!reader.exhausted()) {
+      return Status::ParseError("trailing bytes in sketch entry");
+    }
+    entry.inside = std::move(inside);
+    loaded.entries.push_back(std::move(entry));
+  }
+  return loaded;
+}
+
+Status WriteSketchesFile(const std::string& path, uint64_t generation,
+                         size_t num_rows,
+                         const std::vector<PersistedSketch>& entries) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open '" + tmp + "' for writing");
+    Status st = WriteSketches(&out, generation, num_rows, entries);
+    out.flush();
+    if (st.ok() && !out) st = Status::IOError("write to '" + tmp + "' failed");
+    if (!st.ok()) {
+      out.close();
+      (void)RemoveFileIfExists(tmp);
+      return st;
+    }
+  }
+  Status st = RenameFile(tmp, path);
+  if (!st.ok()) (void)RemoveFileIfExists(tmp);
+  return st;
+}
+
+Result<LoadedSketches> ReadSketchesFile(const std::string& path,
+                                        const Table& table,
+                                        const TableProfile& profile) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadSketches(&in, table, profile);
+}
+
+}  // namespace ziggy

@@ -1,0 +1,74 @@
+// The `.zskc` codec: a snapshot of a table's hot SelectionSketches,
+// persisted alongside the table and profile so a restarted server boots
+// with a *warm* sketch cache — the first repeat of a popular exploration
+// query after a restart is an exact cache hit, not a full scan.
+//
+// Sketches are a cache, not data: a missing or corrupt sketch file only
+// costs warmth. The store's load path therefore degrades to an empty
+// cache on sketch corruption while table/profile corruption is fatal.
+//
+// Layout (little-endian, CRC-framed sections — binary_io.h):
+//   magic "ZIGSKC01"
+//   section: header { u64 generation, u64 num_rows, u64 entry_count }
+//   section per entry:
+//     { u64 fingerprint, u64 selection words[words_for(num_rows)],
+//       sketch statistics payload (SelectionSketches::SerializeTo) }
+// Every entry belongs to one table generation; the loader additionally
+// shape-checks each entry against the live (table, profile) pair, so a
+// sketch file can never install statistics inconsistent with the profile
+// it is served next to.
+
+#ifndef ZIGGY_PERSIST_SKETCH_CODEC_H_
+#define ZIGGY_PERSIST_SKETCH_CODEC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/selection.h"
+#include "zig/profile.h"
+#include "zig/selection_sketches.h"
+
+namespace ziggy {
+
+/// \brief One persisted warm-cache entry.
+struct PersistedSketch {
+  Selection selection;
+  uint64_t fingerprint = 0;
+  std::shared_ptr<const SelectionSketches> inside;
+};
+
+/// \brief Magic / version tag of the sketch codec.
+inline constexpr char kSketchMagic[8] = {'Z', 'I', 'G', 'S',
+                                         'K', 'C', '0', '1'};
+
+/// \brief Writes a sketch snapshot. All entries must span `num_rows` rows
+/// (the generation's table size); entries violating that are skipped.
+Status WriteSketches(std::ostream* out, uint64_t generation, size_t num_rows,
+                     const std::vector<PersistedSketch>& entries);
+
+/// \brief Loaded snapshot: the generation it was taken at plus the entries.
+struct LoadedSketches {
+  uint64_t generation = 0;
+  std::vector<PersistedSketch> entries;
+};
+
+/// \brief Reads a sketch snapshot, validating each entry's bitmap and
+/// statistics shape against (table, profile).
+Result<LoadedSketches> ReadSketches(std::istream* in, const Table& table,
+                                    const TableProfile& profile);
+
+/// \brief File wrappers (WriteSketchesFile stages tmp+rename itself since
+/// sketch files can be large).
+Status WriteSketchesFile(const std::string& path, uint64_t generation,
+                         size_t num_rows,
+                         const std::vector<PersistedSketch>& entries);
+Result<LoadedSketches> ReadSketchesFile(const std::string& path,
+                                        const Table& table,
+                                        const TableProfile& profile);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_PERSIST_SKETCH_CODEC_H_

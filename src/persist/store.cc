@@ -1,0 +1,209 @@
+#include "persist/store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "persist/fs_util.h"
+#include "storage/table_io.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr char kManifestFile[] = "ziggy.manifest";
+constexpr char kTablesDir[] = "tables";
+
+std::string GenFile(const char* stem, uint64_t generation, const char* ext) {
+  return std::string(stem) + ".g" + std::to_string(generation) + "." + ext;
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    return Status::IOError("read of '" + path + "' failed");
+  }
+  return buf.str();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("empty store directory");
+  ZIGGY_RETURN_NOT_OK(EnsureDirectory(dir));
+  ZIGGY_RETURN_NOT_OK(EnsureDirectory(JoinPath(dir, kTablesDir)));
+
+  auto store = std::unique_ptr<ZiggyStore>(new ZiggyStore(dir));
+  const std::string manifest_path = store->ManifestPath();
+  if (PathExists(manifest_path)) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(manifest_path));
+    ZIGGY_ASSIGN_OR_RETURN(store->manifest_, Manifest::Parse(text));
+  } else {
+    ZIGGY_RETURN_NOT_OK(
+        AtomicWriteFile(manifest_path, store->manifest_.Serialize()));
+  }
+  return store;
+}
+
+std::string ZiggyStore::ManifestPath() const {
+  return JoinPath(dir_, kManifestFile);
+}
+std::string ZiggyStore::TableDir(const std::string& name) const {
+  return JoinPath(JoinPath(dir_, kTablesDir), name);
+}
+std::string ZiggyStore::TablePath(const std::string& name,
+                                  uint64_t generation) const {
+  return JoinPath(TableDir(name), GenFile("table", generation, "ztbl"));
+}
+std::string ZiggyStore::ProfilePath(const std::string& name,
+                                    uint64_t generation) const {
+  return JoinPath(TableDir(name), GenFile("profile", generation, "zprof"));
+}
+std::string ZiggyStore::SketchesPath(const std::string& name,
+                                     uint64_t generation) const {
+  return JoinPath(TableDir(name), GenFile("sketches", generation, "zskc"));
+}
+
+std::vector<ManifestEntry> ZiggyStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.entries();
+}
+
+bool ZiggyStore::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.Find(name).has_value();
+}
+
+Result<uint64_t> ZiggyStore::StoredGeneration(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<ManifestEntry> entry = manifest_.Find(name);
+  if (!entry.has_value()) {
+    return Status::NotFound("table not in store: " + name);
+  }
+  return entry->generation;
+}
+
+Status ZiggyStore::CommitManifestLocked() {
+  return AtomicWriteFile(ManifestPath(), manifest_.Serialize());
+}
+
+Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
+                             uint64_t generation, const TableProfile& profile,
+                             const std::vector<PersistedSketch>& sketches) {
+  if (!IsValidStoreTableName(name)) {
+    return Status::InvalidArgument("invalid store table name: \"" + name +
+                                   "\"");
+  }
+  // One checkpoint or load at a time per store: each file rename is atomic
+  // on its own, but a checkpoint is three files plus the manifest, and two
+  // interleaved savers (or a load racing a save) could otherwise pair a
+  // table from one generation with a profile from another — a torn state
+  // the column-count check on load cannot detect.
+  std::lock_guard<std::mutex> lock(mu_);
+  ZIGGY_RETURN_NOT_OK(EnsureDirectory(TableDir(name)));
+  const std::optional<ManifestEntry> previous = manifest_.Find(name);
+
+  // Stage the generation's data files. These are NEW paths (named by the
+  // generation), so a failure or crash anywhere in here cannot disturb
+  // the checkpoint the manifest currently points at.
+  {
+    const std::string path = TablePath(name, generation);
+    const std::string tmp = TempPathFor(path);
+    Status st = WriteTableFile(table, tmp);
+    if (st.ok()) st = RenameFile(tmp, path);
+    if (!st.ok()) {
+      (void)RemoveFileIfExists(tmp);
+      return st;
+    }
+  }
+  {
+    const std::string path = ProfilePath(name, generation);
+    const std::string tmp = TempPathFor(path);
+    Status st = profile.SaveToFile(tmp);
+    if (st.ok()) st = RenameFile(tmp, path);
+    if (!st.ok()) {
+      (void)RemoveFileIfExists(tmp);
+      return st;
+    }
+  }
+  bool has_sketches = false;
+  if (!sketches.empty()) {
+    ZIGGY_RETURN_NOT_OK(WriteSketchesFile(SketchesPath(name, generation),
+                                          generation, table.num_rows(),
+                                          sketches));
+    has_sketches = true;
+  } else {
+    ZIGGY_RETURN_NOT_OK(RemoveFileIfExists(SketchesPath(name, generation)));
+  }
+
+  // Commit: the manifest rewrite is the single atomic switch point.
+  manifest_.Upsert(ManifestEntry{name, generation, has_sketches});
+  ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
+
+  // Sweep the superseded generation's files (best effort: orphans from a
+  // crashed save are likewise cleaned by the next successful one).
+  if (previous.has_value() && previous->generation != generation) {
+    (void)RemoveFileIfExists(TablePath(name, previous->generation));
+    (void)RemoveFileIfExists(ProfilePath(name, previous->generation));
+    (void)RemoveFileIfExists(SketchesPath(name, previous->generation));
+  }
+  return Status::OK();
+}
+
+Result<StoredTable> ZiggyStore::LoadTable(const std::string& name) const {
+  // Serialized against SaveTable (see there): the three data files must be
+  // read as one consistent checkpoint.
+  std::lock_guard<std::mutex> lock(mu_);
+  ManifestEntry entry;
+  {
+    std::optional<ManifestEntry> found = manifest_.Find(name);
+    if (!found.has_value()) {
+      return Status::NotFound("table not in store: " + name);
+    }
+    entry = *found;
+  }
+
+  StoredTable stored;
+  stored.generation = entry.generation;
+  ZIGGY_ASSIGN_OR_RETURN(stored.table,
+                         ReadTableFile(TablePath(name, entry.generation)));
+  ZIGGY_ASSIGN_OR_RETURN(
+      stored.profile,
+      TableProfile::LoadFromFile(ProfilePath(name, entry.generation)));
+  if (stored.profile.num_columns() != stored.table.num_columns()) {
+    return Status::ParseError(
+        "stored profile column count disagrees with the table");
+  }
+
+  if (entry.has_sketches) {
+    Result<LoadedSketches> loaded = ReadSketchesFile(
+        SketchesPath(name, entry.generation), stored.table, stored.profile);
+    if (!loaded.ok()) {
+      // Degrade: sketches are a cache. The table still serves, cold.
+      stored.sketches_status = loaded.status();
+    } else if (loaded->generation != entry.generation) {
+      stored.sketches_status = Status::FailedPrecondition(
+          "sketch snapshot generation " + std::to_string(loaded->generation) +
+          " does not match checkpoint generation " +
+          std::to_string(entry.generation));
+    } else {
+      stored.sketches = std::move(loaded->entries);
+    }
+  }
+  return stored;
+}
+
+Status ZiggyStore::RemoveTable(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!manifest_.Remove(name)) {
+      return Status::NotFound("table not in store: " + name);
+    }
+    ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
+  }
+  return RemoveDirectory(TableDir(name));
+}
+
+}  // namespace ziggy

@@ -1,0 +1,121 @@
+// ZiggyStore: the on-disk durability layer under the serving stack.
+//
+// A store is a directory of per-table checkpoints plus one manifest:
+//
+//   <dir>/ziggy.manifest                     commit record (persist/manifest.h)
+//   <dir>/tables/<name>/table.g<G>.ztbl      binary columnar table (table_io.h)
+//   <dir>/tables/<name>/profile.g<G>.zprof   TableProfile (ZIGPROF2 codec)
+//   <dir>/tables/<name>/sketches.g<G>.zskc   hot SelectionSketches (optional)
+//
+// Data files are named by the generation <G> they checkpoint, and the
+// manifest records which generation is current — so the manifest rewrite
+// is the single atomic switch point. A crash anywhere inside a save
+// leaves the previous generation's files untouched and the manifest
+// pointing at them; at worst some orphaned next-generation files remain,
+// which the next successful save of the table sweeps.
+//
+// Why it exists: a cold daemon boot pays CSV parsing plus the full
+// TableProfile::Compute — the dominant cost on wide tables. A warm boot
+// streams checksummed binary columns and the finished profile back in and
+// re-seeds the sketch cache, so a restarted daemon serves byte-identical
+// CHARACTERIZE/VIEWS output at a fraction of the startup cost (pinned by
+// tests/store_test.cc and the CI store-roundtrip gate).
+//
+// Write protocol (SaveTable): generation-named data files are staged
+// (tmp+rename each) first, the manifest commits last, then the previous
+// generation's files are swept. A crash at any point leaves the previous
+// complete checkpoint or the new one — never a table paired with a
+// profile from a different generation. Saves are keyed by the serving
+// layer's generation counter: the manifest records the generation a
+// checkpoint was taken at, and callers can skip a save when the stored
+// generation already matches. Saves and loads are additionally
+// serialized per store (in-process), and a store directory belongs to
+// ONE process at a time — two daemons on the same --store are not
+// supported.
+//
+// Corruption policy (LoadTable): table/profile damage — truncation, bit
+// flips, wrong magic, version mismatches — fails with a clean Status and
+// installs nothing. Sketch-file damage only costs warmth: the load
+// succeeds with an empty warm set and the error is reported out of band
+// in StoredTable::sketches_status.
+
+#ifndef ZIGGY_PERSIST_STORE_H_
+#define ZIGGY_PERSIST_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/manifest.h"
+#include "persist/sketch_codec.h"
+#include "storage/table.h"
+#include "zig/profile.h"
+
+namespace ziggy {
+
+/// \brief One loaded checkpoint.
+struct StoredTable {
+  Table table;
+  uint64_t generation = 0;
+  TableProfile profile;
+  /// Warm-cache entries (empty when none were persisted or the sketch
+  /// file was unusable — see sketches_status).
+  std::vector<PersistedSketch> sketches;
+  /// OK when the sketch file was absent or loaded cleanly; the load error
+  /// otherwise (the table itself is still served, just cold).
+  Status sketches_status;
+};
+
+/// \brief Directory-backed table/profile/sketch store. Thread-safe.
+class ZiggyStore {
+ public:
+  /// Opens (or initializes) a store at `dir`. A fresh directory gets an
+  /// empty manifest; an existing manifest is validated up front so a
+  /// corrupt store fails at attach time, not mid-request.
+  static Result<std::unique_ptr<ZiggyStore>> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// Manifest snapshot, sorted by table name.
+  std::vector<ManifestEntry> List() const;
+  bool Has(const std::string& name) const;
+  /// The generation `name` was checkpointed at, or NotFound.
+  Result<uint64_t> StoredGeneration(const std::string& name) const;
+
+  /// Checkpoints one table: data files staged tmp+rename, manifest last.
+  Status SaveTable(const std::string& name, const Table& table,
+                   uint64_t generation, const TableProfile& profile,
+                   const std::vector<PersistedSketch>& sketches);
+
+  /// Loads one checkpoint (see corruption policy above).
+  Result<StoredTable> LoadTable(const std::string& name) const;
+
+  /// Drops a table's checkpoint (manifest first, then the files).
+  Status RemoveTable(const std::string& name);
+
+  /// \name Paths (exposed for tests and tooling). Data file paths are
+  /// per generation — the manifest says which generation is current.
+  /// @{
+  std::string TableDir(const std::string& name) const;
+  std::string TablePath(const std::string& name, uint64_t generation) const;
+  std::string ProfilePath(const std::string& name, uint64_t generation) const;
+  std::string SketchesPath(const std::string& name, uint64_t generation) const;
+  std::string ManifestPath() const;
+  /// @}
+
+ private:
+  explicit ZiggyStore(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Serializes + atomically rewrites the manifest. Caller holds mu_.
+  Status CommitManifestLocked();
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  Manifest manifest_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_PERSIST_STORE_H_

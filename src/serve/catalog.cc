@@ -21,6 +21,31 @@ bool ServerCatalog::IsValidTableName(const std::string& name) {
   return true;
 }
 
+ServeOptions ServerCatalog::DerivedServeOptions() const {
+  ServeOptions serve = options_.serve;
+  serve.shared_cache_budget = shared_budget_;
+  return serve;
+}
+
+Status ServerCatalog::Publish(const std::string& name,
+                              std::shared_ptr<ZiggyServer> server) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.size() >= options_.max_tables) {
+    return Status::FailedPrecondition(
+        "catalog is full (" + std::to_string(options_.max_tables) + " tables)");
+  }
+  for (const auto& [existing, existing_server] : tables_) {
+    if (existing == name) {
+      return Status::AlreadyExists("table already served: " + name);
+    }
+  }
+  tables_.emplace_back(name, std::move(server));
+  std::sort(tables_.begin(), tables_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  ++tables_opened_;
+  return Status::OK();
+}
+
 Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
     const std::string& name, Table table) {
   if (!IsValidTableName(name)) {
@@ -42,27 +67,12 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
 
   // Profiling runs outside the catalog lock: it is the expensive step, and
   // OPENs of different tables should overlap. The duplicate-name check is
-  // re-run before publishing.
-  ServeOptions serve = options_.serve;
-  serve.shared_cache_budget = shared_budget_;
-  ZIGGY_ASSIGN_OR_RETURN(std::unique_ptr<ZiggyServer> server,
-                         ZiggyServer::Create(std::move(table), serve));
+  // re-run by Publish().
+  ZIGGY_ASSIGN_OR_RETURN(
+      std::unique_ptr<ZiggyServer> server,
+      ZiggyServer::Create(std::move(table), DerivedServeOptions()));
   std::shared_ptr<ZiggyServer> shared = std::move(server);
-
-  std::lock_guard<std::mutex> lock(mu_);
-  if (tables_.size() >= options_.max_tables) {
-    return Status::FailedPrecondition(
-        "catalog is full (" + std::to_string(options_.max_tables) + " tables)");
-  }
-  for (const auto& [existing, existing_server] : tables_) {
-    if (existing == name) {
-      return Status::AlreadyExists("table already served: " + name);
-    }
-  }
-  tables_.emplace_back(name, shared);
-  std::sort(tables_.begin(), tables_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  ++tables_opened_;
+  ZIGGY_RETURN_NOT_OK(Publish(name, shared));
   return shared;
 }
 
@@ -75,8 +85,124 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Find(
   return Status::NotFound("no such table: " + name);
 }
 
+Status ServerCatalog::AttachStore(const std::string& dir) {
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition("a store is already attached");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(store_, ZiggyStore::Open(dir));
+  return Status::OK();
+}
+
+bool ServerCatalog::StoreHas(const std::string& name) const {
+  return store_ != nullptr && store_->Has(name);
+}
+
+Result<std::shared_ptr<ZiggyServer>> ServerCatalog::OpenFromStore(
+    const std::string& name) {
+  if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  if (!IsValidTableName(name)) {
+    return Status::InvalidArgument("invalid table name: \"" + name + "\"");
+  }
+  // The load runs outside the catalog lock, like Open()'s profiling.
+  ZIGGY_ASSIGN_OR_RETURN(StoredTable stored, store_->LoadTable(name));
+  ZIGGY_ASSIGN_OR_RETURN(
+      std::unique_ptr<ZiggyServer> server,
+      ZiggyServer::CreateFromState(std::move(stored.table), stored.generation,
+                                   std::move(stored.profile),
+                                   DerivedServeOptions()));
+  (void)server->WarmSketchCache(stored.sketches);
+  std::shared_ptr<ZiggyServer> shared = std::move(server);
+  ZIGGY_RETURN_NOT_OK(Publish(name, shared));
+  store_opens_.fetch_add(1, std::memory_order_relaxed);
+  return shared;
+}
+
+Result<uint64_t> ServerCatalog::SaveServerToStore(const std::string& name,
+                                                  ZiggyServer* server,
+                                                  bool only_if_newer) {
+  if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  const std::shared_ptr<const ServingState> state = server->state();
+  if (only_if_newer) {
+    Result<uint64_t> stored = store_->StoredGeneration(name);
+    if (stored.ok() && *stored == state->generation()) {
+      return state->generation();
+    }
+  }
+  ZIGGY_RETURN_NOT_OK(store_->SaveTable(name, state->table(),
+                                        state->generation(), *state->profile,
+                                        server->ExportSketchCache()));
+  store_saves_.fetch_add(1, std::memory_order_relaxed);
+  return state->generation();
+}
+
+Result<uint64_t> ServerCatalog::SaveToStore(const std::string& name,
+                                            bool only_if_newer) {
+  if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ZiggyServer> server, Find(name));
+  return SaveServerToStore(name, server.get(), only_if_newer);
+}
+
+Result<std::vector<std::pair<std::string, uint64_t>>>
+ServerCatalog::SaveAllToStore() {
+  if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  std::vector<std::pair<std::string, uint64_t>> saved;
+  for (const CatalogTableInfo& info : List()) {
+    ZIGGY_ASSIGN_OR_RETURN(uint64_t generation, SaveToStore(info.name));
+    saved.emplace_back(info.name, generation);
+  }
+  return saved;
+}
+
+Status ServerCatalog::SetPersist(const std::string& name, bool on) {
+  if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  ZIGGY_RETURN_NOT_OK(Find(name).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (on) {
+    persist_tables_.insert(name);
+  } else {
+    persist_tables_.erase(name);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ServerCatalog::Append(const std::string& name,
+                                       const Table& rows,
+                                       Status* checkpoint_status) {
+  if (checkpoint_status != nullptr) *checkpoint_status = Status::OK();
+  ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ZiggyServer> server, Find(name));
+  ZIGGY_RETURN_NOT_OK(server->Append(rows));
+  const uint64_t generation = server->state()->generation();
+  bool persist = options_.checkpoint_on_append;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    persist = persist || persist_tables_.count(name) > 0;
+  }
+  if (persist && store_ != nullptr) {
+    // Checkpoint the server the rows were applied to — but only while the
+    // catalog still maps the name to it. If a concurrent CLOSE+OPEN
+    // replaced the name, persisting the detached server would clobber the
+    // replacement's checkpoint, and persisting the replacement would
+    // falsely report these rows as durable; surface the skip instead.
+    Status st = Status::OK();
+    Result<std::shared_ptr<ZiggyServer>> current = Find(name);
+    if (current.ok() && current->get() == server.get()) {
+      // only_if_newer: a concurrent append may already have checkpointed
+      // a generation at or past ours; skipping is cheaper, just as
+      // durable.
+      st = SaveServerToStore(name, server.get(), /*only_if_newer=*/true)
+               .status();
+    } else {
+      st = Status::FailedPrecondition(
+          "table was replaced during the append; checkpoint skipped");
+    }
+    if (checkpoint_status != nullptr) *checkpoint_status = st;
+  }
+  return generation;
+}
+
 Status ServerCatalog::Close(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
+  persist_tables_.erase(name);
   for (auto it = tables_.begin(); it != tables_.end(); ++it) {
     if (it->first == name) {
       // Release the table's sketch bytes from the shared ledger NOW: a
@@ -121,6 +247,12 @@ CatalogStats ServerCatalog::stats() const {
   st.shared_budget_total_bytes = shared_budget_->total_bytes();
   st.shared_budget_used_bytes = shared_budget_->used_bytes();
   st.worker_pool_threads = SharedWorkerPool().num_threads();
+  if (store_ != nullptr) {
+    st.store_attached = true;
+    st.store_tables = store_->List().size();
+    st.store_opens = store_opens_.load(std::memory_order_relaxed);
+    st.store_saves = store_saves_.load(std::memory_order_relaxed);
+  }
   return st;
 }
 

@@ -13,18 +13,30 @@
 // on its own request/append history and scan_threads, never on which other
 // tables are being served concurrently (pinned by tests/daemon_test.cc,
 // which byte-matches two concurrently served tables against solo runs).
+//
+// Durability: a catalog may additionally attach a ZiggyStore
+// (persist/store.h). Tables can then be opened *from* a checkpoint
+// (skipping the profile computation and booting with a warm sketch
+// cache), saved explicitly (the SAVE verb), and checkpointed
+// automatically on append (SetPersist / checkpoint_on_append). Warm
+// restart output is byte-identical to a cold boot — pinned by
+// tests/store_test.cc and the CI store-roundtrip gate.
 
 #ifndef ZIGGY_SERVE_CATALOG_H_
 #define ZIGGY_SERVE_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cache.h"
 #include "common/result.h"
+#include "persist/store.h"
 #include "serve/ziggy_server.h"
 
 namespace ziggy {
@@ -36,6 +48,10 @@ struct CatalogOptions {
   /// Global sketch-cache ceiling across all tables (bytes).
   size_t total_cache_budget_bytes = 256ull << 20;
   size_t max_tables = 64;
+  /// Checkpoint every successful Append() of every table to the attached
+  /// store (per-table PERSIST overrides this default; no effect without a
+  /// store).
+  bool checkpoint_on_append = false;
 };
 
 /// \brief One row of LIST output.
@@ -55,6 +71,13 @@ struct CatalogStats {
   size_t shared_budget_total_bytes = 0;
   size_t shared_budget_used_bytes = 0;
   size_t worker_pool_threads = 0;
+  /// \name Durability (zero / false without an attached store).
+  /// @{
+  bool store_attached = false;
+  size_t store_tables = 0;     ///< checkpoints in the store
+  uint64_t store_opens = 0;    ///< tables served from a checkpoint (warm)
+  uint64_t store_saves = 0;    ///< checkpoints written
+  /// @}
 };
 
 /// \brief Thread-safe name -> ZiggyServer map with shared resources.
@@ -71,8 +94,54 @@ class ServerCatalog {
   Result<std::shared_ptr<ZiggyServer>> Find(const std::string& name) const;
 
   /// Stops serving `name`. Existing shared_ptr handles (and requests in
-  /// flight on them) stay valid until released.
+  /// flight on them) stay valid until released. The table's checkpoint in
+  /// the store, if any, is kept — closing stops serving, it does not
+  /// delete durable data.
   Status Close(const std::string& name);
+
+  /// Appends rows to `name` as a new generation, then — when the table is
+  /// marked for persistence (SetPersist) or checkpoint_on_append is set —
+  /// checkpoints the new generation to the store. Returns the post-append
+  /// generation of the server the rows were applied to (callers must not
+  /// re-resolve the name: it may have been replaced concurrently). The
+  /// append itself succeeds even if the checkpoint fails; the checkpoint
+  /// status is returned through `checkpoint_status` when non-null.
+  Result<uint64_t> Append(const std::string& name, const Table& rows,
+                          Status* checkpoint_status = nullptr);
+
+  /// \name Durability (persist/store.h).
+  /// @{
+
+  /// Attaches (opening or initializing) a store directory. Fails if a
+  /// store is already attached or the directory is unusable.
+  Status AttachStore(const std::string& dir);
+  bool HasStore() const { return store_ != nullptr; }
+  const ZiggyStore* store() const { return store_.get(); }
+
+  /// True when the attached store holds a checkpoint for `name`.
+  bool StoreHas(const std::string& name) const;
+
+  /// Serves `name` from its checkpoint: binary table + finished profile
+  /// (no recompute) + warm sketch cache. Fails like Open() on duplicate
+  /// names / capacity; corruption of the table or profile installs
+  /// nothing.
+  Result<std::shared_ptr<ZiggyServer>> OpenFromStore(const std::string& name);
+
+  /// Checkpoints one served table (table, profile, hot sketches) at its
+  /// current generation. With `only_if_newer`, skips when the stored
+  /// generation already matches (the append path's cheap idempotence).
+  /// Returns the checkpointed generation.
+  Result<uint64_t> SaveToStore(const std::string& name,
+                               bool only_if_newer = false);
+
+  /// Checkpoints every served table; returns (name, generation) pairs.
+  /// Stops at the first failure.
+  Result<std::vector<std::pair<std::string, uint64_t>>> SaveAllToStore();
+
+  /// Marks `name` for checkpoint-on-append (the PERSIST verb). The flag
+  /// is cleared when the table is closed.
+  Status SetPersist(const std::string& name, bool on);
+  /// @}
 
   /// Every served table, sorted by name (deterministic LIST output).
   std::vector<CatalogTableInfo> List() const;
@@ -88,13 +157,25 @@ class ServerCatalog {
   static bool IsValidTableName(const std::string& name);
 
  private:
+  /// Per-table ServeOptions with the shared budget installed.
+  ServeOptions DerivedServeOptions() const;
+  /// Duplicate-name/capacity check + publish under mu_.
+  Status Publish(const std::string& name, std::shared_ptr<ZiggyServer> server);
+  /// Checkpoints an already-resolved server under `name` (no re-lookup).
+  Result<uint64_t> SaveServerToStore(const std::string& name,
+                                     ZiggyServer* server, bool only_if_newer);
+
   CatalogOptions options_;
   std::shared_ptr<CacheBudget> shared_budget_;
+  std::unique_ptr<ZiggyStore> store_;
 
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, std::shared_ptr<ZiggyServer>>> tables_;
+  std::set<std::string> persist_tables_;
   uint64_t tables_opened_ = 0;
   uint64_t tables_closed_ = 0;
+  std::atomic<uint64_t> store_opens_{0};
+  std::atomic<uint64_t> store_saves_{0};
 };
 
 }  // namespace ziggy

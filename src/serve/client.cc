@@ -133,6 +133,16 @@ Result<std::string> ZiggyClient::Stats(const std::string& table) {
   return Call(request);
 }
 
+Result<std::string> ZiggyClient::Save(const std::string& table) {
+  WireRequest request{Verb::kSave, {}};
+  if (!table.empty()) request.args.push_back(table);
+  return Call(request);
+}
+
+Result<std::string> ZiggyClient::Persist(const std::string& table, bool on) {
+  return Call(WireRequest{Verb::kPersist, {table, on ? "on" : "off"}});
+}
+
 Result<std::string> ZiggyClient::CloseTable(const std::string& table) {
   return Call(WireRequest{Verb::kClose, {table}});
 }

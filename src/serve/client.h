@@ -61,6 +61,11 @@ class ZiggyClient {
   Result<std::string> Append(const std::string& table,
                              const std::string& source);
   Result<std::string> Stats(const std::string& table = "");
+  /// Checkpoints one table (or all, with an empty name) to the daemon's
+  /// store.
+  Result<std::string> Save(const std::string& table = "");
+  /// Toggles checkpoint-on-append for a table.
+  Result<std::string> Persist(const std::string& table, bool on);
   Result<std::string> CloseTable(const std::string& table);
   Status Quit();
   /// @}

@@ -15,6 +15,11 @@ namespace ziggy {
 Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
   auto daemon = std::unique_ptr<ZiggyDaemon>(new ZiggyDaemon(std::move(options)));
 
+  if (!daemon->options_.store_dir.empty()) {
+    ZIGGY_RETURN_NOT_OK(
+        daemon->catalog_.AttachStore(daemon->options_.store_dir));
+  }
+
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -132,11 +137,28 @@ void ZiggyDaemon::AcceptLoop() {
 void ZiggyDaemon::ServeConnection(Connection* connection) {
   DaemonHandler handler(&catalog_);
   LineReader reader(options_.max_line_bytes);
+  if (options_.request_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(options_.request_timeout_ms / 1000);
+    tv.tv_usec =
+        static_cast<suseconds_t>((options_.request_timeout_ms % 1000) * 1000);
+    (void)setsockopt(connection->fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   char buffer[4096];
   bool alive = true;
   while (alive && !stopping_.load(std::memory_order_relaxed)) {
     const ssize_t n = recv(connection->fd, buffer, sizeof(buffer), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: the peer sent nothing (or stalled mid-line)
+      // for request_timeout_ms. Tell it why (best effort) and free the
+      // handler thread instead of letting a silent client pin it.
+      connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+      (void)SendAll(connection->fd,
+                    LineProtocol::SerializeResponse(WireResponse::Error(
+                        Status::FailedPrecondition("request timeout"))));
+      break;
+    }
     if (n <= 0) break;  // EOF or error: the peer is gone
     reader.Feed(buffer, static_cast<size_t>(n));
     for (;;) {
@@ -181,6 +203,8 @@ DaemonStats ZiggyDaemon::stats() const {
       connections_accepted_.load(std::memory_order_relaxed);
   st.connections_rejected =
       connections_rejected_.load(std::memory_order_relaxed);
+  st.connections_timed_out =
+      connections_timed_out_.load(std::memory_order_relaxed);
   st.requests_handled = requests_handled_.load(std::memory_order_relaxed);
   st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   {

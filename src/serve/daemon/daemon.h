@@ -34,6 +34,15 @@ struct DaemonOptions {
   uint16_t port = 0;
   size_t max_line_bytes = LineProtocol::kMaxLineBytes;
   size_t max_connections = 64;
+  /// Per-connection receive timeout in milliseconds (0 = none). A
+  /// connection that goes silent for longer — a stalled client, a dead
+  /// peer no FIN ever arrived from — is answered with an ERR and closed,
+  /// so it cannot pin one of the max_connections handler threads forever.
+  size_t request_timeout_ms = 0;
+  /// Store directory for durable checkpoints (empty = no store). Attached
+  /// to the catalog before the listener starts; opening fails if the
+  /// directory is unusable or holds a corrupt manifest.
+  std::string store_dir;
   CatalogOptions catalog;
 };
 
@@ -41,6 +50,7 @@ struct DaemonOptions {
 struct DaemonStats {
   uint64_t connections_accepted = 0;
   uint64_t connections_rejected = 0;
+  uint64_t connections_timed_out = 0;
   uint64_t requests_handled = 0;
   uint64_t protocol_errors = 0;
   size_t live_connections = 0;
@@ -97,6 +107,7 @@ class ZiggyDaemon {
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> connections_timed_out_{0};
   std::atomic<uint64_t> requests_handled_{0};
   std::atomic<uint64_t> protocol_errors_{0};
 };

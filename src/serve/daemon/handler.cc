@@ -36,6 +36,7 @@ std::string ServeStatsJson(const ServeStats& st) {
      << ",\"appended_rows\":" << st.appended_rows
      << ",\"cache_flushes\":" << st.cache_flushes
      << ",\"cache_migrated_entries\":" << st.cache_migrated_entries
+     << ",\"cache_warmed_entries\":" << st.cache_warmed_entries
      << ",\"component_cache\":{\"hits\":" << st.component_cache_hits
      << ",\"misses\":" << st.component_cache_misses
      << ",\"evictions\":" << st.component_cache_evictions << "}"
@@ -54,7 +55,10 @@ std::string CatalogStatsJson(const CatalogStats& st) {
      << ",\"tables_closed\":" << st.tables_closed
      << ",\"shared_budget_total_bytes\":" << st.shared_budget_total_bytes
      << ",\"shared_budget_used_bytes\":" << st.shared_budget_used_bytes
-     << ",\"worker_pool_threads\":" << st.worker_pool_threads << "}";
+     << ",\"worker_pool_threads\":" << st.worker_pool_threads
+     << ",\"store\":{\"attached\":" << (st.store_attached ? "true" : "false")
+     << ",\"tables\":" << st.store_tables << ",\"opens\":" << st.store_opens
+     << ",\"saves\":" << st.store_saves << "}}";
   return os.str();
 }
 
@@ -127,6 +131,10 @@ WireResponse DaemonHandler::Handle(const WireRequest& request) {
       return HandleAppend(request);
     case Verb::kStats:
       return HandleStats(request);
+    case Verb::kSave:
+      return HandleSave(request);
+    case Verb::kPersist:
+      return HandlePersist(request);
     case Verb::kClose:
       return HandleClose(request);
     case Verb::kQuit:
@@ -138,10 +146,25 @@ WireResponse DaemonHandler::Handle(const WireRequest& request) {
 
 WireResponse DaemonHandler::HandleOpen(const WireRequest& request) {
   const std::string& name = request.args[0];
-  Result<Table> table = LoadTableFromSource(request.args[1]);
-  if (!table.ok()) return WireResponse::Error(table.status());
   Result<std::shared_ptr<ZiggyServer>> server =
-      catalog_->Open(name, std::move(*table));
+      Status::Internal("unreachable");
+  bool try_cold = true;
+  if (catalog_->StoreHas(name)) {
+    // Warm path: serve the checkpoint (binary table + finished profile +
+    // warm sketch cache); the <source> argument only matters on a cold
+    // open. The reply is identical to a cold open's, so one golden
+    // transcript covers both boot paths. An unreadable checkpoint falls
+    // back to the cold source — availability over warmth; the next SAVE
+    // rewrites the damaged files. Only AlreadyExists is final: the cold
+    // path could not publish the name either.
+    server = catalog_->OpenFromStore(name);
+    try_cold = !server.ok() && !server.status().IsAlreadyExists();
+  }
+  if (try_cold) {
+    Result<Table> table = LoadTableFromSource(request.args[1]);
+    if (!table.ok()) return WireResponse::Error(table.status());
+    server = catalog_->Open(name, std::move(*table));
+  }
   if (!server.ok()) return WireResponse::Error(server.status());
   const auto state = (*server)->state();
   return WireResponse::Ok(TableInfoJson(name, state->table().num_rows(),
@@ -189,16 +212,23 @@ WireResponse DaemonHandler::HandleCharacterize(const WireRequest& request,
 
 WireResponse DaemonHandler::HandleAppend(const WireRequest& request) {
   const std::string& name = request.args[0];
-  Result<std::shared_ptr<ZiggyServer>> server = catalog_->Find(name);
-  if (!server.ok()) return WireResponse::Error(server.status());
   Result<Table> rows = LoadTableFromSource(request.args[1]);
   if (!rows.ok()) return WireResponse::Error(rows.status());
   const size_t appended = rows->num_rows();
-  Status st = (*server)->Append(*rows);
-  if (!st.ok()) return WireResponse::Error(st);
+  // Routed through the catalog so checkpoint-on-append fires when the
+  // table is marked persistent. A failed checkpoint does not fail the
+  // append (the rows are served either way) but is surfaced in the reply.
+  Status checkpoint = Status::OK();
+  Result<uint64_t> generation = catalog_->Append(name, *rows, &checkpoint);
+  if (!generation.ok()) return WireResponse::Error(generation.status());
   std::ostringstream os;
   os << "{\"table\":\"" << JsonEscape(name) << "\",\"appended_rows\":" << appended
-     << ",\"generation\":" << (*server)->state()->generation() << "}";
+     << ",\"generation\":" << *generation;
+  if (!checkpoint.ok()) {
+    os << ",\"checkpoint_error\":\"" << JsonEscape(checkpoint.ToString())
+       << "\"";
+  }
+  os << "}";
   return WireResponse::Ok(os.str());
 }
 
@@ -209,6 +239,49 @@ WireResponse DaemonHandler::HandleStats(const WireRequest& request) {
   Result<std::shared_ptr<ZiggyServer>> server = catalog_->Find(request.args[0]);
   if (!server.ok()) return WireResponse::Error(server.status());
   return WireResponse::Ok(ServeStatsJson((*server)->stats()));
+}
+
+WireResponse DaemonHandler::HandleSave(const WireRequest& request) {
+  if (!catalog_->HasStore()) {
+    return WireResponse::Error(Status::FailedPrecondition(
+        "no store attached (start the daemon with --store DIR)"));
+  }
+  std::vector<std::pair<std::string, uint64_t>> saved;
+  if (request.args.empty()) {
+    Result<std::vector<std::pair<std::string, uint64_t>>> all =
+        catalog_->SaveAllToStore();
+    if (!all.ok()) return WireResponse::Error(all.status());
+    saved = std::move(*all);
+  } else {
+    Result<uint64_t> generation = catalog_->SaveToStore(request.args[0]);
+    if (!generation.ok()) return WireResponse::Error(generation.status());
+    saved.emplace_back(request.args[0], *generation);
+  }
+  std::ostringstream os;
+  os << "{\"saved\":[";
+  for (size_t i = 0; i < saved.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "{\"table\":\"" << JsonEscape(saved[i].first)
+       << "\",\"generation\":" << saved[i].second << "}";
+  }
+  os << "]}";
+  return WireResponse::Ok(os.str());
+}
+
+WireResponse DaemonHandler::HandlePersist(const WireRequest& request) {
+  const std::string& name = request.args[0];
+  const std::string& mode = request.args[1];
+  bool on = false;
+  if (EqualsIgnoreCase(mode, "on")) {
+    on = true;
+  } else if (!EqualsIgnoreCase(mode, "off")) {
+    return WireResponse::Error(Status::InvalidArgument(
+        "PERSIST mode must be 'on' or 'off', got '" + mode + "'"));
+  }
+  Status st = catalog_->SetPersist(name, on);
+  if (!st.ok()) return WireResponse::Error(st);
+  return WireResponse::Ok("{\"table\":\"" + JsonEscape(name) +
+                          "\",\"persist\":" + (on ? "true" : "false") + "}");
 }
 
 WireResponse DaemonHandler::HandleClose(const WireRequest& request) {

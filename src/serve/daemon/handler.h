@@ -9,6 +9,14 @@
 // exploring the same table therefore get separate novelty tracking but
 // share the table's profile, sketch cache, and scan batcher — exactly the
 // ZiggyServer session model, lifted onto the wire.
+//
+// Durability: when the catalog has a store attached, OPEN serves the
+// named table *from its checkpoint* when one exists (skipping the CSV
+// parse and profile computation; the <source> argument is only used on a
+// cold open), and the SAVE/PERSIST verbs checkpoint tables back. The
+// OPEN reply is identical either way, which is what lets the CI
+// store-roundtrip gate replay one command script against both a cold and
+// a warm-restarted daemon and diff both transcripts against one golden.
 
 #ifndef ZIGGY_SERVE_DAEMON_HANDLER_H_
 #define ZIGGY_SERVE_DAEMON_HANDLER_H_
@@ -64,6 +72,8 @@ class DaemonHandler {
   WireResponse HandleCharacterize(const WireRequest& request, bool views_only);
   WireResponse HandleAppend(const WireRequest& request);
   WireResponse HandleStats(const WireRequest& request);
+  WireResponse HandleSave(const WireRequest& request);
+  WireResponse HandlePersist(const WireRequest& request);
   WireResponse HandleClose(const WireRequest& request);
 
   ServerCatalog* catalog_;

@@ -19,13 +19,15 @@ struct VerbSpec {
   bool trailing_joined;
 };
 
-constexpr std::array<VerbSpec, 8> kVerbs = {{
+constexpr std::array<VerbSpec, 10> kVerbs = {{
     {Verb::kOpen, "OPEN", 2, 2, true},
     {Verb::kList, "LIST", 0, 0, false},
     {Verb::kCharacterize, "CHARACTERIZE", 2, 2, true},
     {Verb::kViews, "VIEWS", 2, 2, true},
     {Verb::kAppend, "APPEND", 2, 2, true},
     {Verb::kStats, "STATS", 0, 1, false},
+    {Verb::kSave, "SAVE", 0, 1, false},
+    {Verb::kPersist, "PERSIST", 2, 2, false},
     {Verb::kClose, "CLOSE", 1, 1, false},
     {Verb::kQuit, "QUIT", 0, 0, false},
 }};

@@ -16,7 +16,11 @@
 //     APPEND <table> <source>      append rows as a new table generation
 //     STATS [<table>]              serving counters (catalog-wide or per
 //                                  table)
-//     CLOSE <table>                stop serving a table
+//     SAVE [<table>]               checkpoint one table (or all) to the
+//                                  daemon's store (--store)
+//     PERSIST <table> <on|off>     toggle checkpoint-on-append for a table
+//     CLOSE <table>                stop serving a table (its checkpoint,
+//                                  if any, stays in the store)
 //     QUIT                         end the connection
 //
 // Response line:  OK <json>\n  |  ERR <Code> <json-escaped message>\n
@@ -49,6 +53,8 @@ enum class Verb {
   kViews,
   kAppend,
   kStats,
+  kSave,
+  kPersist,
   kClose,
   kQuit,
 };

@@ -25,13 +25,61 @@ Result<std::unique_ptr<ZiggyServer>> ZiggyServer::Create(Table table,
   }
   ZIGGY_ASSIGN_OR_RETURN(TableProfile profile,
                          TableProfile::Compute(table, options.engine.profile));
+  return CreateFromState(std::move(table), /*generation=*/0, std::move(profile),
+                         std::move(options));
+}
+
+Result<std::unique_ptr<ZiggyServer>> ZiggyServer::CreateFromState(
+    Table table, uint64_t generation, TableProfile profile,
+    ServeOptions options) {
+  if (table.num_rows() == 0) {
+    return Status::InvalidArgument("cannot serve an empty table");
+  }
+  if (profile.num_columns() != table.num_columns()) {
+    return Status::InvalidArgument(
+        "profile column count does not match the table");
+  }
   ZIGGY_ASSIGN_OR_RETURN(Dendrogram dendrogram, BuildColumnDendrogram(profile));
   auto state = std::make_shared<ServingState>();
-  state->snapshot = TableSnapshot(std::move(table), /*generation=*/0);
+  state->snapshot = TableSnapshot(std::move(table), generation);
   state->profile = std::make_shared<const TableProfile>(std::move(profile));
   state->dendrogram = std::make_shared<const Dendrogram>(std::move(dendrogram));
   return std::unique_ptr<ZiggyServer>(
       new ZiggyServer(std::move(options), std::move(state)));
+}
+
+size_t ZiggyServer::WarmSketchCache(
+    const std::vector<PersistedSketch>& entries) {
+  if (!options_.cache_enabled) return 0;
+  std::shared_ptr<const ServingState> current = state();
+  size_t warmed = 0;
+  // Reverse order: entries arrive MRU-first (ExportSketchCache), and
+  // Insert prepends — inserting LRU-first reproduces the recency order
+  // the checkpointing server had.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (it->inside == nullptr ||
+        it->selection.num_rows() != current->table().num_rows()) {
+      continue;
+    }
+    cache_.Insert(it->selection, it->fingerprint, it->inside,
+                  current->generation());
+    ++warmed;
+  }
+  cache_warmed_.fetch_add(warmed, std::memory_order_relaxed);
+  return warmed;
+}
+
+std::vector<PersistedSketch> ZiggyServer::ExportSketchCache() {
+  std::shared_ptr<const ServingState> current = state();
+  std::vector<PersistedSketch> out;
+  for (const auto& entry : cache_.ExportEntries(current->generation())) {
+    PersistedSketch persisted;
+    persisted.selection = entry->selection;
+    persisted.fingerprint = entry->selection.Fingerprint();
+    persisted.inside = entry->inside;
+    out.push_back(std::move(persisted));
+  }
+  return out;
 }
 
 uint64_t ZiggyServer::OpenSession() { return OpenSession(options_.session); }
@@ -289,6 +337,7 @@ ServeStats ZiggyServer::stats() const {
   st.appended_rows = appended_rows_.load(std::memory_order_relaxed);
   st.cache_flushes = cache_flushes_.load(std::memory_order_relaxed);
   st.cache_migrated_entries = cache_migrated_.load(std::memory_order_relaxed);
+  st.cache_warmed_entries = cache_warmed_.load(std::memory_order_relaxed);
   st.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   st.component_cache_hits =
       component_cache_hits_.load(std::memory_order_relaxed);

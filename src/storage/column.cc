@@ -25,6 +25,38 @@ Column Column::FromStrings(std::string name, const std::vector<std::string>& lab
   return c;
 }
 
+Result<Column> Column::FromDictionary(std::string name,
+                                      std::vector<std::string> dictionary,
+                                      std::vector<CategoryCode> codes) {
+  Column c(std::move(name), ColumnType::kCategorical);
+  c.dictionary_ = std::move(dictionary);
+  c.dictionary_index_.reserve(c.dictionary_.size());
+  for (size_t i = 0; i < c.dictionary_.size(); ++i) {
+    if (c.dictionary_[i].empty()) {
+      return Status::ParseError("column \"" + c.name_ +
+                                "\": empty dictionary label");
+    }
+    const bool inserted =
+        c.dictionary_index_
+            .emplace(c.dictionary_[i], static_cast<CategoryCode>(i))
+            .second;
+    if (!inserted) {
+      return Status::ParseError("column \"" + c.name_ +
+                                "\": duplicate dictionary label \"" +
+                                c.dictionary_[i] + "\"");
+    }
+  }
+  for (const CategoryCode code : codes) {
+    if (code != kNullCategory &&
+        (code < 0 || static_cast<size_t>(code) >= c.dictionary_.size())) {
+      return Status::ParseError("column \"" + c.name_ +
+                                "\": code out of dictionary range");
+    }
+  }
+  c.codes_ = std::move(codes);
+  return c;
+}
+
 void Column::AppendLabel(const std::string& label) {
   ZIGGY_DCHECK(is_categorical());
   if (label.empty()) {

@@ -29,6 +29,13 @@ class Column {
   static Column FromNumeric(std::string name, std::vector<double> values);
   /// Creates a categorical column from string labels ("" = NULL).
   static Column FromStrings(std::string name, const std::vector<std::string>& labels);
+  /// Creates a categorical column from an explicit dictionary and code
+  /// vector (the binary table codec's load path: both are restored
+  /// verbatim, so re-encoding is byte-identical to the persisted column).
+  /// Fails on empty/duplicate dictionary labels or out-of-range codes.
+  static Result<Column> FromDictionary(std::string name,
+                                       std::vector<std::string> dictionary,
+                                       std::vector<CategoryCode> codes);
 
   const std::string& name() const { return name_; }
   ColumnType type() const { return type_; }

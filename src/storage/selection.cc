@@ -37,6 +37,22 @@ Selection Selection::FromBytes(const std::vector<uint8_t>& flags) {
   return s;
 }
 
+Result<Selection> Selection::FromWords(size_t num_rows,
+                                       std::vector<uint64_t> words) {
+  if (words.size() != NumWordsFor(num_rows)) {
+    return Status::ParseError("selection word count disagrees with row count");
+  }
+  const size_t tail_bits = num_rows % kWordBits;
+  if (tail_bits != 0 && !words.empty() &&
+      (words.back() >> tail_bits) != 0) {
+    return Status::ParseError("selection tail word has stray high bits");
+  }
+  Selection s;
+  s.num_rows_ = num_rows;
+  s.words_ = std::move(words);
+  return s;
+}
+
 void Selection::Resize(size_t new_num_rows) {
   words_.resize(NumWordsFor(new_num_rows), 0);
   num_rows_ = new_num_rows;

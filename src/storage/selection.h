@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/result.h"
 
 namespace ziggy {
 
@@ -78,6 +79,11 @@ class Selection {
   static Selection FromIndices(size_t num_rows, const std::vector<size_t>& indices);
   /// From per-row flags (any nonzero byte selects the row).
   static Selection FromBytes(const std::vector<uint8_t>& flags);
+  /// From packed words (the persistence load path). Fails when the word
+  /// count does not match `num_rows` or the tail word has stray high bits
+  /// (the invariant every whole-bitmap operation relies on).
+  static Result<Selection> FromWords(size_t num_rows,
+                                     std::vector<uint64_t> words);
 
   size_t num_rows() const { return num_rows_; }
   size_t num_words() const { return words_.size(); }

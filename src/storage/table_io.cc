@@ -1,0 +1,212 @@
+#include "storage/table_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr size_t kMaxColumns = 1u << 20;
+constexpr size_t kMaxNameBytes = 1u << 20;
+constexpr uint8_t kNumericKind = 0;
+constexpr uint8_t kCategoricalKind = 1;
+
+std::string HeaderPayload(const Table& table) {
+  std::string payload;
+  PutU64(&payload, table.num_rows());
+  PutU64(&payload, table.num_columns());
+  return payload;
+}
+
+std::string SchemaPayload(const Table& table) {
+  std::string payload;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& field = table.schema().field(c);
+    PutLengthPrefixed(&payload, field.name);
+    PutU8(&payload, static_cast<uint8_t>(field.type));
+  }
+  return payload;
+}
+
+std::string ColumnPayload(const Column& column) {
+  std::string payload;
+  if (column.is_numeric()) {
+    PutU8(&payload, kNumericKind);
+    const auto& cells = column.numeric_data();
+    payload.append(reinterpret_cast<const char*>(cells.data()),
+                   sizeof(double) * cells.size());
+  } else {
+    PutU8(&payload, kCategoricalKind);
+    PutU64(&payload, column.dictionary().size());
+    for (const std::string& label : column.dictionary()) {
+      PutLengthPrefixed(&payload, label);
+    }
+    const auto& codes = column.codes();
+    payload.append(reinterpret_cast<const char*>(codes.data()),
+                   sizeof(CategoryCode) * codes.size());
+  }
+  return payload;
+}
+
+Result<Column> ParseColumn(std::string_view payload, const Field& field,
+                           size_t num_rows) {
+  ByteReader reader(payload);
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  const uint8_t expected_kind =
+      field.type == ColumnType::kNumeric ? kNumericKind : kCategoricalKind;
+  if (kind != expected_kind) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": payload kind disagrees with schema");
+  }
+  if (kind == kNumericKind) {
+    // Divide, don't multiply: a hostile header's num_rows could wrap
+    // sizeof(double) * num_rows and this must fail BEFORE any allocation
+    // sized from the untrusted count (the CRC only protects against
+    // corruption, not against a crafted file with valid checksums).
+    if (num_rows > reader.remaining() / sizeof(double)) {
+      return Status::ParseError("column \"" + field.name +
+                                "\": cell count exceeds section payload");
+    }
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view bytes,
+                           reader.ReadBytes(sizeof(double) * num_rows));
+    std::vector<double> cells(num_rows);
+    if (num_rows > 0) std::memcpy(cells.data(), bytes.data(), bytes.size());
+    if (!reader.exhausted()) {
+      return Status::ParseError("column \"" + field.name +
+                                "\": trailing bytes after numeric cells");
+    }
+    return Column::FromNumeric(field.name, std::move(cells));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t dict_size, reader.ReadU64());
+  // Filter() keeps a column's full dictionary while dropping rows, so
+  // dict_size may legitimately exceed num_rows — but every entry costs at
+  // least its 8-byte length prefix, so the payload itself bounds the
+  // plausible count (and therefore the reserve below).
+  if (dict_size > reader.remaining() / sizeof(uint64_t)) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": dictionary size exceeds section payload");
+  }
+  std::vector<std::string> dictionary;
+  dictionary.reserve(static_cast<size_t>(dict_size));
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
+                           reader.ReadLengthPrefixed(kMaxNameBytes));
+    dictionary.emplace_back(label);
+  }
+  if (num_rows > reader.remaining() / sizeof(CategoryCode)) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": code count exceeds section payload");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(std::string_view bytes,
+                         reader.ReadBytes(sizeof(CategoryCode) * num_rows));
+  std::vector<CategoryCode> codes(num_rows);
+  if (num_rows > 0) std::memcpy(codes.data(), bytes.data(), bytes.size());
+  if (!reader.exhausted()) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": trailing bytes after codes");
+  }
+  return Column::FromDictionary(field.name, std::move(dictionary),
+                                std::move(codes));
+}
+
+}  // namespace
+
+Status WriteTable(const Table& table, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  out->write(kTableMagic, sizeof(kTableMagic));
+  ZIGGY_RETURN_NOT_OK(WriteSection(out, HeaderPayload(table)));
+  ZIGGY_RETURN_NOT_OK(WriteSection(out, SchemaPayload(table)));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    ZIGGY_RETURN_NOT_OK(WriteSection(out, ColumnPayload(table.column(c))));
+  }
+  if (!*out) return Status::IOError("table write failed");
+  return Status::OK();
+}
+
+Result<Table> ReadTable(std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  char magic[sizeof(kTableMagic)];
+  in->read(magic, sizeof(magic));
+  if (!*in || std::memcmp(magic, kTableMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a Ziggy table (bad magic)");
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(std::string header,
+                         ReadSection(in, kMaxSectionBytes));
+  ByteReader header_reader(header);
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t num_rows, header_reader.ReadU64());
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t num_columns, header_reader.ReadU64());
+  if (!header_reader.exhausted()) {
+    return Status::ParseError("trailing bytes in table header");
+  }
+  if (num_columns > kMaxColumns) {
+    return Status::ParseError("implausible column count");
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(std::string schema_payload,
+                         ReadSection(in, kMaxSectionBytes));
+  ByteReader schema_reader(schema_payload);
+  // Each field costs at least a length prefix + type tag; the payload
+  // bounds the plausible count before the reserve below.
+  if (num_columns > schema_payload.size() / (sizeof(uint64_t) + 1)) {
+    return Status::ParseError("column count exceeds schema section payload");
+  }
+  std::vector<Field> fields;
+  fields.reserve(static_cast<size_t>(num_columns));
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view name,
+                           schema_reader.ReadLengthPrefixed(kMaxNameBytes));
+    ZIGGY_ASSIGN_OR_RETURN(uint8_t type, schema_reader.ReadU8());
+    if (name.empty()) return Status::ParseError("empty column name");
+    if (type != static_cast<uint8_t>(ColumnType::kNumeric) &&
+        type != static_cast<uint8_t>(ColumnType::kCategorical)) {
+      return Status::ParseError("unknown column type tag");
+    }
+    fields.push_back(Field{std::string(name), static_cast<ColumnType>(type)});
+  }
+  if (!schema_reader.exhausted()) {
+    return Status::ParseError("trailing bytes in schema section");
+  }
+
+  std::vector<Column> columns;
+  columns.reserve(fields.size());
+  for (const Field& field : fields) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string payload,
+                           ReadSection(in, kMaxSectionBytes));
+    ZIGGY_ASSIGN_OR_RETURN(
+        Column column,
+        ParseColumn(payload, field, static_cast<size_t>(num_rows)));
+    columns.push_back(std::move(column));
+  }
+  // FromColumns re-validates equal lengths and distinct names, so a codec
+  // bug can never install an inconsistent table.
+  ZIGGY_ASSIGN_OR_RETURN(Table table, Table::FromColumns(std::move(columns)));
+  // Per-column cell counts were pinned to the header's num_rows above; the
+  // only remaining degenerate case is a zero-column table claiming rows.
+  if (num_columns == 0 && num_rows != 0) {
+    return Status::ParseError("row count disagrees with header");
+  }
+  return table;
+}
+
+Status WriteTableFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  ZIGGY_RETURN_NOT_OK(WriteTable(table, &out));
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ReadTableFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ReadTable(&in);
+}
+
+}  // namespace ziggy

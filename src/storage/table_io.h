@@ -1,0 +1,52 @@
+// Binary columnar table import/export — the `.ztbl` codec of the
+// persistence layer (persist/store.h).
+//
+// Why a binary codec next to the CSV reader: restart cost. A CSV boot
+// pays tokenization, type inference, and double parsing per cell; the
+// binary path is a handful of checksummed block reads straight into the
+// columnar vectors. The restored table is *exactly* the persisted one —
+// numeric cells are raw IEEE doubles (NaN NULLs included, bit for bit)
+// and categorical columns keep their dictionary order and codes verbatim
+// — which is what lets a warm-restarted server produce byte-identical
+// query output to the process that wrote the file.
+//
+// Layout (all little-endian; sections are CRC-framed, see binary_io.h):
+//   magic "ZIGTBL01"
+//   section: header   { u64 num_rows, u64 num_columns }
+//   section: schema   { per column: str name, u8 type }
+//   section per column:
+//     numeric      { u8 0, f64 cells[num_rows] }
+//     categorical  { u8 1, u64 dict_size, str dict[dict_size],
+//                    i32 codes[num_rows] }
+// Any truncation, bit flip, or length corruption fails with a clean
+// Status: every payload byte is covered by a section CRC, and all counts
+// are validated against the header before a column is accepted.
+
+#ifndef ZIGGY_STORAGE_TABLE_IO_H_
+#define ZIGGY_STORAGE_TABLE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace ziggy {
+
+/// \brief Current magic / format version tag of the table codec.
+inline constexpr char kTableMagic[8] = {'Z', 'I', 'G', 'T', 'B', 'L', '0', '1'};
+
+/// \brief Serializes a table to the binary columnar format.
+Status WriteTable(const Table& table, std::ostream* out);
+
+/// \brief Deserializes a table; validates magic, checksums, and shape.
+Result<Table> ReadTable(std::istream* in);
+
+/// \brief File convenience wrappers. WriteTableFile writes in place (the
+/// store layers tmp+rename on top for atomicity).
+Status WriteTableFile(const Table& table, const std::string& path);
+Result<Table> ReadTableFile(const std::string& path);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_TABLE_IO_H_

@@ -197,6 +197,16 @@ Result<TableProfile> TableProfile::Deserialize(std::istream* in) {
   char magic[8];
   ZIGGY_RETURN_NOT_OK(ReadRaw(in, magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    // A recognized-but-older version gets an explicit mismatch error:
+    // format 1 profiles binned histograms with a different boundary
+    // formula (see kMagic comment), so silently accepting one would
+    // corrupt complement subtraction. They must be recomputed.
+    if (std::memcmp(magic, kMagic, sizeof(kMagic) - 1) == 0) {
+      return Status::FailedPrecondition(
+          std::string("unsupported profile format version '") + magic[7] +
+          "' (expected '" + kMagic[7] +
+          "'); recompute the profile from the source table");
+    }
     return Status::ParseError("not a Ziggy profile (bad magic)");
   }
   TableProfile p;

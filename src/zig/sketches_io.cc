@@ -1,0 +1,191 @@
+// Persistence of SelectionSketches (see selection_sketches.h). Only the
+// accumulated statistics are written — field by field, never as raw
+// struct memory, so the format is independent of struct padding. The
+// load path requires the sketches to be pre-shaped by InitShapes against
+// the same (table, profile), turning every shape mismatch (wrong
+// profile, corrupted counts) into a clean Status.
+
+#include "zig/selection_sketches.h"
+
+namespace ziggy {
+
+namespace {
+
+void PutSketch(std::string* out, const MomentSketch& s) {
+  PutI64(out, s.count);
+  PutF64(out, s.sum);
+  PutF64(out, s.sum_sq);
+}
+
+Status ReadSketch(ByteReader* reader, MomentSketch* s) {
+  ZIGGY_ASSIGN_OR_RETURN(s->count, reader->ReadI64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum, reader->ReadF64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum_sq, reader->ReadF64());
+  return Status::OK();
+}
+
+void PutPairSketch(std::string* out, const PairMomentSketch& s) {
+  PutI64(out, s.count);
+  PutF64(out, s.sum_x);
+  PutF64(out, s.sum_y);
+  PutF64(out, s.sum_xx);
+  PutF64(out, s.sum_yy);
+  PutF64(out, s.sum_xy);
+}
+
+Status ReadPairSketch(ByteReader* reader, PairMomentSketch* s) {
+  ZIGGY_ASSIGN_OR_RETURN(s->count, reader->ReadI64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum_x, reader->ReadF64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum_y, reader->ReadF64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum_xx, reader->ReadF64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum_yy, reader->ReadF64());
+  ZIGGY_ASSIGN_OR_RETURN(s->sum_xy, reader->ReadF64());
+  return Status::OK();
+}
+
+/// Reads a counts vector whose length must match the pre-shaped size.
+Status ReadCounts(ByteReader* reader, std::vector<int64_t>* out,
+                  const char* what) {
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n, reader->ReadU64());
+  if (n != out->size()) {
+    return Status::ParseError(std::string("persisted sketch ") + what +
+                              " shape disagrees with the profile");
+  }
+  for (int64_t& v : *out) {
+    ZIGGY_ASSIGN_OR_RETURN(v, reader->ReadI64());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void SelectionSketches::SerializeTo(std::string* out) const {
+  PutU64(out, column_sketches_.size());
+  for (const MomentSketch& s : column_sketches_) PutSketch(out, s);
+  PutU64(out, category_counts_.size());
+  for (const auto& counts : category_counts_) {
+    PutU64(out, counts.size());
+    for (int64_t v : counts) PutI64(out, v);
+  }
+  PutU64(out, numeric_pair_sketches_.size());
+  for (const PairMomentSketch& s : numeric_pair_sketches_) {
+    PutPairSketch(out, s);
+  }
+  PutU64(out, mixed_pair_groups_.size());
+  for (const auto& groups : mixed_pair_groups_) {
+    PutU64(out, groups.size());
+    for (const MomentSketch& s : groups) PutSketch(out, s);
+  }
+  PutU64(out, categorical_pair_tables_.size());
+  for (const auto& cells : categorical_pair_tables_) {
+    PutU64(out, cells.size());
+    for (int64_t v : cells) PutI64(out, v);
+  }
+  PutU64(out, histograms_.size());
+  for (const auto& bins : histograms_) {
+    PutU64(out, bins.size());
+    for (int64_t v : bins) PutI64(out, v);
+  }
+}
+
+Status SelectionSketches::DeserializeFrom(ByteReader* reader) {
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n_cols, reader->ReadU64());
+  if (n_cols != column_sketches_.size()) {
+    return Status::ParseError(
+        "persisted sketch column count disagrees with the profile");
+  }
+  for (MomentSketch& s : column_sketches_) {
+    ZIGGY_RETURN_NOT_OK(ReadSketch(reader, &s));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n_cat, reader->ReadU64());
+  if (n_cat != category_counts_.size()) {
+    return Status::ParseError(
+        "persisted sketch category shape disagrees with the profile");
+  }
+  for (auto& counts : category_counts_) {
+    ZIGGY_RETURN_NOT_OK(ReadCounts(reader, &counts, "category counts"));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n_pairs, reader->ReadU64());
+  if (n_pairs != numeric_pair_sketches_.size()) {
+    return Status::ParseError(
+        "persisted sketch pair count disagrees with the profile");
+  }
+  for (PairMomentSketch& s : numeric_pair_sketches_) {
+    ZIGGY_RETURN_NOT_OK(ReadPairSketch(reader, &s));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n_mixed, reader->ReadU64());
+  if (n_mixed != mixed_pair_groups_.size()) {
+    return Status::ParseError(
+        "persisted sketch mixed-pair count disagrees with the profile");
+  }
+  for (auto& groups : mixed_pair_groups_) {
+    ZIGGY_ASSIGN_OR_RETURN(uint64_t k, reader->ReadU64());
+    if (k != groups.size()) {
+      return Status::ParseError(
+          "persisted sketch group shape disagrees with the profile");
+    }
+    for (MomentSketch& s : groups) {
+      ZIGGY_RETURN_NOT_OK(ReadSketch(reader, &s));
+    }
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n_tables, reader->ReadU64());
+  if (n_tables != categorical_pair_tables_.size()) {
+    return Status::ParseError(
+        "persisted sketch contingency count disagrees with the profile");
+  }
+  for (auto& cells : categorical_pair_tables_) {
+    ZIGGY_RETURN_NOT_OK(ReadCounts(reader, &cells, "contingency table"));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t n_hists, reader->ReadU64());
+  if (n_hists != histograms_.size()) {
+    return Status::ParseError(
+        "persisted sketch histogram count disagrees with the profile");
+  }
+  for (auto& bins : histograms_) {
+    ZIGGY_RETURN_NOT_OK(ReadCounts(reader, &bins, "histogram"));
+  }
+  return Status::OK();
+}
+
+bool SelectionSketches::Equals(const SelectionSketches& other) const {
+  auto sketch_eq = [](const MomentSketch& a, const MomentSketch& b) {
+    return a.count == b.count && a.sum == b.sum && a.sum_sq == b.sum_sq;
+  };
+  if (column_sketches_.size() != other.column_sketches_.size()) return false;
+  for (size_t i = 0; i < column_sketches_.size(); ++i) {
+    if (!sketch_eq(column_sketches_[i], other.column_sketches_[i])) {
+      return false;
+    }
+  }
+  if (category_counts_ != other.category_counts_) return false;
+  if (numeric_pair_sketches_.size() != other.numeric_pair_sketches_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < numeric_pair_sketches_.size(); ++i) {
+    const auto& a = numeric_pair_sketches_[i];
+    const auto& b = other.numeric_pair_sketches_[i];
+    if (a.count != b.count || a.sum_x != b.sum_x || a.sum_y != b.sum_y ||
+        a.sum_xx != b.sum_xx || a.sum_yy != b.sum_yy || a.sum_xy != b.sum_xy) {
+      return false;
+    }
+  }
+  if (mixed_pair_groups_.size() != other.mixed_pair_groups_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < mixed_pair_groups_.size(); ++i) {
+    if (mixed_pair_groups_[i].size() != other.mixed_pair_groups_[i].size()) {
+      return false;
+    }
+    for (size_t g = 0; g < mixed_pair_groups_[i].size(); ++g) {
+      if (!sketch_eq(mixed_pair_groups_[i][g],
+                     other.mixed_pair_groups_[i][g])) {
+        return false;
+      }
+    }
+  }
+  if (categorical_pair_tables_ != other.categorical_pair_tables_) return false;
+  if (histograms_ != other.histograms_) return false;
+  return true;
+}
+
+}  // namespace ziggy

@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,6 +25,7 @@
 
 #include "data/synthetic.h"
 #include "engine/report.h"
+#include "persist/fs_util.h"
 #include "serve/catalog.h"
 #include "serve/client.h"
 #include "serve/daemon/daemon.h"
@@ -327,6 +329,119 @@ TEST(DaemonHandlerTest, RebindsSessionAfterTableIsReplacedByAnotherConnection) {
   EXPECT_EQ(conn_a.num_open_sessions(), 1u);
 }
 
+TEST(DaemonHandlerTest, SaveAndPersistRequireAStore) {
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  DaemonHandler handler(&catalog);
+
+  auto call = [&handler](const std::string& line) {
+    auto request = LineProtocol::ParseRequest(line);
+    EXPECT_TRUE(request.ok()) << line;
+    return handler.Handle(*request);
+  };
+
+  EXPECT_EQ(call("SAVE").code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(call("SAVE box").code, StatusCode::kFailedPrecondition);
+  EXPECT_EQ(call("PERSIST box on").code, StatusCode::kFailedPrecondition);
+}
+
+TEST(DaemonHandlerTest, SaveAndPersistVerbsAgainstAStore) {
+  const std::string dir =
+      ::testing::TempDir() + "/ziggy_daemon_test_store_verbs";
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  DaemonHandler handler(&catalog);
+
+  auto call = [&handler](const std::string& line) {
+    auto request = LineProtocol::ParseRequest(line);
+    EXPECT_TRUE(request.ok()) << line;
+    return handler.Handle(*request);
+  };
+
+  ASSERT_TRUE(call("OPEN box demo://boxoffice?seed=7").ok);
+  EXPECT_EQ(call("SAVE nope").code, StatusCode::kNotFound);
+  EXPECT_EQ(call("PERSIST nope on").code, StatusCode::kNotFound);
+  EXPECT_EQ(call("PERSIST box maybe").code, StatusCode::kInvalidArgument);
+
+  WireResponse save = call("SAVE box");
+  ASSERT_TRUE(save.ok) << save.body;
+  EXPECT_EQ(save.body, "{\"saved\":[{\"table\":\"box\",\"generation\":0}]}");
+  EXPECT_TRUE(catalog.StoreHas("box"));
+
+  WireResponse persist_on = call("PERSIST box on");
+  ASSERT_TRUE(persist_on.ok);
+  EXPECT_EQ(persist_on.body, "{\"table\":\"box\",\"persist\":true}");
+  WireResponse persist_off = call("PERSIST box OFF");  // case-insensitive
+  ASSERT_TRUE(persist_off.ok);
+  EXPECT_EQ(persist_off.body, "{\"table\":\"box\",\"persist\":false}");
+
+  WireResponse save_all = call("SAVE");
+  ASSERT_TRUE(save_all.ok);
+  EXPECT_EQ(save_all.body,
+            "{\"saved\":[{\"table\":\"box\",\"generation\":0}]}");
+
+  // Stats expose the store section.
+  WireResponse stats = call("STATS");
+  ASSERT_TRUE(stats.ok);
+  EXPECT_NE(stats.body.find("\"store\":{\"attached\":true"), std::string::npos);
+
+  ASSERT_TRUE(call("CLOSE box").ok);
+  EXPECT_TRUE(catalog.StoreHas("box"));  // close keeps the checkpoint
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// OPEN falls back to a stored checkpoint: same command, same reply, warm
+// path — the invariant the CI store-roundtrip gate replays over TCP.
+TEST(DaemonHandlerTest, OpenServesCheckpointWhenStoreHasTheTable) {
+  const std::string dir = ::testing::TempDir() + "/ziggy_daemon_test_warm_open";
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+
+  std::string cold_open_body, cold_views_body;
+  {
+    ServerCatalog catalog(options);
+    ASSERT_TRUE(catalog.AttachStore(dir).ok());
+    DaemonHandler handler(&catalog);
+    auto open = LineProtocol::ParseRequest("OPEN box demo://boxoffice?seed=7");
+    auto views = LineProtocol::ParseRequest(std::string("VIEWS box ") +
+                                            kBoxofficePredicate);
+    ASSERT_TRUE(open.ok() && views.ok());
+    WireResponse open_reply = handler.Handle(*open);
+    ASSERT_TRUE(open_reply.ok);
+    cold_open_body = open_reply.body;
+    WireResponse views_reply = handler.Handle(*views);
+    ASSERT_TRUE(views_reply.ok);
+    cold_views_body = views_reply.body;
+    ASSERT_TRUE(handler.Handle(*LineProtocol::ParseRequest("SAVE box")).ok);
+  }
+
+  // "Restart": a fresh catalog on the same store. The identical OPEN now
+  // serves the checkpoint — byte-identical replies, store_opens == 1.
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  DaemonHandler handler(&catalog);
+  auto open = LineProtocol::ParseRequest("OPEN box demo://boxoffice?seed=7");
+  auto views = LineProtocol::ParseRequest(std::string("VIEWS box ") +
+                                          kBoxofficePredicate);
+  ASSERT_TRUE(open.ok() && views.ok());
+  WireResponse warm_open = handler.Handle(*open);
+  ASSERT_TRUE(warm_open.ok) << warm_open.body;
+  EXPECT_EQ(warm_open.body, cold_open_body);
+  WireResponse warm_views = handler.Handle(*views);
+  ASSERT_TRUE(warm_views.ok);
+  EXPECT_EQ(warm_views.body, cold_views_body);
+  EXPECT_EQ(catalog.stats().store_opens, 1u);
+  // The warm cache served the first query without a scan.
+  auto server = catalog.Find("box");
+  ASSERT_TRUE(server.ok());
+  EXPECT_GT((*server)->stats().cache_warmed_entries, 0u);
+  EXPECT_EQ((*server)->stats().sketch_misses, 0u);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
 // ------------------------------------------------------------- TCP daemon --
 
 class DaemonTcpTest : public ::testing::Test {
@@ -446,6 +561,78 @@ TEST_F(DaemonTcpTest, AppendCreatesNewGenerationOverTheWire) {
   ASSERT_TRUE(report.ok()) << report.status();
   EXPECT_NE(report->find("inside="), std::string::npos);
   std::remove(csv_path.c_str());
+}
+
+// Full warm-restart cycle over TCP: daemon A checkpoints, daemon B boots
+// from the store and serves byte-identical wire output for the same
+// commands — the in-process version of the CI store-roundtrip gate.
+TEST_F(DaemonTcpTest, WarmRestartedDaemonServesByteIdenticalWireOutput) {
+  const std::string dir = ::testing::TempDir() + "/ziggy_daemon_tcp_store";
+  const std::string golden = ReadFileOrDie(
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/boxoffice_views.golden");
+
+  DaemonOptions options;
+  options.store_dir = dir;
+  StartDaemon(std::move(options));
+  {
+    ZiggyClient client;
+    ASSERT_TRUE(Connect(&client).ok());
+    ASSERT_TRUE(client.Open("box", "demo://boxoffice?seed=7").ok());
+    auto report = client.Views("box", kBoxofficePredicate);
+    ASSERT_TRUE(report.ok()) << report.status();
+    EXPECT_EQ(*report, golden);
+    auto saved = client.Save();
+    ASSERT_TRUE(saved.ok()) << saved.status();
+    EXPECT_EQ(*saved, "{\"saved\":[{\"table\":\"box\",\"generation\":0}]}");
+  }
+  daemon_->Stop();
+
+  // Restart on the same store; replay the same OPEN + VIEWS.
+  DaemonOptions restarted;
+  restarted.store_dir = dir;
+  StartDaemon(std::move(restarted));
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  auto open = client.Open("box", "demo://boxoffice?seed=7");
+  ASSERT_TRUE(open.ok()) << open.status();
+  EXPECT_EQ(*open,
+            "{\"table\":\"box\",\"rows\":900,\"columns\":12,\"generation\":0}");
+  auto report = client.Views("box", kBoxofficePredicate);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(*report, golden);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"opens\":1"), std::string::npos) << *stats;
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// A silent client is disconnected after --request-timeout-ms instead of
+// pinning a handler thread forever (PR 3 hardening follow-up).
+TEST_F(DaemonTcpTest, SilentConnectionIsTimedOutAndFreed) {
+  DaemonOptions options;
+  options.request_timeout_ms = 150;
+  StartDaemon(std::move(options));
+
+  ZiggyClient idle;
+  ASSERT_TRUE(Connect(&idle).ok());
+  // Active traffic inside the window is unaffected.
+  ASSERT_TRUE(idle.List().ok());
+
+  // Now go silent past the timeout: the daemon answers with an ERR and
+  // closes, so the next call fails instead of hanging.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  auto after = idle.List();
+  EXPECT_FALSE(after.ok());
+  // The reaper may take one accept-loop turn; poll briefly.
+  for (int i = 0; i < 50 && daemon_->stats().connections_timed_out == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(daemon_->stats().connections_timed_out, 1u);
+
+  // A fresh connection still serves.
+  ZiggyClient fresh;
+  ASSERT_TRUE(Connect(&fresh).ok());
+  EXPECT_TRUE(fresh.List().ok());
 }
 
 TEST_F(DaemonTcpTest, StopUnblocksLiveConnections) {

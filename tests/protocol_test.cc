@@ -22,7 +22,8 @@ Result<WireRequest> Parse(const std::string& line) {
 
 TEST(VerbTest, RoundTripsEveryVerb) {
   for (Verb verb : {Verb::kOpen, Verb::kList, Verb::kCharacterize, Verb::kViews,
-                    Verb::kAppend, Verb::kStats, Verb::kClose, Verb::kQuit}) {
+                    Verb::kAppend, Verb::kStats, Verb::kSave, Verb::kPersist,
+                    Verb::kClose, Verb::kQuit}) {
     Result<Verb> parsed = VerbFromString(VerbToString(verb));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, verb);
@@ -54,6 +55,25 @@ TEST(ParseRequestTest, HappyPathsPerVerb) {
   auto stats_table = Parse("STATS box");
   ASSERT_TRUE(stats_table.ok());
   ASSERT_EQ(stats_table->args.size(), 1u);
+
+  auto save_all = Parse("SAVE");
+  ASSERT_TRUE(save_all.ok());
+  EXPECT_EQ(save_all->verb, Verb::kSave);
+  EXPECT_TRUE(save_all->args.empty());
+  auto save_one = Parse("SAVE box");
+  ASSERT_TRUE(save_one.ok());
+  ASSERT_EQ(save_one->args.size(), 1u);
+  EXPECT_EQ(save_one->args[0], "box");
+
+  auto persist = Parse("PERSIST box on");
+  ASSERT_TRUE(persist.ok());
+  EXPECT_EQ(persist->verb, Verb::kPersist);
+  ASSERT_EQ(persist->args.size(), 2u);
+  EXPECT_EQ(persist->args[1], "on");
+  // Arity is fixed at exactly two tokens.
+  EXPECT_FALSE(Parse("PERSIST box").ok());
+  EXPECT_FALSE(Parse("PERSIST box on extra").ok());
+  EXPECT_FALSE(Parse("SAVE box extra").ok());
 
   auto quit = Parse("QUIT");
   ASSERT_TRUE(quit.ok());

@@ -60,6 +60,25 @@ TEST(ProfileSerializationTest, BadMagicRejected) {
   EXPECT_TRUE(TableProfile::Deserialize(&buf).status().IsParseError());
 }
 
+TEST(ProfileSerializationTest, LegacyVersionGetsExplicitMismatchError) {
+  // A ZIGPROF1 stream (format 1 binned histogram boundaries differently —
+  // see the kMagic comment in profile_io.cc) must be rejected with an
+  // actionable version error telling the user to recompute, not the
+  // generic bad-magic ParseError an unrelated file gets.
+  std::stringstream v1;
+  v1 << "ZIGPROF1" << std::string(64, '\0');
+  Status st = TableProfile::Deserialize(&v1).status();
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st;
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+  EXPECT_NE(st.message().find("recompute"), std::string::npos);
+
+  // A hypothetical future format is refused the same way (no silent
+  // misparse of a newer stream by an older binary).
+  std::stringstream v9;
+  v9 << "ZIGPROF9" << std::string(64, '\0');
+  EXPECT_TRUE(TableProfile::Deserialize(&v9).status().IsFailedPrecondition());
+}
+
 TEST(ProfileSerializationTest, TruncatedStreamRejected) {
   SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
   TableProfile original = TableProfile::Compute(ds.table).ValueOrDie();

@@ -1,0 +1,478 @@
+// The persistence subsystem end to end:
+//
+//  * ZiggyStore — manifest lifecycle, checkpoint/load round trips, name
+//    safety, atomic staging (no temp litter).
+//  * Warm restart byte-identity — the acceptance bar of the store PR: a
+//    server booted from a checkpoint renders CHARACTERIZE/VIEWS reports
+//    byte-identical to the cold-profiled server that wrote it, including
+//    after appends, and with a warm sketch cache whose first hit is exact.
+//  * Corruption policy — table/profile damage fails cleanly and installs
+//    nothing; sketch damage only costs warmth; legacy ZIGPROF1 profiles
+//    are rejected with an explicit version error.
+//  * Catalog integration — OpenFromStore, SaveToStore generations,
+//    checkpoint-on-append, persist flags.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "engine/report.h"
+#include "persist/fs_util.h"
+#include "persist/manifest.h"
+#include "persist/store.h"
+#include "serve/catalog.h"
+#include "serve/daemon/handler.h"
+#include "storage/csv.h"
+
+namespace ziggy {
+namespace {
+
+ServeOptions GoldenServeOptions() {
+  ServeOptions options;
+  options.engine.search.min_tightness = 0.4;
+  options.engine.search.max_views = 10;
+  return options;
+}
+
+std::string UniqueDir(const std::string& tag) {
+  static int counter = 0;
+  return testing::TempDir() + "/ziggy_store_test_" + tag + "_" +
+         std::to_string(++counter);
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_LT(offset, bytes.size());
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x20);
+  WriteFileBytes(path, bytes);
+}
+
+bool DirHasTempLitter(const std::string& dir) {
+  namespace fs = std::filesystem;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- manifest ----
+
+TEST(ManifestTest, RoundTripAndValidation) {
+  Manifest m;
+  m.Upsert(ManifestEntry{"zeta", 3, true});
+  m.Upsert(ManifestEntry{"alpha", 0, false});
+  m.Upsert(ManifestEntry{"zeta", 4, false});  // replaces
+
+  const std::string text = m.Serialize();
+  Manifest parsed = Manifest::Parse(text).ValueOrDie();
+  ASSERT_EQ(parsed.entries().size(), 2u);
+  EXPECT_EQ(parsed.entries()[0].name, "alpha");  // sorted
+  EXPECT_EQ(parsed.entries()[1].name, "zeta");
+  EXPECT_EQ(parsed.entries()[1].generation, 4u);
+  EXPECT_FALSE(parsed.entries()[1].has_sketches);
+
+  EXPECT_TRUE(parsed.Remove("alpha"));
+  EXPECT_FALSE(parsed.Remove("alpha"));
+
+  EXPECT_FALSE(Manifest::Parse("").ok());
+  EXPECT_FALSE(Manifest::Parse("not-a-manifest 1\n").ok());
+  EXPECT_TRUE(Manifest::Parse("ziggy-store 99\n")
+                  .status()
+                  .IsFailedPrecondition());  // future version
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 1\ntable x\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 1\ntable a 1 2\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 1\ntable a -3 0\n").ok());
+  EXPECT_FALSE(
+      Manifest::Parse("ziggy-store 1\ntable a 1 0\ntable a 2 0\n").ok());
+  // Path-traversal names never survive parsing.
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 1\ntable .. 0 0\n").ok());
+}
+
+TEST(ManifestTest, StoreNameRejectsPathSpecials) {
+  EXPECT_TRUE(IsValidStoreTableName("ok_Name-1.2"));
+  EXPECT_FALSE(IsValidStoreTableName(""));
+  EXPECT_FALSE(IsValidStoreTableName("."));
+  EXPECT_FALSE(IsValidStoreTableName(".."));
+  EXPECT_FALSE(IsValidStoreTableName("a/b"));
+  EXPECT_FALSE(IsValidStoreTableName("has space"));
+}
+
+// -------------------------------------------------------------- store ----
+
+TEST(ZiggyStoreTest, SaveLoadRoundTripIsExact) {
+  const std::string dir = UniqueDir("roundtrip");
+  auto store = ZiggyStore::Open(dir).ValueOrDie();
+
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  ASSERT_TRUE(store->SaveTable("box", ds.table, 0, profile, {}).ok());
+
+  EXPECT_TRUE(store->Has("box"));
+  EXPECT_FALSE(store->Has("nope"));
+  EXPECT_EQ(store->StoredGeneration("box").ValueOrDie(), 0u);
+  EXPECT_TRUE(store->StoredGeneration("nope").status().IsNotFound());
+
+  StoredTable loaded = store->LoadTable("box").ValueOrDie();
+  EXPECT_EQ(loaded.generation, 0u);
+  EXPECT_EQ(loaded.table.num_rows(), ds.table.num_rows());
+  EXPECT_EQ(loaded.table.schema(), ds.table.schema());
+  EXPECT_TRUE(loaded.profile.Equals(profile));
+  EXPECT_TRUE(loaded.sketches.empty());
+  EXPECT_TRUE(loaded.sketches_status.ok());
+
+  EXPECT_FALSE(DirHasTempLitter(dir));
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(ZiggyStoreTest, ReopenSeesPersistedManifest) {
+  const std::string dir = UniqueDir("reopen");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  {
+    auto store = ZiggyStore::Open(dir).ValueOrDie();
+    ASSERT_TRUE(store->SaveTable("box", ds.table, 2, profile, {}).ok());
+  }
+  auto reopened = ZiggyStore::Open(dir).ValueOrDie();
+  ASSERT_EQ(reopened->List().size(), 1u);
+  EXPECT_EQ(reopened->List()[0].name, "box");
+  EXPECT_EQ(reopened->List()[0].generation, 2u);
+
+  ASSERT_TRUE(reopened->RemoveTable("box").ok());
+  EXPECT_TRUE(reopened->RemoveTable("box").IsNotFound());
+  EXPECT_FALSE(PathExists(reopened->TableDir("box")));
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(ZiggyStoreTest, RejectsUnsafeNamesAndCorruptManifest) {
+  const std::string dir = UniqueDir("names");
+  auto store = ZiggyStore::Open(dir).ValueOrDie();
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+  EXPECT_TRUE(
+      store->SaveTable("..", ds.table, 0, profile, {}).IsInvalidArgument());
+  EXPECT_TRUE(
+      store->SaveTable("a/b", ds.table, 0, profile, {}).IsInvalidArgument());
+
+  WriteFileBytes(store->ManifestPath(), "garbage\n");
+  EXPECT_FALSE(ZiggyStore::Open(dir).ok());
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// ------------------------------------------------- warm restart parity ----
+
+TEST(StoreWarmRestartTest, WarmServerRendersByteIdenticalReports) {
+  const std::string dir = UniqueDir("warm");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  const std::vector<std::string> queries = {
+      ds.selection_predicate, "revenue_index > 1.0",
+      "budget_0 > 0.5 AND budget_1 > 0.5", ds.selection_predicate};
+
+  // Cold boot: profile computed from scratch; render, then checkpoint.
+  auto cold =
+      ZiggyServer::Create(ds.table, GoldenServeOptions()).ValueOrDie();
+  const uint64_t cold_sid = cold->OpenSession();
+  std::vector<std::string> cold_reports;
+  const Schema& schema = cold->state()->table().schema();
+  for (const std::string& q : queries) {
+    auto result = cold->Characterize(cold_sid, q);
+    ASSERT_TRUE(result.ok()) << q;
+    cold_reports.push_back(RenderCharacterizationReport(*result, schema));
+  }
+  auto store = ZiggyStore::Open(dir).ValueOrDie();
+  ASSERT_TRUE(store
+                  ->SaveTable("box", cold->state()->table(),
+                              cold->state()->generation(),
+                              *cold->state()->profile,
+                              cold->ExportSketchCache())
+                  .ok());
+
+  // Warm boot: checkpointed table + profile + sketch cache.
+  StoredTable stored = store->LoadTable("box").ValueOrDie();
+  ASSERT_TRUE(stored.sketches_status.ok());
+  EXPECT_FALSE(stored.sketches.empty());
+  auto warm = ZiggyServer::CreateFromState(std::move(stored.table),
+                                           stored.generation,
+                                           std::move(stored.profile),
+                                           GoldenServeOptions())
+                  .ValueOrDie();
+  EXPECT_EQ(warm->WarmSketchCache(stored.sketches), stored.sketches.size());
+
+  const uint64_t warm_sid = warm->OpenSession();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto result = warm->Characterize(warm_sid, queries[i]);
+    ASSERT_TRUE(result.ok()) << queries[i];
+    EXPECT_EQ(RenderCharacterizationReport(*result, schema), cold_reports[i])
+        << "query " << i << " diverged after warm restart";
+  }
+  // The warmed cache served the repeats without a single scan miss.
+  const ServeStats stats = warm->stats();
+  EXPECT_EQ(stats.cache_warmed_entries, stored.sketches.size());
+  EXPECT_EQ(stats.sketch_misses, 0u);
+  EXPECT_GT(stats.sketch_exact_hits, 0u);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(StoreWarmRestartTest, CheckpointAfterAppendRestoresGeneration) {
+  const std::string dir = UniqueDir("gen");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  auto cold = ZiggyServer::Create(ds.table, GoldenServeOptions()).ValueOrDie();
+  ASSERT_TRUE(cold->Append(tail.table).ok());
+  ASSERT_TRUE(cold->Append(tail.table).ok());
+  ASSERT_EQ(cold->state()->generation(), 2u);
+
+  const uint64_t sid = cold->OpenSession();
+  auto cold_result = cold->Characterize(sid, ds.selection_predicate);
+  ASSERT_TRUE(cold_result.ok());
+  const Schema& schema = cold->state()->table().schema();
+  const std::string cold_report =
+      RenderCharacterizationReport(*cold_result, schema);
+
+  auto store = ZiggyStore::Open(dir).ValueOrDie();
+  ASSERT_TRUE(store
+                  ->SaveTable("box", cold->state()->table(), 2,
+                              *cold->state()->profile, {})
+                  .ok());
+
+  StoredTable stored = store->LoadTable("box").ValueOrDie();
+  EXPECT_EQ(stored.generation, 2u);
+  EXPECT_EQ(stored.table.num_rows(), 2700u);
+  auto warm = ZiggyServer::CreateFromState(std::move(stored.table), 2,
+                                           std::move(stored.profile),
+                                           GoldenServeOptions())
+                  .ValueOrDie();
+  EXPECT_EQ(warm->state()->generation(), 2u);
+  const uint64_t warm_sid = warm->OpenSession();
+  auto warm_result = warm->Characterize(warm_sid, ds.selection_predicate);
+  ASSERT_TRUE(warm_result.ok());
+  EXPECT_EQ(RenderCharacterizationReport(*warm_result, schema), cold_report);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// --------------------------------------------------- corruption policy ----
+
+class StoreCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = UniqueDir("corrupt");
+    auto store = ZiggyStore::Open(dir_).ValueOrDie();
+    SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+    auto server =
+        ZiggyServer::Create(ds.table, GoldenServeOptions()).ValueOrDie();
+    const uint64_t sid = server->OpenSession();
+    ASSERT_TRUE(server->Characterize(sid, ds.selection_predicate).ok());
+    ASSERT_TRUE(store
+                    ->SaveTable("box", server->state()->table(), 0,
+                                *server->state()->profile,
+                                server->ExportSketchCache())
+                    .ok());
+    store_ = std::move(store);
+  }
+
+  void TearDown() override {
+    store_.reset();
+    ASSERT_TRUE(RemoveDirectory(dir_).ok());
+  }
+
+  std::string dir_;
+  std::unique_ptr<ZiggyStore> store_;
+};
+
+TEST_F(StoreCorruptionTest, CorruptTableFailsCleanlyAndInstallsNothing) {
+  FlipByte(store_->TablePath("box", 0),
+           ReadFileBytes(store_->TablePath("box", 0)).size() / 2);
+  Result<StoredTable> loaded = store_->LoadTable("box");
+  EXPECT_FALSE(loaded.ok());
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  // Attach to the same (damaged) store: OpenFromStore must fail without
+  // publishing a table.
+  ASSERT_TRUE(catalog.AttachStore(dir_).ok());
+  EXPECT_FALSE(catalog.OpenFromStore("box").ok());
+  EXPECT_EQ(catalog.num_tables(), 0u);
+}
+
+TEST_F(StoreCorruptionTest, OpenFallsBackToColdSourceWhenCheckpointIsBad) {
+  // Availability over warmth: a damaged checkpoint must not make the name
+  // unopenable when the OPEN carried a valid cold source.
+  FlipByte(store_->TablePath("box", 0),
+           ReadFileBytes(store_->TablePath("box", 0)).size() / 2);
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir_).ok());
+  DaemonHandler handler(&catalog);
+  auto open = LineProtocol::ParseRequest("OPEN box demo://boxoffice?seed=7");
+  ASSERT_TRUE(open.ok());
+  WireResponse reply = handler.Handle(*open);
+  ASSERT_TRUE(reply.ok) << reply.body;
+  EXPECT_EQ(reply.body,
+            "{\"table\":\"box\",\"rows\":900,\"columns\":12,\"generation\":0}");
+  EXPECT_EQ(catalog.stats().store_opens, 0u);  // the cold path served it
+  EXPECT_EQ(catalog.num_tables(), 1u);
+}
+
+TEST_F(StoreCorruptionTest, TruncatedProfileFailsCleanly) {
+  const std::string path = store_->ProfilePath("box", 0);
+  const std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 3));
+  EXPECT_FALSE(store_->LoadTable("box").ok());
+}
+
+TEST_F(StoreCorruptionTest, WrongMagicProfileFailsCleanly) {
+  WriteFileBytes(store_->ProfilePath("box", 0), "NOTAPROF-garbage-bytes");
+  Result<StoredTable> loaded = store_->LoadTable("box");
+  EXPECT_TRUE(loaded.status().IsParseError());
+}
+
+TEST_F(StoreCorruptionTest, LegacyProfileVersionExplicitlyRejected) {
+  // A ZIGPROF1 payload must produce the version-mismatch error, not a
+  // generic bad-magic parse error (satellite: the recompute note in
+  // profile_io.cc becomes an actionable Status).
+  std::string bytes = ReadFileBytes(store_->ProfilePath("box", 0));
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[7] = '1';  // ZIGPROF2 -> ZIGPROF1
+  WriteFileBytes(store_->ProfilePath("box", 0), bytes);
+  Result<StoredTable> loaded = store_->LoadTable("box");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsFailedPrecondition()) << loaded.status();
+  EXPECT_NE(loaded.status().message().find("recompute"), std::string::npos);
+}
+
+TEST_F(StoreCorruptionTest, CorruptSketchesOnlyCostWarmth) {
+  FlipByte(store_->SketchesPath("box", 0),
+           ReadFileBytes(store_->SketchesPath("box", 0)).size() / 2);
+  StoredTable loaded = store_->LoadTable("box").ValueOrDie();
+  EXPECT_TRUE(loaded.sketches.empty());
+  EXPECT_FALSE(loaded.sketches_status.ok());
+
+  // The table still serves (cold cache) through the catalog.
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir_).ok());
+  auto server = catalog.OpenFromStore("box");
+  ASSERT_TRUE(server.ok()) << server.status();
+  EXPECT_EQ((*server)->stats().cache_warmed_entries, 0u);
+}
+
+TEST_F(StoreCorruptionTest, SketchBitFlipsNeverCrashOrInstall) {
+  const std::string path = store_->SketchesPath("box", 0);
+  const std::string bytes = ReadFileBytes(path);
+  const size_t stride = bytes.size() / 256 + 1;
+  for (size_t pos = 0; pos < bytes.size(); pos += stride) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x10);
+    WriteFileBytes(path, mutated);
+    StoredTable loaded = store_->LoadTable("box").ValueOrDie();
+    // Either the flip was caught (cold boot) or it was inside a section
+    // that still checksummed — impossible with CRC32 for a single flip.
+    EXPECT_TRUE(loaded.sketches.empty()) << "pos=" << pos;
+    EXPECT_FALSE(loaded.sketches_status.ok()) << "pos=" << pos;
+  }
+  WriteFileBytes(path, bytes);
+}
+
+TEST_F(StoreCorruptionTest, TruncatedTableEveryCutFailsCleanly) {
+  const std::string path = store_->TablePath("box", 0);
+  const std::string bytes = ReadFileBytes(path);
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{11}, bytes.size() / 4,
+                     bytes.size() / 2, bytes.size() - 2}) {
+    WriteFileBytes(path, bytes.substr(0, cut));
+    EXPECT_FALSE(store_->LoadTable("box").ok()) << "cut=" << cut;
+  }
+  WriteFileBytes(path, bytes);
+  EXPECT_TRUE(store_->LoadTable("box").ok());
+}
+
+// -------------------------------------------------- catalog integration ----
+
+TEST(CatalogStoreTest, OpenFromStoreServesAndCounts) {
+  const std::string dir = UniqueDir("catalog");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  EXPECT_FALSE(catalog.HasStore());
+  EXPECT_TRUE(catalog.SaveToStore("box").status().IsFailedPrecondition());
+  EXPECT_TRUE(catalog.SetPersist("box", true).IsFailedPrecondition());
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  EXPECT_TRUE(catalog.AttachStore(dir).IsFailedPrecondition());  // once
+
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+  EXPECT_TRUE(catalog.SaveToStore("nope").status().IsNotFound());
+  EXPECT_EQ(catalog.SaveToStore("box").ValueOrDie(), 0u);
+  EXPECT_TRUE(catalog.StoreHas("box"));
+
+  // Close + warm reopen from the checkpoint.
+  ASSERT_TRUE(catalog.Close("box").ok());
+  auto warm = catalog.OpenFromStore("box");
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  EXPECT_EQ((*warm)->state()->table().num_rows(), 900u);
+
+  CatalogStats stats = catalog.stats();
+  EXPECT_TRUE(stats.store_attached);
+  EXPECT_EQ(stats.store_tables, 1u);
+  EXPECT_EQ(stats.store_opens, 1u);
+  EXPECT_EQ(stats.store_saves, 1u);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(CatalogStoreTest, AppendCheckpointsWhenPersistIsOn) {
+  const std::string dir = UniqueDir("persist");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+
+  // Persist off: append does not checkpoint.
+  Status checkpoint = Status::OK();
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  EXPECT_TRUE(checkpoint.ok());
+  EXPECT_FALSE(catalog.StoreHas("box"));
+
+  // Persist on: the next append checkpoints generation 2.
+  ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  EXPECT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(catalog.StoreHas("box"));
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 2u);
+
+  // only_if_newer: saving the same generation again is a no-op skip.
+  EXPECT_EQ(catalog.SaveToStore("box", /*only_if_newer=*/true).ValueOrDie(),
+            2u);
+  EXPECT_EQ(catalog.stats().store_saves, 1u);  // still just the append's
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+}  // namespace
+}  // namespace ziggy

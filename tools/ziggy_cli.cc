@@ -20,6 +20,14 @@
 //   ziggy_cli demo <boxoffice|crime|oecd>
 //       Run the built-in synthetic use case end to end.
 //
+//   ziggy_cli import <data.csv> <store-dir> <name> [--threads n]
+//       Load a CSV, compute its profile, and checkpoint both into a
+//       Ziggy store (the binary format a daemon started with
+//       --store <store-dir> boots warm from).
+//
+//   ziggy_cli export <store-dir> <name> <out.csv>
+//       Write a stored table's rows back out as CSV.
+//
 //   ziggy_cli connect <host:port>
 //       Line-protocol REPL against a running ziggy_daemon. Reads one
 //       command per line from stdin:
@@ -29,6 +37,9 @@
 //         views <name> <predicate>   VIEWS; prints the deterministic report
 //         append <name> <source>     append rows as a new generation
 //         stats [name]               catalog-wide or per-table counters
+//         save [name]                checkpoint one table (or all) to the
+//                                    daemon's store
+//         persist <name> <on|off>    toggle checkpoint-on-append
 //         close <name>               stop serving a table
 //         raw <line>                 send a protocol line verbatim
 //         quit
@@ -61,6 +72,7 @@
 #include "data/synthetic.h"
 #include "engine/json.h"
 #include "engine/ziggy_engine.h"
+#include "persist/store.h"
 #include "serve/client.h"
 #include "serve/ziggy_server.h"
 #include "storage/csv.h"
@@ -82,6 +94,9 @@ int Usage() {
             << "            [--threads n]\n"
             << "  ziggy_cli dendrogram <data.csv>\n"
             << "  ziggy_cli demo <boxoffice|crime|oecd>\n"
+            << "  ziggy_cli import <data.csv> <store-dir> <name> "
+               "[--threads n]\n"
+            << "  ziggy_cli export <store-dir> <name> <out.csv>\n"
             << "  ziggy_cli connect <host:port>\n"
             << "  ziggy_cli serve <data.csv> [--threads n] [--cache-mb m]\n"
             << "            [--no-cache] [--no-patch] [--json]\n";
@@ -152,6 +167,53 @@ int RunViews(int argc, char** argv) {
   } else {
     std::cout << result->ToString(engine->table().schema());
   }
+  return 0;
+}
+
+int RunImport(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string csv_path = argv[2];
+  const std::string store_dir = argv[3];
+  const std::string name = argv[4];
+  ProfileOptions profile_options;
+  for (int i = 5; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      Result<int64_t> v = ParseInt(argv[++i]);
+      if (!v.ok() || *v < 0) return Usage();
+      profile_options.num_threads = static_cast<size_t>(*v);
+    } else {
+      return Usage();
+    }
+  }
+  Result<Table> table = ReadCsvFile(csv_path);
+  if (!table.ok()) return Fail(table.status());
+  Result<TableProfile> profile = TableProfile::Compute(*table, profile_options);
+  if (!profile.ok()) return Fail(profile.status());
+  Result<std::unique_ptr<ZiggyStore>> store = ZiggyStore::Open(store_dir);
+  if (!store.ok()) return Fail(store.status());
+  Status st = (*store)->SaveTable(name, *table, /*generation=*/0, *profile, {});
+  if (!st.ok()) return Fail(st);
+  std::cout << "imported " << table->num_rows() << " rows x "
+            << table->num_columns() << " columns as \"" << name << "\" into "
+            << store_dir << "\n";
+  return 0;
+}
+
+int RunExport(int argc, char** argv) {
+  if (argc != 5) return Usage();
+  const std::string store_dir = argv[2];
+  const std::string name = argv[3];
+  const std::string out_path = argv[4];
+  Result<std::unique_ptr<ZiggyStore>> store = ZiggyStore::Open(store_dir);
+  if (!store.ok()) return Fail(store.status());
+  Result<StoredTable> stored = (*store)->LoadTable(name);
+  if (!stored.ok()) return Fail(stored.status());
+  Status st = WriteCsvFile(stored->table, out_path);
+  if (!st.ok()) return Fail(st);
+  std::cout << "exported \"" << name << "\" (generation " << stored->generation
+            << ", " << stored->table.num_rows() << " rows) -> " << out_path
+            << "\n";
   return 0;
 }
 
@@ -379,6 +441,17 @@ int RunConnect(int argc, char** argv) {
       std::string name;
       in >> name;
       print(client.Stats(name));
+    } else if (cmd == "save") {
+      std::string name;
+      in >> name;
+      print(client.Save(name));
+    } else if (cmd == "persist") {
+      std::string name, mode;
+      if (!(in >> name >> mode) || (mode != "on" && mode != "off")) {
+        std::cout << "usage: persist <name> <on|off>\n";
+        continue;
+      }
+      print(client.Persist(name, mode == "on"));
     } else if (cmd == "close") {
       std::string name;
       if (!(in >> name)) {
@@ -422,6 +495,8 @@ int main(int argc, char** argv) {
   if (cmd == "views") return RunViews(argc, argv);
   if (cmd == "dendrogram" && argc == 3) return RunDendrogram(argv[2]);
   if (cmd == "demo" && argc == 3) return RunDemo(argv[2]);
+  if (cmd == "import") return RunImport(argc, argv);
+  if (cmd == "export") return RunExport(argc, argv);
   if (cmd == "connect") return RunConnect(argc, argv);
   if (cmd == "serve") return RunServe(argc, argv);
   return Usage();

@@ -14,6 +14,16 @@
 //     --total-cache-mb <m>  global budget across all tables (default 256)
 //     --max-tables <n>      catalog capacity (default 64)
 //     --max-connections <n> concurrent connections (default 64)
+//     --store <dir>         durable table/profile store: OPEN serves a
+//                           stored checkpoint when one exists (warm boot),
+//                           and the SAVE/PERSIST verbs write checkpoints
+//     --checkpoint-on-append
+//                           checkpoint every APPEND of every table
+//                           (per-table default; PERSIST overrides)
+//     --request-timeout-ms <t>
+//                           drop a connection that is silent for t ms
+//                           (default 0 = never; hardening for untrusted
+//                           or flaky clients)
 //
 // Prints "ziggy_daemon listening on <host>:<port>" once serving, then runs
 // until SIGINT/SIGTERM. The wire protocol is documented in
@@ -45,7 +55,9 @@ int Usage() {
   std::cerr << "usage: ziggy_daemon [--host a] [--port p] [--port-file f]\n"
             << "                    [--preload name=source]... [--threads n]\n"
             << "                    [--cache-mb m] [--total-cache-mb m]\n"
-            << "                    [--max-tables n] [--max-connections n]\n";
+            << "                    [--max-tables n] [--max-connections n]\n"
+            << "                    [--store dir] [--checkpoint-on-append]\n"
+            << "                    [--request-timeout-ms t]\n";
   return 2;
 }
 
@@ -110,6 +122,14 @@ int main(int argc, char** argv) {
       if (!next_size(&options.catalog.max_tables)) return Usage();
     } else if (arg == "--max-connections") {
       if (!next_size(&options.max_connections)) return Usage();
+    } else if (arg == "--store") {
+      const char* v = next_value();
+      if (v == nullptr) return Usage();
+      options.store_dir = v;
+    } else if (arg == "--checkpoint-on-append") {
+      options.catalog.checkpoint_on_append = true;
+    } else if (arg == "--request-timeout-ms") {
+      if (!next_size(&options.request_timeout_ms)) return Usage();
     } else {
       return Usage();
     }
@@ -125,6 +145,12 @@ int main(int argc, char** argv) {
   if (!daemon.ok()) {
     std::cerr << "error: " << daemon.status() << "\n";
     return 1;
+  }
+
+  if (!options.store_dir.empty()) {
+    std::cout << "store attached at " << options.store_dir << " ("
+              << (*daemon)->catalog().store()->List().size()
+              << " stored tables)\n";
   }
 
   for (const auto& [name, source] : preloads) {
