@@ -22,10 +22,20 @@
 // runner cannot flake the bench job while local/perf-tracking runs can
 // still gate on it.
 //
+// Append-checkpoint scenario (ISSUE 5): on the crime fixture, a server
+// appends small batches and checkpoints each one into two stores — one
+// with the delta path enabled, one forced to full rewrites — and the
+// harness compares the table-data bytes each strategy wrote. The
+// acceptance bar, checkpoint-on-append I/O scaling with the delta size
+// rather than the table size (>= 5x less than full rewrites), is a
+// deterministic byte count, so it always gates the exit code; the
+// delta-chained store must also warm-load byte-identically.
+//
 // Usage: bench_store [--threads n] [--enforce-speedup] [--json [path]]
 
 #include <filesystem>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +45,7 @@
 #include "persist/store.h"
 #include "serve/ziggy_server.h"
 #include "storage/csv.h"
+#include "storage/table_io.h"
 
 using namespace ziggy;
 
@@ -153,6 +164,87 @@ FixtureResult RunFixture(const std::string& name, SyntheticDataset ds,
   return r;
 }
 
+struct AppendIoResult {
+  size_t batches = 0;
+  size_t batch_rows = 0;
+  uint64_t delta_bytes = 0;       ///< table-data bytes, delta-chained store
+  uint64_t full_bytes = 0;        ///< table-data bytes, full-rewrite store
+  uint64_t delta_checkpoints = 0;
+  uint64_t compactions = 0;
+  bool replay_matches = false;    ///< warm load of the chain == live table
+
+  double io_ratio() const {
+    return delta_bytes > 0
+               ? static_cast<double>(full_bytes) /
+                     static_cast<double>(delta_bytes)
+               : 0.0;
+  }
+};
+
+std::string TableImage(const Table& table) {
+  std::ostringstream out(std::ios::binary);
+  (void)WriteTable(table, &out);
+  return out.str();
+}
+
+/// First `n` rows of `table` (the append batches).
+Table HeadRows(const Table& table, size_t n) {
+  Selection head(table.num_rows());
+  for (size_t i = 0; i < n && i < table.num_rows(); ++i) head.Set(i);
+  return table.Filter(head);
+}
+
+AppendIoResult RunAppendIoScenario(const std::string& work_dir) {
+  constexpr size_t kBatches = 8;
+  constexpr size_t kBatchRows = 64;
+  constexpr uint64_t kLineage = 1;
+  AppendIoResult r;
+  r.batches = kBatches;
+  r.batch_rows = kBatchRows;
+
+  SyntheticDataset ds = MakeCrimeDataset(11).ValueOrDie();
+  SyntheticDataset extra = MakeCrimeDataset(17).ValueOrDie();
+  const Table batch = HeadRows(extra.table, kBatchRows);
+
+  auto delta_store = ZiggyStore::Open(work_dir + "/append_delta").ValueOrDie();
+  StoreOptions no_delta;
+  no_delta.max_delta_chain = 0;  // every checkpoint is a full rewrite
+  auto full_store =
+      ZiggyStore::Open(work_dir + "/append_full", no_delta).ValueOrDie();
+
+  Table live = ds.table;
+  TableProfile profile = TableProfile::Compute(live).ValueOrDie();
+  if (!delta_store->SaveTable("crime", live, 0, profile, {}, kLineage).ok() ||
+      !full_store->SaveTable("crime", live, 0, profile, {}, kLineage).ok()) {
+    std::cerr << "error: append scenario base checkpoint failed\n";
+    return r;
+  }
+  const uint64_t delta_base = delta_store->stats().checkpoint_bytes;
+  const uint64_t full_base = full_store->stats().checkpoint_bytes;
+
+  for (size_t g = 1; g <= kBatches; ++g) {
+    live = live.WithAppendedRows(batch).ValueOrDie();
+    profile = TableProfile::Compute(live).ValueOrDie();
+    if (!delta_store->SaveTable("crime", live, g, profile, {}, kLineage)
+             .ok() ||
+        !full_store->SaveTable("crime", live, g, profile, {}, kLineage).ok()) {
+      std::cerr << "error: append scenario checkpoint " << g << " failed\n";
+      return r;
+    }
+  }
+  // Count only the post-base append checkpoints: that is the per-append
+  // cost a serving daemon pays, the thing the delta path makes O(delta).
+  r.delta_bytes = delta_store->stats().checkpoint_bytes - delta_base;
+  r.full_bytes = full_store->stats().checkpoint_bytes - full_base;
+  r.delta_checkpoints = delta_store->stats().delta_checkpoints;
+  r.compactions = delta_store->stats().compactions;
+
+  Result<StoredTable> replayed = delta_store->LoadTable("crime");
+  r.replay_matches =
+      replayed.ok() && TableImage(replayed->table) == TableImage(live);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +292,25 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // ---- append-checkpoint I/O scenario (crime fixture) ----
+  const AppendIoResult append_io = RunAppendIoScenario(work_dir);
+  {
+    bench::ResultTable io_table({"scenario", "batches", "rows/batch",
+                                 "delta KiB", "full-rewrite KiB", "ratio",
+                                 "deltas", "compactions", "replay"});
+    io_table.AddRow(
+        {"crime append", std::to_string(append_io.batches),
+         std::to_string(append_io.batch_rows),
+         bench::Fmt(static_cast<double>(append_io.delta_bytes) / 1024.0),
+         bench::Fmt(static_cast<double>(append_io.full_bytes) / 1024.0),
+         bench::Fmt(append_io.io_ratio()) + "x",
+         std::to_string(append_io.delta_checkpoints),
+         std::to_string(append_io.compactions),
+         append_io.replay_matches ? "yes" : "NO"});
+    std::cout << "\n";
+    io_table.Print();
+  }
+
   bool ok = true;
   for (const FixtureResult& r : results) {
     if (!r.reports_match) {
@@ -207,6 +318,19 @@ int main(int argc, char** argv) {
                 << ": warm report is not byte-identical to cold\n";
       ok = false;
     }
+  }
+  // Acceptance (ISSUE 5): checkpoint-on-append writes bytes proportional
+  // to the delta, not the table — >= 5x less I/O than full rewrites.
+  // Byte counts are deterministic, so this always gates the exit code.
+  if (!append_io.replay_matches) {
+    std::cerr << "FAIL: delta-chained store does not replay the live table "
+                 "byte-identically\n";
+    ok = false;
+  }
+  if (append_io.io_ratio() < 5.0) {
+    std::cerr << "FAIL: append-checkpoint I/O ratio is "
+              << bench::Fmt(append_io.io_ratio()) << "x (< 5x)\n";
+    ok = false;
   }
   // Acceptance: >= 5x warm-boot speedup on the largest fixture.
   const FixtureResult& largest = results.back();
@@ -241,6 +365,21 @@ int main(int argc, char** argv) {
     report.Set("fixtures", std::move(fixtures));
     report.Set("largest_fixture_speedup_ok",
                bench::JsonValue::Bool(largest.boot_speedup() >= 5.0));
+    bench::JsonValue io;
+    io.Set("fixture", std::string("crime"));
+    io.Set("batches", static_cast<double>(append_io.batches));
+    io.Set("batch_rows", static_cast<double>(append_io.batch_rows));
+    io.Set("delta_checkpoint_bytes",
+           static_cast<double>(append_io.delta_bytes));
+    io.Set("full_rewrite_bytes", static_cast<double>(append_io.full_bytes));
+    io.Set("io_ratio", append_io.io_ratio());
+    io.Set("delta_checkpoints",
+           static_cast<double>(append_io.delta_checkpoints));
+    io.Set("compactions", static_cast<double>(append_io.compactions));
+    io.Set("replay_byte_identical",
+           bench::JsonValue::Bool(append_io.replay_matches));
+    io.Set("io_ratio_ok", bench::JsonValue::Bool(append_io.io_ratio() >= 5.0));
+    report.Set("append_checkpoint", std::move(io));
     report.WriteFile(json_path);
     std::cout << "\nwrote " << json_path << "\n";
   }

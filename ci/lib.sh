@@ -31,6 +31,15 @@ stop_daemon() {
   DAEMON_PID=""
 }
 
+# SIGKILL — no clean-shutdown flusher drain, no atexit: what survives is
+# exactly what the store's fsync-backed commits put on disk.
+kill9_daemon() {
+  [ -n "${DAEMON_PID:-}" ] || return 0
+  kill -9 "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+}
+
 # Caller installs this via: trap daemon_cleanup EXIT
 daemon_cleanup() {
   stop_daemon

@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Warm-restart gate for the durable store: boots ziggy_daemon with a fresh
-# --store directory, primes it (open + SAVE) over the wire, kills the
-# daemon, restarts it on the same store, replays the *unmodified* e2e
-# command script, and diffs the transcript against the same golden the
-# cold-boot daemon-e2e job uses. The OPEN in the replay is served from the
-# checkpoint (proven by grepping the catalog's store counters), so this
-# failing means a warm-restarted daemon no longer serves byte-identical
-# output to a cold boot.
+# Warm-restart gates for the durable store.
+#
+# Phase 1-3: boots ziggy_daemon with a fresh --store directory, primes it
+# (open + SAVE) over the wire, kills the daemon, restarts it on the same
+# store, replays the *unmodified* e2e command script, and diffs the
+# transcript against the same golden the cold-boot daemon-e2e job uses.
+# The OPEN in the replay is served from the checkpoint (proven by
+# grepping the catalog's store counters), so this failing means a
+# warm-restarted daemon no longer serves byte-identical output to a cold
+# boot.
+#
+# Phase 4-6 (ISSUE 5): the crash-safe O(delta) write path. A daemon with
+# the background flusher enabled takes appends over the wire, the script
+# waits for the flusher to cut the delta checkpoints (manifest shows
+# base + chain), captures a VIEWS reply on the appended table, and then
+# SIGKILLs the daemon — no clean shutdown, durability rests entirely on
+# the fsync-backed base+delta commits. The warm restart must replay the
+# chain and answer the same VIEWS byte-identically against the captured
+# golden.
 #
 # Usage: ci/store_roundtrip.sh [build-dir]   (run from the repository root)
 set -euo pipefail
@@ -52,3 +63,67 @@ grep -q '"store":{"attached":true,"tables":1,"opens":1' "$WORK/stats.txt" || {
   exit 1
 }
 echo "warm open confirmed by catalog store counters"
+stop_daemon
+
+# ---- phase 4: appends + background flusher -> delta chain on disk ----
+# A 1s flusher interval: both appends land well before the first flush
+# tick, so the flusher coalesces them into ONE delta segment on top of
+# the generation-0 base (two separate flushes of these table-sized demo
+# tails could legitimately trigger a compaction instead, which is not
+# what this gate pins).
+VIEWS_CMD='views box revenue_index >= 1.1826265604539112'
+boot_daemon "$WORK/daemon3.log" --store "$WORK/store2" --flush-interval-ms 1000
+echo "append daemon on 127.0.0.1:$PORT (store: $WORK/store2, flusher: 1s)"
+printf 'open box demo://boxoffice?seed=7\nsave box\npersist box on\nappend box demo://boxoffice?seed=19\nappend box demo://boxoffice?seed=23\nquit\n' \
+  | "$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" > "$WORK/append.txt"
+grep -q '"appended_rows":900,"generation":2' "$WORK/append.txt" || {
+  echo "appends did not reach generation 2:"
+  cat "$WORK/append.txt"
+  exit 1
+}
+# APPEND returned before durability: wait for the background flusher to
+# checkpoint generation 2 (manifest line: name gen sketches base ndeltas...).
+for _ in $(seq 1 100); do
+  grep -q '^table box 2 ' "$WORK/store2/ziggy.manifest" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q '^table box 2 ' "$WORK/store2/ziggy.manifest" || {
+  echo "flusher never checkpointed generation 2:"
+  cat "$WORK/store2/ziggy.manifest"
+  exit 1
+}
+# The checkpoints must be O(delta): base generation 0 plus a chain, not a
+# rewritten base (field 5 of the v2 manifest line is the base generation,
+# field 6 the number of delta segments).
+read -r _ _ _ _ BASE NDELTAS _ < <(grep '^table box ' "$WORK/store2/ziggy.manifest")
+[ "$BASE" = "0" ] && [ "$NDELTAS" -ge 1 ] || {
+  echo "expected a base-0 delta chain, manifest says:"
+  cat "$WORK/store2/ziggy.manifest"
+  exit 1
+}
+ls "$WORK/store2/tables/box/" | grep -q '^delta\.g' || {
+  echo "no delta segment files on disk:"
+  ls "$WORK/store2/tables/box/"
+  exit 1
+}
+echo "flusher wrote base + $NDELTAS delta segment(s)"
+
+# ---- phase 5: capture the live reply, then SIGKILL mid-run ----
+printf '%s\nquit\n' "$VIEWS_CMD" \
+  | "$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" > "$WORK/live_views.txt"
+kill9_daemon
+echo "daemon SIGKILLed (no shutdown drain; durability = fsynced base+deltas)"
+
+# ---- phase 6: warm restart replays the chain byte-identically ----
+boot_daemon "$WORK/daemon4.log" --store "$WORK/store2" --flush-interval-ms 1000
+printf 'open box demo://ignored-warm-checkpoint-wins\n%s\nquit\n' "$VIEWS_CMD" \
+  | "$BUILD_DIR/ziggy_cli" connect "127.0.0.1:$PORT" > "$WORK/warm_boot.txt"
+grep -q '"rows":2700' "$WORK/warm_boot.txt" || {
+  echo "warm restart did not replay the appended generations:"
+  cat "$WORK/warm_boot.txt"
+  exit 1
+}
+# The warm VIEWS reply must match the pre-kill daemon's byte for byte.
+tail -n +2 "$WORK/warm_boot.txt" > "$WORK/warm_views.txt"
+diff -u "$WORK/live_views.txt" "$WORK/warm_views.txt"
+echo "SIGKILL roundtrip: warm base+delta replay matches the live transcript"

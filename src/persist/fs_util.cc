@@ -1,9 +1,12 @@
 #include "persist/fs_util.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 namespace ziggy {
@@ -49,6 +52,51 @@ Status RenameFile(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
+namespace {
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    return Status::IOError("fsync of '" + what + "' failed: " + err);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FsyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const std::string err = std::strerror(errno);
+    return Status::IOError("cannot open '" + path + "' for fsync: " + err);
+  }
+  Status st = FsyncFd(fd, path);
+  ::close(fd);
+  return st;
+}
+
+Status FsyncParentDir(const std::string& path) {
+  std::string dir(fs::path(path).parent_path().string());
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    const std::string err = std::strerror(errno);
+    return Status::IOError("cannot open directory '" + dir +
+                           "' for fsync: " + err);
+  }
+  Status st = FsyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+Status CommitFile(const std::string& tmp, const std::string& path) {
+  Status st = FsyncFile(tmp);
+  if (st.ok()) st = RenameFile(tmp, path);
+  if (st.ok()) st = FsyncParentDir(path);
+  if (!st.ok()) (void)RemoveFileIfExists(tmp);
+  return st;
+}
+
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   const std::string tmp = TempPathFor(path);
   {
@@ -61,9 +109,7 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
       return Status::IOError("write to '" + tmp + "' failed");
     }
   }
-  Status st = RenameFile(tmp, path);
-  if (!st.ok()) (void)RemoveFileIfExists(tmp);
-  return st;
+  return CommitFile(tmp, path);
 }
 
 Status RemoveFileIfExists(const std::string& path) {

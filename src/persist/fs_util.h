@@ -3,6 +3,15 @@
 // the atomic tmp+rename write every store file goes through — a reader
 // can never observe a half-written table, profile, manifest, or sketch
 // file, only the previous complete version or the new one.
+//
+// Durability: rename alone only orders the *namespace* change; after a
+// power loss the kernel may have committed the rename but not the file's
+// data blocks (or neither), surfacing an empty or partial file behind a
+// "committed" name. Every staged write therefore goes through
+// CommitFile(): fsync the staged file's contents, rename it into place,
+// then fsync the parent directory so the rename itself is on disk. A
+// checkpoint the manifest points at is a checkpoint that survives power
+// loss.
 
 #ifndef ZIGGY_PERSIST_FS_UTIL_H_
 #define ZIGGY_PERSIST_FS_UTIL_H_
@@ -29,7 +38,20 @@ std::string TempPathFor(const std::string& path);
 /// \brief Atomic rename; overwrites `to` if it exists.
 Status RenameFile(const std::string& from, const std::string& to);
 
-/// \brief Writes `contents` to a temp sibling, then renames over `path`.
+/// \brief fsync()s an existing file's contents to stable storage.
+Status FsyncFile(const std::string& path);
+
+/// \brief fsync()s the directory containing `path`, making a rename of
+/// `path` durable (a rename is a directory mutation).
+Status FsyncParentDir(const std::string& path);
+
+/// \brief The durable commit of a staged write: fsync `tmp`, rename it
+/// over `path`, fsync the parent directory. After OK, the new contents
+/// survive power loss; on error `tmp` is removed.
+Status CommitFile(const std::string& tmp, const std::string& path);
+
+/// \brief Writes `contents` to a temp sibling, then commits it over
+/// `path` via CommitFile (fsync file, rename, fsync directory).
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
 /// \brief Removes `path` if present (OK when absent).

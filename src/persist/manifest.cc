@@ -9,7 +9,10 @@ namespace ziggy {
 namespace {
 
 constexpr char kMagicLine[] = "ziggy-store";
-constexpr int kVersion = 1;
+// Version 2 added the delta chain fields; version 1 is still parsed (all
+// v1 entries are full snapshots).
+constexpr int kVersion = 2;
+constexpr int kLegacyVersion = 1;
 
 }  // namespace
 
@@ -60,7 +63,13 @@ std::string Manifest::Serialize() const {
       std::string(kMagicLine) + " " + std::to_string(kVersion) + "\n";
   for (const ManifestEntry& entry : entries_) {
     out += "table " + entry.name + " " + std::to_string(entry.generation) +
-           " " + (entry.has_sketches ? "1" : "0") + "\n";
+           " " + (entry.has_sketches ? "1" : "0") + " " +
+           std::to_string(entry.base_generation) + " " +
+           std::to_string(entry.delta_generations.size());
+    for (const uint64_t delta : entry.delta_generations) {
+      out += " " + std::to_string(delta);
+    }
+    out += "\n";
   }
   return out;
 }
@@ -75,17 +84,18 @@ Result<Manifest> Manifest::Parse(const std::string& text) {
   }
   Result<int64_t> version = ParseInt(head[1]);
   if (!version.ok()) return Status::ParseError("bad manifest version token");
-  if (*version != kVersion) {
+  if (*version != kVersion && *version != kLegacyVersion) {
     return Status::FailedPrecondition(
         "unsupported store manifest version " + head[1] + " (expected " +
         std::to_string(kVersion) + ")");
   }
+  const bool legacy = *version == kLegacyVersion;
 
   Manifest manifest;
   for (size_t i = 1; i < lines.size(); ++i) {
     if (lines[i].empty()) continue;  // trailing newline
     const std::vector<std::string> tokens = Split(lines[i], ' ');
-    if (tokens.size() != 4 || tokens[0] != "table") {
+    if (tokens.size() < 4 || tokens[0] != "table") {
       return Status::ParseError("malformed manifest line: " + lines[i]);
     }
     ManifestEntry entry;
@@ -103,6 +113,44 @@ Result<Manifest> Manifest::Parse(const std::string& text) {
       return Status::ParseError("malformed sketch flag in manifest");
     }
     entry.has_sketches = tokens[3] == "1";
+    if (legacy) {
+      // v1: every checkpoint is a full snapshot.
+      if (tokens.size() != 4) {
+        return Status::ParseError("malformed manifest line: " + lines[i]);
+      }
+      entry.base_generation = entry.generation;
+    } else {
+      if (tokens.size() < 6) {
+        return Status::ParseError("malformed manifest line: " + lines[i]);
+      }
+      ZIGGY_ASSIGN_OR_RETURN(int64_t base, ParseInt(tokens[4]));
+      ZIGGY_ASSIGN_OR_RETURN(int64_t num_deltas, ParseInt(tokens[5]));
+      if (base < 0 || num_deltas < 0 ||
+          tokens.size() != 6 + static_cast<size_t>(num_deltas)) {
+        return Status::ParseError("malformed delta chain in manifest line: " +
+                                  lines[i]);
+      }
+      entry.base_generation = static_cast<uint64_t>(base);
+      uint64_t previous = entry.base_generation;
+      for (int64_t d = 0; d < num_deltas; ++d) {
+        ZIGGY_ASSIGN_OR_RETURN(int64_t delta,
+                               ParseInt(tokens[6 + static_cast<size_t>(d)]));
+        if (delta < 0 || static_cast<uint64_t>(delta) <= previous) {
+          return Status::ParseError(
+              "delta chain is not strictly increasing in manifest line: " +
+              lines[i]);
+        }
+        previous = static_cast<uint64_t>(delta);
+        entry.delta_generations.push_back(static_cast<uint64_t>(delta));
+      }
+      // The chain must end at the recorded current generation.
+      if (previous != entry.generation) {
+        return Status::ParseError(
+            "delta chain does not end at the current generation in "
+            "manifest line: " +
+            lines[i]);
+      }
+    }
     if (manifest.Find(entry.name).has_value()) {
       return Status::ParseError("duplicate table in manifest: " + entry.name);
     }

@@ -1,17 +1,23 @@
 // The store manifest: the small, human-readable index at the root of a
 // Ziggy store directory. One line per persisted table recording its name,
 // the table *generation* the files were checkpointed at (the same counter
-// the serving layer's append path maintains), and whether a warm-cache
-// sketch file accompanies it.
+// the serving layer's append path maintains), whether a warm-cache sketch
+// file accompanies it, and the checkpoint's delta chain: the generation
+// of the full base snapshot plus the ordered delta segments layered on
+// top of it (empty when the checkpoint is a plain full snapshot).
 //
 // The manifest is the store's commit record: per-table data files are
-// staged tmp+rename first and the manifest is rewritten (atomically) last,
-// so a crash mid-save leaves either the previous complete checkpoint or
-// the new one — never a half-registered table.
+// staged tmp+rename first (each fsynced) and the manifest is rewritten
+// (atomically, fsynced) last, so a crash mid-save leaves either the
+// previous complete checkpoint or the new one — never a half-registered
+// table, and never a chain whose segments are not all on disk.
 //
 // Format (text, versioned):
-//   ziggy-store 1
-//   table <name> <generation> <has_sketches:0|1>
+//   ziggy-store 2
+//   table <name> <generation> <has_sketches:0|1> <base_generation>
+//         <num_deltas> <delta_generation>...
+// Version 1 (no chain fields) is still read: every v1 entry is a full
+// snapshot, so base_generation = generation and the chain is empty.
 
 #ifndef ZIGGY_PERSIST_MANIFEST_H_
 #define ZIGGY_PERSIST_MANIFEST_H_
@@ -28,8 +34,15 @@ namespace ziggy {
 /// \brief One persisted table's manifest record.
 struct ManifestEntry {
   std::string name;
+  /// Current (latest) generation of the checkpoint: the base's when the
+  /// chain is empty, the last delta segment's otherwise.
   uint64_t generation = 0;
   bool has_sketches = false;
+  /// Generation of the full base snapshot (table.g<B>.ztbl).
+  uint64_t base_generation = 0;
+  /// Ordered delta segments (delta.g<D>.zdlt) applied on top of the base;
+  /// strictly increasing, all > base_generation, last == generation.
+  std::vector<uint64_t> delta_generations;
 };
 
 /// \brief True iff `name` is safe as a store table name: the serving

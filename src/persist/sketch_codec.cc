@@ -117,9 +117,10 @@ Status WriteSketchesFile(const std::string& path, uint64_t generation,
       return st;
     }
   }
-  Status st = RenameFile(tmp, path);
-  if (!st.ok()) (void)RemoveFileIfExists(tmp);
-  return st;
+  // CommitFile fsyncs the staged bytes and the directory entry: a sketch
+  // file the manifest's has_sketches flag points at must survive power
+  // loss like every other store file.
+  return CommitFile(tmp, path);
 }
 
 Result<LoadedSketches> ReadSketchesFile(const std::string& path,

@@ -1,6 +1,8 @@
 #include "persist/store.h"
 
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "persist/fs_util.h"
@@ -28,14 +30,21 @@ Result<std::string> ReadWholeFile(const std::string& path) {
   return buf.str();
 }
 
+uint64_t FileBytesOrZero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<uint64_t>(size);
+}
+
 }  // namespace
 
-Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir) {
+Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir,
+                                                     StoreOptions options) {
   if (dir.empty()) return Status::InvalidArgument("empty store directory");
   ZIGGY_RETURN_NOT_OK(EnsureDirectory(dir));
   ZIGGY_RETURN_NOT_OK(EnsureDirectory(JoinPath(dir, kTablesDir)));
 
-  auto store = std::unique_ptr<ZiggyStore>(new ZiggyStore(dir));
+  auto store = std::unique_ptr<ZiggyStore>(new ZiggyStore(dir, options));
   const std::string manifest_path = store->ManifestPath();
   if (PathExists(manifest_path)) {
     ZIGGY_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(manifest_path));
@@ -56,6 +65,10 @@ std::string ZiggyStore::TableDir(const std::string& name) const {
 std::string ZiggyStore::TablePath(const std::string& name,
                                   uint64_t generation) const {
   return JoinPath(TableDir(name), GenFile("table", generation, "ztbl"));
+}
+std::string ZiggyStore::DeltaPath(const std::string& name,
+                                  uint64_t generation) const {
+  return JoinPath(TableDir(name), GenFile("delta", generation, "zdlt"));
 }
 std::string ZiggyStore::ProfilePath(const std::string& name,
                                     uint64_t generation) const {
@@ -85,34 +98,153 @@ Result<uint64_t> ZiggyStore::StoredGeneration(const std::string& name) const {
   return entry->generation;
 }
 
+StoreStats ZiggyStore::stats() const {
+  StoreStats st;
+  st.full_checkpoints = full_checkpoints_.load(std::memory_order_relaxed);
+  st.delta_checkpoints = delta_checkpoints_.load(std::memory_order_relaxed);
+  st.compactions = compactions_.load(std::memory_order_relaxed);
+  st.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
+  st.last_checkpoint_bytes =
+      last_checkpoint_bytes_.load(std::memory_order_relaxed);
+  return st;
+}
+
+std::shared_ptr<ZiggyStore::TableState> ZiggyStore::StateFor(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<TableState>& state = states_[name];
+  if (state == nullptr) state = std::make_shared<TableState>();
+  return state;
+}
+
+ZiggyStore::PersistedShape ZiggyStore::ShapeOf(const Table& table) {
+  PersistedShape shape;
+  shape.valid = true;
+  shape.rows = table.num_rows();
+  shape.fields = table.schema().fields();
+  shape.dict_sizes.resize(table.num_columns(), 0);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    if (column.is_categorical()) {
+      shape.dict_sizes[c] = column.dictionary().size();
+    }
+  }
+  return shape;
+}
+
+bool ZiggyStore::ExtendsShape(const Table& table, const PersistedShape& shape) {
+  if (!shape.valid) return false;
+  if (table.num_rows() < shape.rows) return false;
+  if (table.num_columns() != shape.fields.size()) return false;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Field& field = table.schema().field(c);
+    if (field.name != shape.fields[c].name ||
+        field.type != shape.fields[c].type) {
+      return false;
+    }
+    if (field.type == ColumnType::kCategorical &&
+        table.column(c).dictionary().size() < shape.dict_sizes[c]) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Status ZiggyStore::CommitManifestLocked() {
   return AtomicWriteFile(ManifestPath(), manifest_.Serialize());
 }
 
+void ZiggyStore::SweepUnreferenced(const std::string& name,
+                                   const ManifestEntry& keep) {
+  // Best effort: anything in the table's directory that the committed
+  // manifest entry does not reference is a superseded generation, a
+  // compacted-away delta, or an orphan from a crashed save.
+  std::set<std::string> referenced;
+  auto basename = [](const std::string& path) {
+    return std::filesystem::path(path).filename().string();
+  };
+  referenced.insert(basename(TablePath(name, keep.base_generation)));
+  for (const uint64_t d : keep.delta_generations) {
+    referenced.insert(basename(DeltaPath(name, d)));
+  }
+  referenced.insert(basename(ProfilePath(name, keep.generation)));
+  if (keep.has_sketches) {
+    referenced.insert(basename(SketchesPath(name, keep.generation)));
+  }
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(TableDir(name), ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string file = entry.path().filename().string();
+    if (referenced.count(file) == 0) {
+      (void)RemoveFileIfExists(entry.path().string());
+    }
+  }
+}
+
 Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
                              uint64_t generation, const TableProfile& profile,
-                             const std::vector<PersistedSketch>& sketches) {
+                             const std::vector<PersistedSketch>& sketches,
+                             uint64_t lineage) {
   if (!IsValidStoreTableName(name)) {
     return Status::InvalidArgument("invalid store table name: \"" + name +
                                    "\"");
   }
-  // One checkpoint or load at a time per store: each file rename is atomic
-  // on its own, but a checkpoint is three files plus the manifest, and two
-  // interleaved savers (or a load racing a save) could otherwise pair a
-  // table from one generation with a profile from another — a torn state
-  // the column-count check on load cannot detect.
-  std::lock_guard<std::mutex> lock(mu_);
+  // Saves and loads of one table are serialized by its TableState lock:
+  // each file rename is atomic on its own, but a checkpoint is several
+  // files plus the manifest, and two interleaved savers (or a load racing
+  // a save) could otherwise pair files from different generations.
+  // Different tables proceed in parallel — a long save of one table must
+  // not block the flusher's or a connection's work on another.
+  std::shared_ptr<TableState> state = StateFor(name);
+  std::lock_guard<std::mutex> table_lock(state->mu);
   ZIGGY_RETURN_NOT_OK(EnsureDirectory(TableDir(name)));
-  const std::optional<ManifestEntry> previous = manifest_.Find(name);
+  std::optional<ManifestEntry> previous;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    previous = manifest_.Find(name);
+  }
 
+  const bool can_delta = previous.has_value() && options_.max_delta_chain > 0 &&
+                         generation > previous->generation && lineage != 0 &&
+                         lineage == state->shape.lineage &&
+                         ExtendsShape(table, state->shape);
+  if (!can_delta) {
+    return SaveFullLocked(state.get(), name, table, generation, profile,
+                          sketches, lineage, /*counts_as_compaction=*/false);
+  }
+  const bool chain_full =
+      previous->delta_generations.size() >= options_.max_delta_chain;
+  const bool chain_heavy =
+      state->shape.base_bytes > 0 &&
+      static_cast<double>(state->shape.delta_bytes) >=
+          options_.max_delta_fraction *
+              static_cast<double>(state->shape.base_bytes);
+  if (chain_full || chain_heavy) {
+    return SaveFullLocked(state.get(), name, table, generation, profile,
+                          sketches, lineage, /*counts_as_compaction=*/true);
+  }
+  return SaveDeltaLocked(state.get(), name, table, generation, profile,
+                         sketches, lineage, *previous);
+}
+
+Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
+                                  const Table& table, uint64_t generation,
+                                  const TableProfile& profile,
+                                  const std::vector<PersistedSketch>& sketches,
+                                  uint64_t lineage,
+                                  bool counts_as_compaction) {
   // Stage the generation's data files. These are NEW paths (named by the
   // generation), so a failure or crash anywhere in here cannot disturb
-  // the checkpoint the manifest currently points at.
+  // the checkpoint the manifest currently points at. CommitFile fsyncs
+  // each staged file and its directory entry before the manifest commits.
   {
     const std::string path = TablePath(name, generation);
     const std::string tmp = TempPathFor(path);
     Status st = WriteTableFile(table, tmp);
-    if (st.ok()) st = RenameFile(tmp, path);
+    if (st.ok()) st = CommitFile(tmp, path);
     if (!st.ok()) {
       (void)RemoveFileIfExists(tmp);
       return st;
@@ -122,7 +254,7 @@ Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
     const std::string path = ProfilePath(name, generation);
     const std::string tmp = TempPathFor(path);
     Status st = profile.SaveToFile(tmp);
-    if (st.ok()) st = RenameFile(tmp, path);
+    if (st.ok()) st = CommitFile(tmp, path);
     if (!st.ok()) {
       (void)RemoveFileIfExists(tmp);
       return st;
@@ -139,25 +271,115 @@ Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
   }
 
   // Commit: the manifest rewrite is the single atomic switch point.
-  manifest_.Upsert(ManifestEntry{name, generation, has_sketches});
-  ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
-
-  // Sweep the superseded generation's files (best effort: orphans from a
-  // crashed save are likewise cleaned by the next successful one).
-  if (previous.has_value() && previous->generation != generation) {
-    (void)RemoveFileIfExists(TablePath(name, previous->generation));
-    (void)RemoveFileIfExists(ProfilePath(name, previous->generation));
-    (void)RemoveFileIfExists(SketchesPath(name, previous->generation));
+  ManifestEntry entry;
+  entry.name = name;
+  entry.generation = generation;
+  entry.has_sketches = has_sketches;
+  entry.base_generation = generation;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    manifest_.Upsert(entry);
+    ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
   }
+
+  // Sweep superseded generations, compacted-away deltas, and orphans
+  // from crashed saves — all best effort, retried by the next full save.
+  SweepUnreferenced(name, entry);
+
+  const uint64_t bytes = FileBytesOrZero(TablePath(name, generation));
+  state->shape = ShapeOf(table);
+  state->shape.lineage = lineage;
+  state->shape.base_bytes = bytes;
+  state->shape.delta_bytes = 0;
+
+  full_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  if (counts_as_compaction) {
+    compactions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  last_checkpoint_bytes_.store(bytes, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<StoredTable> ZiggyStore::LoadTable(const std::string& name) const {
-  // Serialized against SaveTable (see there): the three data files must be
-  // read as one consistent checkpoint.
-  std::lock_guard<std::mutex> lock(mu_);
+Status ZiggyStore::SaveDeltaLocked(TableState* state, const std::string& name,
+                                   const Table& table, uint64_t generation,
+                                   const TableProfile& profile,
+                                   const std::vector<PersistedSketch>& sketches,
+                                   uint64_t lineage,
+                                   const ManifestEntry& previous) {
+  // O(delta): only the appended rows' column tails hit the disk. The
+  // profile and sketch files are rewritten per save, but they are
+  // O(columns), not O(rows) — the delta path targets the table data.
+  {
+    const std::string path = DeltaPath(name, generation);
+    const std::string tmp = TempPathFor(path);
+    Status st = WriteTableDeltaFile(table, state->shape.rows,
+                                    state->shape.dict_sizes, tmp);
+    if (st.ok()) st = CommitFile(tmp, path);
+    if (!st.ok()) {
+      (void)RemoveFileIfExists(tmp);
+      return st;
+    }
+  }
+  {
+    const std::string path = ProfilePath(name, generation);
+    const std::string tmp = TempPathFor(path);
+    Status st = profile.SaveToFile(tmp);
+    if (st.ok()) st = CommitFile(tmp, path);
+    if (!st.ok()) {
+      (void)RemoveFileIfExists(tmp);
+      return st;
+    }
+  }
+  bool has_sketches = false;
+  if (!sketches.empty()) {
+    ZIGGY_RETURN_NOT_OK(WriteSketchesFile(SketchesPath(name, generation),
+                                          generation, table.num_rows(),
+                                          sketches));
+    has_sketches = true;
+  } else {
+    ZIGGY_RETURN_NOT_OK(RemoveFileIfExists(SketchesPath(name, generation)));
+  }
+
+  ManifestEntry entry = previous;
+  entry.generation = generation;
+  entry.has_sketches = has_sketches;
+  entry.delta_generations.push_back(generation);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    manifest_.Upsert(entry);
+    ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
+  }
+
+  // Sweep the superseded head generation's profile/sketch files (the
+  // base and earlier deltas stay — they are the chain).
+  (void)RemoveFileIfExists(ProfilePath(name, previous.generation));
+  (void)RemoveFileIfExists(SketchesPath(name, previous.generation));
+
+  const uint64_t bytes = FileBytesOrZero(DeltaPath(name, generation));
+  const uint64_t base_bytes = state->shape.base_bytes;
+  const uint64_t delta_bytes = state->shape.delta_bytes + bytes;
+  state->shape = ShapeOf(table);
+  state->shape.lineage = lineage;
+  state->shape.base_bytes = base_bytes;
+  state->shape.delta_bytes = delta_bytes;
+
+  delta_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  last_checkpoint_bytes_.store(bytes, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<StoredTable> ZiggyStore::LoadTable(const std::string& name,
+                                          uint64_t lineage) const {
+  // Serialized against SaveTable of the same table (see there): the data
+  // files must be read as one consistent checkpoint. Other tables' saves
+  // and loads proceed concurrently.
+  std::shared_ptr<TableState> state = StateFor(name);
+  std::lock_guard<std::mutex> table_lock(state->mu);
   ManifestEntry entry;
   {
+    std::lock_guard<std::mutex> lock(mu_);
     std::optional<ManifestEntry> found = manifest_.Find(name);
     if (!found.has_value()) {
       return Status::NotFound("table not in store: " + name);
@@ -167,8 +389,19 @@ Result<StoredTable> ZiggyStore::LoadTable(const std::string& name) const {
 
   StoredTable stored;
   stored.generation = entry.generation;
-  ZIGGY_ASSIGN_OR_RETURN(stored.table,
-                         ReadTableFile(TablePath(name, entry.generation)));
+  ZIGGY_ASSIGN_OR_RETURN(
+      stored.table, ReadTableFile(TablePath(name, entry.base_generation)));
+  const uint64_t base_bytes =
+      FileBytesOrZero(TablePath(name, entry.base_generation));
+  uint64_t delta_bytes = 0;
+  // Replay the delta chain in order; any segment that is corrupt or does
+  // not extend what the chain built so far fails the whole load cleanly.
+  for (const uint64_t delta : entry.delta_generations) {
+    ZIGGY_ASSIGN_OR_RETURN(
+        stored.table,
+        ApplyTableDeltaFile(stored.table, DeltaPath(name, delta)));
+    delta_bytes += FileBytesOrZero(DeltaPath(name, delta));
+  }
   ZIGGY_ASSIGN_OR_RETURN(
       stored.profile,
       TableProfile::LoadFromFile(ProfilePath(name, entry.generation)));
@@ -192,10 +425,24 @@ Result<StoredTable> ZiggyStore::LoadTable(const std::string& name) const {
       stored.sketches = std::move(loaded->entries);
     }
   }
+
+  // Remember what is on disk so the first append checkpoint of a server
+  // booted from this load is already O(delta).
+  state->shape = ShapeOf(stored.table);
+  state->shape.lineage = lineage;
+  state->shape.base_bytes = base_bytes;
+  state->shape.delta_bytes = delta_bytes;
   return stored;
 }
 
 Status ZiggyStore::RemoveTable(const std::string& name) {
+  // The TableState stays in states_ (one small entry per name ever
+  // used): erasing it here would hand a racing SaveTable a fresh,
+  // uncontended mutex, letting it commit new files into the directory
+  // this thread is about to delete. Keeping the entry means the racer
+  // blocks on state->mu until the removal below is complete.
+  std::shared_ptr<TableState> state = StateFor(name);
+  std::lock_guard<std::mutex> table_lock(state->mu);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!manifest_.Remove(name)) {
@@ -203,6 +450,7 @@ Status ZiggyStore::RemoveTable(const std::string& name) {
     }
     ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
   }
+  state->shape = PersistedShape{};
   return RemoveDirectory(TableDir(name));
 }
 

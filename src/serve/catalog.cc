@@ -1,6 +1,7 @@
 #include "serve/catalog.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/parallel.h"
 
@@ -10,6 +11,8 @@ ServerCatalog::ServerCatalog(CatalogOptions options)
     : options_(std::move(options)),
       shared_budget_(
           std::make_shared<CacheBudget>(options_.total_cache_budget_bytes)) {}
+
+ServerCatalog::~ServerCatalog() { StopFlusher(); }
 
 bool ServerCatalog::IsValidTableName(const std::string& name) {
   if (name.empty() || name.size() > 256) return false;
@@ -28,20 +31,21 @@ ServeOptions ServerCatalog::DerivedServeOptions() const {
 }
 
 Status ServerCatalog::Publish(const std::string& name,
-                              std::shared_ptr<ZiggyServer> server) {
+                              std::shared_ptr<ZiggyServer> server,
+                              uint64_t lineage) {
   std::lock_guard<std::mutex> lock(mu_);
   if (tables_.size() >= options_.max_tables) {
     return Status::FailedPrecondition(
         "catalog is full (" + std::to_string(options_.max_tables) + " tables)");
   }
-  for (const auto& [existing, existing_server] : tables_) {
-    if (existing == name) {
+  for (const Served& existing : tables_) {
+    if (existing.name == name) {
       return Status::AlreadyExists("table already served: " + name);
     }
   }
-  tables_.emplace_back(name, std::move(server));
+  tables_.push_back(Served{name, std::move(server), lineage});
   std::sort(tables_.begin(), tables_.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const Served& a, const Served& b) { return a.name < b.name; });
   ++tables_opened_;
   return Status::OK();
 }
@@ -58,8 +62,8 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
           "catalog is full (" + std::to_string(options_.max_tables) +
           " tables)");
     }
-    for (const auto& [existing, server] : tables_) {
-      if (existing == name) {
+    for (const Served& existing : tables_) {
+      if (existing.name == name) {
         return Status::AlreadyExists("table already served: " + name);
       }
     }
@@ -72,24 +76,41 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
       std::unique_ptr<ZiggyServer> server,
       ZiggyServer::Create(std::move(table), DerivedServeOptions()));
   std::shared_ptr<ZiggyServer> shared = std::move(server);
-  ZIGGY_RETURN_NOT_OK(Publish(name, shared));
+  ZIGGY_RETURN_NOT_OK(Publish(
+      name, shared, next_lineage_.fetch_add(1, std::memory_order_relaxed)));
   return shared;
 }
 
 Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Find(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [existing, server] : tables_) {
-    if (existing == name) return server;
+  for (const Served& existing : tables_) {
+    if (existing.name == name) return existing.server;
   }
   return Status::NotFound("no such table: " + name);
+}
+
+uint64_t ServerCatalog::LineageOf(const std::string& name,
+                                  const ZiggyServer* server) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Served& existing : tables_) {
+    if (existing.name == name && existing.server.get() == server) {
+      return existing.lineage;
+    }
+  }
+  return 0;
 }
 
 Status ServerCatalog::AttachStore(const std::string& dir) {
   if (store_ != nullptr) {
     return Status::FailedPrecondition("a store is already attached");
   }
-  ZIGGY_ASSIGN_OR_RETURN(store_, ZiggyStore::Open(dir));
+  ZIGGY_ASSIGN_OR_RETURN(store_, ZiggyStore::Open(dir, options_.store));
+  if (options_.flush_interval_ms > 0) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flusher_stop_ = false;
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
   return Status::OK();
 }
 
@@ -103,8 +124,13 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::OpenFromStore(
   if (!IsValidTableName(name)) {
     return Status::InvalidArgument("invalid table name: \"" + name + "\"");
   }
-  // The load runs outside the catalog lock, like Open()'s profiling.
-  ZIGGY_ASSIGN_OR_RETURN(StoredTable stored, store_->LoadTable(name));
+  // The load runs outside the catalog lock, like Open()'s profiling. The
+  // lineage is minted first and stamped onto the store's persisted-shape
+  // bookkeeping, so the first append checkpoint of this server can
+  // already be an O(delta) segment on top of the chain it just loaded.
+  const uint64_t lineage =
+      next_lineage_.fetch_add(1, std::memory_order_relaxed);
+  ZIGGY_ASSIGN_OR_RETURN(StoredTable stored, store_->LoadTable(name, lineage));
   ZIGGY_ASSIGN_OR_RETURN(
       std::unique_ptr<ZiggyServer> server,
       ZiggyServer::CreateFromState(std::move(stored.table), stored.generation,
@@ -112,25 +138,30 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::OpenFromStore(
                                    DerivedServeOptions()));
   (void)server->WarmSketchCache(stored.sketches);
   std::shared_ptr<ZiggyServer> shared = std::move(server);
-  ZIGGY_RETURN_NOT_OK(Publish(name, shared));
+  ZIGGY_RETURN_NOT_OK(Publish(name, shared, lineage));
   store_opens_.fetch_add(1, std::memory_order_relaxed);
   return shared;
 }
 
 Result<uint64_t> ServerCatalog::SaveServerToStore(const std::string& name,
                                                   ZiggyServer* server,
+                                                  uint64_t lineage,
                                                   bool only_if_newer) {
   if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
   const std::shared_ptr<const ServingState> state = server->state();
   if (only_if_newer) {
+    // ">= — not ==": a concurrent append may have checkpointed a
+    // generation PAST ours between our state() read and this save; writing
+    // our older snapshot over it would silently un-persist those rows.
+    // The stored generation is durable either way, so skip.
     Result<uint64_t> stored = store_->StoredGeneration(name);
-    if (stored.ok() && *stored == state->generation()) {
-      return state->generation();
+    if (stored.ok() && *stored >= state->generation()) {
+      return *stored;
     }
   }
   ZIGGY_RETURN_NOT_OK(store_->SaveTable(name, state->table(),
                                         state->generation(), *state->profile,
-                                        server->ExportSketchCache()));
+                                        server->ExportSketchCache(), lineage));
   store_saves_.fetch_add(1, std::memory_order_relaxed);
   return state->generation();
 }
@@ -139,18 +170,28 @@ Result<uint64_t> ServerCatalog::SaveToStore(const std::string& name,
                                             bool only_if_newer) {
   if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
   ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ZiggyServer> server, Find(name));
-  return SaveServerToStore(name, server.get(), only_if_newer);
+  return SaveServerToStore(name, server.get(),
+                           LineageOf(name, server.get()), only_if_newer);
 }
 
-Result<std::vector<std::pair<std::string, uint64_t>>>
-ServerCatalog::SaveAllToStore() {
+Result<std::vector<TableSaveResult>> ServerCatalog::SaveAllToStore() {
   if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
-  std::vector<std::pair<std::string, uint64_t>> saved;
+  // Every table gets its save attempt: one broken table (bad name for the
+  // store, disk trouble mid-save) must not leave the tables after it in
+  // LIST order unsaved.
+  std::vector<TableSaveResult> results;
   for (const CatalogTableInfo& info : List()) {
-    ZIGGY_ASSIGN_OR_RETURN(uint64_t generation, SaveToStore(info.name));
-    saved.emplace_back(info.name, generation);
+    TableSaveResult result;
+    result.name = info.name;
+    Result<uint64_t> generation = SaveToStore(info.name);
+    if (generation.ok()) {
+      result.generation = *generation;
+    } else {
+      result.status = generation.status();
+    }
+    results.push_back(std::move(result));
   }
-  return saved;
+  return results;
 }
 
 Status ServerCatalog::SetPersist(const std::string& name, bool on) {
@@ -163,6 +204,68 @@ Status ServerCatalog::SetPersist(const std::string& name, bool on) {
     persist_tables_.erase(name);
   }
   return Status::OK();
+}
+
+void ServerCatalog::MarkDirty(const std::string& name, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  uint64_t& dirty = dirty_[name];
+  dirty = std::max(dirty, generation);
+}
+
+size_t ServerCatalog::FlushDirty(std::map<std::string, uint64_t> batch,
+                                 bool requeue_failures) {
+  size_t flushed = 0;
+  for (const auto& [name, generation] : batch) {
+    Result<std::shared_ptr<ZiggyServer>> server = Find(name);
+    if (!server.ok()) continue;  // closed since it was marked; Close drained
+    Result<uint64_t> saved =
+        SaveServerToStore(name, server->get(),
+                          LineageOf(name, server->get()),
+                          /*only_if_newer=*/true);
+    if (saved.ok()) {
+      ++flushed;
+      flushed_tables_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      flush_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (requeue_failures) MarkDirty(name, generation);
+    }
+  }
+  return flushed;
+}
+
+void ServerCatalog::FlusherLoop() {
+  const auto interval = std::chrono::milliseconds(options_.flush_interval_ms);
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  while (true) {
+    flush_cv_.wait_for(lock, interval, [this] { return flusher_stop_; });
+    if (flusher_stop_) return;  // StopFlusher drains what remains
+    if (dirty_.empty()) continue;
+    std::map<std::string, uint64_t> batch = std::move(dirty_);
+    dirty_.clear();
+    lock.unlock();
+    flush_cycles_.fetch_add(1, std::memory_order_relaxed);
+    FlushDirty(std::move(batch), /*requeue_failures=*/true);
+    lock.lock();
+  }
+}
+
+void ServerCatalog::StopFlusher() {
+  std::thread flusher;
+  std::map<std::string, uint64_t> remaining;
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flusher_stop_ = true;
+    flusher = std::move(flusher_);
+    remaining = std::move(dirty_);
+    dirty_.clear();
+  }
+  flush_cv_.notify_all();
+  if (flusher.joinable()) flusher.join();
+  // Drain: a clean shutdown must not lose appended rows to a pending
+  // flush. Failures are final here (no thread left to retry them).
+  if (!remaining.empty()) {
+    FlushDirty(std::move(remaining), /*requeue_failures=*/false);
+  }
 }
 
 Result<uint64_t> ServerCatalog::Append(const std::string& name,
@@ -184,14 +287,25 @@ Result<uint64_t> ServerCatalog::Append(const std::string& name,
     // replacement's checkpoint, and persisting the replacement would
     // falsely report these rows as durable; surface the skip instead.
     Status st = Status::OK();
-    Result<std::shared_ptr<ZiggyServer>> current = Find(name);
-    if (current.ok() && current->get() == server.get()) {
+    uint64_t lineage = LineageOf(name, server.get());
+    if (lineage != 0 && options_.flush_interval_ms > 0) {
+      // Durability moves off the request thread: mark dirty and let the
+      // flusher cut the delta segment within one interval. Mark FIRST,
+      // re-check the mapping after: if the re-check still sees us, any
+      // concurrent Close starts its synchronous save after our append
+      // landed in the server state, so the rows cannot fall between the
+      // flusher (whose Find would miss a closed name) and Close's save.
+      MarkDirty(name, generation);
+      lineage = LineageOf(name, server.get());
+    } else if (lineage != 0) {
       // only_if_newer: a concurrent append may already have checkpointed
       // a generation at or past ours; skipping is cheaper, just as
       // durable.
-      st = SaveServerToStore(name, server.get(), /*only_if_newer=*/true)
+      st = SaveServerToStore(name, server.get(), lineage,
+                             /*only_if_newer=*/true)
                .status();
-    } else {
+    }
+    if (lineage == 0) {
       st = Status::FailedPrecondition(
           "table was replaced during the append; checkpoint skipped");
     }
@@ -201,16 +315,52 @@ Result<uint64_t> ServerCatalog::Append(const std::string& name,
 }
 
 Status ServerCatalog::Close(const std::string& name) {
+  // With the flusher active, complete the table's durability
+  // synchronously BEFORE unpublishing: after the erase the flusher can no
+  // longer resolve the name (a dirty entry already moved into its
+  // in-flight batch would be silently skipped), and "closing stops
+  // serving" must not also mean "quietly drops the last appended rows".
+  // Saving while the name still maps to this server also means a
+  // concurrent re-OPEN cannot have its fresh checkpoint clobbered by us.
+  // only_if_newer makes this a cheap skip when nothing is pending.
+  if (store_ != nullptr && options_.flush_interval_ms > 0) {
+    std::shared_ptr<ZiggyServer> server;
+    uint64_t lineage = 0;
+    bool persisted = options_.checkpoint_on_append;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      persisted = persisted || persist_tables_.count(name) > 0;
+      for (const Served& existing : tables_) {
+        if (existing.name == name) {
+          server = existing.server;
+          lineage = existing.lineage;
+          break;
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      dirty_.erase(name);
+    }
+    if (server != nullptr && persisted) {
+      Result<uint64_t> saved = SaveServerToStore(name, server.get(), lineage,
+                                                 /*only_if_newer=*/true);
+      if (!saved.ok()) {
+        flush_failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   persist_tables_.erase(name);
   for (auto it = tables_.begin(); it != tables_.end(); ++it) {
-    if (it->first == name) {
+    if (it->name == name) {
       // Release the table's sketch bytes from the shared ledger NOW: a
       // connection holding a stale server handle would otherwise keep a
       // dead table's cache charged against live tables until it next
       // touches the name or disconnects. The server itself stays usable
       // for such in-flight handles — just with a cold cache.
-      it->second->FlushSketchCache();
+      it->server->FlushSketchCache();
       tables_.erase(it);
       ++tables_closed_;
       return Status::OK();
@@ -223,14 +373,14 @@ std::vector<CatalogTableInfo> ServerCatalog::List() const {
   std::vector<CatalogTableInfo> out;
   std::lock_guard<std::mutex> lock(mu_);
   out.reserve(tables_.size());
-  for (const auto& [name, server] : tables_) {
+  for (const Served& served : tables_) {
     CatalogTableInfo info;
-    info.name = name;
-    const auto state = server->state();
+    info.name = served.name;
+    const auto state = served.server->state();
     info.num_rows = state->table().num_rows();
     info.num_columns = state->table().num_columns();
     info.generation = state->generation();
-    info.num_sessions = server->num_sessions();
+    info.num_sessions = served.server->num_sessions();
     out.push_back(std::move(info));
   }
   return out;
@@ -252,7 +402,20 @@ CatalogStats ServerCatalog::stats() const {
     st.store_tables = store_->List().size();
     st.store_opens = store_opens_.load(std::memory_order_relaxed);
     st.store_saves = store_saves_.load(std::memory_order_relaxed);
+    const StoreStats store_stats = store_->stats();
+    st.store_full_checkpoints = store_stats.full_checkpoints;
+    st.store_delta_checkpoints = store_stats.delta_checkpoints;
+    st.store_compactions = store_stats.compactions;
+    st.store_checkpoint_bytes = store_stats.checkpoint_bytes;
   }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    st.flusher_active = flusher_.joinable() && !flusher_stop_;
+    st.dirty_tables = dirty_.size();
+  }
+  st.flush_cycles = flush_cycles_.load(std::memory_order_relaxed);
+  st.flushed_tables = flushed_tables_.load(std::memory_order_relaxed);
+  st.flush_failures = flush_failures_.load(std::memory_order_relaxed);
   return st;
 }
 

@@ -21,16 +21,31 @@
 // automatically on append (SetPersist / checkpoint_on_append). Warm
 // restart output is byte-identical to a cold boot — pinned by
 // tests/store_test.cc and the CI store-roundtrip gate.
+//
+// Background flushing: with flush_interval_ms > 0, an append on a
+// persisted table only marks the table dirty (recording the post-append
+// generation) and returns — APPEND latency is the in-memory append. A
+// dedicated flusher thread wakes every interval, snapshots the dirty
+// set, and checkpoints each dirty table through the store's per-table
+// locks, so one table's long save never delays another's load or save.
+// Failed flushes re-mark the table dirty and are retried next cycle.
+// StopFlusher() (also run by Close, the destructor, and the daemon's
+// shutdown path) drains the dirty set before returning, so a *clean*
+// shutdown loses nothing; after a crash/SIGKILL, the store serves the
+// last flushed generation — the window is bounded by the interval.
 
 #ifndef ZIGGY_SERVE_CATALOG_H_
 #define ZIGGY_SERVE_CATALOG_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -52,6 +67,13 @@ struct CatalogOptions {
   /// store (per-table PERSIST overrides this default; no effect without a
   /// store).
   bool checkpoint_on_append = false;
+  /// Background flusher cadence. 0 = no flusher: append checkpoints run
+  /// synchronously on the request thread. > 0: appends mark the table
+  /// dirty and a flusher thread (started by AttachStore) checkpoints
+  /// dirty tables every interval.
+  size_t flush_interval_ms = 0;
+  /// Delta-chain compaction policy handed to the attached store.
+  StoreOptions store;
 };
 
 /// \brief One row of LIST output.
@@ -61,6 +83,14 @@ struct CatalogTableInfo {
   size_t num_columns = 0;
   uint64_t generation = 0;
   size_t num_sessions = 0;
+};
+
+/// \brief One table's outcome in SaveAllToStore.
+struct TableSaveResult {
+  std::string name;
+  /// Checkpointed (or already-durable) generation when status is OK.
+  uint64_t generation = 0;
+  Status status;
 };
 
 /// \brief Catalog-wide counters.
@@ -74,9 +104,21 @@ struct CatalogStats {
   /// \name Durability (zero / false without an attached store).
   /// @{
   bool store_attached = false;
-  size_t store_tables = 0;     ///< checkpoints in the store
-  uint64_t store_opens = 0;    ///< tables served from a checkpoint (warm)
-  uint64_t store_saves = 0;    ///< checkpoints written
+  size_t store_tables = 0;   ///< checkpoints in the store
+  uint64_t store_opens = 0;  ///< tables served from a checkpoint (warm)
+  uint64_t store_saves = 0;  ///< checkpoints written
+  uint64_t store_full_checkpoints = 0;   ///< full base snapshots
+  uint64_t store_delta_checkpoints = 0;  ///< O(delta) segments
+  uint64_t store_compactions = 0;        ///< chain-limit base rewrites
+  uint64_t store_checkpoint_bytes = 0;   ///< table-data bytes written
+  /// @}
+  /// \name Background flusher (all zero when flush_interval_ms == 0).
+  /// @{
+  bool flusher_active = false;
+  size_t dirty_tables = 0;        ///< awaiting their next flush
+  uint64_t flush_cycles = 0;      ///< flusher wake-ups that found work
+  uint64_t flushed_tables = 0;    ///< successful background checkpoints
+  uint64_t flush_failures = 0;    ///< failed attempts (retried next cycle)
   /// @}
 };
 
@@ -84,6 +126,7 @@ struct CatalogStats {
 class ServerCatalog {
  public:
   explicit ServerCatalog(CatalogOptions options = {});
+  ~ServerCatalog();
 
   /// Profiles `table` and serves it as `name`. Names are non-empty tokens
   /// without whitespace; re-opening a served name fails (CLOSE it first).
@@ -96,12 +139,15 @@ class ServerCatalog {
   /// Stops serving `name`. Existing shared_ptr handles (and requests in
   /// flight on them) stay valid until released. The table's checkpoint in
   /// the store, if any, is kept — closing stops serving, it does not
-  /// delete durable data.
+  /// delete durable data. A pending background flush for the table is
+  /// completed synchronously first, so closing never drops appended rows.
   Status Close(const std::string& name);
 
-  /// Appends rows to `name` as a new generation, then — when the table is
-  /// marked for persistence (SetPersist) or checkpoint_on_append is set —
-  /// checkpoints the new generation to the store. Returns the post-append
+  /// Appends rows to `name` as a new generation. When the table is
+  /// marked for persistence (SetPersist) or checkpoint_on_append is set,
+  /// the new generation is made durable: synchronously when no flusher
+  /// runs, else by marking the table dirty for the background flusher
+  /// (the append returns immediately). Returns the post-append
   /// generation of the server the rows were applied to (callers must not
   /// re-resolve the name: it may have been replaced concurrently). The
   /// append itself succeeds even if the checkpoint fails; the checkpoint
@@ -112,7 +158,8 @@ class ServerCatalog {
   /// \name Durability (persist/store.h).
   /// @{
 
-  /// Attaches (opening or initializing) a store directory. Fails if a
+  /// Attaches (opening or initializing) a store directory and, when
+  /// flush_interval_ms > 0, starts the background flusher. Fails if a
   /// store is already attached or the directory is unusable.
   Status AttachStore(const std::string& dir);
   bool HasStore() const { return store_ != nullptr; }
@@ -129,18 +176,24 @@ class ServerCatalog {
 
   /// Checkpoints one served table (table, profile, hot sketches) at its
   /// current generation. With `only_if_newer`, skips when the stored
-  /// generation already matches (the append path's cheap idempotence).
-  /// Returns the checkpointed generation.
+  /// generation is already at or past ours (the append path's cheap
+  /// idempotence — and the guard against an older save clobbering a
+  /// concurrent newer one). Returns the durable generation.
   Result<uint64_t> SaveToStore(const std::string& name,
                                bool only_if_newer = false);
 
-  /// Checkpoints every served table; returns (name, generation) pairs.
-  /// Stops at the first failure.
-  Result<std::vector<std::pair<std::string, uint64_t>>> SaveAllToStore();
+  /// Checkpoints every served table, continuing past failures; one
+  /// result per table in name order. Only fails outright when no store
+  /// is attached.
+  Result<std::vector<TableSaveResult>> SaveAllToStore();
 
   /// Marks `name` for checkpoint-on-append (the PERSIST verb). The flag
   /// is cleared when the table is closed.
   Status SetPersist(const std::string& name, bool on);
+
+  /// Synchronously drains pending dirty tables and stops the flusher
+  /// thread. Idempotent; also run by the destructor and Stop paths.
+  void StopFlusher();
   /// @}
 
   /// Every served table, sorted by name (deterministic LIST output).
@@ -157,25 +210,58 @@ class ServerCatalog {
   static bool IsValidTableName(const std::string& name);
 
  private:
+  /// One published table: the server plus the lineage id handed to the
+  /// store so delta checkpoints are only cut against the snapshot chain
+  /// they extend (a re-OPENed name gets a fresh lineage, forcing the
+  /// next checkpoint to a full base snapshot).
+  struct Served {
+    std::string name;
+    std::shared_ptr<ZiggyServer> server;
+    uint64_t lineage = 0;
+  };
+
   /// Per-table ServeOptions with the shared budget installed.
   ServeOptions DerivedServeOptions() const;
   /// Duplicate-name/capacity check + publish under mu_.
-  Status Publish(const std::string& name, std::shared_ptr<ZiggyServer> server);
+  Status Publish(const std::string& name, std::shared_ptr<ZiggyServer> server,
+                 uint64_t lineage);
   /// Checkpoints an already-resolved server under `name` (no re-lookup).
   Result<uint64_t> SaveServerToStore(const std::string& name,
-                                     ZiggyServer* server, bool only_if_newer);
+                                     ZiggyServer* server, uint64_t lineage,
+                                     bool only_if_newer);
+  /// The published lineage of `server`, or 0 when it was replaced.
+  uint64_t LineageOf(const std::string& name, const ZiggyServer* server) const;
+  /// Marks `name` dirty for the flusher (records the generation).
+  void MarkDirty(const std::string& name, uint64_t generation);
+  /// Flushes one batch of dirty tables; returns how many succeeded.
+  size_t FlushDirty(std::map<std::string, uint64_t> batch,
+                    bool requeue_failures);
+  void FlusherLoop();
 
   CatalogOptions options_;
   std::shared_ptr<CacheBudget> shared_budget_;
   std::unique_ptr<ZiggyStore> store_;
 
   mutable std::mutex mu_;
-  std::vector<std::pair<std::string, std::shared_ptr<ZiggyServer>>> tables_;
+  std::vector<Served> tables_;
   std::set<std::string> persist_tables_;
   uint64_t tables_opened_ = 0;
   uint64_t tables_closed_ = 0;
+  std::atomic<uint64_t> next_lineage_{1};
   std::atomic<uint64_t> store_opens_{0};
   std::atomic<uint64_t> store_saves_{0};
+
+  /// \name Flusher state.
+  /// @{
+  mutable std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  std::map<std::string, uint64_t> dirty_;  ///< name -> newest dirty generation
+  bool flusher_stop_ = false;
+  std::thread flusher_;
+  std::atomic<uint64_t> flush_cycles_{0};
+  std::atomic<uint64_t> flushed_tables_{0};
+  std::atomic<uint64_t> flush_failures_{0};
+  /// @}
 };
 
 }  // namespace ziggy

@@ -88,6 +88,10 @@ void ZiggyDaemon::Stop() {
     if (connection->thread.joinable()) connection->thread.join();
     if (connection->fd >= 0) close(connection->fd);
   }
+  // All connections are gone, so no new appends can arrive: drain the
+  // catalog's background flusher now, making a clean shutdown lose
+  // nothing that was appended under a pending flush.
+  catalog_.StopFlusher();
 }
 
 void ZiggyDaemon::ReapConnections() {

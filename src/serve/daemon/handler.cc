@@ -58,7 +58,16 @@ std::string CatalogStatsJson(const CatalogStats& st) {
      << ",\"worker_pool_threads\":" << st.worker_pool_threads
      << ",\"store\":{\"attached\":" << (st.store_attached ? "true" : "false")
      << ",\"tables\":" << st.store_tables << ",\"opens\":" << st.store_opens
-     << ",\"saves\":" << st.store_saves << "}}";
+     << ",\"saves\":" << st.store_saves
+     << ",\"full_checkpoints\":" << st.store_full_checkpoints
+     << ",\"delta_checkpoints\":" << st.store_delta_checkpoints
+     << ",\"compactions\":" << st.store_compactions
+     << ",\"checkpoint_bytes\":" << st.store_checkpoint_bytes << "}"
+     << ",\"flusher\":{\"active\":" << (st.flusher_active ? "true" : "false")
+     << ",\"dirty_tables\":" << st.dirty_tables
+     << ",\"cycles\":" << st.flush_cycles
+     << ",\"flushed_tables\":" << st.flushed_tables
+     << ",\"failures\":" << st.flush_failures << "}}";
   return os.str();
 }
 
@@ -246,25 +255,40 @@ WireResponse DaemonHandler::HandleSave(const WireRequest& request) {
     return WireResponse::Error(Status::FailedPrecondition(
         "no store attached (start the daemon with --store DIR)"));
   }
-  std::vector<std::pair<std::string, uint64_t>> saved;
+  std::vector<TableSaveResult> results;
   if (request.args.empty()) {
-    Result<std::vector<std::pair<std::string, uint64_t>>> all =
-        catalog_->SaveAllToStore();
+    Result<std::vector<TableSaveResult>> all = catalog_->SaveAllToStore();
     if (!all.ok()) return WireResponse::Error(all.status());
-    saved = std::move(*all);
+    results = std::move(*all);
   } else {
     Result<uint64_t> generation = catalog_->SaveToStore(request.args[0]);
     if (!generation.ok()) return WireResponse::Error(generation.status());
-    saved.emplace_back(request.args[0], *generation);
+    results.push_back(TableSaveResult{request.args[0], *generation, {}});
   }
+  // Successes and failures are reported per table ("errors" only present
+  // when some save failed), so one broken table no longer hides that the
+  // others were checkpointed.
   std::ostringstream os;
   os << "{\"saved\":[";
-  for (size_t i = 0; i < saved.size(); ++i) {
-    if (i > 0) os << ",";
-    os << "{\"table\":\"" << JsonEscape(saved[i].first)
-       << "\",\"generation\":" << saved[i].second << "}";
+  bool first = true;
+  for (const TableSaveResult& r : results) {
+    if (!r.status.ok()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"table\":\"" << JsonEscape(r.name)
+       << "\",\"generation\":" << r.generation << "}";
   }
-  os << "]}";
+  os << "]";
+  bool any_error = false;
+  for (const TableSaveResult& r : results) {
+    if (r.status.ok()) continue;
+    os << (any_error ? "," : ",\"errors\":[");
+    any_error = true;
+    os << "{\"table\":\"" << JsonEscape(r.name) << "\",\"error\":\""
+       << JsonEscape(r.status.ToString()) << "\"}";
+  }
+  if (any_error) os << "]";
+  os << "}";
   return WireResponse::Ok(os.str());
 }
 

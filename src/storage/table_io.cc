@@ -209,4 +209,212 @@ Result<Table> ReadTableFile(const std::string& path) {
   return ReadTable(&in);
 }
 
+Status WriteTableDelta(const Table& table, size_t base_rows,
+                       const std::vector<size_t>& base_dict_sizes,
+                       std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output stream");
+  if (base_rows > table.num_rows()) {
+    return Status::InvalidArgument("delta base row count " +
+                                   std::to_string(base_rows) +
+                                   " exceeds the table");
+  }
+  if (base_dict_sizes.size() != table.num_columns()) {
+    return Status::InvalidArgument(
+        "delta base dictionary sizes do not match the column count");
+  }
+  const size_t new_rows = table.num_rows() - base_rows;
+
+  out->write(kTableDeltaMagic, sizeof(kTableDeltaMagic));
+  std::string header;
+  PutU64(&header, base_rows);
+  PutU64(&header, new_rows);
+  PutU64(&header, table.num_columns());
+  ZIGGY_RETURN_NOT_OK(WriteSection(out, header));
+  ZIGGY_RETURN_NOT_OK(WriteSection(out, SchemaPayload(table)));
+
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    std::string payload;
+    if (column.is_numeric()) {
+      PutU8(&payload, kNumericKind);
+      if (new_rows > 0) {
+        payload.append(
+            reinterpret_cast<const char*>(column.numeric_data().data() +
+                                          base_rows),
+            sizeof(double) * new_rows);
+      }
+    } else {
+      const size_t base_dict = base_dict_sizes[c];
+      if (base_dict > column.dictionary().size()) {
+        return Status::InvalidArgument(
+            "column \"" + column.name() +
+            "\": base dictionary size exceeds the current dictionary");
+      }
+      PutU8(&payload, kCategoricalKind);
+      PutU64(&payload, base_dict);
+      PutU64(&payload, column.dictionary().size() - base_dict);
+      for (size_t i = base_dict; i < column.dictionary().size(); ++i) {
+        PutLengthPrefixed(&payload, column.dictionary()[i]);
+      }
+      if (new_rows > 0) {
+        payload.append(
+            reinterpret_cast<const char*>(column.codes().data() + base_rows),
+            sizeof(CategoryCode) * new_rows);
+      }
+    }
+    ZIGGY_RETURN_NOT_OK(WriteSection(out, payload));
+  }
+  if (!*out) return Status::IOError("delta write failed");
+  return Status::OK();
+}
+
+Result<Table> ApplyTableDelta(const Table& base, std::istream* in) {
+  if (in == nullptr) return Status::InvalidArgument("null input stream");
+  char magic[sizeof(kTableDeltaMagic)];
+  in->read(magic, sizeof(magic));
+  if (!*in || std::memcmp(magic, kTableDeltaMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a Ziggy table delta (bad magic)");
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(std::string header,
+                         ReadSection(in, kMaxSectionBytes));
+  ByteReader header_reader(header);
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t base_rows, header_reader.ReadU64());
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t new_rows, header_reader.ReadU64());
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t num_columns, header_reader.ReadU64());
+  if (!header_reader.exhausted()) {
+    return Status::ParseError("trailing bytes in delta header");
+  }
+  if (base_rows != base.num_rows()) {
+    return Status::ParseError(
+        "delta was cut against " + std::to_string(base_rows) +
+        " base rows, this base has " + std::to_string(base.num_rows()));
+  }
+  if (num_columns != base.num_columns()) {
+    return Status::ParseError("delta column count disagrees with the base");
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(std::string schema_payload,
+                         ReadSection(in, kMaxSectionBytes));
+  ByteReader schema_reader(schema_payload);
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view name,
+                           schema_reader.ReadLengthPrefixed(kMaxNameBytes));
+    ZIGGY_ASSIGN_OR_RETURN(uint8_t type, schema_reader.ReadU8());
+    const Field& field = base.schema().field(static_cast<size_t>(c));
+    if (name != field.name || type != static_cast<uint8_t>(field.type)) {
+      return Status::ParseError("delta schema disagrees with the base at "
+                                "column " +
+                                std::to_string(c));
+    }
+  }
+  if (!schema_reader.exhausted()) {
+    return Status::ParseError("trailing bytes in delta schema section");
+  }
+
+  // Reconstruct the appended tail: codes index the base dictionary
+  // extended by the segment's new entries, so the tail column carries the
+  // full dictionary and WithAppendedRows re-interns to exactly the codes
+  // the live append produced.
+  std::vector<Column> tail_columns;
+  tail_columns.reserve(static_cast<size_t>(num_columns));
+  for (size_t c = 0; c < static_cast<size_t>(num_columns); ++c) {
+    const Field& field = base.schema().field(c);
+    ZIGGY_ASSIGN_OR_RETURN(std::string payload,
+                           ReadSection(in, kMaxSectionBytes));
+    ByteReader reader(payload);
+    ZIGGY_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+    const uint8_t expected_kind =
+        field.type == ColumnType::kNumeric ? kNumericKind : kCategoricalKind;
+    if (kind != expected_kind) {
+      return Status::ParseError("column \"" + field.name +
+                                "\": delta payload kind disagrees with the "
+                                "base schema");
+    }
+    if (kind == kNumericKind) {
+      if (new_rows > reader.remaining() / sizeof(double)) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": delta cell count exceeds section "
+                                  "payload");
+      }
+      ZIGGY_ASSIGN_OR_RETURN(
+          std::string_view bytes,
+          reader.ReadBytes(sizeof(double) * static_cast<size_t>(new_rows)));
+      std::vector<double> cells(static_cast<size_t>(new_rows));
+      if (new_rows > 0) std::memcpy(cells.data(), bytes.data(), bytes.size());
+      if (!reader.exhausted()) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": trailing bytes after delta cells");
+      }
+      tail_columns.push_back(Column::FromNumeric(field.name, std::move(cells)));
+      continue;
+    }
+    ZIGGY_ASSIGN_OR_RETURN(uint64_t base_dict, reader.ReadU64());
+    ZIGGY_ASSIGN_OR_RETURN(uint64_t new_entries, reader.ReadU64());
+    const Column& base_column = base.column(c);
+    if (base_dict != base_column.dictionary().size()) {
+      return Status::ParseError(
+          "column \"" + field.name + "\": delta was cut against " +
+          std::to_string(base_dict) + " dictionary entries, this base has " +
+          std::to_string(base_column.dictionary().size()));
+    }
+    if (new_entries > reader.remaining() / sizeof(uint64_t)) {
+      return Status::ParseError("column \"" + field.name +
+                                "\": delta dictionary growth exceeds "
+                                "section payload");
+    }
+    std::vector<std::string> dictionary = base_column.dictionary();
+    dictionary.reserve(dictionary.size() + static_cast<size_t>(new_entries));
+    for (uint64_t i = 0; i < new_entries; ++i) {
+      ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
+                             reader.ReadLengthPrefixed(kMaxNameBytes));
+      dictionary.emplace_back(label);
+    }
+    if (new_rows > reader.remaining() / sizeof(CategoryCode)) {
+      return Status::ParseError("column \"" + field.name +
+                                "\": delta code count exceeds section "
+                                "payload");
+    }
+    ZIGGY_ASSIGN_OR_RETURN(
+        std::string_view bytes,
+        reader.ReadBytes(sizeof(CategoryCode) * static_cast<size_t>(new_rows)));
+    std::vector<CategoryCode> codes(static_cast<size_t>(new_rows));
+    if (new_rows > 0) std::memcpy(codes.data(), bytes.data(), bytes.size());
+    if (!reader.exhausted()) {
+      return Status::ParseError("column \"" + field.name +
+                                "\": trailing bytes after delta codes");
+    }
+    // FromDictionary re-validates label uniqueness and code range, so a
+    // corrupt segment cannot install an inconsistent column.
+    ZIGGY_ASSIGN_OR_RETURN(
+        Column column, Column::FromDictionary(field.name, std::move(dictionary),
+                                              std::move(codes)));
+    tail_columns.push_back(std::move(column));
+  }
+
+  ZIGGY_ASSIGN_OR_RETURN(Table tail,
+                         Table::FromColumns(std::move(tail_columns)));
+  if (num_columns == 0 && new_rows != 0) {
+    return Status::ParseError("delta row count disagrees with header");
+  }
+  return base.WithAppendedRows(tail);
+}
+
+Status WriteTableDeltaFile(const Table& table, size_t base_rows,
+                           const std::vector<size_t>& base_dict_sizes,
+                           const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  ZIGGY_RETURN_NOT_OK(WriteTableDelta(table, base_rows, base_dict_sizes, &out));
+  out.flush();
+  if (!out) return Status::IOError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Table> ApplyTableDeltaFile(const Table& base, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  return ApplyTableDelta(base, &in);
+}
+
 }  // namespace ziggy

@@ -21,12 +21,33 @@
 // Any truncation, bit flip, or length corruption fails with a clean
 // Status: every payload byte is covered by a section CRC, and all counts
 // are validated against the header before a column is accepted.
+//
+// Delta segments (`.zdlt`, magic ZIGDLT01): the O(delta) sibling of the
+// full codec. A segment serializes only the rows appended since a base
+// snapshot — numeric tails as raw doubles, categorical tails as codes
+// plus any dictionary entries the append interned — so checkpointing an
+// append writes bytes proportional to the appended rows, not the table.
+// Replay applies the segment to the exact base it was cut against
+// (validated: base row count, schema, per-column dictionary prefix) via
+// Table::WithAppendedRows, reproducing the live post-append table bit
+// for bit. Same CRC-framed sections, same corruption policy.
+//
+// Layout (all little-endian):
+//   magic "ZIGDLT01"
+//   section: header   { u64 base_rows, u64 new_rows, u64 num_columns }
+//   section: schema   { per column: str name, u8 type }
+//   section per column:
+//     numeric      { u8 0, f64 cells[new_rows] }
+//     categorical  { u8 1, u64 base_dict_size, u64 new_entries,
+//                    str entries[new_entries], i32 codes[new_rows] }
+//                  (codes index the full base+new dictionary)
 
 #ifndef ZIGGY_STORAGE_TABLE_IO_H_
 #define ZIGGY_STORAGE_TABLE_IO_H_
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "storage/table.h"
@@ -46,6 +67,32 @@ Result<Table> ReadTable(std::istream* in);
 /// store layers tmp+rename on top for atomicity).
 Status WriteTableFile(const Table& table, const std::string& path);
 Result<Table> ReadTableFile(const std::string& path);
+
+/// \brief Magic / format version tag of the delta segment codec.
+inline constexpr char kTableDeltaMagic[8] = {'Z', 'I', 'G', 'D',
+                                             'L', 'T', '0', '1'};
+
+/// \brief Serializes rows [base_rows, table.num_rows()) of `table` as a
+/// delta segment. `base_dict_sizes[c]` is the dictionary size column `c`
+/// had in the base snapshot (ignored for numeric columns); the base
+/// dictionary must be a prefix of the current one — which is what
+/// Table::WithAppendedRows guarantees for the append path.
+Status WriteTableDelta(const Table& table, size_t base_rows,
+                       const std::vector<size_t>& base_dict_sizes,
+                       std::ostream* out);
+
+/// \brief Applies one delta segment to `base`, returning the post-append
+/// table. Validates magic, checksums, the base row count, the schema,
+/// and every categorical column's dictionary prefix size against `base`;
+/// any mismatch or corruption fails with a clean Status and `base` is
+/// left untouched.
+Result<Table> ApplyTableDelta(const Table& base, std::istream* in);
+
+/// \brief File convenience wrappers for delta segments.
+Status WriteTableDeltaFile(const Table& table, size_t base_rows,
+                           const std::vector<size_t>& base_dict_sizes,
+                           const std::string& path);
+Result<Table> ApplyTableDeltaFile(const Table& base, const std::string& path);
 
 }  // namespace ziggy
 

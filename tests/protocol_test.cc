@@ -205,10 +205,28 @@ TEST(JsonUnescapeTest, InvertsJsonEscape) {
   EXPECT_EQ(*decoded, original);
   EXPECT_FALSE(JsonUnescape("trailing\\").ok());
   EXPECT_FALSE(JsonUnescape("\\u12").ok());
-  EXPECT_FALSE(JsonUnescape("\\ud800").ok());  // bare surrogate
+  EXPECT_FALSE(JsonUnescape("\\ud800").ok());   // lone high surrogate
+  EXPECT_FALSE(JsonUnescape("\\udc00").ok());   // lone low surrogate
+  EXPECT_FALSE(JsonUnescape("\\ud83dx").ok());  // high not followed by \u
+  EXPECT_FALSE(JsonUnescape("\\ud83d\\u0041").ok());  // pair half missing
   auto bmp = JsonUnescape("\\u00e9");
   ASSERT_TRUE(bmp.ok());
   EXPECT_EQ(*bmp, "\xc3\xa9");
+  // Surrogate pairs decode to the non-BMP code point's UTF-8 bytes.
+  auto astral = JsonUnescape("\\ud83d\\ude00");
+  ASSERT_TRUE(astral.ok());
+  EXPECT_EQ(*astral, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonUnescapeTest, NonBmpRoundTripsThroughEscape) {
+  // The VIEWS reply wraps a rendered report in JsonEscape and the client
+  // unescapes it: an emoji or rare-CJK category label must survive the
+  // round trip byte-identically.
+  const std::string original =
+      "grade \xf0\x9f\x98\x80 caf\xc3\xa9 \xe2\x82\xac";
+  auto decoded = JsonUnescape(JsonEscape(original));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, original);
 }
 
 TEST(LineReaderTest, SplitsLinesAcrossArbitraryChunks) {

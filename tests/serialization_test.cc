@@ -120,6 +120,28 @@ TEST(JsonEscapeTest, EscapesSpecials) {
   EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
 }
 
+TEST(JsonEscapeTest, NonAsciiBecomesUnicodeEscapes) {
+  // BMP code points escape to one \uXXXX ...
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\\u00e9");
+  EXPECT_EQ(JsonEscape("\xe2\x82\xac"), "\\u20ac");  // EURO SIGN
+  // ... and non-BMP code points (emoji category labels) to a surrogate
+  // pair — a bare \uXXXXX token or raw truncation would be invalid JSON.
+  EXPECT_EQ(JsonEscape("\xf0\x9f\x98\x80"), "\\ud83d\\ude00");  // U+1F600
+  EXPECT_EQ(JsonEscape("x\xf0\x90\x8d\x88y"), "x\\ud800\\udf48y");  // U+10348
+}
+
+TEST(JsonEscapeTest, InvalidUtf8BecomesReplacementCharacter) {
+  // Latin-1 bytes, lone continuation bytes, truncated sequences, and
+  // overlong encodings must never leak through raw: the reply would not
+  // be valid JSON (or valid UTF-8).
+  EXPECT_EQ(JsonEscape("\xe9"), "\\ufffd");              // Latin-1 e-acute
+  EXPECT_EQ(JsonEscape("a\x80z"), "a\\ufffdz");          // bare continuation
+  EXPECT_EQ(JsonEscape("\xf0\x9f\x98"), "\\ufffd\\ufffd\\ufffd");  // cut
+  EXPECT_EQ(JsonEscape("\xc0\xaf"), "\\ufffd\\ufffd");   // overlong '/'
+  EXPECT_EQ(JsonEscape("\xed\xa0\x80"),                  // encoded surrogate
+            "\\ufffd\\ufffd\\ufffd");
+}
+
 TEST(JsonRenderTest, ContainsAllSections) {
   SyntheticDataset ds = MakeBoxOfficeDataset().ValueOrDie();
   const std::string query = ds.selection_predicate;

@@ -14,10 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/synthetic.h"
@@ -28,6 +30,7 @@
 #include "serve/catalog.h"
 #include "serve/daemon/handler.h"
 #include "storage/csv.h"
+#include "storage/table_io.h"
 
 namespace ziggy {
 namespace {
@@ -80,17 +83,22 @@ bool DirHasTempLitter(const std::string& dir) {
 
 TEST(ManifestTest, RoundTripAndValidation) {
   Manifest m;
-  m.Upsert(ManifestEntry{"zeta", 3, true});
-  m.Upsert(ManifestEntry{"alpha", 0, false});
-  m.Upsert(ManifestEntry{"zeta", 4, false});  // replaces
+  m.Upsert(ManifestEntry{"zeta", 3, true, 3, {}});
+  m.Upsert(ManifestEntry{"alpha", 0, false, 0, {}});
+  m.Upsert(ManifestEntry{"zeta", 4, false, 1, {2, 4}});  // replaces
 
   const std::string text = m.Serialize();
   Manifest parsed = Manifest::Parse(text).ValueOrDie();
   ASSERT_EQ(parsed.entries().size(), 2u);
   EXPECT_EQ(parsed.entries()[0].name, "alpha");  // sorted
+  EXPECT_EQ(parsed.entries()[0].base_generation, 0u);
+  EXPECT_TRUE(parsed.entries()[0].delta_generations.empty());
   EXPECT_EQ(parsed.entries()[1].name, "zeta");
   EXPECT_EQ(parsed.entries()[1].generation, 4u);
   EXPECT_FALSE(parsed.entries()[1].has_sketches);
+  EXPECT_EQ(parsed.entries()[1].base_generation, 1u);
+  EXPECT_EQ(parsed.entries()[1].delta_generations,
+            (std::vector<uint64_t>{2, 4}));
 
   EXPECT_TRUE(parsed.Remove("alpha"));
   EXPECT_FALSE(parsed.Remove("alpha"));
@@ -107,6 +115,23 @@ TEST(ManifestTest, RoundTripAndValidation) {
       Manifest::Parse("ziggy-store 1\ntable a 1 0\ntable a 2 0\n").ok());
   // Path-traversal names never survive parsing.
   EXPECT_FALSE(Manifest::Parse("ziggy-store 1\ntable .. 0 0\n").ok());
+  // v1 manifests (no chain fields) parse as full snapshots.
+  Manifest legacy =
+      Manifest::Parse("ziggy-store 1\ntable a 5 0\n").ValueOrDie();
+  ASSERT_EQ(legacy.entries().size(), 1u);
+  EXPECT_EQ(legacy.entries()[0].base_generation, 5u);
+  EXPECT_TRUE(legacy.entries()[0].delta_generations.empty());
+  // v1 lines must not carry chain fields; v2 lines must.
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 1\ntable a 5 0 5 0\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 2\ntable a 5 0\n").ok());
+  // Chain validation: strictly increasing, above the base, ending at the
+  // current generation, and count-consistent.
+  EXPECT_TRUE(Manifest::Parse("ziggy-store 2\ntable a 4 0 1 2 2 4\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 2\ntable a 4 0 1 2 4 2\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 2\ntable a 4 0 5 1 4\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 2\ntable a 4 0 1 1 3\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 2\ntable a 4 0 1 3 2 4\n").ok());
+  EXPECT_FALSE(Manifest::Parse("ziggy-store 2\ntable a 4 0 5 0\n").ok());
 }
 
 TEST(ManifestTest, StoreNameRejectsPathSpecials) {
@@ -409,6 +434,227 @@ TEST_F(StoreCorruptionTest, TruncatedTableEveryCutFailsCleanly) {
   EXPECT_TRUE(store_->LoadTable("box").ok());
 }
 
+// ------------------------------------------------------- delta chains ----
+
+std::string TableImage(const Table& table) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(WriteTable(table, &out).ok());
+  return out.str();
+}
+
+class StoreDeltaTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kLineage = 42;
+
+  void SetUp() override {
+    dir_ = UniqueDir("delta");
+    ds_ = MakeBoxOfficeDataset(7).ValueOrDie();
+    tail_ = MakeBoxOfficeDataset(19).ValueOrDie();
+    profile_ = TableProfile::Compute(ds_.table).ValueOrDie();
+  }
+
+  void TearDown() override { ASSERT_TRUE(RemoveDirectory(dir_).ok()); }
+
+  /// Saves `table` at `generation` and returns the store's save stats.
+  static Status Save(ZiggyStore* store, const Table& table,
+                     uint64_t generation, const TableProfile& profile,
+                     uint64_t lineage = kLineage) {
+    return store->SaveTable("box", table, generation, profile, {}, lineage);
+  }
+
+  std::string dir_;
+  SyntheticDataset ds_;
+  SyntheticDataset tail_;
+  TableProfile profile_;
+};
+
+TEST_F(StoreDeltaTest, AppendCheckpointWritesDeltaNotFullTable) {
+  auto store = ZiggyStore::Open(dir_).ValueOrDie();
+  ASSERT_TRUE(Save(store.get(), ds_.table, 0, profile_).ok());
+  const std::string base_bytes = ReadFileBytes(store->TablePath("box", 0));
+
+  const Table live = ds_.table.WithAppendedRows(tail_.table).ValueOrDie();
+  TableProfile live_profile = TableProfile::Compute(live).ValueOrDie();
+  ASSERT_TRUE(Save(store.get(), live, 1, live_profile).ok());
+
+  // The append checkpoint produced a delta segment; the base file was not
+  // rewritten (byte-identical), and the manifest records the chain.
+  EXPECT_TRUE(PathExists(store->DeltaPath("box", 1)));
+  EXPECT_FALSE(PathExists(store->TablePath("box", 1)));
+  EXPECT_EQ(ReadFileBytes(store->TablePath("box", 0)), base_bytes);
+  const std::vector<ManifestEntry> entries = store->List();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].generation, 1u);
+  EXPECT_EQ(entries[0].base_generation, 0u);
+  EXPECT_EQ(entries[0].delta_generations, (std::vector<uint64_t>{1}));
+
+  const StoreStats stats = store->stats();
+  EXPECT_EQ(stats.full_checkpoints, 1u);
+  EXPECT_EQ(stats.delta_checkpoints, 1u);
+  EXPECT_EQ(stats.compactions, 0u);
+  // O(delta): the segment is much smaller than a base rewrite (equal-size
+  // tail here, so "smaller than the 2x base it replaces" is the bound; the
+  // bench pins the small-tail ratio).
+  EXPECT_LT(stats.last_checkpoint_bytes, base_bytes.size());
+
+  // Warm load replays base+delta to the exact live table.
+  StoredTable loaded = store->LoadTable("box").ValueOrDie();
+  EXPECT_EQ(loaded.generation, 1u);
+  EXPECT_EQ(TableImage(loaded.table), TableImage(live));
+  EXPECT_TRUE(loaded.profile.Equals(live_profile));
+  EXPECT_FALSE(DirHasTempLitter(dir_));
+}
+
+TEST_F(StoreDeltaTest, ChainReplaysAcrossReopenAndStampsLineage) {
+  // The synthetic tails are as large as the base, so disable the
+  // byte-fraction compaction — this test is about chain replay.
+  StoreOptions chain_options;
+  chain_options.max_delta_fraction = 1e9;
+  Table live = ds_.table;
+  {
+    auto store = ZiggyStore::Open(dir_, chain_options).ValueOrDie();
+    ASSERT_TRUE(Save(store.get(), live, 0, profile_).ok());
+    for (uint64_t g = 1; g <= 3; ++g) {
+      SyntheticDataset tail = MakeBoxOfficeDataset(100 + g).ValueOrDie();
+      live = live.WithAppendedRows(tail.table).ValueOrDie();
+      TableProfile p = TableProfile::Compute(live).ValueOrDie();
+      ASSERT_TRUE(Save(store.get(), live, g, p).ok());
+    }
+    EXPECT_EQ(store->stats().delta_checkpoints, 3u);
+  }
+  // A fresh store process parses the v2 manifest and replays the chain.
+  auto reopened = ZiggyStore::Open(dir_, chain_options).ValueOrDie();
+  StoredTable loaded = reopened->LoadTable("box", kLineage).ValueOrDie();
+  EXPECT_EQ(loaded.generation, 3u);
+  EXPECT_EQ(TableImage(loaded.table), TableImage(live));
+
+  // The load stamped the persisted shape with our lineage: the next
+  // append checkpoint extends the chain instead of rewriting the base.
+  SyntheticDataset tail = MakeBoxOfficeDataset(200).ValueOrDie();
+  live = live.WithAppendedRows(tail.table).ValueOrDie();
+  TableProfile p = TableProfile::Compute(live).ValueOrDie();
+  ASSERT_TRUE(Save(reopened.get(), live, 4, p).ok());
+  EXPECT_EQ(reopened->stats().delta_checkpoints, 1u);
+  EXPECT_EQ(reopened->stats().full_checkpoints, 0u);
+}
+
+TEST_F(StoreDeltaTest, ChainLengthTriggersCompaction) {
+  StoreOptions options;
+  options.max_delta_chain = 2;
+  options.max_delta_fraction = 100.0;  // only the length limit fires
+  auto store = ZiggyStore::Open(dir_, options).ValueOrDie();
+  Table live = ds_.table;
+  ASSERT_TRUE(Save(store.get(), live, 0, profile_).ok());
+  for (uint64_t g = 1; g <= 3; ++g) {
+    SyntheticDataset tail = MakeBoxOfficeDataset(100 + g).ValueOrDie();
+    live = live.WithAppendedRows(tail.table).ValueOrDie();
+    TableProfile p = TableProfile::Compute(live).ValueOrDie();
+    ASSERT_TRUE(Save(store.get(), live, g, p).ok());
+  }
+  // Saves 1 and 2 were deltas; save 3 hit the chain limit and compacted.
+  const StoreStats stats = store->stats();
+  EXPECT_EQ(stats.delta_checkpoints, 2u);
+  EXPECT_EQ(stats.full_checkpoints, 2u);  // initial base + compaction
+  EXPECT_EQ(stats.compactions, 1u);
+  const std::vector<ManifestEntry> entries = store->List();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].base_generation, 3u);
+  EXPECT_TRUE(entries[0].delta_generations.empty());
+  // The compaction swept the old base and the compacted-away segments.
+  EXPECT_FALSE(PathExists(store->TablePath("box", 0)));
+  EXPECT_FALSE(PathExists(store->DeltaPath("box", 1)));
+  EXPECT_FALSE(PathExists(store->DeltaPath("box", 2)));
+  StoredTable loaded = store->LoadTable("box").ValueOrDie();
+  EXPECT_EQ(TableImage(loaded.table), TableImage(live));
+}
+
+TEST_F(StoreDeltaTest, ChainWeightTriggersCompaction) {
+  StoreOptions options;
+  options.max_delta_chain = 100;   // only the byte-fraction limit fires
+  options.max_delta_fraction = 0.5;
+  auto store = ZiggyStore::Open(dir_, options).ValueOrDie();
+  Table live = ds_.table;
+  ASSERT_TRUE(Save(store.get(), live, 0, profile_).ok());
+  // Each tail is as large as the base, so one delta already outweighs
+  // max_delta_fraction of the base and the next save must compact.
+  live = live.WithAppendedRows(tail_.table).ValueOrDie();
+  TableProfile p1 = TableProfile::Compute(live).ValueOrDie();
+  ASSERT_TRUE(Save(store.get(), live, 1, p1).ok());
+  EXPECT_EQ(store->stats().delta_checkpoints, 1u);
+  live = live.WithAppendedRows(tail_.table).ValueOrDie();
+  TableProfile p2 = TableProfile::Compute(live).ValueOrDie();
+  ASSERT_TRUE(Save(store.get(), live, 2, p2).ok());
+  EXPECT_EQ(store->stats().compactions, 1u);
+  EXPECT_EQ(store->List()[0].base_generation, 2u);
+}
+
+TEST_F(StoreDeltaTest, UnknownLineageAlwaysWritesFullSnapshots) {
+  auto store = ZiggyStore::Open(dir_).ValueOrDie();
+  ASSERT_TRUE(Save(store.get(), ds_.table, 0, profile_, /*lineage=*/0).ok());
+  const Table live = ds_.table.WithAppendedRows(tail_.table).ValueOrDie();
+  TableProfile p = TableProfile::Compute(live).ValueOrDie();
+  // Lineage 0 (unknown provenance) and a lineage mismatch both force a
+  // full snapshot — the shape checks alone cannot prove the new table
+  // extends the persisted bytes.
+  ASSERT_TRUE(Save(store.get(), live, 1, p, /*lineage=*/0).ok());
+  EXPECT_EQ(store->stats().delta_checkpoints, 0u);
+  ASSERT_TRUE(Save(store.get(), live, 2, p, /*lineage=*/kLineage).ok());
+  EXPECT_EQ(store->stats().delta_checkpoints, 0u);
+  EXPECT_EQ(store->stats().full_checkpoints, 3u);
+}
+
+TEST_F(StoreDeltaTest, CorruptDeltaSegmentFailsCleanlyBaseSurvives) {
+  StoreOptions chain_options;
+  chain_options.max_delta_fraction = 1e9;  // keep both segments as deltas
+  auto store = ZiggyStore::Open(dir_, chain_options).ValueOrDie();
+  Table live = ds_.table;
+  ASSERT_TRUE(Save(store.get(), live, 0, profile_).ok());
+  for (uint64_t g = 1; g <= 2; ++g) {
+    SyntheticDataset tail = MakeBoxOfficeDataset(100 + g).ValueOrDie();
+    live = live.WithAppendedRows(tail.table).ValueOrDie();
+    TableProfile p = TableProfile::Compute(live).ValueOrDie();
+    ASSERT_TRUE(Save(store.get(), live, g, p).ok());
+  }
+  ASSERT_TRUE(store->LoadTable("box").ok());
+
+  for (uint64_t g = 1; g <= 2; ++g) {
+    const std::string path = store->DeltaPath("box", g);
+    const std::string bytes = ReadFileBytes(path);
+    // Strided bit flips across the segment: every one a clean failure.
+    const size_t stride = bytes.size() / 64 + 1;
+    for (size_t pos = 0; pos < bytes.size(); pos += stride) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ 0x08);
+      WriteFileBytes(path, mutated);
+      Result<StoredTable> loaded = store->LoadTable("box");
+      EXPECT_FALSE(loaded.ok()) << "delta g" << g << " pos=" << pos;
+    }
+    // Truncations, including an empty segment.
+    for (size_t cut : {size_t{0}, size_t{4}, bytes.size() / 2,
+                       bytes.size() - 1}) {
+      WriteFileBytes(path, bytes.substr(0, cut));
+      EXPECT_FALSE(store->LoadTable("box").ok())
+          << "delta g" << g << " cut=" << cut;
+    }
+    // The base checkpoint under the damaged chain is untouched and still
+    // readable on its own — a full re-save repairs the store.
+    EXPECT_TRUE(ReadTableFile(store->TablePath("box", 0)).ok());
+    WriteFileBytes(path, bytes);
+  }
+  // Restored segments: the chain loads again.
+  StoredTable loaded = store->LoadTable("box").ValueOrDie();
+  EXPECT_EQ(TableImage(loaded.table), TableImage(live));
+
+  // A deleted segment (chain file missing entirely) also fails cleanly,
+  // and a subsequent full save repairs the table.
+  ASSERT_TRUE(RemoveFileIfExists(store->DeltaPath("box", 1)).ok());
+  EXPECT_FALSE(store->LoadTable("box").ok());
+  TableProfile p = TableProfile::Compute(live).ValueOrDie();
+  ASSERT_TRUE(store->SaveTable("box", live, 3, p, {}, /*lineage=*/0).ok());
+  EXPECT_EQ(TableImage(store->LoadTable("box").ValueOrDie().table),
+            TableImage(live));
+}
+
 // -------------------------------------------------- catalog integration ----
 
 TEST(CatalogStoreTest, OpenFromStoreServesAndCounts) {
@@ -471,6 +717,223 @@ TEST(CatalogStoreTest, AppendCheckpointsWhenPersistIsOn) {
   EXPECT_EQ(catalog.SaveToStore("box", /*only_if_newer=*/true).ValueOrDie(),
             2u);
   EXPECT_EQ(catalog.stats().store_saves, 1u);  // still just the append's
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(CatalogStoreTest, AppendCheckpointsAreDeltasAndWarmBootExtendsChain) {
+  const std::string dir = UniqueDir("catalog_delta");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  {
+    CatalogOptions options;
+    options.serve = GoldenServeOptions();
+    ServerCatalog catalog(options);
+    ASSERT_TRUE(catalog.AttachStore(dir).ok());
+    ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+    ASSERT_TRUE(catalog.SaveToStore("box").ok());
+    ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+    Status checkpoint = Status::OK();
+    ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+    EXPECT_TRUE(checkpoint.ok());
+    // The catalog handed its lineage through: the append's checkpoint is
+    // an O(delta) segment, not a base rewrite.
+    CatalogStats stats = catalog.stats();
+    EXPECT_EQ(stats.store_full_checkpoints, 1u);
+    EXPECT_EQ(stats.store_delta_checkpoints, 1u);
+    EXPECT_TRUE(PathExists(catalog.store()->DeltaPath("box", 1)));
+  }
+  {
+    // Warm restart: OpenFromStore replays the chain and stamps a fresh
+    // lineage, so the next append checkpoint extends the chain instead of
+    // rewriting the base. (The equal-size synthetic tail would trip the
+    // byte-fraction compaction, so widen it — compaction has its own
+    // tests.)
+    CatalogOptions options;
+    options.serve = GoldenServeOptions();
+    options.store.max_delta_fraction = 1e9;
+    ServerCatalog catalog(options);
+    ASSERT_TRUE(catalog.AttachStore(dir).ok());
+    auto warm = catalog.OpenFromStore("box");
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    EXPECT_EQ((*warm)->state()->table().num_rows(), 1800u);
+    ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+    Status checkpoint = Status::OK();
+    ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+    EXPECT_TRUE(checkpoint.ok());
+    CatalogStats stats = catalog.stats();
+    EXPECT_EQ(stats.store_full_checkpoints, 0u);
+    EXPECT_EQ(stats.store_delta_checkpoints, 1u);
+    EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 2u);
+  }
+  // But a COLD re-open of the name (new lineage, arbitrary data) must
+  // never be delta-saved on top of the old chain.
+  {
+    CatalogOptions options;
+    options.serve = GoldenServeOptions();
+    ServerCatalog catalog(options);
+    ASSERT_TRUE(catalog.AttachStore(dir).ok());
+    ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+    ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+    Status checkpoint = Status::OK();
+    // Generations 1..2 are behind the stored generation 2 -> the
+    // only_if_newer guard skips; append once more to get past it.
+    ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+    ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+    ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+    EXPECT_TRUE(checkpoint.ok());
+    CatalogStats stats = catalog.stats();
+    EXPECT_EQ(stats.store_delta_checkpoints, 0u);
+    EXPECT_GE(stats.store_full_checkpoints, 1u);
+  }
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(CatalogStoreTest, StaleCheckpointNeverClobbersNewerStoredGeneration) {
+  // Regression for the only_if_newer race: the store already holds a
+  // generation PAST the server's (a concurrent append checkpointed ahead
+  // of us, or — as staged here — the server was rebuilt from scratch
+  // while the store kept serving). With the old `==` comparison the save
+  // proceeded and overwrote generation 5 with generation 1.
+  const std::string dir = UniqueDir("stale");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+  {
+    auto store = ZiggyStore::Open(dir).ValueOrDie();
+    TableProfile profile = TableProfile::Compute(ds.table).ValueOrDie();
+    ASSERT_TRUE(store->SaveTable("box", ds.table, 5, profile, {}).ok());
+  }
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());  // cold: generation 0
+  ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+  Status checkpoint = Status::OK();
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  EXPECT_TRUE(checkpoint.ok());  // skipped, not failed
+  // The stored (newer) generation survived; nothing was written.
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 5u);
+  EXPECT_EQ(catalog.stats().store_saves, 0u);
+  // The explicit only_if_newer save reports the durable generation.
+  EXPECT_EQ(catalog.SaveToStore("box", /*only_if_newer=*/true).ValueOrDie(),
+            5u);
+  // A forced save (only_if_newer=false) still overwrites deliberately.
+  EXPECT_EQ(catalog.SaveToStore("box").ValueOrDie(), 1u);
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 1u);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(CatalogStoreTest, SaveAllContinuesPastFailuresAndReportsEach) {
+  const std::string dir = UniqueDir("saveall");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  // "." is a valid *catalog* name but an invalid *store* name (path
+  // special), so its save fails — and it sorts before "box", so the old
+  // stop-at-first-failure loop would have left "box" unsaved.
+  ASSERT_TRUE(catalog.Open(".", ds.table).ok());
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+
+  Result<std::vector<TableSaveResult>> results = catalog.SaveAllToStore();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].name, ".");
+  EXPECT_TRUE((*results)[0].status.IsInvalidArgument());
+  EXPECT_EQ((*results)[1].name, "box");
+  EXPECT_TRUE((*results)[1].status.ok()) << (*results)[1].status;
+  EXPECT_EQ((*results)[1].generation, 0u);
+  EXPECT_TRUE(catalog.StoreHas("box"));
+  EXPECT_FALSE(catalog.StoreHas("."));
+
+  // The wire verb surfaces both the success and the per-table error.
+  DaemonHandler handler(&catalog);
+  WireResponse reply =
+      handler.Handle(*LineProtocol::ParseRequest("SAVE"));
+  ASSERT_TRUE(reply.ok) << reply.body;
+  EXPECT_NE(reply.body.find("\"saved\":[{\"table\":\"box\",\"generation\":0}]"),
+            std::string::npos)
+      << reply.body;
+  EXPECT_NE(reply.body.find("\"errors\":[{\"table\":\".\""),
+            std::string::npos)
+      << reply.body;
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// ---------------------------------------------------- background flusher ----
+
+TEST(CatalogFlusherTest, FlusherPersistsAppendsOffTheRequestPath) {
+  const std::string dir = UniqueDir("flusher");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  options.flush_interval_ms = 20;
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  EXPECT_TRUE(catalog.stats().flusher_active);
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+  ASSERT_TRUE(catalog.SaveToStore("box").ok());
+  ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+
+  Status checkpoint = Status::OK();
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  EXPECT_TRUE(checkpoint.ok());  // durability is pending, not failed
+
+  // The flusher checkpoints the dirty table within a few intervals (the
+  // poll watches the counter, which is bumped after the save completes).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (catalog.stats().flushed_tables < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 1u);
+  CatalogStats stats = catalog.stats();
+  EXPECT_GE(stats.flushed_tables, 1u);
+  EXPECT_GE(stats.flush_cycles, 1u);
+  EXPECT_EQ(stats.flush_failures, 0u);
+  // The background save cut a delta segment, not a base rewrite.
+  EXPECT_EQ(stats.store_delta_checkpoints, 1u);
+
+  // StopFlusher drains synchronously: a second append marked dirty just
+  // before shutdown is checkpointed, not dropped.
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  catalog.StopFlusher();
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 2u);
+  EXPECT_FALSE(catalog.stats().flusher_active);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(CatalogFlusherTest, CloseDrainsThePendingFlushFirst) {
+  const std::string dir = UniqueDir("flusher_close");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  // An interval far beyond the test's lifetime: only the drain paths can
+  // persist the append.
+  options.flush_interval_ms = 600'000;
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+  ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+  Status checkpoint = Status::OK();
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  EXPECT_TRUE(checkpoint.ok());
+  EXPECT_FALSE(catalog.StoreHas("box"));  // still only dirty
+  EXPECT_EQ(catalog.stats().dirty_tables, 1u);
+
+  ASSERT_TRUE(catalog.Close("box").ok());
+  // Close flushed the pending generation before unpublishing the name.
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 1u);
+  EXPECT_EQ(catalog.stats().dirty_tables, 0u);
   ASSERT_TRUE(RemoveDirectory(dir).ok());
 }
 

@@ -175,6 +175,191 @@ TEST(TableIoTest, TrailingGarbageAfterValidImageIsIgnored) {
   ExpectTablesBitIdentical(original, *restored);
 }
 
+// ------------------------------------------------------ delta segments ----
+
+/// The live append the delta codec snapshots: base + tail through
+/// WithAppendedRows (the serving layer's generation builder).
+Table MakeAppendTail() {
+  std::vector<Column> columns;
+  columns.push_back(Column::FromNumeric(
+      "num", {9.75, NullNumeric(), -3.5}));
+  // Mix of base-dictionary labels, NEW labels, and a NULL.
+  columns.push_back(Column::FromStrings("cat", {"violet", "red", ""}));
+  columns.push_back(Column::FromNumeric("num2", {0.6, -0.0, 7e-200}));
+  return Table::FromColumns(std::move(columns)).ValueOrDie();
+}
+
+std::vector<size_t> DictSizesOf(const Table& table) {
+  std::vector<size_t> sizes(table.num_columns(), 0);
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (table.column(c).is_categorical()) {
+      sizes[c] = table.column(c).dictionary().size();
+    }
+  }
+  return sizes;
+}
+
+std::string SerializeDeltaToString(const Table& table, size_t base_rows,
+                                   const std::vector<size_t>& dict_sizes) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(WriteTableDelta(table, base_rows, dict_sizes, &out).ok());
+  return out.str();
+}
+
+Result<Table> ApplyDeltaFromString(const Table& base,
+                                   const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return ApplyTableDelta(base, &in);
+}
+
+TEST(TableDeltaTest, ReplayReproducesLiveAppendBitIdentical) {
+  const Table base = MakeMixedTable();
+  const Table live =
+      base.WithAppendedRows(MakeAppendTail()).ValueOrDie();
+  const std::string delta =
+      SerializeDeltaToString(live, base.num_rows(), DictSizesOf(base));
+  Result<Table> replayed = ApplyDeltaFromString(base, delta);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ExpectTablesBitIdentical(live, *replayed);
+  // The strongest form: the replayed table re-serializes (full codec)
+  // byte-identically to the live one — dictionary order, codes, NaNs.
+  EXPECT_EQ(SerializeToString(*replayed), SerializeToString(live));
+}
+
+TEST(TableDeltaTest, DeltaBytesScaleWithTailNotTable) {
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+  const Table live = ds.table.WithAppendedRows(tail.table).ValueOrDie();
+  const std::string full = SerializeToString(live);
+  const std::string delta = SerializeDeltaToString(
+      live, ds.table.num_rows(), DictSizesOf(ds.table));
+  // 900 base + 900 tail rows: the delta must be roughly half the full
+  // image, and a small-tail delta must be far smaller still.
+  EXPECT_LT(delta.size(), full.size());
+  Selection two(tail.table.num_rows());
+  two.Set(0);
+  two.Set(1);
+  const Table small_live =
+      ds.table.WithAppendedRows(tail.table.Filter(two)).ValueOrDie();
+  const std::string small_delta = SerializeDeltaToString(
+      small_live, ds.table.num_rows(), DictSizesOf(ds.table));
+  EXPECT_LT(small_delta.size() * 10, full.size());
+  Result<Table> replayed = ApplyDeltaFromString(ds.table, small_delta);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ExpectTablesBitIdentical(small_live, *replayed);
+}
+
+TEST(TableDeltaTest, ChainOfSegmentsReplaysExactly) {
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  Table live = ds.table;
+  Table replayed = ds.table;
+  for (uint64_t seed : {19u, 23u, 29u}) {
+    const Table base = live;
+    SyntheticDataset tail = MakeBoxOfficeDataset(seed).ValueOrDie();
+    live = base.WithAppendedRows(tail.table).ValueOrDie();
+    const std::string delta =
+        SerializeDeltaToString(live, base.num_rows(), DictSizesOf(base));
+    Result<Table> next = ApplyDeltaFromString(replayed, delta);
+    ASSERT_TRUE(next.ok()) << next.status();
+    replayed = std::move(*next);
+  }
+  ExpectTablesBitIdentical(live, replayed);
+  EXPECT_EQ(SerializeToString(replayed), SerializeToString(live));
+}
+
+TEST(TableDeltaTest, EmptyTailRoundTrips) {
+  const Table base = MakeMixedTable();
+  const std::string delta =
+      SerializeDeltaToString(base, base.num_rows(), DictSizesOf(base));
+  Result<Table> replayed = ApplyDeltaFromString(base, delta);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ExpectTablesBitIdentical(base, *replayed);
+}
+
+TEST(TableDeltaTest, RejectsMismatchedBase) {
+  const Table base = MakeMixedTable();
+  const Table live = base.WithAppendedRows(MakeAppendTail()).ValueOrDie();
+  const std::string delta =
+      SerializeDeltaToString(live, base.num_rows(), DictSizesOf(base));
+
+  // Wrong base row count: applying to the live table instead of the base.
+  EXPECT_TRUE(ApplyDeltaFromString(live, delta).status().IsParseError());
+
+  // Wrong schema: a base with a renamed column.
+  std::vector<Column> renamed;
+  renamed.push_back(Column::FromNumeric(
+      "other", base.column(0).numeric_data()));
+  renamed.push_back(base.column(1));
+  renamed.push_back(base.column(2));
+  const Table wrong_schema =
+      Table::FromColumns(std::move(renamed)).ValueOrDie();
+  EXPECT_TRUE(
+      ApplyDeltaFromString(wrong_schema, delta).status().IsParseError());
+
+  // Wrong dictionary prefix size: a base whose categorical column grew.
+  Column grown = base.column(1);
+  (void)grown.InternLabel("violet");
+  std::vector<Column> grown_columns;
+  grown_columns.push_back(base.column(0));
+  grown_columns.push_back(std::move(grown));
+  grown_columns.push_back(base.column(2));
+  const Table wrong_dict =
+      Table::FromColumns(std::move(grown_columns)).ValueOrDie();
+  EXPECT_TRUE(
+      ApplyDeltaFromString(wrong_dict, delta).status().IsParseError());
+}
+
+TEST(TableDeltaTest, WrongMagicRejected) {
+  const Table base = MakeMixedTable();
+  const Table live = base.WithAppendedRows(MakeAppendTail()).ValueOrDie();
+  std::string delta =
+      SerializeDeltaToString(live, base.num_rows(), DictSizesOf(base));
+  delta[3] = 'X';
+  EXPECT_TRUE(ApplyDeltaFromString(base, delta).status().IsParseError());
+  // A full-table image is not a delta.
+  EXPECT_FALSE(ApplyDeltaFromString(base, SerializeToString(live)).ok());
+}
+
+TEST(TableDeltaTest, EveryTruncationRejectedCleanly) {
+  const Table base = MakeMixedTable();
+  const Table live = base.WithAppendedRows(MakeAppendTail()).ValueOrDie();
+  const std::string delta =
+      SerializeDeltaToString(live, base.num_rows(), DictSizesOf(base));
+  for (size_t cut = 0; cut < delta.size(); ++cut) {
+    EXPECT_FALSE(ApplyDeltaFromString(base, delta.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(TableDeltaTest, EveryBitFlipRejectedCleanly) {
+  // Deltas carry the same CRC framing as full images: every single-bit
+  // flip must surface as a clean error, never a crash or a silently
+  // different replay.
+  const Table base = MakeMixedTable();
+  const Table live = base.WithAppendedRows(MakeAppendTail()).ValueOrDie();
+  const std::string delta =
+      SerializeDeltaToString(live, base.num_rows(), DictSizesOf(base));
+  for (size_t bit = 0; bit < delta.size() * 8; ++bit) {
+    std::string mutated = delta;
+    mutated[bit / 8] = static_cast<char>(mutated[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_FALSE(ApplyDeltaFromString(base, mutated).ok()) << "bit=" << bit;
+  }
+}
+
+TEST(TableDeltaTest, FileRoundTripAndMissingFile) {
+  const Table base = MakeMixedTable();
+  const Table live = base.WithAppendedRows(MakeAppendTail()).ValueOrDie();
+  const std::string path = testing::TempDir() + "/ziggy_table_io_test.zdlt";
+  ASSERT_TRUE(
+      WriteTableDeltaFile(live, base.num_rows(), DictSizesOf(base), path)
+          .ok());
+  Result<Table> replayed = ApplyTableDeltaFile(base, path);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  ExpectTablesBitIdentical(live, *replayed);
+  std::remove(path.c_str());
+  EXPECT_TRUE(ApplyTableDeltaFile(base, path).status().IsIOError());
+}
+
 // ------------------------------------------------------- binary_io unit ----
 
 TEST(BinaryIoTest, SectionRoundTripAndCorruption) {

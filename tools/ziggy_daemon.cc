@@ -20,6 +20,12 @@
 //     --checkpoint-on-append
 //                           checkpoint every APPEND of every table
 //                           (per-table default; PERSIST overrides)
+//     --flush-interval-ms <t>
+//                           background flusher cadence: APPEND returns
+//                           after the in-memory append and a flusher
+//                           thread checkpoints dirty tables every t ms
+//                           (default 0 = checkpoint synchronously on the
+//                           request thread)
 //     --request-timeout-ms <t>
 //                           drop a connection that is silent for t ms
 //                           (default 0 = never; hardening for untrusted
@@ -57,6 +63,7 @@ int Usage() {
             << "                    [--cache-mb m] [--total-cache-mb m]\n"
             << "                    [--max-tables n] [--max-connections n]\n"
             << "                    [--store dir] [--checkpoint-on-append]\n"
+            << "                    [--flush-interval-ms t]\n"
             << "                    [--request-timeout-ms t]\n";
   return 2;
 }
@@ -128,6 +135,8 @@ int main(int argc, char** argv) {
       options.store_dir = v;
     } else if (arg == "--checkpoint-on-append") {
       options.catalog.checkpoint_on_append = true;
+    } else if (arg == "--flush-interval-ms") {
+      if (!next_size(&options.catalog.flush_interval_ms)) return Usage();
     } else if (arg == "--request-timeout-ms") {
       if (!next_size(&options.request_timeout_ms)) return Usage();
     } else {
