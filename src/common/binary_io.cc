@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/checksum.h"
+#include "common/fault.h"
 
 // The on-disk formats are documented as little-endian and the codecs
 // read/write native byte order; refuse to build where those differ
@@ -68,6 +69,9 @@ Result<std::string_view> ByteReader::ReadLengthPrefixed(size_t max_bytes) {
 
 Status WriteSection(std::ostream* out, std::string_view payload) {
   if (out == nullptr) return Status::InvalidArgument("null output stream");
+  // Every store codec (table, delta, profile sketches) funnels its payload
+  // through here, so one site covers all checkpoint writes.
+  ZIGGY_RETURN_NOT_OK(fault::Check("store.write"));
   if (payload.size() > kMaxSectionBytes) {
     // Refuse to write what no reader will accept: a checkpoint that can
     // never be loaded is worse than a failed save.

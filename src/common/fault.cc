@@ -1,0 +1,264 @@
+#include "common/fault.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace ziggy {
+
+namespace fault {
+std::atomic<uint32_t> g_armed_sites{0};
+}  // namespace fault
+
+namespace {
+
+// FNV-1a, mixed into the injector seed so each site gets an independent
+// but reproducible RNG stream.
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The errno menu. Names, not numbers, so specs stay portable and legible.
+const std::pair<std::string_view, int> kErrnoNames[] = {
+    {"EIO", EIO},           {"ENOSPC", ENOSPC},   {"EPIPE", EPIPE},
+    {"ECONNRESET", ECONNRESET}, {"EMFILE", EMFILE},   {"ENFILE", ENFILE},
+    {"EACCES", EACCES},     {"ENOENT", ENOENT},   {"EDQUOT", EDQUOT},
+    {"EAGAIN", EAGAIN},     {"ETIMEDOUT", ETIMEDOUT},
+    {"ECONNABORTED", ECONNABORTED},
+};
+
+std::optional<int> ErrnoFromName(std::string_view name) {
+  for (const auto& [n, v] : kErrnoNames) {
+    if (n == name) return v;
+  }
+  return std::nullopt;
+}
+
+std::string_view ActionName(const FaultAction& action) {
+  switch (action.kind) {
+    case FaultAction::Kind::kShort:
+      return "short";
+    case FaultAction::Kind::kEof:
+      return "eof";
+    case FaultAction::Kind::kEintr:
+      return "eintr";
+    case FaultAction::Kind::kError:
+      break;
+  }
+  for (const auto& [n, v] : kErrnoNames) {
+    if (v == action.err) return n;
+  }
+  return "errno";
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Result<FaultInjector::Rule> FaultInjector::ParseRule(std::string_view spec,
+                                                     uint64_t seed,
+                                                     std::string_view site) {
+  Rule rule;
+  std::string_view rest = spec;
+
+  const size_t hash = rest.find('#');
+  std::string_view action_str;
+  if (hash != std::string_view::npos) {
+    action_str = rest.substr(hash + 1);
+    rest = rest.substr(0, hash);
+  }
+
+  const size_t star = rest.find('*');
+  std::string_view count_str;
+  if (star != std::string_view::npos) {
+    count_str = rest.substr(star + 1);
+    rest = rest.substr(0, star);
+  }
+
+  if (rest.size() < 2) {
+    return Status::InvalidArgument("fault: bad trigger '" + std::string(spec) +
+                                   "'");
+  }
+  const char kind = rest.front();
+  const std::string num(rest.substr(1));
+  if (kind == 'p') {
+    Result<double> p = ParseDouble(num);
+    if (!p.ok() || *p < 0.0 || *p > 1.0) {
+      return Status::InvalidArgument("fault: bad probability '" + num + "'");
+    }
+    rule.trigger = Rule::Trigger::kProbability;
+    rule.probability = *p;
+  } else if (kind == 'n' || kind == 'a') {
+    Result<int64_t> parsed = ParseInt(num);
+    if (!parsed.ok() || *parsed < (kind == 'n' ? 1 : 0)) {
+      return Status::InvalidArgument("fault: bad trigger count '" + num + "'");
+    }
+    rule.trigger =
+        kind == 'n' ? Rule::Trigger::kEveryNth : Rule::Trigger::kAfterN;
+    rule.n = static_cast<uint64_t>(*parsed);
+  } else {
+    return Status::InvalidArgument("fault: unknown trigger '" +
+                                   std::string(rest) + "' (want p/n/a)");
+  }
+
+  if (!count_str.empty()) {
+    Result<int64_t> parsed = ParseInt(count_str);
+    if (!parsed.ok() || *parsed < 1) {
+      return Status::InvalidArgument("fault: bad max_fires '" +
+                                     std::string(count_str) + "'");
+    }
+    rule.max_fires = static_cast<uint64_t>(*parsed);
+  }
+
+  if (action_str.empty() || action_str == "EIO") {
+    rule.action = {FaultAction::Kind::kError, EIO};
+  } else if (action_str == "short") {
+    rule.action = {FaultAction::Kind::kShort, 0};
+  } else if (action_str == "eof") {
+    rule.action = {FaultAction::Kind::kEof, 0};
+  } else if (action_str == "eintr") {
+    rule.action = {FaultAction::Kind::kEintr, 0};
+  } else if (std::optional<int> err = ErrnoFromName(action_str)) {
+    rule.action = {FaultAction::Kind::kError, *err};
+  } else {
+    return Status::InvalidArgument("fault: unknown action '" +
+                                   std::string(action_str) + "'");
+  }
+
+  rule.rng.seed(seed ^ HashSite(site));
+  return rule;
+}
+
+Status FaultInjector::Arm(const std::string& spec) {
+  // Parse everything before touching state: a malformed spec arms nothing.
+  std::vector<std::pair<std::string, Rule>> parsed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::string& entry : Split(spec, ',')) {
+      if (entry.empty()) continue;
+      const size_t colon = entry.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        return Status::InvalidArgument("fault: want site:spec, got '" + entry +
+                                       "'");
+      }
+      const std::string site = entry.substr(0, colon);
+      Result<Rule> rule =
+          ParseRule(std::string_view(entry).substr(colon + 1), seed_, site);
+      if (!rule.ok()) return rule.status();
+      parsed.emplace_back(site, std::move(*rule));
+    }
+    for (auto& [site, rule] : parsed) {
+      auto [it, inserted] = rules_.insert_or_assign(site, std::move(rule));
+      (void)it;
+      if (inserted) {
+        fault::g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+      }
+      stats_.try_emplace(site);
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::ArmFromEnv() {
+  if (const char* seed = std::getenv("ZIGGY_FAULT_SEED")) {
+    Result<int64_t> parsed = ParseInt(seed);
+    if (!parsed.ok() || *parsed < 0) {
+      return Status::InvalidArgument(
+          std::string("fault: bad ZIGGY_FAULT_SEED '") + seed + "'");
+    }
+    SetSeed(static_cast<uint64_t>(*parsed));
+  }
+  const char* spec = std::getenv("ZIGGY_FAULTS");
+  if (spec == nullptr || *spec == '\0') return Status::OK();
+  return Arm(spec);
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault::g_armed_sites.fetch_sub(static_cast<uint32_t>(rules_.size()),
+                                 std::memory_order_relaxed);
+  rules_.clear();
+  stats_.clear();
+  total_fires_.store(0, std::memory_order_relaxed);
+}
+
+std::optional<FaultAction> FaultInjector::Hit(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rules_.find(site);
+  if (it == rules_.end()) return std::nullopt;
+  Rule& rule = it->second;
+  rule.hits++;
+  auto st = stats_.find(site);
+  if (st == stats_.end()) {
+    st = stats_.emplace(std::string(site), FaultSiteStats{}).first;
+  }
+  st->second.hits++;
+
+  bool fire = false;
+  switch (rule.trigger) {
+    case Rule::Trigger::kProbability:
+      fire = std::uniform_real_distribution<double>(0.0, 1.0)(rule.rng) <
+             rule.probability;
+      break;
+    case Rule::Trigger::kEveryNth:
+      fire = rule.hits % rule.n == 0;
+      break;
+    case Rule::Trigger::kAfterN:
+      fire = rule.hits > rule.n;
+      break;
+  }
+  if (!fire) return std::nullopt;
+
+  rule.fires++;
+  st->second.fires++;
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
+  const FaultAction action = rule.action;
+  if (rule.max_fires != 0 && rule.fires >= rule.max_fires) {
+    // Exhausted: the site "heals" and drops back to the disarmed fast path.
+    rules_.erase(it);
+    fault::g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return action;
+}
+
+Status FaultInjector::Check(std::string_view site) {
+  const std::optional<FaultAction> action = Hit(site);
+  if (!action.has_value()) return Status::OK();
+  std::string msg = "injected fault at ";
+  msg += site;
+  msg += " (";
+  msg += ActionName(*action);
+  msg += ")";
+  if (action->kind == FaultAction::Kind::kError) {
+    msg += ": ";
+    msg += std::strerror(action->err);
+  }
+  return Status::IOError(std::move(msg));
+}
+
+std::map<std::string, FaultSiteStats> FaultInjector::SiteStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {stats_.begin(), stats_.end()};
+}
+
+uint64_t FaultInjector::total_fires() const {
+  return total_fires_.load(std::memory_order_relaxed);
+}
+
+}  // namespace ziggy

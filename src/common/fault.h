@@ -1,0 +1,163 @@
+// Deterministic, seedable fault injection for the I/O choke points.
+//
+// A FaultInjector is a process-global registry of *named sites* — fixed
+// strings compiled into the code paths that can fail in production
+// ("store.write", "fs.fsync", "wire.send", ...). Tests and the chaos CI
+// gate arm rules against those sites; production runs leave the injector
+// empty, in which case every site check is a single relaxed atomic load
+// and an untaken branch (no lock, no lookup, no allocation — see
+// fault::Armed()).
+//
+// Rule spec (also the ZIGGY_FAULTS env format, comma-separated):
+//
+//   <site>:<trigger>[*<max_fires>][#<action>]
+//
+//   trigger   p<float>   fire each hit with this probability (seeded RNG)
+//             n<N>       fire every Nth hit (1-based: n1 = every hit)
+//             a<N>       fire every hit after the first N hits
+//   max_fires stop firing (and disarm the site) after this many fires;
+//             omitted = unlimited. This is how a chaos run "heals".
+//   action    an errno name (EIO, ENOSPC, EPIPE, ECONNRESET, EMFILE, ...)
+//               -> the site fails with that error          [default EIO]
+//             short  -> the site degrades to 1-byte I/O (exercises
+//                       partial-read/write loops; the call still succeeds)
+//             eof    -> reads see EOF; writes deliver a truncated prefix
+//                       and then fail (mid-response EOF at the peer)
+//             eintr  -> the site sees a burst of spurious EINTRs first
+//
+//   Example: ZIGGY_FAULTS=store.write:n1*10#ENOSPC,wire.send:p0.2#eof
+//
+// Determinism: every probabilistic rule draws from its own RNG seeded
+// with the injector seed mixed with the site name, and every-Nth/after-N
+// rules are pure hit counters — so a fixed seed and a fixed per-site hit
+// sequence produce the same fault schedule (pinned by tests/fault_test.cc).
+
+#ifndef ZIGGY_COMMON_FAULT_H_
+#define ZIGGY_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace ziggy {
+
+/// \brief What an armed site does when its trigger fires.
+struct FaultAction {
+  enum class Kind {
+    kError,  ///< the operation fails with `err`
+    kShort,  ///< the operation degrades to 1-byte chunks (still succeeds)
+    kEof,    ///< reads: forced EOF; writes: truncated prefix + failure
+    kEintr,  ///< a burst of spurious EINTRs before the real operation
+  };
+  Kind kind = Kind::kError;
+  int err = 0;  ///< errno value for kKind == kError
+};
+
+/// \brief Per-site counters (for tests and post-run assertions).
+struct FaultSiteStats {
+  uint64_t hits = 0;   ///< times the site was evaluated
+  uint64_t fires = 0;  ///< times a fault was injected
+};
+
+/// \brief Process-global fault registry. Thread-safe; all methods may be
+/// called concurrently with site evaluations.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms rules from a spec string (grammar above). Rules accumulate on
+  /// top of whatever is already armed; a second rule for the same site
+  /// replaces the first. Rejects malformed specs without arming anything.
+  Status Arm(const std::string& spec);
+
+  /// Arms from the ZIGGY_FAULTS / ZIGGY_FAULT_SEED environment variables.
+  /// No-op (OK) when ZIGGY_FAULTS is unset or empty.
+  Status ArmFromEnv();
+
+  /// Seed for the probabilistic triggers of rules armed *after* this
+  /// call. Same seed + same per-site hit sequence = same schedule.
+  void SetSeed(uint64_t seed);
+
+  /// Disarms every site and clears all counters.
+  void Reset();
+
+  /// \brief Evaluates one hit of `site`. Returns the action to apply when
+  /// the site's rule fires, nullopt otherwise (including: site not
+  /// armed). A rule whose max_fires is exhausted disarms itself, so a
+  /// healed site drops back to the fast path.
+  std::optional<FaultAction> Hit(std::string_view site);
+
+  /// \brief Status-site convenience: OK unless `site` fires, in which
+  /// case an IOError naming the site and action. Any action kind —
+  /// including short/eof — is a failure here; Status sites have no
+  /// partial-success to degrade to.
+  Status Check(std::string_view site);
+
+  /// Counters for every site that was armed or evaluated since Reset().
+  std::map<std::string, FaultSiteStats> SiteStats() const;
+  uint64_t total_fires() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Rule {
+    enum class Trigger { kProbability, kEveryNth, kAfterN };
+    Trigger trigger = Trigger::kEveryNth;
+    double probability = 0.0;
+    uint64_t n = 1;
+    uint64_t max_fires = 0;  ///< 0 = unlimited
+    FaultAction action;
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+    std::mt19937_64 rng;
+  };
+
+  static Result<Rule> ParseRule(std::string_view spec, uint64_t seed,
+                                std::string_view site);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Rule, std::less<>> rules_;
+  /// Counters survive a rule disarming itself (exhausted max_fires).
+  std::map<std::string, FaultSiteStats, std::less<>> stats_;
+  uint64_t seed_ = 42;
+  std::atomic<uint64_t> total_fires_{0};
+};
+
+namespace fault {
+
+/// Number of currently armed sites; nonzero iff any rule is live. Kept
+/// outside the injector so the hot-path guard below never touches the
+/// singleton (or its lock) in the common, disarmed case.
+extern std::atomic<uint32_t> g_armed_sites;
+
+/// \brief The hot-path guard: true only while at least one site is armed.
+inline bool Armed() {
+  return g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+/// \brief Site check for Status-returning code paths. Compiles down to
+/// one relaxed load + branch when nothing is armed.
+inline Status Check(std::string_view site) {
+  if (!Armed()) return Status::OK();
+  return FaultInjector::Global().Check(site);
+}
+
+/// \brief Site check for code paths that interpret the action themselves
+/// (the wire layer). nullopt when disarmed or not firing.
+inline std::optional<FaultAction> Hit(std::string_view site) {
+  if (!Armed()) return std::nullopt;
+  return FaultInjector::Global().Hit(site);
+}
+
+}  // namespace fault
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_COMMON_FAULT_H_

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "TypeMismatch";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kParseError = 8,
   kTypeMismatch = 9,
   kInternal = 10,
+  kUnavailable = 11,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -89,6 +90,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -113,6 +117,7 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsTypeMismatch() const { return code() == StatusCode::kTypeMismatch; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

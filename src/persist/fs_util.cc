@@ -9,6 +9,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "common/fault.h"
+
 namespace ziggy {
 
 namespace fs = std::filesystem;
@@ -43,6 +45,7 @@ std::string TempPathFor(const std::string& path) {
 }
 
 Status RenameFile(const std::string& from, const std::string& to) {
+  ZIGGY_RETURN_NOT_OK(fault::Check("fs.rename"));
   std::error_code ec;
   fs::rename(from, to, ec);
   if (ec) {
@@ -65,6 +68,7 @@ Status FsyncFd(int fd, const std::string& what) {
 }  // namespace
 
 Status FsyncFile(const std::string& path) {
+  ZIGGY_RETURN_NOT_OK(fault::Check("fs.fsync"));
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     const std::string err = std::strerror(errno);
@@ -76,6 +80,7 @@ Status FsyncFile(const std::string& path) {
 }
 
 Status FsyncParentDir(const std::string& path) {
+  ZIGGY_RETURN_NOT_OK(fault::Check("fs.fsync_dir"));
   std::string dir(fs::path(path).parent_path().string());
   if (dir.empty()) dir = ".";
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
@@ -100,6 +105,7 @@ Status CommitFile(const std::string& tmp, const std::string& path) {
 Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   const std::string tmp = TempPathFor(path);
   {
+    if (Status st = fault::Check("fs.write"); !st.ok()) return st;
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IOError("cannot open '" + tmp + "' for writing");
     out.write(contents.data(), static_cast<std::streamsize>(contents.size()));

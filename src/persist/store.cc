@@ -278,8 +278,15 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
   entry.base_generation = generation;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A failed commit must leave the in-memory manifest matching the disk:
+    // a store that *believes* in a generation the manifest file never
+    // recorded would serve it until the next restart silently forgot it.
+    Manifest rollback = manifest_;
     manifest_.Upsert(entry);
-    ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
+    if (Status st = CommitManifestLocked(); !st.ok()) {
+      manifest_ = std::move(rollback);
+      return st;
+    }
   }
 
   // Sweep superseded generations, compacted-away deltas, and orphans
@@ -347,8 +354,12 @@ Status ZiggyStore::SaveDeltaLocked(TableState* state, const std::string& name,
   entry.delta_generations.push_back(generation);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    Manifest rollback = manifest_;
     manifest_.Upsert(entry);
-    ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
+    if (Status st = CommitManifestLocked(); !st.ok()) {
+      manifest_ = std::move(rollback);
+      return st;
+    }
   }
 
   // Sweep the superseded head generation's profile/sketch files (the
@@ -445,10 +456,14 @@ Status ZiggyStore::RemoveTable(const std::string& name) {
   std::lock_guard<std::mutex> table_lock(state->mu);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    Manifest rollback = manifest_;
     if (!manifest_.Remove(name)) {
       return Status::NotFound("table not in store: " + name);
     }
-    ZIGGY_RETURN_NOT_OK(CommitManifestLocked());
+    if (Status st = CommitManifestLocked(); !st.ok()) {
+      manifest_ = std::move(rollback);
+      return st;
+    }
   }
   state->shape = PersistedShape{};
   return RemoveDirectory(TableDir(name));

@@ -166,9 +166,21 @@ Result<uint64_t> ServerCatalog::SaveServerToStore(const std::string& name,
   return state->generation();
 }
 
+Status ServerCatalog::DegradedError() const {
+  uint64_t retry_after_ms = Health().retry_after_ms;
+  if (retry_after_ms == 0) retry_after_ms = EffectiveBackoffInitialMs();
+  return Status::Unavailable(
+      "store degraded (" +
+      std::to_string(
+          consecutive_store_failures_.load(std::memory_order_relaxed)) +
+      " consecutive checkpoint failures); serving reads only; retry after " +
+      std::to_string(retry_after_ms) + " ms");
+}
+
 Result<uint64_t> ServerCatalog::SaveToStore(const std::string& name,
                                             bool only_if_newer) {
   if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  if (degraded_.load(std::memory_order_relaxed)) return DegradedError();
   ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ZiggyServer> server, Find(name));
   return SaveServerToStore(name, server.get(),
                            LineageOf(name, server.get()), only_if_newer);
@@ -176,6 +188,7 @@ Result<uint64_t> ServerCatalog::SaveToStore(const std::string& name,
 
 Result<std::vector<TableSaveResult>> ServerCatalog::SaveAllToStore() {
   if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
+  if (degraded_.load(std::memory_order_relaxed)) return DegradedError();
   // Every table gets its save attempt: one broken table (bad name for the
   // store, disk trouble mid-save) must not leave the tables after it in
   // LIST order unsaved.
@@ -208,8 +221,55 @@ Status ServerCatalog::SetPersist(const std::string& name, bool on) {
 
 void ServerCatalog::MarkDirty(const std::string& name, uint64_t generation) {
   std::lock_guard<std::mutex> lock(flush_mu_);
-  uint64_t& dirty = dirty_[name];
-  dirty = std::max(dirty, generation);
+  auto [it, inserted] =
+      dirty_.try_emplace(name, DirtyEntry{generation,
+                                          std::chrono::steady_clock::now()});
+  if (!inserted) {
+    it->second.generation = std::max(it->second.generation, generation);
+  }
+}
+
+size_t ServerCatalog::EffectiveBackoffInitialMs() const {
+  if (options_.flush_backoff_initial_ms > 0) {
+    return options_.flush_backoff_initial_ms;
+  }
+  return std::max<size_t>(1, options_.flush_interval_ms * 2);
+}
+
+void ServerCatalog::NoteStoreSuccess(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    backoff_.erase(name);
+    probe_backoff_ = BackoffEntry{};
+  }
+  consecutive_store_failures_.store(0, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_relaxed);
+}
+
+void ServerCatalog::NoteStoreFailure(const std::string& name,
+                                     uint64_t generation, bool requeue) {
+  flush_failures_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t consecutive =
+      consecutive_store_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.degraded_after_failures > 0 &&
+      consecutive >= options_.degraded_after_failures) {
+    degraded_.store(true, std::memory_order_relaxed);
+  }
+  if (!requeue) return;
+  if (generation > 0) MarkDirty(name, generation);
+  // Exponential per-table backoff: the next attempt for this table (or
+  // for the degraded probe, name "") waits out initial * 2^failures,
+  // capped — a persistently failing store costs one save attempt per
+  // window, never one per interval.
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  BackoffEntry& entry = name.empty() ? probe_backoff_ : backoff_[name];
+  const uint64_t shift = std::min<uint32_t>(entry.failures, 20);
+  const uint64_t delay_ms =
+      std::min<uint64_t>(EffectiveBackoffInitialMs() << shift,
+                         options_.flush_backoff_max_ms);
+  entry.failures++;
+  entry.next_attempt =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(delay_ms);
 }
 
 size_t ServerCatalog::FlushDirty(std::map<std::string, uint64_t> batch,
@@ -225,12 +285,36 @@ size_t ServerCatalog::FlushDirty(std::map<std::string, uint64_t> batch,
     if (saved.ok()) {
       ++flushed;
       flushed_tables_.fetch_add(1, std::memory_order_relaxed);
+      NoteStoreSuccess(name);
     } else {
-      flush_failures_.fetch_add(1, std::memory_order_relaxed);
-      if (requeue_failures) MarkDirty(name, generation);
+      NoteStoreFailure(name, generation, requeue_failures);
     }
   }
   return flushed;
+}
+
+void ServerCatalog::ProbeStore() {
+  // Nothing dirty but the catalog is degraded: nothing would ever touch
+  // the store again, so the mode could never clear. Write a real
+  // checkpoint of one served table as a probe (only_if_newer=false — a
+  // generation-match skip would not prove the disk works).
+  const std::vector<CatalogTableInfo> tables = List();
+  if (tables.empty()) {
+    // No tables: nothing a save could fail on; the failing state is gone.
+    NoteStoreSuccess("");
+    return;
+  }
+  const std::string& name = tables.front().name;
+  Result<std::shared_ptr<ZiggyServer>> server = Find(name);
+  if (!server.ok()) return;  // raced with Close; try next cycle
+  Result<uint64_t> saved =
+      SaveServerToStore(name, server->get(), LineageOf(name, server->get()),
+                        /*only_if_newer=*/false);
+  if (saved.ok()) {
+    NoteStoreSuccess(name);
+  } else {
+    NoteStoreFailure("", 0, /*requeue=*/true);
+  }
 }
 
 void ServerCatalog::FlusherLoop() {
@@ -239,32 +323,54 @@ void ServerCatalog::FlusherLoop() {
   while (true) {
     flush_cv_.wait_for(lock, interval, [this] { return flusher_stop_; });
     if (flusher_stop_) return;  // StopFlusher drains what remains
-    if (dirty_.empty()) continue;
-    std::map<std::string, uint64_t> batch = std::move(dirty_);
-    dirty_.clear();
+    const auto now = std::chrono::steady_clock::now();
+    // Take only the dirty tables whose backoff window (if any) has
+    // elapsed; the rest stay queued without costing a save attempt.
+    std::map<std::string, uint64_t> batch;
+    for (const auto& [name, entry] : dirty_) {
+      const auto it = backoff_.find(name);
+      if (it != backoff_.end() && now < it->second.next_attempt) continue;
+      batch.emplace(name, entry.generation);
+    }
+    for (const auto& [name, generation] : batch) dirty_.erase(name);
+    const bool probe = batch.empty() && dirty_.empty() &&
+                       degraded_.load(std::memory_order_relaxed) &&
+                       now >= probe_backoff_.next_attempt;
+    if (batch.empty() && !probe) continue;
     lock.unlock();
-    flush_cycles_.fetch_add(1, std::memory_order_relaxed);
-    FlushDirty(std::move(batch), /*requeue_failures=*/true);
+    if (probe) {
+      ProbeStore();
+    } else {
+      flush_cycles_.fetch_add(1, std::memory_order_relaxed);
+      FlushDirty(std::move(batch), /*requeue_failures=*/true);
+    }
     lock.lock();
   }
 }
 
 void ServerCatalog::StopFlusher() {
   std::thread flusher;
-  std::map<std::string, uint64_t> remaining;
+  std::map<std::string, DirtyEntry> remaining;
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
     flusher_stop_ = true;
     flusher = std::move(flusher_);
     remaining = std::move(dirty_);
     dirty_.clear();
+    backoff_.clear();
+    probe_backoff_ = BackoffEntry{};
   }
   flush_cv_.notify_all();
   if (flusher.joinable()) flusher.join();
   // Drain: a clean shutdown must not lose appended rows to a pending
-  // flush. Failures are final here (no thread left to retry them).
+  // flush — even tables mid-backoff get their final attempt. Failures are
+  // final here (no thread left to retry them).
   if (!remaining.empty()) {
-    FlushDirty(std::move(remaining), /*requeue_failures=*/false);
+    std::map<std::string, uint64_t> batch;
+    for (const auto& [name, entry] : remaining) {
+      batch.emplace(name, entry.generation);
+    }
+    FlushDirty(std::move(batch), /*requeue_failures=*/false);
   }
 }
 
@@ -272,6 +378,10 @@ Result<uint64_t> ServerCatalog::Append(const std::string& name,
                                        const Table& rows,
                                        Status* checkpoint_status) {
   if (checkpoint_status != nullptr) *checkpoint_status = Status::OK();
+  // Degraded read-only mode: rejecting BEFORE the in-memory append keeps
+  // served state and store convergent — accepting rows we already know we
+  // cannot checkpoint would widen the loss window a crash exposes.
+  if (degraded_.load(std::memory_order_relaxed)) return DegradedError();
   ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ZiggyServer> server, Find(name));
   ZIGGY_RETURN_NOT_OK(server->Append(rows));
   const uint64_t generation = server->state()->generation();
@@ -345,8 +455,10 @@ Status ServerCatalog::Close(const std::string& name) {
     if (server != nullptr && persisted) {
       Result<uint64_t> saved = SaveServerToStore(name, server.get(), lineage,
                                                  /*only_if_newer=*/true);
+      // Success here may be an only_if_newer skip (no disk touched), so it
+      // proves nothing about a degraded store — only failures count.
       if (!saved.ok()) {
-        flush_failures_.fetch_add(1, std::memory_order_relaxed);
+        NoteStoreFailure(name, 0, /*requeue=*/false);
       }
     }
   }
@@ -412,11 +524,49 @@ CatalogStats ServerCatalog::stats() const {
     std::lock_guard<std::mutex> lock(flush_mu_);
     st.flusher_active = flusher_.joinable() && !flusher_stop_;
     st.dirty_tables = dirty_.size();
+    st.flush_backoff_tables = backoff_.size();
   }
   st.flush_cycles = flush_cycles_.load(std::memory_order_relaxed);
   st.flushed_tables = flushed_tables_.load(std::memory_order_relaxed);
   st.flush_failures = flush_failures_.load(std::memory_order_relaxed);
+  st.degraded = degraded_.load(std::memory_order_relaxed);
+  st.consecutive_store_failures =
+      consecutive_store_failures_.load(std::memory_order_relaxed);
   return st;
+}
+
+CatalogHealth ServerCatalog::Health() const {
+  CatalogHealth health;
+  health.degraded = degraded_.load(std::memory_order_relaxed);
+  health.consecutive_failures =
+      consecutive_store_failures_.load(std::memory_order_relaxed);
+  health.tables = num_tables();
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  health.dirty_tables = dirty_.size();
+  health.backoff_tables = backoff_.size();
+  for (const auto& [name, entry] : dirty_) {
+    const auto lag = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - entry.marked)
+                         .count();
+    health.flush_lag_ms =
+        std::max<uint64_t>(health.flush_lag_ms,
+                           lag > 0 ? static_cast<uint64_t>(lag) : 0);
+  }
+  if (health.degraded) {
+    // When is the next save attempt (per-table retry or store probe) due?
+    // Before that, a retried write is guaranteed another Unavailable.
+    auto soonest = probe_backoff_.next_attempt;
+    for (const auto& [name, entry] : backoff_) {
+      soonest = std::min(soonest, entry.next_attempt);
+    }
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          soonest - now)
+                          .count();
+    health.retry_after_ms =
+        wait > 0 ? static_cast<uint64_t>(wait) : EffectiveBackoffInitialMs();
+  }
+  return health;
 }
 
 size_t ServerCatalog::num_tables() const {

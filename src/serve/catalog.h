@@ -28,16 +28,25 @@
 // dedicated flusher thread wakes every interval, snapshots the dirty
 // set, and checkpoints each dirty table through the store's per-table
 // locks, so one table's long save never delays another's load or save.
-// Failed flushes re-mark the table dirty and are retried next cycle.
-// StopFlusher() (also run by Close, the destructor, and the daemon's
-// shutdown path) drains the dirty set before returning, so a *clean*
-// shutdown loses nothing; after a crash/SIGKILL, the store serves the
-// last flushed generation — the window is bounded by the interval.
+// Failed flushes re-mark the table dirty and are retried with capped
+// per-table exponential backoff (a dead disk costs one save attempt per
+// backoff window, not one per interval). StopFlusher() (also run by
+// Close, the destructor, and the daemon's shutdown path) drains the
+// dirty set before returning, so a *clean* shutdown loses nothing; after
+// a crash/SIGKILL, the store serves the last flushed generation — the
+// window is bounded by the interval.
+//
+// Degraded read-only mode: after `degraded_after_failures` consecutive
+// background-save failures the catalog stops accepting writes (Append /
+// SaveToStore return Unavailable with a retry-after hint) while reads
+// keep serving from memory. The flusher keeps probing the store (backoff
+// pace) and the mode auto-clears on the first successful save.
 
 #ifndef ZIGGY_SERVE_CATALOG_H_
 #define ZIGGY_SERVE_CATALOG_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -72,6 +81,14 @@ struct CatalogOptions {
   /// dirty and a flusher thread (started by AttachStore) checkpoints
   /// dirty tables every interval.
   size_t flush_interval_ms = 0;
+  /// First retry delay after a failed background flush of a table; doubles
+  /// per consecutive failure up to flush_backoff_max_ms. 0 = twice the
+  /// flush interval.
+  size_t flush_backoff_initial_ms = 0;
+  size_t flush_backoff_max_ms = 30000;
+  /// Consecutive background-save failures (across tables) that trip the
+  /// catalog into degraded read-only mode. 0 = never degrade.
+  size_t degraded_after_failures = 5;
   /// Delta-chain compaction policy handed to the attached store.
   StoreOptions store;
 };
@@ -118,8 +135,25 @@ struct CatalogStats {
   size_t dirty_tables = 0;        ///< awaiting their next flush
   uint64_t flush_cycles = 0;      ///< flusher wake-ups that found work
   uint64_t flushed_tables = 0;    ///< successful background checkpoints
-  uint64_t flush_failures = 0;    ///< failed attempts (retried next cycle)
+  uint64_t flush_failures = 0;    ///< failed attempts (retried with backoff)
+  size_t flush_backoff_tables = 0;  ///< tables waiting out a retry delay
+  bool degraded = false;            ///< read-only mode (store failing)
+  uint64_t consecutive_store_failures = 0;
   /// @}
+};
+
+/// \brief The HEALTH probe's view of the catalog.
+struct CatalogHealth {
+  bool degraded = false;
+  size_t tables = 0;
+  size_t dirty_tables = 0;
+  size_t backoff_tables = 0;
+  uint64_t consecutive_failures = 0;
+  /// Age of the oldest un-flushed dirty mark (0 when nothing is dirty).
+  uint64_t flush_lag_ms = 0;
+  /// While degraded: when the next store probe is due (a client retrying
+  /// a write sooner than this is guaranteed another Unavailable).
+  uint64_t retry_after_ms = 0;
 };
 
 /// \brief Thread-safe name -> ZiggyServer map with shared resources.
@@ -200,6 +234,7 @@ class ServerCatalog {
   std::vector<CatalogTableInfo> List() const;
 
   CatalogStats stats() const;
+  CatalogHealth Health() const;
   size_t num_tables() const;
 
   const std::shared_ptr<CacheBudget>& shared_budget() const {
@@ -237,6 +272,17 @@ class ServerCatalog {
   size_t FlushDirty(std::map<std::string, uint64_t> batch,
                     bool requeue_failures);
   void FlusherLoop();
+  /// Store success/failure bookkeeping for the background paths: backoff
+  /// scheduling, the consecutive-failure counter, and the degraded latch.
+  void NoteStoreSuccess(const std::string& name);
+  void NoteStoreFailure(const std::string& name, uint64_t generation,
+                        bool requeue);
+  /// While degraded with nothing dirty, writes a real checkpoint of one
+  /// served table to test whether the store recovered (clears the mode on
+  /// success; with no tables at all the mode clears trivially).
+  void ProbeStore();
+  size_t EffectiveBackoffInitialMs() const;
+  Status DegradedError() const;
 
   CatalogOptions options_;
   std::shared_ptr<CacheBudget> shared_budget_;
@@ -253,14 +299,30 @@ class ServerCatalog {
 
   /// \name Flusher state.
   /// @{
+  struct DirtyEntry {
+    uint64_t generation = 0;
+    /// When the table FIRST went dirty (survives generation bumps), so
+    /// Health() can report how far durability is lagging.
+    std::chrono::steady_clock::time_point marked;
+  };
+  struct BackoffEntry {
+    uint32_t failures = 0;
+    std::chrono::steady_clock::time_point next_attempt;
+  };
   mutable std::mutex flush_mu_;
   std::condition_variable flush_cv_;
-  std::map<std::string, uint64_t> dirty_;  ///< name -> newest dirty generation
+  std::map<std::string, DirtyEntry> dirty_;
+  /// Tables (plus the degraded-probe pseudo-entry) waiting out a retry
+  /// delay after failed saves; erased on the first success.
+  std::map<std::string, BackoffEntry> backoff_;
+  BackoffEntry probe_backoff_;
   bool flusher_stop_ = false;
   std::thread flusher_;
   std::atomic<uint64_t> flush_cycles_{0};
   std::atomic<uint64_t> flushed_tables_{0};
   std::atomic<uint64_t> flush_failures_{0};
+  std::atomic<uint64_t> consecutive_store_failures_{0};
+  std::atomic<bool> degraded_{false};
   /// @}
 };
 

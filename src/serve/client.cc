@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "engine/json.h"
@@ -15,15 +18,44 @@
 namespace ziggy {
 
 ZiggyClient::ZiggyClient(ZiggyClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), reader_(std::move(other.reader_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      reader_(std::move(other.reader_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      retry_(other.retry_),
+      retries_(other.retries_) {}
 
 ZiggyClient& ZiggyClient::operator=(ZiggyClient&& other) noexcept {
   if (this != &other) {
     Disconnect();
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    retry_ = other.retry_;
+    retries_ = other.retries_;
   }
   return *this;
+}
+
+bool ZiggyClient::IsIdempotent(Verb verb) {
+  switch (verb) {
+    case Verb::kOpen:  // re-OPEN of a served table is AlreadyExists, an
+                       // ERR reply — retry never double-applies it
+    case Verb::kList:
+    case Verb::kCharacterize:
+    case Verb::kViews:
+    case Verb::kStats:
+    case Verb::kHealth:
+      return true;
+    case Verb::kAppend:
+    case Verb::kSave:
+    case Verb::kPersist:
+    case Verb::kClose:
+    case Verb::kQuit:
+      return false;
+  }
+  return false;
 }
 
 Status ZiggyClient::Connect(const std::string& host, uint16_t port) {
@@ -48,6 +80,8 @@ Status ZiggyClient::Connect(const std::string& host, uint16_t port) {
   }
   fd_ = fd;
   reader_ = LineReader(kMaxResponseBytes);
+  host_ = host;
+  port_ = port;
   return Status::OK();
 }
 
@@ -63,26 +97,54 @@ Result<WireResponse> ZiggyClient::CallRaw(const WireRequest& request) {
   // non-tail argument) would split or shift on the wire and desync the
   // strict request/response stream — reject it before sending anything.
   ZIGGY_RETURN_NOT_OK(LineProtocol::ValidateRequest(request));
-  return CallLine(LineProtocol::SerializeRequest(request));
+  const std::string line = LineProtocol::SerializeRequest(request);
+
+  Result<WireResponse> result = CallLineOnce(line);
+  if (result.ok() || !retry_.enabled || !IsIdempotent(request.verb) ||
+      host_.empty()) {
+    return result;
+  }
+  // Transport failure on an idempotent verb: reconnect and re-send with
+  // capped exponential backoff. ERR replies never reach this path — they
+  // are delivered responses (result.ok() above covers them).
+  uint32_t backoff_ms = retry_.initial_backoff_ms;
+  for (uint32_t attempt = 1; attempt < retry_.max_attempts; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, retry_.max_backoff_ms);
+    if (fd_ < 0) {
+      Status st = Connect(host_, port_);
+      if (!st.ok()) {
+        result = st;
+        continue;  // daemon may still be coming back; keep backing off
+      }
+    }
+    retries_++;
+    result = CallLineOnce(line);
+    if (result.ok()) return result;
+  }
+  return result;
 }
 
 Result<WireResponse> ZiggyClient::CallLine(std::string line) {
-  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   if (line.empty() || line.back() != '\n') line += '\n';
+  return CallLineOnce(line);
+}
+
+Result<WireResponse> ZiggyClient::CallLineOnce(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   if (!SendAll(fd_, line)) {
     Disconnect();
     return Status::IOError("send: connection lost");
   }
   for (;;) {
-    Result<std::optional<std::string>> line = reader_.Next();
-    if (!line.ok()) {
+    Result<std::optional<std::string>> next = reader_.Next();
+    if (!next.ok()) {
       Disconnect();
-      return line.status();
+      return next.status();
     }
-    if (line->has_value()) return LineProtocol::ParseResponse(**line);
+    if (next->has_value()) return LineProtocol::ParseResponse(**next);
     char buffer[4096];
-    const ssize_t n = recv(fd_, buffer, sizeof(buffer), 0);
-    if (n < 0 && errno == EINTR) continue;
+    const ssize_t n = RecvSome(fd_, buffer, sizeof(buffer));
     if (n <= 0) {
       Disconnect();
       return Status::IOError("connection closed mid-response");
@@ -145,6 +207,10 @@ Result<std::string> ZiggyClient::Persist(const std::string& table, bool on) {
 
 Result<std::string> ZiggyClient::CloseTable(const std::string& table) {
   return Call(WireRequest{Verb::kClose, {table}});
+}
+
+Result<std::string> ZiggyClient::Health() {
+  return Call(WireRequest{Verb::kHealth, {}});
 }
 
 Status ZiggyClient::Quit() {

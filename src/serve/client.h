@@ -18,6 +18,20 @@
 
 namespace ziggy {
 
+/// \brief Automatic retry of *idempotent* verbs on transport failure.
+///
+/// Retries cover send/recv errors, EOF mid-response, and reconnection —
+/// never server ERR replies (those reached the server and came back; the
+/// caller decides). Verbs with side effects per invocation (APPEND, SAVE,
+/// PERSIST, CLOSE, QUIT) are never retried: a lost response leaves the
+/// operation's fate unknown, so the error must surface.
+struct RetryPolicy {
+  bool enabled = true;
+  uint32_t max_attempts = 4;        ///< total tries, including the first
+  uint32_t initial_backoff_ms = 10;  ///< doubles per retry, capped below
+  uint32_t max_backoff_ms = 500;
+};
+
 /// \brief Blocking TCP client of the Ziggy line protocol.
 class ZiggyClient {
  public:
@@ -36,13 +50,16 @@ class ZiggyClient {
 
   /// Sends one request and blocks for its response line. A transport
   /// failure (send/recv error, EOF mid-response) disconnects the client
-  /// and returns IOError. An ERR response is returned as an *error
-  /// Status* carrying the server's code and message — so callers handle
-  /// wire errors and local errors identically; use CallRaw when the
-  /// distinction matters.
+  /// and — for idempotent verbs under the RetryPolicy — reconnects and
+  /// retries with capped exponential backoff before giving up with
+  /// IOError. An ERR response is returned as an *error Status* carrying
+  /// the server's code and message — so callers handle wire errors and
+  /// local errors identically; use CallRaw when the distinction matters.
   Result<std::string> Call(const WireRequest& request);
 
   /// Like Call, but hands back the WireResponse (ok or ERR) untranslated.
+  /// Retry happens at this layer: an ERR reply is a *delivered* response
+  /// and is never retried.
   Result<WireResponse> CallRaw(const WireRequest& request);
 
   /// Sends one raw protocol line verbatim (a newline is appended when
@@ -67,8 +84,18 @@ class ZiggyClient {
   /// Toggles checkpoint-on-append for a table.
   Result<std::string> Persist(const std::string& table, bool on);
   Result<std::string> CloseTable(const std::string& table);
+  /// The daemon's health probe: {"status":"ok|degraded", ...} JSON.
+  Result<std::string> Health();
   Status Quit();
   /// @}
+
+  /// True for verbs safe to re-send after an ambiguous transport failure.
+  static bool IsIdempotent(Verb verb);
+
+  RetryPolicy& retry_policy() { return retry_; }
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  /// Transport-level retries performed since construction.
+  uint64_t retries() const { return retries_; }
 
   /// Response-line ceiling. Larger than the request-side default: a
   /// CHARACTERIZE over a very wide table can legitimately produce a
@@ -76,8 +103,17 @@ class ZiggyClient {
   static constexpr size_t kMaxResponseBytes = 64ull << 20;
 
  private:
+  /// One send+receive over the current connection, no retry.
+  Result<WireResponse> CallLineOnce(const std::string& line);
+
   int fd_ = -1;
   LineReader reader_ = LineReader(kMaxResponseBytes);
+  /// Last successful Connect() target; empty host = never connected, so
+  /// nothing to reconnect to.
+  std::string host_;
+  uint16_t port_ = 0;
+  RetryPolicy retry_;
+  uint64_t retries_ = 0;
 };
 
 }  // namespace ziggy

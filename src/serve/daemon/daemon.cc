@@ -6,13 +6,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <sstream>
 
 #include "serve/wire_io.h"
 
 namespace ziggy {
 
 Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
+  // MSG_NOSIGNAL guards our own send() calls, but not every write path to
+  // a vanished peer — a serving process must never die to SIGPIPE.
+  IgnoreSigPipe();
   auto daemon = std::unique_ptr<ZiggyDaemon>(new ZiggyDaemon(std::move(options)));
 
   if (!daemon->options_.store_dir.empty()) {
@@ -111,7 +116,22 @@ void ZiggyDaemon::AcceptLoop() {
   for (;;) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion is a load spike, not a reason to stop
+        // serving: existing connections will finish and free fds. Sleep a
+        // beat (never a busy loop) and try again. Reap BEFORE sleeping:
+        // finished connections are normally reaped on the next successful
+        // accept, but if every fd belongs to an already-dead connection
+        // that accept never comes — reaping here is what breaks the
+        // live-lock.
+        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        ReapConnections();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       return;  // listener closed by Stop(), or fatal — either way we're done
     }
     if (stopping_.load(std::memory_order_relaxed)) {
@@ -122,9 +142,11 @@ void ZiggyDaemon::AcceptLoop() {
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
       if (connections_.size() >= options_.max_connections) {
+        // Graceful shed: tell the client why before closing, so its
+        // backoff logic sees Unavailable rather than a bare RST.
         connections_rejected_.fetch_add(1, std::memory_order_relaxed);
         SendAll(fd, LineProtocol::SerializeResponse(WireResponse::Error(
-                        Status::FailedPrecondition("too many connections"))));
+                        Status::Unavailable("too many connections"))));
         close(fd);
         continue;
       }
@@ -140,6 +162,18 @@ void ZiggyDaemon::AcceptLoop() {
 
 void ZiggyDaemon::ServeConnection(Connection* connection) {
   DaemonHandler handler(&catalog_);
+  handler.set_connection_stats_json([this] {
+    const DaemonStats st = stats();
+    std::ostringstream os;
+    os << "{\"accepted\":" << st.connections_accepted
+       << ",\"rejected\":" << st.connections_rejected
+       << ",\"timed_out\":" << st.connections_timed_out
+       << ",\"live\":" << st.live_connections
+       << ",\"accept_retries\":" << st.accept_retries
+       << ",\"requests\":" << st.requests_handled
+       << ",\"protocol_errors\":" << st.protocol_errors << "}";
+    return os.str();
+  });
   LineReader reader(options_.max_line_bytes);
   if (options_.request_timeout_ms > 0) {
     timeval tv{};
@@ -151,8 +185,7 @@ void ZiggyDaemon::ServeConnection(Connection* connection) {
   char buffer[4096];
   bool alive = true;
   while (alive && !stopping_.load(std::memory_order_relaxed)) {
-    const ssize_t n = recv(connection->fd, buffer, sizeof(buffer), 0);
-    if (n < 0 && errno == EINTR) continue;
+    const ssize_t n = RecvSome(connection->fd, buffer, sizeof(buffer));
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // SO_RCVTIMEO expired: the peer sent nothing (or stalled mid-line)
       // for request_timeout_ms. Tell it why (best effort) and free the
@@ -211,6 +244,7 @@ DaemonStats ZiggyDaemon::stats() const {
       connections_timed_out_.load(std::memory_order_relaxed);
   st.requests_handled = requests_handled_.load(std::memory_order_relaxed);
   st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  st.accept_retries = accept_retries_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     st.live_connections = connections_.size();

@@ -54,6 +54,9 @@ struct DaemonStats {
   uint64_t requests_handled = 0;
   uint64_t protocol_errors = 0;
   size_t live_connections = 0;
+  /// Transient accept(2) failures (EMFILE/ENFILE/ENOBUFS/ECONNABORTED)
+  /// survived by sleep-and-retry instead of killing the accept loop.
+  uint64_t accept_retries = 0;
 };
 
 /// \brief The serving process: listener + connection threads + catalog.
@@ -110,6 +113,7 @@ class ZiggyDaemon {
   std::atomic<uint64_t> connections_timed_out_{0};
   std::atomic<uint64_t> requests_handled_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> accept_retries_{0};
 };
 
 }  // namespace ziggy

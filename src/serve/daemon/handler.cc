@@ -67,7 +67,10 @@ std::string CatalogStatsJson(const CatalogStats& st) {
      << ",\"dirty_tables\":" << st.dirty_tables
      << ",\"cycles\":" << st.flush_cycles
      << ",\"flushed_tables\":" << st.flushed_tables
-     << ",\"failures\":" << st.flush_failures << "}}";
+     << ",\"failures\":" << st.flush_failures
+     << ",\"backoff_tables\":" << st.flush_backoff_tables
+     << ",\"degraded\":" << (st.degraded ? "true" : "false")
+     << ",\"consecutive_failures\":" << st.consecutive_store_failures << "}}";
   return os.str();
 }
 
@@ -146,6 +149,8 @@ WireResponse DaemonHandler::Handle(const WireRequest& request) {
       return HandlePersist(request);
     case Verb::kClose:
       return HandleClose(request);
+    case Verb::kHealth:
+      return HandleHealth();
     case Verb::kQuit:
       quit_requested_ = true;
       return WireResponse::Ok("{\"bye\":true}");
@@ -243,7 +248,14 @@ WireResponse DaemonHandler::HandleAppend(const WireRequest& request) {
 
 WireResponse DaemonHandler::HandleStats(const WireRequest& request) {
   if (request.args.empty()) {
-    return WireResponse::Ok(CatalogStatsJson(catalog_->stats()));
+    std::string json = CatalogStatsJson(catalog_->stats());
+    if (connection_stats_json_) {
+      // Splice the daemon's connection counters into the catalog object
+      // (drop the closing brace, append the extra key).
+      json.pop_back();
+      json += ",\"connections\":" + connection_stats_json_() + "}";
+    }
+    return WireResponse::Ok(std::move(json));
   }
   Result<std::shared_ptr<ZiggyServer>> server = catalog_->Find(request.args[0]);
   if (!server.ok()) return WireResponse::Error(server.status());
@@ -306,6 +318,23 @@ WireResponse DaemonHandler::HandlePersist(const WireRequest& request) {
   if (!st.ok()) return WireResponse::Error(st);
   return WireResponse::Ok("{\"table\":\"" + JsonEscape(name) +
                           "\",\"persist\":" + (on ? "true" : "false") + "}");
+}
+
+WireResponse DaemonHandler::HandleHealth() {
+  const CatalogHealth health = catalog_->Health();
+  std::ostringstream os;
+  os << "{\"status\":\"" << (health.degraded ? "degraded" : "ok")
+     << "\",\"tables\":" << health.tables
+     << ",\"dirty_tables\":" << health.dirty_tables
+     << ",\"flush_backoff_tables\":" << health.backoff_tables
+     << ",\"consecutive_failures\":" << health.consecutive_failures
+     << ",\"flush_lag_ms\":" << health.flush_lag_ms
+     << ",\"retry_after_ms\":" << health.retry_after_ms;
+  if (connection_stats_json_) {
+    os << ",\"connections\":" << connection_stats_json_();
+  }
+  os << "}";
+  return WireResponse::Ok(os.str());
 }
 
 WireResponse DaemonHandler::HandleClose(const WireRequest& request) {

@@ -22,6 +22,7 @@
 #define ZIGGY_SERVE_DAEMON_HANDLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -52,6 +53,14 @@ class DaemonHandler {
   /// True once a QUIT verb was handled; the connection should stop reading.
   bool quit_requested() const { return quit_requested_; }
 
+  /// Installs the daemon's connection-counter provider: a callback that
+  /// renders one JSON object (accepted/rejected/live/...). When set, the
+  /// object is embedded as "connections" in STATS and HEALTH replies. The
+  /// handler is socket-free, so daemon-level state arrives this way.
+  void set_connection_stats_json(std::function<std::string()> fn) {
+    connection_stats_json_ = std::move(fn);
+  }
+
   /// Closes every session this connection opened (idempotent; also run by
   /// the destructor).
   void CloseAllSessions();
@@ -75,9 +84,11 @@ class DaemonHandler {
   WireResponse HandleSave(const WireRequest& request);
   WireResponse HandlePersist(const WireRequest& request);
   WireResponse HandleClose(const WireRequest& request);
+  WireResponse HandleHealth();
 
   ServerCatalog* catalog_;
   std::map<std::string, BoundSession> sessions_;
+  std::function<std::string()> connection_stats_json_;
   bool quit_requested_ = false;
 };
 

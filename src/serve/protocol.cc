@@ -19,7 +19,7 @@ struct VerbSpec {
   bool trailing_joined;
 };
 
-constexpr std::array<VerbSpec, 10> kVerbs = {{
+constexpr std::array<VerbSpec, 11> kVerbs = {{
     {Verb::kOpen, "OPEN", 2, 2, true},
     {Verb::kList, "LIST", 0, 0, false},
     {Verb::kCharacterize, "CHARACTERIZE", 2, 2, true},
@@ -29,6 +29,7 @@ constexpr std::array<VerbSpec, 10> kVerbs = {{
     {Verb::kSave, "SAVE", 0, 1, false},
     {Verb::kPersist, "PERSIST", 2, 2, false},
     {Verb::kClose, "CLOSE", 1, 1, false},
+    {Verb::kHealth, "HEALTH", 0, 0, false},
     {Verb::kQuit, "QUIT", 0, 0, false},
 }};
 
@@ -56,13 +57,13 @@ std::string_view PopToken(std::string_view* rest) {
 }
 
 Result<StatusCode> StatusCodeFromString(std::string_view token) {
-  static constexpr std::array<StatusCode, 11> kCodes = {
+  static constexpr std::array<StatusCode, 12> kCodes = {
       StatusCode::kOk,           StatusCode::kInvalidArgument,
       StatusCode::kNotFound,     StatusCode::kAlreadyExists,
       StatusCode::kOutOfRange,   StatusCode::kFailedPrecondition,
       StatusCode::kUnimplemented, StatusCode::kIOError,
       StatusCode::kParseError,   StatusCode::kTypeMismatch,
-      StatusCode::kInternal,
+      StatusCode::kInternal,     StatusCode::kUnavailable,
   };
   for (StatusCode code : kCodes) {
     if (token == StatusCodeToString(code)) return code;

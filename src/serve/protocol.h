@@ -21,6 +21,8 @@
 //     PERSIST <table> <on|off>     toggle checkpoint-on-append for a table
 //     CLOSE <table>                stop serving a table (its checkpoint,
 //                                  if any, stays in the store)
+//     HEALTH                       liveness/readiness probe: ok|degraded,
+//                                  dirty tables, flush lag, connections
 //     QUIT                         end the connection
 //
 // Response line:  OK <json>\n  |  ERR <Code> <json-escaped message>\n
@@ -56,6 +58,7 @@ enum class Verb {
   kSave,
   kPersist,
   kClose,
+  kHealth,
   kQuit,
 };
 

@@ -2,15 +2,23 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <csignal>
+
+#include "common/fault.h"
 
 namespace ziggy {
 
-bool SendAll(int fd, std::string_view data) {
+namespace {
+
+// The real send loop, shared by the clean path and the injected-EOF path
+// (which delivers a truncated prefix before failing).
+bool SendLoop(int fd, std::string_view data, size_t max_chunk) {
   size_t sent = 0;
   while (sent < data.size()) {
-    const ssize_t n =
-        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    const size_t want = std::min(data.size() - sent, max_chunk);
+    const ssize_t n = send(fd, data.data() + sent, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -19,5 +27,54 @@ bool SendAll(int fd, std::string_view data) {
   }
   return true;
 }
+
+}  // namespace
+
+bool SendAll(int fd, std::string_view data) {
+  size_t max_chunk = data.size() > 0 ? data.size() : 1;
+  if (std::optional<FaultAction> f = fault::Hit("wire.send")) {
+    switch (f->kind) {
+      case FaultAction::Kind::kError:
+        errno = f->err != 0 ? f->err : EPIPE;
+        return false;
+      case FaultAction::Kind::kShort:
+        max_chunk = 1;  // degrade to byte-at-a-time; must still succeed
+        break;
+      case FaultAction::Kind::kEof:
+        // Deliver a truncated prefix, then report the peer gone: the
+        // other end sees a half-written line followed by our close.
+        (void)SendLoop(fd, data.substr(0, data.size() / 2), max_chunk);
+        errno = EPIPE;
+        return false;
+      case FaultAction::Kind::kEintr:
+        break;  // the loop below is EINTR-proof by construction
+    }
+  }
+  return SendLoop(fd, data, max_chunk);
+}
+
+ssize_t RecvSome(int fd, char* buf, size_t len) {
+  if (std::optional<FaultAction> f = fault::Hit("wire.recv")) {
+    switch (f->kind) {
+      case FaultAction::Kind::kError:
+        errno = f->err != 0 ? f->err : ECONNRESET;
+        return -1;
+      case FaultAction::Kind::kShort:
+        len = len > 0 ? 1 : 0;  // force the caller's reassembly loop
+        break;
+      case FaultAction::Kind::kEof:
+        return 0;  // peer vanished mid-response
+      case FaultAction::Kind::kEintr:
+        break;
+    }
+  }
+  while (true) {
+    const ssize_t n = recv(fd, buf, len, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+void IgnoreSigPipe() { std::signal(SIGPIPE, SIG_IGN); }
 
 }  // namespace ziggy

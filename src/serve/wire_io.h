@@ -1,9 +1,12 @@
-// Shared POSIX socket write helper of the wire layer. One implementation
-// of the EINTR-safe partial-send loop, used by both ends of the protocol
-// (ZiggyDaemon's connection threads and ZiggyClient).
+// Shared POSIX socket helpers of the wire layer. One implementation of
+// the EINTR-safe partial-send and recv loops, used by both ends of the
+// protocol (ZiggyDaemon's connection threads and ZiggyClient), plus the
+// wire-level fault-injection sites ("wire.send" / "wire.recv").
 
 #ifndef ZIGGY_SERVE_WIRE_IO_H_
 #define ZIGGY_SERVE_WIRE_IO_H_
+
+#include <sys/types.h>
 
 #include <string_view>
 
@@ -14,6 +17,17 @@ namespace ziggy {
 /// false return, never a process-wide SIGPIPE. Returns false when the
 /// peer is gone (any non-EINTR error).
 bool SendAll(int fd, std::string_view data);
+
+/// \brief Reads up to `len` bytes from `fd` with recv(2), retrying on
+/// EINTR. Returns the byte count, 0 on orderly EOF, or -1 with errno set
+/// (EAGAIN/EWOULDBLOCK pass through so callers can implement timeouts).
+ssize_t RecvSome(int fd, char* buf, size_t len);
+
+/// \brief Sets SIGPIPE to SIG_IGN process-wide. MSG_NOSIGNAL covers our
+/// own send() calls but not every path (e.g. stdlib writes to a dead
+/// pipe), so long-lived processes holding sockets call this once at
+/// startup. Idempotent.
+void IgnoreSigPipe();
 
 }  // namespace ziggy
 

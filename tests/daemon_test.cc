@@ -14,9 +14,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -614,6 +620,10 @@ TEST_F(DaemonTcpTest, SilentConnectionIsTimedOutAndFreed) {
   StartDaemon(std::move(options));
 
   ZiggyClient idle;
+  // Pin the raw single-attempt path: with retries on, the client would
+  // transparently reconnect after the timeout disconnect (that behavior
+  // has its own test below) and this test wants to see the raw failure.
+  idle.set_retry_policy({/*enabled=*/false});
   ASSERT_TRUE(Connect(&idle).ok());
   // Active traffic inside the window is unaffected.
   ASSERT_TRUE(idle.List().ok());
@@ -642,8 +652,181 @@ TEST_F(DaemonTcpTest, StopUnblocksLiveConnections) {
   ASSERT_TRUE(client.List().ok());
   daemon_->Stop();
   // The daemon closed the socket: the next call fails cleanly instead of
-  // hanging.
+  // hanging (the idempotent-retry reconnects also fail — nothing listens).
   EXPECT_FALSE(client.List().ok());
+}
+
+// ----------------------------------------------------------- resilience --
+
+TEST_F(DaemonTcpTest, HealthVerbReportsOkOverTheWire) {
+  StartDaemon();
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_TRUE(client.Open("box", "demo://boxoffice?seed=7").ok());
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_NE(health->find("\"status\":\"ok\""), std::string::npos) << *health;
+  EXPECT_NE(health->find("\"tables\":1"), std::string::npos) << *health;
+  EXPECT_NE(health->find("\"consecutive_failures\":0"), std::string::npos);
+  // Over TCP the probe also carries the daemon's connection counters.
+  EXPECT_NE(health->find("\"connections\":{\"accepted\":"), std::string::npos)
+      << *health;
+
+  // HEALTH takes no arguments.
+  auto bad = client.CallLine("HEALTH now");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ok);
+}
+
+// A peer that disappears mid-response (RST, not FIN) must cost the daemon
+// nothing but the connection: no SIGPIPE death, and fresh clients keep
+// being served. Regression for the signal(SIGPIPE, SIG_IGN) hardening.
+TEST_F(DaemonTcpTest, VanishedPeerMidResponseDoesNotKillTheDaemon) {
+  StartDaemon();
+  {
+    ZiggyClient setup;
+    ASSERT_TRUE(Connect(&setup).ok());
+    ASSERT_TRUE(setup.Open("box", "demo://boxoffice?seed=7").ok());
+  }
+  for (int round = 0; round < 3; ++round) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(daemon_->port());
+    ASSERT_EQ(inet_pton(AF_INET, daemon_->host().c_str(), &addr.sin_addr), 1);
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    // Ask for a large response, then vanish with an RST before reading a
+    // byte of it: the daemon's send() hits a reset stream.
+    const std::string request =
+        "VIEWS box " + std::string(kBoxofficePredicate) + "\n";
+    ASSERT_EQ(send(fd, request.data(), request.size(), 0),
+              static_cast<ssize_t>(request.size()));
+    linger hard{1, 0};
+    (void)setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    close(fd);
+  }
+  // The daemon is alive and still serving golden bytes.
+  ZiggyClient fresh;
+  ASSERT_TRUE(Connect(&fresh).ok());
+  auto report = fresh.Views("box", kBoxofficePredicate);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string golden = ReadFileOrDie(
+      std::string(ZIGGY_SOURCE_DIR) + "/tests/golden/boxoffice_views.golden");
+  EXPECT_EQ(*report, golden);
+}
+
+// ------------------------------------------------------- client retries --
+
+/// A hand-rolled one-shot TCP server: hangs up on the first connection
+/// after reading the request (an ambiguous transport failure from the
+/// client's point of view), then answers the second properly. Lets the
+/// retry tests script the exact failure the real daemon can't produce on
+/// demand.
+class FlakyServer {
+ public:
+  FlakyServer() {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(
+        bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(listen(listen_fd_, 4), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port_ = ntohs(addr.sin_port);
+  }
+
+  ~FlakyServer() {
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) close(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+  /// Connection 1: read the request, close without replying. Connection 2
+  /// (if `then_answer`): read the request, reply `response`.
+  void Run(bool then_answer, std::string response) {
+    thread_ = std::thread([this, then_answer, response = std::move(response)] {
+      const int c1 = accept(listen_fd_, nullptr, nullptr);
+      if (c1 >= 0) {
+        char buf[512];
+        (void)!recv(c1, buf, sizeof(buf), 0);
+        close(c1);
+      }
+      if (!then_answer) return;
+      const int c2 = accept(listen_fd_, nullptr, nullptr);
+      if (c2 >= 0) {
+        char buf[512];
+        (void)!recv(c2, buf, sizeof(buf), 0);
+        (void)!send(c2, response.data(), response.size(), MSG_NOSIGNAL);
+        close(c2);
+      }
+    });
+  }
+
+ private:
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+TEST(ZiggyClientRetryTest, IdempotentVerbRetriesReconnectsAndSucceeds) {
+  FlakyServer server;
+  server.Run(/*then_answer=*/true, "OK {\"tables\":[]}\n");
+
+  ZiggyClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  auto list = client.List();  // LIST is idempotent: retried transparently
+  ASSERT_TRUE(list.ok()) << list.status();
+  EXPECT_EQ(*list, "{\"tables\":[]}");
+  EXPECT_EQ(client.retries(), 1u);
+}
+
+TEST(ZiggyClientRetryTest, NonIdempotentVerbSurfacesTheFailureUnretried) {
+  FlakyServer server;
+  server.Run(/*then_answer=*/false, "");
+
+  ZiggyClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // APPEND may or may not have been applied by the vanished server — the
+  // client must NOT guess. The error surfaces on the first failure.
+  auto append = client.Append("box", "/tmp/rows.csv");
+  EXPECT_FALSE(append.ok());
+  EXPECT_EQ(client.retries(), 0u);
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(ZiggyClientRetryTest, DisabledPolicySurfacesTransportErrors) {
+  FlakyServer server;
+  server.Run(/*then_answer=*/false, "");
+
+  ZiggyClient client;
+  client.set_retry_policy({/*enabled=*/false});
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_FALSE(client.List().ok());
+  EXPECT_EQ(client.retries(), 0u);
+}
+
+TEST(ZiggyClientRetryTest, IdempotenceClassification) {
+  // Reads (and the re-openable OPEN) retry; anything whose replay could
+  // apply a side effect twice does not.
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kOpen));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kList));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kCharacterize));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kViews));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kStats));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kHealth));
+  EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kAppend));
+  EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kSave));
+  EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kPersist));
+  EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kClose));
+  EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kQuit));
 }
 
 // ------------------------------------------------------- CI e2e fixtures --

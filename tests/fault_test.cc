@@ -1,0 +1,158 @@
+// FaultInjector tests: spec parsing, trigger semantics (probability /
+// every-Nth / after-N), max_fires auto-disarm, seed determinism, and the
+// disarmed fast path. The injector is process-global state, so every test
+// resets it on entry and exit.
+
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <string>
+#include <vector>
+
+namespace ziggy {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultTest, DisarmedIsInvisible) {
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_FALSE(fault::Hit("fs.write").has_value());
+  EXPECT_TRUE(fault::Check("fs.write").ok());
+  // An un-armed evaluation through the guard records nothing.
+  EXPECT_TRUE(FaultInjector::Global().SiteStats().empty());
+}
+
+TEST_F(FaultTest, EveryNthFiresOnSchedule) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:n3#EIO").ok());
+  EXPECT_TRUE(fault::Armed());
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(fault::Hit("t.a").has_value());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FaultTest, AfterNFiresEveryHitPastThreshold) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:a2").ok());
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) fired.push_back(fault::Hit("t.a").has_value());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST_F(FaultTest, MaxFiresExhaustsAndDisarms) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:n1*2#ENOSPC").ok());
+  EXPECT_TRUE(fault::Hit("t.a").has_value());
+  EXPECT_TRUE(fault::Hit("t.a").has_value());
+  // Exhausted: the rule disarmed itself and the fast path is restored.
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_FALSE(fault::Hit("t.a").has_value());
+  const auto stats = FaultInjector::Global().SiteStats();
+  ASSERT_EQ(stats.count("t.a"), 1u);
+  EXPECT_EQ(stats.at("t.a").fires, 2u);
+  // The counters survived the rule's removal (hits includes only armed
+  // evaluations: the third went through the disarmed fast path).
+  EXPECT_EQ(stats.at("t.a").hits, 2u);
+}
+
+TEST_F(FaultTest, ActionsDecodeToKindsAndErrnos) {
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Arm("e.err:n1#ENOSPC,e.short:n1#short,e.eof:n1#eof,"
+                       "e.eintr:n1#eintr,e.default:n1")
+                  .ok());
+  auto err = fault::Hit("e.err");
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, FaultAction::Kind::kError);
+  EXPECT_EQ(err->err, ENOSPC);
+  EXPECT_EQ(fault::Hit("e.short")->kind, FaultAction::Kind::kShort);
+  EXPECT_EQ(fault::Hit("e.eof")->kind, FaultAction::Kind::kEof);
+  EXPECT_EQ(fault::Hit("e.eintr")->kind, FaultAction::Kind::kEintr);
+  auto dflt = fault::Hit("e.default");
+  ASSERT_TRUE(dflt.has_value());
+  EXPECT_EQ(dflt->kind, FaultAction::Kind::kError);
+  EXPECT_EQ(dflt->err, EIO);
+}
+
+TEST_F(FaultTest, CheckNamesTheSite) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("fs.fsync:n1#EIO").ok());
+  Status st = fault::Check("fs.fsync");
+  EXPECT_TRUE(st.IsIOError());
+  EXPECT_NE(st.message().find("fs.fsync"), std::string::npos);
+}
+
+TEST_F(FaultTest, MalformedSpecsArmNothing) {
+  FaultInjector& injector = FaultInjector::Global();
+  for (const char* bad :
+       {"nocolon", ":n1", "s:x5", "s:p1.5", "s:pzap", "s:n0", "s:n1*0",
+        "s:n1*-1", "s:n1#EWHATEVER", "s:"}) {
+    EXPECT_FALSE(injector.Arm(bad).ok()) << bad;
+    EXPECT_FALSE(fault::Armed()) << bad;
+  }
+  // One bad entry poisons the whole spec — nothing from it arms.
+  EXPECT_FALSE(injector.Arm("ok.site:n2#EIO,s:x5").ok());
+  EXPECT_FALSE(fault::Armed());
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicUnderSeed) {
+  FaultInjector& injector = FaultInjector::Global();
+  auto schedule = [&](uint64_t seed) {
+    injector.Reset();
+    injector.SetSeed(seed);
+    EXPECT_TRUE(injector.Arm("p.site:p0.3").ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(fault::Hit("p.site").has_value());
+    }
+    return fired;
+  };
+  const std::vector<bool> a = schedule(42);
+  const std::vector<bool> b = schedule(42);
+  const std::vector<bool> c = schedule(43);
+  EXPECT_EQ(a, b);       // same seed, same schedule
+  EXPECT_NE(a, c);       // different seed, different schedule
+  const size_t fires =
+      static_cast<size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 30u);  // p=0.3 over 200 hits: ~60 expected
+  EXPECT_LT(fires, 100u);
+}
+
+TEST_F(FaultTest, SitesAreIndependentStreams) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.SetSeed(7);
+  ASSERT_TRUE(injector.Arm("sa:p0.5,sb:p0.5").ok());
+  std::vector<bool> a, b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back(fault::Hit("sa").has_value());
+    b.push_back(fault::Hit("sb").has_value());
+  }
+  // Same trigger, same seed — but the site name is mixed into the RNG, so
+  // the two schedules diverge.
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FaultTest, RearmReplacesTheRule) {
+  FaultInjector& injector = FaultInjector::Global();
+  ASSERT_TRUE(injector.Arm("t.a:n1#EIO").ok());
+  ASSERT_TRUE(injector.Arm("t.a:n2#ENOSPC").ok());
+  EXPECT_FALSE(fault::Hit("t.a").has_value());  // n2: first hit passes
+  auto action = fault::Hit("t.a");
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(action->err, ENOSPC);
+}
+
+TEST_F(FaultTest, ResetClearsEverything) {
+  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:n1,t.b:n1").ok());
+  (void)fault::Hit("t.a");
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_TRUE(FaultInjector::Global().SiteStats().empty());
+  EXPECT_EQ(FaultInjector::Global().total_fires(), 0u);
+}
+
+}  // namespace
+}  // namespace ziggy

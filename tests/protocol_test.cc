@@ -23,7 +23,7 @@ Result<WireRequest> Parse(const std::string& line) {
 TEST(VerbTest, RoundTripsEveryVerb) {
   for (Verb verb : {Verb::kOpen, Verb::kList, Verb::kCharacterize, Verb::kViews,
                     Verb::kAppend, Verb::kStats, Verb::kSave, Verb::kPersist,
-                    Verb::kClose, Verb::kQuit}) {
+                    Verb::kClose, Verb::kHealth, Verb::kQuit}) {
     Result<Verb> parsed = VerbFromString(VerbToString(verb));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, verb);

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "data/synthetic.h"
 #include "engine/report.h"
 #include "persist/fs_util.h"
@@ -934,6 +935,256 @@ TEST(CatalogFlusherTest, CloseDrainsThePendingFlushFirst) {
   // Close flushed the pending generation before unpublishing the name.
   EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 1u);
   EXPECT_EQ(catalog.stats().dirty_tables, 0u);
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// ------------------------------------------------- injected store faults ----
+
+/// The sites a checkpoint crosses, each with a first-hit fault: the store's
+/// section writer (every table/profile/sketch codec funnels through it),
+/// the atomic whole-file writer (the manifest), and the commit trio's
+/// fsync/rename.
+const char* const kSaveFaultSpecs[] = {
+    "store.write:n1#ENOSPC",
+    "fs.write:n1#EIO",
+    "fs.fsync:n1#EIO",
+    "fs.rename:n1#ENOSPC",
+};
+
+class StoreFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FaultInjector::Global().Reset();
+    ds_ = MakeBoxOfficeDataset(7).ValueOrDie();
+    tail_ = MakeBoxOfficeDataset(19).ValueOrDie();
+    profile_ = TableProfile::Compute(ds_.table).ValueOrDie();
+  }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  SyntheticDataset ds_;
+  SyntheticDataset tail_;
+  TableProfile profile_;
+};
+
+TEST_F(StoreFaultTest, FirstSaveFailsCleanAndInstallsNothing) {
+  for (const char* spec : kSaveFaultSpecs) {
+    const std::string dir = UniqueDir("fault_first");
+    // Arm AFTER Open: initializing the store commits a manifest through
+    // the same fs sites, and this test is about the save path.
+    auto store = ZiggyStore::Open(dir).ValueOrDie();
+    ASSERT_TRUE(FaultInjector::Global().Arm(spec).ok());
+    const Status st = store->SaveTable("box", ds_.table, 0, profile_, {});
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(st.ok()) << spec;
+    EXPECT_TRUE(st.IsIOError()) << spec << ": " << st;
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos) << st;
+    // Nothing installed, and the live handle agrees with a fresh process.
+    EXPECT_FALSE(store->Has("box")) << spec;
+    EXPECT_FALSE(DirHasTempLitter(dir)) << spec;
+    auto reopened = ZiggyStore::Open(dir).ValueOrDie();
+    EXPECT_TRUE(reopened->List().empty()) << spec;
+    // Healed: the identical save lands and loads exactly.
+    ASSERT_TRUE(
+        reopened->SaveTable("box", ds_.table, 0, profile_, {}).ok())
+        << spec;
+    StoredTable loaded = reopened->LoadTable("box").ValueOrDie();
+    EXPECT_EQ(TableImage(loaded.table), TableImage(ds_.table)) << spec;
+    ASSERT_TRUE(RemoveDirectory(dir).ok());
+  }
+}
+
+TEST_F(StoreFaultTest, FailedResaveKeepsPreviousGenerationByteIdentical) {
+  for (const char* spec : kSaveFaultSpecs) {
+    const std::string dir = UniqueDir("fault_resave");
+    auto store = ZiggyStore::Open(dir).ValueOrDie();
+    ASSERT_TRUE(store->SaveTable("box", ds_.table, 0, profile_, {}).ok());
+    const std::string base_bytes = ReadFileBytes(store->TablePath("box", 0));
+    const Table live = ds_.table.WithAppendedRows(tail_.table).ValueOrDie();
+    TableProfile live_profile = TableProfile::Compute(live).ValueOrDie();
+
+    ASSERT_TRUE(FaultInjector::Global().Arm(spec).ok());
+    const Status st = store->SaveTable("box", live, 1, live_profile, {});
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(st.ok()) << spec;
+    // The previous checkpoint is still what the store serves — manifest,
+    // generation, and bytes — on the live handle and after a reopen.
+    EXPECT_EQ(store->StoredGeneration("box").ValueOrDie(), 0u) << spec;
+    EXPECT_EQ(ReadFileBytes(store->TablePath("box", 0)), base_bytes) << spec;
+    StoredTable survived = store->LoadTable("box").ValueOrDie();
+    EXPECT_EQ(survived.generation, 0u) << spec;
+    EXPECT_EQ(TableImage(survived.table), TableImage(ds_.table)) << spec;
+    EXPECT_FALSE(DirHasTempLitter(dir)) << spec;
+    auto reopened = ZiggyStore::Open(dir).ValueOrDie();
+    EXPECT_EQ(reopened->StoredGeneration("box").ValueOrDie(), 0u) << spec;
+    // Healed: the resave lands.
+    ASSERT_TRUE(store->SaveTable("box", live, 1, live_profile, {}).ok())
+        << spec;
+    EXPECT_EQ(TableImage(store->LoadTable("box").ValueOrDie().table),
+              TableImage(live))
+        << spec;
+    ASSERT_TRUE(RemoveDirectory(dir).ok());
+  }
+}
+
+TEST_F(StoreFaultTest, FailedDeltaSaveLeavesChainReplayable) {
+  constexpr uint64_t kLineage = 42;
+  for (const char* spec : kSaveFaultSpecs) {
+    const std::string dir = UniqueDir("fault_delta");
+    StoreOptions options;
+    options.max_delta_fraction = 1e9;  // equal-size tails must stay deltas
+    auto store = ZiggyStore::Open(dir, options).ValueOrDie();
+    ASSERT_TRUE(
+        store->SaveTable("box", ds_.table, 0, profile_, {}, kLineage).ok());
+    const Table live = ds_.table.WithAppendedRows(tail_.table).ValueOrDie();
+    TableProfile p1 = TableProfile::Compute(live).ValueOrDie();
+    ASSERT_TRUE(store->SaveTable("box", live, 1, p1, {}, kLineage).ok());
+    ASSERT_EQ(store->stats().delta_checkpoints, 1u);
+    const Table next = live.WithAppendedRows(tail_.table).ValueOrDie();
+    TableProfile p2 = TableProfile::Compute(next).ValueOrDie();
+
+    ASSERT_TRUE(FaultInjector::Global().Arm(spec).ok());
+    const Status st = store->SaveTable("box", next, 2, p2, {}, kLineage);
+    FaultInjector::Global().Reset();
+    ASSERT_FALSE(st.ok()) << spec;
+    // The base + delta chain up to generation 1 still replays exactly.
+    StoredTable survived = store->LoadTable("box", kLineage).ValueOrDie();
+    EXPECT_EQ(survived.generation, 1u) << spec;
+    EXPECT_EQ(TableImage(survived.table), TableImage(live)) << spec;
+    EXPECT_FALSE(DirHasTempLitter(dir)) << spec;
+    // Healed: the chain extends past the failure.
+    ASSERT_TRUE(store->SaveTable("box", next, 2, p2, {}, kLineage).ok())
+        << spec;
+    EXPECT_EQ(TableImage(store->LoadTable("box", kLineage).ValueOrDie().table),
+              TableImage(next))
+        << spec;
+    ASSERT_TRUE(RemoveDirectory(dir).ok());
+  }
+}
+
+TEST(CatalogFlusherTest, FailingStoreBacksOffInsteadOfHotLooping) {
+  FaultInjector::Global().Reset();
+  const std::string dir = UniqueDir("flusher_backoff");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  options.flush_interval_ms = 5;
+  options.flush_backoff_initial_ms = 200;
+  options.flush_backoff_max_ms = 400;
+  options.degraded_after_failures = 0;  // isolate backoff from degraded mode
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+  ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+
+  // Every store write fails until healed.
+  ASSERT_TRUE(FaultInjector::Global().Arm("store.write:p1.0").ok());
+  const auto t0 = std::chrono::steady_clock::now();
+  Status checkpoint = Status::OK();
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  EXPECT_TRUE(checkpoint.ok());  // durability is pending, not failed
+
+  // Retries keep coming (the table is requeued, never dropped) ...
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (catalog.stats().flush_failures < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  CatalogStats stats = catalog.stats();
+  ASSERT_GE(stats.flush_failures, 2u);
+  EXPECT_EQ(stats.flush_backoff_tables, 1u);
+  EXPECT_EQ(stats.dirty_tables, 1u);
+  // ... but at the backoff pace, not the flusher interval: a hot loop at
+  // 5ms would have logged ~elapsed/5 failures by now. The bound scales
+  // with real elapsed time, so a stalled CI machine cannot trip it.
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LE(stats.flush_failures,
+            2u + static_cast<uint64_t>(elapsed_ms) / 200u)
+      << "elapsed " << elapsed_ms << "ms";
+
+  // Heal: the next backoff retry lands, the entry clears, and the
+  // appended generation is durable.
+  FaultInjector::Global().Reset();
+  const auto heal_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (catalog.stats().flushed_tables < 1 &&
+         std::chrono::steady_clock::now() < heal_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 1u);
+  stats = catalog.stats();
+  EXPECT_EQ(stats.flush_backoff_tables, 0u);
+  EXPECT_EQ(stats.dirty_tables, 0u);
+  catalog.StopFlusher();
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+TEST(CatalogDegradedTest, TripsAfterKFailuresAndAutoClearsOnHeal) {
+  FaultInjector::Global().Reset();
+  const std::string dir = UniqueDir("degraded");
+  SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
+  SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
+
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  options.flush_interval_ms = 5;
+  options.flush_backoff_initial_ms = 10;
+  options.flush_backoff_max_ms = 40;
+  options.degraded_after_failures = 3;
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  ASSERT_TRUE(catalog.Open("box", ds.table).ok());
+  ASSERT_TRUE(catalog.SetPersist("box", true).ok());
+
+  ASSERT_TRUE(FaultInjector::Global().Arm("store.write:p1.0").ok());
+  Status checkpoint = Status::OK();
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+
+  // Three consecutive background failures trip the latch.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!catalog.Health().degraded &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  CatalogHealth health = catalog.Health();
+  ASSERT_TRUE(health.degraded);
+  EXPECT_GE(health.consecutive_failures, 3u);
+  EXPECT_GT(health.retry_after_ms, 0u);
+
+  // Degraded = read-only: writes are refused up front (nothing lands in
+  // memory that the store could then never converge to), reads keep
+  // serving.
+  EXPECT_TRUE(
+      catalog.Append("box", tail.table, &checkpoint).status().IsUnavailable());
+  EXPECT_TRUE(catalog.SaveToStore("box").status().IsUnavailable());
+  ASSERT_TRUE(catalog.Find("box").ok());
+  EXPECT_EQ((*catalog.Find("box"))->state()->generation(), 1u);  // no new gen
+  EXPECT_TRUE(catalog.stats().degraded);
+
+  // Heal the store: the flusher's retry of the still-dirty table succeeds
+  // and auto-clears the mode — no restart, no operator action.
+  FaultInjector::Global().Reset();
+  const auto heal_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (catalog.Health().degraded &&
+         std::chrono::steady_clock::now() < heal_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  health = catalog.Health();
+  ASSERT_FALSE(health.degraded);
+  EXPECT_EQ(health.consecutive_failures, 0u);
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 1u);
+
+  // Writes flow again end to end.
+  ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
+  catalog.StopFlusher();
+  EXPECT_EQ(catalog.store()->StoredGeneration("box").ValueOrDie(), 2u);
   ASSERT_TRUE(RemoveDirectory(dir).ok());
 }
 

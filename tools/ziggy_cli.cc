@@ -37,6 +37,7 @@
 //         views <name> <predicate>   VIEWS; prints the deterministic report
 //         append <name> <source>     append rows as a new generation
 //         stats [name]               catalog-wide or per-table counters
+//         health                     daemon health probe (ok|degraded)
 //         save [name]                checkpoint one table (or all) to the
 //                                    daemon's store
 //         persist <name> <on|off>    toggle checkpoint-on-append
@@ -74,6 +75,7 @@
 #include "engine/ziggy_engine.h"
 #include "persist/store.h"
 #include "serve/client.h"
+#include "serve/wire_io.h"
 #include "serve/ziggy_server.h"
 #include "storage/csv.h"
 
@@ -384,6 +386,9 @@ int RunServe(int argc, char** argv) {
 
 int RunConnect(int argc, char** argv) {
   if (argc != 3) return Usage();
+  // A daemon that vanishes between our send() calls must surface as an
+  // error status, not a SIGPIPE killing the REPL mid-script.
+  IgnoreSigPipe();
   const std::string target = argv[2];
   const size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon + 1 == target.size()) return Usage();
@@ -441,6 +446,8 @@ int RunConnect(int argc, char** argv) {
       std::string name;
       in >> name;
       print(client.Stats(name));
+    } else if (cmd == "health") {
+      print(client.Health());
     } else if (cmd == "save") {
       std::string name;
       in >> name;

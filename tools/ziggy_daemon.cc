@@ -30,6 +30,19 @@
 //                           drop a connection that is silent for t ms
 //                           (default 0 = never; hardening for untrusted
 //                           or flaky clients)
+//     --flush-backoff-initial-ms <t>
+//                           first retry delay after a failed background
+//                           flush; doubles per failure (default 0 =
+//                           twice the flush interval)
+//     --flush-backoff-max-ms <t>
+//                           backoff ceiling (default 30000)
+//     --degraded-after <k>  consecutive store failures before degraded
+//                           read-only mode (default 5; 0 = never)
+//
+// Fault injection (testing/chaos only): set ZIGGY_FAULTS=site:spec,...
+// (and optionally ZIGGY_FAULT_SEED) in the environment — see
+// src/common/fault.h for the spec grammar. Armed sites are listed on
+// stderr at startup so a chaos run is self-documenting.
 //
 // Prints "ziggy_daemon listening on <host>:<port>" once serving, then runs
 // until SIGINT/SIGTERM. The wire protocol is documented in
@@ -39,12 +52,14 @@
 
 #include <atomic>
 #include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "serve/daemon/daemon.h"
 #include "serve/daemon/handler.h"
@@ -64,7 +79,10 @@ int Usage() {
             << "                    [--max-tables n] [--max-connections n]\n"
             << "                    [--store dir] [--checkpoint-on-append]\n"
             << "                    [--flush-interval-ms t]\n"
-            << "                    [--request-timeout-ms t]\n";
+            << "                    [--request-timeout-ms t]\n"
+            << "                    [--flush-backoff-initial-ms t]\n"
+            << "                    [--flush-backoff-max-ms t]\n"
+            << "                    [--degraded-after k]\n";
   return 2;
 }
 
@@ -139,6 +157,12 @@ int main(int argc, char** argv) {
       if (!next_size(&options.catalog.flush_interval_ms)) return Usage();
     } else if (arg == "--request-timeout-ms") {
       if (!next_size(&options.request_timeout_ms)) return Usage();
+    } else if (arg == "--flush-backoff-initial-ms") {
+      if (!next_size(&options.catalog.flush_backoff_initial_ms)) return Usage();
+    } else if (arg == "--flush-backoff-max-ms") {
+      if (!next_size(&options.catalog.flush_backoff_max_ms)) return Usage();
+    } else if (arg == "--degraded-after") {
+      if (!next_size(&options.catalog.degraded_after_failures)) return Usage();
     } else {
       return Usage();
     }
@@ -149,6 +173,17 @@ int main(int argc, char** argv) {
   // the clean shutdown path, not the default disposition.
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  // Chaos/test runs arm fault sites through the environment; production
+  // runs leave ZIGGY_FAULTS unset and the injector compiled to no-ops.
+  if (Status st = FaultInjector::Global().ArmFromEnv(); !st.ok()) {
+    std::cerr << "error: " << st << "\n";
+    return 2;
+  }
+  if (const char* faults = std::getenv("ZIGGY_FAULTS");
+      faults != nullptr && *faults != '\0') {
+    std::cerr << "fault injection armed: " << faults << "\n";
+  }
 
   Result<std::unique_ptr<ZiggyDaemon>> daemon = ZiggyDaemon::Start(options);
   if (!daemon.ok()) {
