@@ -31,6 +31,14 @@
 // deterministic byte count, so it always gates the exit code; the
 // delta-chained store must also warm-load byte-identically.
 //
+// Compression scenario (ISSUE 7): the quantized boxoffice/crime fixtures
+// (3 decimals — what a real ingest of currency/count data looks like)
+// are checkpointed into an uncompressed and a compressed store; the
+// harness compares table-data bytes (counting the shared dictionary pool
+// against the compressed store) and requires >= 2x reduction with warm
+// boots from BOTH stores rendering the first report byte-identically to
+// the cold CSV boot. Deterministic byte counts, so it always gates.
+//
 // Usage: bench_store [--threads n] [--enforce-speedup] [--json [path]]
 
 #include <filesystem>
@@ -245,6 +253,101 @@ AppendIoResult RunAppendIoScenario(const std::string& work_dir) {
   return r;
 }
 
+struct CompressionResult {
+  std::string name;
+  size_t rows = 0;
+  size_t columns = 0;
+  uint64_t plain_bytes = 0;       ///< table-data bytes, compression off
+  uint64_t compressed_bytes = 0;  ///< table-data bytes, compression on
+  uint64_t dict_pool_bytes = 0;   ///< shared dictionary files, on-store
+  size_t warmed_sketches = 0;
+  bool reports_match = false;  ///< warm(on) == warm(off) == cold CSV boot
+
+  /// On-disk reduction counting the pooled dictionaries against the
+  /// compressed store (they live on the same disk).
+  double ratio() const {
+    const uint64_t on_disk = compressed_bytes + dict_pool_bytes;
+    return on_disk > 0 ? static_cast<double>(plain_bytes) /
+                             static_cast<double>(on_disk)
+                       : 0.0;
+  }
+};
+
+/// Compression scenario (ISSUE 7): checkpoint the same quantized fixture
+/// into an uncompressed (ZIGTBL01) and a compressed (ZIGTBL02 + dict
+/// pool) store, compare the table-data bytes each wrote, and verify that
+/// a warm boot from either store renders the first CHARACTERIZE report
+/// byte-identically to the cold CSV boot. Byte counts are deterministic,
+/// so the >= 2x bar always gates the exit code.
+CompressionResult RunCompressionScenario(const std::string& name,
+                                         SyntheticDataset ds,
+                                         const std::string& work_dir,
+                                         size_t threads) {
+  CompressionResult r;
+  r.name = name;
+  r.rows = ds.table.num_rows();
+  r.columns = ds.table.num_columns();
+  const std::string csv_path = work_dir + "/" + name + "_z.csv";
+  const std::string query = ds.selection_predicate;
+
+  // Cold CSV boot: the report every warm boot must reproduce.
+  if (!WriteCsvFile(ds.table, csv_path).ok()) return r;
+  Result<Table> csv_table = ReadCsvFile(csv_path);
+  if (!csv_table.ok()) return r;
+  Result<std::unique_ptr<ZiggyServer>> cold =
+      ZiggyServer::Create(std::move(*csv_table), BenchServeOptions(threads));
+  if (!cold.ok()) return r;
+  const Schema& schema = (*cold)->state()->table().schema();
+  Result<Characterization> cold_result =
+      (*cold)->Characterize((*cold)->OpenSession(), query);
+  if (!cold_result.ok()) return r;
+  const std::string cold_report =
+      RenderCharacterizationReport(*cold_result, schema);
+
+  // One checkpoint per mode, explicit so the environment cannot flip it.
+  StoreOptions off_options;
+  off_options.compression = StoreCompression::kOff;
+  StoreOptions on_options;
+  on_options.compression = StoreCompression::kOn;
+  auto off_store =
+      ZiggyStore::Open(work_dir + "/" + name + "_off", off_options)
+          .ValueOrDie();
+  auto on_store =
+      ZiggyStore::Open(work_dir + "/" + name + "_on", on_options).ValueOrDie();
+  const std::vector<PersistedSketch> sketches = (*cold)->ExportSketchCache();
+  for (ZiggyStore* store : {off_store.get(), on_store.get()}) {
+    if (!store
+             ->SaveTable(name, (*cold)->state()->table(),
+                         (*cold)->state()->generation(),
+                         *(*cold)->state()->profile, sketches)
+             .ok()) {
+      return r;
+    }
+  }
+  r.plain_bytes = off_store->stats().checkpoint_bytes;
+  r.compressed_bytes = on_store->stats().checkpoint_bytes;
+  r.dict_pool_bytes = on_store->stats().dict_pool_bytes;
+
+  // Warm boots from both stores must render the cold report verbatim.
+  bool all_match = true;
+  for (ZiggyStore* store : {off_store.get(), on_store.get()}) {
+    Result<StoredTable> stored = store->LoadTable(name);
+    if (!stored.ok()) return r;
+    Result<std::unique_ptr<ZiggyServer>> warm = ZiggyServer::CreateFromState(
+        std::move(stored->table), stored->generation,
+        std::move(stored->profile), BenchServeOptions(threads));
+    if (!warm.ok()) return r;
+    r.warmed_sketches = (*warm)->WarmSketchCache(stored->sketches);
+    Result<Characterization> result =
+        (*warm)->Characterize((*warm)->OpenSession(), query);
+    if (!result.ok()) return r;
+    all_match = all_match &&
+                RenderCharacterizationReport(*result, schema) == cold_report;
+  }
+  r.reports_match = all_match;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +395,31 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // ---- compression scenario (quantized fixtures) ----
+  std::vector<CompressionResult> compression;
+  compression.push_back(RunCompressionScenario(
+      "boxoffice", MakeBoxOfficeDataset(7, /*value_decimals=*/3).ValueOrDie(),
+      work_dir, threads));
+  compression.push_back(RunCompressionScenario(
+      "crime", MakeCrimeDataset(11, /*value_decimals=*/3).ValueOrDie(),
+      work_dir, threads));
+  {
+    bench::ResultTable z_table({"fixture", "plain KiB", "compressed KiB",
+                                "dict pool KiB", "ratio", "warm sketches",
+                                "match"});
+    for (const CompressionResult& z : compression) {
+      z_table.AddRow(
+          {z.name,
+           bench::Fmt(static_cast<double>(z.plain_bytes) / 1024.0),
+           bench::Fmt(static_cast<double>(z.compressed_bytes) / 1024.0),
+           bench::Fmt(static_cast<double>(z.dict_pool_bytes) / 1024.0),
+           bench::Fmt(z.ratio()) + "x", std::to_string(z.warmed_sketches),
+           z.reports_match ? "yes" : "NO"});
+    }
+    std::cout << "\n";
+    z_table.Print();
+  }
+
   // ---- append-checkpoint I/O scenario (crime fixture) ----
   const AppendIoResult append_io = RunAppendIoScenario(work_dir);
   {
@@ -331,6 +459,23 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: append-checkpoint I/O ratio is "
               << bench::Fmt(append_io.io_ratio()) << "x (< 5x)\n";
     ok = false;
+  }
+  // Acceptance (ISSUE 7): compressed checkpoints cut on-disk table bytes
+  // by >= 2x on quantized fixtures, and warm boots from both modes must
+  // reproduce the cold CSV report byte-identically. Deterministic byte
+  // counts, so both always gate the exit code.
+  for (const CompressionResult& z : compression) {
+    if (!z.reports_match) {
+      std::cerr << "FAIL: " << z.name
+                << ": warm report from a compressed/uncompressed store is "
+                   "not byte-identical to the cold CSV boot\n";
+      ok = false;
+    }
+    if (z.ratio() < 2.0) {
+      std::cerr << "FAIL: " << z.name << ": compression ratio is "
+                << bench::Fmt(z.ratio()) << "x (< 2x)\n";
+      ok = false;
+    }
   }
   // Acceptance: >= 5x warm-boot speedup on the largest fixture.
   const FixtureResult& largest = results.back();
@@ -380,6 +525,23 @@ int main(int argc, char** argv) {
            bench::JsonValue::Bool(append_io.replay_matches));
     io.Set("io_ratio_ok", bench::JsonValue::Bool(append_io.io_ratio() >= 5.0));
     report.Set("append_checkpoint", std::move(io));
+    bench::JsonValue z_list = bench::JsonValue::Array();
+    for (const CompressionResult& z : compression) {
+      bench::JsonValue j;
+      j.Set("fixture", z.name);
+      j.Set("rows", static_cast<double>(z.rows));
+      j.Set("columns", static_cast<double>(z.columns));
+      j.Set("plain_bytes", static_cast<double>(z.plain_bytes));
+      j.Set("compressed_bytes", static_cast<double>(z.compressed_bytes));
+      j.Set("dict_pool_bytes", static_cast<double>(z.dict_pool_bytes));
+      j.Set("ratio", z.ratio());
+      j.Set("warmed_sketches", static_cast<double>(z.warmed_sketches));
+      j.Set("reports_byte_identical",
+            bench::JsonValue::Bool(z.reports_match));
+      j.Set("ratio_ok", bench::JsonValue::Bool(z.ratio() >= 2.0));
+      z_list.Push(std::move(j));
+    }
+    report.Set("compression", std::move(z_list));
     report.WriteFile(json_path);
     std::cout << "\nwrote " << json_path << "\n";
   }

@@ -19,7 +19,11 @@
 #      Writes flow again, a SAVE checkpoints, and the live VIEWS reply on
 #      the mutated table is captured.
 #   6. SIGKILL + warm restart with no faults: the store built under fire
-#      replays byte-identically to the live capture.
+#      replays byte-identically to the live capture. Then three rounds of
+#      SIGKILL landing mid-commit while append+save traffic hammers the
+#      compressed store: every warm restart must resolve the pooled
+#      shared dictionaries and keep serving — a torn commit may cost the
+#      last generation, never a dictionary a live manifest references.
 #   7. Overload — a daemon booted under a tiny RLIMIT_NOFILE is flooded
 #      with held connections: the accept loop must survive EMFILE
 #      (accept_retries > 0) and serve normally once the flood drains;
@@ -152,6 +156,46 @@ printf 'open mut demo://ignored-warm-checkpoint-wins\nviews mut %s\n' "$PRED" \
 tail -n +2 "$WORK/warm.txt" > "$WORK/mut_warm.txt"
 diff -u "$WORK/mut_live.txt" "$WORK/mut_warm.txt"
 echo "warm restart of the store written under fire is byte-identical"
+stop_daemon
+
+# ---- phase 6b: shared dictionaries survive SIGKILL mid-commit ----
+# The chaos store is compressed (the default): its checkpoints reference
+# pooled dictionaries under store/dicts/. Each round boots on the store
+# (implicitly validating the previous crash), hammers append+save commits
+# on a tight flush interval, and SIGKILLs at a different offset.
+ls "$WORK/store/dicts"/dict.*.zdic > /dev/null || {
+  echo "chaos store has no pooled dictionaries"; ls -R "$WORK/store"; exit 1
+}
+for round in 1 2 3; do
+  boot_daemon "$WORK/kill_$round.log" --store "$WORK/store" \
+    --flush-interval-ms 20
+  printf 'open mut demo://ignored-warm-checkpoint-wins\npersist mut on\n' \
+    | cli > "$WORK/kill_prime_$round.txt"
+  grep -q '"persist":true' "$WORK/kill_prime_$round.txt" || {
+    echo "round $round: persist prime failed:"
+    cat "$WORK/kill_prime_$round.txt"; exit 1
+  }
+  ( for _ in $(seq 1 20); do
+      printf 'append mut demo://boxoffice?seed=29\nsave mut\n' | cli || true
+    done ) > /dev/null 2>&1 &
+  APPENDER=$!
+  sleep "0.$((round * 2))"
+  kill9_daemon
+  kill "$APPENDER" 2>/dev/null || true
+  wait "$APPENDER" 2>/dev/null || true
+done
+boot_daemon "$WORK/kill_final.log" --store "$WORK/store"
+printf 'open mut demo://ignored-warm-checkpoint-wins\nviews mut %s\nraw STATS\n' \
+  "$PRED" | cli > "$WORK/kill_final.txt"
+grep -q 'inside=' "$WORK/kill_final.txt" || {
+  echo "table did not survive SIGKILL mid-commit:"
+  cat "$WORK/kill_final.txt"; exit 1
+}
+grep -Eq '"dict_pool":\{"files":[1-9]' "$WORK/kill_final.txt" || {
+  echo "dict pool empty after SIGKILL rounds:"
+  cat "$WORK/kill_final.txt"; exit 1
+}
+echo "shared dictionaries survived 3 SIGKILL-mid-commit rounds"
 stop_daemon
 
 # ---- phase 7: fd exhaustion and admission control ----

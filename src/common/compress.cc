@@ -1,0 +1,215 @@
+#include "common/compress.h"
+
+#include <cstring>
+
+namespace ziggy {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr unsigned kHashBits = 14;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Hash4(uint32_t v) {
+  // Fibonacci hashing of the 4-byte window; the multiplier spreads the
+  // low bytes (column data is often low-entropy in the high bytes).
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void PutLength(std::string* out, size_t extra) {
+  // Extended-length encoding: 255-run bytes, terminated by a byte < 255.
+  while (extra >= 255) {
+    out->push_back(static_cast<char>(0xFF));
+    extra -= 255;
+  }
+  out->push_back(static_cast<char>(extra));
+}
+
+void PutSequence(std::string* out, const uint8_t* literals, size_t num_literals,
+                 size_t offset, size_t match_len) {
+  const bool has_match = match_len > 0;
+  const size_t lit_nibble = num_literals < 15 ? num_literals : 15;
+  const size_t match_code = has_match ? match_len - kMinMatch : 0;
+  const size_t match_nibble = match_code < 15 ? match_code : 15;
+  out->push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) PutLength(out, num_literals - 15);
+  out->append(reinterpret_cast<const char*>(literals), num_literals);
+  if (!has_match) return;
+  out->push_back(static_cast<char>(offset & 0xFF));
+  out->push_back(static_cast<char>((offset >> 8) & 0xFF));
+  if (match_nibble == 15) PutLength(out, match_code - 15);
+}
+
+}  // namespace
+
+size_t LzMaxCompressedSize(size_t raw_size) {
+  // All-literal worst case: one token, raw_size bytes, and one extension
+  // byte per 255 literals, plus slack for the final short sequence.
+  return raw_size + raw_size / 255 + 16;
+}
+
+std::string LzCompress(std::string_view raw) {
+  std::string out;
+  if (raw.empty()) return out;
+  out.reserve(raw.size() / 2 + 16);
+
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(raw.data());
+  const size_t size = raw.size();
+  // Positions of recent 4-byte windows, keyed by their hash. Collisions
+  // just mean a missed or failed match candidate — correctness only
+  // depends on verifying the candidate bytes below.
+  std::vector<uint32_t> table(kHashSize, 0xFFFFFFFFu);
+
+  size_t pos = 0;
+  size_t literal_start = 0;
+  while (size >= kMinMatch && pos + kMinMatch <= size) {
+    const uint32_t window = Load32(src + pos);
+    const uint32_t slot = Hash4(window);
+    const uint32_t candidate = table[slot];
+    table[slot] = static_cast<uint32_t>(pos);
+    if (candidate == 0xFFFFFFFFu || pos - candidate > kMaxOffset ||
+        Load32(src + candidate) != window) {
+      ++pos;
+      continue;
+    }
+    size_t match_len = kMinMatch;
+    while (pos + match_len < size &&
+           src[candidate + match_len] == src[pos + match_len]) {
+      ++match_len;
+    }
+    PutSequence(&out, src + literal_start, pos - literal_start,
+                pos - candidate, match_len);
+    pos += match_len;
+    literal_start = pos;
+  }
+  PutSequence(&out, src + literal_start, size - literal_start, /*offset=*/0,
+              /*match_len=*/0);
+  return out;
+}
+
+namespace {
+
+Status Malformed(const char* what) {
+  return Status::ParseError(std::string("malformed compressed block: ") + what);
+}
+
+Result<size_t> ReadLength(const uint8_t* src, size_t size, size_t* pos,
+                          size_t base, size_t limit) {
+  size_t length = base;
+  for (;;) {
+    if (*pos >= size) return Malformed("truncated length run");
+    const uint8_t byte = src[(*pos)++];
+    length += byte;
+    // `limit` (the declared raw size) bounds any plausible length, so a
+    // corrupt 255-run cannot spin this loop or overflow the sum.
+    if (length > limit) return Malformed("length run exceeds raw size");
+    if (byte != 0xFF) return length;
+  }
+}
+
+}  // namespace
+
+Result<std::string> LzDecompress(std::string_view block, size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(block.data());
+  const size_t size = block.size();
+  size_t pos = 0;
+  if (raw_size == 0) {
+    if (size != 0) return Malformed("trailing bytes after empty block");
+    return out;
+  }
+  while (pos < size) {
+    const uint8_t token = src[pos++];
+    size_t num_literals = token >> 4;
+    if (num_literals == 15) {
+      ZIGGY_ASSIGN_OR_RETURN(num_literals,
+                             ReadLength(src, size, &pos, 15, raw_size));
+    }
+    if (num_literals > size - pos) return Malformed("truncated literals");
+    if (num_literals > raw_size - out.size()) {
+      return Malformed("literals exceed raw size");
+    }
+    out.append(reinterpret_cast<const char*>(src + pos), num_literals);
+    pos += num_literals;
+    if (pos == size) {
+      // Final sequence: literals only. The stream must land exactly on
+      // the declared size — anything else is corruption.
+      if ((token & 0x0F) != 0) return Malformed("final sequence has a match");
+      break;
+    }
+    size_t match_len = (token & 0x0F) + kMinMatch;
+    if (pos + 2 > size) return Malformed("truncated match offset");
+    const size_t offset = static_cast<size_t>(src[pos]) |
+                          (static_cast<size_t>(src[pos + 1]) << 8);
+    pos += 2;
+    if ((token & 0x0F) == 15) {
+      ZIGGY_ASSIGN_OR_RETURN(
+          match_len, ReadLength(src, size, &pos, 15 + kMinMatch, raw_size));
+    }
+    if (offset == 0 || offset > out.size()) return Malformed("bad match offset");
+    if (match_len > raw_size - out.size()) {
+      return Malformed("match exceeds raw size");
+    }
+    // Byte-wise on purpose: offset < match_len is the legitimate
+    // overlapping-run case and must re-read freshly written bytes.
+    size_t from = out.size() - offset;
+    for (size_t i = 0; i < match_len; ++i) out.push_back(out[from + i]);
+  }
+  if (out.size() != raw_size) return Malformed("block ends short of raw size");
+  return out;
+}
+
+size_t PackedBitsSize(size_t n, unsigned width) {
+  return (n * static_cast<size_t>(width) + 7) / 8;
+}
+
+void PackBits(const uint64_t* values, size_t n, unsigned width,
+              std::string* out) {
+  if (width == 0) return;
+  const size_t start = out->size();
+  out->resize(start + PackedBitsSize(n, width), '\0');
+  uint8_t* dst = reinterpret_cast<uint8_t*>(out->data() + start);
+  size_t bit = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t v = values[i];
+    for (unsigned b = 0; b < width; ++b, ++bit) {
+      if ((v >> b) & 1u) dst[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+    }
+  }
+}
+
+Result<std::vector<uint64_t>> UnpackBits(std::string_view bytes, size_t n,
+                                         unsigned width) {
+  if (width > 64) return Status::ParseError("bit width exceeds 64");
+  if (bytes.size() != PackedBitsSize(n, width)) {
+    return Status::ParseError("packed payload size disagrees with count");
+  }
+  std::vector<uint64_t> values(n, 0);
+  const uint8_t* src = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t bit = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    for (unsigned b = 0; b < width; ++b, ++bit) {
+      if ((src[bit >> 3] >> (bit & 7)) & 1u) v |= uint64_t{1} << b;
+    }
+    values[i] = v;
+  }
+  // Pad bits must be zero: one canonical encoding per value sequence, so
+  // a bit flip in the pad is corruption, not an accepted alias.
+  for (size_t total = n * width; total < bytes.size() * 8; ++total) {
+    if ((src[total >> 3] >> (total & 7)) & 1u) {
+      return Status::ParseError("nonzero pad bits in packed payload");
+    }
+  }
+  return values;
+}
+
+}  // namespace ziggy

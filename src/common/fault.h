@@ -130,6 +130,31 @@ class FaultInjector {
   std::atomic<uint64_t> total_fires_{0};
 };
 
+/// \brief RAII fault window: arms a spec on the global injector for one
+/// scope and resets the injector on exit, so a test that throws or
+/// early-returns can never leak an armed site into the next test.
+/// Construction with a malformed spec is a programming error surfaced
+/// through status() — tests assert it before relying on the window.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const std::string& spec, uint64_t seed = 42) {
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().SetSeed(seed);
+    status_ = FaultInjector::Global().Arm(spec);
+  }
+  ~ScopedFault() { FaultInjector::Global().Reset(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  /// OK when the spec armed cleanly.
+  const Status& status() const { return status_; }
+  /// Total fires since this window armed (the injector was reset then).
+  uint64_t fires() const { return FaultInjector::Global().total_fires(); }
+
+ private:
+  Status status_;
+};
+
 namespace fault {
 
 /// Number of currently armed sites; nonzero iff any rule is live. Kept

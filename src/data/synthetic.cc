@@ -9,6 +9,19 @@
 
 namespace ziggy {
 
+namespace {
+
+// Rounds to `decimals` places when enabled. round(v*s)/s is exactly
+// representable as that quotient, so the quantized values survive the
+// store's scaled-integer codec bit for bit.
+double MaybeQuantize(double v, int decimals) {
+  if (decimals < 0) return v;
+  const double scale = std::pow(10.0, decimals);
+  return std::round(v * scale) / scale;
+}
+
+}  // namespace
+
 Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
   if (spec.num_rows < 10) {
     return Status::InvalidArgument("need at least 10 rows");
@@ -24,7 +37,7 @@ Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
 
   // Driver column and planted region (top of the driver).
   std::vector<double> driver(n);
-  for (double& v : driver) v = rng.Normal();
+  for (double& v : driver) v = MaybeQuantize(rng.Normal(), spec.value_decimals);
   const double threshold = Quantile(driver, 1.0 - spec.planted_fraction);
   Selection planted(n);
   for (size_t i = 0; i < n; ++i) {
@@ -59,7 +72,8 @@ Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
           scale = theme.scale_shift;
           shift = theme.mean_shift;
         }
-        col[i] = shift + scale * (loading * f + noise_w * rng.Normal());
+        col[i] = MaybeQuantize(shift + scale * (loading * f + noise_w * rng.Normal()),
+                               spec.value_decimals);
       }
       view_cols.push_back(columns.size());
       columns.push_back(Column::FromNumeric(
@@ -73,7 +87,7 @@ Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
   // Independent noise columns.
   for (size_t j = 0; j < spec.num_noise_columns; ++j) {
     std::vector<double> col(n);
-    for (double& v : col) v = rng.Normal();
+    for (double& v : col) v = MaybeQuantize(rng.Normal(), spec.value_decimals);
     columns.push_back(Column::FromNumeric("noise_" + std::to_string(j), std::move(col)));
   }
 
@@ -104,7 +118,8 @@ Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec) {
   return out;
 }
 
-Result<SyntheticDataset> MakeBoxOfficeDataset(uint64_t seed) {
+Result<SyntheticDataset> MakeBoxOfficeDataset(uint64_t seed,
+                                              int value_decimals) {
   // 900 movies x 12 columns: driver (box-office revenue index) + two themes
   // + noise + one categorical (genre).
   SyntheticSpec spec;
@@ -121,10 +136,11 @@ Result<SyntheticDataset> MakeBoxOfficeDataset(uint64_t seed) {
   spec.num_categorical = 1;
   spec.num_shifted_categorical = 1;
   spec.categorical_cardinality = 8;  // genres
+  spec.value_decimals = value_decimals;
   return GenerateSynthetic(spec);
 }
 
-Result<SyntheticDataset> MakeCrimeDataset(uint64_t seed) {
+Result<SyntheticDataset> MakeCrimeDataset(uint64_t seed, int value_decimals) {
   // 1994 communities x 128 columns. The four shifted themes mirror the
   // four characteristic views of paper Figure 1.
   SyntheticSpec spec;
@@ -151,6 +167,7 @@ Result<SyntheticDataset> MakeCrimeDataset(uint64_t seed) {
   spec.num_categorical = 4;
   spec.num_shifted_categorical = 1;
   spec.categorical_cardinality = 9;  // census regions
+  spec.value_decimals = value_decimals;
   return GenerateSynthetic(spec);
 }
 

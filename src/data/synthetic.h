@@ -54,6 +54,13 @@ struct SyntheticSpec {
   uint64_t seed = 42;
   /// Name of the numeric driver column included in the table.
   std::string driver_name = "driver";
+  /// Round every numeric cell to this many decimal places (-1 = keep the
+  /// raw N(0,1) draws). Real survey/census data carries fixed measurement
+  /// precision; the raw draws are full-entropy doubles, which no codec
+  /// can compress — set this when benchmarking storage. Rounding happens
+  /// before the planted threshold is computed, so ground truth, predicate
+  /// and table stay mutually consistent.
+  int value_decimals = -1;
 };
 
 /// \brief A generated dataset with its ground truth.
@@ -72,14 +79,17 @@ struct SyntheticDataset {
 /// \brief Generates a dataset from a spec.
 Result<SyntheticDataset> GenerateSynthetic(const SyntheticSpec& spec);
 
-/// \name Paper use-case shapes (§4.2).
+/// \name Paper use-case shapes (§4.2). `value_decimals` as in
+/// SyntheticSpec (-1 = full-precision draws).
 /// @{
 /// Box Office analogue: 900 rows x 12 columns, two themes.
-Result<SyntheticDataset> MakeBoxOfficeDataset(uint64_t seed = 7);
+Result<SyntheticDataset> MakeBoxOfficeDataset(uint64_t seed = 7,
+                                              int value_decimals = -1);
 /// US Crime analogue: 1994 rows x ~128 columns; the four planted themes
 /// mirror the four views of paper Figure 1 (population/density,
 /// education/salary, rent/ownership, age/family).
-Result<SyntheticDataset> MakeCrimeDataset(uint64_t seed = 11);
+Result<SyntheticDataset> MakeCrimeDataset(uint64_t seed = 11,
+                                          int value_decimals = -1);
 /// OECD analogue: 6823 rows x ~519 columns, wide-table stress shape.
 Result<SyntheticDataset> MakeOecdDataset(uint64_t seed = 13);
 /// @}

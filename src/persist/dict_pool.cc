@@ -1,0 +1,305 @@
+#include "persist/dict_pool.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "persist/fs_util.h"
+#include "storage/column_codec.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr char kDictMagic[8] = {'Z', 'I', 'G', 'D', 'I', 'C', '0', '1'};
+constexpr char kDictsDir[] = "dicts";
+constexpr size_t kMaxLabelBytes = 1u << 20;
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixLabel(uint64_t h, const std::string& label) {
+  for (const char c : label) {
+    h = (h ^ static_cast<uint8_t>(c)) * kFnvPrime;
+  }
+  // Length terminator: without it the chains of {"ab","c"} and {"a","bc"}
+  // would collide structurally, not just probabilistically.
+  h = (h ^ 0xFFu) * kFnvPrime;
+  h = (h ^ label.size()) * kFnvPrime;
+  return h;
+}
+
+std::string HashHex(uint64_t hash) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+bool ParseHashHex(std::string_view hex, uint64_t* hash) {
+  if (hex.size() != 16) return false;
+  uint64_t h = 0;
+  for (const char c : hex) {
+    h <<= 4;
+    if (c >= '0' && c <= '9') {
+      h |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      h |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *hash = h;
+  return true;
+}
+
+}  // namespace
+
+uint64_t DictPool::ChainHash(const std::vector<std::string>& labels) {
+  uint64_t h = kFnvOffset;
+  for (const std::string& label : labels) h = MixLabel(h, label);
+  return h;
+}
+
+Result<std::string> DictPool::SerializeDict(
+    const std::vector<std::string>& labels) {
+  if (labels.empty()) {
+    return Status::InvalidArgument("refusing to pool an empty dictionary");
+  }
+  std::ostringstream out;
+  out.write(kDictMagic, sizeof(kDictMagic));
+  std::string header;
+  PutU64(&header, labels.size());
+  ZIGGY_RETURN_NOT_OK(WriteSection(&out, header));
+  std::string blob;
+  for (const std::string& label : labels) PutLengthPrefixed(&blob, label);
+  ZIGGY_RETURN_NOT_OK(WriteSection(&out, EncodeByteBlob(blob)));
+  return out.str();
+}
+
+Result<std::vector<std::string>> DictPool::ParseDict(std::string_view bytes,
+                                                     uint64_t expected_hash) {
+  std::istringstream in{std::string(bytes)};
+  char magic[sizeof(kDictMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kDictMagic, sizeof(magic)) != 0) {
+    return Status::ParseError("not a Ziggy pooled dictionary (bad magic)");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(std::string header, ReadSection(&in, kMaxSectionBytes));
+  ByteReader header_reader(header);
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t count, header_reader.ReadU64());
+  if (!header_reader.exhausted()) {
+    return Status::ParseError("trailing bytes in dictionary header");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(std::string blob_payload,
+                         ReadSection(&in, kMaxSectionBytes));
+  ZIGGY_ASSIGN_OR_RETURN(std::string blob,
+                         DecodeByteBlob(blob_payload, kMaxSectionBytes));
+  ByteReader reader(blob);
+  if (count > blob.size() / sizeof(uint64_t)) {
+    return Status::ParseError("dictionary label count exceeds its blob");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
+                           reader.ReadLengthPrefixed(kMaxLabelBytes));
+    if (label.empty()) {
+      return Status::ParseError("empty label in pooled dictionary");
+    }
+    labels.emplace_back(label);
+  }
+  if (!reader.exhausted()) {
+    return Status::ParseError("trailing bytes after dictionary labels");
+  }
+  if (labels.empty()) {
+    return Status::ParseError("empty pooled dictionary");
+  }
+  // The content address doubles as an end-to-end integrity check over
+  // the *decoded* labels (the section CRCs only cover the stored bytes).
+  if (ChainHash(labels) != expected_hash) {
+    return Status::ParseError(
+        "pooled dictionary content disagrees with its hash");
+  }
+  return labels;
+}
+
+std::string DictPool::DictPath(uint64_t hash) const {
+  return JoinPath(dir_, "dict." + HashHex(hash) + ".zdic");
+}
+
+Result<std::unique_ptr<DictPool>> DictPool::Open(const std::string& store_dir) {
+  auto pool =
+      std::unique_ptr<DictPool>(new DictPool(JoinPath(store_dir, kDictsDir)));
+  if (!PathExists(pool->dir_)) return pool;  // created lazily on first write
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(pool->dir_, ec);
+  if (ec) return pool;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string file = entry.path().filename().string();
+    // dict.<hex16>.zdic
+    if (file.size() != 5 + 16 + 5 || file.rfind("dict.", 0) != 0 ||
+        file.substr(21) != ".zdic") {
+      continue;
+    }
+    uint64_t hash = 0;
+    if (!ParseHashHex(std::string_view(file).substr(5, 16), &hash)) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    Result<std::vector<std::string>> labels = ParseDict(buf.str(), hash);
+    // A corrupt pool file is skipped, not fatal: only tables referencing
+    // it fail (cleanly, at Resolve), everything else keeps serving.
+    if (!labels.ok()) continue;
+    PooledDict dict;
+    dict.labels = std::move(*labels);
+    uint64_t h = kFnvOffset;
+    for (const std::string& label : dict.labels) {
+      h = MixLabel(h, label);
+      dict.prefix_hashes.push_back(h);
+    }
+    dict.file_bytes = buf.str().size();
+    pool->RegisterLocked(hash, std::move(dict));
+  }
+  return pool;
+}
+
+void DictPool::RegisterLocked(uint64_t hash, PooledDict dict) {
+  for (size_t k = 0; k < dict.prefix_hashes.size(); ++k) {
+    prefix_index_[dict.prefix_hashes[k]] = {hash, k + 1};
+  }
+  dicts_[hash] = std::move(dict);
+}
+
+void DictPool::RebuildPrefixIndexLocked() {
+  prefix_index_.clear();
+  for (const auto& [hash, dict] : dicts_) {
+    for (size_t k = 0; k < dict.prefix_hashes.size(); ++k) {
+      prefix_index_[dict.prefix_hashes[k]] = {hash, k + 1};
+    }
+  }
+}
+
+Result<DictRef> DictPool::Acquire(const std::vector<std::string>& labels) {
+  if (labels.empty()) {
+    return Status::InvalidArgument("refusing to pool an empty dictionary");
+  }
+  std::vector<uint64_t> prefix_hashes;
+  prefix_hashes.reserve(labels.size());
+  uint64_t h = kFnvOffset;
+  for (const std::string& label : labels) {
+    if (label.empty()) {
+      return Status::InvalidArgument("refusing to pool an empty label");
+    }
+    h = MixLabel(h, label);
+    prefix_hashes.push_back(h);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = prefix_index_.find(h);
+  if (it != prefix_index_.end() && it->second.second == labels.size()) {
+    const auto owner = dicts_.find(it->second.first);
+    // Verify the labels, not just the hash: a chain-hash collision must
+    // degrade to an extra file, never to a table silently adopting a
+    // different dictionary.
+    if (owner != dicts_.end() && owner->second.labels.size() >= labels.size() &&
+        std::equal(labels.begin(), labels.end(),
+                   owner->second.labels.begin())) {
+      ++shared_hits_;
+      return DictRef{owner->first, labels.size()};
+    }
+  }
+
+  // Miss: write a new content-addressed file (durably — the table files
+  // and manifest that will reference it follow the same discipline).
+  ZIGGY_RETURN_NOT_OK(EnsureDirectory(dir_));
+  ZIGGY_ASSIGN_OR_RETURN(std::string image, SerializeDict(labels));
+  const std::string path = DictPath(h);
+  if (!PathExists(path)) {
+    ZIGGY_RETURN_NOT_OK(AtomicWriteFile(path, image));
+  }
+  PooledDict dict;
+  dict.labels = labels;
+  dict.prefix_hashes = std::move(prefix_hashes);
+  dict.file_bytes = image.size();
+  RegisterLocked(h, std::move(dict));
+  ++writes_;
+  return DictRef{h, labels.size()};
+}
+
+Result<std::shared_ptr<ColumnDictionary>> DictPool::Resolve(
+    const DictRef& ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto cached = resolved_.find({ref.hash, ref.size});
+  if (cached != resolved_.end()) return cached->second;
+  const auto it = dicts_.find(ref.hash);
+  if (it == dicts_.end()) {
+    return Status::NotFound("pooled dictionary " + HashHex(ref.hash) +
+                            " is not in the store's dictionary pool");
+  }
+  if (ref.size == 0 || ref.size > it->second.labels.size()) {
+    return Status::ParseError(
+        "dictionary reference size is out of range for pooled dictionary " +
+        HashHex(ref.hash));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(
+      std::shared_ptr<ColumnDictionary> dict,
+      ColumnDictionary::Build(std::vector<std::string>(
+          it->second.labels.begin(),
+          it->second.labels.begin() + static_cast<ptrdiff_t>(ref.size))));
+  resolved_.emplace(std::make_pair(ref.hash, ref.size), dict);
+  return dict;
+}
+
+void DictPool::Pin(uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[hash];
+}
+
+void DictPool::Unpin(uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pins_.find(hash);
+  if (it == pins_.end()) return;
+  if (--it->second <= 0) pins_.erase(it);
+}
+
+void DictPool::SweepUnreferenced(const std::set<uint64_t>& live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool erased = false;
+  for (auto it = dicts_.begin(); it != dicts_.end();) {
+    const uint64_t hash = it->first;
+    if (live.count(hash) != 0 || pins_.count(hash) != 0) {
+      ++it;
+      continue;
+    }
+    (void)RemoveFileIfExists(DictPath(hash));
+    for (auto res = resolved_.begin(); res != resolved_.end();) {
+      res = res->first.first == hash ? resolved_.erase(res) : std::next(res);
+    }
+    it = dicts_.erase(it);
+    erased = true;
+  }
+  // Prefix entries may point at erased dictionaries (and erased entries
+  // may have shadowed live ones) — rebuild from what's left.
+  if (erased) RebuildPrefixIndexLocked();
+}
+
+DictPoolStats DictPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DictPoolStats st;
+  st.dict_files = dicts_.size();
+  for (const auto& [hash, dict] : dicts_) st.dict_bytes += dict.file_bytes;
+  st.shared_hits = shared_hits_;
+  st.writes = writes_;
+  return st;
+}
+
+}  // namespace ziggy

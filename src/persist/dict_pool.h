@@ -1,0 +1,169 @@
+// DictPool: the store's shared dictionary pool.
+//
+// N tables (or N generations of one table) whose categorical columns
+// carry the same labels — country codes, product categories, enum-ish
+// strings — would each persist their own copy of the dictionary inside
+// every full snapshot. The pool hoists those dictionaries into
+// content-addressed files:
+//
+//   <store>/dicts/dict.<hex16>.zdic     magic "ZIGDIC01"
+//     section: header { u64 label_count }
+//     section: byte blob (column_codec) of length-prefixed labels
+//
+// named by a 64-bit *chain hash* of the label sequence. The chain hash
+// is computed incrementally label by label, so every prefix of a pooled
+// dictionary has a known hash too: a column whose dictionary equals a
+// prefix of an already-pooled (longer) dictionary is satisfied by a
+// DictRef { hash-of-the-pooled-file, prefix-length } with no new file —
+// which is exactly what append workloads produce (generation k's
+// dictionary is a prefix of generation k+1's). Conversely, when a longer
+// dictionary arrives its prefix points take over the index, so future
+// writers of the shorter dictionary reference the merged file and the
+// superseded one ages out via GC.
+//
+// Hash collisions cannot corrupt data: every index hit is verified by
+// comparing the actual labels before a ref is returned, and a verified
+// miss simply writes its own file (last writer wins the index slot).
+//
+// Files are immutable once committed (tmp + fsync + rename, see
+// fs_util.h) and are written BEFORE the table files and manifest that
+// reference them; a crash leaves at worst orphaned dictionary files,
+// swept by SweepUnreferenced once no live manifest entry (and no save in
+// flight — see Pin) references them. Resolve() hands out one shared
+// ColumnDictionary per (hash, size) to every loading table, so the
+// on-disk sharing is also in-memory sharing (storage/column.h COW).
+//
+// Thread-safe; all methods may be called concurrently.
+
+#ifndef ZIGGY_PERSIST_DICT_POOL_H_
+#define ZIGGY_PERSIST_DICT_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column.h"
+#include "storage/table_io.h"
+
+namespace ziggy {
+
+/// \brief Pool counters (monotonic for this process, except the
+/// file/byte gauges which track the live pool).
+struct DictPoolStats {
+  uint64_t dict_files = 0;   ///< pooled dictionary files currently live
+  uint64_t dict_bytes = 0;   ///< their on-disk bytes
+  uint64_t shared_hits = 0;  ///< Acquire satisfied by an existing file
+  uint64_t writes = 0;       ///< Acquire that wrote a new file
+};
+
+/// \brief The shared dictionary pool of one store directory.
+class DictPool {
+ public:
+  /// Opens the pool under `store_dir` (creates `<store_dir>/dicts/` on
+  /// demand) and indexes every valid pooled dictionary already present.
+  /// Unreadable or corrupt pool files are skipped — tables referencing
+  /// one fail their load with a clean error, everything else is served.
+  static Result<std::unique_ptr<DictPool>> Open(const std::string& store_dir);
+
+  /// Ensures a pooled dictionary covering `labels` exists (an existing
+  /// file whose labels start with `labels`, or a newly written file) and
+  /// returns the reference to store in a table. Fails on empty/invalid
+  /// label sequences or I/O errors — callers fall back to inlining.
+  Result<DictRef> Acquire(const std::vector<std::string>& labels);
+
+  /// Resolves a reference from a table file to the shared in-memory
+  /// dictionary (exactly ref.size labels). One instance per (hash, size)
+  /// is cached and handed to every caller.
+  Result<std::shared_ptr<ColumnDictionary>> Resolve(const DictRef& ref);
+
+  /// \name GC pinning. A save acquires its refs before the manifest
+  /// commit makes them live; pins keep a concurrent sweep from deleting
+  /// the window in between.
+  /// @{
+  void Pin(uint64_t hash);
+  void Unpin(uint64_t hash);
+  /// @}
+
+  /// Deletes every pooled dictionary whose hash is neither in `live`
+  /// (the union of all manifest dict refs) nor pinned. Best effort.
+  void SweepUnreferenced(const std::set<uint64_t>& live);
+
+  DictPoolStats stats() const;
+
+  std::string DictPath(uint64_t hash) const;
+
+  /// \name Codec (exposed for the torture tests).
+  /// @{
+  /// Incremental chain hash of a label sequence (the content address).
+  static uint64_t ChainHash(const std::vector<std::string>& labels);
+  /// Serializes a pool file image.
+  static Result<std::string> SerializeDict(
+      const std::vector<std::string>& labels);
+  /// Parses and fully validates a pool file image: magic, checksums,
+  /// label validity, and the recomputed chain hash against
+  /// `expected_hash` (the content address the file was stored under).
+  static Result<std::vector<std::string>> ParseDict(std::string_view bytes,
+                                                    uint64_t expected_hash);
+  /// @}
+
+ private:
+  struct PooledDict {
+    std::vector<std::string> labels;
+    /// prefix_hashes[k] is the chain hash of labels[0..k+1).
+    std::vector<uint64_t> prefix_hashes;
+    uint64_t file_bytes = 0;
+  };
+
+  explicit DictPool(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Registers a loaded/written dict under mu_: stores it and points
+  /// every prefix hash at it (overwriting — longest/latest wins).
+  void RegisterLocked(uint64_t hash, PooledDict dict);
+  void RebuildPrefixIndexLocked();
+
+  std::string dir_;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, PooledDict> dicts_;
+  /// chain hash of some prefix -> (full dict hash, prefix length).
+  std::unordered_map<uint64_t, std::pair<uint64_t, size_t>> prefix_index_;
+  /// (hash, size) -> shared decoded dictionary.
+  std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<ColumnDictionary>>
+      resolved_;
+  std::unordered_map<uint64_t, int> pins_;
+  uint64_t shared_hits_ = 0;
+  uint64_t writes_ = 0;
+};
+
+/// \brief RAII multi-pin used around a save: pins accumulate via Add and
+/// release together when the guard goes out of scope (after the manifest
+/// commit made the refs live, or after a failed save abandoned them).
+class ScopedDictPins {
+ public:
+  explicit ScopedDictPins(DictPool* pool) : pool_(pool) {}
+  ~ScopedDictPins() {
+    if (pool_ == nullptr) return;
+    for (const uint64_t hash : hashes_) pool_->Unpin(hash);
+  }
+  ScopedDictPins(const ScopedDictPins&) = delete;
+  ScopedDictPins& operator=(const ScopedDictPins&) = delete;
+
+  void Add(uint64_t hash) {
+    pool_->Pin(hash);
+    hashes_.push_back(hash);
+  }
+
+ private:
+  DictPool* pool_;
+  std::vector<uint64_t> hashes_;
+};
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_PERSIST_DICT_POOL_H_

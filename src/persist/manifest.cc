@@ -9,10 +9,40 @@ namespace ziggy {
 namespace {
 
 constexpr char kMagicLine[] = "ziggy-store";
-// Version 2 added the delta chain fields; version 1 is still parsed (all
-// v1 entries are full snapshots).
-constexpr int kVersion = 2;
+// Version 3 added pooled-dictionary refs, version 2 the delta chain
+// fields; both older versions are still parsed (v1 entries are all full
+// snapshots). A manifest without dict refs serializes as version 2 so
+// uncompressed stores remain readable by previous binaries.
+constexpr int kVersion = 3;
+constexpr int kChainVersion = 2;
 constexpr int kLegacyVersion = 1;
+
+std::string HashHex(uint64_t hash) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
+bool ParseHashHex(const std::string& hex, uint64_t* hash) {
+  if (hex.size() != 16) return false;
+  uint64_t h = 0;
+  for (const char c : hex) {
+    h <<= 4;
+    if (c >= '0' && c <= '9') {
+      h |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      h |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *hash = h;
+  return true;
+}
 
 }  // namespace
 
@@ -59,8 +89,13 @@ bool Manifest::Remove(const std::string& name) {
 }
 
 std::string Manifest::Serialize() const {
+  bool any_dict_refs = false;
+  for (const ManifestEntry& entry : entries_) {
+    any_dict_refs = any_dict_refs || !entry.dict_refs.empty();
+  }
+  const int version = any_dict_refs ? kVersion : kChainVersion;
   std::string out =
-      std::string(kMagicLine) + " " + std::to_string(kVersion) + "\n";
+      std::string(kMagicLine) + " " + std::to_string(version) + "\n";
   for (const ManifestEntry& entry : entries_) {
     out += "table " + entry.name + " " + std::to_string(entry.generation) +
            " " + (entry.has_sketches ? "1" : "0") + " " +
@@ -68,6 +103,13 @@ std::string Manifest::Serialize() const {
            std::to_string(entry.delta_generations.size());
     for (const uint64_t delta : entry.delta_generations) {
       out += " " + std::to_string(delta);
+    }
+    if (any_dict_refs) {
+      out += " " + std::to_string(entry.dict_refs.size());
+      for (const ManifestDictRef& ref : entry.dict_refs) {
+        out += " " + std::to_string(ref.column) + " " + HashHex(ref.hash) +
+               " " + std::to_string(ref.size);
+      }
     }
     out += "\n";
   }
@@ -84,12 +126,14 @@ Result<Manifest> Manifest::Parse(const std::string& text) {
   }
   Result<int64_t> version = ParseInt(head[1]);
   if (!version.ok()) return Status::ParseError("bad manifest version token");
-  if (*version != kVersion && *version != kLegacyVersion) {
+  if (*version != kVersion && *version != kChainVersion &&
+      *version != kLegacyVersion) {
     return Status::FailedPrecondition(
         "unsupported store manifest version " + head[1] + " (expected " +
         std::to_string(kVersion) + ")");
   }
   const bool legacy = *version == kLegacyVersion;
+  const bool has_dict_refs = *version == kVersion;
 
   Manifest manifest;
   for (size_t i = 1; i < lines.size(); ++i) {
@@ -125,8 +169,10 @@ Result<Manifest> Manifest::Parse(const std::string& text) {
       }
       ZIGGY_ASSIGN_OR_RETURN(int64_t base, ParseInt(tokens[4]));
       ZIGGY_ASSIGN_OR_RETURN(int64_t num_deltas, ParseInt(tokens[5]));
+      const size_t chain_end = 6 + (num_deltas < 0 ? 0 : static_cast<size_t>(num_deltas));
       if (base < 0 || num_deltas < 0 ||
-          tokens.size() != 6 + static_cast<size_t>(num_deltas)) {
+          (!has_dict_refs && tokens.size() != chain_end) ||
+          (has_dict_refs && tokens.size() < chain_end + 1)) {
         return Status::ParseError("malformed delta chain in manifest line: " +
                                   lines[i]);
       }
@@ -149,6 +195,41 @@ Result<Manifest> Manifest::Parse(const std::string& text) {
             "delta chain does not end at the current generation in "
             "manifest line: " +
             lines[i]);
+      }
+      if (has_dict_refs) {
+        ZIGGY_ASSIGN_OR_RETURN(int64_t num_refs, ParseInt(tokens[chain_end]));
+        if (num_refs < 0 ||
+            tokens.size() !=
+                chain_end + 1 + 3 * static_cast<size_t>(num_refs)) {
+          return Status::ParseError(
+              "malformed dictionary refs in manifest line: " + lines[i]);
+        }
+        uint64_t prev_column = 0;
+        for (int64_t r = 0; r < num_refs; ++r) {
+          const size_t at = chain_end + 1 + 3 * static_cast<size_t>(r);
+          ManifestDictRef ref;
+          ZIGGY_ASSIGN_OR_RETURN(int64_t column, ParseInt(tokens[at]));
+          if (column < 0 ||
+              (r > 0 && static_cast<uint64_t>(column) <= prev_column)) {
+            return Status::ParseError(
+                "dictionary refs are not strictly increasing by column in "
+                "manifest line: " +
+                lines[i]);
+          }
+          prev_column = static_cast<uint64_t>(column);
+          ref.column = static_cast<uint64_t>(column);
+          if (!ParseHashHex(tokens[at + 1], &ref.hash)) {
+            return Status::ParseError(
+                "malformed dictionary hash in manifest line: " + lines[i]);
+          }
+          ZIGGY_ASSIGN_OR_RETURN(int64_t size, ParseInt(tokens[at + 2]));
+          if (size <= 0) {
+            return Status::ParseError(
+                "malformed dictionary size in manifest line: " + lines[i]);
+          }
+          ref.size = static_cast<uint64_t>(size);
+          entry.dict_refs.push_back(ref);
+        }
       }
     }
     if (manifest.Find(entry.name).has_value()) {

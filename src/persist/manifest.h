@@ -13,11 +13,17 @@
 // table, and never a chain whose segments are not all on disk.
 //
 // Format (text, versioned):
-//   ziggy-store 2
+//   ziggy-store 3
 //   table <name> <generation> <has_sketches:0|1> <base_generation>
 //         <num_deltas> <delta_generation>...
-// Version 1 (no chain fields) is still read: every v1 entry is a full
-// snapshot, so base_generation = generation and the chain is empty.
+//         <num_dict_refs> [<column> <hash:hex16> <size>]...
+// The dict-ref fields (version 3) record which columns of the base
+// snapshot reference a pooled dictionary (persist/dict_pool.h) instead
+// of inlining it — the manifest is what makes a pooled dictionary
+// *live* for GC purposes. A manifest with no dict refs serializes as
+// version 2 (identical to what previous binaries wrote and read), so
+// uncompressed stores stay fully interoperable. Versions 1 (no chain
+// fields; every entry a full snapshot) and 2 are still read.
 
 #ifndef ZIGGY_PERSIST_MANIFEST_H_
 #define ZIGGY_PERSIST_MANIFEST_H_
@@ -31,6 +37,13 @@
 
 namespace ziggy {
 
+/// \brief One column's pooled-dictionary reference in a manifest entry.
+struct ManifestDictRef {
+  uint64_t column = 0;  ///< column index in the base snapshot
+  uint64_t hash = 0;    ///< pooled dictionary content hash
+  uint64_t size = 0;    ///< number of leading labels the column uses
+};
+
 /// \brief One persisted table's manifest record.
 struct ManifestEntry {
   std::string name;
@@ -43,6 +56,9 @@ struct ManifestEntry {
   /// Ordered delta segments (delta.g<D>.zdlt) applied on top of the base;
   /// strictly increasing, all > base_generation, last == generation.
   std::vector<uint64_t> delta_generations;
+  /// Pooled dictionaries the base snapshot references, sorted by column
+  /// (empty for uncompressed or fully-inline checkpoints).
+  std::vector<ManifestDictRef> dict_refs;
 };
 
 /// \brief True iff `name` is safe as a store table name: the serving

@@ -1,5 +1,6 @@
 #include "persist/store.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -36,6 +37,21 @@ uint64_t FileBytesOrZero(const std::string& path) {
   return ec ? 0 : static_cast<uint64_t>(size);
 }
 
+bool CompressionEnabled(StoreCompression mode) {
+  switch (mode) {
+    case StoreCompression::kOff:
+      return false;
+    case StoreCompression::kOn:
+      return true;
+    case StoreCompression::kAuto:
+      break;
+  }
+  const char* env = std::getenv("ZIGGY_STORE_COMPRESSION");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "off" || value == "0" || value == "false");
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir,
@@ -45,6 +61,7 @@ Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir,
   ZIGGY_RETURN_NOT_OK(EnsureDirectory(JoinPath(dir, kTablesDir)));
 
   auto store = std::unique_ptr<ZiggyStore>(new ZiggyStore(dir, options));
+  store->compress_ = CompressionEnabled(options.compression);
   const std::string manifest_path = store->ManifestPath();
   if (PathExists(manifest_path)) {
     ZIGGY_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(manifest_path));
@@ -53,6 +70,10 @@ Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir,
     ZIGGY_RETURN_NOT_OK(
         AtomicWriteFile(manifest_path, store->manifest_.Serialize()));
   }
+  // The pool opens regardless of the write-side compression setting: an
+  // uncompressed-mode daemon must still load compressed checkpoints that
+  // reference pooled dictionaries.
+  ZIGGY_ASSIGN_OR_RETURN(store->dict_pool_, DictPool::Open(dir));
   return store;
 }
 
@@ -106,6 +127,16 @@ StoreStats ZiggyStore::stats() const {
   st.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
   st.last_checkpoint_bytes =
       last_checkpoint_bytes_.load(std::memory_order_relaxed);
+  st.checkpoint_raw_bytes =
+      checkpoint_raw_bytes_.load(std::memory_order_relaxed);
+  st.last_checkpoint_raw_bytes =
+      last_checkpoint_raw_bytes_.load(std::memory_order_relaxed);
+  if (dict_pool_ != nullptr) {
+    const DictPoolStats pool = dict_pool_->stats();
+    st.dict_pool_files = pool.dict_files;
+    st.dict_pool_bytes = pool.dict_bytes;
+    st.dict_pool_shared_hits = pool.shared_hits;
+  }
   return st;
 }
 
@@ -236,6 +267,29 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
                                   const std::vector<PersistedSketch>& sketches,
                                   uint64_t lineage,
                                   bool counts_as_compaction) {
+  // When compressing, externalize categorical dictionaries into the
+  // shared pool first. The pool files are durable before the table file
+  // that references them is staged, and the pins keep a concurrent
+  // sweep (another table's save committing in parallel) from deleting
+  // them in the window before OUR manifest commit makes them live.
+  // Acquire failures degrade to inlining the dictionary — never to a
+  // failed checkpoint.
+  TableWriteOptions write_options;
+  write_options.compress = compress_;
+  std::vector<ManifestDictRef> dict_refs;
+  ScopedDictPins pins(dict_pool_.get());
+  if (compress_ && dict_pool_ != nullptr) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& column = table.column(c);
+      if (!column.is_categorical() || column.dictionary().empty()) continue;
+      Result<DictRef> ref = dict_pool_->Acquire(column.dictionary());
+      if (!ref.ok()) continue;
+      pins.Add(ref->hash);
+      write_options.external_dicts[c] = *ref;
+      dict_refs.push_back(ManifestDictRef{c, ref->hash, ref->size});
+    }
+  }
+
   // Stage the generation's data files. These are NEW paths (named by the
   // generation), so a failure or crash anywhere in here cannot disturb
   // the checkpoint the manifest currently points at. CommitFile fsyncs
@@ -243,7 +297,7 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
   {
     const std::string path = TablePath(name, generation);
     const std::string tmp = TempPathFor(path);
-    Status st = WriteTableFile(table, tmp);
+    Status st = WriteTableFile(table, tmp, write_options);
     if (st.ok()) st = CommitFile(tmp, path);
     if (!st.ok()) {
       (void)RemoveFileIfExists(tmp);
@@ -276,6 +330,7 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
   entry.generation = generation;
   entry.has_sketches = has_sketches;
   entry.base_generation = generation;
+  entry.dict_refs = std::move(dict_refs);
   {
     std::lock_guard<std::mutex> lock(mu_);
     // A failed commit must leave the in-memory manifest matching the disk:
@@ -291,7 +346,11 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
 
   // Sweep superseded generations, compacted-away deltas, and orphans
   // from crashed saves — all best effort, retried by the next full save.
+  // This save's dictionaries are live (committed manifest) or pinned, so
+  // the pool sweep can only drop dictionaries the *previous* checkpoint
+  // of this table was the last user of.
   SweepUnreferenced(name, entry);
+  SweepDictPool();
 
   const uint64_t bytes = FileBytesOrZero(TablePath(name, generation));
   state->shape = ShapeOf(table);
@@ -303,8 +362,11 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
   if (counts_as_compaction) {
     compactions_.fetch_add(1, std::memory_order_relaxed);
   }
+  const uint64_t raw_bytes = UncompressedTableBytes(table);
   checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   last_checkpoint_bytes_.store(bytes, std::memory_order_relaxed);
+  checkpoint_raw_bytes_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  last_checkpoint_raw_bytes_.store(raw_bytes, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -320,8 +382,11 @@ Status ZiggyStore::SaveDeltaLocked(TableState* state, const std::string& name,
   {
     const std::string path = DeltaPath(name, generation);
     const std::string tmp = TempPathFor(path);
+    TableWriteOptions write_options;
+    write_options.compress = compress_;
     Status st = WriteTableDeltaFile(table, state->shape.rows,
-                                    state->shape.dict_sizes, tmp);
+                                    state->shape.dict_sizes, tmp,
+                                    write_options);
     if (st.ok()) st = CommitFile(tmp, path);
     if (!st.ok()) {
       (void)RemoveFileIfExists(tmp);
@@ -368,6 +433,8 @@ Status ZiggyStore::SaveDeltaLocked(TableState* state, const std::string& name,
   (void)RemoveFileIfExists(SketchesPath(name, previous.generation));
 
   const uint64_t bytes = FileBytesOrZero(DeltaPath(name, generation));
+  const uint64_t raw_bytes =
+      UncompressedDeltaBytes(table, state->shape.rows, state->shape.dict_sizes);
   const uint64_t base_bytes = state->shape.base_bytes;
   const uint64_t delta_bytes = state->shape.delta_bytes + bytes;
   state->shape = ShapeOf(table);
@@ -378,6 +445,8 @@ Status ZiggyStore::SaveDeltaLocked(TableState* state, const std::string& name,
   delta_checkpoints_.fetch_add(1, std::memory_order_relaxed);
   checkpoint_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   last_checkpoint_bytes_.store(bytes, std::memory_order_relaxed);
+  checkpoint_raw_bytes_.fetch_add(raw_bytes, std::memory_order_relaxed);
+  last_checkpoint_raw_bytes_.store(raw_bytes, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -400,8 +469,15 @@ Result<StoredTable> ZiggyStore::LoadTable(const std::string& name,
 
   StoredTable stored;
   stored.generation = entry.generation;
+  TableReadOptions read_options;
+  if (DictPool* pool = dict_pool_.get(); pool != nullptr) {
+    read_options.resolve_dict = [pool](const DictRef& ref) {
+      return pool->Resolve(ref);
+    };
+  }
   ZIGGY_ASSIGN_OR_RETURN(
-      stored.table, ReadTableFile(TablePath(name, entry.base_generation)));
+      stored.table,
+      ReadTableFile(TablePath(name, entry.base_generation), read_options));
   const uint64_t base_bytes =
       FileBytesOrZero(TablePath(name, entry.base_generation));
   uint64_t delta_bytes = 0;
@@ -466,7 +542,25 @@ Status ZiggyStore::RemoveTable(const std::string& name) {
     }
   }
   state->shape = PersistedShape{};
-  return RemoveDirectory(TableDir(name));
+  Status st = RemoveDirectory(TableDir(name));
+  // The removed entry may have been the last reference to its pooled
+  // dictionaries.
+  SweepDictPool();
+  return st;
+}
+
+void ZiggyStore::SweepDictPool() {
+  if (dict_pool_ == nullptr) return;
+  std::set<uint64_t> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ManifestEntry& entry : manifest_.entries()) {
+      for (const ManifestDictRef& ref : entry.dict_refs) {
+        live.insert(ref.hash);
+      }
+    }
+  }
+  dict_pool_->SweepUnreferenced(live);
 }
 
 }  // namespace ziggy

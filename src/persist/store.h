@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "persist/dict_pool.h"
 #include "persist/manifest.h"
 #include "persist/sketch_codec.h"
 #include "storage/table.h"
@@ -70,7 +71,18 @@
 
 namespace ziggy {
 
-/// \brief Store-level knobs (delta-chain compaction policy).
+/// \brief Whether checkpoints are written compressed (ZIGTBL02/ZIGDLT02
+/// + pooled dictionaries) or raw (ZIGTBL01/ZIGDLT01, byte-identical to
+/// previous releases). Reading always auto-detects per file, so either
+/// setting loads stores written under the other.
+enum class StoreCompression {
+  kAuto,  ///< from $ZIGGY_STORE_COMPRESSION ("off"/"0"/"false" disable);
+          ///< compressed when unset
+  kOff,
+  kOn,
+};
+
+/// \brief Store-level knobs (delta-chain compaction policy, compression).
 struct StoreOptions {
   /// Compact (full base rewrite) when the chain already holds this many
   /// delta segments. 0 disables delta checkpoints entirely.
@@ -78,6 +90,8 @@ struct StoreOptions {
   /// Compact when the chain's cumulative bytes exceed this fraction of
   /// the base snapshot's bytes.
   double max_delta_fraction = 0.5;
+  /// Checkpoint encoding (write side only).
+  StoreCompression compression = StoreCompression::kAuto;
 };
 
 /// \brief Monotonic store counters (this process's saves).
@@ -90,6 +104,15 @@ struct StoreStats {
   /// what the delta path optimizes).
   uint64_t checkpoint_bytes = 0;
   uint64_t last_checkpoint_bytes = 0;  ///< same, for the most recent save
+  /// What the same checkpoints would have cost in the uncompressed v1
+  /// encoding — checkpoint_bytes vs checkpoint_raw_bytes is the store's
+  /// measured compression ratio.
+  uint64_t checkpoint_raw_bytes = 0;
+  uint64_t last_checkpoint_raw_bytes = 0;
+  /// Shared dictionary pool gauges/counters (persist/dict_pool.h).
+  uint64_t dict_pool_files = 0;
+  uint64_t dict_pool_bytes = 0;
+  uint64_t dict_pool_shared_hits = 0;
 };
 
 /// \brief One loaded checkpoint.
@@ -116,6 +139,11 @@ class ZiggyStore {
 
   const std::string& dir() const { return dir_; }
   const StoreOptions& options() const { return options_; }
+  /// Resolved write-side compression (options + environment).
+  bool compression_enabled() const { return compress_; }
+  /// The store's shared dictionary pool (always open — loading a
+  /// compressed store needs it even when writes are uncompressed).
+  DictPool* dict_pool() const { return dict_pool_.get(); }
 
   /// Manifest snapshot, sorted by table name.
   std::vector<ManifestEntry> List() const;
@@ -214,9 +242,14 @@ class ZiggyStore {
   /// Removes every data file in the table's directory not referenced by
   /// `keep` (orphans from crashed saves included). Best effort.
   void SweepUnreferenced(const std::string& name, const ManifestEntry& keep);
+  /// Deletes pooled dictionaries no manifest entry references. Best
+  /// effort; runs after full saves and removals.
+  void SweepDictPool();
 
   std::string dir_;
   StoreOptions options_;
+  bool compress_ = false;
+  std::unique_ptr<DictPool> dict_pool_;
 
   mutable std::mutex mu_;  ///< guards manifest_ and states_ (the map)
   Manifest manifest_;
@@ -227,6 +260,8 @@ class ZiggyStore {
   std::atomic<uint64_t> compactions_{0};
   std::atomic<uint64_t> checkpoint_bytes_{0};
   std::atomic<uint64_t> last_checkpoint_bytes_{0};
+  std::atomic<uint64_t> checkpoint_raw_bytes_{0};
+  std::atomic<uint64_t> last_checkpoint_raw_bytes_{0};
 };
 
 }  // namespace ziggy

@@ -519,6 +519,11 @@ CatalogStats ServerCatalog::stats() const {
     st.store_delta_checkpoints = store_stats.delta_checkpoints;
     st.store_compactions = store_stats.compactions;
     st.store_checkpoint_bytes = store_stats.checkpoint_bytes;
+    st.store_compression = store_->compression_enabled();
+    st.store_checkpoint_raw_bytes = store_stats.checkpoint_raw_bytes;
+    st.store_dict_pool_files = store_stats.dict_pool_files;
+    st.store_dict_pool_bytes = store_stats.dict_pool_bytes;
+    st.store_dict_pool_shared_hits = store_stats.dict_pool_shared_hits;
   }
   {
     std::lock_guard<std::mutex> lock(flush_mu_);

@@ -128,6 +128,13 @@ struct CatalogStats {
   uint64_t store_delta_checkpoints = 0;  ///< O(delta) segments
   uint64_t store_compactions = 0;        ///< chain-limit base rewrites
   uint64_t store_checkpoint_bytes = 0;   ///< table-data bytes written
+  bool store_compression = false;        ///< checkpoints written compressed
+  /// What store_checkpoint_bytes would have been in the raw v1 encoding
+  /// (the pair is the store's measured compression ratio).
+  uint64_t store_checkpoint_raw_bytes = 0;
+  uint64_t store_dict_pool_files = 0;  ///< shared dictionary pool gauges
+  uint64_t store_dict_pool_bytes = 0;
+  uint64_t store_dict_pool_shared_hits = 0;
   /// @}
   /// \name Background flusher (all zero when flush_interval_ms == 0).
   /// @{

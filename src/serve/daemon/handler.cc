@@ -62,7 +62,12 @@ std::string CatalogStatsJson(const CatalogStats& st) {
      << ",\"full_checkpoints\":" << st.store_full_checkpoints
      << ",\"delta_checkpoints\":" << st.store_delta_checkpoints
      << ",\"compactions\":" << st.store_compactions
-     << ",\"checkpoint_bytes\":" << st.store_checkpoint_bytes << "}"
+     << ",\"checkpoint_bytes\":" << st.store_checkpoint_bytes
+     << ",\"compression\":" << (st.store_compression ? "true" : "false")
+     << ",\"checkpoint_raw_bytes\":" << st.store_checkpoint_raw_bytes
+     << ",\"dict_pool\":{\"files\":" << st.store_dict_pool_files
+     << ",\"bytes\":" << st.store_dict_pool_bytes
+     << ",\"shared_hits\":" << st.store_dict_pool_shared_hits << "}}"
      << ",\"flusher\":{\"active\":" << (st.flusher_active ? "true" : "false")
      << ",\"dirty_tables\":" << st.dirty_tables
      << ",\"cycles\":" << st.flush_cycles

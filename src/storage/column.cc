@@ -4,6 +4,28 @@
 
 namespace ziggy {
 
+const std::vector<std::string> Column::kEmptyLabels;
+
+Result<std::shared_ptr<ColumnDictionary>> ColumnDictionary::Build(
+    std::vector<std::string> labels) {
+  auto dict = std::make_shared<ColumnDictionary>();
+  dict->labels = std::move(labels);
+  dict->index.reserve(dict->labels.size());
+  for (size_t i = 0; i < dict->labels.size(); ++i) {
+    if (dict->labels[i].empty()) {
+      return Status::ParseError("empty dictionary label");
+    }
+    const bool inserted =
+        dict->index.emplace(dict->labels[i], static_cast<CategoryCode>(i))
+            .second;
+    if (!inserted) {
+      return Status::ParseError("duplicate dictionary label \"" +
+                                dict->labels[i] + "\"");
+    }
+  }
+  return dict;
+}
+
 Column Column::Numeric(std::string name) {
   return Column(std::move(name), ColumnType::kNumeric);
 }
@@ -25,36 +47,61 @@ Column Column::FromStrings(std::string name, const std::vector<std::string>& lab
   return c;
 }
 
+namespace {
+
+Status ValidateCodes(const std::string& name,
+                     const std::vector<CategoryCode>& codes,
+                     size_t dict_size) {
+  for (const CategoryCode code : codes) {
+    if (code != kNullCategory &&
+        (code < 0 || static_cast<size_t>(code) >= dict_size)) {
+      return Status::ParseError("column \"" + name +
+                                "\": code out of dictionary range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<Column> Column::FromDictionary(std::string name,
                                       std::vector<std::string> dictionary,
                                       std::vector<CategoryCode> codes) {
   Column c(std::move(name), ColumnType::kCategorical);
-  c.dictionary_ = std::move(dictionary);
-  c.dictionary_index_.reserve(c.dictionary_.size());
-  for (size_t i = 0; i < c.dictionary_.size(); ++i) {
-    if (c.dictionary_[i].empty()) {
-      return Status::ParseError("column \"" + c.name_ +
-                                "\": empty dictionary label");
-    }
-    const bool inserted =
-        c.dictionary_index_
-            .emplace(c.dictionary_[i], static_cast<CategoryCode>(i))
-            .second;
-    if (!inserted) {
-      return Status::ParseError("column \"" + c.name_ +
-                                "\": duplicate dictionary label \"" +
-                                c.dictionary_[i] + "\"");
-    }
+  Result<std::shared_ptr<ColumnDictionary>> dict =
+      ColumnDictionary::Build(std::move(dictionary));
+  if (!dict.ok()) {
+    return Status::ParseError("column \"" + c.name_ +
+                              "\": " + dict.status().message());
   }
-  for (const CategoryCode code : codes) {
-    if (code != kNullCategory &&
-        (code < 0 || static_cast<size_t>(code) >= c.dictionary_.size())) {
-      return Status::ParseError("column \"" + c.name_ +
-                                "\": code out of dictionary range");
-    }
-  }
+  c.dict_ = std::move(*dict);
+  ZIGGY_RETURN_NOT_OK(ValidateCodes(c.name_, codes, c.dict_->labels.size()));
   c.codes_ = std::move(codes);
   return c;
+}
+
+Result<Column> Column::FromSharedDictionary(
+    std::string name, std::shared_ptr<ColumnDictionary> dictionary,
+    std::vector<CategoryCode> codes) {
+  Column c(std::move(name), ColumnType::kCategorical);
+  const size_t dict_size = dictionary ? dictionary->labels.size() : 0;
+  ZIGGY_RETURN_NOT_OK(ValidateCodes(c.name_, codes, dict_size));
+  c.dict_ = std::move(dictionary);
+  c.codes_ = std::move(codes);
+  return c;
+}
+
+ColumnDictionary* Column::MutableDictionary() {
+  // use_count == 1 means this column is the sole holder and may mutate
+  // in place; otherwise (pool cache, sibling column, or snapshot holds a
+  // reference) clone a private copy first. A pooled dictionary is always
+  // shared with the pool's cache, so it can never be mutated in place.
+  if (dict_ == nullptr) {
+    dict_ = std::make_shared<ColumnDictionary>();
+  } else if (dict_.use_count() > 1) {
+    dict_ = std::make_shared<ColumnDictionary>(*dict_);
+  }
+  return dict_.get();
 }
 
 void Column::AppendLabel(const std::string& label) {
@@ -69,23 +116,27 @@ void Column::AppendLabel(const std::string& label) {
 void Column::AppendCode(CategoryCode code) {
   ZIGGY_DCHECK(is_categorical());
   ZIGGY_DCHECK(code == kNullCategory ||
-               static_cast<size_t>(code) < dictionary_.size());
+               static_cast<size_t>(code) < dictionary().size());
   codes_.push_back(code);
 }
 
 CategoryCode Column::InternLabel(const std::string& label) {
   ZIGGY_DCHECK(is_categorical());
-  auto it = dictionary_index_.find(label);
-  if (it != dictionary_index_.end()) return it->second;
-  CategoryCode code = static_cast<CategoryCode>(dictionary_.size());
-  dictionary_.push_back(label);
-  dictionary_index_.emplace(label, code);
+  if (dict_ != nullptr) {
+    auto it = dict_->index.find(label);
+    if (it != dict_->index.end()) return it->second;
+  }
+  ColumnDictionary* dict = MutableDictionary();
+  CategoryCode code = static_cast<CategoryCode>(dict->labels.size());
+  dict->labels.push_back(label);
+  dict->index.emplace(label, code);
   return code;
 }
 
 CategoryCode Column::LookupLabel(const std::string& label) const {
-  auto it = dictionary_index_.find(label);
-  return it == dictionary_index_.end() ? kNullCategory : it->second;
+  if (dict_ == nullptr) return kNullCategory;
+  auto it = dict_->index.find(label);
+  return it == dict_->index.end() ? kNullCategory : it->second;
 }
 
 bool Column::IsNull(size_t i) const {
@@ -106,7 +157,7 @@ size_t Column::null_count() const {
 Value Column::GetValue(size_t i) const {
   if (IsNull(i)) return std::monostate{};
   if (is_numeric()) return numeric_[i];
-  return dictionary_[static_cast<size_t>(codes_[i])];
+  return dictionary()[static_cast<size_t>(codes_[i])];
 }
 
 std::string Column::ValueAsString(size_t i) const { return ValueToString(GetValue(i)); }

@@ -3,11 +3,19 @@
 // A column is either numeric (contiguous doubles, NaN = NULL) or categorical
 // (dictionary-encoded int32 codes, -1 = NULL). Both layouts support the full
 // sequential scans that Ziggy's statistics collection performs.
+//
+// Categorical dictionaries are held behind a shared_ptr with copy-on-write
+// semantics: copying a column (or loading N tables whose columns resolve to
+// the same pooled dictionary — persist/dict_pool.h) shares one dictionary
+// object in memory, and the first mutation through a sharing column clones
+// its own private copy. Holders other than the mutating column never
+// observe a change.
 
 #ifndef ZIGGY_STORAGE_COLUMN_H_
 #define ZIGGY_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +24,20 @@
 #include "storage/types.h"
 
 namespace ziggy {
+
+/// \brief An immutable-by-convention categorical dictionary: the ordered
+/// labels plus the label -> code index. Shared across columns (and with
+/// the store's dictionary pool) behind shared_ptr; every holder treats
+/// the contents as frozen and clones before mutating (Column's COW).
+struct ColumnDictionary {
+  std::vector<std::string> labels;
+  std::unordered_map<std::string, CategoryCode> index;
+
+  /// Builds (and validates) a dictionary from ordered labels; fails on
+  /// empty or duplicate labels.
+  static Result<std::shared_ptr<ColumnDictionary>> Build(
+      std::vector<std::string> labels);
+};
 
 /// \brief A single named, typed column of an in-memory table.
 class Column {
@@ -36,6 +58,12 @@ class Column {
   static Result<Column> FromDictionary(std::string name,
                                        std::vector<std::string> dictionary,
                                        std::vector<CategoryCode> codes);
+  /// Same, from an already-validated shared dictionary (the pooled-dict
+  /// load path): the column shares `dictionary` in memory instead of
+  /// copying the labels. Fails on out-of-range codes.
+  static Result<Column> FromSharedDictionary(
+      std::string name, std::shared_ptr<ColumnDictionary> dictionary,
+      std::vector<CategoryCode> codes);
 
   const std::string& name() const { return name_; }
   ColumnType type() const { return type_; }
@@ -54,8 +82,14 @@ class Column {
   /// \name Categorical access (requires is_categorical()).
   /// @{
   const std::vector<CategoryCode>& codes() const { return codes_; }
-  const std::vector<std::string>& dictionary() const { return dictionary_; }
-  size_t cardinality() const { return dictionary_.size(); }
+  const std::vector<std::string>& dictionary() const {
+    return dict_ ? dict_->labels : kEmptyLabels;
+  }
+  /// The shared dictionary object (null for an empty dictionary).
+  const std::shared_ptr<ColumnDictionary>& shared_dictionary() const {
+    return dict_;
+  }
+  size_t cardinality() const { return dictionary().size(); }
   /// Appends a label, interning it in the dictionary. Empty string = NULL.
   void AppendLabel(const std::string& label);
   /// Appends an existing code (must be < cardinality() or kNullCategory).
@@ -82,14 +116,19 @@ class Column {
   Column(std::string name, ColumnType type)
       : name_(std::move(name)), type_(type) {}
 
+  /// COW: returns a dictionary this column may mutate, cloning first
+  /// when the current one is shared with any other holder.
+  ColumnDictionary* MutableDictionary();
+
+  static const std::vector<std::string> kEmptyLabels;
+
   std::string name_;
   ColumnType type_;
   // Numeric payload.
   std::vector<double> numeric_;
   // Categorical payload.
   std::vector<CategoryCode> codes_;
-  std::vector<std::string> dictionary_;
-  std::unordered_map<std::string, CategoryCode> dictionary_index_;
+  std::shared_ptr<ColumnDictionary> dict_;
 };
 
 }  // namespace ziggy

@@ -1,0 +1,398 @@
+#include "storage/column_codec.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/binary_io.h"
+#include "common/compress.h"
+
+namespace ziggy {
+
+namespace {
+
+constexpr uint8_t kRawTag = 0;
+constexpr uint8_t kLzTag = 1;
+constexpr uint8_t kDforTag = 2;  // numeric payloads
+constexpr uint8_t kPackTag = 2;  // code payloads
+constexpr uint8_t kForMode = 0;
+constexpr uint8_t kDeltaMode = 1;
+// Decimal scales tried for dfor, 10^0 .. 10^12 (more digits than that
+// and the scaled integers start colliding with the double mantissa
+// limit, where the roundtrip check below fails anyway).
+constexpr int kMaxScalePow = 12;
+
+double Pow10(int k) {
+  double s = 1.0;
+  while (k-- > 0) s *= 10.0;
+  return s;
+}
+
+uint64_t BitsOf(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+bool BitEqual(double a, double b) { return BitsOf(a) == BitsOf(b); }
+
+inline uint64_t ZigZag(int64_t d) {
+  return (static_cast<uint64_t>(d) << 1) ^
+         static_cast<uint64_t>(d >> 63);
+}
+
+inline int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>(z >> 1) ^ -static_cast<int64_t>(z & 1);
+}
+
+/// The dfor analysis of a numeric span: which cells are NULL, the decimal
+/// scale, and the scaled integers — or ineligibility.
+struct DforPlan {
+  bool ok = false;
+  int scale_pow = 0;
+  std::vector<bool> is_null;
+  std::vector<int64_t> scaled;  ///< non-null cells, in order
+};
+
+DforPlan AnalyzeDfor(const double* cells, size_t n) {
+  DforPlan plan;
+  plan.is_null.resize(n, false);
+  const uint64_t null_bits = BitsOf(NullNumeric());
+  std::vector<double> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double v = cells[i];
+    if (BitsOf(v) == null_bits) {
+      plan.is_null[i] = true;
+      continue;
+    }
+    // Non-canonical NaNs and infinities have no integer image; raw/lz
+    // preserve their exact bits instead.
+    if (!std::isfinite(v)) return plan;
+    values.push_back(v);
+  }
+  for (int k = 0; k <= kMaxScalePow; ++k) {
+    const double scale = Pow10(k);
+    plan.scaled.clear();
+    plan.scaled.reserve(values.size());
+    bool fits = true;
+    for (const double v : values) {
+      // Bound before llround: v * scale beyond int64 range would be UB,
+      // and integers past 2^53 are not exactly representable anyway.
+      if (!(std::fabs(v) <= 9.0e15 / scale)) {
+        fits = false;
+        break;
+      }
+      const int64_t m = std::llround(v * scale);
+      if (!BitEqual(static_cast<double>(m) / scale, v)) {
+        fits = false;
+        break;
+      }
+      plan.scaled.push_back(m);
+    }
+    if (fits) {
+      plan.ok = true;
+      plan.scale_pow = k;
+      return plan;
+    }
+  }
+  return plan;
+}
+
+std::string NullBitmap(const std::vector<bool>& is_null) {
+  std::string bytes((is_null.size() + 7) / 8, '\0');
+  for (size_t i = 0; i < is_null.size(); ++i) {
+    if (is_null[i]) bytes[i >> 3] |= static_cast<char>(1u << (i & 7));
+  }
+  return bytes;
+}
+
+std::string EncodeDfor(const DforPlan& plan) {
+  // Compare the two packings of the scaled integers: against the column
+  // minimum (FOR), or zigzag neighbor deltas (narrower when the column
+  // is sorted or slowly varying).
+  const std::vector<int64_t>& m = plan.scaled;
+  int64_t min = 0, max = 0;
+  if (!m.empty()) {
+    min = max = m[0];
+    for (const int64_t v : m) {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+  }
+  const unsigned for_width = static_cast<unsigned>(std::bit_width(
+      static_cast<uint64_t>(max) - static_cast<uint64_t>(min)));
+  uint64_t max_zig = 0;
+  for (size_t i = 1; i < m.size(); ++i) {
+    max_zig = std::max(max_zig, ZigZag(m[i] - m[i - 1]));
+  }
+  const unsigned delta_width = static_cast<unsigned>(std::bit_width(max_zig));
+  const size_t for_bytes = PackedBitsSize(m.size(), for_width);
+  const size_t delta_bytes =
+      PackedBitsSize(m.empty() ? 0 : m.size() - 1, delta_width);
+  const bool use_delta = m.size() > 1 && delta_bytes < for_bytes;
+
+  std::string payload;
+  PutU8(&payload, kDforTag);
+  PutU8(&payload, use_delta ? kDeltaMode : kForMode);
+  PutU8(&payload, use_delta ? static_cast<uint8_t>(delta_width)
+                            : static_cast<uint8_t>(for_width));
+  PutU8(&payload, static_cast<uint8_t>(plan.scale_pow));
+  PutI64(&payload, use_delta ? (m.empty() ? 0 : m[0]) : min);
+  payload += NullBitmap(plan.is_null);
+  std::vector<uint64_t> packed;
+  if (use_delta) {
+    packed.reserve(m.size() - 1);
+    for (size_t i = 1; i < m.size(); ++i) packed.push_back(ZigZag(m[i] - m[i - 1]));
+    PackBits(packed.data(), packed.size(), delta_width, &payload);
+  } else {
+    packed.reserve(m.size());
+    for (const int64_t v : m) {
+      packed.push_back(static_cast<uint64_t>(v) - static_cast<uint64_t>(min));
+    }
+    PackBits(packed.data(), packed.size(), for_width, &payload);
+  }
+  return payload;
+}
+
+void KeepSmaller(std::string* best, std::string candidate) {
+  if (candidate.size() < best->size()) *best = std::move(candidate);
+}
+
+Result<std::vector<bool>> ParseNullBitmap(ByteReader* reader, size_t n) {
+  ZIGGY_ASSIGN_OR_RETURN(std::string_view bytes,
+                         reader->ReadBytes((n + 7) / 8));
+  std::vector<bool> is_null(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    is_null[i] = (static_cast<uint8_t>(bytes[i >> 3]) >> (i & 7)) & 1u;
+  }
+  // Pad bits must be zero — canonical encoding, same policy as UnpackBits.
+  for (size_t i = n; i < bytes.size() * 8; ++i) {
+    if ((static_cast<uint8_t>(bytes[i >> 3]) >> (i & 7)) & 1u) {
+      return Status::ParseError("nonzero pad bits in null bitmap");
+    }
+  }
+  return is_null;
+}
+
+Result<std::vector<double>> DecodeDfor(ByteReader* reader, size_t n) {
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t mode, reader->ReadU8());
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t width, reader->ReadU8());
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t scale_pow, reader->ReadU8());
+  ZIGGY_ASSIGN_OR_RETURN(int64_t base, reader->ReadI64());
+  if (mode != kForMode && mode != kDeltaMode) {
+    return Status::ParseError("unknown dfor mode");
+  }
+  if (width > 64 || scale_pow > kMaxScalePow) {
+    return Status::ParseError("implausible dfor width or scale");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(std::vector<bool> is_null,
+                         ParseNullBitmap(reader, n));
+  size_t num_values = 0;
+  for (size_t i = 0; i < n; ++i) num_values += is_null[i] ? 0 : 1;
+  const size_t num_packed =
+      mode == kDeltaMode ? (num_values > 0 ? num_values - 1 : 0) : num_values;
+  ZIGGY_ASSIGN_OR_RETURN(std::string_view packed_bytes,
+                         reader->ReadBytes(PackedBitsSize(num_packed, width)));
+  ZIGGY_ASSIGN_OR_RETURN(std::vector<uint64_t> packed,
+                         UnpackBits(packed_bytes, num_packed, width));
+  if (!reader->exhausted()) {
+    return Status::ParseError("trailing bytes after dfor payload");
+  }
+
+  const double scale = Pow10(scale_pow);
+  std::vector<int64_t> values;
+  values.reserve(num_values);
+  if (mode == kDeltaMode) {
+    // Unsigned accumulation: a crafted chain of deltas must not trip
+    // signed-overflow UB; wrapped values just decode to data that cannot
+    // match what any encoder produced.
+    uint64_t acc = static_cast<uint64_t>(base);
+    if (num_values > 0) values.push_back(base);
+    for (const uint64_t z : packed) {
+      acc += static_cast<uint64_t>(UnZigZag(z));
+      values.push_back(static_cast<int64_t>(acc));
+    }
+  } else {
+    for (const uint64_t delta : packed) {
+      values.push_back(static_cast<int64_t>(static_cast<uint64_t>(base) + delta));
+    }
+  }
+
+  std::vector<double> cells(n);
+  size_t next = 0;
+  for (size_t i = 0; i < n; ++i) {
+    cells[i] = is_null[i] ? NullNumeric()
+                          : static_cast<double>(values[next++]) / scale;
+  }
+  return cells;
+}
+
+}  // namespace
+
+std::string EncodeNumericCells(const double* cells, size_t n) {
+  std::string raw;
+  PutU8(&raw, kRawTag);
+  raw.append(reinterpret_cast<const char*>(cells), sizeof(double) * n);
+
+  std::string best = raw;
+  std::string lz;
+  PutU8(&lz, kLzTag);
+  lz += LzCompress(std::string_view(raw).substr(1));
+  KeepSmaller(&best, std::move(lz));
+
+  DforPlan plan = AnalyzeDfor(cells, n);
+  if (plan.ok) KeepSmaller(&best, EncodeDfor(plan));
+  return best;
+}
+
+Result<std::vector<double>> DecodeNumericCells(std::string_view payload,
+                                               size_t n) {
+  // Bound the (caller-supplied, ultimately file-derived) count before any
+  // size arithmetic: past this, even the raw encoding could not fit a
+  // section, and n * sizeof(double) must not wrap.
+  if (n > kMaxSectionBytes / sizeof(double)) {
+    return Status::ParseError("implausible numeric cell count");
+  }
+  ByteReader reader(payload);
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  if (tag == kDforTag) return DecodeDfor(&reader, n);
+  std::string decompressed;
+  std::string_view bytes;
+  if (tag == kRawTag) {
+    ZIGGY_ASSIGN_OR_RETURN(bytes, reader.ReadBytes(sizeof(double) * n));
+    if (!reader.exhausted()) {
+      return Status::ParseError("trailing bytes after raw numeric cells");
+    }
+  } else if (tag == kLzTag) {
+    ZIGGY_ASSIGN_OR_RETURN(
+        decompressed,
+        LzDecompress(payload.substr(1), sizeof(double) * n));
+    bytes = decompressed;
+  } else {
+    return Status::ParseError("unknown numeric cell encoding");
+  }
+  std::vector<double> cells(n);
+  if (n > 0) std::memcpy(cells.data(), bytes.data(), bytes.size());
+  return cells;
+}
+
+std::string EncodeCategoryCodes(const CategoryCode* codes, size_t n,
+                                size_t dict_size) {
+  std::string raw;
+  PutU8(&raw, kRawTag);
+  raw.append(reinterpret_cast<const char*>(codes), sizeof(CategoryCode) * n);
+
+  std::string best = raw;
+  std::string lz;
+  PutU8(&lz, kLzTag);
+  lz += LzCompress(std::string_view(raw).substr(1));
+  KeepSmaller(&best, std::move(lz));
+
+  // Bit-pack codes+1 (NULL's -1 becomes 0) when every code is in range —
+  // always true for codes coming from a validated column, but encoding
+  // must never produce a payload its decoder would reject.
+  bool packable = dict_size <= size_t{1} << 30;
+  for (size_t i = 0; packable && i < n; ++i) {
+    packable = codes[i] == kNullCategory ||
+               (codes[i] >= 0 && static_cast<size_t>(codes[i]) < dict_size);
+  }
+  if (packable) {
+    const unsigned width =
+        static_cast<unsigned>(std::bit_width(static_cast<uint64_t>(dict_size)));
+    std::string packed;
+    PutU8(&packed, kPackTag);
+    PutU8(&packed, static_cast<uint8_t>(width));
+    std::vector<uint64_t> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<uint64_t>(static_cast<int64_t>(codes[i]) + 1);
+    }
+    PackBits(values.data(), values.size(), width, &packed);
+    KeepSmaller(&best, std::move(packed));
+  }
+  return best;
+}
+
+Result<std::vector<CategoryCode>> DecodeCategoryCodes(std::string_view payload,
+                                                      size_t n,
+                                                      size_t dict_size) {
+  if (n > kMaxSectionBytes / sizeof(double)) {
+    return Status::ParseError("implausible code count");
+  }
+  ByteReader reader(payload);
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  if (tag == kPackTag) {
+    ZIGGY_ASSIGN_OR_RETURN(uint8_t width, reader.ReadU8());
+    if (width > 32) return Status::ParseError("implausible code bit width");
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view bytes,
+                           reader.ReadBytes(PackedBitsSize(n, width)));
+    ZIGGY_ASSIGN_OR_RETURN(std::vector<uint64_t> values,
+                           UnpackBits(bytes, n, width));
+    if (!reader.exhausted()) {
+      return Status::ParseError("trailing bytes after packed codes");
+    }
+    std::vector<CategoryCode> codes(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (values[i] > dict_size) {
+        return Status::ParseError("packed code out of dictionary range");
+      }
+      codes[i] = static_cast<CategoryCode>(static_cast<int64_t>(values[i]) - 1);
+    }
+    return codes;
+  }
+  std::string decompressed;
+  std::string_view bytes;
+  if (tag == kRawTag) {
+    ZIGGY_ASSIGN_OR_RETURN(bytes, reader.ReadBytes(sizeof(CategoryCode) * n));
+    if (!reader.exhausted()) {
+      return Status::ParseError("trailing bytes after raw codes");
+    }
+  } else if (tag == kLzTag) {
+    ZIGGY_ASSIGN_OR_RETURN(
+        decompressed,
+        LzDecompress(payload.substr(1), sizeof(CategoryCode) * n));
+    bytes = decompressed;
+  } else {
+    return Status::ParseError("unknown code encoding");
+  }
+  std::vector<CategoryCode> codes(n);
+  if (n > 0) std::memcpy(codes.data(), bytes.data(), bytes.size());
+  for (const CategoryCode code : codes) {
+    if (code != kNullCategory &&
+        (code < 0 || static_cast<size_t>(code) >= dict_size)) {
+      return Status::ParseError("code out of dictionary range");
+    }
+  }
+  return codes;
+}
+
+std::string EncodeByteBlob(std::string_view raw) {
+  std::string best;
+  PutU8(&best, kRawTag);
+  best.append(raw.data(), raw.size());
+
+  std::string lz;
+  PutU8(&lz, kLzTag);
+  PutU64(&lz, raw.size());
+  lz += LzCompress(raw);
+  KeepSmaller(&best, std::move(lz));
+  return best;
+}
+
+Result<std::string> DecodeByteBlob(std::string_view payload,
+                                   size_t max_raw_bytes) {
+  ByteReader reader(payload);
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  if (tag == kRawTag) {
+    return std::string(payload.substr(1));
+  }
+  if (tag != kLzTag) return Status::ParseError("unknown blob encoding");
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t raw_size, reader.ReadU64());
+  if (raw_size > max_raw_bytes) {
+    return Status::ParseError("implausible blob size");
+  }
+  return LzDecompress(payload.substr(1 + sizeof(uint64_t)),
+                      static_cast<size_t>(raw_size));
+}
+
+}  // namespace ziggy

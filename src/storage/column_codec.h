@@ -1,0 +1,78 @@
+// Per-column payload codecs of the v2 table formats (ZIGTBL02/ZIGDLT02,
+// see storage/table_io.h). Each encoder tries every applicable encoding
+// and keeps the smallest output — the measured-ratio policy — so a
+// hostile or incompressible column always has the `raw` escape hatch and
+// never grows past its raw size plus a one-byte tag.
+//
+// Encodings (the leading u8 tag of every payload):
+//
+//   numeric cells  raw    IEEE doubles verbatim
+//                  lz     LzCompress over the raw doubles
+//                  dfor   decimal frame-of-reference: cells are scaled by
+//                         a power of ten to integers (scale 1 covers
+//                         plain integral columns), NULLs recorded in a
+//                         bitmap, and the integers stored bit-packed
+//                         either against the column minimum (FOR) or as
+//                         zigzag deltas between neighbors (sorted runs).
+//                         Only chosen when every cell survives a
+//                         bit-exact roundtrip check at encode time —
+//                         free-form doubles, ±inf, and non-canonical
+//                         NaNs fall back to lz/raw.
+//   category codes raw    int32 codes verbatim
+//                  lz     LzCompress over the raw codes
+//                  pack   codes+1 bit-packed to bit_width(dict_size)
+//                         bits (the NULL code -1 packs as 0)
+//   byte blobs     raw / lz   (dictionary label blocks)
+//
+// Every decoder is the strict inverse: it validates the tag, all counts
+// and widths, rejects trailing bytes, and reproduces the encoder input
+// bit for bit (pinned by tests/column_codec_test.cc). Corruption fails
+// with a clean Status — the CRC framing above these payloads catches
+// random damage first, so these checks guard against crafted files with
+// valid checksums.
+
+#ifndef ZIGGY_STORAGE_COLUMN_CODEC_H_
+#define ZIGGY_STORAGE_COLUMN_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/types.h"
+
+namespace ziggy {
+
+/// \brief Encodes `cells[0..n)` (a full column or a delta tail),
+/// choosing the smallest of raw/lz/dfor.
+std::string EncodeNumericCells(const double* cells, size_t n);
+
+/// \brief Decodes exactly `n` numeric cells; bit-for-bit inverse of
+/// EncodeNumericCells (NaN payloads included).
+Result<std::vector<double>> DecodeNumericCells(std::string_view payload,
+                                               size_t n);
+
+/// \brief Encodes `codes[0..n)` against a dictionary of `dict_size`
+/// entries, choosing the smallest of raw/lz/pack.
+std::string EncodeCategoryCodes(const CategoryCode* codes, size_t n,
+                                size_t dict_size);
+
+/// \brief Decodes exactly `n` codes; every non-NULL code is validated
+/// against `dict_size`.
+Result<std::vector<CategoryCode>> DecodeCategoryCodes(std::string_view payload,
+                                                      size_t n,
+                                                      size_t dict_size);
+
+/// \brief Encodes an opaque byte blob (dictionary label blocks),
+/// choosing the smaller of raw/lz.
+std::string EncodeByteBlob(std::string_view raw);
+
+/// \brief Decodes a byte blob; `max_raw_bytes` bounds the declared
+/// decompressed size before any allocation.
+Result<std::string> DecodeByteBlob(std::string_view payload,
+                                   size_t max_raw_bytes);
+
+}  // namespace ziggy
+
+#endif  // ZIGGY_STORAGE_COLUMN_CODEC_H_

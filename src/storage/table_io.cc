@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/binary_io.h"
+#include "storage/column_codec.h"
 
 namespace ziggy {
 
@@ -15,6 +16,14 @@ constexpr size_t kMaxColumns = 1u << 20;
 constexpr size_t kMaxNameBytes = 1u << 20;
 constexpr uint8_t kNumericKind = 0;
 constexpr uint8_t kCategoricalKind = 1;
+constexpr uint8_t kDictInline = 0;
+constexpr uint8_t kDictExternal = 1;
+// v2 row bound: compressed column payloads no longer scale with the row
+// count, so the per-column "cells fit the payload" checks of v1 cannot
+// bound a hostile header. Past this many rows even the raw fallback of a
+// single numeric column could not fit a section.
+constexpr uint64_t kMaxV2Rows = kMaxSectionBytes / sizeof(double);
+constexpr size_t kSectionOverhead = sizeof(uint64_t) + sizeof(uint32_t);
 
 std::string HeaderPayload(const Table& table) {
   std::string payload;
@@ -50,6 +59,33 @@ std::string ColumnPayload(const Column& column) {
     payload.append(reinterpret_cast<const char*>(codes.data()),
                    sizeof(CategoryCode) * codes.size());
   }
+  return payload;
+}
+
+std::string ColumnPayloadV2(const Column& column, const DictRef* external) {
+  std::string payload;
+  if (column.is_numeric()) {
+    PutU8(&payload, kNumericKind);
+    payload += EncodeNumericCells(column.numeric_data().data(),
+                                  column.numeric_data().size());
+    return payload;
+  }
+  PutU8(&payload, kCategoricalKind);
+  if (external != nullptr) {
+    PutU8(&payload, kDictExternal);
+    PutU64(&payload, external->hash);
+    PutU64(&payload, external->size);
+  } else {
+    PutU8(&payload, kDictInline);
+    std::string blob;
+    PutU64(&blob, column.dictionary().size());
+    for (const std::string& label : column.dictionary()) {
+      PutLengthPrefixed(&blob, label);
+    }
+    PutLengthPrefixed(&payload, EncodeByteBlob(blob));
+  }
+  payload += EncodeCategoryCodes(column.codes().data(), column.codes().size(),
+                                 column.dictionary().size());
   return payload;
 }
 
@@ -114,25 +150,132 @@ Result<Column> ParseColumn(std::string_view payload, const Field& field,
                                 std::move(codes));
 }
 
+/// Parses the inline dictionary blob of a v2 categorical payload:
+/// { u64 dict_size, str labels... }.
+Result<std::vector<std::string>> ParseDictBlob(const std::string& blob,
+                                               const std::string& column) {
+  ByteReader reader(blob);
+  ZIGGY_ASSIGN_OR_RETURN(uint64_t dict_size, reader.ReadU64());
+  if (dict_size > reader.remaining() / sizeof(uint64_t)) {
+    return Status::ParseError("column \"" + column +
+                              "\": dictionary size exceeds its blob");
+  }
+  std::vector<std::string> labels;
+  labels.reserve(static_cast<size_t>(dict_size));
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
+                           reader.ReadLengthPrefixed(kMaxNameBytes));
+    labels.emplace_back(label);
+  }
+  if (!reader.exhausted()) {
+    return Status::ParseError("column \"" + column +
+                              "\": trailing bytes in dictionary blob");
+  }
+  return labels;
+}
+
+Result<Column> ParseColumnV2(std::string_view payload, const Field& field,
+                             size_t num_rows,
+                             const TableReadOptions& options) {
+  ByteReader reader(payload);
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadU8());
+  const uint8_t expected_kind =
+      field.type == ColumnType::kNumeric ? kNumericKind : kCategoricalKind;
+  if (kind != expected_kind) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": payload kind disagrees with schema");
+  }
+  if (kind == kNumericKind) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view cells_payload,
+                           reader.ReadBytes(reader.remaining()));
+    ZIGGY_ASSIGN_OR_RETURN(std::vector<double> cells,
+                           DecodeNumericCells(cells_payload, num_rows));
+    return Column::FromNumeric(field.name, std::move(cells));
+  }
+  ZIGGY_ASSIGN_OR_RETURN(uint8_t dict_mode, reader.ReadU8());
+  if (dict_mode == kDictInline) {
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view blob_payload,
+                           reader.ReadLengthPrefixed(kMaxSectionBytes));
+    ZIGGY_ASSIGN_OR_RETURN(std::string blob,
+                           DecodeByteBlob(blob_payload, kMaxSectionBytes));
+    ZIGGY_ASSIGN_OR_RETURN(std::vector<std::string> labels,
+                           ParseDictBlob(blob, field.name));
+    ZIGGY_ASSIGN_OR_RETURN(std::string_view codes_payload,
+                           reader.ReadBytes(reader.remaining()));
+    ZIGGY_ASSIGN_OR_RETURN(
+        std::vector<CategoryCode> codes,
+        DecodeCategoryCodes(codes_payload, num_rows, labels.size()));
+    return Column::FromDictionary(field.name, std::move(labels),
+                                  std::move(codes));
+  }
+  if (dict_mode != kDictExternal) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": unknown dictionary mode");
+  }
+  DictRef ref;
+  ZIGGY_ASSIGN_OR_RETURN(ref.hash, reader.ReadU64());
+  ZIGGY_ASSIGN_OR_RETURN(ref.size, reader.ReadU64());
+  if (!options.resolve_dict) {
+    return Status::FailedPrecondition(
+        "column \"" + field.name +
+        "\": table references an external dictionary but no resolver was "
+        "provided");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(std::shared_ptr<ColumnDictionary> dict,
+                         options.resolve_dict(ref));
+  if (dict == nullptr || dict->labels.size() != ref.size) {
+    return Status::ParseError("column \"" + field.name +
+                              "\": resolved dictionary size disagrees with "
+                              "the reference");
+  }
+  ZIGGY_ASSIGN_OR_RETURN(std::string_view codes_payload,
+                         reader.ReadBytes(reader.remaining()));
+  ZIGGY_ASSIGN_OR_RETURN(
+      std::vector<CategoryCode> codes,
+      DecodeCategoryCodes(codes_payload, num_rows, dict->labels.size()));
+  return Column::FromSharedDictionary(field.name, std::move(dict),
+                                      std::move(codes));
+}
+
 }  // namespace
 
-Status WriteTable(const Table& table, std::ostream* out) {
+Status WriteTable(const Table& table, std::ostream* out,
+                  const TableWriteOptions& options) {
   if (out == nullptr) return Status::InvalidArgument("null output stream");
-  out->write(kTableMagic, sizeof(kTableMagic));
+  out->write(options.compress ? kTableMagicV2 : kTableMagic,
+             sizeof(kTableMagic));
   ZIGGY_RETURN_NOT_OK(WriteSection(out, HeaderPayload(table)));
   ZIGGY_RETURN_NOT_OK(WriteSection(out, SchemaPayload(table)));
   for (size_t c = 0; c < table.num_columns(); ++c) {
-    ZIGGY_RETURN_NOT_OK(WriteSection(out, ColumnPayload(table.column(c))));
+    std::string payload;
+    if (options.compress) {
+      const auto it = options.external_dicts.find(c);
+      const DictRef* external =
+          it != options.external_dicts.end() ? &it->second : nullptr;
+      if (external != nullptr &&
+          external->size != table.column(c).dictionary().size()) {
+        return Status::InvalidArgument(
+            "column \"" + table.column(c).name() +
+            "\": external dictionary size disagrees with the column");
+      }
+      payload = ColumnPayloadV2(table.column(c), external);
+    } else {
+      payload = ColumnPayload(table.column(c));
+    }
+    ZIGGY_RETURN_NOT_OK(WriteSection(out, payload));
   }
   if (!*out) return Status::IOError("table write failed");
   return Status::OK();
 }
 
-Result<Table> ReadTable(std::istream* in) {
+Result<Table> ReadTable(std::istream* in, const TableReadOptions& options) {
   if (in == nullptr) return Status::InvalidArgument("null input stream");
   char magic[sizeof(kTableMagic)];
   in->read(magic, sizeof(magic));
-  if (!*in || std::memcmp(magic, kTableMagic, sizeof(magic)) != 0) {
+  bool v2 = false;
+  if (*in && std::memcmp(magic, kTableMagicV2, sizeof(magic)) == 0) {
+    v2 = true;
+  } else if (!*in || std::memcmp(magic, kTableMagic, sizeof(magic)) != 0) {
     return Status::ParseError("not a Ziggy table (bad magic)");
   }
 
@@ -146,6 +289,9 @@ Result<Table> ReadTable(std::istream* in) {
   }
   if (num_columns > kMaxColumns) {
     return Status::ParseError("implausible column count");
+  }
+  if (v2 && num_rows > kMaxV2Rows) {
+    return Status::ParseError("implausible row count");
   }
 
   ZIGGY_ASSIGN_OR_RETURN(std::string schema_payload,
@@ -180,7 +326,9 @@ Result<Table> ReadTable(std::istream* in) {
                            ReadSection(in, kMaxSectionBytes));
     ZIGGY_ASSIGN_OR_RETURN(
         Column column,
-        ParseColumn(payload, field, static_cast<size_t>(num_rows)));
+        v2 ? ParseColumnV2(payload, field, static_cast<size_t>(num_rows),
+                           options)
+           : ParseColumn(payload, field, static_cast<size_t>(num_rows)));
     columns.push_back(std::move(column));
   }
   // FromColumns re-validates equal lengths and distinct names, so a codec
@@ -194,24 +342,26 @@ Result<Table> ReadTable(std::istream* in) {
   return table;
 }
 
-Status WriteTableFile(const Table& table, const std::string& path) {
+Status WriteTableFile(const Table& table, const std::string& path,
+                      const TableWriteOptions& options) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  ZIGGY_RETURN_NOT_OK(WriteTable(table, &out));
+  ZIGGY_RETURN_NOT_OK(WriteTable(table, &out, options));
   out.flush();
   if (!out) return Status::IOError("write to '" + path + "' failed");
   return Status::OK();
 }
 
-Result<Table> ReadTableFile(const std::string& path) {
+Result<Table> ReadTableFile(const std::string& path,
+                            const TableReadOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
-  return ReadTable(&in);
+  return ReadTable(&in, options);
 }
 
 Status WriteTableDelta(const Table& table, size_t base_rows,
                        const std::vector<size_t>& base_dict_sizes,
-                       std::ostream* out) {
+                       std::ostream* out, const TableWriteOptions& options) {
   if (out == nullptr) return Status::InvalidArgument("null output stream");
   if (base_rows > table.num_rows()) {
     return Status::InvalidArgument("delta base row count " +
@@ -224,7 +374,8 @@ Status WriteTableDelta(const Table& table, size_t base_rows,
   }
   const size_t new_rows = table.num_rows() - base_rows;
 
-  out->write(kTableDeltaMagic, sizeof(kTableDeltaMagic));
+  out->write(options.compress ? kTableDeltaMagicV2 : kTableDeltaMagic,
+             sizeof(kTableDeltaMagic));
   std::string header;
   PutU64(&header, base_rows);
   PutU64(&header, new_rows);
@@ -237,7 +388,10 @@ Status WriteTableDelta(const Table& table, size_t base_rows,
     std::string payload;
     if (column.is_numeric()) {
       PutU8(&payload, kNumericKind);
-      if (new_rows > 0) {
+      if (options.compress) {
+        payload += EncodeNumericCells(column.numeric_data().data() + base_rows,
+                                      new_rows);
+      } else if (new_rows > 0) {
         payload.append(
             reinterpret_cast<const char*>(column.numeric_data().data() +
                                           base_rows),
@@ -253,13 +407,23 @@ Status WriteTableDelta(const Table& table, size_t base_rows,
       PutU8(&payload, kCategoricalKind);
       PutU64(&payload, base_dict);
       PutU64(&payload, column.dictionary().size() - base_dict);
-      for (size_t i = base_dict; i < column.dictionary().size(); ++i) {
-        PutLengthPrefixed(&payload, column.dictionary()[i]);
-      }
-      if (new_rows > 0) {
-        payload.append(
-            reinterpret_cast<const char*>(column.codes().data() + base_rows),
-            sizeof(CategoryCode) * new_rows);
+      if (options.compress) {
+        std::string blob;
+        for (size_t i = base_dict; i < column.dictionary().size(); ++i) {
+          PutLengthPrefixed(&blob, column.dictionary()[i]);
+        }
+        PutLengthPrefixed(&payload, EncodeByteBlob(blob));
+        payload += EncodeCategoryCodes(column.codes().data() + base_rows,
+                                       new_rows, column.dictionary().size());
+      } else {
+        for (size_t i = base_dict; i < column.dictionary().size(); ++i) {
+          PutLengthPrefixed(&payload, column.dictionary()[i]);
+        }
+        if (new_rows > 0) {
+          payload.append(
+              reinterpret_cast<const char*>(column.codes().data() + base_rows),
+              sizeof(CategoryCode) * new_rows);
+        }
       }
     }
     ZIGGY_RETURN_NOT_OK(WriteSection(out, payload));
@@ -272,7 +436,11 @@ Result<Table> ApplyTableDelta(const Table& base, std::istream* in) {
   if (in == nullptr) return Status::InvalidArgument("null input stream");
   char magic[sizeof(kTableDeltaMagic)];
   in->read(magic, sizeof(magic));
-  if (!*in || std::memcmp(magic, kTableDeltaMagic, sizeof(magic)) != 0) {
+  bool v2 = false;
+  if (*in && std::memcmp(magic, kTableDeltaMagicV2, sizeof(magic)) == 0) {
+    v2 = true;
+  } else if (!*in ||
+             std::memcmp(magic, kTableDeltaMagic, sizeof(magic)) != 0) {
     return Status::ParseError("not a Ziggy table delta (bad magic)");
   }
 
@@ -292,6 +460,9 @@ Result<Table> ApplyTableDelta(const Table& base, std::istream* in) {
   }
   if (num_columns != base.num_columns()) {
     return Status::ParseError("delta column count disagrees with the base");
+  }
+  if (v2 && new_rows > kMaxV2Rows) {
+    return Status::ParseError("implausible delta row count");
   }
 
   ZIGGY_ASSIGN_OR_RETURN(std::string schema_payload,
@@ -332,19 +503,28 @@ Result<Table> ApplyTableDelta(const Table& base, std::istream* in) {
                                 "base schema");
     }
     if (kind == kNumericKind) {
-      if (new_rows > reader.remaining() / sizeof(double)) {
-        return Status::ParseError("column \"" + field.name +
-                                  "\": delta cell count exceeds section "
-                                  "payload");
-      }
-      ZIGGY_ASSIGN_OR_RETURN(
-          std::string_view bytes,
-          reader.ReadBytes(sizeof(double) * static_cast<size_t>(new_rows)));
-      std::vector<double> cells(static_cast<size_t>(new_rows));
-      if (new_rows > 0) std::memcpy(cells.data(), bytes.data(), bytes.size());
-      if (!reader.exhausted()) {
-        return Status::ParseError("column \"" + field.name +
-                                  "\": trailing bytes after delta cells");
+      std::vector<double> cells;
+      if (v2) {
+        ZIGGY_ASSIGN_OR_RETURN(std::string_view cells_payload,
+                               reader.ReadBytes(reader.remaining()));
+        ZIGGY_ASSIGN_OR_RETURN(
+            cells, DecodeNumericCells(cells_payload,
+                                      static_cast<size_t>(new_rows)));
+      } else {
+        if (new_rows > reader.remaining() / sizeof(double)) {
+          return Status::ParseError("column \"" + field.name +
+                                    "\": delta cell count exceeds section "
+                                    "payload");
+        }
+        ZIGGY_ASSIGN_OR_RETURN(
+            std::string_view bytes,
+            reader.ReadBytes(sizeof(double) * static_cast<size_t>(new_rows)));
+        cells.resize(static_cast<size_t>(new_rows));
+        if (new_rows > 0) std::memcpy(cells.data(), bytes.data(), bytes.size());
+        if (!reader.exhausted()) {
+          return Status::ParseError("column \"" + field.name +
+                                    "\": trailing bytes after delta cells");
+        }
       }
       tail_columns.push_back(Column::FromNumeric(field.name, std::move(cells)));
       continue;
@@ -358,31 +538,63 @@ Result<Table> ApplyTableDelta(const Table& base, std::istream* in) {
           std::to_string(base_dict) + " dictionary entries, this base has " +
           std::to_string(base_column.dictionary().size()));
     }
-    if (new_entries > reader.remaining() / sizeof(uint64_t)) {
-      return Status::ParseError("column \"" + field.name +
-                                "\": delta dictionary growth exceeds "
-                                "section payload");
-    }
     std::vector<std::string> dictionary = base_column.dictionary();
-    dictionary.reserve(dictionary.size() + static_cast<size_t>(new_entries));
-    for (uint64_t i = 0; i < new_entries; ++i) {
-      ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
-                             reader.ReadLengthPrefixed(kMaxNameBytes));
-      dictionary.emplace_back(label);
-    }
-    if (new_rows > reader.remaining() / sizeof(CategoryCode)) {
-      return Status::ParseError("column \"" + field.name +
-                                "\": delta code count exceeds section "
-                                "payload");
-    }
-    ZIGGY_ASSIGN_OR_RETURN(
-        std::string_view bytes,
-        reader.ReadBytes(sizeof(CategoryCode) * static_cast<size_t>(new_rows)));
-    std::vector<CategoryCode> codes(static_cast<size_t>(new_rows));
-    if (new_rows > 0) std::memcpy(codes.data(), bytes.data(), bytes.size());
-    if (!reader.exhausted()) {
-      return Status::ParseError("column \"" + field.name +
-                                "\": trailing bytes after delta codes");
+    std::vector<CategoryCode> codes;
+    if (v2) {
+      ZIGGY_ASSIGN_OR_RETURN(std::string_view blob_payload,
+                             reader.ReadLengthPrefixed(kMaxSectionBytes));
+      ZIGGY_ASSIGN_OR_RETURN(std::string blob,
+                             DecodeByteBlob(blob_payload, kMaxSectionBytes));
+      ByteReader blob_reader(blob);
+      if (new_entries > blob.size() / sizeof(uint64_t)) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": delta dictionary growth exceeds its "
+                                  "blob");
+      }
+      dictionary.reserve(dictionary.size() + static_cast<size_t>(new_entries));
+      for (uint64_t i = 0; i < new_entries; ++i) {
+        ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
+                               blob_reader.ReadLengthPrefixed(kMaxNameBytes));
+        dictionary.emplace_back(label);
+      }
+      if (!blob_reader.exhausted()) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": trailing bytes in delta dictionary "
+                                  "blob");
+      }
+      ZIGGY_ASSIGN_OR_RETURN(std::string_view codes_payload,
+                             reader.ReadBytes(reader.remaining()));
+      ZIGGY_ASSIGN_OR_RETURN(
+          codes, DecodeCategoryCodes(codes_payload,
+                                     static_cast<size_t>(new_rows),
+                                     dictionary.size()));
+    } else {
+      if (new_entries > reader.remaining() / sizeof(uint64_t)) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": delta dictionary growth exceeds "
+                                  "section payload");
+      }
+      dictionary.reserve(dictionary.size() + static_cast<size_t>(new_entries));
+      for (uint64_t i = 0; i < new_entries; ++i) {
+        ZIGGY_ASSIGN_OR_RETURN(std::string_view label,
+                               reader.ReadLengthPrefixed(kMaxNameBytes));
+        dictionary.emplace_back(label);
+      }
+      if (new_rows > reader.remaining() / sizeof(CategoryCode)) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": delta code count exceeds section "
+                                  "payload");
+      }
+      ZIGGY_ASSIGN_OR_RETURN(
+          std::string_view bytes,
+          reader.ReadBytes(sizeof(CategoryCode) *
+                           static_cast<size_t>(new_rows)));
+      codes.resize(static_cast<size_t>(new_rows));
+      if (new_rows > 0) std::memcpy(codes.data(), bytes.data(), bytes.size());
+      if (!reader.exhausted()) {
+        return Status::ParseError("column \"" + field.name +
+                                  "\": trailing bytes after delta codes");
+      }
     }
     // FromDictionary re-validates label uniqueness and code range, so a
     // corrupt segment cannot install an inconsistent column.
@@ -402,10 +614,12 @@ Result<Table> ApplyTableDelta(const Table& base, std::istream* in) {
 
 Status WriteTableDeltaFile(const Table& table, size_t base_rows,
                            const std::vector<size_t>& base_dict_sizes,
-                           const std::string& path) {
+                           const std::string& path,
+                           const TableWriteOptions& options) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  ZIGGY_RETURN_NOT_OK(WriteTableDelta(table, base_rows, base_dict_sizes, &out));
+  ZIGGY_RETURN_NOT_OK(
+      WriteTableDelta(table, base_rows, base_dict_sizes, &out, options));
   out.flush();
   if (!out) return Status::IOError("write to '" + path + "' failed");
   return Status::OK();
@@ -415,6 +629,65 @@ Result<Table> ApplyTableDeltaFile(const Table& base, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open '" + path + "'");
   return ApplyTableDelta(base, &in);
+}
+
+uint64_t UncompressedTableBytes(const Table& table) {
+  // Mirrors the v1 writer exactly: magic + framed header, schema, and
+  // per-column sections (sizes are fully determined by the data).
+  uint64_t bytes = sizeof(kTableMagic);
+  bytes += kSectionOverhead + 2 * sizeof(uint64_t);  // header
+  uint64_t schema = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    schema += sizeof(uint64_t) + table.schema().field(c).name.size() + 1;
+  }
+  bytes += kSectionOverhead + schema;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    uint64_t payload = 1;
+    if (column.is_numeric()) {
+      payload += sizeof(double) * column.numeric_data().size();
+    } else {
+      payload += sizeof(uint64_t);
+      for (const std::string& label : column.dictionary()) {
+        payload += sizeof(uint64_t) + label.size();
+      }
+      payload += sizeof(CategoryCode) * column.codes().size();
+    }
+    bytes += kSectionOverhead + payload;
+  }
+  return bytes;
+}
+
+uint64_t UncompressedDeltaBytes(const Table& table, size_t base_rows,
+                                const std::vector<size_t>& base_dict_sizes) {
+  if (base_rows > table.num_rows() ||
+      base_dict_sizes.size() != table.num_columns()) {
+    return 0;
+  }
+  const uint64_t new_rows = table.num_rows() - base_rows;
+  uint64_t bytes = sizeof(kTableDeltaMagic);
+  bytes += kSectionOverhead + 3 * sizeof(uint64_t);  // header
+  uint64_t schema = 0;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    schema += sizeof(uint64_t) + table.schema().field(c).name.size() + 1;
+  }
+  bytes += kSectionOverhead + schema;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& column = table.column(c);
+    uint64_t payload = 1;
+    if (column.is_numeric()) {
+      payload += sizeof(double) * new_rows;
+    } else {
+      payload += 2 * sizeof(uint64_t);
+      for (size_t i = base_dict_sizes[c]; i < column.dictionary().size();
+           ++i) {
+        payload += sizeof(uint64_t) + column.dictionary()[i].size();
+      }
+      payload += sizeof(CategoryCode) * new_rows;
+    }
+    bytes += kSectionOverhead + payload;
+  }
+  return bytes;
 }
 
 }  // namespace ziggy

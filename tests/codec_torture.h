@@ -1,0 +1,109 @@
+// Reusable codec torture harness.
+//
+// Every on-disk format in the store (tables, deltas, sketches, pooled
+// dictionaries) carries the same promise: a damaged image fails with a
+// clean Status — no crash, no UB, no partial install, no silently
+// different data. This header turns that promise into one reusable
+// check: TortureImage feeds a valid serialized image through
+//
+//   - every-offset truncation (every prefix of the image),
+//   - exhaustive single-bit flips (strided on large images),
+//   - deterministic random splices (a chunk of the image copied over
+//     another offset — the "two files interleaved by a crashed writer"
+//     shape that single-bit flips cannot produce),
+//
+// and asserts the codec rejects each mutation. The codec is abstracted
+// as a single `rejects(bytes) -> bool` callable so the same harness
+// drives pure in-memory codecs and whole-store load paths alike (a
+// store-level instantiation returns "true" when the corruption was
+// contained: clean error, nothing installed).
+//
+// Single-bit flips are always *detectable* for these formats — every
+// byte is covered by magic or a section CRC32 — so rejection is the
+// correct expectation, not just a hope. Splices are guaranteed to
+// differ from the original before being fed to the codec; a splice
+// would need a CRC32 collision to be accepted, and the fixed seed makes
+// any such collision reproducible rather than flaky.
+
+#ifndef ZIGGY_TESTS_CODEC_TORTURE_H_
+#define ZIGGY_TESTS_CODEC_TORTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace ziggy {
+namespace torture {
+
+struct TortureOptions {
+  /// Flip every bit when the image is at most this big; otherwise stride
+  /// so about `sampled_flips` flips still cover the whole image.
+  size_t exhaustive_flip_bytes = 4096;
+  size_t sampled_flips = 4096;
+  /// Try every truncation offset up to this image size; stride beyond.
+  size_t exhaustive_truncation_bytes = 65536;
+  size_t sampled_truncations = 2048;
+  size_t splices = 256;
+  size_t max_splice_bytes = 64;
+  uint64_t seed = 0xD1CEu;
+};
+
+/// Runs the full torture schedule over `image`. `rejects` must return
+/// true when the codec cleanly rejected the mutated bytes (and installed
+/// nothing). `label` names the format in failure messages.
+template <typename RejectsFn>
+void TortureImage(const std::string& label, const std::string& image,
+                  RejectsFn&& rejects, const TortureOptions& opts = {}) {
+  ASSERT_FALSE(image.empty()) << label << ": refusing to torture an empty image";
+
+  // Every-offset truncation. cut == 0 (empty input) is included: an
+  // empty file must be an error, not an empty table.
+  const size_t cut_step =
+      image.size() <= opts.exhaustive_truncation_bytes
+          ? 1
+          : std::max<size_t>(1, image.size() / opts.sampled_truncations);
+  for (size_t cut = 0; cut < image.size(); cut += cut_step) {
+    EXPECT_TRUE(rejects(image.substr(0, cut)))
+        << label << ": truncation to " << cut << " bytes was accepted";
+  }
+
+  // Bit flips, exhaustive or strided. The image is mutated in place and
+  // restored so large images don't pay a copy per flip.
+  const size_t total_bits = image.size() * 8;
+  const size_t bit_step =
+      image.size() <= opts.exhaustive_flip_bytes
+          ? 1
+          : std::max<size_t>(1, total_bits / opts.sampled_flips);
+  std::string mutated = image;
+  for (size_t bit = 0; bit < total_bits; bit += bit_step) {
+    mutated[bit / 8] =
+        static_cast<char>(mutated[bit / 8] ^ (1u << (bit % 8)));
+    EXPECT_TRUE(rejects(mutated))
+        << label << ": flip of bit " << bit << " (byte " << bit / 8
+        << ") was accepted";
+    mutated[bit / 8] = image[bit / 8];
+  }
+
+  // Random splices: a chunk of the image copied over another offset.
+  std::mt19937_64 rng(opts.seed);
+  for (size_t s = 0; s < opts.splices; ++s) {
+    const size_t max_len = std::min(opts.max_splice_bytes, image.size());
+    const size_t len = 1 + static_cast<size_t>(rng() % max_len);
+    const size_t src = static_cast<size_t>(rng() % (image.size() - len + 1));
+    const size_t dst = static_cast<size_t>(rng() % (image.size() - len + 1));
+    std::string spliced = image;
+    spliced.replace(dst, len, image, src, len);
+    if (spliced == image) continue;  // splice landed on identical bytes
+    EXPECT_TRUE(rejects(spliced))
+        << label << ": splice of " << len << " bytes from " << src << " to "
+        << dst << " was accepted";
+  }
+}
+
+}  // namespace torture
+}  // namespace ziggy
+
+#endif  // ZIGGY_TESTS_CODEC_TORTURE_H_

@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "data/synthetic.h"
 #include "engine/report.h"
 #include "persist/fs_util.h"
@@ -396,6 +397,41 @@ TEST(DaemonHandlerTest, SaveAndPersistVerbsAgainstAStore) {
 
   ASSERT_TRUE(call("CLOSE box").ok);
   EXPECT_TRUE(catalog.StoreHas("box"));  // close keeps the checkpoint
+  ASSERT_TRUE(RemoveDirectory(dir).ok());
+}
+
+// A SAVE that hits a disk fault surfaces the error over the wire,
+// installs nothing, and succeeds verbatim once the fault heals (the
+// ScopedFault window closing is the heal).
+TEST(DaemonHandlerTest, SaveFaultSurfacesErrorAndHealsCleanly) {
+  const std::string dir = ::testing::TempDir() + "/ziggy_daemon_test_savefault";
+  CatalogOptions options;
+  options.serve = GoldenServeOptions();
+  ServerCatalog catalog(options);
+  ASSERT_TRUE(catalog.AttachStore(dir).ok());
+  DaemonHandler handler(&catalog);
+
+  auto call = [&handler](const std::string& line) {
+    auto request = LineProtocol::ParseRequest(line);
+    EXPECT_TRUE(request.ok()) << line;
+    return handler.Handle(*request);
+  };
+
+  ASSERT_TRUE(call("OPEN box demo://boxoffice?seed=7").ok);
+  {
+    ScopedFault fault("store.write:n1#ENOSPC");
+    ASSERT_TRUE(fault.status().ok());
+    WireResponse save = call("SAVE box");
+    EXPECT_FALSE(save.ok);
+    EXPECT_GE(fault.fires(), 1u);
+  }
+  EXPECT_FALSE(catalog.StoreHas("box"));
+
+  WireResponse healed = call("SAVE box");
+  ASSERT_TRUE(healed.ok) << healed.body;
+  EXPECT_EQ(healed.body, "{\"saved\":[{\"table\":\"box\",\"generation\":0}]}");
+  EXPECT_TRUE(catalog.StoreHas("box"));
+  ASSERT_TRUE(call("CLOSE box").ok);
   ASSERT_TRUE(RemoveDirectory(dir).ok());
 }
 

@@ -30,7 +30,8 @@ TEST_F(FaultTest, DisarmedIsInvisible) {
 }
 
 TEST_F(FaultTest, EveryNthFiresOnSchedule) {
-  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:n3#EIO").ok());
+  ScopedFault fault("t.a:n3#EIO");
+  ASSERT_TRUE(fault.status().ok());
   EXPECT_TRUE(fault::Armed());
   std::vector<bool> fired;
   for (int i = 0; i < 9; ++i) fired.push_back(fault::Hit("t.a").has_value());
@@ -39,16 +40,19 @@ TEST_F(FaultTest, EveryNthFiresOnSchedule) {
 }
 
 TEST_F(FaultTest, AfterNFiresEveryHitPastThreshold) {
-  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:a2").ok());
+  ScopedFault fault("t.a:a2");
+  ASSERT_TRUE(fault.status().ok());
   std::vector<bool> fired;
   for (int i = 0; i < 5; ++i) fired.push_back(fault::Hit("t.a").has_value());
   EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
 }
 
 TEST_F(FaultTest, MaxFiresExhaustsAndDisarms) {
-  ASSERT_TRUE(FaultInjector::Global().Arm("t.a:n1*2#ENOSPC").ok());
+  ScopedFault fault("t.a:n1*2#ENOSPC");
+  ASSERT_TRUE(fault.status().ok());
   EXPECT_TRUE(fault::Hit("t.a").has_value());
   EXPECT_TRUE(fault::Hit("t.a").has_value());
+  EXPECT_EQ(fault.fires(), 2u);
   // Exhausted: the rule disarmed itself and the fast path is restored.
   EXPECT_FALSE(fault::Armed());
   EXPECT_FALSE(fault::Hit("t.a").has_value());
@@ -79,7 +83,8 @@ TEST_F(FaultTest, ActionsDecodeToKindsAndErrnos) {
 }
 
 TEST_F(FaultTest, CheckNamesTheSite) {
-  ASSERT_TRUE(FaultInjector::Global().Arm("fs.fsync:n1#EIO").ok());
+  ScopedFault fault("fs.fsync:n1#EIO");
+  ASSERT_TRUE(fault.status().ok());
   Status st = fault::Check("fs.fsync");
   EXPECT_TRUE(st.IsIOError());
   EXPECT_NE(st.message().find("fs.fsync"), std::string::npos);
@@ -99,11 +104,9 @@ TEST_F(FaultTest, MalformedSpecsArmNothing) {
 }
 
 TEST_F(FaultTest, ProbabilityIsDeterministicUnderSeed) {
-  FaultInjector& injector = FaultInjector::Global();
-  auto schedule = [&](uint64_t seed) {
-    injector.Reset();
-    injector.SetSeed(seed);
-    EXPECT_TRUE(injector.Arm("p.site:p0.3").ok());
+  auto schedule = [](uint64_t seed) {
+    ScopedFault fault("p.site:p0.3", seed);
+    EXPECT_TRUE(fault.status().ok());
     std::vector<bool> fired;
     for (int i = 0; i < 200; ++i) {
       fired.push_back(fault::Hit("p.site").has_value());
@@ -152,6 +155,26 @@ TEST_F(FaultTest, ResetClearsEverything) {
   EXPECT_FALSE(fault::Armed());
   EXPECT_TRUE(FaultInjector::Global().SiteStats().empty());
   EXPECT_EQ(FaultInjector::Global().total_fires(), 0u);
+}
+
+TEST_F(FaultTest, ScopedFaultArmsInScopeAndHealsOnExit) {
+  {
+    ScopedFault fault("t.a:n1#ENOSPC");
+    ASSERT_TRUE(fault.status().ok());
+    EXPECT_TRUE(fault::Armed());
+    EXPECT_TRUE(fault::Hit("t.a").has_value());
+    EXPECT_EQ(fault.fires(), 1u);
+  }
+  // Scope exit heals: no rules, no counters, fast path restored.
+  EXPECT_FALSE(fault::Armed());
+  EXPECT_TRUE(fault::Check("t.a").ok());
+  EXPECT_EQ(FaultInjector::Global().total_fires(), 0u);
+}
+
+TEST_F(FaultTest, ScopedFaultSurfacesMalformedSpecs) {
+  ScopedFault fault("s:x5");
+  EXPECT_FALSE(fault.status().ok());
+  EXPECT_FALSE(fault::Armed());
 }
 
 }  // namespace

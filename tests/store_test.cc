@@ -17,6 +17,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -406,22 +407,9 @@ TEST_F(StoreCorruptionTest, CorruptSketchesOnlyCostWarmth) {
   EXPECT_EQ((*server)->stats().cache_warmed_entries, 0u);
 }
 
-TEST_F(StoreCorruptionTest, SketchBitFlipsNeverCrashOrInstall) {
-  const std::string path = store_->SketchesPath("box", 0);
-  const std::string bytes = ReadFileBytes(path);
-  const size_t stride = bytes.size() / 256 + 1;
-  for (size_t pos = 0; pos < bytes.size(); pos += stride) {
-    std::string mutated = bytes;
-    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x10);
-    WriteFileBytes(path, mutated);
-    StoredTable loaded = store_->LoadTable("box").ValueOrDie();
-    // Either the flip was caught (cold boot) or it was inside a section
-    // that still checksummed — impossible with CRC32 for a single flip.
-    EXPECT_TRUE(loaded.sketches.empty()) << "pos=" << pos;
-    EXPECT_FALSE(loaded.sketches_status.ok()) << "pos=" << pos;
-  }
-  WriteFileBytes(path, bytes);
-}
+// Sketch-file bit flips / truncations / splices never crashing or
+// installing entries is covered by the shared torture harness
+// (codec_torture_test.cc, ZIGSKC01 codec-level and store-level runs).
 
 TEST_F(StoreCorruptionTest, TruncatedTableEveryCutFailsCleanly) {
   const std::string path = store_->TablePath("box", 0);
@@ -470,7 +458,12 @@ class StoreDeltaTest : public ::testing::Test {
 };
 
 TEST_F(StoreDeltaTest, AppendCheckpointWritesDeltaNotFullTable) {
-  auto store = ZiggyStore::Open(dir_).ValueOrDie();
+  // Byte-level O(delta) assertion: pin compression off so the segment
+  // size compares against an uncompressed base whatever the environment
+  // says (compressed delta chains are covered in dict_pool_test).
+  StoreOptions plain;
+  plain.compression = StoreCompression::kOff;
+  auto store = ZiggyStore::Open(dir_, plain).ValueOrDie();
   ASSERT_TRUE(Save(store.get(), ds_.table, 0, profile_).ok());
   const std::string base_bytes = ReadFileBytes(store->TablePath("box", 0));
 
@@ -617,6 +610,7 @@ TEST_F(StoreDeltaTest, CorruptDeltaSegmentFailsCleanlyBaseSurvives) {
     ASSERT_TRUE(Save(store.get(), live, g, p).ok());
   }
   ASSERT_TRUE(store->LoadTable("box").ok());
+  const std::string base_image = ReadFileBytes(store->TablePath("box", 0));
 
   for (uint64_t g = 1; g <= 2; ++g) {
     const std::string path = store->DeltaPath("box", g);
@@ -637,9 +631,11 @@ TEST_F(StoreDeltaTest, CorruptDeltaSegmentFailsCleanlyBaseSurvives) {
       EXPECT_FALSE(store->LoadTable("box").ok())
           << "delta g" << g << " cut=" << cut;
     }
-    // The base checkpoint under the damaged chain is untouched and still
-    // readable on its own — a full re-save repairs the store.
-    EXPECT_TRUE(ReadTableFile(store->TablePath("box", 0)).ok());
+    // The base checkpoint under the damaged chain is byte-untouched on
+    // disk (a compressed base is only readable through the store's
+    // dictionary resolver, so equality is the right "survives" check) —
+    // a full re-save repairs the store.
+    EXPECT_EQ(ReadFileBytes(store->TablePath("box", 0)), base_image);
     WriteFileBytes(path, bytes);
   }
   // Restored segments: the chain loads again.
@@ -954,12 +950,10 @@ const char* const kSaveFaultSpecs[] = {
 class StoreFaultTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    FaultInjector::Global().Reset();
     ds_ = MakeBoxOfficeDataset(7).ValueOrDie();
     tail_ = MakeBoxOfficeDataset(19).ValueOrDie();
     profile_ = TableProfile::Compute(ds_.table).ValueOrDie();
   }
-  void TearDown() override { FaultInjector::Global().Reset(); }
 
   SyntheticDataset ds_;
   SyntheticDataset tail_;
@@ -972,9 +966,12 @@ TEST_F(StoreFaultTest, FirstSaveFailsCleanAndInstallsNothing) {
     // Arm AFTER Open: initializing the store commits a manifest through
     // the same fs sites, and this test is about the save path.
     auto store = ZiggyStore::Open(dir).ValueOrDie();
-    ASSERT_TRUE(FaultInjector::Global().Arm(spec).ok());
-    const Status st = store->SaveTable("box", ds_.table, 0, profile_, {});
-    FaultInjector::Global().Reset();
+    Status st;
+    {
+      ScopedFault fault(spec);
+      ASSERT_TRUE(fault.status().ok()) << spec;
+      st = store->SaveTable("box", ds_.table, 0, profile_, {});
+    }
     ASSERT_FALSE(st.ok()) << spec;
     EXPECT_TRUE(st.IsIOError()) << spec << ": " << st;
     EXPECT_NE(st.message().find("injected fault"), std::string::npos) << st;
@@ -1002,9 +999,12 @@ TEST_F(StoreFaultTest, FailedResaveKeepsPreviousGenerationByteIdentical) {
     const Table live = ds_.table.WithAppendedRows(tail_.table).ValueOrDie();
     TableProfile live_profile = TableProfile::Compute(live).ValueOrDie();
 
-    ASSERT_TRUE(FaultInjector::Global().Arm(spec).ok());
-    const Status st = store->SaveTable("box", live, 1, live_profile, {});
-    FaultInjector::Global().Reset();
+    Status st;
+    {
+      ScopedFault fault(spec);
+      ASSERT_TRUE(fault.status().ok()) << spec;
+      st = store->SaveTable("box", live, 1, live_profile, {});
+    }
     ASSERT_FALSE(st.ok()) << spec;
     // The previous checkpoint is still what the store serves — manifest,
     // generation, and bytes — on the live handle and after a reopen.
@@ -1042,9 +1042,12 @@ TEST_F(StoreFaultTest, FailedDeltaSaveLeavesChainReplayable) {
     const Table next = live.WithAppendedRows(tail_.table).ValueOrDie();
     TableProfile p2 = TableProfile::Compute(next).ValueOrDie();
 
-    ASSERT_TRUE(FaultInjector::Global().Arm(spec).ok());
-    const Status st = store->SaveTable("box", next, 2, p2, {}, kLineage);
-    FaultInjector::Global().Reset();
+    Status st;
+    {
+      ScopedFault fault(spec);
+      ASSERT_TRUE(fault.status().ok()) << spec;
+      st = store->SaveTable("box", next, 2, p2, {}, kLineage);
+    }
     ASSERT_FALSE(st.ok()) << spec;
     // The base + delta chain up to generation 1 still replays exactly.
     StoredTable survived = store->LoadTable("box", kLineage).ValueOrDie();
@@ -1062,7 +1065,6 @@ TEST_F(StoreFaultTest, FailedDeltaSaveLeavesChainReplayable) {
 }
 
 TEST(CatalogFlusherTest, FailingStoreBacksOffInsteadOfHotLooping) {
-  FaultInjector::Global().Reset();
   const std::string dir = UniqueDir("flusher_backoff");
   SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
   SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
@@ -1078,8 +1080,11 @@ TEST(CatalogFlusherTest, FailingStoreBacksOffInsteadOfHotLooping) {
   ASSERT_TRUE(catalog.Open("box", ds.table).ok());
   ASSERT_TRUE(catalog.SetPersist("box", true).ok());
 
-  // Every store write fails until healed.
-  ASSERT_TRUE(FaultInjector::Global().Arm("store.write:p1.0").ok());
+  // Every store write fails until healed (the ScopedFault window below
+  // ends at the heal point).
+  std::optional<ScopedFault> fault;
+  fault.emplace("store.write:p1.0");
+  ASSERT_TRUE(fault->status().ok());
   const auto t0 = std::chrono::steady_clock::now();
   Status checkpoint = Status::OK();
   ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
@@ -1109,7 +1114,7 @@ TEST(CatalogFlusherTest, FailingStoreBacksOffInsteadOfHotLooping) {
 
   // Heal: the next backoff retry lands, the entry clears, and the
   // appended generation is durable.
-  FaultInjector::Global().Reset();
+  fault.reset();
   const auto heal_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(20);
   while (catalog.stats().flushed_tables < 1 &&
@@ -1125,7 +1130,6 @@ TEST(CatalogFlusherTest, FailingStoreBacksOffInsteadOfHotLooping) {
 }
 
 TEST(CatalogDegradedTest, TripsAfterKFailuresAndAutoClearsOnHeal) {
-  FaultInjector::Global().Reset();
   const std::string dir = UniqueDir("degraded");
   SyntheticDataset ds = MakeBoxOfficeDataset(7).ValueOrDie();
   SyntheticDataset tail = MakeBoxOfficeDataset(19).ValueOrDie();
@@ -1141,7 +1145,9 @@ TEST(CatalogDegradedTest, TripsAfterKFailuresAndAutoClearsOnHeal) {
   ASSERT_TRUE(catalog.Open("box", ds.table).ok());
   ASSERT_TRUE(catalog.SetPersist("box", true).ok());
 
-  ASSERT_TRUE(FaultInjector::Global().Arm("store.write:p1.0").ok());
+  std::optional<ScopedFault> fault;
+  fault.emplace("store.write:p1.0");
+  ASSERT_TRUE(fault->status().ok());
   Status checkpoint = Status::OK();
   ASSERT_TRUE(catalog.Append("box", tail.table, &checkpoint).ok());
 
@@ -1169,7 +1175,7 @@ TEST(CatalogDegradedTest, TripsAfterKFailuresAndAutoClearsOnHeal) {
 
   // Heal the store: the flusher's retry of the still-dirty table succeeds
   // and auto-clears the mode — no restart, no operator action.
-  FaultInjector::Global().Reset();
+  fault.reset();
   const auto heal_deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(20);
   while (catalog.Health().degraded &&
