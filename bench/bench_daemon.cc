@@ -1,16 +1,34 @@
 // bench_daemon: throughput/latency of the TCP line-protocol daemon.
 //
 // Boots an in-process ZiggyDaemon on an ephemeral loopback port, preloads
-// the boxoffice table, then drives it with N concurrent clients each
-// issuing M CHARACTERIZE requests from a deterministic exploration
-// workload. Reports requests/sec and p50/p99 request latency (measured
-// client-side, so wire framing and socket hops are included), plus the
-// serving-layer cache counters behind them.
+// the boxoffice table, then drives two scenarios:
 //
-// Usage: bench_daemon [--clients n] [--requests m] [--threads t] [--json [path]]
+//   serial     N concurrent clients each issuing M CHARACTERIZE requests
+//              from a deterministic exploration workload, one blocking
+//              Call at a time. Engine-bound: measures the serving layer.
+//   pipelined  (--pipelined-connections n, off by default) n concurrent
+//              connections, multiplexed over a few driver threads with
+//              poll(2) + the client's non-blocking SendRequest/
+//              PollResponse pair, each keeping --pipeline-depth requests
+//              in flight. Loop-bound: measures the epoll daemon core
+//              under thousands of connections. --p99-bound-ms turns the
+//              p99 into a hard gate (non-zero exit on breach) for CI.
+//
+// Reports requests/sec and p50/p99 request latency (measured client-side,
+// so wire framing and socket hops are included), plus the serving-layer
+// cache counters behind them.
+//
+// Usage: bench_daemon [--clients n] [--requests m] [--threads t]
+//                     [--pipelined-connections n] [--pipeline-depth d]
+//                     [--pipelined-requests r] [--p99-bound-ms b]
+//                     [--json [path]]
+
+#include <poll.h>
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -35,12 +53,162 @@ double Percentile(std::vector<double> sorted, double p) {
   return sorted[idx];
 }
 
+/// Lifts the fd limit so the pipelined scenario can open its thousands
+/// of client sockets (plus the daemon's accepted ends — both sides live
+/// in this process). Tries to raise the hard limit too (works with
+/// CAP_SYS_RESOURCE, e.g. in a root container), falling back to the
+/// existing hard limit otherwise. Returns the realized soft limit so the
+/// caller can size the run to fit instead of deadlocking on EMFILE.
+size_t RaiseFdLimit(size_t want) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur >= want) return static_cast<size_t>(lim.rlim_cur);
+  rlimit raised = lim;
+  raised.rlim_cur = want;
+  if (raised.rlim_max != RLIM_INFINITY && raised.rlim_max < want) {
+    raised.rlim_max = want;
+  }
+  if (setrlimit(RLIMIT_NOFILE, &raised) == 0) return want;
+  raised = lim;
+  raised.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                        ? want
+                        : std::min<rlim_t>(want, lim.rlim_max);
+  if (setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+    return static_cast<size_t>(raised.rlim_cur);
+  }
+  return static_cast<size_t>(lim.rlim_cur);
+}
+
+/// One pipelined connection's driver state: in-flight send timestamps
+/// (FIFO — responses arrive in send order) and progress counters.
+struct PipeConn {
+  ZiggyClient client;
+  std::deque<std::chrono::steady_clock::time_point> sent_at;
+  size_t sent = 0;
+  size_t done = 0;
+  bool failed = false;
+};
+
+struct PipelinedResult {
+  std::vector<double> latencies_ms;
+  size_t failures = 0;
+  double wall_ms = 0.0;
+};
+
+/// Drives `connections` pipelined connections of LIST requests from
+/// `driver_threads` threads, `depth` requests in flight per connection.
+PipelinedResult RunPipelined(const std::string& host, uint16_t port,
+                             size_t connections, size_t depth,
+                             size_t requests_per_conn,
+                             size_t driver_threads) {
+  const WireRequest kRequest{Verb::kList, {}};
+  std::vector<PipelinedResult> per_thread(driver_threads);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> drivers;
+  drivers.reserve(driver_threads);
+  for (size_t t = 0; t < driver_threads; ++t) {
+    drivers.emplace_back([&, t] {
+      const size_t begin = t * connections / driver_threads;
+      const size_t end = (t + 1) * connections / driver_threads;
+      std::vector<PipeConn> conns(end - begin);
+      PipelinedResult& out = per_thread[t];
+      out.latencies_ms.reserve(conns.size() * requests_per_conn);
+      auto fail = [&](PipeConn& pc) {
+        out.failures += requests_per_conn - pc.done;
+        pc.failed = true;
+        pc.client.Disconnect();
+      };
+      auto pump_send = [&](PipeConn& pc) {
+        while (!pc.failed && pc.sent < requests_per_conn &&
+               pc.client.inflight() < depth) {
+          pc.sent_at.push_back(std::chrono::steady_clock::now());
+          if (!pc.client.SendRequest(kRequest).ok()) {
+            pc.sent_at.pop_back();
+            fail(pc);
+            return;
+          }
+          pc.sent++;
+        }
+      };
+      for (PipeConn& pc : conns) {
+        if (!pc.client.Connect(host, port).ok()) {
+          fail(pc);
+          continue;
+        }
+        pump_send(pc);
+      }
+      std::vector<pollfd> pfds;
+      std::vector<PipeConn*> polled;
+      for (;;) {
+        pfds.clear();
+        polled.clear();
+        for (PipeConn& pc : conns) {
+          if (pc.failed || pc.client.inflight() == 0) continue;
+          pfds.push_back(pollfd{pc.client.native_handle(), POLLIN, 0});
+          polled.push_back(&pc);
+        }
+        if (pfds.empty()) break;  // every connection drained (or failed)
+        const int ready = poll(pfds.data(), pfds.size(), 10000);
+        if (ready < 0) break;
+        if (ready == 0) {
+          // 10 s with zero progress on every connection: the daemon is
+          // wedged or unreachable. Fail the stragglers rather than spin
+          // here forever.
+          for (PipeConn* pc : polled) fail(*pc);
+          break;
+        }
+        for (size_t i = 0; i < pfds.size(); ++i) {
+          if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+          PipeConn& pc = *polled[i];
+          while (pc.client.inflight() > 0) {
+            Result<std::optional<WireResponse>> response =
+                pc.client.PollResponse();
+            if (!response.ok()) {
+              fail(pc);
+              break;
+            }
+            if (!response->has_value()) break;  // nothing more buffered
+            const auto now = std::chrono::steady_clock::now();
+            out.latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(now -
+                                                          pc.sent_at.front())
+                    .count());
+            pc.sent_at.pop_front();
+            pc.done++;
+          }
+          pump_send(pc);
+        }
+      }
+      for (PipeConn& pc : conns) {
+        if (!pc.failed) (void)pc.client.Quit();
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+
+  PipelinedResult merged;
+  merged.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  for (PipelinedResult& r : per_thread) {
+    merged.latencies_ms.insert(merged.latencies_ms.end(),
+                               r.latencies_ms.begin(), r.latencies_ms.end());
+    merged.failures += r.failures;
+  }
+  std::sort(merged.latencies_ms.begin(), merged.latencies_ms.end());
+  return merged;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t num_clients = 4;
   size_t requests_per_client = 25;
   size_t threads = 1;
+  size_t pipelined_connections = 0;  // 0 = skip the pipelined scenario
+  size_t pipeline_depth = 8;
+  size_t pipelined_requests = 20;
+  size_t p99_bound_ms = 0;  // 0 = report only, no gate
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_size = [&](size_t* out) {
@@ -56,22 +224,50 @@ int main(int argc, char** argv) {
       if (!next_size(&requests_per_client)) return 2;
     } else if (arg == "--threads") {
       if (!next_size(&threads)) return 2;
+    } else if (arg == "--pipelined-connections") {
+      if (!next_size(&pipelined_connections)) return 2;
+    } else if (arg == "--pipeline-depth") {
+      if (!next_size(&pipeline_depth)) return 2;
+    } else if (arg == "--pipelined-requests") {
+      if (!next_size(&pipelined_requests)) return 2;
+    } else if (arg == "--p99-bound-ms") {
+      if (!next_size(&p99_bound_ms)) return 2;
     } else if (arg == "--json") {
       if (i + 1 < argc && argv[i + 1][0] != '-') ++i;  // consumed below
     } else {
       std::cerr << "usage: bench_daemon [--clients n] [--requests m] "
-                   "[--threads t] [--json [path]]\n";
+                   "[--threads t] [--pipelined-connections n] "
+                   "[--pipeline-depth d] [--pipelined-requests r] "
+                   "[--p99-bound-ms b] [--json [path]]\n";
       return 2;
     }
   }
   const std::string json_path =
       bench::JsonPathFromArgs(argc, argv, "BENCH_daemon.json");
 
+  if (pipelined_connections > 0) {
+    // Client fd + accepted fd per connection, both in this process.
+    const size_t fd_limit = RaiseFdLimit(2 * pipelined_connections + 256);
+    if (fd_limit < 2 * pipelined_connections + 256) {
+      // Running at the requested count would exhaust the process fd
+      // table: the daemon spins on EMFILE while drivers block in
+      // connect(), and the run never finishes. Shrink to fit instead.
+      const size_t fit = fd_limit > 512 ? (fd_limit - 256) / 2 : 64;
+      std::cerr << "warning: fd limit " << fd_limit << " cannot hold "
+                << pipelined_connections
+                << " pipelined connections (2 fds each + overhead); "
+                << "capping to " << fit << "\n";
+      pipelined_connections = fit;
+    }
+  }
+
   DaemonOptions options;
   options.catalog.serve.engine.search.min_tightness = 0.3;
   options.catalog.serve.scan_threads = threads;
   options.catalog.serve.engine.build.num_threads = threads;
   options.catalog.serve.engine.profile.num_threads = threads;
+  options.max_connections =
+      std::max<size_t>(64, pipelined_connections + num_clients + 32);
   Result<std::unique_ptr<ZiggyDaemon>> daemon = ZiggyDaemon::Start(options);
   if (!daemon.ok()) {
     std::cerr << "error: " << daemon.status() << "\n";
@@ -152,6 +348,48 @@ int main(int argc, char** argv) {
             << " misses; scans " << serve.scans << " ("
             << serve.coalesced_requests << " coalesced)\n";
 
+  // ---- pipelined high-concurrency scenario ----
+  PipelinedResult piped;
+  double piped_rps = 0.0, piped_p50 = 0.0, piped_p99 = 0.0;
+  bool p99_breached = false;
+  if (pipelined_connections > 0) {
+    const size_t driver_threads = std::min<size_t>(
+        std::max<size_t>(1, std::thread::hardware_concurrency()),
+        std::min<size_t>(8, pipelined_connections));
+    piped = RunPipelined((*daemon)->host(), (*daemon)->port(),
+                         pipelined_connections, pipeline_depth,
+                         pipelined_requests, driver_threads);
+    piped_rps = piped.wall_ms > 0.0
+                    ? static_cast<double>(piped.latencies_ms.size()) /
+                          (piped.wall_ms / 1000.0)
+                    : 0.0;
+    piped_p50 = Percentile(piped.latencies_ms, 0.50);
+    piped_p99 = Percentile(piped.latencies_ms, 0.99);
+    const DaemonStats after = (*daemon)->stats();
+    bench::ResultTable pout({"pipelined conns", "depth", "requests", "wall ms",
+                             "req/s", "p50 ms", "p99 ms", "failures"});
+    pout.AddRow({std::to_string(pipelined_connections),
+                 std::to_string(pipeline_depth),
+                 std::to_string(piped.latencies_ms.size()),
+                 bench::Fmt(piped.wall_ms), bench::Fmt(piped_rps),
+                 bench::Fmt(piped_p50), bench::Fmt(piped_p99),
+                 std::to_string(piped.failures)});
+    pout.Print();
+    std::cout << "daemon: " << after.pipelined_requests
+              << " pipelined requests, " << after.dispatch_batches
+              << " dispatch batches, " << after.reads_throttled
+              << " reads throttled\n";
+    if (p99_bound_ms > 0 &&
+        piped_p99 > static_cast<double>(p99_bound_ms)) {
+      p99_breached = true;
+    }
+    if (piped.failures > 0) {
+      std::cerr << "pipelined scenario lost " << piped.failures
+                << " requests to transport failures\n";
+      p99_breached = true;  // a lossy run must not pass the gate either
+    }
+  }
+
   if (!json_path.empty()) {
     bench::JsonValue report;
     report.Set("benchmark", "daemon");
@@ -188,10 +426,50 @@ int main(int argc, char** argv) {
                         static_cast<double>(dstats.requests_handled))
                    .Set("protocol_errors",
                         static_cast<double>(dstats.protocol_errors)));
+    if (pipelined_connections > 0) {
+      const DaemonStats after = (*daemon)->stats();
+      report.Set(
+          "pipelined",
+          bench::JsonValue::Object()
+              .Set("connections", static_cast<double>(pipelined_connections))
+              .Set("depth", static_cast<double>(pipeline_depth))
+              .Set("requests_per_connection",
+                   static_cast<double>(pipelined_requests))
+              .Set("total_requests",
+                   static_cast<double>(piped.latencies_ms.size()))
+              .Set("failures", static_cast<double>(piped.failures))
+              .Set("wall_ms", piped.wall_ms)
+              .Set("requests_per_sec", piped_rps)
+              .Set("latency_ms",
+                   bench::JsonValue::Object()
+                       .Set("p50", piped_p50)
+                       .Set("p99", piped_p99)
+                       .Set("bound", static_cast<double>(p99_bound_ms))
+                       .Set("min", piped.latencies_ms.empty()
+                                       ? 0.0
+                                       : piped.latencies_ms.front())
+                       .Set("max", piped.latencies_ms.empty()
+                                       ? 0.0
+                                       : piped.latencies_ms.back()))
+              .Set("daemon",
+                   bench::JsonValue::Object()
+                       .Set("pipelined_requests",
+                            static_cast<double>(after.pipelined_requests))
+                       .Set("dispatch_batches",
+                            static_cast<double>(after.dispatch_batches))
+                       .Set("reads_throttled",
+                            static_cast<double>(after.reads_throttled))));
+    }
     if (report.WriteFile(json_path)) {
       std::cout << "wrote " << json_path << "\n";
     }
   }
   (*daemon)->Stop();
+  if (p99_breached) {
+    std::cerr << "pipelined p99 " << bench::Fmt(piped_p99)
+              << " ms breached the --p99-bound-ms " << p99_bound_ms
+              << " gate\n";
+    return 1;
+  }
   return 0;
 }

@@ -20,6 +20,7 @@ namespace ziggy {
 ZiggyClient::ZiggyClient(ZiggyClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       reader_(std::move(other.reader_)),
+      inflight_(std::exchange(other.inflight_, 0)),
       host_(std::move(other.host_)),
       port_(other.port_),
       retry_(other.retry_),
@@ -30,6 +31,7 @@ ZiggyClient& ZiggyClient::operator=(ZiggyClient&& other) noexcept {
     Disconnect();
     fd_ = std::exchange(other.fd_, -1);
     reader_ = std::move(other.reader_);
+    inflight_ = std::exchange(other.inflight_, 0);
     host_ = std::move(other.host_);
     port_ = other.port_;
     retry_ = other.retry_;
@@ -39,23 +41,11 @@ ZiggyClient& ZiggyClient::operator=(ZiggyClient&& other) noexcept {
 }
 
 bool ZiggyClient::IsIdempotent(Verb verb) {
-  switch (verb) {
-    case Verb::kOpen:  // re-OPEN of a served table is AlreadyExists, an
-                       // ERR reply — retry never double-applies it
-    case Verb::kList:
-    case Verb::kCharacterize:
-    case Verb::kViews:
-    case Verb::kStats:
-    case Verb::kHealth:
-      return true;
-    case Verb::kAppend:
-    case Verb::kSave:
-    case Verb::kPersist:
-    case Verb::kClose:
-    case Verb::kQuit:
-      return false;
-  }
-  return false;
+  // Straight from the verb table: retry safety is part of the wire
+  // surface's single source of truth (OPEN is marked idempotent there —
+  // a re-OPEN of a served table is an AlreadyExists ERR reply, so a
+  // retry never double-applies it).
+  return VerbInfoOf(verb).idempotent;
 }
 
 Status ZiggyClient::Connect(const std::string& host, uint16_t port) {
@@ -90,9 +80,15 @@ void ZiggyClient::Disconnect() {
     close(fd_);
     fd_ = -1;
   }
+  inflight_ = 0;  // in-flight responses die with the connection
 }
 
 Result<WireResponse> ZiggyClient::CallRaw(const WireRequest& request) {
+  if (inflight_ > 0) {
+    return Status::FailedPrecondition(
+        "blocking call with " + std::to_string(inflight_) +
+        " pipelined response(s) outstanding — drain PollResponse first");
+  }
   // An unrepresentable request (newline in an argument, space in a
   // non-tail argument) would split or shift on the wire and desync the
   // strict request/response stream — reject it before sending anything.
@@ -126,8 +122,83 @@ Result<WireResponse> ZiggyClient::CallRaw(const WireRequest& request) {
 }
 
 Result<WireResponse> ZiggyClient::CallLine(std::string line) {
+  if (inflight_ > 0) {
+    return Status::FailedPrecondition(
+        "blocking call with " + std::to_string(inflight_) +
+        " pipelined response(s) outstanding — drain PollResponse first");
+  }
   if (line.empty() || line.back() != '\n') line += '\n';
   return CallLineOnce(line);
+}
+
+Status ZiggyClient::SendRequest(const WireRequest& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  ZIGGY_RETURN_NOT_OK(LineProtocol::ValidateRequest(request));
+  if (!SendAll(fd_, LineProtocol::SerializeRequest(request))) {
+    Disconnect();
+    return Status::IOError("send: connection lost");
+  }
+  inflight_++;
+  return Status::OK();
+}
+
+Result<std::optional<WireResponse>> ZiggyClient::PollResponse() {
+  if (inflight_ == 0) {
+    return Status::FailedPrecondition("no pipelined request in flight");
+  }
+  for (;;) {
+    Result<std::optional<std::string>> next = reader_.Next();
+    if (!next.ok()) {
+      Disconnect();
+      return next.status();
+    }
+    if (next->has_value()) {
+      ZIGGY_ASSIGN_OR_RETURN(WireResponse response,
+                             LineProtocol::ParseResponse(**next));
+      inflight_--;
+      return std::optional<WireResponse>(std::move(response));
+    }
+    if (fd_ < 0) return Status::IOError("connection closed mid-response");
+    char buffer[4096];
+    const ssize_t n =
+        RecvSome(fd_, buffer, sizeof(buffer), /*dont_wait=*/true);
+    if (n > 0) {
+      reader_.Feed(buffer, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return std::optional<WireResponse>();  // nothing complete yet
+    }
+    Disconnect();
+    return Status::IOError("connection closed mid-response");
+  }
+}
+
+Result<WireResponse> ZiggyClient::WaitResponse() {
+  if (inflight_ == 0) {
+    return Status::FailedPrecondition("no pipelined request in flight");
+  }
+  for (;;) {
+    Result<std::optional<std::string>> next = reader_.Next();
+    if (!next.ok()) {
+      Disconnect();
+      return next.status();
+    }
+    if (next->has_value()) {
+      ZIGGY_ASSIGN_OR_RETURN(WireResponse response,
+                             LineProtocol::ParseResponse(**next));
+      inflight_--;
+      return response;
+    }
+    if (fd_ < 0) return Status::IOError("connection closed mid-response");
+    char buffer[4096];
+    const ssize_t n = RecvSome(fd_, buffer, sizeof(buffer));
+    if (n <= 0) {
+      Disconnect();
+      return Status::IOError("connection closed mid-response");
+    }
+    reader_.Feed(buffer, static_cast<size_t>(n));
+  }
 }
 
 Result<WireResponse> ZiggyClient::CallLineOnce(const std::string& line) {
@@ -211,6 +282,10 @@ Result<std::string> ZiggyClient::CloseTable(const std::string& table) {
 
 Result<std::string> ZiggyClient::Health() {
   return Call(WireRequest{Verb::kHealth, {}});
+}
+
+Result<std::string> ZiggyClient::Hello() {
+  return Call(WireRequest{Verb::kHello, {}});
 }
 
 Status ZiggyClient::Quit() {

@@ -3,14 +3,26 @@
 // daemon through this class, so client-side framing and error mapping
 // exist exactly once.
 //
-// Blocking, not thread-safe: the protocol is strictly request/response per
-// connection, so a client instance is owned by one thread (open several
-// clients for concurrent traffic — that is what sessions are for).
+// Not thread-safe: a client instance is owned by one thread (open several
+// clients for concurrent traffic — that is what sessions are for). Two
+// call styles share the connection:
+//
+//   Blocking   — Call/CallRaw/the verb helpers: one request, wait for its
+//                response. The REPL and the retry policy live here.
+//   Pipelined  — SendRequest/PollResponse: queue many requests without
+//                waiting; the server answers strictly in send order, so
+//                responses pop in the same order requests were pushed.
+//                No automatic retry (a failure mid-pipeline leaves the
+//                outcome of every in-flight request unknown; the caller
+//                owns recovery). bench_daemon's high-concurrency scenario
+//                drives thousands of connections this way from a few
+//                threads.
 
 #ifndef ZIGGY_SERVE_CLIENT_H_
 #define ZIGGY_SERVE_CLIENT_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/result.h"
@@ -67,6 +79,34 @@ class ZiggyClient {
   /// command exercise the server's handling of malformed requests.
   Result<WireResponse> CallLine(std::string line);
 
+  /// \name Pipelined (non-blocking) call pair.
+  /// @{
+
+  /// Validates and sends one request without waiting for its response.
+  /// Responses arrive in send order: each successful SendRequest promises
+  /// exactly one future PollResponse/WaitResponse hit. A send failure
+  /// disconnects (every in-flight response is lost with the connection).
+  Status SendRequest(const WireRequest& request);
+
+  /// Non-blocking poll for the oldest in-flight response: nullopt when no
+  /// complete response line has arrived yet, the WireResponse (ok or ERR)
+  /// when one has, an error Status on transport failure. Never blocks —
+  /// uses MSG_DONTWAIT regardless of the socket's mode.
+  Result<std::optional<WireResponse>> PollResponse();
+
+  /// Blocks until the oldest in-flight response arrives.
+  Result<WireResponse> WaitResponse();
+
+  /// Requests sent but not yet answered. Call/CallRaw refuse to run while
+  /// this is non-zero: a blocking call interleaved into a pipeline would
+  /// steal the next pipelined response.
+  size_t inflight() const { return inflight_; }
+
+  /// The connection's fd, for poll(2)/epoll-based readiness multiplexing
+  /// over many pipelined clients. -1 when disconnected.
+  int native_handle() const { return fd_; }
+  /// @}
+
   /// \name Verb helpers (thin wrappers over Call).
   /// @{
   Result<std::string> Open(const std::string& table, const std::string& source);
@@ -86,6 +126,8 @@ class ZiggyClient {
   Result<std::string> CloseTable(const std::string& table);
   /// The daemon's health probe: {"status":"ok|degraded", ...} JSON.
   Result<std::string> Health();
+  /// Capability negotiation: server version, feature flags, wire limits.
+  Result<std::string> Hello();
   Status Quit();
   /// @}
 
@@ -108,6 +150,8 @@ class ZiggyClient {
 
   int fd_ = -1;
   LineReader reader_ = LineReader(kMaxResponseBytes);
+  /// Pipelined requests awaiting their responses (see SendRequest).
+  size_t inflight_ = 0;
   /// Last successful Connect() target; empty host = never connected, so
   /// nothing to reconnect to.
   std::string host_;

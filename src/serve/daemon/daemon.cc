@@ -2,9 +2,12 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -13,6 +16,20 @@
 #include "serve/wire_io.h"
 
 namespace ziggy {
+
+namespace {
+
+/// Output-buffer compaction threshold: below this many already-sent
+/// bytes we just advance out_head; above it we erase the prefix so a
+/// long-lived connection's buffer does not keep its high-water mark.
+constexpr size_t kOutbufCompactBytes = 64u << 10;
+
+int ClampBacklog(size_t max_connections) {
+  return static_cast<int>(
+      std::min<size_t>(std::max<size_t>(max_connections, 64), 4096));
+}
+
+}  // namespace
 
 Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
   // MSG_NOSIGNAL guards our own send() calls, but not every write path to
@@ -46,7 +63,10 @@ Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
     return Status::IOError("bind " + daemon->options_.host + ":" +
                            std::to_string(daemon->options_.port) + ": " + err);
   }
-  if (listen(fd, 64) != 0) {
+  // The backlog absorbs connection bursts the loop has not accepted yet
+  // (the 10k-connection bench opens its sockets faster than one thread
+  // can accept them), so scale it with the admission bound.
+  if (listen(fd, ClampBacklog(daemon->options_.max_connections)) != 0) {
     const std::string err = std::strerror(errno);
     close(fd);
     return Status::IOError("listen: " + err);
@@ -58,10 +78,45 @@ Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
     close(fd);
     return Status::IOError("getsockname: " + err);
   }
+  if (!SetNonBlocking(fd)) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("fcntl(listener, O_NONBLOCK): " + err);
+  }
+
+  daemon->epoll_fd_ = epoll_create1(0);
+  if (daemon->epoll_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("epoll_create1: " + err);
+  }
+  daemon->wake_fd_ = eventfd(0, EFD_NONBLOCK);
+  if (daemon->wake_fd_ < 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("eventfd: " + err);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(daemon->epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0 ||
+      (ev.data.fd = daemon->wake_fd_,
+       epoll_ctl(daemon->epoll_fd_, EPOLL_CTL_ADD, daemon->wake_fd_, &ev)) !=
+          0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("epoll_ctl(ADD): " + err);
+  }
 
   daemon->listen_fd_ = fd;
   daemon->port_ = ntohs(bound.sin_port);
-  daemon->accept_thread_ = std::thread([d = daemon.get()] { d->AcceptLoop(); });
+  const size_t pool = std::max<size_t>(1, daemon->options_.dispatch_threads);
+  daemon->dispatch_threads_.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) {
+    daemon->dispatch_threads_.emplace_back(
+        [d = daemon.get()] { d->DispatchThread(); });
+  }
+  daemon->loop_thread_ = std::thread([d = daemon.get()] { d->LoopThread(); });
   return daemon;
 }
 
@@ -71,27 +126,54 @@ void ZiggyDaemon::Stop() {
   // First caller tears everything down; later callers are no-ops (the
   // destructor is the usual second caller).
   if (stopping_.exchange(true)) return;
-  // shutdown() wakes the blocked accept() (EINVAL); the fd is closed only
-  // AFTER the accept thread is joined so its number cannot be reused by
-  // another socket while accept() could still be entered on it, and so
-  // listen_fd_ is never written while the accept thread reads it.
-  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    (void)write(wake_fd_, &one, sizeof(one));
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+  dispatch_cv_.notify_all();
+  for (std::thread& t : dispatch_threads_) {
+    if (t.joinable()) t.join();
+  }
+  dispatch_threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    notified_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    dispatch_queue_.clear();
+  }
+  // No loop, no dispatch: every connection object is exclusively ours.
+  // Destroying them runs each DaemonHandler destructor, closing its
+  // catalog sessions.
+  std::map<int, std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+    for (int fd : pending_close_) close(fd);
+    pending_close_.clear();
+  }
+  for (auto& [fd, connection] : connections) {
+    {
+      std::lock_guard<std::mutex> lock(connection->mu);
+      connection->fd = -1;
+    }
+    shutdown(fd, SHUT_RDWR);
+    close(fd);
+  }
+  connections.clear();
   if (listen_fd_ >= 0) {
     close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::vector<std::unique_ptr<Connection>> connections;
-  {
-    std::lock_guard<std::mutex> lock(connections_mu_);
-    connections.swap(connections_);
+  if (epoll_fd_ >= 0) {
+    close(epoll_fd_);
+    epoll_fd_ = -1;
   }
-  for (auto& connection : connections) {
-    if (connection->fd >= 0) shutdown(connection->fd, SHUT_RDWR);
-  }
-  for (auto& connection : connections) {
-    if (connection->thread.joinable()) connection->thread.join();
-    if (connection->fd >= 0) close(connection->fd);
+  if (wake_fd_ >= 0) {
+    close(wake_fd_);
+    wake_fd_ = -1;
   }
   // All connections are gone, so no new appends can arrive: drain the
   // catalog's background flusher now, making a clean shutdown lose
@@ -99,139 +181,462 @@ void ZiggyDaemon::Stop() {
   catalog_.StopFlusher();
 }
 
-void ZiggyDaemon::ReapConnections() {
-  std::lock_guard<std::mutex> lock(connections_mu_);
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      if ((*it)->fd >= 0) close((*it)->fd);
-      it = connections_.erase(it);
-    } else {
-      ++it;
+void ZiggyDaemon::LoopThread() {
+  // Level-triggered throughout: interest re-arms by itself, which is what
+  // makes backpressure pauses and EMFILE retries safe — un-consumed
+  // readiness simply fires again on the next wait.
+  std::vector<epoll_event> events(128);
+  const bool timeouts = options_.request_timeout_ms > 0;
+  const int wait_ms =
+      timeouts ? static_cast<int>(std::min<size_t>(
+                     std::max<size_t>(options_.request_timeout_ms / 4, 10), 1000))
+               : -1;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int n =
+        epoll_wait(epoll_fd_, events.data(), static_cast<int>(events.size()),
+                   wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll fd gone — only Stop() does that
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      std::shared_ptr<Connection> connection;
+      {
+        std::lock_guard<std::mutex> lock(connections_mu_);
+        auto it = connections_.find(fd);
+        if (it != connections_.end()) connection = it->second;
+      }
+      if (!connection) continue;  // stale event for an already-closed fd
+      if ((ev & EPOLLERR) != 0 || ((ev & EPOLLHUP) != 0 && (ev & EPOLLIN) == 0)) {
+        // EPOLLHUP alongside EPOLLIN means buffered bytes + FIN: read
+        // them out first (the recv loop will see the EOF itself).
+        std::lock_guard<std::mutex> lock(connection->mu);
+        connection->dead = true;
+      }
+      if ((ev & EPOLLIN) != 0) HandleReadable(connection);
+      if ((ev & EPOLLOUT) != 0) FlushOut(connection);
+      UpdateConnection(connection);
+    }
+    // Dispatch completions: flush fresh responses, restart paused reads,
+    // close drained connections.
+    std::vector<std::shared_ptr<Connection>> batch;
+    {
+      std::lock_guard<std::mutex> lock(notify_mu_);
+      batch.swap(notified_);
+    }
+    for (const std::shared_ptr<Connection>& connection : batch) {
+      FlushOut(connection);
+      DecodePending(connection);
+      UpdateConnection(connection);
+    }
+    if (timeouts) CheckTimeouts();
+    // Closed fds were only collected during the iteration: closing them
+    // mid-batch would let accept() reuse an fd number while stale events
+    // for the old connection are still in `events`.
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      for (int fd : pending_close_) close(fd);
+      pending_close_.clear();
     }
   }
 }
 
-void ZiggyDaemon::AcceptLoop() {
+void ZiggyDaemon::HandleAccept() {
   for (;;) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (stopping_.load(std::memory_order_relaxed)) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
       if (errno == EINTR || errno == ECONNABORTED) continue;
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
           errno == ENOMEM) {
         // Resource exhaustion is a load spike, not a reason to stop
-        // serving: existing connections will finish and free fds. Sleep a
-        // beat (never a busy loop) and try again. Reap BEFORE sleeping:
-        // finished connections are normally reaped on the next successful
-        // accept, but if every fd belongs to an already-dead connection
-        // that accept never comes — reaping here is what breaks the
-        // live-lock.
+        // serving: live connections will finish and free fds (dead ones
+        // are closed eagerly by the loop, so there is nothing to reap).
+        // Sleep a beat — never a busy loop — and let the level-triggered
+        // listener readiness re-fire.
         accept_retries_.fetch_add(1, std::memory_order_relaxed);
-        ReapConnections();
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        continue;
+        return;
       }
-      return;  // listener closed by Stop(), or fatal — either way we're done
+      return;  // listener closed by Stop(), or fatal — either way done
     }
     if (stopping_.load(std::memory_order_relaxed)) {
       close(fd);
       return;
     }
-    ReapConnections();
+    size_t live = 0;
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
-      if (connections_.size() >= options_.max_connections) {
-        // Graceful shed: tell the client why before closing, so its
-        // backoff logic sees Unavailable rather than a bare RST.
-        connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-        SendAll(fd, LineProtocol::SerializeResponse(WireResponse::Error(
-                        Status::Unavailable("too many connections"))));
-        close(fd);
-        continue;
+      live = connections_.size();
+    }
+    if (live >= options_.max_connections) {
+      // Graceful shed: tell the client why before closing, so its backoff
+      // logic sees Unavailable rather than a bare RST. The accepted fd is
+      // still blocking (accept() does not inherit O_NONBLOCK), so the
+      // short reply is delivered whole.
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      SendAll(fd, LineProtocol::SerializeResponse(WireResponse::Error(
+                      Status::Unavailable("too many connections"))));
+      close(fd);
+      continue;
+    }
+    if (!SetNonBlocking(fd)) {
+      close(fd);
+      continue;
+    }
+    auto connection =
+        std::make_shared<Connection>(&catalog_, options_.max_line_bytes);
+    connection->fd = fd;
+    connection->last_activity = std::chrono::steady_clock::now();
+    connection->handler.set_connection_stats_json(
+        [this] { return ConnectionStatsJson(); });
+    connection->handler.set_wire_limits(
+        WireLimits{options_.max_line_bytes, options_.max_pipeline});
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_[fd] = connection;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.erase(fd);
+      close(fd);
+      continue;
+    }
+    connection->registered = true;
+    connection->epoll_mask = EPOLLIN;
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ZiggyDaemon::HandleReadable(const std::shared_ptr<Connection>& c) {
+  char buffer[16384];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      if (c->fd < 0 || c->dead || c->close_requested) return;
+      // Backpressure: once the queue or the un-flushed output passes its
+      // bound, stop pulling bytes — they stay in the kernel socket buffer
+      // and TCP flow control throttles the peer. UpdateConnection drops
+      // EPOLLIN right after, so the loop does not spin on readiness.
+      const size_t depth = c->queue.size() + (c->dispatch_active ? 1 : 0);
+      if (depth >= options_.max_pipeline ||
+          c->PendingOut() >= options_.max_outbuf_bytes) {
+        return;
       }
-      auto connection = std::make_unique<Connection>();
-      connection->fd = fd;
-      Connection* raw = connection.get();
-      connections_.push_back(std::move(connection));
-      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-      raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    }
+    const ssize_t n = RecvSome(c->fd, buffer, sizeof(buffer));
+    if (n > 0) {
+      c->last_activity = std::chrono::steady_clock::now();
+      c->reader.Feed(buffer, static_cast<size_t>(n));
+      DecodePending(c);
+      continue;
+    }
+    if (n == 0) {
+      // FIN. The peer may still be reading (a pipelined client that
+      // shut down its write side): execute what it sent, flush every
+      // response, and only then close.
+      std::lock_guard<std::mutex> lock(c->mu);
+      c->peer_half_closed = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    std::lock_guard<std::mutex> lock(c->mu);
+    c->dead = true;
+    return;
+  }
+}
+
+void ZiggyDaemon::DecodePending(const std::shared_ptr<Connection>& c) {
+  bool need_dispatch = false;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->fd < 0 || c->dead || c->close_requested) return;
+    while (c->queue.size() + (c->dispatch_active ? 1 : 0) <
+           options_.max_pipeline) {
+      Result<std::optional<std::string>> line = c->reader.Next();
+      Pending pending;
+      if (line.ok()) {
+        if (!line->has_value()) break;
+        if ((*line)->empty()) continue;  // blank keep-alive lines
+        pending.line = std::move(**line);
+      } else {
+        // Oversized line: an ERR reply in request order, stream intact.
+        pending.oversize = true;
+        pending.error = line.status();
+      }
+      if (!c->queue.empty() || c->dispatch_active) {
+        pipelined_requests_.fetch_add(1, std::memory_order_relaxed);
+      }
+      c->queue.push_back(std::move(pending));
+    }
+    if (!c->queue.empty() && !c->dispatch_active) {
+      c->dispatch_active = true;
+      need_dispatch = true;
+    }
+  }
+  if (need_dispatch) ScheduleDispatch(c);
+}
+
+void ZiggyDaemon::FlushOut(const std::shared_ptr<Connection>& c) {
+  std::lock_guard<std::mutex> lock(c->mu);
+  if (c->fd < 0 || c->dead) return;
+  bool progressed = false;
+  while (c->out_head < c->outbuf.size()) {
+    const ssize_t n = SendSome(c->fd, c->outbuf.data() + c->out_head,
+                               c->outbuf.size() - c->out_head);
+    if (n <= 0) {
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      c->dead = true;  // peer gone (or injected wire fault)
+      break;
+    }
+    c->out_head += static_cast<size_t>(n);
+    progressed = true;
+  }
+  if (progressed) c->last_activity = std::chrono::steady_clock::now();
+  if (c->out_head == c->outbuf.size()) {
+    c->outbuf.clear();
+    c->out_head = 0;
+  } else if (c->out_head > kOutbufCompactBytes) {
+    c->outbuf.erase(0, c->out_head);
+    c->out_head = 0;
+  }
+}
+
+void ZiggyDaemon::UpdateConnection(const std::shared_ptr<Connection>& c) {
+  bool close_now = false;
+  bool resumed = false;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->fd < 0) return;
+    const size_t depth = c->queue.size() + (c->dispatch_active ? 1 : 0);
+    const size_t pending_out = c->PendingOut();
+    if (c->dead) {
+      close_now = true;
+    } else if ((c->close_requested || c->peer_half_closed) &&
+               !c->dispatch_active && c->queue.empty() && pending_out == 0) {
+      close_now = true;
+    } else if (!c->read_paused && (depth >= options_.max_pipeline ||
+                                   pending_out >= options_.max_outbuf_bytes)) {
+      c->read_paused = true;
+      reads_throttled_.fetch_add(1, std::memory_order_relaxed);
+    } else if (c->read_paused && depth <= options_.max_pipeline / 2 &&
+               pending_out <= options_.max_outbuf_bytes / 2) {
+      // Resume at half the bound so the connection does not flap on
+      // every completed request.
+      c->read_paused = false;
+      resumed = true;
+    }
+  }
+  if (close_now) {
+    CloseConnection(c);
+    return;
+  }
+  if (resumed) {
+    // Lines decoded before the pause may still sit inside the reader;
+    // the kernel will not signal EPOLLIN for them.
+    DecodePending(c);
+  }
+  uint32_t want = 0;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->fd < 0) return;
+    const bool want_read =
+        !c->read_paused && !c->peer_half_closed && !c->close_requested;
+    want = (want_read ? EPOLLIN : 0u) |
+           (c->PendingOut() > 0 ? EPOLLOUT : 0u);
+  }
+  if (want != c->epoll_mask && c->registered) {
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = c->fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev) == 0) {
+      c->epoll_mask = want;
     }
   }
 }
 
-void ZiggyDaemon::ServeConnection(Connection* connection) {
-  DaemonHandler handler(&catalog_);
-  handler.set_connection_stats_json([this] {
-    const DaemonStats st = stats();
-    std::ostringstream os;
-    os << "{\"accepted\":" << st.connections_accepted
-       << ",\"rejected\":" << st.connections_rejected
-       << ",\"timed_out\":" << st.connections_timed_out
-       << ",\"live\":" << st.live_connections
-       << ",\"accept_retries\":" << st.accept_retries
-       << ",\"requests\":" << st.requests_handled
-       << ",\"protocol_errors\":" << st.protocol_errors << "}";
-    return os.str();
-  });
-  LineReader reader(options_.max_line_bytes);
-  if (options_.request_timeout_ms > 0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(options_.request_timeout_ms / 1000);
-    tv.tv_usec =
-        static_cast<suseconds_t>((options_.request_timeout_ms % 1000) * 1000);
-    (void)setsockopt(connection->fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+void ZiggyDaemon::CloseConnection(const std::shared_ptr<Connection>& c) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    fd = c->fd;
+    c->fd = -1;
   }
-  char buffer[4096];
-  bool alive = true;
-  while (alive && !stopping_.load(std::memory_order_relaxed)) {
-    const ssize_t n = RecvSome(connection->fd, buffer, sizeof(buffer));
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // SO_RCVTIMEO expired: the peer sent nothing (or stalled mid-line)
-      // for request_timeout_ms. Tell it why (best effort) and free the
-      // handler thread instead of letting a silent client pin it.
-      connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
-      (void)SendAll(connection->fd,
-                    LineProtocol::SerializeResponse(WireResponse::Error(
-                        Status::FailedPrecondition("request timeout"))));
-      break;
+  if (fd < 0) return;
+  if (c->registered) {
+    (void)epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    c->registered = false;
+  }
+  shutdown(fd, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  connections_.erase(fd);
+  pending_close_.push_back(fd);
+  // The Connection object itself may outlive this (a dispatch thread can
+  // still hold it); its handler closes the catalog sessions when the
+  // last reference drops.
+}
+
+void ZiggyDaemon::CheckTimeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.request_timeout_ms);
+  std::vector<std::shared_ptr<Connection>> candidates;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    candidates.reserve(connections_.size());
+    for (const auto& [fd, connection] : connections_) {
+      candidates.push_back(connection);
     }
-    if (n <= 0) break;  // EOF or error: the peer is gone
-    reader.Feed(buffer, static_cast<size_t>(n));
-    for (;;) {
-      Result<std::optional<std::string>> line = reader.Next();
-      if (!line.ok()) {
-        // Oversized line: reply in order and keep the stream alive.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        alive = SendAll(connection->fd, LineProtocol::SerializeResponse(
-                                            WireResponse::Error(line.status())));
-        if (!alive) break;
+  }
+  for (const std::shared_ptr<Connection>& c : candidates) {
+    if (now - c->last_activity < limit) continue;
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(c->mu);
+      idle = c->fd >= 0 && !c->dead && !c->close_requested &&
+             !c->dispatch_active && c->queue.empty() && c->PendingOut() == 0;
+    }
+    if (!idle) continue;
+    // The peer sent nothing (or stalled mid-line) for request_timeout_ms.
+    // Tell it why (best effort — the socket buffer is empty, so the short
+    // line goes out whole) and free the connection slot instead of
+    // letting a silent client pin it.
+    connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    (void)SendAll(c->fd, LineProtocol::SerializeResponse(WireResponse::Error(
+                             Status::FailedPrecondition("request timeout"))));
+    CloseConnection(c);
+  }
+}
+
+void ZiggyDaemon::NotifyLoop(std::shared_ptr<Connection> c) {
+  {
+    std::lock_guard<std::mutex> lock(notify_mu_);
+    notified_.push_back(std::move(c));
+  }
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    (void)write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void ZiggyDaemon::ScheduleDispatch(std::shared_ptr<Connection> c) {
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    dispatch_queue_.push_back(std::move(c));
+  }
+  dispatch_cv_.notify_one();
+}
+
+void ZiggyDaemon::DispatchThread() {
+  for (;;) {
+    std::shared_ptr<Connection> c;
+    {
+      std::unique_lock<std::mutex> lock(dispatch_mu_);
+      dispatch_cv_.wait(lock, [this] {
+        return stopping_.load(std::memory_order_relaxed) ||
+               !dispatch_queue_.empty();
+      });
+      if (dispatch_queue_.empty()) {
+        if (stopping_.load(std::memory_order_relaxed)) return;
         continue;
       }
-      if (!line->has_value()) break;
-      if ((*line)->empty()) continue;  // blank keep-alive lines are ignored
-      WireResponse response;
-      Result<WireRequest> request = LineProtocol::ParseRequest(**line);
-      if (!request.ok()) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        response = WireResponse::Error(request.status());
-      } else {
-        response = handler.Handle(*request);
-        requests_handled_.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (!SendAll(connection->fd, LineProtocol::SerializeResponse(response))) {
-        alive = false;
-        break;
-      }
-      if (handler.quit_requested()) {
-        alive = false;
-        break;
-      }
+      c = std::move(dispatch_queue_.front());
+      dispatch_queue_.pop_front();
     }
+    // Drain this connection's queue, strictly in arrival order. The
+    // active flag guarantees no other pool thread works this connection,
+    // so the handler sees requests exactly as serially as it did with a
+    // dedicated thread. The empty-check and the flag-clear are one
+    // critical section: either the loop's enqueue sees the flag still
+    // set (we will find its item in the next iteration) or it sees the
+    // flag cleared and schedules a fresh dispatch — never neither.
+    bool handled_any = false;
+    for (;;) {
+      Pending item;
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        if (c->queue.empty() || c->dead || c->close_requested ||
+            stopping_.load(std::memory_order_relaxed)) {
+          if (c->dead || stopping_.load(std::memory_order_relaxed)) {
+            c->queue.clear();
+          }
+          c->dispatch_active = false;
+          break;
+        }
+        item = std::move(c->queue.front());
+        c->queue.pop_front();
+      }
+      WireResponse response;
+      if (item.oversize) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        response = WireResponse::Error(item.error);
+      } else {
+        Result<WireRequest> request = LineProtocol::ParseRequest(item.line);
+        if (!request.ok()) {
+          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+          response = WireResponse::Error(request.status());
+        } else {
+          response = c->handler.Handle(*request);
+          requests_handled_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      handled_any = true;
+      const bool quit = c->handler.quit_requested();
+      std::string wire = LineProtocol::SerializeResponse(response);
+      {
+        std::lock_guard<std::mutex> lock(c->mu);
+        c->outbuf += wire;
+        if (quit) {
+          // QUIT answered: whatever the client pipelined after it is
+          // dropped (it asked to hang up), and the loop closes once the
+          // farewell is flushed.
+          c->close_requested = true;
+          c->queue.clear();
+        }
+      }
+      // Stream each response out as it completes instead of holding the
+      // batch: the loop coalesces whatever is buffered by flush time, so
+      // fast batches still leave as one write.
+      NotifyLoop(c);
+    }
+    if (handled_any) {
+      dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Final notification covers the state change to dispatch_active ==
+    // false: the loop may now resume reads, schedule the next batch, or
+    // close a drained connection.
+    NotifyLoop(c);
   }
-  handler.CloseAllSessions();
-  shutdown(connection->fd, SHUT_RDWR);
-  connection->done.store(true, std::memory_order_release);
+}
+
+std::string ZiggyDaemon::ConnectionStatsJson() const {
+  const DaemonStats st = stats();
+  std::ostringstream os;
+  os << "{\"accepted\":" << st.connections_accepted
+     << ",\"rejected\":" << st.connections_rejected
+     << ",\"timed_out\":" << st.connections_timed_out
+     << ",\"live\":" << st.live_connections
+     << ",\"accept_retries\":" << st.accept_retries
+     << ",\"requests\":" << st.requests_handled
+     << ",\"protocol_errors\":" << st.protocol_errors
+     << ",\"reads_throttled\":" << st.reads_throttled
+     << ",\"pipelined_requests\":" << st.pipelined_requests
+     << ",\"dispatch_batches\":" << st.dispatch_batches << "}";
+  return os.str();
 }
 
 DaemonStats ZiggyDaemon::stats() const {
@@ -245,6 +650,9 @@ DaemonStats ZiggyDaemon::stats() const {
   st.requests_handled = requests_handled_.load(std::memory_order_relaxed);
   st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   st.accept_retries = accept_retries_.load(std::memory_order_relaxed);
+  st.reads_throttled = reads_throttled_.load(std::memory_order_relaxed);
+  st.pipelined_requests = pipelined_requests_.load(std::memory_order_relaxed);
+  st.dispatch_batches = dispatch_batches_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     st.live_connections = connections_.size();

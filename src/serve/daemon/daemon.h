@@ -1,20 +1,56 @@
 // ZiggyDaemon: the network front door. A plain POSIX TCP server speaking
 // the newline-delimited line protocol (serve/protocol.h) over a
-// ServerCatalog — one accept loop, one thread + DaemonHandler per
-// connection, no external dependencies.
+// ServerCatalog — one epoll event loop owning every socket, a small
+// dispatch pool executing verbs on the resident worker machinery, no
+// external dependencies.
 //
-// Lifecycle: Start() binds and begins accepting (port 0 = kernel-assigned,
-// reported by port()); Stop() shuts the listener and every live
-// connection down and joins all threads; the destructor calls Stop().
-// Malformed input never kills a connection: parse failures produce ERR
-// replies in request order, and oversized lines are skipped through their
-// newline so the stream re-synchronizes (see LineReader).
+// Architecture (since the event-loop rewrite):
+//
+//   loop thread      owns ALL socket I/O: the non-blocking listener, one
+//                    epoll instance, every connection's fd, LineReader,
+//                    and output buffer flushing. It never executes verbs.
+//   dispatch pool    N threads (DaemonOptions::dispatch_threads) pop
+//                    connections with queued requests and run their
+//                    DaemonHandler. At most one dispatch runs per
+//                    connection at a time, so the handler stays
+//                    single-threaded per connection while different
+//                    connections' verbs run concurrently; CHARACTERIZE/
+//                    VIEWS fan out onto the catalog's WorkerPool as
+//                    before. Finished responses are appended to the
+//                    connection's output buffer and the loop is woken
+//                    through an eventfd to flush them.
+//
+// Pipelining: the framing already permits it — the loop decodes as many
+// complete request lines as arrive in one readable event, queues them,
+// and the dispatch answers strictly in request order (responses for one
+// batch coalesce into one output buffer, so they leave as few large
+// writes instead of many small ones).
+//
+// Backpressure: a connection stops being read (its EPOLLIN is dropped
+// and bytes accumulate in the kernel socket buffer, throttling the peer
+// via TCP flow control) while queued+executing requests reach
+// max_pipeline or the un-flushed output buffer reaches max_outbuf_bytes;
+// reading resumes at half of either bound. Admission control
+// (--max-connections) sheds excess connections with an explicit
+// Unavailable reply, and the accept loop survives EMFILE/ENFILE bursts
+// by sleep-and-retry, exactly as the threaded daemon did.
+//
+// Lifecycle: Start() binds and begins accepting (port 0 = kernel-
+// assigned, reported by port()); Stop() shuts the listener and every
+// live connection down and joins all threads; the destructor calls
+// Stop(). Malformed input never kills a connection: parse failures
+// produce ERR replies in request order, and oversized lines are skipped
+// through their newline so the stream re-synchronizes (see LineReader).
 
 #ifndef ZIGGY_SERVE_DAEMON_DAEMON_H_
 #define ZIGGY_SERVE_DAEMON_DAEMON_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,11 +70,21 @@ struct DaemonOptions {
   uint16_t port = 0;
   size_t max_line_bytes = LineProtocol::kMaxLineBytes;
   size_t max_connections = 64;
-  /// Per-connection receive timeout in milliseconds (0 = none). A
-  /// connection that goes silent for longer — a stalled client, a dead
-  /// peer no FIN ever arrived from — is answered with an ERR and closed,
-  /// so it cannot pin one of the max_connections handler threads forever.
+  /// Per-connection idle timeout in milliseconds (0 = none). A connection
+  /// with no queued work that sends nothing for this long — a stalled
+  /// client, a dead peer no FIN ever arrived from — is answered with an
+  /// ERR and closed, so it cannot hold a connection slot forever.
   size_t request_timeout_ms = 0;
+  /// Pipelining depth: queued + executing requests per connection before
+  /// the loop stops reading from it (resumes at half).
+  size_t max_pipeline = 64;
+  /// Un-flushed response bytes per connection before the loop stops
+  /// reading from it (a slow reader must not balloon server memory).
+  size_t max_outbuf_bytes = 4u << 20;
+  /// Verb-execution threads. Requests from one connection always run
+  /// serially; this bounds how many *connections* execute concurrently
+  /// (each CHARACTERIZE/VIEWS still fans out on the catalog's pool).
+  size_t dispatch_threads = 4;
   /// Store directory for durable checkpoints (empty = no store). Attached
   /// to the catalog before the listener starts; opening fails if the
   /// directory is unusable or holds a corrupt manifest.
@@ -57,12 +103,21 @@ struct DaemonStats {
   /// Transient accept(2) failures (EMFILE/ENFILE/ENOBUFS/ECONNABORTED)
   /// survived by sleep-and-retry instead of killing the accept loop.
   uint64_t accept_retries = 0;
+  /// Times a connection's reading was paused by backpressure (pipeline
+  /// depth or output-buffer bound).
+  uint64_t reads_throttled = 0;
+  /// Requests that arrived while earlier ones from the same connection
+  /// were still queued or executing — i.e. actual pipelining observed.
+  uint64_t pipelined_requests = 0;
+  /// Dispatch runs that executed at least one request (a run drains the
+  /// connection's whole queue, so batches < requests under pipelining).
+  uint64_t dispatch_batches = 0;
 };
 
-/// \brief The serving process: listener + connection threads + catalog.
+/// \brief The serving process: event loop + dispatch pool + catalog.
 class ZiggyDaemon {
  public:
-  /// Binds, listens, and starts the accept loop. The returned daemon is
+  /// Binds, listens, and starts the event loop. The returned daemon is
   /// already serving.
   static Result<std::unique_ptr<ZiggyDaemon>> Start(DaemonOptions options);
 
@@ -83,30 +138,99 @@ class ZiggyDaemon {
   DaemonStats stats() const;
 
  private:
+  /// One decoded framing event, in arrival order: a complete request
+  /// line, or an oversize mark carrying the framing error to send.
+  struct Pending {
+    bool oversize = false;
+    Status error = Status::OK();
+    std::string line;
+  };
+
+  /// Everything the loop and the dispatch pool share about one
+  /// connection. The loop owns fd/reader/epoll interest outright; `mu`
+  /// guards the queue/outbuf/flags both sides touch. Held by shared_ptr
+  /// so a connection that dies mid-dispatch stays valid until the
+  /// dispatch drops it; the DaemonHandler destructor then closes its
+  /// sessions exactly once, after the last concurrent user is gone.
   struct Connection {
+    Connection(ServerCatalog* catalog, size_t max_line_bytes)
+        : handler(catalog), reader(max_line_bytes) {}
+
     int fd = -1;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    DaemonHandler handler;
+    LineReader reader;          ///< loop thread only
+    uint32_t epoll_mask = 0;    ///< loop thread only: current registration
+    bool registered = false;    ///< loop thread only: fd is in the epoll set
+    std::chrono::steady_clock::time_point last_activity;  ///< loop only
+
+    std::mutex mu;
+    std::deque<Pending> queue;  ///< decoded, not yet executed
+    std::string outbuf;         ///< serialized, not yet flushed
+    size_t out_head = 0;        ///< bytes of outbuf already sent
+    bool dispatch_active = false;  ///< a pool thread is executing verbs
+    bool read_paused = false;      ///< backpressure dropped EPOLLIN
+    bool peer_half_closed = false; ///< recv saw EOF; drain then close
+    bool close_requested = false;  ///< QUIT handled: close after flush
+    bool dead = false;             ///< socket error: close asap
+
+    size_t PendingOut() const { return outbuf.size() - out_head; }
   };
 
   explicit ZiggyDaemon(DaemonOptions options)
       : options_(std::move(options)), catalog_(options_.catalog) {}
 
-  void AcceptLoop();
-  void ServeConnection(Connection* connection);
-  /// Joins finished connection threads (called from the accept loop).
-  void ReapConnections();
+  void LoopThread();
+  void DispatchThread();
+
+  /// Accepts until EAGAIN: shed, register, or sleep-and-retry on EMFILE.
+  void HandleAccept();
+  /// Drains readable bytes into the LineReader until EAGAIN, EOF, or a
+  /// backpressure pause.
+  void HandleReadable(const std::shared_ptr<Connection>& c);
+  /// Pulls complete lines out of the LineReader into the request queue
+  /// (bounded by max_pipeline) and schedules a dispatch if none is
+  /// running. Loop thread only.
+  void DecodePending(const std::shared_ptr<Connection>& c);
+  /// Sends as much buffered output as the socket accepts. Loop thread.
+  void FlushOut(const std::shared_ptr<Connection>& c);
+  /// Recomputes backpressure / EPOLLOUT interest and closes the
+  /// connection if it is finished. Loop thread only.
+  void UpdateConnection(const std::shared_ptr<Connection>& c);
+  void CloseConnection(const std::shared_ptr<Connection>& c);
+  void CheckTimeouts();
+
+  /// Dispatch → loop: "this connection has new output / finished a
+  /// batch". Wakes the loop through the eventfd.
+  void NotifyLoop(std::shared_ptr<Connection> c);
+  /// Hands a connection with queued requests to the dispatch pool.
+  void ScheduleDispatch(std::shared_ptr<Connection> c);
+
+  std::string ConnectionStatsJson() const;
 
   DaemonOptions options_;
   ServerCatalog catalog_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: dispatch results, Stop()
   uint16_t port_ = 0;
-  std::thread accept_thread_;
+  std::thread loop_thread_;
+  std::vector<std::thread> dispatch_threads_;
   std::atomic<bool> stopping_{false};
 
   mutable std::mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  std::map<int, std::shared_ptr<Connection>> connections_;  ///< by fd
+  /// Fds removed from `connections_` whose close(2) is deferred to the
+  /// end of the loop iteration (an immediate close would let accept()
+  /// reuse the number while stale epoll events still reference it).
+  std::vector<int> pending_close_;
+
+  std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::deque<std::shared_ptr<Connection>> dispatch_queue_;
+
+  std::mutex notify_mu_;
+  std::vector<std::shared_ptr<Connection>> notified_;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_rejected_{0};
@@ -114,6 +238,9 @@ class ZiggyDaemon {
   std::atomic<uint64_t> requests_handled_{0};
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> accept_retries_{0};
+  std::atomic<uint64_t> reads_throttled_{0};
+  std::atomic<uint64_t> pipelined_requests_{0};
+  std::atomic<uint64_t> dispatch_batches_{0};
 };
 
 }  // namespace ziggy

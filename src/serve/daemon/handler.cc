@@ -1,6 +1,9 @@
 #include "serve/daemon/handler.h"
 
+#include <array>
 #include <sstream>
+#include <tuple>
+#include <type_traits>
 
 #include "common/string_util.h"
 #include "data/synthetic.h"
@@ -135,32 +138,33 @@ void DaemonHandler::CloseAllSessions() {
 }
 
 WireResponse DaemonHandler::Handle(const WireRequest& request) {
-  switch (request.verb) {
-    case Verb::kOpen:
-      return HandleOpen(request);
-    case Verb::kList:
-      return HandleList();
-    case Verb::kCharacterize:
-      return HandleCharacterize(request, /*views_only=*/false);
-    case Verb::kViews:
-      return HandleCharacterize(request, /*views_only=*/true);
-    case Verb::kAppend:
-      return HandleAppend(request);
-    case Verb::kStats:
-      return HandleStats(request);
-    case Verb::kSave:
-      return HandleSave(request);
-    case Verb::kPersist:
-      return HandlePersist(request);
-    case Verb::kClose:
-      return HandleClose(request);
-    case Verb::kHealth:
-      return HandleHealth();
-    case Verb::kQuit:
-      quit_requested_ = true;
-      return WireResponse::Ok("{\"bye\":true}");
+  // The dispatch half of the verb table: one member function per
+  // VerbTable() row, indexed by enum value (the table is in enum order —
+  // protocol_test pins that invariant). Adding a verb means one row in
+  // kVerbTable and one entry here; nothing else switches on Verb.
+  using HandlerFn = WireResponse (DaemonHandler::*)(const WireRequest&);
+  static constexpr std::array<HandlerFn, 12> kDispatch = {{
+      &DaemonHandler::HandleOpen,
+      &DaemonHandler::HandleList,
+      &DaemonHandler::HandleCharacterize,
+      &DaemonHandler::HandleViews,
+      &DaemonHandler::HandleAppend,
+      &DaemonHandler::HandleStats,
+      &DaemonHandler::HandleSave,
+      &DaemonHandler::HandlePersist,
+      &DaemonHandler::HandleClose,
+      &DaemonHandler::HandleHealth,
+      &DaemonHandler::HandleHello,
+      &DaemonHandler::HandleQuit,
+  }};
+  static_assert(kDispatch.size() == std::tuple_size_v<std::remove_reference_t<
+                                        decltype(VerbTable())>>,
+                "dispatch table must cover every verb");
+  const size_t index = static_cast<size_t>(request.verb);
+  if (index >= kDispatch.size()) {
+    return WireResponse::Error(Status::Internal("unhandled verb"));
   }
-  return WireResponse::Error(Status::Internal("unhandled verb"));
+  return (this->*kDispatch[index])(request);
 }
 
 WireResponse DaemonHandler::HandleOpen(const WireRequest& request) {
@@ -191,7 +195,7 @@ WireResponse DaemonHandler::HandleOpen(const WireRequest& request) {
                                         state->generation()));
 }
 
-WireResponse DaemonHandler::HandleList() {
+WireResponse DaemonHandler::HandleList(const WireRequest&) {
   std::ostringstream os;
   os << "{\"tables\":[";
   bool first = true;
@@ -207,8 +211,16 @@ WireResponse DaemonHandler::HandleList() {
   return WireResponse::Ok(os.str());
 }
 
-WireResponse DaemonHandler::HandleCharacterize(const WireRequest& request,
-                                               bool views_only) {
+WireResponse DaemonHandler::HandleCharacterize(const WireRequest& request) {
+  return CharacterizeImpl(request, /*views_only=*/false);
+}
+
+WireResponse DaemonHandler::HandleViews(const WireRequest& request) {
+  return CharacterizeImpl(request, /*views_only=*/true);
+}
+
+WireResponse DaemonHandler::CharacterizeImpl(const WireRequest& request,
+                                             bool views_only) {
   const std::string& table = request.args[0];
   const std::string& query = request.args[1];
   Result<BoundSession> bound = SessionFor(table);
@@ -325,7 +337,7 @@ WireResponse DaemonHandler::HandlePersist(const WireRequest& request) {
                           "\",\"persist\":" + (on ? "true" : "false") + "}");
 }
 
-WireResponse DaemonHandler::HandleHealth() {
+WireResponse DaemonHandler::HandleHealth(const WireRequest&) {
   const CatalogHealth health = catalog_->Health();
   std::ostringstream os;
   os << "{\"status\":\"" << (health.degraded ? "degraded" : "ok")
@@ -340,6 +352,39 @@ WireResponse DaemonHandler::HandleHealth() {
   }
   os << "}";
   return WireResponse::Ok(os.str());
+}
+
+WireResponse DaemonHandler::HandleHello(const WireRequest&) {
+  // Capability negotiation. Entirely optional: a client that never sends
+  // HELLO sees the exact pre-HELLO wire behavior, so old clients keep
+  // working bit-identically. Feature flags:
+  //   pipelining  — the server decodes and answers pipelined requests
+  //                 (always true for the event-loop daemon).
+  //   compression — the attached store writes compressed checkpoints
+  //                 (false when no store is attached).
+  //   degraded    — the flusher's degraded latch is currently set, so
+  //                 mutating verbs may be refused with retry_after_ms.
+  const CatalogStats stats = catalog_->stats();
+  const CatalogHealth health = catalog_->Health();
+  std::ostringstream os;
+  os << "{\"server\":\"ziggy\",\"protocol\":" << kProtocolVersion
+     << ",\"features\":{\"pipelining\":true,\"compression\":"
+     << (stats.store_attached && stats.store_compression ? "true" : "false")
+     << ",\"degraded\":" << (health.degraded ? "true" : "false")
+     << "},\"limits\":{\"max_line_bytes\":" << limits_.max_line_bytes
+     << ",\"max_pipeline\":" << limits_.max_pipeline << "},\"verbs\":[";
+  bool first = true;
+  for (const VerbInfo& info : VerbTable()) {
+    os << (first ? "\"" : ",\"") << info.name << "\"";
+    first = false;
+  }
+  os << "]}";
+  return WireResponse::Ok(os.str());
+}
+
+WireResponse DaemonHandler::HandleQuit(const WireRequest&) {
+  quit_requested_ = true;
+  return WireResponse::Ok("{\"bye\":true}");
 }
 
 WireResponse DaemonHandler::HandleClose(const WireRequest& request) {

@@ -38,8 +38,21 @@ namespace ziggy {
 /// the golden e2e drives).
 Result<Table> LoadTableFromSource(const std::string& source);
 
-/// \brief Per-connection protocol state machine. Not thread-safe; the
-/// daemon runs one handler per connection thread.
+/// \brief Wire limits the daemon advertises in HELLO replies. Defaults
+/// match a daemon with default options; the daemon overrides them from
+/// its DaemonOptions so HELLO reports the running configuration.
+struct WireLimits {
+  size_t max_line_bytes = LineProtocol::kMaxLineBytes;
+  size_t max_pipeline = 64;
+};
+
+/// \brief Per-connection protocol state machine. Not thread-safe: the
+/// daemon serializes requests per connection (the event loop dispatches
+/// at most one request per handler at a time; pipelined requests queue
+/// and run in order). Handle() itself is a pure request → response
+/// function over the connection-state object — no socket, no stack
+/// state spanning requests — which is what lets the event loop park a
+/// connection between requests.
 class DaemonHandler {
  public:
   explicit DaemonHandler(ServerCatalog* catalog) : catalog_(catalog) {}
@@ -61,6 +74,10 @@ class DaemonHandler {
     connection_stats_json_ = std::move(fn);
   }
 
+  /// Installs the limits HELLO advertises (the daemon passes its
+  /// configured max_line_bytes / max_pipeline).
+  void set_wire_limits(const WireLimits& limits) { limits_ = limits; }
+
   /// Closes every session this connection opened (idempotent; also run by
   /// the destructor).
   void CloseAllSessions();
@@ -76,19 +93,29 @@ class DaemonHandler {
   /// The connection's session on `table`, opening it on first use.
   Result<BoundSession> SessionFor(const std::string& table);
 
+  // One handler per verb, all with the uniform request → response
+  // signature so Handle() is a table lookup (see kDispatch in the .cc),
+  // not a verb chain. Arity was already enforced by the parser, so each
+  // handler may index request.args per its VerbInfo row.
   WireResponse HandleOpen(const WireRequest& request);
-  WireResponse HandleList();
-  WireResponse HandleCharacterize(const WireRequest& request, bool views_only);
+  WireResponse HandleList(const WireRequest& request);
+  WireResponse HandleCharacterize(const WireRequest& request);
+  WireResponse HandleViews(const WireRequest& request);
   WireResponse HandleAppend(const WireRequest& request);
   WireResponse HandleStats(const WireRequest& request);
   WireResponse HandleSave(const WireRequest& request);
   WireResponse HandlePersist(const WireRequest& request);
   WireResponse HandleClose(const WireRequest& request);
-  WireResponse HandleHealth();
+  WireResponse HandleHealth(const WireRequest& request);
+  WireResponse HandleHello(const WireRequest& request);
+  WireResponse HandleQuit(const WireRequest& request);
+
+  WireResponse CharacterizeImpl(const WireRequest& request, bool views_only);
 
   ServerCatalog* catalog_;
   std::map<std::string, BoundSession> sessions_;
   std::function<std::string()> connection_stats_json_;
+  WireLimits limits_;
   bool quit_requested_ = false;
 };
 

@@ -8,37 +8,45 @@
 
 namespace ziggy {
 
-namespace {
-
-struct VerbSpec {
-  Verb verb;
-  const char* name;
-  size_t min_args;
-  size_t max_args;
-  /// The last argument absorbs the rest of the line (predicates, paths).
-  bool trailing_joined;
-};
-
-constexpr std::array<VerbSpec, 11> kVerbs = {{
-    {Verb::kOpen, "OPEN", 2, 2, true},
-    {Verb::kList, "LIST", 0, 0, false},
-    {Verb::kCharacterize, "CHARACTERIZE", 2, 2, true},
-    {Verb::kViews, "VIEWS", 2, 2, true},
-    {Verb::kAppend, "APPEND", 2, 2, true},
-    {Verb::kStats, "STATS", 0, 1, false},
-    {Verb::kSave, "SAVE", 0, 1, false},
-    {Verb::kPersist, "PERSIST", 2, 2, false},
-    {Verb::kClose, "CLOSE", 1, 1, false},
-    {Verb::kHealth, "HEALTH", 0, 0, false},
-    {Verb::kQuit, "QUIT", 0, 0, false},
+// The one table describing the wire surface (see VerbInfo in the
+// header). Order is wire order — HELLO's verb listing and the README
+// table follow it. Flags:
+//   mutating    — changes the table set / generations / store, so the
+//                 daemon may refuse it while degraded.
+//   idempotent  — re-sending after an ambiguous transport failure is
+//                 safe (the client's retry policy keys off this).
+// APPEND/SAVE/PERSIST/CLOSE are not idempotent: a retry could append
+// twice, checkpoint a different generation, or CLOSE a table the first
+// attempt already closed (turning success into NotFound). QUIT is not
+// retried because the connection is gone by definition.
+constexpr std::array<VerbInfo, 12> kVerbTable = {{
+    {Verb::kOpen, "OPEN", 2, 2, true, true, true,
+     "load a CSV or demo:// source as a served table"},
+    {Verb::kList, "LIST", 0, 0, false, false, true,
+     "enumerate served tables"},
+    {Verb::kCharacterize, "CHARACTERIZE", 2, 2, true, false, true,
+     "run a query; reply is the full characterization JSON"},
+    {Verb::kViews, "VIEWS", 2, 2, true, false, true,
+     "run a query; reply is the deterministic views report"},
+    {Verb::kAppend, "APPEND", 2, 2, true, true, false,
+     "append rows as a new table generation"},
+    {Verb::kStats, "STATS", 0, 1, false, false, true,
+     "serving counters, catalog-wide or per table"},
+    {Verb::kSave, "SAVE", 0, 1, false, true, false,
+     "checkpoint one table (or all) to the store"},
+    {Verb::kPersist, "PERSIST", 2, 2, false, true, false,
+     "toggle checkpoint-on-append for a table"},
+    {Verb::kClose, "CLOSE", 1, 1, false, true, false,
+     "stop serving a table"},
+    {Verb::kHealth, "HEALTH", 0, 0, false, false, true,
+     "liveness/readiness probe"},
+    {Verb::kHello, "HELLO", 0, 0, false, false, true,
+     "capability negotiation: version, features, limits, verbs"},
+    {Verb::kQuit, "QUIT", 0, 0, false, false, false,
+     "end the connection"},
 }};
 
-const VerbSpec& SpecOf(Verb verb) {
-  for (const VerbSpec& spec : kVerbs) {
-    if (spec.verb == verb) return spec;
-  }
-  return kVerbs[0];  // unreachable: kVerbs covers the enum
-}
+namespace {
 
 std::string_view StripCr(std::string_view line) {
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
@@ -73,11 +81,20 @@ Result<StatusCode> StatusCodeFromString(std::string_view token) {
 
 }  // namespace
 
-const char* VerbToString(Verb verb) { return SpecOf(verb).name; }
+const std::array<VerbInfo, 12>& VerbTable() { return kVerbTable; }
+
+const VerbInfo& VerbInfoOf(Verb verb) {
+  for (const VerbInfo& info : kVerbTable) {
+    if (info.verb == verb) return info;
+  }
+  return kVerbTable[0];  // unreachable: the table covers the enum
+}
+
+const char* VerbToString(Verb verb) { return VerbInfoOf(verb).name; }
 
 Result<Verb> VerbFromString(std::string_view token) {
-  for (const VerbSpec& spec : kVerbs) {
-    if (EqualsIgnoreCase(token, spec.name)) return spec.verb;
+  for (const VerbInfo& info : kVerbTable) {
+    if (EqualsIgnoreCase(token, info.name)) return info.verb;
   }
   return Status::InvalidArgument("unknown verb: " + std::string(token));
 }
@@ -88,7 +105,7 @@ Result<WireRequest> LineProtocol::ParseRequest(std::string_view line) {
   const std::string_view verb_token = PopToken(&rest);
   if (verb_token.empty()) return Status::InvalidArgument("empty request line");
   ZIGGY_ASSIGN_OR_RETURN(Verb verb, VerbFromString(verb_token));
-  const VerbSpec& spec = SpecOf(verb);
+  const VerbInfo& spec = VerbInfoOf(verb);
 
   WireRequest request;
   request.verb = verb;
@@ -130,7 +147,7 @@ Result<WireRequest> LineProtocol::ParseRequest(std::string_view line) {
 }
 
 Status LineProtocol::ValidateRequest(const WireRequest& request) {
-  const VerbSpec& spec = SpecOf(request.verb);
+  const VerbInfo& spec = VerbInfoOf(request.verb);
   if (request.args.size() < spec.min_args ||
       request.args.size() > spec.max_args) {
     return Status::InvalidArgument(

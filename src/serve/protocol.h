@@ -23,7 +23,18 @@
 //                                  if any, stays in the store)
 //     HEALTH                       liveness/readiness probe: ok|degraded,
 //                                  dirty tables, flush lag, connections
+//     HELLO                        capability negotiation: server version,
+//                                  feature flags (pipelining, compression,
+//                                  degraded), wire limits, verb list.
+//                                  Optional — clients that never send it
+//                                  get the exact pre-HELLO behavior.
 //     QUIT                         end the connection
+//
+// Requests may be *pipelined*: a client can send many request lines
+// without waiting for responses, and the server answers strictly in
+// request order (the framing layer decodes as many complete lines as
+// arrive). Verb semantics are unchanged — pipelining is purely a
+// transport-level overlap.
 //
 // Response line:  OK <json>\n  |  ERR <Code> <json-escaped message>\n
 //   <json> is a single-line JSON value. <Code> is the StatusCode name
@@ -37,6 +48,7 @@
 #ifndef ZIGGY_SERVE_PROTOCOL_H_
 #define ZIGGY_SERVE_PROTOCOL_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -59,8 +71,42 @@ enum class Verb {
   kPersist,
   kClose,
   kHealth,
+  kHello,
   kQuit,
 };
+
+/// \brief Wire-protocol revision reported by HELLO. 1 was the strict
+/// request/response protocol; 2 added pipelining and HELLO itself (the
+/// verb set and every reply byte are otherwise unchanged, so a v1 client
+/// that never sends HELLO cannot tell the difference).
+inline constexpr int kProtocolVersion = 2;
+
+/// \brief Static description of one verb — the single source of truth
+/// for the wire surface. The parser derives arity and tail-joining from
+/// it, the daemon handler dispatches through it, the client derives
+/// retry safety from `idempotent`, and HELLO's verb listing (and the
+/// README's verb table) mirror it. Adding a verb means adding one row
+/// here plus one handler function; nothing else enumerates verbs.
+struct VerbInfo {
+  Verb verb;
+  const char* name;
+  size_t min_args;
+  size_t max_args;
+  /// The last argument absorbs the rest of the line (predicates, paths).
+  bool trailing_joined;
+  /// Changes server-side state (table set, generations, store). Read-only
+  /// verbs keep serving in degraded mode; mutating ones may be refused.
+  bool mutating;
+  /// Safe for a client to re-send after an ambiguous transport failure.
+  bool idempotent;
+  /// One-line human description (REPL help, docs).
+  const char* summary;
+};
+
+/// \brief All verbs, in wire order (the HELLO/README listing order).
+const std::array<VerbInfo, 12>& VerbTable();
+/// \brief The table row for `verb`.
+const VerbInfo& VerbInfoOf(Verb verb);
 
 const char* VerbToString(Verb verb);
 Result<Verb> VerbFromString(std::string_view token);

@@ -1,5 +1,6 @@
 #include "serve/wire_io.h"
 
+#include <fcntl.h>
 #include <sys/socket.h>
 
 #include <algorithm>
@@ -53,7 +54,35 @@ bool SendAll(int fd, std::string_view data) {
   return SendLoop(fd, data, max_chunk);
 }
 
-ssize_t RecvSome(int fd, char* buf, size_t len) {
+ssize_t SendSome(int fd, const char* data, size_t len) {
+  size_t max_chunk = len > 0 ? len : 1;
+  if (std::optional<FaultAction> f = fault::Hit("wire.send")) {
+    switch (f->kind) {
+      case FaultAction::Kind::kError:
+        errno = f->err != 0 ? f->err : EPIPE;
+        return -1;
+      case FaultAction::Kind::kShort:
+        max_chunk = 1;  // a one-byte write; the caller's buffer re-arms
+        break;
+      case FaultAction::Kind::kEof:
+        // Push a truncated prefix out (ignoring EAGAIN — best effort,
+        // like SendAll's half-write), then report the peer gone.
+        (void)SendLoop(fd, std::string_view(data, len / 2), len / 2 + 1);
+        errno = EPIPE;
+        return -1;
+      case FaultAction::Kind::kEintr:
+        break;  // the retry below absorbs it
+    }
+  }
+  while (true) {
+    const ssize_t n =
+        send(fd, data, std::min(len, max_chunk), MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+ssize_t RecvSome(int fd, char* buf, size_t len, bool dont_wait) {
   if (std::optional<FaultAction> f = fault::Hit("wire.recv")) {
     switch (f->kind) {
       case FaultAction::Kind::kError:
@@ -68,11 +97,19 @@ ssize_t RecvSome(int fd, char* buf, size_t len) {
         break;
     }
   }
+  const int flags = dont_wait ? MSG_DONTWAIT : 0;
   while (true) {
-    const ssize_t n = recv(fd, buf, len, 0);
+    const ssize_t n = recv(fd, buf, len, flags);
     if (n < 0 && errno == EINTR) continue;
     return n;
   }
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if ((flags & O_NONBLOCK) != 0) return true;
+  return fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 void IgnoreSigPipe() { std::signal(SIGPIPE, SIG_IGN); }

@@ -18,10 +18,25 @@ namespace ziggy {
 /// peer is gone (any non-EINTR error).
 bool SendAll(int fd, std::string_view data);
 
+/// \brief One send(2) attempt, retrying only on EINTR — the non-blocking
+/// counterpart of SendAll for event-loop writers that keep their own
+/// output buffer. Returns bytes written (possibly short), or -1 with
+/// errno set (EAGAIN/EWOULDBLOCK pass through so the caller can wait for
+/// EPOLLOUT). Shares the "wire.send" fault site with SendAll: injected
+/// errors surface as -1, injected EOF delivers a truncated prefix first,
+/// injected shorts cap the attempt at one byte.
+ssize_t SendSome(int fd, const char* data, size_t len);
+
 /// \brief Reads up to `len` bytes from `fd` with recv(2), retrying on
 /// EINTR. Returns the byte count, 0 on orderly EOF, or -1 with errno set
 /// (EAGAIN/EWOULDBLOCK pass through so callers can implement timeouts).
-ssize_t RecvSome(int fd, char* buf, size_t len);
+/// `dont_wait` adds MSG_DONTWAIT for single non-blocking probes on an
+/// otherwise blocking socket (the pipelined client's PollResponse).
+ssize_t RecvSome(int fd, char* buf, size_t len, bool dont_wait = false);
+
+/// \brief Puts `fd` into O_NONBLOCK mode. Returns false with errno set
+/// on fcntl failure.
+bool SetNonBlocking(int fd);
 
 /// \brief Sets SIGPIPE to SIG_IGN process-wide. MSG_NOSIGNAL covers our
 /// own send() calls but not every path (e.g. stdlib writes to a dead

@@ -299,6 +299,20 @@ TEST(DaemonHandlerTest, VerbSemantics) {
   EXPECT_EQ(handler.num_open_sessions(), 0u);
   EXPECT_EQ(call("CLOSE box").code, StatusCode::kNotFound);
 
+  // HELLO pins the full capability payload: no store attached, healthy,
+  // default limits, every verb in table (= enum = wire) order.
+  WireResponse hello = call("HELLO");
+  ASSERT_TRUE(hello.ok) << hello.body;
+  EXPECT_EQ(hello.body,
+            "{\"server\":\"ziggy\",\"protocol\":2,"
+            "\"features\":{\"pipelining\":true,\"compression\":false,"
+            "\"degraded\":false},"
+            "\"limits\":{\"max_line_bytes\":" +
+                std::to_string(LineProtocol::kMaxLineBytes) +
+                ",\"max_pipeline\":64},"
+                "\"verbs\":[\"OPEN\",\"LIST\",\"CHARACTERIZE\",\"VIEWS\","
+                "\"APPEND\",\"STATS\",\"SAVE\",\"PERSIST\",\"CLOSE\","
+                "\"HEALTH\",\"HELLO\",\"QUIT\"]}");
   EXPECT_FALSE(handler.quit_requested());
   WireResponse quit = call("QUIT");
   ASSERT_TRUE(quit.ok);
@@ -753,6 +767,191 @@ TEST_F(DaemonTcpTest, VanishedPeerMidResponseDoesNotKillTheDaemon) {
   EXPECT_EQ(*report, golden);
 }
 
+// ------------------------------------------------------- pipelining --
+
+/// A raw loopback connection for byte-level pipelining tests (the client
+/// class would frame for us and hide exactly what we want to observe).
+int ConnectRawSocket(const std::string& host, uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Blocking-reads `fd` until `want` newline-terminated lines arrived (or
+/// the peer hung up / errored, returning what was read so the test's size
+/// assertion fails with the partial transcript visible).
+std::vector<std::string> ReadResponseLines(int fd, size_t want) {
+  std::string data;
+  size_t lines = 0;
+  char buffer[4096];
+  while (lines < want) {
+    const ssize_t n = recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buffer[i] == '\n') ++lines;
+    }
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  std::vector<std::string> out;
+  size_t begin = 0;
+  for (size_t nl = data.find('\n'); nl != std::string::npos;
+       nl = data.find('\n', begin)) {
+    out.push_back(data.substr(begin, nl - begin));
+    begin = nl + 1;
+  }
+  return out;
+}
+
+TEST_F(DaemonTcpTest, PipelinedRequestsAnswerStrictlyInOrder) {
+  StartDaemon();
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  ASSERT_TRUE(client.Open("box", "demo://boxoffice?seed=7").ok());
+
+  // Queue a window of distinguishable requests without reading anything.
+  ASSERT_TRUE(client.SendRequest({Verb::kList, {}}).ok());
+  ASSERT_TRUE(client.SendRequest({Verb::kStats, {"box"}}).ok());
+  ASSERT_TRUE(client.SendRequest({Verb::kHealth, {}}).ok());
+  ASSERT_TRUE(client.SendRequest({Verb::kList, {}}).ok());
+  EXPECT_EQ(client.inflight(), 4u);
+
+  // A blocking call may not interleave into the pipeline: it would steal
+  // the next pipelined response.
+  auto blocked = client.List();
+  EXPECT_FALSE(blocked.ok());
+  EXPECT_TRUE(blocked.status().IsFailedPrecondition());
+  EXPECT_EQ(client.inflight(), 4u);
+
+  // Responses pop strictly in send order.
+  auto list = client.WaitResponse();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->body.rfind("{\"tables\":[{\"name\":\"box\"", 0), 0u)
+      << list->body;
+  auto stats = client.WaitResponse();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->body.find("\"component_cache\""), std::string::npos);
+  auto health = client.WaitResponse();
+  ASSERT_TRUE(health.ok());
+  EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos);
+  // The last one through the non-blocking poll.
+  for (;;) {
+    auto polled = client.PollResponse();
+    ASSERT_TRUE(polled.ok()) << polled.status();
+    if (!polled->has_value()) continue;
+    EXPECT_EQ((*polled)->body.rfind("{\"tables\":[{\"name\":\"box\"", 0), 0u);
+    break;
+  }
+  EXPECT_EQ(client.inflight(), 0u);
+  // With the pipeline drained, blocking calls work again.
+  EXPECT_TRUE(client.List().ok());
+  EXPECT_GE(daemon_->stats().pipelined_requests, 1u);
+  EXPECT_TRUE(client.Quit().ok());
+}
+
+TEST_F(DaemonTcpTest, HelloAdvertisesProtocolFeaturesAndLimits) {
+  DaemonOptions options;
+  options.max_pipeline = 32;
+  StartDaemon(std::move(options));
+  ZiggyClient client;
+  ASSERT_TRUE(Connect(&client).ok());
+  auto hello = client.Hello();
+  ASSERT_TRUE(hello.ok()) << hello.status();
+  EXPECT_NE(hello->find("\"server\":\"ziggy\""), std::string::npos) << *hello;
+  EXPECT_NE(hello->find("\"protocol\":2"), std::string::npos);
+  EXPECT_NE(hello->find("\"pipelining\":true"), std::string::npos);
+  EXPECT_NE(hello->find("\"degraded\":false"), std::string::npos);
+  EXPECT_NE(hello->find("\"max_pipeline\":32"), std::string::npos);
+  EXPECT_NE(hello->find("\"HELLO\""), std::string::npos);
+  // HELLO is pure negotiation: the session continues unchanged for a
+  // client that sent it — and never changed for one that did not.
+  EXPECT_TRUE(client.List().ok());
+  EXPECT_TRUE(client.Quit().ok());
+}
+
+TEST_F(DaemonTcpTest, OversizedLineMidPipelineAnswersInOrderWithoutDesync) {
+  DaemonOptions options;
+  options.max_line_bytes = 128;
+  StartDaemon(std::move(options));
+  const int fd = ConnectRawSocket(daemon_->host(), daemon_->port());
+  ASSERT_GE(fd, 0);
+
+  // One segment, three requests, the middle one over the line limit. The
+  // server must answer all three in order: OK, ERR, OK — no desync, no
+  // drop of the request *after* the oversized one.
+  const std::string segment =
+      "LIST\nVIEWS box " + std::string(4096, 'x') + "\nLIST\n";
+  ASSERT_EQ(send(fd, segment.data(), segment.size(), 0),
+            static_cast<ssize_t>(segment.size()));
+  const std::vector<std::string> lines = ReadResponseLines(fd, 3);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "OK {\"tables\":[]}");
+  EXPECT_EQ(lines[1].rfind("ERR OutOfRange", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2], "OK {\"tables\":[]}");
+  close(fd);
+}
+
+TEST_F(DaemonTcpTest, SlowReaderBurstIsThrottledAndStillAnsweredInFull) {
+  DaemonOptions options;
+  options.max_pipeline = 2;  // tiny pipeline: a burst must pause reads
+  StartDaemon(std::move(options));
+  {
+    ZiggyClient setup;
+    ASSERT_TRUE(Connect(&setup).ok());
+    ASSERT_TRUE(setup.Open("box", "demo://boxoffice?seed=7").ok());
+  }
+  const int fd = ConnectRawSocket(daemon_->host(), daemon_->port());
+  ASSERT_GE(fd, 0);
+
+  // Lead with a slow request so the queue is pinned at its bound while
+  // the rest of the burst is already buffered, then don't read a byte
+  // until everything is sent.
+  constexpr size_t kBurst = 24;
+  std::string segment = "VIEWS box " + std::string(kBoxofficePredicate) + "\n";
+  for (size_t i = 1; i < kBurst; ++i) segment += "LIST\n";
+  ASSERT_EQ(send(fd, segment.data(), segment.size(), 0),
+            static_cast<ssize_t>(segment.size()));
+
+  const std::vector<std::string> lines = ReadResponseLines(fd, kBurst);
+  ASSERT_EQ(lines.size(), kBurst);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+  }
+  // The burst exceeded max_pipeline while request 0 was in flight, so the
+  // loop must have paused this connection's reads at least once.
+  EXPECT_GE(daemon_->stats().reads_throttled, 1u);
+  EXPECT_GE(daemon_->stats().pipelined_requests, 1u);
+  close(fd);
+}
+
+TEST_F(DaemonTcpTest, HalfClosedPeerStillGetsEveryQueuedResponse) {
+  StartDaemon();
+  const int fd = ConnectRawSocket(daemon_->host(), daemon_->port());
+  ASSERT_GE(fd, 0);
+
+  // Send a pipeline, then half-close: FIN with requests still queued. The
+  // daemon must drain the queue, flush both responses, then close — not
+  // treat the FIN as a dead connection.
+  const std::string segment = "LIST\nHEALTH\n";
+  ASSERT_EQ(send(fd, segment.data(), segment.size(), 0),
+            static_cast<ssize_t>(segment.size()));
+  ASSERT_EQ(shutdown(fd, SHUT_WR), 0);
+
+  // Read to EOF: exactly the two responses, in order.
+  const std::vector<std::string> lines = ReadResponseLines(fd, 3);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "OK {\"tables\":[]}");
+  EXPECT_EQ(lines[1].rfind("OK {\"status\":\"ok\"", 0), 0u) << lines[1];
+  close(fd);
+}
+
 // ------------------------------------------------------- client retries --
 
 /// A hand-rolled one-shot TCP server: hangs up on the first connection
@@ -858,6 +1057,7 @@ TEST(ZiggyClientRetryTest, IdempotenceClassification) {
   EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kViews));
   EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kStats));
   EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kHealth));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kHello));
   EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kAppend));
   EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kSave));
   EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kPersist));

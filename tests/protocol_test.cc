@@ -23,13 +23,51 @@ Result<WireRequest> Parse(const std::string& line) {
 TEST(VerbTest, RoundTripsEveryVerb) {
   for (Verb verb : {Verb::kOpen, Verb::kList, Verb::kCharacterize, Verb::kViews,
                     Verb::kAppend, Verb::kStats, Verb::kSave, Verb::kPersist,
-                    Verb::kClose, Verb::kHealth, Verb::kQuit}) {
+                    Verb::kClose, Verb::kHealth, Verb::kHello, Verb::kQuit}) {
     Result<Verb> parsed = VerbFromString(VerbToString(verb));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, verb);
   }
   EXPECT_FALSE(VerbFromString("FROBNICATE").ok());
   EXPECT_FALSE(VerbFromString("").ok());
+}
+
+TEST(VerbTableTest, TableIsTheSingleSourceOfTruth) {
+  const auto& table = VerbTable();
+  ASSERT_EQ(table.size(), 12u);
+  for (size_t i = 0; i < table.size(); ++i) {
+    const VerbInfo& info = table[i];
+    // Row order mirrors the enum so VerbInfoOf and the handler dispatch
+    // table can both index by static_cast<size_t>(verb).
+    EXPECT_EQ(static_cast<size_t>(info.verb), i) << info.name;
+    EXPECT_EQ(&VerbInfoOf(info.verb), &info);
+    // Every row's name must round-trip through the parser.
+    Result<Verb> parsed = VerbFromString(info.name);
+    ASSERT_TRUE(parsed.ok()) << info.name;
+    EXPECT_EQ(*parsed, info.verb);
+    EXPECT_EQ(VerbToString(info.verb), info.name);
+    EXPECT_LE(info.min_args, info.max_args) << info.name;
+    if (info.trailing_joined) {
+      // A joined tail needs at least one argument to join into.
+      EXPECT_GE(info.max_args, 1u) << info.name;
+    }
+    ASSERT_NE(info.summary, nullptr);
+    EXPECT_NE(*info.summary, '\0') << info.name;
+  }
+  // Spot-check the retry-safety flags the client derives from the table.
+  EXPECT_TRUE(VerbInfoOf(Verb::kList).idempotent);
+  EXPECT_TRUE(VerbInfoOf(Verb::kHello).idempotent);
+  EXPECT_FALSE(VerbInfoOf(Verb::kAppend).idempotent);
+  EXPECT_TRUE(VerbInfoOf(Verb::kAppend).mutating);
+  EXPECT_FALSE(VerbInfoOf(Verb::kHealth).mutating);
+}
+
+TEST(ParseRequestTest, HelloTakesNoArguments) {
+  auto hello = Parse("HELLO");
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->verb, Verb::kHello);
+  EXPECT_TRUE(hello->args.empty());
+  EXPECT_FALSE(Parse("HELLO v2").ok());
 }
 
 TEST(ParseRequestTest, HappyPathsPerVerb) {
@@ -384,6 +422,63 @@ TEST(ProtocolFuzzTest, MutatedValidRequestsNeverCrash) {
     }
     (void)LineProtocol::ParseRequest(line);
     (void)LineProtocol::ParseResponse(line);
+  }
+}
+
+TEST(ProtocolFuzzTest, PipelinedFramingSurvivesArbitraryChunking) {
+  // A pipelined segment is many requests back to back, possibly with an
+  // oversized line in the middle. Whatever chunk boundaries the network
+  // picks, the reader must yield the same sequence: every line in order,
+  // the oversize reported exactly once in its stream position, and no
+  // desync afterwards.
+  Rng rng(20260808);
+  for (int round = 0; round < 300; ++round) {
+    const size_t num_lines =
+        static_cast<size_t>(rng.UniformInt(2, 40));
+    const size_t oversize_at = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(num_lines) - 1));
+    constexpr size_t kLimit = 48;
+    std::vector<std::string> expect;
+    std::string stream;
+    for (size_t i = 0; i < num_lines; ++i) {
+      std::string line;
+      if (i == oversize_at) {
+        line = "CHARACTERIZE box " + std::string(kLimit, 'x');  // too long
+      } else {
+        line = "STATS box" + std::to_string(i);
+        expect.push_back(line);
+      }
+      stream += line + '\n';
+    }
+
+    LineReader reader(kLimit);
+    std::vector<std::string> got;
+    size_t errors = 0;
+    size_t error_after = 0;  // lines delivered before the oversize fired
+    size_t offset = 0;
+    while (offset < stream.size()) {
+      // Random chunk sizes, 1 byte up to the whole remainder.
+      const size_t n = static_cast<size_t>(rng.UniformInt(
+          1, static_cast<int64_t>(stream.size() - offset)));
+      reader.Feed(stream.data() + offset, n);
+      offset += n;
+      for (;;) {
+        auto next = reader.Next();
+        if (!next.ok()) {
+          EXPECT_TRUE(next.status().IsOutOfRange());
+          ++errors;
+          error_after = got.size();
+          continue;
+        }
+        if (!next->has_value()) break;
+        got.push_back(**next);
+      }
+    }
+    ASSERT_EQ(got, expect) << "round " << round;
+    EXPECT_EQ(errors, 1u) << "round " << round;
+    // The oversize surfaced exactly where it sat in the pipeline.
+    EXPECT_EQ(error_after, oversize_at) << "round " << round;
+    EXPECT_EQ(reader.buffered_bytes(), 0u);
   }
 }
 

@@ -30,6 +30,14 @@
 //                           drop a connection that is silent for t ms
 //                           (default 0 = never; hardening for untrusted
 //                           or flaky clients)
+//     --dispatch-threads <n>
+//                           verb-execution threads behind the event loop
+//                           (default 4); requests from one connection
+//                           always run serially regardless
+//     --max-pipeline <n>    pipelined requests per connection before its
+//                           reads are paused (default 64)
+//     --max-outbuf-kb <k>   un-flushed response KiB per connection before
+//                           its reads are paused (default 4096)
 //     --flush-backoff-initial-ms <t>
 //                           first retry delay after a failed background
 //                           flush; doubles per failure (default 0 =
@@ -80,6 +88,8 @@ int Usage() {
             << "                    [--store dir] [--checkpoint-on-append]\n"
             << "                    [--flush-interval-ms t]\n"
             << "                    [--request-timeout-ms t]\n"
+            << "                    [--dispatch-threads n] [--max-pipeline n]\n"
+            << "                    [--max-outbuf-kb k]\n"
             << "                    [--flush-backoff-initial-ms t]\n"
             << "                    [--flush-backoff-max-ms t]\n"
             << "                    [--degraded-after k]\n";
@@ -157,6 +167,16 @@ int main(int argc, char** argv) {
       if (!next_size(&options.catalog.flush_interval_ms)) return Usage();
     } else if (arg == "--request-timeout-ms") {
       if (!next_size(&options.request_timeout_ms)) return Usage();
+    } else if (arg == "--dispatch-threads") {
+      if (!next_size(&options.dispatch_threads)) return Usage();
+    } else if (arg == "--max-pipeline") {
+      if (!next_size(&options.max_pipeline) || options.max_pipeline == 0) {
+        return Usage();
+      }
+    } else if (arg == "--max-outbuf-kb") {
+      size_t kb = 0;
+      if (!next_size(&kb) || kb == 0) return Usage();
+      options.max_outbuf_bytes = kb << 10;
     } else if (arg == "--flush-backoff-initial-ms") {
       if (!next_size(&options.catalog.flush_backoff_initial_ms)) return Usage();
     } else if (arg == "--flush-backoff-max-ms") {
