@@ -37,6 +37,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "data/synthetic.h"
+#include "obs/metrics.h"
 #include "serve/client.h"
 #include "serve/daemon/daemon.h"
 #include "serve/daemon/handler.h"
@@ -45,12 +46,43 @@ using namespace ziggy;
 
 namespace {
 
-double Percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const size_t idx = std::min(
-      sorted.size() - 1,
-      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5));
-  return sorted[idx];
+/// Client-side latency distribution, summarized through the same
+/// log-linear histogram the daemon's own metrics use (obs/metrics.h) —
+/// one percentile implementation across bench and METRICS output.
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+LatencySummary Summarize(const std::vector<double>& latencies_ms) {
+  LatencySummary out;
+  if (latencies_ms.empty()) return out;
+  obs::Histogram h;
+  for (const double ms : latencies_ms) {
+    h.Record(static_cast<uint64_t>(ms * 1000.0));  // microseconds
+  }
+  const obs::Histogram::Snapshot snap = h.TakeSnapshot();
+  out.p50_ms = static_cast<double>(snap.Percentile(0.50)) / 1000.0;
+  out.p99_ms = static_cast<double>(snap.Percentile(0.99)) / 1000.0;
+  out.min_ms = static_cast<double>(snap.min) / 1000.0;
+  out.max_ms = static_cast<double>(snap.max) / 1000.0;
+  return out;
+}
+
+/// p50/p99 (µs) of one of the daemon's span histograms, straight off the
+/// registry — the server-side queue/execute/flush breakdown behind the
+/// client-side numbers above.
+bench::JsonValue SpanJson(obs::MetricsRegistry* metrics,
+                          const std::string& name) {
+  const obs::Histogram::Snapshot snap =
+      metrics->histogram(name)->TakeSnapshot();
+  return bench::JsonValue::Object()
+      .Set("count", static_cast<double>(snap.count))
+      .Set("p50_us", static_cast<double>(snap.Percentile(0.50)))
+      .Set("p99_us", static_cast<double>(snap.Percentile(0.99)))
+      .Set("max_us", static_cast<double>(snap.max));
 }
 
 /// Lifts the fd limit so the pipelined scenario can open its thousands
@@ -195,7 +227,6 @@ PipelinedResult RunPipelined(const std::string& host, uint16_t port,
                                r.latencies_ms.begin(), r.latencies_ms.end());
     merged.failures += r.failures;
   }
-  std::sort(merged.latencies_ms.begin(), merged.latencies_ms.end());
   return merged;
 }
 
@@ -324,15 +355,15 @@ int main(int argc, char** argv) {
   for (const auto& per_client : latencies) {
     all.insert(all.end(), per_client.begin(), per_client.end());
   }
-  std::sort(all.begin(), all.end());
   size_t total_failures = 0;
   for (size_t f : failures) total_failures += f;
   const size_t total_requests = all.size();
   const double rps =
       wall_ms > 0.0 ? static_cast<double>(total_requests) / (wall_ms / 1000.0)
                     : 0.0;
-  const double p50 = Percentile(all, 0.50);
-  const double p99 = Percentile(all, 0.99);
+  const LatencySummary serial = Summarize(all);
+  const double p50 = serial.p50_ms;
+  const double p99 = serial.p99_ms;
   const ServeStats serve =
       (*daemon)->catalog().Find("box").ValueOrDie()->stats();
   const DaemonStats dstats = (*daemon)->stats();
@@ -350,6 +381,7 @@ int main(int argc, char** argv) {
 
   // ---- pipelined high-concurrency scenario ----
   PipelinedResult piped;
+  LatencySummary piped_summary;
   double piped_rps = 0.0, piped_p50 = 0.0, piped_p99 = 0.0;
   bool p99_breached = false;
   if (pipelined_connections > 0) {
@@ -363,8 +395,9 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(piped.latencies_ms.size()) /
                           (piped.wall_ms / 1000.0)
                     : 0.0;
-    piped_p50 = Percentile(piped.latencies_ms, 0.50);
-    piped_p99 = Percentile(piped.latencies_ms, 0.99);
+    piped_summary = Summarize(piped.latencies_ms);
+    piped_p50 = piped_summary.p50_ms;
+    piped_p99 = piped_summary.p99_ms;
     const DaemonStats after = (*daemon)->stats();
     bench::ResultTable pout({"pipelined conns", "depth", "requests", "wall ms",
                              "req/s", "p50 ms", "p99 ms", "failures"});
@@ -404,8 +437,18 @@ int main(int argc, char** argv) {
                bench::JsonValue::Object()
                    .Set("p50", p50)
                    .Set("p99", p99)
-                   .Set("min", all.empty() ? 0.0 : all.front())
-                   .Set("max", all.empty() ? 0.0 : all.back()));
+                   .Set("min", serial.min_ms)
+                   .Set("max", serial.max_ms));
+    // Server-side span breakdown: where request time went (queue wait vs
+    // handler execution vs reply flush), from the daemon's own
+    // histograms.
+    obs::MetricsRegistry* metrics = (*daemon)->catalog().metrics();
+    report.Set(
+        "spans",
+        bench::JsonValue::Object()
+            .Set("queue", SpanJson(metrics, "ziggy_request_queue_us"))
+            .Set("execute", SpanJson(metrics, "ziggy_request_execute_us"))
+            .Set("flush", SpanJson(metrics, "ziggy_request_flush_us")));
     report.Set("serve",
                bench::JsonValue::Object()
                    .Set("requests", static_cast<double>(serve.requests))
@@ -445,12 +488,8 @@ int main(int argc, char** argv) {
                        .Set("p50", piped_p50)
                        .Set("p99", piped_p99)
                        .Set("bound", static_cast<double>(p99_bound_ms))
-                       .Set("min", piped.latencies_ms.empty()
-                                       ? 0.0
-                                       : piped.latencies_ms.front())
-                       .Set("max", piped.latencies_ms.empty()
-                                       ? 0.0
-                                       : piped.latencies_ms.back()))
+                       .Set("min", piped_summary.min_ms)
+                       .Set("max", piped_summary.max_ms))
               .Set("daemon",
                    bench::JsonValue::Object()
                        .Set("pipelined_requests",

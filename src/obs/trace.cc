@@ -1,0 +1,31 @@
+#include "obs/trace.h"
+
+namespace ziggy {
+namespace obs {
+
+namespace {
+thread_local RequestTrace* g_current_trace = nullptr;
+}  // namespace
+
+RequestTrace* RequestTrace::Current() { return g_current_trace; }
+
+RequestTrace::Scope::Scope(RequestTrace* trace) : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+RequestTrace::Scope::~Scope() { g_current_trace = previous_; }
+
+std::string RequestTrace::Summary() const {
+  std::string out;
+  for (const SpanRecord& span : spans_) {
+    if (!out.empty()) out += ",";
+    out += span.name;
+    out += "=";
+    out += std::to_string(span.duration_us);
+    out += "us";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ziggy

@@ -1,0 +1,103 @@
+// Lightweight per-request tracing. A RequestTrace collects named spans
+// (cache lookup, engine scan, store save, ...) for one request; a
+// TraceSpan is an RAII timer that records its duration into an
+// optional Histogram and, when a trace is installed for the current
+// thread, appends a span record to it.
+//
+// The daemon's dispatch thread installs a RequestTrace around each
+// handler call only when the slow-query log is armed; everywhere else
+// TraceSpan degrades to just the histogram record (or to nothing at
+// all when no clock is supplied), keeping the quiet path free of
+// bookkeeping.
+
+#ifndef ZIGGY_OBS_TRACE_H_
+#define ZIGGY_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ziggy {
+namespace obs {
+
+/// \brief One timed section inside a request.
+struct SpanRecord {
+  const char* name;  // static string supplied by the TraceSpan site
+  uint64_t duration_us;
+};
+
+/// \brief Per-request span collector. Not thread-safe; one request is
+/// executed by one dispatch thread, which is the only writer.
+class RequestTrace {
+ public:
+  static constexpr size_t kMaxSpans = 16;
+
+  void Add(const char* name, uint64_t duration_us) {
+    if (spans_.size() < kMaxSpans) spans_.push_back({name, duration_us});
+  }
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+
+  /// "scan=1234us,store_save=56us" — empty string when no spans fired.
+  std::string Summary() const;
+
+  /// The trace installed for the current thread, or nullptr.
+  static RequestTrace* Current();
+
+  /// \brief RAII installer: makes `trace` the thread's current trace,
+  /// restoring the previous one (usually nullptr) on destruction.
+  class Scope {
+   public:
+    explicit Scope(RequestTrace* trace);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    RequestTrace* previous_;
+  };
+
+ private:
+  std::vector<SpanRecord> spans_;
+};
+
+/// \brief RAII span timer. Reads the clock only when someone will
+/// consume the measurement (a histogram or an installed trace); a
+/// null clock disarms it entirely.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, Clock* clock, Histogram* histogram = nullptr)
+      : name_(name), clock_(clock), histogram_(histogram),
+        trace_(clock != nullptr ? RequestTrace::Current() : nullptr) {
+    if (clock_ != nullptr && (histogram_ != nullptr || trace_ != nullptr)) {
+      start_us_ = clock_->NowMicros();
+      armed_ = true;
+    }
+  }
+
+  ~TraceSpan() {
+    if (!armed_) return;
+    const uint64_t now = clock_->NowMicros();
+    const uint64_t duration = now >= start_us_ ? now - start_us_ : 0;
+    if (histogram_ != nullptr) histogram_->Record(duration);
+    if (trace_ != nullptr) trace_->Add(name_, duration);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Clock* clock_;
+  Histogram* histogram_;
+  RequestTrace* trace_;
+  uint64_t start_us_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace obs
+}  // namespace ziggy
+
+#endif  // ZIGGY_OBS_TRACE_H_

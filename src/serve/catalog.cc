@@ -4,13 +4,19 @@
 #include <chrono>
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace ziggy {
 
 ServerCatalog::ServerCatalog(CatalogOptions options)
     : options_(std::move(options)),
       shared_budget_(
-          std::make_shared<CacheBudget>(options_.total_cache_budget_bytes)) {}
+          std::make_shared<CacheBudget>(options_.total_cache_budget_bytes)),
+      metrics_(options_.metrics != nullptr
+                   ? options_.metrics
+                   : std::make_shared<obs::MetricsRegistry>()) {
+  store_save_us_ = metrics_->histogram("ziggy_store_save_us");
+}
 
 ServerCatalog::~ServerCatalog() { StopFlusher(); }
 
@@ -27,6 +33,7 @@ bool ServerCatalog::IsValidTableName(const std::string& name) {
 ServeOptions ServerCatalog::DerivedServeOptions() const {
   ServeOptions serve = options_.serve;
   serve.shared_cache_budget = shared_budget_;
+  serve.metrics = metrics_;
   return serve;
 }
 
@@ -159,9 +166,13 @@ Result<uint64_t> ServerCatalog::SaveServerToStore(const std::string& name,
       return *stored;
     }
   }
-  ZIGGY_RETURN_NOT_OK(store_->SaveTable(name, state->table(),
-                                        state->generation(), *state->profile,
-                                        server->ExportSketchCache(), lineage));
+  {
+    obs::TraceSpan save_span("store_save", metrics_->clock(), store_save_us_);
+    ZIGGY_RETURN_NOT_OK(store_->SaveTable(name, state->table(),
+                                          state->generation(), *state->profile,
+                                          server->ExportSketchCache(),
+                                          lineage));
+  }
   store_saves_.fetch_add(1, std::memory_order_relaxed);
   return state->generation();
 }
@@ -221,9 +232,8 @@ Status ServerCatalog::SetPersist(const std::string& name, bool on) {
 
 void ServerCatalog::MarkDirty(const std::string& name, uint64_t generation) {
   std::lock_guard<std::mutex> lock(flush_mu_);
-  auto [it, inserted] =
-      dirty_.try_emplace(name, DirtyEntry{generation,
-                                          std::chrono::steady_clock::now()});
+  auto [it, inserted] = dirty_.try_emplace(
+      name, DirtyEntry{generation, metrics_->clock()->NowMicros()});
   if (!inserted) {
     it->second.generation = std::max(it->second.generation, generation);
   }
@@ -473,6 +483,19 @@ Status ServerCatalog::Close(const std::string& name) {
       // touches the name or disconnects. The server itself stays usable
       // for such in-flight handles — just with a cold cache.
       it->server->FlushSketchCache();
+      // Fold the retiring server's sketch-cache counters into the
+      // catalog-lifetime totals before it leaves the map: a re-OPEN of
+      // this name starts a fresh server whose counters restart at zero,
+      // and without the carry a rate computed from successive METRICS
+      // scrapes would go backwards across the swap. (After the flush, so
+      // any counts the flush itself produced are carried too.)
+      const CacheStats cache = it->server->stats().cache;
+      retired_cache_hits_.fetch_add(cache.hits, std::memory_order_relaxed);
+      retired_cache_misses_.fetch_add(cache.misses, std::memory_order_relaxed);
+      retired_cache_insertions_.fetch_add(cache.insertions,
+                                          std::memory_order_relaxed);
+      retired_cache_evictions_.fetch_add(cache.evictions,
+                                         std::memory_order_relaxed);
       tables_.erase(it);
       ++tables_closed_;
       return Status::OK();
@@ -526,10 +549,17 @@ CatalogStats ServerCatalog::stats() const {
     st.store_dict_pool_shared_hits = store_stats.dict_pool_shared_hits;
   }
   {
+    const uint64_t now_us = metrics_->clock()->NowMicros();
     std::lock_guard<std::mutex> lock(flush_mu_);
     st.flusher_active = flusher_.joinable() && !flusher_stop_;
     st.dirty_tables = dirty_.size();
     st.flush_backoff_tables = backoff_.size();
+    for (const auto& [name, entry] : dirty_) {  // map order == name order
+      const uint64_t age_ms =
+          now_us > entry.marked_us ? (now_us - entry.marked_us) / 1000 : 0;
+      st.dirty_ages.emplace_back(name, age_ms);
+      st.max_dirty_age_ms = std::max(st.max_dirty_age_ms, age_ms);
+    }
   }
   st.flush_cycles = flush_cycles_.load(std::memory_order_relaxed);
   st.flushed_tables = flushed_tables_.load(std::memory_order_relaxed);
@@ -547,16 +577,14 @@ CatalogHealth ServerCatalog::Health() const {
       consecutive_store_failures_.load(std::memory_order_relaxed);
   health.tables = num_tables();
   const auto now = std::chrono::steady_clock::now();
+  const uint64_t now_us = metrics_->clock()->NowMicros();
   std::lock_guard<std::mutex> lock(flush_mu_);
   health.dirty_tables = dirty_.size();
   health.backoff_tables = backoff_.size();
   for (const auto& [name, entry] : dirty_) {
-    const auto lag = std::chrono::duration_cast<std::chrono::milliseconds>(
-                         now - entry.marked)
-                         .count();
-    health.flush_lag_ms =
-        std::max<uint64_t>(health.flush_lag_ms,
-                           lag > 0 ? static_cast<uint64_t>(lag) : 0);
+    const uint64_t lag_ms =
+        now_us > entry.marked_us ? (now_us - entry.marked_us) / 1000 : 0;
+    health.flush_lag_ms = std::max(health.flush_lag_ms, lag_ms);
   }
   if (health.degraded) {
     // When is the next save attempt (per-table retry or store probe) due?
@@ -577,6 +605,66 @@ CatalogHealth ServerCatalog::Health() const {
 size_t ServerCatalog::num_tables() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tables_.size();
+}
+
+ServerCatalog::SketchCacheTotals ServerCatalog::CacheTotals() const {
+  SketchCacheTotals totals;
+  totals.hits = retired_cache_hits_.load(std::memory_order_relaxed);
+  totals.misses = retired_cache_misses_.load(std::memory_order_relaxed);
+  totals.insertions = retired_cache_insertions_.load(std::memory_order_relaxed);
+  totals.evictions = retired_cache_evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Served& served : tables_) {
+    const CacheStats cache = served.server->stats().cache;
+    totals.hits += cache.hits;
+    totals.misses += cache.misses;
+    totals.insertions += cache.insertions;
+    totals.evictions += cache.evictions;
+  }
+  return totals;
+}
+
+void ServerCatalog::RefreshMetrics() {
+  metrics_->gauge("ziggy_catalog_tables")
+      ->Set(static_cast<int64_t>(num_tables()));
+  // The registry's counters mirror the cache totals via AdvanceTo: a
+  // racing Close could momentarily make the recomputed total dip (the
+  // retiring server's in-flight counts move between buckets), and
+  // AdvanceTo guarantees the published series still never decreases.
+  const SketchCacheTotals totals = CacheTotals();
+  metrics_->counter("ziggy_sketch_cache_hits_total")->AdvanceTo(totals.hits);
+  metrics_->counter("ziggy_sketch_cache_misses_total")
+      ->AdvanceTo(totals.misses);
+  metrics_->counter("ziggy_sketch_cache_insertions_total")
+      ->AdvanceTo(totals.insertions);
+  metrics_->counter("ziggy_sketch_cache_evictions_total")
+      ->AdvanceTo(totals.evictions);
+
+  const uint64_t now_us = metrics_->clock()->NowMicros();
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  metrics_->gauge("ziggy_flusher_queue_depth")
+      ->Set(static_cast<int64_t>(dirty_.size()));
+  uint64_t max_age_ms = 0;
+  std::set<std::string> still_dirty;
+  for (const auto& [name, entry] : dirty_) {
+    const uint64_t age_ms =
+        now_us > entry.marked_us ? (now_us - entry.marked_us) / 1000 : 0;
+    max_age_ms = std::max(max_age_ms, age_ms);
+    metrics_->gauge("ziggy_table_dirty_age_ms{table=\"" + name + "\"}")
+        ->Set(static_cast<int64_t>(age_ms));
+    still_dirty.insert(name);
+  }
+  metrics_->gauge("ziggy_flusher_max_dirty_age_ms")
+      ->Set(static_cast<int64_t>(max_age_ms));
+  // Zero the gauge of any table that flushed clean since the last
+  // refresh — a stale age would read as a stuck flusher.
+  for (const std::string& name : dirty_gauge_tables_) {
+    if (still_dirty.count(name) == 0) {
+      metrics_->gauge("ziggy_table_dirty_age_ms{table=\"" + name + "\"}")
+          ->Set(0);
+    }
+  }
+  dirty_gauge_tables_ = std::move(still_dirty);
 }
 
 }  // namespace ziggy

@@ -60,6 +60,7 @@
 
 #include "common/cache.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "persist/store.h"
 #include "serve/ziggy_server.h"
 
@@ -91,6 +92,12 @@ struct CatalogOptions {
   size_t degraded_after_failures = 5;
   /// Delta-chain compaction policy handed to the attached store.
   StoreOptions store;
+  /// Shared metrics registry (obs/metrics.h). Null: the catalog creates
+  /// its own on the system clock. Tests inject a registry built on a
+  /// FakeClock to make dirty-age / latency readouts deterministic. The
+  /// catalog shares the registry with every server it opens and with
+  /// the daemon fronting it.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// \brief One row of LIST output.
@@ -146,6 +153,11 @@ struct CatalogStats {
   size_t flush_backoff_tables = 0;  ///< tables waiting out a retry delay
   bool degraded = false;            ///< read-only mode (store failing)
   uint64_t consecutive_store_failures = 0;
+  /// Age of the oldest dirty mark (0 when nothing is dirty) and one
+  /// (name, age_ms) row per dirty table, in name order — the flusher-lag
+  /// surface ROADMAP direction 4 schedules from.
+  uint64_t max_dirty_age_ms = 0;
+  std::vector<std::pair<std::string, uint64_t>> dirty_ages;
   /// @}
 };
 
@@ -248,6 +260,29 @@ class ServerCatalog {
     return shared_budget_;
   }
 
+  /// The catalog's metrics registry (never null). Stable for the
+  /// catalog's lifetime; shared with every opened server.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  /// Re-computes the registry's catalog-level gauges (table count,
+  /// dirty-queue depth, per-table dirty ages) and carries the
+  /// sketch-cache counters forward (see SketchCacheTotals). Called by
+  /// the METRICS verb before rendering; cheap enough to call per poll.
+  void RefreshMetrics();
+
+  /// \brief Catalog-lifetime sketch-cache counters: live servers summed
+  /// plus every server retired by Close (or replaced by a re-OPEN).
+  /// Monotonic across generation swaps — the per-server counters reset
+  /// when a CLOSE/re-OPEN replaces the server object, so rates computed
+  /// from the per-table STATS could move backwards; these cannot.
+  struct SketchCacheTotals {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  SketchCacheTotals CacheTotals() const;
+
   /// True iff `name` is a well-formed table name ([A-Za-z0-9_.-]+).
   static bool IsValidTableName(const std::string& name);
 
@@ -293,7 +328,16 @@ class ServerCatalog {
 
   CatalogOptions options_;
   std::shared_ptr<CacheBudget> shared_budget_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  obs::Histogram* store_save_us_ = nullptr;
   std::unique_ptr<ZiggyStore> store_;
+
+  /// Sketch-cache counters folded in from servers that left the catalog
+  /// (Close / re-OPEN replacement); see SketchCacheTotals.
+  std::atomic<uint64_t> retired_cache_hits_{0};
+  std::atomic<uint64_t> retired_cache_misses_{0};
+  std::atomic<uint64_t> retired_cache_insertions_{0};
+  std::atomic<uint64_t> retired_cache_evictions_{0};
 
   mutable std::mutex mu_;
   std::vector<Served> tables_;
@@ -309,8 +353,9 @@ class ServerCatalog {
   struct DirtyEntry {
     uint64_t generation = 0;
     /// When the table FIRST went dirty (survives generation bumps), so
-    /// Health() can report how far durability is lagging.
-    std::chrono::steady_clock::time_point marked;
+    /// Health() can report how far durability is lagging. Read off the
+    /// registry clock, so tests age dirty tables with a FakeClock.
+    uint64_t marked_us = 0;
   };
   struct BackoffEntry {
     uint32_t failures = 0;
@@ -323,6 +368,9 @@ class ServerCatalog {
   /// delay after failed saves; erased on the first success.
   std::map<std::string, BackoffEntry> backoff_;
   BackoffEntry probe_backoff_;
+  /// Tables with a live `ziggy_table_dirty_age_ms{table=...}` gauge, so
+  /// RefreshMetrics can zero the gauge once a table flushes clean.
+  std::set<std::string> dirty_gauge_tables_;
   bool flusher_stop_ = false;
   std::thread flusher_;
   std::atomic<uint64_t> flush_cycles_{0};

@@ -288,6 +288,18 @@ Result<std::string> ZiggyClient::Hello() {
   return Call(WireRequest{Verb::kHello, {}});
 }
 
+Result<std::string> ZiggyClient::Metrics(const std::string& format) {
+  WireRequest request{Verb::kMetrics, {}};
+  if (!format.empty()) request.args.push_back(format);
+  ZIGGY_ASSIGN_OR_RETURN(std::string body, Call(request));
+  // JSON format arrives as the object itself; the Prometheus exposition
+  // is framed as one JSON string (it is multi-line text) — unwrap it.
+  if (body.size() >= 2 && body.front() == '"' && body.back() == '"') {
+    return JsonUnescape(std::string_view(body).substr(1, body.size() - 2));
+  }
+  return std::move(body);
+}
+
 Status ZiggyClient::Quit() {
   Result<std::string> reply = Call(WireRequest{Verb::kQuit, {}});
   Disconnect();

@@ -128,6 +128,10 @@ class ZiggyClient {
   Result<std::string> Health();
   /// Capability negotiation: server version, feature flags, wire limits.
   Result<std::string> Hello();
+  /// Metrics snapshot. Empty format or "json" returns the JSON object;
+  /// "prometheus" returns the text exposition, decoded from its wire
+  /// framing (one JSON string) into plain multi-line text.
+  Result<std::string> Metrics(const std::string& format = "");
   Status Quit();
   /// @}
 

@@ -11,8 +11,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <sstream>
 
+#include "common/logging.h"
+#include "obs/trace.h"
 #include "serve/wire_io.h"
 
 namespace ziggy {
@@ -30,6 +33,39 @@ int ClampBacklog(size_t max_connections) {
 }
 
 }  // namespace
+
+ZiggyDaemon::ZiggyDaemon(DaemonOptions options)
+    : options_(std::move(options)), catalog_(options_.catalog) {
+  // Resolve every metric pointer once, before any thread exists: the
+  // hot paths below touch only the returned atomics, never the
+  // registry's lookup mutex.
+  obs::MetricsRegistry* metrics = catalog_.metrics();
+  clock_ = metrics->clock();
+  connections_accepted_ =
+      metrics->counter("ziggy_daemon_connections_accepted_total");
+  connections_rejected_ =
+      metrics->counter("ziggy_daemon_connections_rejected_total");
+  connections_timed_out_ =
+      metrics->counter("ziggy_daemon_connections_timed_out_total");
+  requests_handled_ = metrics->counter("ziggy_daemon_requests_total");
+  protocol_errors_ = metrics->counter("ziggy_daemon_protocol_errors_total");
+  accept_retries_ = metrics->counter("ziggy_daemon_accept_retries_total");
+  reads_throttled_ = metrics->counter("ziggy_daemon_reads_throttled_total");
+  pipelined_requests_ =
+      metrics->counter("ziggy_daemon_pipelined_requests_total");
+  dispatch_batches_ = metrics->counter("ziggy_daemon_dispatch_batches_total");
+  verb_requests_.resize(VerbTable().size());
+  verb_us_.resize(VerbTable().size());
+  for (const VerbInfo& info : VerbTable()) {
+    const std::string label = std::string("{verb=\"") + info.name + "\"}";
+    const size_t i = static_cast<size_t>(info.verb);
+    verb_requests_[i] = metrics->counter("ziggy_requests_total" + label);
+    verb_us_[i] = metrics->histogram("ziggy_request_us" + label);
+  }
+  queue_us_ = metrics->histogram("ziggy_request_queue_us");
+  execute_us_ = metrics->histogram("ziggy_request_execute_us");
+  flush_us_ = metrics->histogram("ziggy_request_flush_us");
+}
 
 Result<std::unique_ptr<ZiggyDaemon>> ZiggyDaemon::Start(DaemonOptions options) {
   // MSG_NOSIGNAL guards our own send() calls, but not every write path to
@@ -266,7 +302,7 @@ void ZiggyDaemon::HandleAccept() {
         // are closed eagerly by the loop, so there is nothing to reap).
         // Sleep a beat — never a busy loop — and let the level-triggered
         // listener readiness re-fire.
-        accept_retries_.fetch_add(1, std::memory_order_relaxed);
+        accept_retries_->Add();
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
         return;
       }
@@ -286,7 +322,7 @@ void ZiggyDaemon::HandleAccept() {
       // logic sees Unavailable rather than a bare RST. The accepted fd is
       // still blocking (accept() does not inherit O_NONBLOCK), so the
       // short reply is delivered whole.
-      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      connections_rejected_->Add();
       SendAll(fd, LineProtocol::SerializeResponse(WireResponse::Error(
                       Status::Unavailable("too many connections"))));
       close(fd);
@@ -302,6 +338,7 @@ void ZiggyDaemon::HandleAccept() {
     connection->last_activity = std::chrono::steady_clock::now();
     connection->handler.set_connection_stats_json(
         [this] { return ConnectionStatsJson(); });
+    connection->handler.set_metrics_refresh([this] { RefreshMetrics(); });
     connection->handler.set_wire_limits(
         WireLimits{options_.max_line_bytes, options_.max_pipeline});
     {
@@ -319,7 +356,7 @@ void ZiggyDaemon::HandleAccept() {
     }
     connection->registered = true;
     connection->epoll_mask = EPOLLIN;
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    connections_accepted_->Add();
   }
 }
 
@@ -363,6 +400,10 @@ void ZiggyDaemon::HandleReadable(const std::shared_ptr<Connection>& c) {
 
 void ZiggyDaemon::DecodePending(const std::shared_ptr<Connection>& c) {
   bool need_dispatch = false;
+  // One clock read per decode batch: every line of the batch shares the
+  // stamp, which is exact enough for queue-wait accounting and keeps
+  // the per-request cost at the relaxed atomics.
+  const uint64_t now_us = clock_->NowMicros();
   {
     std::lock_guard<std::mutex> lock(c->mu);
     if (c->fd < 0 || c->dead || c->close_requested) return;
@@ -370,6 +411,7 @@ void ZiggyDaemon::DecodePending(const std::shared_ptr<Connection>& c) {
            options_.max_pipeline) {
       Result<std::optional<std::string>> line = c->reader.Next();
       Pending pending;
+      pending.enqueued_us = now_us;
       if (line.ok()) {
         if (!line->has_value()) break;
         if ((*line)->empty()) continue;  // blank keep-alive lines
@@ -380,7 +422,7 @@ void ZiggyDaemon::DecodePending(const std::shared_ptr<Connection>& c) {
         pending.error = line.status();
       }
       if (!c->queue.empty() || c->dispatch_active) {
-        pipelined_requests_.fetch_add(1, std::memory_order_relaxed);
+        pipelined_requests_->Add();
       }
       c->queue.push_back(std::move(pending));
     }
@@ -393,27 +435,58 @@ void ZiggyDaemon::DecodePending(const std::shared_ptr<Connection>& c) {
 }
 
 void ZiggyDaemon::FlushOut(const std::shared_ptr<Connection>& c) {
-  std::lock_guard<std::mutex> lock(c->mu);
-  if (c->fd < 0 || c->dead) return;
-  bool progressed = false;
-  while (c->out_head < c->outbuf.size()) {
-    const ssize_t n = SendSome(c->fd, c->outbuf.data() + c->out_head,
-                               c->outbuf.size() - c->out_head);
-    if (n <= 0) {
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-      c->dead = true;  // peer gone (or injected wire fault)
-      break;
+  // Marks whose last byte has left the process; their flush spans (and
+  // the slow-query log) are recorded after the connection lock drops.
+  std::vector<ResponseMark> completed;
+  {
+    std::lock_guard<std::mutex> lock(c->mu);
+    if (c->fd < 0 || c->dead) return;
+    bool progressed = false;
+    while (c->out_head < c->outbuf.size()) {
+      const ssize_t n = SendSome(c->fd, c->outbuf.data() + c->out_head,
+                                 c->outbuf.size() - c->out_head);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        c->dead = true;  // peer gone (or injected wire fault)
+        break;
+      }
+      c->out_head += static_cast<size_t>(n);
+      progressed = true;
     }
-    c->out_head += static_cast<size_t>(n);
-    progressed = true;
+    if (progressed) c->last_activity = std::chrono::steady_clock::now();
+    // out_base + out_head is the connection-lifetime flushed offset;
+    // compute completions BEFORE compaction rebases the buffer.
+    const uint64_t flushed_abs = c->out_base + c->out_head;
+    while (!c->marks.empty() && c->marks.front().end_offset <= flushed_abs) {
+      completed.push_back(std::move(c->marks.front()));
+      c->marks.pop_front();
+    }
+    if (c->out_head == c->outbuf.size()) {
+      c->out_base += c->outbuf.size();
+      c->outbuf.clear();
+      c->out_head = 0;
+    } else if (c->out_head > kOutbufCompactBytes) {
+      c->out_base += c->out_head;
+      c->outbuf.erase(0, c->out_head);
+      c->out_head = 0;
+    }
   }
-  if (progressed) c->last_activity = std::chrono::steady_clock::now();
-  if (c->out_head == c->outbuf.size()) {
-    c->outbuf.clear();
-    c->out_head = 0;
-  } else if (c->out_head > kOutbufCompactBytes) {
-    c->outbuf.erase(0, c->out_head);
-    c->out_head = 0;
+  if (!completed.empty()) CompleteResponses(std::move(completed));
+}
+
+void ZiggyDaemon::CompleteResponses(std::vector<ResponseMark> completed) {
+  const uint64_t now_us = clock_->NowMicros();
+  for (const ResponseMark& mark : completed) {
+    const uint64_t flush_us =
+        now_us > mark.done_us ? now_us - mark.done_us : 0;
+    flush_us_->Record(flush_us);
+    if (options_.slow_request_ms == 0) continue;
+    const uint64_t total_us = mark.queue_us + mark.execute_us + flush_us;
+    if (total_us < options_.slow_request_ms * 1000) continue;
+    ZIGGY_LOG(Warning) << "slow-request total_us=" << total_us
+                       << " queue_us=" << mark.queue_us
+                       << " execute_us=" << mark.execute_us
+                       << " flush_us=" << flush_us << " " << mark.detail;
   }
 }
 
@@ -433,7 +506,7 @@ void ZiggyDaemon::UpdateConnection(const std::shared_ptr<Connection>& c) {
     } else if (!c->read_paused && (depth >= options_.max_pipeline ||
                                    pending_out >= options_.max_outbuf_bytes)) {
       c->read_paused = true;
-      reads_throttled_.fetch_add(1, std::memory_order_relaxed);
+      reads_throttled_->Add();
     } else if (c->read_paused && depth <= options_.max_pipeline / 2 &&
                pending_out <= options_.max_outbuf_bytes / 2) {
       // Resume at half the bound so the connection does not flap on
@@ -515,7 +588,7 @@ void ZiggyDaemon::CheckTimeouts() {
     // Tell it why (best effort — the socket buffer is empty, so the short
     // line goes out whole) and free the connection slot instead of
     // letting a silent client pin it.
-    connections_timed_out_.fetch_add(1, std::memory_order_relaxed);
+    connections_timed_out_->Add();
     (void)SendAll(c->fd, LineProtocol::SerializeResponse(WireResponse::Error(
                              Status::FailedPrecondition("request timeout"))));
     CloseConnection(c);
@@ -580,26 +653,67 @@ void ZiggyDaemon::DispatchThread() {
         item = std::move(c->queue.front());
         c->queue.pop_front();
       }
+      const bool slow_armed = options_.slow_request_ms > 0;
+      const uint64_t start_us = clock_->NowMicros();
+      const uint64_t queue_wait_us =
+          start_us > item.enqueued_us && item.enqueued_us > 0
+              ? start_us - item.enqueued_us
+              : 0;
       WireResponse response;
-      if (item.oversize) {
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        response = WireResponse::Error(item.error);
-      } else {
-        Result<WireRequest> request = LineProtocol::ParseRequest(item.line);
-        if (!request.ok()) {
-          protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-          response = WireResponse::Error(request.status());
+      const VerbInfo* verb = nullptr;
+      obs::RequestTrace trace;
+      {
+        // Only the slow-query log consumes span records; leave the
+        // thread-local trace unarmed otherwise so TraceSpan sites below
+        // the handler stay histogram-only.
+        std::optional<obs::RequestTrace::Scope> scope;
+        if (slow_armed) scope.emplace(&trace);
+        if (item.oversize) {
+          protocol_errors_->Add();
+          response = WireResponse::Error(item.error);
         } else {
-          response = c->handler.Handle(*request);
-          requests_handled_.fetch_add(1, std::memory_order_relaxed);
+          Result<WireRequest> request = LineProtocol::ParseRequest(item.line);
+          if (!request.ok()) {
+            protocol_errors_->Add();
+            response = WireResponse::Error(request.status());
+          } else {
+            verb = &VerbInfoOf(request->verb);
+            // Counted BEFORE Handle so a METRICS request sees itself —
+            // per-verb counts then match a replayed script exactly.
+            verb_requests_[static_cast<size_t>(request->verb)]->Add();
+            response = c->handler.Handle(*request);
+            requests_handled_->Add();
+          }
         }
+      }
+      const uint64_t done_us = clock_->NowMicros();
+      const uint64_t exec_us = done_us > start_us ? done_us - start_us : 0;
+      queue_us_->Record(queue_wait_us);
+      execute_us_->Record(exec_us);
+      if (verb != nullptr) {
+        verb_us_[static_cast<size_t>(verb->verb)]->Record(exec_us);
       }
       handled_any = true;
       const bool quit = c->handler.quit_requested();
       std::string wire = LineProtocol::SerializeResponse(response);
+      ResponseMark mark;
+      mark.done_us = done_us;
+      mark.queue_us = queue_wait_us;
+      mark.execute_us = exec_us;
+      if (slow_armed) {
+        mark.detail = std::string("verb=") + (verb != nullptr ? verb->name
+                                                              : "<invalid>");
+        const std::string spans = trace.Summary();
+        if (!spans.empty()) mark.detail += " spans=[" + spans + "]";
+        constexpr size_t kMaxLoggedLine = 128;
+        mark.detail += " line=\"" + item.line.substr(0, kMaxLoggedLine) +
+                       (item.line.size() > kMaxLoggedLine ? "...\"" : "\"");
+      }
       {
         std::lock_guard<std::mutex> lock(c->mu);
         c->outbuf += wire;
+        mark.end_offset = c->out_base + c->outbuf.size();
+        c->marks.push_back(std::move(mark));
         if (quit) {
           // QUIT answered: whatever the client pipelined after it is
           // dropped (it asked to hang up), and the loop closes once the
@@ -614,13 +728,35 @@ void ZiggyDaemon::DispatchThread() {
       NotifyLoop(c);
     }
     if (handled_any) {
-      dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+      dispatch_batches_->Add();
     }
     // Final notification covers the state change to dispatch_active ==
     // false: the loop may now resume reads, schedule the next batch, or
     // close a drained connection.
     NotifyLoop(c);
   }
+}
+
+void ZiggyDaemon::RefreshMetrics() {
+  // Cold path: runs once per METRICS request, so registry lookups under
+  // its mutex are fine here.
+  obs::MetricsRegistry* metrics = catalog_.metrics();
+  size_t live = 0;
+  size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    live = connections_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    queued = dispatch_queue_.size();
+  }
+  metrics->gauge("ziggy_daemon_live_connections")
+      ->Set(static_cast<int64_t>(live));
+  metrics->gauge("ziggy_daemon_dispatch_queue_depth")
+      ->Set(static_cast<int64_t>(queued));
+  // Catalog-level gauges are refreshed by the handler itself (it works
+  // the same without a daemon around it), so only daemon state lives here.
 }
 
 std::string ZiggyDaemon::ConnectionStatsJson() const {
@@ -642,17 +778,17 @@ std::string ZiggyDaemon::ConnectionStatsJson() const {
 DaemonStats ZiggyDaemon::stats() const {
   DaemonStats st;
   st.connections_accepted =
-      connections_accepted_.load(std::memory_order_relaxed);
+      connections_accepted_->value();
   st.connections_rejected =
-      connections_rejected_.load(std::memory_order_relaxed);
+      connections_rejected_->value();
   st.connections_timed_out =
-      connections_timed_out_.load(std::memory_order_relaxed);
-  st.requests_handled = requests_handled_.load(std::memory_order_relaxed);
-  st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  st.accept_retries = accept_retries_.load(std::memory_order_relaxed);
-  st.reads_throttled = reads_throttled_.load(std::memory_order_relaxed);
-  st.pipelined_requests = pipelined_requests_.load(std::memory_order_relaxed);
-  st.dispatch_batches = dispatch_batches_.load(std::memory_order_relaxed);
+      connections_timed_out_->value();
+  st.requests_handled = requests_handled_->value();
+  st.protocol_errors = protocol_errors_->value();
+  st.accept_retries = accept_retries_->value();
+  st.reads_throttled = reads_throttled_->value();
+  st.pipelined_requests = pipelined_requests_->value();
+  st.dispatch_batches = dispatch_batches_->value();
   {
     std::lock_guard<std::mutex> lock(connections_mu_);
     st.live_connections = connections_.size();

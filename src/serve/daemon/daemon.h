@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "serve/catalog.h"
 #include "serve/daemon/handler.h"
 
@@ -89,6 +90,10 @@ struct DaemonOptions {
   /// to the catalog before the listener starts; opening fails if the
   /// directory is unusable or holds a corrupt manifest.
   std::string store_dir;
+  /// Slow-query log threshold in milliseconds (0 = off). A request whose
+  /// queue-wait + execute + reply-flush total reaches the threshold logs
+  /// one structured Warning line with its span breakdown.
+  size_t slow_request_ms = 0;
   CatalogOptions catalog;
 };
 
@@ -144,6 +149,22 @@ class ZiggyDaemon {
     bool oversize = false;
     Status error = Status::OK();
     std::string line;
+    /// Registry-clock stamp when the line was decoded into the queue;
+    /// the dispatch pop measures queue wait against it.
+    uint64_t enqueued_us = 0;
+  };
+
+  /// Flush bookkeeping for one response: when the connection's absolute
+  /// flushed-byte offset passes `end_offset`, the reply has fully left
+  /// the process and its flush span (and slow-log line, if armed) fires.
+  struct ResponseMark {
+    uint64_t end_offset = 0;  ///< absolute outbuf offset of the last byte
+    uint64_t done_us = 0;     ///< when the response was serialized
+    uint64_t queue_us = 0;
+    uint64_t execute_us = 0;
+    /// Slow-log payload (only filled while slow_request_ms > 0): verb
+    /// name, span summary, and a truncated copy of the request line.
+    std::string detail;
   };
 
   /// Everything the loop and the dispatch pool share about one
@@ -167,6 +188,11 @@ class ZiggyDaemon {
     std::deque<Pending> queue;  ///< decoded, not yet executed
     std::string outbuf;         ///< serialized, not yet flushed
     size_t out_head = 0;        ///< bytes of outbuf already sent
+    /// Bytes that have left outbuf entirely (flushed-then-cleared or
+    /// compacted away); out_base + out_head is the connection-lifetime
+    /// flushed-byte offset ResponseMark::end_offset is measured against.
+    uint64_t out_base = 0;
+    std::deque<ResponseMark> marks;  ///< responses awaiting full flush
     bool dispatch_active = false;  ///< a pool thread is executing verbs
     bool read_paused = false;      ///< backpressure dropped EPOLLIN
     bool peer_half_closed = false; ///< recv saw EOF; drain then close
@@ -176,8 +202,7 @@ class ZiggyDaemon {
     size_t PendingOut() const { return outbuf.size() - out_head; }
   };
 
-  explicit ZiggyDaemon(DaemonOptions options)
-      : options_(std::move(options)), catalog_(options_.catalog) {}
+  explicit ZiggyDaemon(DaemonOptions options);
 
   void LoopThread();
   void DispatchThread();
@@ -206,6 +231,12 @@ class ZiggyDaemon {
   void ScheduleDispatch(std::shared_ptr<Connection> c);
 
   std::string ConnectionStatsJson() const;
+  /// Updates the registry's daemon-level gauges (live connections,
+  /// dispatch-queue depth); run by the METRICS verb before rendering.
+  void RefreshMetrics();
+  /// Records the flush span for each completed response and emits the
+  /// slow-query log line when armed. Called outside the connection lock.
+  void CompleteResponses(std::vector<ResponseMark> completed);
 
   DaemonOptions options_;
   ServerCatalog catalog_;
@@ -232,15 +263,30 @@ class ZiggyDaemon {
   std::mutex notify_mu_;
   std::vector<std::shared_ptr<Connection>> notified_;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_rejected_{0};
-  std::atomic<uint64_t> connections_timed_out_{0};
-  std::atomic<uint64_t> requests_handled_{0};
-  std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> accept_retries_{0};
-  std::atomic<uint64_t> reads_throttled_{0};
-  std::atomic<uint64_t> pipelined_requests_{0};
-  std::atomic<uint64_t> dispatch_batches_{0};
+  /// \name Registry-backed instrumentation.
+  /// All resolved once from catalog_.metrics() in the constructor (the
+  /// registry owns them; pointers are stable). The counters replace the
+  /// former member atomics — DaemonStats reads them back, so its output
+  /// (and the STATS JSON built from it) is unchanged.
+  /// @{
+  obs::Clock* clock_ = nullptr;
+  obs::Counter* connections_accepted_ = nullptr;
+  obs::Counter* connections_rejected_ = nullptr;
+  obs::Counter* connections_timed_out_ = nullptr;
+  obs::Counter* requests_handled_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* accept_retries_ = nullptr;
+  obs::Counter* reads_throttled_ = nullptr;
+  obs::Counter* pipelined_requests_ = nullptr;
+  obs::Counter* dispatch_batches_ = nullptr;
+  /// Per-verb series, indexed by the Verb enum (VerbTable order).
+  std::vector<obs::Counter*> verb_requests_;
+  std::vector<obs::Histogram*> verb_us_;
+  /// Request phase spans: queue wait, handler execution, reply flush.
+  obs::Histogram* queue_us_ = nullptr;
+  obs::Histogram* execute_us_ = nullptr;
+  obs::Histogram* flush_us_ = nullptr;
+  /// @}
 };
 
 }  // namespace ziggy

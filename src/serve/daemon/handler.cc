@@ -78,7 +78,17 @@ std::string CatalogStatsJson(const CatalogStats& st) {
      << ",\"failures\":" << st.flush_failures
      << ",\"backoff_tables\":" << st.flush_backoff_tables
      << ",\"degraded\":" << (st.degraded ? "true" : "false")
-     << ",\"consecutive_failures\":" << st.consecutive_store_failures << "}}";
+     << ",\"consecutive_failures\":" << st.consecutive_store_failures
+     << ",\"queue_depth\":" << st.dirty_ages.size()
+     << ",\"max_dirty_age_ms\":" << st.max_dirty_age_ms << ",\"dirty\":[";
+  bool first = true;
+  for (const auto& [table, age_ms] : st.dirty_ages) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"table\":\"" << JsonEscape(table) << "\",\"age_ms\":" << age_ms
+       << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 
@@ -143,7 +153,7 @@ WireResponse DaemonHandler::Handle(const WireRequest& request) {
   // protocol_test pins that invariant). Adding a verb means one row in
   // kVerbTable and one entry here; nothing else switches on Verb.
   using HandlerFn = WireResponse (DaemonHandler::*)(const WireRequest&);
-  static constexpr std::array<HandlerFn, 12> kDispatch = {{
+  static constexpr std::array<HandlerFn, 13> kDispatch = {{
       &DaemonHandler::HandleOpen,
       &DaemonHandler::HandleList,
       &DaemonHandler::HandleCharacterize,
@@ -156,6 +166,7 @@ WireResponse DaemonHandler::Handle(const WireRequest& request) {
       &DaemonHandler::HandleHealth,
       &DaemonHandler::HandleHello,
       &DaemonHandler::HandleQuit,
+      &DaemonHandler::HandleMetrics,
   }};
   static_assert(kDispatch.size() == std::tuple_size_v<std::remove_reference_t<
                                         decltype(VerbTable())>>,
@@ -385,6 +396,28 @@ WireResponse DaemonHandler::HandleHello(const WireRequest&) {
 WireResponse DaemonHandler::HandleQuit(const WireRequest&) {
   quit_requested_ = true;
   return WireResponse::Ok("{\"bye\":true}");
+}
+
+WireResponse DaemonHandler::HandleMetrics(const WireRequest& request) {
+  // Pull-model gauges (catalog tables, dirty ages, daemon connection
+  // counts) are materialized right before the snapshot; everything else
+  // in the registry is push-model and already current.
+  catalog_->RefreshMetrics();
+  if (metrics_refresh_) metrics_refresh_();
+  obs::MetricsRegistry* metrics = catalog_->metrics();
+  if (request.args.empty() || EqualsIgnoreCase(request.args[0], "json")) {
+    return WireResponse::Ok(metrics->RenderJson());
+  }
+  if (EqualsIgnoreCase(request.args[0], "prometheus") ||
+      EqualsIgnoreCase(request.args[0], "prom")) {
+    // The exposition text is multi-line; the line protocol carries it as
+    // one JSON string (clients unescape it, same as VIEWS reports).
+    return WireResponse::Ok(
+        "\"" + JsonEscape(metrics->RenderPrometheus()) + "\"");
+  }
+  return WireResponse::Error(Status::InvalidArgument(
+      "METRICS format must be 'json' or 'prometheus', got '" +
+      request.args[0] + "'"));
 }
 
 WireResponse DaemonHandler::HandleClose(const WireRequest& request) {

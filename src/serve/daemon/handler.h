@@ -78,6 +78,14 @@ class DaemonHandler {
   /// configured max_line_bytes / max_pipeline).
   void set_wire_limits(const WireLimits& limits) { limits_ = limits; }
 
+  /// Installs a hook METRICS runs before rendering, so daemon-level
+  /// gauges (live connections, dispatch-queue depth) are current in the
+  /// snapshot. Catalog gauges are refreshed by the handler itself; this
+  /// covers only state the socket-free handler cannot see.
+  void set_metrics_refresh(std::function<void()> fn) {
+    metrics_refresh_ = std::move(fn);
+  }
+
   /// Closes every session this connection opened (idempotent; also run by
   /// the destructor).
   void CloseAllSessions();
@@ -109,12 +117,14 @@ class DaemonHandler {
   WireResponse HandleHealth(const WireRequest& request);
   WireResponse HandleHello(const WireRequest& request);
   WireResponse HandleQuit(const WireRequest& request);
+  WireResponse HandleMetrics(const WireRequest& request);
 
   WireResponse CharacterizeImpl(const WireRequest& request, bool views_only);
 
   ServerCatalog* catalog_;
   std::map<std::string, BoundSession> sessions_;
   std::function<std::string()> connection_stats_json_;
+  std::function<void()> metrics_refresh_;
   WireLimits limits_;
   bool quit_requested_ = false;
 };

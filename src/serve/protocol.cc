@@ -19,7 +19,7 @@ namespace ziggy {
 // twice, checkpoint a different generation, or CLOSE a table the first
 // attempt already closed (turning success into NotFound). QUIT is not
 // retried because the connection is gone by definition.
-constexpr std::array<VerbInfo, 12> kVerbTable = {{
+constexpr std::array<VerbInfo, 13> kVerbTable = {{
     {Verb::kOpen, "OPEN", 2, 2, true, true, true,
      "load a CSV or demo:// source as a served table"},
     {Verb::kList, "LIST", 0, 0, false, false, true,
@@ -44,6 +44,8 @@ constexpr std::array<VerbInfo, 12> kVerbTable = {{
      "capability negotiation: version, features, limits, verbs"},
     {Verb::kQuit, "QUIT", 0, 0, false, false, false,
      "end the connection"},
+    {Verb::kMetrics, "METRICS", 0, 1, false, false, true,
+     "metrics registry snapshot (json or prometheus)"},
 }};
 
 namespace {
@@ -81,7 +83,7 @@ Result<StatusCode> StatusCodeFromString(std::string_view token) {
 
 }  // namespace
 
-const std::array<VerbInfo, 12>& VerbTable() { return kVerbTable; }
+const std::array<VerbInfo, 13>& VerbTable() { return kVerbTable; }
 
 const VerbInfo& VerbInfoOf(Verb verb) {
   for (const VerbInfo& info : kVerbTable) {

@@ -29,6 +29,11 @@
 //                                  Optional — clients that never send it
 //                                  get the exact pre-HELLO behavior.
 //     QUIT                         end the connection
+//     METRICS [json|prometheus]    metrics registry snapshot: counters,
+//                                  gauges, latency histograms. Default
+//                                  is a JSON object; `prometheus` is the
+//                                  text exposition shipped as a JSON
+//                                  string (one wire line)
 //
 // Requests may be *pipelined*: a client can send many request lines
 // without waiting for responses, and the server answers strictly in
@@ -73,6 +78,7 @@ enum class Verb {
   kHealth,
   kHello,
   kQuit,
+  kMetrics,
 };
 
 /// \brief Wire-protocol revision reported by HELLO. 1 was the strict
@@ -104,7 +110,7 @@ struct VerbInfo {
 };
 
 /// \brief All verbs, in wire order (the HELLO/README listing order).
-const std::array<VerbInfo, 12>& VerbTable();
+const std::array<VerbInfo, 13>& VerbTable();
 /// \brief The table row for `verb`.
 const VerbInfo& VerbInfoOf(Verb verb);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace ziggy {
 
@@ -16,7 +17,12 @@ ZiggyServer::ZiggyServer(ServeOptions options,
                                   options_.shared_cache_budget}),
       batcher_(ScanBatcher::Options{options_.max_batch, options_.batch_window_us,
                                     options_.scan_threads,
-                                    options_.engine.build.block_size}) {}
+                                    options_.engine.build.block_size}) {
+  if (options_.metrics != nullptr) {
+    scan_us_ = options_.metrics->histogram("ziggy_scan_us");
+    sketch_lookup_us_ = options_.metrics->histogram("ziggy_sketch_lookup_us");
+  }
+}
 
 Result<std::unique_ptr<ZiggyServer>> ZiggyServer::Create(Table table,
                                                          ServeOptions options) {
@@ -176,8 +182,14 @@ void ZiggyServer::FoldEngineCacheCounters(Session* session) {
 
 std::optional<ProvidedSketches> ZiggyServer::ProvideSketches(
     const ServingState& state, const Selection& selection, uint64_t fingerprint) {
+  obs::Clock* clock =
+      options_.metrics != nullptr ? options_.metrics->clock() : nullptr;
   ProvidedSketches out;
   if (options_.cache_enabled) {
+    // Spans the exact-fingerprint probe and the near-miss patch attempt;
+    // an early return (hit) and a fall-through (miss) both close it
+    // before any scan starts.
+    obs::TraceSpan lookup_span("sketch_lookup", clock, sketch_lookup_us_);
     if (auto hit = cache_.FindExact(fingerprint, state.generation());
         hit != nullptr && hit->selection.num_rows() == selection.num_rows()) {
       sketch_exact_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -222,8 +234,12 @@ std::optional<ProvidedSketches> ZiggyServer::ProvideSketches(
     }
   }
   bool coalesced = false;
-  std::shared_ptr<const SelectionSketches> built = batcher_.Build(
-      state.table(), *state.profile, state.generation(), selection, &coalesced);
+  std::shared_ptr<const SelectionSketches> built;
+  {
+    obs::TraceSpan scan_span("scan", clock, scan_us_);
+    built = batcher_.Build(state.table(), *state.profile, state.generation(),
+                           selection, &coalesced);
+  }
   if (options_.cache_enabled) {
     cache_.Insert(selection, fingerprint, built, state.generation());
   }

@@ -36,6 +36,7 @@
 
 #include "common/result.h"
 #include "engine/session.h"
+#include "obs/metrics.h"
 #include "engine/ziggy_engine.h"
 #include "persist/sketch_codec.h"
 #include "serve/scan_batcher.h"
@@ -71,6 +72,12 @@ struct ServeOptions {
   size_t scan_threads = 1;   ///< threads per (possibly shared) scan
   size_t max_batch = 16;     ///< requests coalesced per scan
   size_t batch_window_us = 0;///< leader's straggler wait (0 = none)
+
+  /// Metrics registry to record scan / cache-lookup latency into
+  /// (obs/metrics.h). Null (the stand-alone default) disables the
+  /// instrumentation entirely; ServerCatalog installs its registry here
+  /// so every table's engine timings land in one place.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 /// \brief Monotonic serving counters (one consistent snapshot).
@@ -215,6 +222,10 @@ class ZiggyServer {
 
   SketchCache cache_;
   ScanBatcher batcher_;
+
+  /// Resolved once from options_.metrics (null without a registry).
+  obs::Histogram* scan_us_ = nullptr;
+  obs::Histogram* sketch_lookup_us_ = nullptr;
 
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> failures_{0};

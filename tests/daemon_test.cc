@@ -312,7 +312,22 @@ TEST(DaemonHandlerTest, VerbSemantics) {
                 ",\"max_pipeline\":64},"
                 "\"verbs\":[\"OPEN\",\"LIST\",\"CHARACTERIZE\",\"VIEWS\","
                 "\"APPEND\",\"STATS\",\"SAVE\",\"PERSIST\",\"CLOSE\","
-                "\"HEALTH\",\"HELLO\",\"QUIT\"]}");
+                "\"HEALTH\",\"HELLO\",\"QUIT\",\"METRICS\"]}");
+
+  // METRICS: JSON by default, Prometheus text (wire-framed as one JSON
+  // string) on request, and an ERR for an unknown format.
+  WireResponse metrics_json = call("METRICS");
+  ASSERT_TRUE(metrics_json.ok) << metrics_json.body;
+  EXPECT_EQ(metrics_json.body.front(), '{');
+  EXPECT_NE(metrics_json.body.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(metrics_json.body.find("\"histograms\":{"), std::string::npos);
+  WireResponse metrics_prom = call("METRICS prometheus");
+  ASSERT_TRUE(metrics_prom.ok) << metrics_prom.body;
+  EXPECT_EQ(metrics_prom.body.front(), '"');
+  EXPECT_EQ(metrics_prom.body.back(), '"');
+  EXPECT_NE(metrics_prom.body.find("# TYPE"), std::string::npos);
+  EXPECT_EQ(call("METRICS xml").code, StatusCode::kInvalidArgument);
+
   EXPECT_FALSE(handler.quit_requested());
   WireResponse quit = call("QUIT");
   ASSERT_TRUE(quit.ok);
@@ -1058,6 +1073,7 @@ TEST(ZiggyClientRetryTest, IdempotenceClassification) {
   EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kStats));
   EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kHealth));
   EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kHello));
+  EXPECT_TRUE(ZiggyClient::IsIdempotent(Verb::kMetrics));
   EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kAppend));
   EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kSave));
   EXPECT_FALSE(ZiggyClient::IsIdempotent(Verb::kPersist));

@@ -23,7 +23,8 @@ Result<WireRequest> Parse(const std::string& line) {
 TEST(VerbTest, RoundTripsEveryVerb) {
   for (Verb verb : {Verb::kOpen, Verb::kList, Verb::kCharacterize, Verb::kViews,
                     Verb::kAppend, Verb::kStats, Verb::kSave, Verb::kPersist,
-                    Verb::kClose, Verb::kHealth, Verb::kHello, Verb::kQuit}) {
+                    Verb::kClose, Verb::kHealth, Verb::kHello, Verb::kQuit,
+                    Verb::kMetrics}) {
     Result<Verb> parsed = VerbFromString(VerbToString(verb));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, verb);
@@ -34,7 +35,7 @@ TEST(VerbTest, RoundTripsEveryVerb) {
 
 TEST(VerbTableTest, TableIsTheSingleSourceOfTruth) {
   const auto& table = VerbTable();
-  ASSERT_EQ(table.size(), 12u);
+  ASSERT_EQ(table.size(), 13u);
   for (size_t i = 0; i < table.size(); ++i) {
     const VerbInfo& info = table[i];
     // Row order mirrors the enum so VerbInfoOf and the handler dispatch
@@ -60,6 +61,29 @@ TEST(VerbTableTest, TableIsTheSingleSourceOfTruth) {
   EXPECT_FALSE(VerbInfoOf(Verb::kAppend).idempotent);
   EXPECT_TRUE(VerbInfoOf(Verb::kAppend).mutating);
   EXPECT_FALSE(VerbInfoOf(Verb::kHealth).mutating);
+}
+
+TEST(VerbTableTest, MetricsVerbIsPinned) {
+  // METRICS is part of the stable wire surface: a scrape must be safe to
+  // retry and must never mutate the server, and its only argument is the
+  // optional format selector.
+  const VerbInfo& info = VerbInfoOf(Verb::kMetrics);
+  EXPECT_STREQ(info.name, "METRICS");
+  EXPECT_EQ(info.min_args, 0u);
+  EXPECT_EQ(info.max_args, 1u);
+  EXPECT_FALSE(info.trailing_joined);
+  EXPECT_FALSE(info.mutating);
+  EXPECT_TRUE(info.idempotent);
+
+  auto bare = Parse("METRICS");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->verb, Verb::kMetrics);
+  EXPECT_TRUE(bare->args.empty());
+  auto with_format = Parse("METRICS prometheus");
+  ASSERT_TRUE(with_format.ok());
+  ASSERT_EQ(with_format->args.size(), 1u);
+  EXPECT_EQ(with_format->args[0], "prometheus");
+  EXPECT_FALSE(Parse("METRICS json extra").ok());
 }
 
 TEST(ParseRequestTest, HelloTakesNoArguments) {

@@ -37,6 +37,7 @@
 //         views <name> <predicate>   VIEWS; prints the deterministic report
 //         append <name> <source>     append rows as a new generation
 //         stats [name]               catalog-wide or per-table counters
+//         metrics [json|prometheus]  metrics registry snapshot (default json)
 //         health                     daemon health probe (ok|degraded)
 //         save [name]                checkpoint one table (or all) to the
 //                                    daemon's store
@@ -446,6 +447,10 @@ int RunConnect(int argc, char** argv) {
       std::string name;
       in >> name;
       print(client.Stats(name));
+    } else if (cmd == "metrics") {
+      std::string format;
+      in >> format;
+      print(client.Metrics(format));
     } else if (cmd == "health") {
       print(client.Health());
     } else if (cmd == "save") {

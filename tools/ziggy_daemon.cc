@@ -46,6 +46,9 @@
 //                           backoff ceiling (default 30000)
 //     --degraded-after <k>  consecutive store failures before degraded
 //                           read-only mode (default 5; 0 = never)
+//     --slow-ms <t>         log any request whose queue+execute+flush
+//                           time reaches t ms, with its per-stage span
+//                           breakdown (default 0 = slow log off)
 //
 // Fault injection (testing/chaos only): set ZIGGY_FAULTS=site:spec,...
 // (and optionally ZIGGY_FAULT_SEED) in the environment — see
@@ -92,7 +95,7 @@ int Usage() {
             << "                    [--max-outbuf-kb k]\n"
             << "                    [--flush-backoff-initial-ms t]\n"
             << "                    [--flush-backoff-max-ms t]\n"
-            << "                    [--degraded-after k]\n";
+            << "                    [--degraded-after k] [--slow-ms t]\n";
   return 2;
 }
 
@@ -183,6 +186,8 @@ int main(int argc, char** argv) {
       if (!next_size(&options.catalog.flush_backoff_max_ms)) return Usage();
     } else if (arg == "--degraded-after") {
       if (!next_size(&options.catalog.degraded_after_failures)) return Usage();
+    } else if (arg == "--slow-ms") {
+      if (!next_size(&options.slow_request_ms)) return Usage();
     } else {
       return Usage();
     }
