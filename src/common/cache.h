@@ -22,25 +22,30 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/sync.h"
 
 namespace ziggy {
 
-/// \brief Fixed pool of mutexes indexed by hash (lock striping).
+/// \brief Fixed pool of mutexes indexed by hash (lock striping). All stripes
+/// share one LockRank — callers must never hold two stripes at once (the
+/// rank checker enforces this in debug builds).
 class StripedMutex {
  public:
   /// `stripes` is rounded up to a power of two (minimum 1).
-  explicit StripedMutex(size_t stripes = 16) {
+  explicit StripedMutex(size_t stripes = 16,
+                        LockRank rank = LockRank::kCacheStripe,
+                        const char* site = "cache.stripe") {
     size_t n = 1;
     while (n < stripes) n <<= 1;
-    mutexes_ = std::vector<std::mutex>(n);
+    for (size_t i = 0; i < n; ++i) mutexes_.emplace_back(rank, site);
   }
 
   size_t num_stripes() const { return mutexes_.size(); }
@@ -50,11 +55,13 @@ class StripedMutex {
     const uint64_t mixed = hash ^ (hash >> 32);
     return static_cast<size_t>(mixed) & (mutexes_.size() - 1);
   }
-  std::mutex& MutexFor(uint64_t hash) { return mutexes_[StripeOf(hash)]; }
-  std::mutex& MutexAt(size_t stripe) { return mutexes_[stripe]; }
+  Mutex& MutexFor(uint64_t hash) { return mutexes_[StripeOf(hash)]; }
+  Mutex& MutexAt(size_t stripe) { return mutexes_[stripe]; }
 
  private:
-  std::vector<std::mutex> mutexes_;
+  // deque: Mutex is neither movable nor default-constructible (it carries a
+  // rank and site name), so grow in place.
+  std::deque<Mutex> mutexes_;
 };
 
 /// \brief Shared byte-budget ledger for a *group* of caches (the serving
@@ -118,7 +125,7 @@ class ShardedLruCache {
   /// Looks up `key`; promotes the entry to MRU on hit.
   ValuePtr Get(uint64_t key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+    MutexLock lock(locks_.MutexFor(key));
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -134,7 +141,7 @@ class ShardedLruCache {
   void Put(uint64_t key, ValuePtr value, size_t bytes) {
     {
       Shard& shard = ShardFor(key);
-      std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+      MutexLock lock(locks_.MutexFor(key));
       auto it = shard.index.find(key);
       if (it != shard.index.end()) {
         shard.bytes -= it->second->bytes;
@@ -159,7 +166,7 @@ class ShardedLruCache {
   /// Removes `key` if present.
   void Erase(uint64_t key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(locks_.MutexFor(key));
+    MutexLock lock(locks_.MutexFor(key));
     auto it = shard.index.find(key);
     if (it == shard.index.end()) return;
     shard.bytes -= it->second->bytes;
@@ -175,7 +182,7 @@ class ShardedLruCache {
   std::vector<ValuePtr> CollectRecent(size_t max_per_shard) {
     std::vector<ValuePtr> out;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> lock(locks_.MutexAt(s));
+      MutexLock lock(locks_.MutexAt(s));
       size_t taken = 0;
       for (const Entry& e : shards_[s].lru) {
         if (taken++ >= max_per_shard) break;
@@ -192,7 +199,7 @@ class ShardedLruCache {
   std::vector<std::pair<uint64_t, ValuePtr>> Drain() {
     std::vector<std::pair<uint64_t, ValuePtr>> out;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      std::lock_guard<std::mutex> lock(locks_.MutexAt(s));
+      MutexLock lock(locks_.MutexAt(s));
       for (auto it = shards_[s].lru.rbegin(); it != shards_[s].lru.rend(); ++it) {
         out.emplace_back(it->key, std::move(it->value));
       }
@@ -268,7 +275,7 @@ class ShardedLruCache {
       evicted = false;
       for (size_t s = 0; s < shards_.size() && shared_budget_->OverBudget();
            ++s) {
-        std::lock_guard<std::mutex> lock(locks_.MutexAt(s));
+        MutexLock lock(locks_.MutexAt(s));
         Shard& shard = shards_[s];
         while (shared_budget_->OverBudget() && !shard.lru.empty() &&
                shard.lru.back().key != keep_key) {

@@ -144,7 +144,7 @@ Status FaultInjector::Arm(const std::string& spec) {
   // Parse everything before touching state: a malformed spec arms nothing.
   std::vector<std::pair<std::string, Rule>> parsed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const std::string& entry : Split(spec, ',')) {
       if (entry.empty()) continue;
       const size_t colon = entry.find(':');
@@ -185,12 +185,12 @@ Status FaultInjector::ArmFromEnv() {
 }
 
 void FaultInjector::SetSeed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   seed_ = seed;
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault::g_armed_sites.fetch_sub(static_cast<uint32_t>(rules_.size()),
                                  std::memory_order_relaxed);
   rules_.clear();
@@ -199,7 +199,7 @@ void FaultInjector::Reset() {
 }
 
 std::optional<FaultAction> FaultInjector::Hit(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = rules_.find(site);
   if (it == rules_.end()) return std::nullopt;
   Rule& rule = it->second;
@@ -253,7 +253,7 @@ Status FaultInjector::Check(std::string_view site) {
 }
 
 std::map<std::string, FaultSiteStats> FaultInjector::SiteStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return {stats_.begin(), stats_.end()};
 }
 

@@ -38,13 +38,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <random>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace ziggy {
 
@@ -122,11 +122,14 @@ class FaultInjector {
   static Result<Rule> ParseRule(std::string_view spec, uint64_t seed,
                                 std::string_view site);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Rule, std::less<>> rules_;
+  // kFault is a near-leaf rank: sites fire inside fs ops under the store
+  // locks and inside wire send/recv under a connection lock, so this mutex
+  // must never reach back into any of those tiers.
+  mutable Mutex mu_{LockRank::kFault, "fault.injector.mu_"};
+  std::map<std::string, Rule, std::less<>> rules_ ZIGGY_GUARDED_BY(mu_);
   /// Counters survive a rule disarming itself (exhausted max_fires).
-  std::map<std::string, FaultSiteStats, std::less<>> stats_;
-  uint64_t seed_ = 42;
+  std::map<std::string, FaultSiteStats, std::less<>> stats_ ZIGGY_GUARDED_BY(mu_);
+  uint64_t seed_ ZIGGY_GUARDED_BY(mu_) = 42;
   std::atomic<uint64_t> total_fires_{0};
 };
 

@@ -37,10 +37,10 @@ WorkerPool::WorkerPool(size_t num_threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -51,8 +51,8 @@ void WorkerPool::Help(Batch* batch) {
     if (w >= total) return;
     (*batch->body)(batch->ranges[w], w);
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
-      std::lock_guard<std::mutex> lock(batch->mu);
-      batch->cv.notify_all();
+      MutexLock lock(batch->mu);
+      batch->cv.NotifyAll();
     }
   }
 }
@@ -61,8 +61,10 @@ void WorkerPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      cv_.Wait(mu_, [this]() ZIGGY_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (stopping_) return;
       batch = queue_.front();
       // A batch stays queued until its cursor passes the end, so several
@@ -90,13 +92,13 @@ void WorkerPool::Run(size_t parallelism, size_t num_tasks,
   batch->body = &body;
   const size_t total = batch->ranges.size();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(batch);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   Help(batch.get());  // the caller always participates — see header
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->cv.wait(lock, [&] {
+  MutexLock lock(batch->mu);
+  batch->cv.Wait(batch->mu, [&] {
     return batch->done.load(std::memory_order_acquire) == total;
   });
 }

@@ -18,15 +18,15 @@
 #define ZIGGY_COMMON_PARALLEL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ziggy {
 
@@ -86,8 +86,8 @@ class WorkerPool {
     const std::function<void(TaskRange, size_t)>* body = nullptr;
     std::atomic<size_t> next{0};   ///< next unclaimed partition index
     std::atomic<size_t> done{0};   ///< partitions finished
-    std::mutex mu;
-    std::condition_variable cv;    ///< signalled when done reaches ranges
+    Mutex mu{LockRank::kWorkerBatch, "parallel.batch.mu"};
+    CondVar cv;                    ///< signalled when done reaches ranges
   };
 
   /// Claims and runs ranges of `batch` until none are left unclaimed.
@@ -95,10 +95,14 @@ class WorkerPool {
 
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  bool stopping_ = false;
+  // The pool queue lock and a batch's completion latch are never held
+  // together (Help signals done under batch->mu only, after releasing the
+  // queue lock), but callers block on batch->mu while holding serve-tier
+  // locks, hence the high leaf-adjacent ranks.
+  Mutex mu_{LockRank::kWorkerPool, "parallel.pool.mu_"};
+  CondVar cv_;
+  std::deque<std::shared_ptr<Batch>> queue_ ZIGGY_GUARDED_BY(mu_);
+  bool stopping_ ZIGGY_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,104 @@
+// Debug-only lock-rank checker backing common/sync.h. The whole translation
+// unit is empty under NDEBUG (the header compiles the calls out); in debug
+// builds every Mutex::Lock/Unlock passes through here.
+
+#include "common/sync.h"
+
+#ifndef NDEBUG
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ziggy {
+namespace internal {
+
+namespace {
+
+struct HeldLock {
+  const void* mu;
+  uint16_t rank;
+  const char* site;
+};
+
+// Deepest legitimate nesting today is four (session -> state -> stripe style
+// chains); 16 leaves generous headroom and keeps the TLS footprint trivial.
+constexpr int kMaxHeldLocks = 16;
+
+struct LockStack {
+  HeldLock held[kMaxHeldLocks];
+  int depth = 0;
+};
+
+LockStack& TlsLockStack() {
+  thread_local LockStack stack;
+  return stack;
+}
+
+void PrintHeldStack(const LockStack& stack) {
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    std::fprintf(stderr, "  held[%d]: %s (rank %u)\n", i, stack.held[i].site,
+                 static_cast<unsigned>(stack.held[i].rank));
+  }
+}
+
+}  // namespace
+
+void PushLockRank(const void* mu, uint16_t rank, const char* site) {
+  LockStack& stack = TlsLockStack();
+  ZIGGY_CHECK(stack.depth < kMaxHeldLocks);
+  bool ordered = true;
+  if (stack.depth > 0) {
+    const HeldLock& top = stack.held[stack.depth - 1];
+    if (rank <= top.rank) {
+      ordered = false;
+      std::fprintf(stderr,
+                   "lock-rank violation: thread acquiring %s (rank %u) while "
+                   "already holding, outermost last:\n",
+                   site, static_cast<unsigned>(rank));
+      PrintHeldStack(stack);
+      if (mu == top.mu) {
+        std::fprintf(stderr, "  (recursive acquisition of %s)\n", site);
+      }
+    }
+  }
+  // Routed through ZIGGY_DCHECK so the rank discipline rides the same
+  // debug-assertion switch as the rest of the codebase (and provably costs
+  // nothing in Release — see sync_test.cc).
+  ZIGGY_DCHECK(ordered && "lock acquired out of rank order");
+  stack.held[stack.depth++] = HeldLock{mu, rank, site};
+}
+
+void PopLockRank(const void* mu, const char* site) {
+  LockStack& stack = TlsLockStack();
+  // Search from the top: unlock order may legitimately differ from lock
+  // order (relockable MutexLock scopes interleave).
+  for (int i = stack.depth - 1; i >= 0; --i) {
+    if (stack.held[i].mu != mu) continue;
+    for (int j = i; j + 1 < stack.depth; ++j) stack.held[j] = stack.held[j + 1];
+    --stack.depth;
+    return;
+  }
+  std::fprintf(stderr, "lock-rank bookkeeping: releasing %s which this thread "
+                       "does not hold\n", site);
+  ZIGGY_DCHECK(false && "released a mutex this thread does not hold");
+}
+
+bool LockRankHeld(const void* mu) {
+  const LockStack& stack = TlsLockStack();
+  for (int i = 0; i < stack.depth; ++i) {
+    if (stack.held[i].mu == mu) return true;
+  }
+  return false;
+}
+
+void AssertLockHeld(const void* mu, const char* site) {
+  if (LockRankHeld(mu)) return;
+  std::fprintf(stderr, "AssertHeld failed: thread does not hold %s\n", site);
+  ZIGGY_DCHECK(false && "AssertHeld: mutex not held by this thread");
+}
+
+}  // namespace internal
+}  // namespace ziggy
+
+#endif  // !NDEBUG

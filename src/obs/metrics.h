@@ -28,9 +28,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ziggy {
 namespace obs {
@@ -219,12 +220,15 @@ class MetricsRegistry {
 
  private:
   Clock* clock_;
-  mutable std::mutex mu_;
+  // kMetrics is a leaf rank: lookups happen under the catalog flush lock
+  // (ServerCatalog::RefreshMetrics) and must never acquire anything else.
+  mutable Mutex mu_{LockRank::kMetrics, "metrics.registry.mu_"};
   // std::map keeps render order deterministic and sorted, which also
   // groups same-family labelled series for the Prometheus renderer.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ ZIGGY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ ZIGGY_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      ZIGGY_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

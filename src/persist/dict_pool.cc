@@ -167,6 +167,7 @@ Result<std::unique_ptr<DictPool>> DictPool::Open(const std::string& store_dir) {
       dict.prefix_hashes.push_back(h);
     }
     dict.file_bytes = buf.str().size();
+    MutexLock lock(pool->mu_);  // uncontended: the pool is not published yet
     pool->RegisterLocked(hash, std::move(dict));
   }
   return pool;
@@ -203,7 +204,7 @@ Result<DictRef> DictPool::Acquire(const std::vector<std::string>& labels) {
     prefix_hashes.push_back(h);
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = prefix_index_.find(h);
   if (it != prefix_index_.end() && it->second.second == labels.size()) {
     const auto owner = dicts_.find(it->second.first);
@@ -237,7 +238,7 @@ Result<DictRef> DictPool::Acquire(const std::vector<std::string>& labels) {
 
 Result<std::shared_ptr<ColumnDictionary>> DictPool::Resolve(
     const DictRef& ref) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto cached = resolved_.find({ref.hash, ref.size});
   if (cached != resolved_.end()) return cached->second;
   const auto it = dicts_.find(ref.hash);
@@ -260,19 +261,19 @@ Result<std::shared_ptr<ColumnDictionary>> DictPool::Resolve(
 }
 
 void DictPool::Pin(uint64_t hash) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++pins_[hash];
 }
 
 void DictPool::Unpin(uint64_t hash) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = pins_.find(hash);
   if (it == pins_.end()) return;
   if (--it->second <= 0) pins_.erase(it);
 }
 
 void DictPool::SweepUnreferenced(const std::set<uint64_t>& live) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   bool erased = false;
   for (auto it = dicts_.begin(); it != dicts_.end();) {
     const uint64_t hash = it->first;
@@ -293,7 +294,7 @@ void DictPool::SweepUnreferenced(const std::set<uint64_t>& live) {
 }
 
 DictPoolStats DictPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   DictPoolStats st;
   st.dict_files = dicts_.size();
   for (const auto& [hash, dict] : dicts_) st.dict_bytes += dict.file_bytes;

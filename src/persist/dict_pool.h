@@ -41,13 +41,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "storage/column.h"
 #include "storage/table_io.h"
 
@@ -124,21 +124,25 @@ class DictPool {
 
   /// Registers a loaded/written dict under mu_: stores it and points
   /// every prefix hash at it (overwriting — longest/latest wins).
-  void RegisterLocked(uint64_t hash, PooledDict dict);
-  void RebuildPrefixIndexLocked();
+  void RegisterLocked(uint64_t hash, PooledDict dict) ZIGGY_REQUIRES(mu_);
+  void RebuildPrefixIndexLocked() ZIGGY_REQUIRES(mu_);
 
   std::string dir_;
 
-  mutable std::mutex mu_;
-  std::map<uint64_t, PooledDict> dicts_;
+  // kDictPool sits above the store's table and manifest locks: the pool is
+  // reached while a per-table lock is held (SaveTable dict acquisition,
+  // RemoveTable's sweep) and must not reach back into the store.
+  mutable Mutex mu_{LockRank::kDictPool, "dict_pool.mu_"};
+  std::map<uint64_t, PooledDict> dicts_ ZIGGY_GUARDED_BY(mu_);
   /// chain hash of some prefix -> (full dict hash, prefix length).
-  std::unordered_map<uint64_t, std::pair<uint64_t, size_t>> prefix_index_;
+  std::unordered_map<uint64_t, std::pair<uint64_t, size_t>> prefix_index_
+      ZIGGY_GUARDED_BY(mu_);
   /// (hash, size) -> shared decoded dictionary.
   std::map<std::pair<uint64_t, uint64_t>, std::shared_ptr<ColumnDictionary>>
-      resolved_;
-  std::unordered_map<uint64_t, int> pins_;
-  uint64_t shared_hits_ = 0;
-  uint64_t writes_ = 0;
+      resolved_ ZIGGY_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, int> pins_ ZIGGY_GUARDED_BY(mu_);
+  uint64_t shared_hits_ ZIGGY_GUARDED_BY(mu_) = 0;
+  uint64_t writes_ ZIGGY_GUARDED_BY(mu_) = 0;
 };
 
 /// \brief RAII multi-pin used around a save: pins accumulate via Add and

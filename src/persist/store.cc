@@ -65,8 +65,11 @@ Result<std::unique_ptr<ZiggyStore>> ZiggyStore::Open(const std::string& dir,
   const std::string manifest_path = store->ManifestPath();
   if (PathExists(manifest_path)) {
     ZIGGY_ASSIGN_OR_RETURN(std::string text, ReadWholeFile(manifest_path));
-    ZIGGY_ASSIGN_OR_RETURN(store->manifest_, Manifest::Parse(text));
+    ZIGGY_ASSIGN_OR_RETURN(Manifest parsed, Manifest::Parse(text));
+    MutexLock lock(store->mu_);  // uncontended: not yet published
+    store->manifest_ = std::move(parsed);
   } else {
+    MutexLock lock(store->mu_);
     ZIGGY_RETURN_NOT_OK(
         AtomicWriteFile(manifest_path, store->manifest_.Serialize()));
   }
@@ -101,17 +104,17 @@ std::string ZiggyStore::SketchesPath(const std::string& name,
 }
 
 std::vector<ManifestEntry> ZiggyStore::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return manifest_.entries();
 }
 
 bool ZiggyStore::Has(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return manifest_.Find(name).has_value();
 }
 
 Result<uint64_t> ZiggyStore::StoredGeneration(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::optional<ManifestEntry> entry = manifest_.Find(name);
   if (!entry.has_value()) {
     return Status::NotFound("table not in store: " + name);
@@ -142,7 +145,7 @@ StoreStats ZiggyStore::stats() const {
 
 std::shared_ptr<ZiggyStore::TableState> ZiggyStore::StateFor(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::shared_ptr<TableState>& state = states_[name];
   if (state == nullptr) state = std::make_shared<TableState>();
   return state;
@@ -229,12 +232,13 @@ Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
   // a save) could otherwise pair files from different generations.
   // Different tables proceed in parallel — a long save of one table must
   // not block the flusher's or a connection's work on another.
-  std::shared_ptr<TableState> state = StateFor(name);
-  std::lock_guard<std::mutex> table_lock(state->mu);
+  std::shared_ptr<TableState> state_ref = StateFor(name);
+  TableState* state = state_ref.get();
+  MutexLock table_lock(state->mu);
   ZIGGY_RETURN_NOT_OK(EnsureDirectory(TableDir(name)));
   std::optional<ManifestEntry> previous;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     previous = manifest_.Find(name);
   }
 
@@ -243,7 +247,7 @@ Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
                          lineage == state->shape.lineage &&
                          ExtendsShape(table, state->shape);
   if (!can_delta) {
-    return SaveFullLocked(state.get(), name, table, generation, profile,
+    return SaveFullLocked(state, name, table, generation, profile,
                           sketches, lineage, /*counts_as_compaction=*/false);
   }
   const bool chain_full =
@@ -254,10 +258,10 @@ Status ZiggyStore::SaveTable(const std::string& name, const Table& table,
           options_.max_delta_fraction *
               static_cast<double>(state->shape.base_bytes);
   if (chain_full || chain_heavy) {
-    return SaveFullLocked(state.get(), name, table, generation, profile,
+    return SaveFullLocked(state, name, table, generation, profile,
                           sketches, lineage, /*counts_as_compaction=*/true);
   }
-  return SaveDeltaLocked(state.get(), name, table, generation, profile,
+  return SaveDeltaLocked(state, name, table, generation, profile,
                          sketches, lineage, *previous);
 }
 
@@ -332,7 +336,7 @@ Status ZiggyStore::SaveFullLocked(TableState* state, const std::string& name,
   entry.base_generation = generation;
   entry.dict_refs = std::move(dict_refs);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // A failed commit must leave the in-memory manifest matching the disk:
     // a store that *believes* in a generation the manifest file never
     // recorded would serve it until the next restart silently forgot it.
@@ -418,7 +422,7 @@ Status ZiggyStore::SaveDeltaLocked(TableState* state, const std::string& name,
   entry.has_sketches = has_sketches;
   entry.delta_generations.push_back(generation);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Manifest rollback = manifest_;
     manifest_.Upsert(entry);
     if (Status st = CommitManifestLocked(); !st.ok()) {
@@ -455,11 +459,12 @@ Result<StoredTable> ZiggyStore::LoadTable(const std::string& name,
   // Serialized against SaveTable of the same table (see there): the data
   // files must be read as one consistent checkpoint. Other tables' saves
   // and loads proceed concurrently.
-  std::shared_ptr<TableState> state = StateFor(name);
-  std::lock_guard<std::mutex> table_lock(state->mu);
+  std::shared_ptr<TableState> state_ref = StateFor(name);
+  TableState* state = state_ref.get();
+  MutexLock table_lock(state->mu);
   ManifestEntry entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::optional<ManifestEntry> found = manifest_.Find(name);
     if (!found.has_value()) {
       return Status::NotFound("table not in store: " + name);
@@ -528,10 +533,11 @@ Status ZiggyStore::RemoveTable(const std::string& name) {
   // uncontended mutex, letting it commit new files into the directory
   // this thread is about to delete. Keeping the entry means the racer
   // blocks on state->mu until the removal below is complete.
-  std::shared_ptr<TableState> state = StateFor(name);
-  std::lock_guard<std::mutex> table_lock(state->mu);
+  std::shared_ptr<TableState> state_ref = StateFor(name);
+  TableState* state = state_ref.get();
+  MutexLock table_lock(state->mu);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     Manifest rollback = manifest_;
     if (!manifest_.Remove(name)) {
       return Status::NotFound("table not in store: " + name);
@@ -553,7 +559,7 @@ void ZiggyStore::SweepDictPool() {
   if (dict_pool_ == nullptr) return;
   std::set<uint64_t> live;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const ManifestEntry& entry : manifest_.entries()) {
       for (const ManifestDictRef& ref : entry.dict_refs) {
         live.insert(ref.hash);

@@ -57,12 +57,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "persist/dict_pool.h"
 #include "persist/manifest.h"
 #include "persist/sketch_codec.h"
@@ -211,9 +211,13 @@ class ZiggyStore {
   /// Per-table serialization + shape cache. The struct outlives map
   /// erasure (shared_ptr) so a racing RemoveTable cannot free a mutex
   /// another thread is blocked on.
+  ///
+  /// kTableStore < kManifest: the save/load/remove paths hold the table
+  /// lock for the whole operation and open short manifest scopes inside
+  /// it. Only one table's lock is ever held at a time.
   struct TableState {
-    std::mutex mu;
-    PersistedShape shape;
+    Mutex mu{LockRank::kTableStore, "store.table.mu"};
+    PersistedShape shape ZIGGY_GUARDED_BY(mu);
   };
 
   ZiggyStore(std::string dir, StoreOptions options)
@@ -226,19 +230,21 @@ class ZiggyStore {
   static PersistedShape ShapeOf(const Table& table);
 
   /// Serializes + atomically rewrites the manifest. Caller holds mu_.
-  Status CommitManifestLocked();
+  Status CommitManifestLocked() ZIGGY_REQUIRES(mu_);
   /// Full base snapshot; caller holds the table's lock.
   Status SaveFullLocked(TableState* state, const std::string& name,
                         const Table& table, uint64_t generation,
                         const TableProfile& profile,
                         const std::vector<PersistedSketch>& sketches,
-                        uint64_t lineage, bool counts_as_compaction);
+                        uint64_t lineage, bool counts_as_compaction)
+      ZIGGY_REQUIRES(state->mu);
   /// O(delta) segment on top of `previous`; caller holds the table's lock.
   Status SaveDeltaLocked(TableState* state, const std::string& name,
                          const Table& table, uint64_t generation,
                          const TableProfile& profile,
                          const std::vector<PersistedSketch>& sketches,
-                         uint64_t lineage, const ManifestEntry& previous);
+                         uint64_t lineage, const ManifestEntry& previous)
+      ZIGGY_REQUIRES(state->mu);
   /// Removes every data file in the table's directory not referenced by
   /// `keep` (orphans from crashed saves included). Best effort.
   void SweepUnreferenced(const std::string& name, const ManifestEntry& keep);
@@ -251,9 +257,12 @@ class ZiggyStore {
   bool compress_ = false;
   std::unique_ptr<DictPool> dict_pool_;
 
-  mutable std::mutex mu_;  ///< guards manifest_ and states_ (the map)
-  Manifest manifest_;
-  mutable std::unordered_map<std::string, std::shared_ptr<TableState>> states_;
+  /// Guards manifest_ and states_ (the map). Acquired inside a table lock
+  /// (kTableStore < kManifest) and released before any dict-pool call.
+  mutable Mutex mu_{LockRank::kManifest, "store.manifest.mu_"};
+  Manifest manifest_ ZIGGY_GUARDED_BY(mu_);
+  mutable std::unordered_map<std::string, std::shared_ptr<TableState>> states_
+      ZIGGY_GUARDED_BY(mu_);
 
   std::atomic<uint64_t> full_checkpoints_{0};
   std::atomic<uint64_t> delta_checkpoints_{0};

@@ -40,7 +40,7 @@ ServeOptions ServerCatalog::DerivedServeOptions() const {
 Status ServerCatalog::Publish(const std::string& name,
                               std::shared_ptr<ZiggyServer> server,
                               uint64_t lineage) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.size() >= options_.max_tables) {
     return Status::FailedPrecondition(
         "catalog is full (" + std::to_string(options_.max_tables) + " tables)");
@@ -63,7 +63,7 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
     return Status::InvalidArgument("invalid table name: \"" + name + "\"");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (tables_.size() >= options_.max_tables) {
       return Status::FailedPrecondition(
           "catalog is full (" + std::to_string(options_.max_tables) +
@@ -90,7 +90,7 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Open(
 
 Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Served& existing : tables_) {
     if (existing.name == name) return existing.server;
   }
@@ -99,7 +99,7 @@ Result<std::shared_ptr<ZiggyServer>> ServerCatalog::Find(
 
 uint64_t ServerCatalog::LineageOf(const std::string& name,
                                   const ZiggyServer* server) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Served& existing : tables_) {
     if (existing.name == name && existing.server.get() == server) {
       return existing.lineage;
@@ -114,7 +114,7 @@ Status ServerCatalog::AttachStore(const std::string& dir) {
   }
   ZIGGY_ASSIGN_OR_RETURN(store_, ZiggyStore::Open(dir, options_.store));
   if (options_.flush_interval_ms > 0) {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     flusher_stop_ = false;
     flusher_ = std::thread([this] { FlusherLoop(); });
   }
@@ -221,7 +221,7 @@ Result<std::vector<TableSaveResult>> ServerCatalog::SaveAllToStore() {
 Status ServerCatalog::SetPersist(const std::string& name, bool on) {
   if (store_ == nullptr) return Status::FailedPrecondition("no store attached");
   ZIGGY_RETURN_NOT_OK(Find(name).status());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (on) {
     persist_tables_.insert(name);
   } else {
@@ -231,7 +231,7 @@ Status ServerCatalog::SetPersist(const std::string& name, bool on) {
 }
 
 void ServerCatalog::MarkDirty(const std::string& name, uint64_t generation) {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   auto [it, inserted] = dirty_.try_emplace(
       name, DirtyEntry{generation, metrics_->clock()->NowMicros()});
   if (!inserted) {
@@ -248,7 +248,7 @@ size_t ServerCatalog::EffectiveBackoffInitialMs() const {
 
 void ServerCatalog::NoteStoreSuccess(const std::string& name) {
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     backoff_.erase(name);
     probe_backoff_ = BackoffEntry{};
   }
@@ -271,7 +271,7 @@ void ServerCatalog::NoteStoreFailure(const std::string& name,
   // for the degraded probe, name "") waits out initial * 2^failures,
   // capped — a persistently failing store costs one save attempt per
   // window, never one per interval.
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   BackoffEntry& entry = name.empty() ? probe_backoff_ : backoff_[name];
   const uint64_t shift = std::min<uint32_t>(entry.failures, 20);
   const uint64_t delay_ms =
@@ -329,9 +329,10 @@ void ServerCatalog::ProbeStore() {
 
 void ServerCatalog::FlusherLoop() {
   const auto interval = std::chrono::milliseconds(options_.flush_interval_ms);
-  std::unique_lock<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   while (true) {
-    flush_cv_.wait_for(lock, interval, [this] { return flusher_stop_; });
+    flush_cv_.WaitFor(flush_mu_, interval,
+                      [this]() ZIGGY_REQUIRES(flush_mu_) { return flusher_stop_; });
     if (flusher_stop_) return;  // StopFlusher drains what remains
     const auto now = std::chrono::steady_clock::now();
     // Take only the dirty tables whose backoff window (if any) has
@@ -347,14 +348,14 @@ void ServerCatalog::FlusherLoop() {
                        degraded_.load(std::memory_order_relaxed) &&
                        now >= probe_backoff_.next_attempt;
     if (batch.empty() && !probe) continue;
-    lock.unlock();
+    lock.Unlock();
     if (probe) {
       ProbeStore();
     } else {
       flush_cycles_.fetch_add(1, std::memory_order_relaxed);
       FlushDirty(std::move(batch), /*requeue_failures=*/true);
     }
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -362,7 +363,7 @@ void ServerCatalog::StopFlusher() {
   std::thread flusher;
   std::map<std::string, DirtyEntry> remaining;
   {
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     flusher_stop_ = true;
     flusher = std::move(flusher_);
     remaining = std::move(dirty_);
@@ -370,7 +371,7 @@ void ServerCatalog::StopFlusher() {
     backoff_.clear();
     probe_backoff_ = BackoffEntry{};
   }
-  flush_cv_.notify_all();
+  flush_cv_.NotifyAll();
   if (flusher.joinable()) flusher.join();
   // Drain: a clean shutdown must not lose appended rows to a pending
   // flush — even tables mid-backoff get their final attempt. Failures are
@@ -397,7 +398,7 @@ Result<uint64_t> ServerCatalog::Append(const std::string& name,
   const uint64_t generation = server->state()->generation();
   bool persist = options_.checkpoint_on_append;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     persist = persist || persist_tables_.count(name) > 0;
   }
   if (persist && store_ != nullptr) {
@@ -448,7 +449,7 @@ Status ServerCatalog::Close(const std::string& name) {
     uint64_t lineage = 0;
     bool persisted = options_.checkpoint_on_append;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       persisted = persisted || persist_tables_.count(name) > 0;
       for (const Served& existing : tables_) {
         if (existing.name == name) {
@@ -459,7 +460,7 @@ Status ServerCatalog::Close(const std::string& name) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(flush_mu_);
+      MutexLock lock(flush_mu_);
       dirty_.erase(name);
     }
     if (server != nullptr && persisted) {
@@ -473,7 +474,7 @@ Status ServerCatalog::Close(const std::string& name) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   persist_tables_.erase(name);
   for (auto it = tables_.begin(); it != tables_.end(); ++it) {
     if (it->name == name) {
@@ -506,7 +507,7 @@ Status ServerCatalog::Close(const std::string& name) {
 
 std::vector<CatalogTableInfo> ServerCatalog::List() const {
   std::vector<CatalogTableInfo> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out.reserve(tables_.size());
   for (const Served& served : tables_) {
     CatalogTableInfo info;
@@ -524,7 +525,7 @@ std::vector<CatalogTableInfo> ServerCatalog::List() const {
 CatalogStats ServerCatalog::stats() const {
   CatalogStats st;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     st.tables = tables_.size();
     st.tables_opened = tables_opened_;
     st.tables_closed = tables_closed_;
@@ -550,7 +551,7 @@ CatalogStats ServerCatalog::stats() const {
   }
   {
     const uint64_t now_us = metrics_->clock()->NowMicros();
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(flush_mu_);
     st.flusher_active = flusher_.joinable() && !flusher_stop_;
     st.dirty_tables = dirty_.size();
     st.flush_backoff_tables = backoff_.size();
@@ -578,7 +579,7 @@ CatalogHealth ServerCatalog::Health() const {
   health.tables = num_tables();
   const auto now = std::chrono::steady_clock::now();
   const uint64_t now_us = metrics_->clock()->NowMicros();
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   health.dirty_tables = dirty_.size();
   health.backoff_tables = backoff_.size();
   for (const auto& [name, entry] : dirty_) {
@@ -603,7 +604,7 @@ CatalogHealth ServerCatalog::Health() const {
 }
 
 size_t ServerCatalog::num_tables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tables_.size();
 }
 
@@ -613,7 +614,7 @@ ServerCatalog::SketchCacheTotals ServerCatalog::CacheTotals() const {
   totals.misses = retired_cache_misses_.load(std::memory_order_relaxed);
   totals.insertions = retired_cache_insertions_.load(std::memory_order_relaxed);
   totals.evictions = retired_cache_evictions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Served& served : tables_) {
     const CacheStats cache = served.server->stats().cache;
     totals.hits += cache.hits;
@@ -641,7 +642,7 @@ void ServerCatalog::RefreshMetrics() {
       ->AdvanceTo(totals.evictions);
 
   const uint64_t now_us = metrics_->clock()->NowMicros();
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(flush_mu_);
   metrics_->gauge("ziggy_flusher_queue_depth")
       ->Set(static_cast<int64_t>(dirty_.size()));
   uint64_t max_age_ms = 0;

@@ -47,11 +47,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -60,6 +58,7 @@
 
 #include "common/cache.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "persist/store.h"
 #include "serve/ziggy_server.h"
@@ -339,11 +338,14 @@ class ServerCatalog {
   std::atomic<uint64_t> retired_cache_insertions_{0};
   std::atomic<uint64_t> retired_cache_evictions_{0};
 
-  mutable std::mutex mu_;
-  std::vector<Served> tables_;
-  std::set<std::string> persist_tables_;
-  uint64_t tables_opened_ = 0;
-  uint64_t tables_closed_ = 0;
+  // kCatalog is the outermost serve-tier lock: List/CacheTotals/Close hold
+  // it while calling into per-server state (sessions, state, batcher
+  // stats) and the sketch caches. Never nested with flush_mu_.
+  mutable Mutex mu_{LockRank::kCatalog, "catalog.mu_"};
+  std::vector<Served> tables_ ZIGGY_GUARDED_BY(mu_);
+  std::set<std::string> persist_tables_ ZIGGY_GUARDED_BY(mu_);
+  uint64_t tables_opened_ ZIGGY_GUARDED_BY(mu_) = 0;
+  uint64_t tables_closed_ ZIGGY_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> next_lineage_{1};
   std::atomic<uint64_t> store_opens_{0};
   std::atomic<uint64_t> store_saves_{0};
@@ -361,17 +363,20 @@ class ServerCatalog {
     uint32_t failures = 0;
     std::chrono::steady_clock::time_point next_attempt;
   };
-  mutable std::mutex flush_mu_;
-  std::condition_variable flush_cv_;
-  std::map<std::string, DirtyEntry> dirty_;
+  /// Guards the dirty/backoff bookkeeping only; the flusher releases it
+  /// before touching servers or the store, and RefreshMetrics holds it
+  /// across registry lookups (kCatalogFlush < kMetrics).
+  mutable Mutex flush_mu_{LockRank::kCatalogFlush, "catalog.flush_mu_"};
+  CondVar flush_cv_;
+  std::map<std::string, DirtyEntry> dirty_ ZIGGY_GUARDED_BY(flush_mu_);
   /// Tables (plus the degraded-probe pseudo-entry) waiting out a retry
   /// delay after failed saves; erased on the first success.
-  std::map<std::string, BackoffEntry> backoff_;
-  BackoffEntry probe_backoff_;
+  std::map<std::string, BackoffEntry> backoff_ ZIGGY_GUARDED_BY(flush_mu_);
+  BackoffEntry probe_backoff_ ZIGGY_GUARDED_BY(flush_mu_);
   /// Tables with a live `ziggy_table_dirty_age_ms{table=...}` gauge, so
   /// RefreshMetrics can zero the gauge once a table flushes clean.
-  std::set<std::string> dirty_gauge_tables_;
-  bool flusher_stop_ = false;
+  std::set<std::string> dirty_gauge_tables_ ZIGGY_GUARDED_BY(flush_mu_);
+  bool flusher_stop_ ZIGGY_GUARDED_BY(flush_mu_) = false;
   std::thread flusher_;
   std::atomic<uint64_t> flush_cycles_{0};
   std::atomic<uint64_t> flushed_tables_{0};

@@ -167,17 +167,24 @@ void ZiggyDaemon::Stop() {
     (void)write(wake_fd_, &one, sizeof(one));
   }
   if (loop_thread_.joinable()) loop_thread_.join();
-  dispatch_cv_.notify_all();
+  {
+    // Pair the stopping_ flag with the dispatch waiters' predicate check:
+    // without this critical section a dispatch thread could evaluate the
+    // predicate just before the flag flipped, then block right after
+    // notify fired — sleeping through shutdown (lost wakeup).
+    MutexLock lock(dispatch_mu_);
+  }
+  dispatch_cv_.NotifyAll();
   for (std::thread& t : dispatch_threads_) {
     if (t.joinable()) t.join();
   }
   dispatch_threads_.clear();
   {
-    std::lock_guard<std::mutex> lock(notify_mu_);
+    MutexLock lock(notify_mu_);
     notified_.clear();
   }
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     dispatch_queue_.clear();
   }
   // No loop, no dispatch: every connection object is exclusively ours.
@@ -185,14 +192,14 @@ void ZiggyDaemon::Stop() {
   // catalog sessions.
   std::map<int, std::shared_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     connections.swap(connections_);
     for (int fd : pending_close_) close(fd);
     pending_close_.clear();
   }
   for (auto& [fd, connection] : connections) {
     {
-      std::lock_guard<std::mutex> lock(connection->mu);
+      MutexLock lock(connection->mu);
       connection->fd = -1;
     }
     shutdown(fd, SHUT_RDWR);
@@ -250,7 +257,7 @@ void ZiggyDaemon::LoopThread() {
       }
       std::shared_ptr<Connection> connection;
       {
-        std::lock_guard<std::mutex> lock(connections_mu_);
+        MutexLock lock(connections_mu_);
         auto it = connections_.find(fd);
         if (it != connections_.end()) connection = it->second;
       }
@@ -258,7 +265,7 @@ void ZiggyDaemon::LoopThread() {
       if ((ev & EPOLLERR) != 0 || ((ev & EPOLLHUP) != 0 && (ev & EPOLLIN) == 0)) {
         // EPOLLHUP alongside EPOLLIN means buffered bytes + FIN: read
         // them out first (the recv loop will see the EOF itself).
-        std::lock_guard<std::mutex> lock(connection->mu);
+        MutexLock lock(connection->mu);
         connection->dead = true;
       }
       if ((ev & EPOLLIN) != 0) HandleReadable(connection);
@@ -269,7 +276,7 @@ void ZiggyDaemon::LoopThread() {
     // close drained connections.
     std::vector<std::shared_ptr<Connection>> batch;
     {
-      std::lock_guard<std::mutex> lock(notify_mu_);
+      MutexLock lock(notify_mu_);
       batch.swap(notified_);
     }
     for (const std::shared_ptr<Connection>& connection : batch) {
@@ -282,7 +289,7 @@ void ZiggyDaemon::LoopThread() {
     // mid-batch would let accept() reuse an fd number while stale events
     // for the old connection are still in `events`.
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       for (int fd : pending_close_) close(fd);
       pending_close_.clear();
     }
@@ -314,7 +321,7 @@ void ZiggyDaemon::HandleAccept() {
     }
     size_t live = 0;
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       live = connections_.size();
     }
     if (live >= options_.max_connections) {
@@ -342,14 +349,14 @@ void ZiggyDaemon::HandleAccept() {
     connection->handler.set_wire_limits(
         WireLimits{options_.max_line_bytes, options_.max_pipeline});
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       connections_[fd] = connection;
     }
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      MutexLock lock(connections_mu_);
       connections_.erase(fd);
       close(fd);
       continue;
@@ -364,7 +371,7 @@ void ZiggyDaemon::HandleReadable(const std::shared_ptr<Connection>& c) {
   char buffer[16384];
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       if (c->fd < 0 || c->dead || c->close_requested) return;
       // Backpressure: once the queue or the un-flushed output passes its
       // bound, stop pulling bytes — they stay in the kernel socket buffer
@@ -387,12 +394,12 @@ void ZiggyDaemon::HandleReadable(const std::shared_ptr<Connection>& c) {
       // FIN. The peer may still be reading (a pipelined client that
       // shut down its write side): execute what it sent, flush every
       // response, and only then close.
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       c->peer_half_closed = true;
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     c->dead = true;
     return;
   }
@@ -405,7 +412,7 @@ void ZiggyDaemon::DecodePending(const std::shared_ptr<Connection>& c) {
   // the per-request cost at the relaxed atomics.
   const uint64_t now_us = clock_->NowMicros();
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     if (c->fd < 0 || c->dead || c->close_requested) return;
     while (c->queue.size() + (c->dispatch_active ? 1 : 0) <
            options_.max_pipeline) {
@@ -439,7 +446,7 @@ void ZiggyDaemon::FlushOut(const std::shared_ptr<Connection>& c) {
   // the slow-query log) are recorded after the connection lock drops.
   std::vector<ResponseMark> completed;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     if (c->fd < 0 || c->dead) return;
     bool progressed = false;
     while (c->out_head < c->outbuf.size()) {
@@ -494,7 +501,7 @@ void ZiggyDaemon::UpdateConnection(const std::shared_ptr<Connection>& c) {
   bool close_now = false;
   bool resumed = false;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     if (c->fd < 0) return;
     const size_t depth = c->queue.size() + (c->dispatch_active ? 1 : 0);
     const size_t pending_out = c->PendingOut();
@@ -526,7 +533,7 @@ void ZiggyDaemon::UpdateConnection(const std::shared_ptr<Connection>& c) {
   }
   uint32_t want = 0;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     if (c->fd < 0) return;
     const bool want_read =
         !c->read_paused && !c->peer_half_closed && !c->close_requested;
@@ -546,7 +553,7 @@ void ZiggyDaemon::UpdateConnection(const std::shared_ptr<Connection>& c) {
 void ZiggyDaemon::CloseConnection(const std::shared_ptr<Connection>& c) {
   int fd = -1;
   {
-    std::lock_guard<std::mutex> lock(c->mu);
+    MutexLock lock(c->mu);
     fd = c->fd;
     c->fd = -1;
   }
@@ -556,7 +563,7 @@ void ZiggyDaemon::CloseConnection(const std::shared_ptr<Connection>& c) {
     c->registered = false;
   }
   shutdown(fd, SHUT_RDWR);
-  std::lock_guard<std::mutex> lock(connections_mu_);
+  MutexLock lock(connections_mu_);
   connections_.erase(fd);
   pending_close_.push_back(fd);
   // The Connection object itself may outlive this (a dispatch thread can
@@ -569,7 +576,7 @@ void ZiggyDaemon::CheckTimeouts() {
   const auto limit = std::chrono::milliseconds(options_.request_timeout_ms);
   std::vector<std::shared_ptr<Connection>> candidates;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     candidates.reserve(connections_.size());
     for (const auto& [fd, connection] : connections_) {
       candidates.push_back(connection);
@@ -579,7 +586,7 @@ void ZiggyDaemon::CheckTimeouts() {
     if (now - c->last_activity < limit) continue;
     bool idle = false;
     {
-      std::lock_guard<std::mutex> lock(c->mu);
+      MutexLock lock(c->mu);
       idle = c->fd >= 0 && !c->dead && !c->close_requested &&
              !c->dispatch_active && c->queue.empty() && c->PendingOut() == 0;
     }
@@ -597,7 +604,7 @@ void ZiggyDaemon::CheckTimeouts() {
 
 void ZiggyDaemon::NotifyLoop(std::shared_ptr<Connection> c) {
   {
-    std::lock_guard<std::mutex> lock(notify_mu_);
+    MutexLock lock(notify_mu_);
     notified_.push_back(std::move(c));
   }
   if (wake_fd_ >= 0) {
@@ -608,18 +615,18 @@ void ZiggyDaemon::NotifyLoop(std::shared_ptr<Connection> c) {
 
 void ZiggyDaemon::ScheduleDispatch(std::shared_ptr<Connection> c) {
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     dispatch_queue_.push_back(std::move(c));
   }
-  dispatch_cv_.notify_one();
+  dispatch_cv_.NotifyOne();
 }
 
 void ZiggyDaemon::DispatchThread() {
   for (;;) {
     std::shared_ptr<Connection> c;
     {
-      std::unique_lock<std::mutex> lock(dispatch_mu_);
-      dispatch_cv_.wait(lock, [this] {
+      MutexLock lock(dispatch_mu_);
+      dispatch_cv_.Wait(dispatch_mu_, [this]() ZIGGY_REQUIRES(dispatch_mu_) {
         return stopping_.load(std::memory_order_relaxed) ||
                !dispatch_queue_.empty();
       });
@@ -641,7 +648,7 @@ void ZiggyDaemon::DispatchThread() {
     for (;;) {
       Pending item;
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(c->mu);
         if (c->queue.empty() || c->dead || c->close_requested ||
             stopping_.load(std::memory_order_relaxed)) {
           if (c->dead || stopping_.load(std::memory_order_relaxed)) {
@@ -710,7 +717,7 @@ void ZiggyDaemon::DispatchThread() {
                        (item.line.size() > kMaxLoggedLine ? "...\"" : "\"");
       }
       {
-        std::lock_guard<std::mutex> lock(c->mu);
+        MutexLock lock(c->mu);
         c->outbuf += wire;
         mark.end_offset = c->out_base + c->outbuf.size();
         c->marks.push_back(std::move(mark));
@@ -744,11 +751,11 @@ void ZiggyDaemon::RefreshMetrics() {
   size_t live = 0;
   size_t queued = 0;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     live = connections_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(dispatch_mu_);
+    MutexLock lock(dispatch_mu_);
     queued = dispatch_queue_.size();
   }
   metrics->gauge("ziggy_daemon_live_connections")
@@ -790,7 +797,7 @@ DaemonStats ZiggyDaemon::stats() const {
   st.pipelined_requests = pipelined_requests_->value();
   st.dispatch_batches = dispatch_batches_->value();
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    MutexLock lock(connections_mu_);
     st.live_connections = connections_.size();
   }
   return st;

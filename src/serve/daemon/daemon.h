@@ -47,17 +47,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "obs/metrics.h"
 #include "serve/catalog.h"
 #include "serve/daemon/handler.h"
@@ -184,22 +183,32 @@ class ZiggyDaemon {
     bool registered = false;    ///< loop thread only: fd is in the epoll set
     std::chrono::steady_clock::time_point last_activity;  ///< loop only
 
-    std::mutex mu;
-    std::deque<Pending> queue;  ///< decoded, not yet executed
-    std::string outbuf;         ///< serialized, not yet flushed
-    size_t out_head = 0;        ///< bytes of outbuf already sent
+    /// kConnection: only one connection's lock is ever held at a time,
+    /// and always released before the daemon-level dispatch/notify locks.
+    Mutex mu{LockRank::kConnection, "daemon.connection.mu"};
+    std::deque<Pending> queue ZIGGY_GUARDED_BY(mu);  ///< decoded, not executed
+    std::string outbuf ZIGGY_GUARDED_BY(mu);  ///< serialized, not yet flushed
+    size_t out_head ZIGGY_GUARDED_BY(mu) = 0;  ///< bytes of outbuf already sent
     /// Bytes that have left outbuf entirely (flushed-then-cleared or
     /// compacted away); out_base + out_head is the connection-lifetime
     /// flushed-byte offset ResponseMark::end_offset is measured against.
-    uint64_t out_base = 0;
-    std::deque<ResponseMark> marks;  ///< responses awaiting full flush
-    bool dispatch_active = false;  ///< a pool thread is executing verbs
-    bool read_paused = false;      ///< backpressure dropped EPOLLIN
-    bool peer_half_closed = false; ///< recv saw EOF; drain then close
-    bool close_requested = false;  ///< QUIT handled: close after flush
-    bool dead = false;             ///< socket error: close asap
+    uint64_t out_base ZIGGY_GUARDED_BY(mu) = 0;
+    /// Responses awaiting full flush.
+    std::deque<ResponseMark> marks ZIGGY_GUARDED_BY(mu);
+    /// A pool thread is executing verbs.
+    bool dispatch_active ZIGGY_GUARDED_BY(mu) = false;
+    /// Backpressure dropped EPOLLIN.
+    bool read_paused ZIGGY_GUARDED_BY(mu) = false;
+    /// recv saw EOF; drain then close.
+    bool peer_half_closed ZIGGY_GUARDED_BY(mu) = false;
+    /// QUIT handled: close after flush.
+    bool close_requested ZIGGY_GUARDED_BY(mu) = false;
+    /// Socket error: close asap.
+    bool dead ZIGGY_GUARDED_BY(mu) = false;
 
-    size_t PendingOut() const { return outbuf.size() - out_head; }
+    size_t PendingOut() const ZIGGY_REQUIRES(mu) {
+      return outbuf.size() - out_head;
+    }
   };
 
   explicit ZiggyDaemon(DaemonOptions options);
@@ -249,19 +258,27 @@ class ZiggyDaemon {
   std::vector<std::thread> dispatch_threads_;
   std::atomic<bool> stopping_{false};
 
-  mutable std::mutex connections_mu_;
-  std::map<int, std::shared_ptr<Connection>> connections_;  ///< by fd
+  // The four daemon locks are each taken on their own (never nested with
+  // one another or with a connection's lock); their ranks encode the
+  // loop -> connection -> dispatch -> notify dataflow.
+  mutable Mutex connections_mu_{LockRank::kDaemonConnections,
+                                "daemon.connections_mu_"};
+  /// Connections by fd.
+  std::map<int, std::shared_ptr<Connection>> connections_
+      ZIGGY_GUARDED_BY(connections_mu_);
   /// Fds removed from `connections_` whose close(2) is deferred to the
   /// end of the loop iteration (an immediate close would let accept()
   /// reuse the number while stale epoll events still reference it).
-  std::vector<int> pending_close_;
+  std::vector<int> pending_close_ ZIGGY_GUARDED_BY(connections_mu_);
 
-  std::mutex dispatch_mu_;
-  std::condition_variable dispatch_cv_;
-  std::deque<std::shared_ptr<Connection>> dispatch_queue_;
+  Mutex dispatch_mu_{LockRank::kDaemonDispatch, "daemon.dispatch_mu_"};
+  CondVar dispatch_cv_;
+  std::deque<std::shared_ptr<Connection>> dispatch_queue_
+      ZIGGY_GUARDED_BY(dispatch_mu_);
 
-  std::mutex notify_mu_;
-  std::vector<std::shared_ptr<Connection>> notified_;
+  Mutex notify_mu_{LockRank::kDaemonNotify, "daemon.notify_mu_"};
+  std::vector<std::shared_ptr<Connection>> notified_
+      ZIGGY_GUARDED_BY(notify_mu_);
 
   /// \name Registry-backed instrumentation.
   /// All resolved once from catalog_.metrics() in the constructor (the

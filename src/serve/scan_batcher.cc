@@ -12,22 +12,22 @@ std::shared_ptr<const SelectionSketches> ScanBatcher::Build(
     const Selection& selection, bool* coalesced) {
   Pending request{&table, &profile, generation, &selection, nullptr};
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   queue_.push_back(&request);
   for (;;) {
     if (request.done) break;
     if (leader_active_) {
       // A scan is in flight; wait for it to finish (it may have claimed
       // this request, or a later leader round will).
-      cv_.wait(lock);
+      cv_.Wait(mu_);
       continue;
     }
     // Become the leader for one scan round.
     leader_active_ = true;
     if (options_.window_us > 0 && queue_.size() < options_.max_batch) {
-      lock.unlock();
+      lock.Unlock();
       std::this_thread::sleep_for(std::chrono::microseconds(options_.window_us));
-      lock.lock();
+      lock.Lock();
     }
     // Claim queued requests of this leader's generation, FIFO, capped.
     std::vector<Pending*> batch;
@@ -40,7 +40,7 @@ std::shared_ptr<const SelectionSketches> ScanBatcher::Build(
         ++it;
       }
     }
-    lock.unlock();
+    lock.Unlock();
 
     // Identical selections (several sessions issuing the same popular
     // query at once) are accumulated once and share the result.
@@ -66,7 +66,7 @@ std::shared_ptr<const SelectionSketches> ScanBatcher::Build(
       shared.push_back(std::make_shared<const SelectionSketches>(std::move(s)));
     }
 
-    lock.lock();
+    lock.Lock();
     for (size_t i = 0; i < batch.size(); ++i) {
       batch[i]->result = shared[unique_of[i]];
       batch[i]->batch_size = batch.size();
@@ -77,7 +77,7 @@ std::shared_ptr<const SelectionSketches> ScanBatcher::Build(
     if (batch.size() > 1) coalesced_requests_ += batch.size();
     max_batch_size_ = std::max<uint64_t>(max_batch_size_, batch.size());
     leader_active_ = false;
-    cv_.notify_all();
+    cv_.NotifyAll();
     // The leader's own request is of its generation and was in the queue,
     // so it is in the batch whenever fewer than max_batch earlier
     // same-generation requests preceded it; otherwise loop again.
@@ -87,7 +87,7 @@ std::shared_ptr<const SelectionSketches> ScanBatcher::Build(
 }
 
 ScanBatcher::Stats ScanBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats st;
   st.scans = scans_;
   st.requests = requests_;

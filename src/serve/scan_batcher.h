@@ -19,12 +19,11 @@
 #ifndef ZIGGY_SERVE_SCAN_BATCHER_H_
 #define ZIGGY_SERVE_SCAN_BATCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
+#include "common/sync.h"
 #include "storage/selection.h"
 #include "storage/table.h"
 #include "zig/profile.h"
@@ -79,14 +78,17 @@ class ScanBatcher {
   };
 
   Options options_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Pending*> queue_;
-  bool leader_active_ = false;
-  uint64_t scans_ = 0;
-  uint64_t requests_ = 0;
-  uint64_t coalesced_requests_ = 0;
-  uint64_t max_batch_size_ = 0;
+  // kScanBatcher: reached while a session lock (and the server state lock's
+  // callers) are held; the scan itself runs with mu_ released, touching
+  // only the worker pool and cache tiers above this rank.
+  mutable Mutex mu_{LockRank::kScanBatcher, "scan_batcher.mu_"};
+  CondVar cv_;
+  std::deque<Pending*> queue_ ZIGGY_GUARDED_BY(mu_);
+  bool leader_active_ ZIGGY_GUARDED_BY(mu_) = false;
+  uint64_t scans_ ZIGGY_GUARDED_BY(mu_) = 0;
+  uint64_t requests_ ZIGGY_GUARDED_BY(mu_) = 0;
+  uint64_t coalesced_requests_ ZIGGY_GUARDED_BY(mu_) = 0;
+  uint64_t max_batch_size_ ZIGGY_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ziggy

@@ -95,7 +95,7 @@ uint64_t ZiggyServer::OpenSession(const SessionOptions& options) {
   session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
   session->options = options;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     sessions_.emplace(session->id, session);
   }
   sessions_opened_.fetch_add(1, std::memory_order_relaxed);
@@ -105,7 +105,7 @@ uint64_t ZiggyServer::OpenSession(const SessionOptions& options) {
 Status ZiggyServer::CloseSession(uint64_t session_id) {
   std::shared_ptr<Session> session;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     auto it = sessions_.find(session_id);
     if (it == sessions_.end()) {
       return Status::NotFound("no such session: " + std::to_string(session_id));
@@ -118,24 +118,24 @@ Status ZiggyServer::CloseSession(uint64_t session_id) {
   // has not locked yet may still complete afterwards — its shared_ptr
   // keeps the session alive, so this is benign (the orphaned session just
   // absorbs one last result).
-  std::lock_guard<std::mutex> drain(session->mu);
+  MutexLock drain(session->mu);
   return Status::OK();
 }
 
 size_t ZiggyServer::num_sessions() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   return sessions_.size();
 }
 
 std::shared_ptr<ZiggyServer::Session> ZiggyServer::FindSession(
     uint64_t session_id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = sessions_.find(session_id);
   return it == sessions_.end() ? nullptr : it->second;
 }
 
 std::shared_ptr<const ServingState> ZiggyServer::state() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return state_;
 }
 
@@ -252,21 +252,22 @@ std::optional<ProvidedSketches> ZiggyServer::ProvideSketches(
 
 Result<Characterization> ZiggyServer::Characterize(uint64_t session_id,
                                                    const std::string& query_text) {
-  std::shared_ptr<Session> session = FindSession(session_id);
-  if (session == nullptr) {
+  std::shared_ptr<Session> session_ref = FindSession(session_id);
+  if (session_ref == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  Session* session = session_ref.get();
+  MutexLock lock(session->mu);
   requests_.fetch_add(1, std::memory_order_relaxed);
 
   std::shared_ptr<const ServingState> current = state();
   if (session->engine == nullptr ||
       session->engine_generation != current->generation()) {
-    ZIGGY_RETURN_NOT_OK(BindSession(session.get(), current));
+    ZIGGY_RETURN_NOT_OK(BindSession(session, current));
   }
 
   Result<Characterization> result = session->engine->CharacterizeQuery(query_text);
-  FoldEngineCacheCounters(session.get());
+  FoldEngineCacheCounters(session);
   ++session->stats.queries_run;
   if (!result.ok()) {
     ++session->stats.queries_failed;
@@ -282,7 +283,7 @@ Result<Characterization> ZiggyServer::Characterize(uint64_t session_id,
 Status ZiggyServer::Append(const Table& rows) {
   // One append at a time; concurrent characterize traffic continues on the
   // current generation throughout.
-  std::lock_guard<std::mutex> append_lock(append_mu_);
+  MutexLock append_lock(append_mu_);
   std::shared_ptr<const ServingState> current = state();
 
   ZIGGY_ASSIGN_OR_RETURN(TableSnapshot next_snapshot,
@@ -318,7 +319,7 @@ Status ZiggyServer::Append(const Table& rows) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     state_ = std::move(next);
   }
   appends_.fetch_add(1, std::memory_order_relaxed);
@@ -331,7 +332,7 @@ Result<SessionStats> ZiggyServer::GetSessionStats(uint64_t session_id) const {
   if (session == nullptr) {
     return Status::NotFound("no such session: " + std::to_string(session_id));
   }
-  std::lock_guard<std::mutex> lock(session->mu);
+  MutexLock lock(session->mu);
   return session->stats;
 }
 

@@ -29,12 +29,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "engine/session.h"
 #include "obs/metrics.h"
 #include "engine/ziggy_engine.h"
@@ -180,7 +180,9 @@ class ZiggyServer {
 
  private:
   struct Session {
-    mutable std::mutex mu;
+    /// kSession: held across the whole Characterize (engine, sketch
+    /// provider, batcher); one session's lock at a time, below state_mu_.
+    mutable Mutex mu{LockRank::kSession, "server.session.mu"};
     uint64_t id = 0;
     SessionOptions options;
     /// Generation the engine below was built against; rebuilt lazily when
@@ -201,10 +203,11 @@ class ZiggyServer {
   std::shared_ptr<Session> FindSession(uint64_t session_id) const;
   /// Rebuilds `session`'s engine against `state` and installs the sketch
   /// provider. Caller holds the session mutex.
-  Status BindSession(Session* session, std::shared_ptr<const ServingState> state);
+  Status BindSession(Session* session, std::shared_ptr<const ServingState> state)
+      ZIGGY_REQUIRES(session->mu);
   /// Folds the session engine's cumulative cache counter deltas into the
   /// server-wide aggregates. Caller holds the session mutex.
-  void FoldEngineCacheCounters(Session* session);
+  void FoldEngineCacheCounters(Session* session) ZIGGY_REQUIRES(session->mu);
   /// The SketchProvider body: exact hit → near-miss patch → coalesced scan.
   std::optional<ProvidedSketches> ProvideSketches(const ServingState& state,
                                                   const Selection& selection,
@@ -212,12 +215,15 @@ class ZiggyServer {
 
   ServeOptions options_;
 
-  mutable std::mutex state_mu_;
-  std::shared_ptr<const ServingState> state_;
-  std::mutex append_mu_;  ///< serializes generation building
+  mutable Mutex state_mu_{LockRank::kServerState, "server.state_mu_"};
+  std::shared_ptr<const ServingState> state_ ZIGGY_GUARDED_BY(state_mu_);
+  /// Serializes generation building. Outermost server lock: held across
+  /// state() reads, cache migration, and the state_mu_ publish.
+  Mutex append_mu_{LockRank::kServerAppend, "server.append_mu_"};
 
-  mutable std::mutex sessions_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  mutable Mutex sessions_mu_{LockRank::kServerSessions, "server.sessions_mu_"};
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_
+      ZIGGY_GUARDED_BY(sessions_mu_);
   std::atomic<uint64_t> next_session_id_{1};
 
   SketchCache cache_;

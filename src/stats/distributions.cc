@@ -12,6 +12,20 @@ namespace {
 constexpr double kEps = 1e-15;
 constexpr int kMaxIterations = 500;
 
+// std::lgamma is not thread-safe: it stores the sign of the result in the
+// process-global `signgam` (TSan flags the write when serving threads
+// characterize concurrently). Every argument here is positive, so the sign
+// is statically 1 — use the reentrant variant where the platform has one
+// and discard the sign.
+double LnGamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Lower incomplete gamma by power series: P(a,x) converges fast for x < a+1.
 double GammaPSeries(double a, double x) {
   double ap = a;
@@ -23,7 +37,7 @@ double GammaPSeries(double a, double x) {
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEps) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - LnGamma(a));
 }
 
 // Upper incomplete gamma by Lentz continued fraction: Q(a,x) for x >= a+1.
@@ -45,7 +59,7 @@ double GammaQContinuedFraction(double a, double x) {
     h *= del;
     if (std::fabs(del - 1.0) < kEps) break;
   }
-  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::exp(-x + a * std::log(x) - LnGamma(a)) * h;
 }
 
 // Continued fraction for the regularized incomplete beta (Lentz).
@@ -148,7 +162,7 @@ double RegularizedBeta(double x, double a, double b) {
   ZIGGY_CHECK(a > 0.0 && b > 0.0);
   if (x <= 0.0) return 0.0;
   if (x >= 1.0) return 1.0;
-  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+  const double ln_front = LnGamma(a + b) - LnGamma(a) - LnGamma(b) +
                           a * std::log(x) + b * std::log1p(-x);
   const double front = std::exp(ln_front);
   if (x < (a + 1.0) / (a + b + 2.0)) {

@@ -1,0 +1,32 @@
+// Positive control for the negative-compile probe: identical shape to
+// requires_violation.cc but with the lock correctly held. This TU MUST
+// compile; if it doesn't, the probe is failing for some unrelated reason
+// (broken include path, flag typo) and its "expected failure" result would
+// be meaningless.
+
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  Guarded() : mu_(ziggy::LockRank::kCatalog, "probe.mu_") {}
+
+  int Read() {
+    ziggy::MutexLock lock(mu_);
+    return ReadLocked();
+  }
+
+ private:
+  int ReadLocked() ZIGGY_REQUIRES(mu_) { return value_; }
+
+  ziggy::Mutex mu_;
+  int value_ ZIGGY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Read();
+}

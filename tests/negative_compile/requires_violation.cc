@@ -1,0 +1,31 @@
+// Negative-compile probe: this translation unit MUST fail to compile under
+// clang with -Werror=thread-safety-analysis. CMake's try_compile runs it
+// (clang builds only) and errors out if it ever starts compiling — i.e. if
+// the ZIGGY_REQUIRES enforcement rots. See requires_ok.cc for the positive
+// control that keeps the probe honest.
+
+#include "common/sync.h"
+
+namespace {
+
+class Guarded {
+ public:
+  Guarded() : mu_(ziggy::LockRank::kCatalog, "probe.mu_") {}
+
+  int Read() {
+    return ReadLocked();  // BUG (on purpose): caller does not hold mu_
+  }
+
+ private:
+  int ReadLocked() ZIGGY_REQUIRES(mu_) { return value_; }
+
+  ziggy::Mutex mu_;
+  int value_ ZIGGY_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Read();
+}
